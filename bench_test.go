@@ -1,0 +1,279 @@
+// Benchmarks: one per paper table/figure (regenerating it on the simulated
+// platform in quick mode; run cmd/hyperbench for full-fidelity sweeps) plus
+// microbenchmarks of the real workload kernels and the notification
+// runtime's fast paths.
+package hyperplane_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hyperplane"
+	"hyperplane/internal/cryptofwd"
+	"hyperplane/internal/dispatch"
+	"hyperplane/internal/erasure"
+	"hyperplane/internal/mem"
+	"hyperplane/internal/monitor"
+	"hyperplane/internal/netproto"
+	"hyperplane/internal/queue"
+	"hyperplane/internal/raidp"
+	"hyperplane/internal/ready"
+	"hyperplane/internal/sim"
+	"hyperplane/internal/steering"
+)
+
+// --- Paper tables and figures -------------------------------------------
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		figs, err := hyperplane.ReproduceFigure(id, true, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(figs) == 0 {
+			b.Fatal("no output")
+		}
+	}
+}
+
+func BenchmarkTable1Config(b *testing.B) { benchFigure(b, "table1") }
+func BenchmarkFig3a(b *testing.B)        { benchFigure(b, "fig3a") }
+func BenchmarkFig3b(b *testing.B)        { benchFigure(b, "fig3b") }
+func BenchmarkFig3c(b *testing.B)        { benchFigure(b, "fig3c") }
+func BenchmarkFig8(b *testing.B)         { benchFigure(b, "fig8") }
+func BenchmarkFig9a(b *testing.B)        { benchFigure(b, "fig9a") }
+func BenchmarkFig9b(b *testing.B)        { benchFigure(b, "fig9b") }
+func BenchmarkFig10a(b *testing.B)       { benchFigure(b, "fig10a") }
+func BenchmarkFig10b(b *testing.B)       { benchFigure(b, "fig10b") }
+func BenchmarkFig11a(b *testing.B)       { benchFigure(b, "fig11a") }
+func BenchmarkFig11b(b *testing.B)       { benchFigure(b, "fig11b") }
+func BenchmarkFig12a(b *testing.B)       { benchFigure(b, "fig12a") }
+func BenchmarkFig12b(b *testing.B)       { benchFigure(b, "fig12b") }
+func BenchmarkFig13(b *testing.B)        { benchFigure(b, "fig13") }
+func BenchmarkHeadline(b *testing.B)     { benchFigure(b, "headline") }
+
+// Extension experiments (beyond the paper's figures; see EXPERIMENTS.md).
+func BenchmarkExtMWait(b *testing.B)   { benchFigure(b, "ext-mwait") }
+func BenchmarkExtSteal(b *testing.B)   { benchFigure(b, "ext-steal") }
+func BenchmarkExtPolicy(b *testing.B)  { benchFigure(b, "ext-policy") }
+func BenchmarkExtMonitor(b *testing.B) { benchFigure(b, "ext-monitor") }
+func BenchmarkExtInOrder(b *testing.B) { benchFigure(b, "ext-inorder") }
+func BenchmarkExtBatch(b *testing.B)   { benchFigure(b, "ext-batch") }
+func BenchmarkExtBurst(b *testing.B)   { benchFigure(b, "ext-burst") }
+func BenchmarkExtNUMA(b *testing.B)    { benchFigure(b, "ext-numa") }
+func BenchmarkHWCost(b *testing.B)     { benchFigure(b, "hwcost") }
+func BenchmarkExtScaling(b *testing.B) { benchFigure(b, "ext-scaling") }
+
+// --- Real workload kernels ----------------------------------------------
+
+func BenchmarkGREEncap(b *testing.B) {
+	var src, dst [16]byte
+	src[15], dst[15] = 1, 2
+	tun := netproto.NewTunnel(src, dst)
+	h := netproto.IPv4Header{
+		TotalLen: netproto.IPv4HeaderLen + 1400,
+		TTL:      64,
+		Protocol: netproto.ProtoUDP,
+	}
+	pkt := append(h.Marshal(nil), make([]byte, 1400)...)
+	b.SetBytes(int64(len(pkt)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tun.Encap(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCryptoForward(b *testing.B) {
+	fwd, _ := cryptofwd.NewForwarder([]byte("bench master"))
+	payload := make([]byte, 1400)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fwd.Seal(uint64(i%16), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPacketSteering(b *testing.B) {
+	s, _ := steering.NewSteerer([]string{"a", "b", "c", "d"}, 4096)
+	tuples := make([]steering.FiveTuple, 1024)
+	for i := range tuples {
+		tuples[i] = steering.FiveTuple{
+			Src:     [4]byte{10, 0, byte(i >> 8), byte(i)},
+			SrcPort: uint16(i), DstPort: 443, Proto: netproto.ProtoTCP,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Steer(tuples[i%len(tuples)])
+	}
+}
+
+func BenchmarkErasureEncode(b *testing.B) {
+	code, _ := erasure.NewCode(4, 2)
+	shards := code.Split(make([]byte, 16<<10))
+	b.SetBytes(16 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := code.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkErasureReconstruct(b *testing.B) {
+	code, _ := erasure.NewCode(4, 2)
+	orig := code.Split(make([]byte, 16<<10))
+	code.Encode(orig)
+	b.SetBytes(16 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards := make([][]byte, len(orig))
+		copy(shards, orig)
+		shards[1], shards[3] = nil, nil
+		if err := code.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRAIDComputePQ(b *testing.B) {
+	arr, _ := raidp.New(8)
+	data := make([][]byte, 8)
+	for i := range data {
+		data[i] = make([]byte, 4096)
+	}
+	p := make([]byte, 4096)
+	q := make([]byte, 4096)
+	b.SetBytes(8 * 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := arr.ComputePQ(data, p, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRequestDispatch(b *testing.B) {
+	d := dispatch.NewDispatcher()
+	d.AddBackend("cache", "c0")
+	d.AddBackend("cache", "c1")
+	d.AddBackend("search", "s0")
+	d.AddBackend("ml", "m0")
+	frames := make([][]byte, 4)
+	for i := range frames {
+		r := dispatch.Request{Type: dispatch.RequestType(i), Tenant: 1, RequestID: uint64(i), Payload: []byte("payload")}
+		frames[i] = r.Marshal(nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		disp, err := d.Prepare(frames[i%4])
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.Complete(disp.Tier, disp.Backend)
+	}
+}
+
+// --- Notification runtime fast paths ------------------------------------
+
+func BenchmarkNotifierNotifyWait(b *testing.B) {
+	n, _ := hyperplane.NewNotifier(hyperplane.NotifierConfig{MaxQueues: 64})
+	defer n.Close()
+	var db atomic.Int64
+	qid, _ := n.Register(&db)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Add(1)
+		n.Notify(qid)
+		got, ok := n.Wait()
+		if !ok || got != qid {
+			b.Fatal("wait failed")
+		}
+		db.Add(-1)
+		n.Reconsider(qid)
+	}
+}
+
+func BenchmarkRingPushPop(b *testing.B) {
+	r, _ := queue.NewRing[int](1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Push(i)
+		if _, ok := r.Pop(); !ok {
+			b.Fatal("pop failed")
+		}
+	}
+}
+
+// --- Hardware-model ablations -------------------------------------------
+
+// Ready-set select: the PPA (O(words)) vs the software iterator (O(ready)).
+func BenchmarkReadySetHardware1024(b *testing.B) {
+	benchReadySet(b, ready.NewHardware(1024, ready.RoundRobin, nil))
+}
+
+func BenchmarkReadySetSoftware1024(b *testing.B) {
+	benchReadySet(b, ready.NewSoftware(1024, ready.RoundRobin, nil))
+}
+
+func benchReadySet(b *testing.B, rs ready.Set) {
+	for i := 0; i < 1024; i++ {
+		rs.Activate(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, ok, _ := rs.Select()
+		if !ok {
+			b.Fatal("dry")
+		}
+		rs.Activate(q)
+	}
+}
+
+func BenchmarkMonitorSnoop(b *testing.B) {
+	m := monitor.New(monitor.DefaultConfig())
+	addrs := make([]mem.Addr, 1000)
+	for i := range addrs {
+		// Retry with a reallocated address on cuckoo conflict, exactly as
+		// the paper's kernel driver does.
+		addrs[i] = mem.Addr(0x100000 + i*mem.LineSize)
+		for try := 1; m.Add(i, addrs[i]) != nil; try++ {
+			addrs[i] = mem.Addr(0x100000 + (1000+i*131+try)*mem.LineSize)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := addrs[i%len(addrs)]
+		if _, activate := m.Snoop(a); activate {
+			m.Arm(a)
+		}
+	}
+}
+
+func BenchmarkSimEngineEvents(b *testing.B) {
+	e := sim.NewEngine()
+	var tick func()
+	count := 0
+	tick = func() {
+		count++
+		if count < b.N {
+			e.After(sim.Nanosecond, tick)
+		}
+	}
+	e.After(sim.Nanosecond, tick)
+	b.ResetTimer()
+	e.Run(sim.MaxTime)
+}
+
+func BenchmarkMemSystemAccess(b *testing.B) {
+	sys := mem.NewSystem(mem.DefaultConfig(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Read(i%4, mem.Addr(i%8192)*64)
+	}
+}

@@ -1,0 +1,97 @@
+// Command hyperbench regenerates the HyperPlane paper's tables and figures
+// on the simulated evaluation platform.
+//
+// Usage:
+//
+//	hyperbench -list                 # show available experiments
+//	hyperbench -exp fig8             # regenerate one figure (full fidelity)
+//	hyperbench -exp all -quick       # everything, reduced sweeps
+//	hyperbench -exp fig3a -csv       # machine-readable output
+//	hyperbench -exp fig9a -out dir/  # also write per-figure CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"hyperplane"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list  = flag.Bool("list", false, "list available experiments")
+		quick = flag.Bool("quick", false, "reduced sweeps for a fast pass")
+		csv   = flag.Bool("csv", false, "print CSV instead of text tables")
+		plot  = flag.Bool("plot", false, "print ASCII charts instead of text tables")
+		out   = flag.String("out", "", "directory to also write per-figure CSV files")
+		seed  = flag.Uint64("seed", 42, "simulation seed")
+		reps  = flag.Int("replicate", 1, "average results over N seeds and report variability")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("Available experiments:")
+		for _, f := range hyperplane.Figures() {
+			fmt.Printf("  %-9s %s\n", f.ID, f.Desc)
+		}
+		if *exp == "" {
+			fmt.Println("\nRun with -exp <id> or -exp all.")
+		}
+		return
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = ids[:0]
+		for _, f := range hyperplane.Figures() {
+			ids = append(ids, f.ID)
+		}
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		figs, err := hyperplane.ReproduceFigureN(id, *quick, *seed, *reps)
+		if err != nil {
+			fatal(err)
+		}
+		for i, f := range figs {
+			switch {
+			case *csv:
+				fmt.Print(f.CSV)
+			case *plot:
+				fmt.Print(f.Plot)
+			default:
+				fmt.Print(f.Text)
+			}
+			if *out != "" {
+				name := f.ID
+				if len(figs) > 1 {
+					name = fmt.Sprintf("%s_%d", f.ID, i)
+				}
+				path := filepath.Join(*out, name+".csv")
+				if err := os.WriteFile(path, []byte(f.CSV), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		if !*csv {
+			fmt.Printf("   [%s regenerated in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hyperbench:", strings.TrimPrefix(err.Error(), "hyperplane: "))
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command hyperplane-sim runs a single configurable simulation of a
+// software data plane — spinning or HyperPlane-accelerated — and prints
+// its throughput, latency, IPC, and power measurements.
+//
+// Examples:
+//
+//	hyperplane-sim -plane spinning -queues 1000 -shape SQ -saturate
+//	hyperplane-sim -plane hyperplane -cores 4 -cluster 4 -load 0.7
+//	hyperplane-sim -workload crypto-forwarding -queues 256 -load 0.3 -power-optimized
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hyperplane"
+)
+
+func main() {
+	var (
+		plane    = flag.String("plane", "hyperplane", "plane: spinning | hyperplane")
+		wl       = flag.String("workload", "packet-encapsulation", "workload: "+strings.Join(hyperplane.Workloads(), " | "))
+		shape    = flag.String("shape", "FB", "traffic shape: FB | PC | NC | SQ")
+		cores    = flag.Int("cores", 1, "data plane cores (1-16)")
+		cluster  = flag.Int("cluster", 1, "cores per shared-queue cluster (1=scale-out)")
+		queues   = flag.Int("queues", 256, "total I/O queues")
+		saturate = flag.Bool("saturate", false, "measure peak throughput instead of open-loop latency")
+		load     = flag.Float64("load", 0.5, "offered load fraction (open-loop mode)")
+		popt     = flag.Bool("power-optimized", false, "let halted cores enter C1")
+		swReady  = flag.Bool("software-ready-set", false, "use the software ready-set iterator")
+		banks    = flag.Int("banks", 0, "monitoring-set banks (distributed directory); 0 = unified")
+		imb      = flag.Float64("imbalance", 0, "static hot-queue imbalance toward cluster 0 (e.g. 0.1)")
+		inOrder  = flag.Bool("in-order", false, "preserve per-queue processing order (no intra-queue concurrency)")
+		steal    = flag.Bool("steal", false, "HyperPlane work stealing across clusters")
+		policy   = flag.String("policy", "rr", "service policy: rr | wrr | strict")
+		dur      = flag.Duration("duration", 20*time.Millisecond, "simulated measurement window")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		traceN   = flag.Int("trace", 0, "print the first N notification-protocol events")
+	)
+	flag.Parse()
+
+	var pol hyperplane.Policy
+	switch *policy {
+	case "rr":
+		pol = hyperplane.RoundRobin
+	case "wrr":
+		pol = hyperplane.WeightedRoundRobin
+	case "strict":
+		pol = hyperplane.StrictPriority
+	default:
+		fmt.Fprintf(os.Stderr, "hyperplane-sim: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	cfg := hyperplane.SimConfig{
+		Plane:            hyperplane.Plane(*plane),
+		Workload:         *wl,
+		Shape:            hyperplane.TrafficShape(*shape),
+		Cores:            *cores,
+		ClusterSize:      *cluster,
+		Queues:           *queues,
+		Policy:           pol,
+		Saturate:         *saturate,
+		Load:             *load,
+		PowerOptimized:   *popt,
+		SoftwareReadySet: *swReady,
+		MonitorBanks:     *banks,
+		InOrder:          *inOrder,
+		WorkStealing:     *steal,
+		Imbalance:        *imb,
+		Duration:         *dur,
+		Seed:             *seed,
+	}
+	if *traceN > 0 {
+		remaining := *traceN
+		cfg.OnTrace = func(at time.Duration, kind string, core, qid int) {
+			if remaining <= 0 {
+				return
+			}
+			remaining--
+			if core < 0 {
+				fmt.Printf("%12v %-9s qid=%d\n", at, kind, qid)
+			} else {
+				fmt.Printf("%12v %-9s core=%d qid=%d\n", at, kind, core, qid)
+			}
+		}
+	}
+
+	start := time.Now()
+	r, err := hyperplane.Simulate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hyperplane-sim:", err)
+		os.Exit(1)
+	}
+
+	mode := fmt.Sprintf("open-loop @ %.0f%% load", *load*100)
+	if *saturate {
+		mode = "saturation (peak throughput)"
+	}
+	fmt.Printf("plane=%s workload=%s shape=%s cores=%d cluster=%d queues=%d %s\n",
+		*plane, *wl, *shape, *cores, *cluster, *queues, mode)
+	fmt.Printf("  completed tasks      %d\n", r.Completed)
+	fmt.Printf("  throughput           %.4f M tasks/s\n", r.ThroughputMTasks)
+	if !*saturate {
+		fmt.Printf("  latency avg/p50      %v / %v\n", r.AvgLatency, r.P50Latency)
+		fmt.Printf("  latency p99/max      %v / %v\n", r.P99Latency, r.MaxLatency)
+	}
+	fmt.Printf("  IPC useful/useless   %.3f / %.3f (overall %.3f)\n",
+		r.UsefulIPC, r.UselessIPC, r.OverallIPC)
+	fmt.Printf("  core power           %.2f W\n", r.AvgPowerW)
+	if r.SpuriousWakeups > 0 {
+		fmt.Printf("  spurious wake-ups    %d\n", r.SpuriousWakeups)
+	}
+	if r.LockContention > 0 {
+		fmt.Printf("  lock contention      %d\n", r.LockContention)
+	}
+	fmt.Printf("  (simulated in %v)\n", time.Since(start).Round(time.Millisecond))
+}

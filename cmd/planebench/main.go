@@ -1,0 +1,156 @@
+// Command planebench measures the real dataplane runtime on real hardware:
+// sustained throughput and round-trip latency of QWAIT-notified workers vs
+// spin-polling workers across tenant counts — the software analogue of the
+// paper's Fig. 8 comparison, without the simulator.
+//
+// Example:
+//
+//	planebench -tenants 8,64,256 -duration 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperplane/dataplane"
+)
+
+func main() {
+	var (
+		tenantsFlag = flag.String("tenants", "8,64,256", "comma-separated tenant counts to sweep")
+		workers     = flag.Int("workers", 1, "data plane workers")
+		duration    = flag.Duration("duration", 2*time.Second, "measurement window per point")
+		capacity    = flag.Int("cap", 1024, "ring capacity (power of two)")
+		rate        = flag.Float64("rate", 0, "paced ingress per tenant (items/s); 0 = flood (saturation)")
+	)
+	flag.Parse()
+
+	var counts []int
+	for _, part := range strings.Split(*tenantsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "planebench: bad tenant count %q\n", part)
+			os.Exit(2)
+		}
+		counts = append(counts, n)
+	}
+
+	fmt.Printf("%8s %10s %14s %12s %12s\n", "tenants", "mode", "items/s", "p50", "p99")
+	for _, tenants := range counts {
+		for _, mode := range []dataplane.Mode{dataplane.Notify, dataplane.Spin} {
+			thr, p50, p99, err := measure(tenants, *workers, *capacity, mode, *duration, *rate)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "planebench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%8d %10s %14.0f %12v %12v\n", tenants, mode, thr, p50, p99)
+		}
+	}
+}
+
+func measure(tenants, workers, capacity int, mode dataplane.Mode, duration time.Duration, rate float64) (float64, time.Duration, time.Duration, error) {
+	p, err := dataplane.New(dataplane.Config{
+		Tenants:      tenants,
+		Workers:      workers,
+		RingCapacity: capacity,
+		Mode:         mode,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	p.Start()
+	defer p.Stop()
+
+	var stop atomic.Bool
+	var consumed atomic.Int64
+	var latMu sync.Mutex
+	var lats []time.Duration
+
+	var wg sync.WaitGroup
+	// One producer + one tenant consumer per tenant.
+	for tn := 0; tn < tenants; tn++ {
+		wg.Add(2)
+		go func(tn int) {
+			defer wg.Done()
+			var pace time.Duration
+			if rate > 0 {
+				pace = time.Duration(float64(time.Second) / rate)
+			}
+			for !stop.Load() {
+				now := time.Now()
+				payload := make([]byte, 8)
+				for i, b := range timeBytes(now) {
+					payload[i] = b
+				}
+				if !p.Ingress(tn, payload) {
+					time.Sleep(5 * time.Microsecond)
+					continue
+				}
+				if pace > 0 {
+					time.Sleep(pace)
+				}
+			}
+		}(tn)
+		go func(tn int) {
+			defer wg.Done()
+			for {
+				out, ok := p.EgressWait(tn)
+				if !ok {
+					return
+				}
+				d := time.Since(timeFrom(out))
+				consumed.Add(1)
+				latMu.Lock()
+				if len(lats) < 2_000_000 {
+					lats = append(lats, d)
+				}
+				latMu.Unlock()
+				if stop.Load() {
+					return
+				}
+			}
+		}(tn)
+	}
+
+	start := time.Now()
+	time.Sleep(duration)
+	stop.Store(true)
+	elapsed := time.Since(start)
+	p.Stop() // closes tenant notifiers, unblocking EgressWait
+	wg.Wait()
+
+	latMu.Lock()
+	defer latMu.Unlock()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(q*float64(len(lats)-1))]
+	}
+	return float64(consumed.Load()) / elapsed.Seconds(), pct(0.50), pct(0.99), nil
+}
+
+func timeBytes(t time.Time) [8]byte {
+	n := t.UnixNano()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(n >> (8 * i))
+	}
+	return b
+}
+
+func timeFrom(b []byte) time.Time {
+	var n int64
+	for i := 0; i < 8 && i < len(b); i++ {
+		n |= int64(b[i]) << (8 * i)
+	}
+	return time.Unix(0, n)
+}

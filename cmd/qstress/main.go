@@ -1,0 +1,139 @@
+// Command qstress soaks the real hyperplane.Notifier runtime: concurrent
+// producers push items through many queues while consumer goroutines follow
+// the QWAIT protocol; it reports sustained throughput and notification
+// latency percentiles.
+//
+// Example:
+//
+//	qstress -queues 64 -consumers 2 -duration 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperplane"
+)
+
+type item struct {
+	sent time.Time
+}
+
+func main() {
+	var (
+		nQueues   = flag.Int("queues", 32, "number of queues")
+		consumers = flag.Int("consumers", 1, "consumer goroutines (each owns queues/consumers queues)")
+		duration  = flag.Duration("duration", 3*time.Second, "run time")
+		capacity  = flag.Int("cap", 1024, "ring capacity per queue (power of two)")
+		policy    = flag.String("policy", "rr", "rr | strict")
+	)
+	flag.Parse()
+
+	pol := hyperplane.RoundRobin
+	if *policy == "strict" {
+		pol = hyperplane.StrictPriority
+	}
+	if *consumers < 1 || *nQueues < *consumers {
+		fmt.Fprintln(os.Stderr, "qstress: need at least one queue per consumer")
+		os.Exit(2)
+	}
+
+	// One notifier + mux per consumer: rings are SPSC, so each consumer
+	// owns a disjoint queue set (the scale-out organization).
+	var stop atomic.Bool
+	var produced, consumed atomic.Int64
+	var latMu sync.Mutex
+	var lats []time.Duration
+
+	var wg sync.WaitGroup
+	for c := 0; c < *consumers; c++ {
+		n, err := hyperplane.NewNotifier(hyperplane.NotifierConfig{
+			MaxQueues: *nQueues,
+			Policy:    pol,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qstress:", err)
+			os.Exit(1)
+		}
+		mux := hyperplane.NewMux[item](n)
+		per := *nQueues / *consumers
+		queues := make([]*hyperplane.Queue[item], per)
+		for i := range queues {
+			queues[i], err = mux.Add(*capacity)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qstress:", err)
+				os.Exit(1)
+			}
+		}
+
+		// Consumer.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mux.Serve(func(_ hyperplane.QID, it item) bool {
+				d := time.Since(it.sent)
+				consumed.Add(1)
+				latMu.Lock()
+				if len(lats) < 1_000_000 {
+					lats = append(lats, d)
+				}
+				latMu.Unlock()
+				return true
+			})
+		}()
+
+		// One producer per queue.
+		for _, q := range queues {
+			wg.Add(1)
+			go func(q *hyperplane.Queue[item]) {
+				defer wg.Done()
+				for !stop.Load() {
+					if !q.Push(item{sent: time.Now()}) {
+						time.Sleep(10 * time.Microsecond) // backpressure
+						continue
+					}
+					produced.Add(1)
+				}
+			}(q)
+		}
+
+		// Closer for this notifier.
+		go func() {
+			for !stop.Load() {
+				time.Sleep(time.Millisecond)
+			}
+			// Drain grace period, then unblock the consumer.
+			time.Sleep(50 * time.Millisecond)
+			n.Close()
+		}()
+	}
+
+	start := time.Now()
+	time.Sleep(*duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	latMu.Lock()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p / 100 * float64(len(lats)-1))
+		return lats[i]
+	}
+	p50, p99, p999 := pct(50), pct(99), pct(99.9)
+	latMu.Unlock()
+
+	fmt.Printf("qstress: %d queues, %d consumers, %v\n", *nQueues, *consumers, elapsed.Round(time.Millisecond))
+	fmt.Printf("  produced   %d\n", produced.Load())
+	fmt.Printf("  consumed   %d (%.2f M items/s)\n",
+		consumed.Load(), float64(consumed.Load())/elapsed.Seconds()/1e6)
+	fmt.Printf("  notification latency p50/p99/p99.9: %v / %v / %v\n", p50, p99, p999)
+}

@@ -1,0 +1,376 @@
+// Package dataplane assembles the full software-data-plane architecture of
+// the HyperPlane paper's Fig. 2 as a real, runnable Go runtime:
+//
+//	device-side queues  ->  data plane workers  ->  tenant-side queues
+//	      (1a/1b)               (2a..2d)                  (3)
+//
+// An emulated I/O device (or any producer) calls Ingress to place work on a
+// tenant's device-side queue and ring its doorbell. Data plane workers are
+// notified through the QWAIT runtime (hyperplane.Notifier) — or, for
+// baseline comparison, by spin-polling — run the transport Handler, deliver
+// the result to the tenant-side queue, and ring the tenant's doorbell.
+// Tenants consume with Egress/EgressWait.
+//
+// The package is the software analogue of the simulated planes in
+// internal/sdp, usable for real measurements on real hardware (see
+// BenchmarkPlaneNotify/BenchmarkPlaneSpin).
+package dataplane
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hyperplane"
+	"hyperplane/internal/queue"
+)
+
+// Handler performs transport processing on one work item (step 2b). It
+// returns the payload to deliver tenant-side; a nil result drops the item.
+type Handler func(tenant int, payload []byte) ([]byte, error)
+
+// Mode selects the notification mechanism of the data plane workers.
+type Mode uint8
+
+// Notification modes.
+const (
+	// Notify blocks workers in QWAIT (hyperplane.Notifier) — the
+	// HyperPlane model.
+	Notify Mode = iota
+	// Spin makes workers iterate over their queues at full tilt — the
+	// software-only baseline.
+	Spin
+)
+
+func (m Mode) String() string {
+	if m == Spin {
+		return "spin"
+	}
+	return "notify"
+}
+
+// Config describes a Plane.
+type Config struct {
+	// Tenants is the number of tenant queue pairs (device-side RX +
+	// tenant-side delivery).
+	Tenants int
+	// Workers is the number of data plane goroutines; tenant queues are
+	// partitioned across workers (scale-out, matching the SPSC rings).
+	Workers int
+	// RingCapacity sizes each ring (power of two; default 1024).
+	RingCapacity int
+	// Mode selects QWAIT-style notification (default) or spin-polling.
+	Mode Mode
+	// Policy is the per-worker service policy in Notify mode.
+	Policy hyperplane.Policy
+	// Handler is the transport-processing function; nil defaults to echo.
+	Handler Handler
+}
+
+// Stats is a snapshot of plane activity.
+type Stats struct {
+	Ingressed int64 // items accepted by Ingress
+	Processed int64 // items run through the Handler
+	Delivered int64 // items placed on tenant-side queues
+	Errors    int64 // handler errors (item dropped)
+	Backlog   int   // items currently queued device-side
+}
+
+// Plane is a running software data plane.
+type Plane struct {
+	cfg Config
+
+	devRings []*queue.Ring[[]byte] // per tenant, device side
+	outRings []*queue.Ring[[]byte] // per tenant, tenant side
+
+	workers []*worker
+
+	tenantNotifiers []*hyperplane.Notifier // one per tenant (delivery side)
+	tenantQIDs      []hyperplane.QID
+
+	ingressed atomic.Int64
+	processed atomic.Int64
+	delivered atomic.Int64
+	errors    atomic.Int64
+
+	started atomic.Bool
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// worker owns a partition of tenant device-side queues.
+type worker struct {
+	id          int
+	tenants     []int // tenant ids served by this worker
+	n           *hyperplane.Notifier
+	qidOf       map[hyperplane.QID]int // notifier QID -> tenant
+	qidByTenant map[int]hyperplane.QID
+	stop        atomic.Bool
+}
+
+// ErrNotStarted is returned by Stop before Start.
+var ErrNotStarted = errors.New("dataplane: plane not started")
+
+// New builds a Plane; call Start to launch the workers.
+func New(cfg Config) (*Plane, error) {
+	if cfg.Tenants < 1 {
+		return nil, fmt.Errorf("dataplane: Tenants must be positive, got %d", cfg.Tenants)
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.Workers > cfg.Tenants {
+		cfg.Workers = cfg.Tenants
+	}
+	if cfg.RingCapacity == 0 {
+		cfg.RingCapacity = 1024
+	}
+	if cfg.Handler == nil {
+		cfg.Handler = func(_ int, payload []byte) ([]byte, error) { return payload, nil }
+	}
+	p := &Plane{cfg: cfg}
+
+	for t := 0; t < cfg.Tenants; t++ {
+		dr, err := queue.NewRing[[]byte](cfg.RingCapacity)
+		if err != nil {
+			return nil, err
+		}
+		or, err := queue.NewRing[[]byte](cfg.RingCapacity)
+		if err != nil {
+			return nil, err
+		}
+		p.devRings = append(p.devRings, dr)
+		p.outRings = append(p.outRings, or)
+
+		// Tenant-side notification: each tenant gets its own single-queue
+		// notifier so EgressWait blocks exactly like a tenant core would
+		// on its doorbell.
+		tn, err := hyperplane.NewNotifier(hyperplane.NotifierConfig{MaxQueues: 1})
+		if err != nil {
+			return nil, err
+		}
+		qid, err := tn.Register(or.Doorbell())
+		if err != nil {
+			return nil, err
+		}
+		p.tenantNotifiers = append(p.tenantNotifiers, tn)
+		p.tenantQIDs = append(p.tenantQIDs, qid)
+	}
+
+	// Partition tenants across workers round-robin; in Notify mode each
+	// worker gets its own notifier over its partition.
+	for w := 0; w < cfg.Workers; w++ {
+		wk := &worker{
+			id:          w,
+			qidOf:       make(map[hyperplane.QID]int),
+			qidByTenant: make(map[int]hyperplane.QID),
+		}
+		for t := w; t < cfg.Tenants; t += cfg.Workers {
+			wk.tenants = append(wk.tenants, t)
+		}
+		if cfg.Mode == Notify {
+			n, err := hyperplane.NewNotifier(hyperplane.NotifierConfig{
+				MaxQueues: len(wk.tenants),
+				Policy:    cfg.Policy,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, t := range wk.tenants {
+				qid, err := n.Register(p.devRings[t].Doorbell())
+				if err != nil {
+					return nil, err
+				}
+				wk.qidOf[qid] = t
+				wk.qidByTenant[t] = qid
+			}
+			wk.n = n
+		}
+		p.workers = append(p.workers, wk)
+	}
+	return p, nil
+}
+
+// Start launches the data plane workers.
+func (p *Plane) Start() {
+	if !p.started.CompareAndSwap(false, true) {
+		return
+	}
+	for _, wk := range p.workers {
+		p.wg.Add(1)
+		go func(wk *worker) {
+			defer p.wg.Done()
+			if p.cfg.Mode == Notify {
+				p.runNotify(wk)
+			} else {
+				p.runSpin(wk)
+			}
+		}(wk)
+	}
+}
+
+// Stop drains in-flight work, terminates the workers, and closes tenant
+// notifiers. It is idempotent.
+func (p *Plane) Stop() error {
+	if !p.started.Load() {
+		return ErrNotStarted
+	}
+	if !p.stopped.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, wk := range p.workers {
+		wk.stop.Store(true)
+		if wk.n != nil {
+			wk.n.Close() // wake blocked QWAITs
+		}
+	}
+	p.wg.Wait()
+	for _, tn := range p.tenantNotifiers {
+		tn.Close()
+	}
+	return nil
+}
+
+// Ingress places a work item on a tenant's device-side queue (the emulated
+// NIC's DMA + doorbell). It returns false on backpressure (ring full) or
+// invalid tenant.
+func (p *Plane) Ingress(tenant int, payload []byte) bool {
+	if tenant < 0 || tenant >= p.cfg.Tenants || p.stopped.Load() {
+		return false
+	}
+	if !p.devRings[tenant].Push(payload) {
+		return false
+	}
+	p.ingressed.Add(1)
+	if p.cfg.Mode == Notify {
+		w := p.workers[tenant%p.cfg.Workers]
+		w.n.Notify(w.qidByTenant[tenant])
+	}
+	return true
+}
+
+// Egress pops one processed item from a tenant's delivery queue without
+// blocking.
+func (p *Plane) Egress(tenant int) ([]byte, bool) {
+	if tenant < 0 || tenant >= p.cfg.Tenants {
+		return nil, false
+	}
+	v, ok := p.outRings[tenant].Pop()
+	if ok {
+		p.tenantNotifiers[tenant].Reconsider(p.tenantQIDs[tenant])
+	}
+	return v, ok
+}
+
+// EgressWait blocks until an item is available for the tenant (the tenant
+// core's own QWAIT) or the plane stops.
+func (p *Plane) EgressWait(tenant int) ([]byte, bool) {
+	if tenant < 0 || tenant >= p.cfg.Tenants {
+		return nil, false
+	}
+	tn := p.tenantNotifiers[tenant]
+	qid := p.tenantQIDs[tenant]
+	for {
+		if _, ok := tn.Wait(); !ok {
+			// Closed: drain any remaining item without blocking.
+			return p.outRings[tenant].Pop()
+		}
+		if !tn.Verify(qid) {
+			continue
+		}
+		v, ok := p.outRings[tenant].Pop()
+		tn.Reconsider(qid)
+		if ok {
+			return v, true
+		}
+	}
+}
+
+// runNotify is the QWAIT worker loop (Algorithm 1 of the paper).
+func (p *Plane) runNotify(wk *worker) {
+	for {
+		qid, ok := wk.n.Wait()
+		if !ok {
+			return // notifier closed by Stop
+		}
+		if !wk.n.Verify(qid) {
+			continue
+		}
+		tenant := wk.qidOf[qid]
+		payload, got := p.devRings[tenant].Pop()
+		wk.n.Reconsider(qid)
+		if got {
+			p.handle(tenant, payload)
+		}
+	}
+}
+
+// runSpin is the baseline loop: iterate over owned tenants at full tilt.
+func (p *Plane) runSpin(wk *worker) {
+	idle := 0
+	for !wk.stop.Load() {
+		found := false
+		for _, tenant := range wk.tenants {
+			payload, got := p.devRings[tenant].Pop()
+			if !got {
+				continue
+			}
+			found = true
+			p.handle(tenant, payload)
+		}
+		if !found {
+			idle++
+			if idle > 64 {
+				// Stay honest to "spinning" while not starving the other
+				// goroutines of this test process.
+				runtime.Gosched()
+			}
+		} else {
+			idle = 0
+		}
+	}
+}
+
+// handle runs transport processing and delivers to the tenant side.
+func (p *Plane) handle(tenant int, payload []byte) {
+	p.processed.Add(1)
+	out, err := p.cfg.Handler(tenant, payload)
+	if err != nil {
+		p.errors.Add(1)
+		return
+	}
+	if out == nil {
+		return
+	}
+	for !p.outRings[tenant].Push(out) {
+		if p.stopped.Load() {
+			return
+		}
+		runtime.Gosched() // tenant-side backpressure
+	}
+	p.delivered.Add(1)
+	p.tenantNotifiers[tenant].Notify(p.tenantQIDs[tenant])
+}
+
+// Stats returns a snapshot of plane counters.
+func (p *Plane) Stats() Stats {
+	backlog := 0
+	for _, r := range p.devRings {
+		backlog += r.Len()
+	}
+	return Stats{
+		Ingressed: p.ingressed.Load(),
+		Processed: p.processed.Load(),
+		Delivered: p.delivered.Load(),
+		Errors:    p.errors.Load(),
+		Backlog:   backlog,
+	}
+}
+
+// Tenants returns the configured tenant count.
+func (p *Plane) Tenants() int { return p.cfg.Tenants }
+
+// Mode returns the configured notification mode.
+func (p *Plane) Mode() Mode { return p.cfg.Mode }

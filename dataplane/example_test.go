@@ -1,0 +1,25 @@
+package dataplane_test
+
+import (
+	"fmt"
+
+	"hyperplane/dataplane"
+)
+
+// A complete software data plane: ingress on the device side, transport
+// processing in QWAIT-notified workers, delivery to the tenant side.
+func Example() {
+	p, _ := dataplane.New(dataplane.Config{
+		Tenants: 2,
+		Handler: func(tenant int, pkt []byte) ([]byte, error) {
+			return append(pkt, '!'), nil
+		},
+	})
+	p.Start()
+	defer p.Stop()
+
+	p.Ingress(1, []byte("hi"))
+	out, ok := p.EgressWait(1)
+	fmt.Println(string(out), ok)
+	// Output: hi! true
+}

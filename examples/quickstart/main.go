@@ -1,0 +1,71 @@
+// Quickstart: the HyperPlane notification runtime in ~50 lines.
+//
+// Three tenants produce messages into their own queues; one data plane
+// goroutine blocks in Wait (the QWAIT instruction) and services whichever
+// queue has work — no spin-polling over empty queues.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"hyperplane"
+)
+
+func main() {
+	n, err := hyperplane.NewNotifier(hyperplane.NotifierConfig{
+		MaxQueues: 16,
+		Policy:    hyperplane.RoundRobin,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mux := hyperplane.NewMux[string](n)
+	tenants := []string{"alice", "bob", "carol"}
+	queues := make(map[hyperplane.QID]string)
+	var wg sync.WaitGroup
+
+	for _, tenant := range tenants {
+		q, err := mux.Add(64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		queues[q.QID()] = tenant
+
+		// Producer: bursty tenant traffic.
+		wg.Add(1)
+		go func(tenant string, q *hyperplane.Queue[string]) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				q.Push(fmt.Sprintf("%s's message #%d", tenant, i))
+				time.Sleep(time.Duration(10+len(tenant)) * time.Millisecond)
+			}
+		}(tenant, q)
+	}
+
+	// Data plane core: the QWAIT loop. Serve handles Wait / Verify /
+	// Reconsider for us and invokes the handler per item.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		total := 0
+		mux.Serve(func(qid hyperplane.QID, msg string) bool {
+			fmt.Printf("[queue %d / %s] %s\n", qid, queues[qid], msg)
+			total++
+			return total < len(tenants)*5
+		})
+	}()
+
+	wg.Wait()
+	<-done
+	n.Close()
+
+	st := n.Stats()
+	fmt.Printf("\nnotifier stats: %d notifies, %d activations, %d waits (%d blocked), %d spurious\n",
+		st.Notifies, st.Activations, st.Waits, st.Blocked, st.Spurious)
+}

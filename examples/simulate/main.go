@@ -1,0 +1,62 @@
+// Simulate: drive the paper's evaluation platform through the public API.
+//
+// Runs a small head-to-head between the spinning data plane and HyperPlane
+// at growing queue counts (the essence of Figs. 8 and 9), then prints one
+// regenerated paper figure.
+//
+// Run with: go run ./examples/simulate
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hyperplane"
+)
+
+func main() {
+	fmt.Println("Peak throughput, single-queue (SQ) traffic, single core:")
+	fmt.Printf("%8s %14s %14s %9s\n", "queues", "spinning M/s", "hyperplane M/s", "speedup")
+	for _, queues := range []int{8, 64, 256, 512} {
+		var thr [2]float64
+		for i, plane := range []hyperplane.Plane{hyperplane.PlaneSpinning, hyperplane.PlaneHyperPlane} {
+			r, err := hyperplane.Simulate(hyperplane.SimConfig{
+				Plane:    plane,
+				Shape:    hyperplane.SingleQueue,
+				Queues:   queues,
+				Saturate: true,
+				Duration: 5 * time.Millisecond,
+				Seed:     7,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			thr[i] = r.ThroughputMTasks
+		}
+		fmt.Printf("%8d %14.3f %14.3f %8.1fx\n", queues, thr[0], thr[1], thr[1]/thr[0])
+	}
+
+	fmt.Println("\nZero-load latency, 256 queues, fully balanced traffic:")
+	for _, plane := range []hyperplane.Plane{hyperplane.PlaneSpinning, hyperplane.PlaneHyperPlane} {
+		r, err := hyperplane.Simulate(hyperplane.SimConfig{
+			Plane:    plane,
+			Shape:    hyperplane.FullyBalanced,
+			Queues:   256,
+			Load:     0.01,
+			Duration: 60 * time.Millisecond,
+			Seed:     7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s avg %8v   p99 %8v\n", plane, r.AvgLatency, r.P99Latency)
+	}
+
+	fmt.Println("\nRegenerating paper Table I:")
+	figs, err := hyperplane.ReproduceFigure("table1", true, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(figs[0].Text)
+}

@@ -1,0 +1,153 @@
+// Storage plane: a storage-virtualization data plane combining the
+// notification runtime with the paper's two storage kernels — Cauchy
+// Reed-Solomon erasure coding and RAID-6 P+Q protection — plus AES-CBC-256
+// encryption at rest.
+//
+// Write requests from tenants arrive on per-tenant queues. A strict-
+// priority policy gives the metadata queue (QID 0) precedence over bulk
+// data queues. Each write is encrypted, split into 4+2 erasure-coded
+// shards, and its stripe parities verified; a simulated device failure then
+// exercises reconstruction.
+//
+// Run with: go run ./examples/storage-plane
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"hyperplane"
+	"hyperplane/internal/cryptofwd"
+	"hyperplane/internal/erasure"
+	"hyperplane/internal/raidp"
+)
+
+type writeReq struct {
+	tenant string
+	key    string
+	data   []byte
+	meta   bool
+}
+
+func main() {
+	n, err := hyperplane.NewNotifier(hyperplane.NotifierConfig{
+		MaxQueues: 8,
+		Policy:    hyperplane.StrictPriority, // QID 0 = metadata first
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mux := hyperplane.NewMux[writeReq](n)
+
+	metaQ, err := mux.Add(64) // registers first -> QID 0, highest priority
+	if err != nil {
+		log.Fatal(err)
+	}
+	bulkQ, err := mux.Add(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fwd, err := cryptofwd.NewForwarder([]byte("storage-plane master secret"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	code, err := erasure.NewCode(4, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raid, err := raidp.New(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Enqueue bulk writes first, then metadata: strict priority must still
+	// drain metadata first.
+	for i := 0; i < 6; i++ {
+		bulkQ.Push(writeReq{
+			tenant: "tenant-b",
+			key:    fmt.Sprintf("obj/%04d", i),
+			data:   bytes.Repeat([]byte{byte(i + 1)}, 1024+i*257),
+		})
+	}
+	for i := 0; i < 3; i++ {
+		metaQ.Push(writeReq{
+			tenant: "tenant-a",
+			key:    fmt.Sprintf("meta/%d", i),
+			data:   []byte(fmt.Sprintf(`{"inode":%d,"size":%d}`, i, i*4096)),
+			meta:   true,
+		})
+	}
+
+	var order []string
+	stored := 0
+	mux.Serve(func(qid hyperplane.QID, req writeReq) bool {
+		// 1. Encrypt at rest (per-tenant flow key).
+		flow := uint64(len(req.tenant))
+		sealed, err := fwd.Seal(flow, req.data)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// 2. Erasure-code into 4 data + 2 parity shards.
+		shards := code.Split(sealed)
+		if err := code.Encode(shards); err != nil {
+			log.Fatal(err)
+		}
+
+		// 3. RAID-6 stripe parity across the 4 data shards.
+		p := make([]byte, len(shards[0]))
+		q := make([]byte, len(shards[0]))
+		if err := raid.ComputePQ(shards[:4], p, q); err != nil {
+			log.Fatal(err)
+		}
+
+		// 4. Simulate losing two devices and recover both ways.
+		lost := shards[1]
+		shards[1] = nil
+		shards[4] = nil
+		if err := code.Reconstruct(shards); err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(shards[1], lost) {
+			log.Fatal("erasure reconstruction mismatch")
+		}
+		data := [][]byte{shards[0], shards[1], shards[2], shards[3]}
+		saved := data[2]
+		data[2] = nil
+		if err := raid.RecoverOneData(data, p, 2); err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(data[2], saved) {
+			log.Fatal("RAID reconstruction mismatch")
+		}
+
+		// 5. Decrypt and verify end-to-end.
+		joined, err := code.Join(shards, len(sealed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		plain, err := fwd.Open(flow, joined)
+		if err != nil || !bytes.Equal(plain, req.data) {
+			log.Fatal("end-to-end data mismatch")
+		}
+
+		order = append(order, req.key)
+		stored++
+		fmt.Printf("stored %-10s (%4d bytes -> %d shards of %d bytes, P+Q verified)\n",
+			req.key, len(req.data), len(shards), len(shards[0]))
+		return stored < 9
+	})
+	n.Close()
+
+	// Strict priority: the three metadata writes must precede all bulk
+	// writes even though they were enqueued last.
+	fmt.Println("\nservice order:", order)
+	for i := 0; i < 3; i++ {
+		if order[i][:5] != "meta/" {
+			log.Fatalf("strict priority violated: %v", order)
+		}
+	}
+	fmt.Println("strict-priority metadata-first ordering verified")
+}

@@ -1,0 +1,3 @@
+module hyperplane
+
+go 1.22

@@ -1,0 +1,293 @@
+package hyperplane_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+	"testing"
+	"time"
+
+	"hyperplane"
+	"hyperplane/internal/cryptofwd"
+	"hyperplane/internal/dispatch"
+	"hyperplane/internal/erasure"
+	"hyperplane/internal/netproto"
+	"hyperplane/internal/raidp"
+	"hyperplane/internal/steering"
+)
+
+// Integration tests: the real runtime driving the real workload kernels
+// end-to-end, the way a downstream SDP would compose them.
+
+// TestNFVPipelineEndToEnd runs packets from two tenants through the
+// Notifier-based data plane: GRE encapsulation, decapsulation, and
+// 5-tuple steering, verifying payload integrity and session affinity.
+func TestNFVPipelineEndToEnd(t *testing.T) {
+	n, err := hyperplane.NewNotifier(hyperplane.NotifierConfig{MaxQueues: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := hyperplane.NewMux[[]byte](n)
+
+	var tunnels []*netproto.Tunnel
+	var queues []*hyperplane.Queue[[]byte]
+	for i := 0; i < 2; i++ {
+		q, err := mux.Add(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queues = append(queues, q)
+		var src, dst [16]byte
+		src[15], dst[15] = byte(i+1), 0xFF
+		tunnels = append(tunnels, netproto.NewTunnel(src, dst))
+	}
+	tunnelOf := map[hyperplane.QID]*netproto.Tunnel{
+		queues[0].QID(): tunnels[0],
+		queues[1].QID(): tunnels[1],
+	}
+
+	steerer, err := steering.NewSteerer([]string{"w0", "w1"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const perTenant = 40
+	workerOfFlow := map[uint16]string{}
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		seen := 0
+		mux.Serve(func(qid hyperplane.QID, pkt []byte) bool {
+			wire, err := tunnelOf[qid].Encap(pkt)
+			if err != nil {
+				t.Errorf("encap: %v", err)
+				return false
+			}
+			inner, err := netproto.Decap(wire)
+			if err != nil {
+				t.Errorf("decap: %v", err)
+				return false
+			}
+			if !bytes.Equal(inner, pkt) {
+				t.Error("tunnel round-trip mismatch")
+				return false
+			}
+			ft, err := steering.ParseFiveTuple(inner)
+			if err != nil {
+				t.Errorf("parse: %v", err)
+				return false
+			}
+			w, _ := steerer.Steer(ft)
+			mu.Lock()
+			name := steerer.Workers()[w]
+			if prev, ok := workerOfFlow[ft.SrcPort]; ok && prev != name {
+				t.Errorf("affinity violated for flow %d", ft.SrcPort)
+			}
+			workerOfFlow[ft.SrcPort] = name
+			mu.Unlock()
+			seen++
+			return seen < 2*perTenant
+		})
+	}()
+
+	var wg sync.WaitGroup
+	for qi, q := range queues {
+		wg.Add(1)
+		go func(qi int, q *hyperplane.Queue[[]byte]) {
+			defer wg.Done()
+			for i := 0; i < perTenant; i++ {
+				flow := uint16(1000 + qi*4 + i%4)
+				pkt := netproto.BuildUDPPacket(
+					[4]byte{10, 0, byte(qi), 1},
+					[4]byte{10, 9, 9, 9},
+					flow, 4789,
+					binary.BigEndian.AppendUint32(nil, uint32(i)),
+				)
+				for !q.Push(pkt) {
+					time.Sleep(time.Microsecond)
+				}
+			}
+		}(qi, q)
+	}
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pipeline stalled")
+	}
+	n.Close()
+	if len(workerOfFlow) != 8 {
+		t.Errorf("flows seen = %d, want 8", len(workerOfFlow))
+	}
+}
+
+// TestStorageWritePathEndToEnd chains crypto + erasure + RAID through the
+// runtime the way examples/storage-plane does, with failures injected.
+func TestStorageWritePathEndToEnd(t *testing.T) {
+	n, err := hyperplane.NewNotifier(hyperplane.NotifierConfig{MaxQueues: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type req struct{ data []byte }
+	mux := hyperplane.NewMux[req](n)
+	q, err := mux.Add(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fwd, _ := cryptofwd.NewForwarder([]byte("integration secret"))
+	code, _ := erasure.NewCode(4, 2)
+	raid, _ := raidp.New(4)
+
+	const writes = 12
+	for i := 0; i < writes; i++ {
+		q.Push(req{data: bytes.Repeat([]byte{byte(i + 1)}, 512+i*33)})
+	}
+
+	processed := 0
+	mux.Serve(func(_ hyperplane.QID, r req) bool {
+		sealed, err := fwd.Seal(1, r.data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := code.Split(sealed)
+		if err := code.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		p := make([]byte, len(shards[0]))
+		pq := make([]byte, len(shards[0]))
+		if err := raid.ComputePQ(shards[:4], p, pq); err != nil {
+			t.Fatal(err)
+		}
+		// Double failure across both protection layers.
+		shards[0], shards[5] = nil, nil
+		if err := code.Reconstruct(shards); err != nil {
+			t.Fatal(err)
+		}
+		ok, err := raid.VerifyStripe(shards[:4], p, pq)
+		if err != nil || !ok {
+			t.Fatal("stripe verification failed after reconstruction")
+		}
+		joined, err := code.Join(shards, len(sealed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := fwd.Open(1, joined)
+		if err != nil || !bytes.Equal(plain, r.data) {
+			t.Fatal("end-to-end data mismatch")
+		}
+		processed++
+		return processed < writes
+	})
+	n.Close()
+	if processed != writes {
+		t.Errorf("processed %d of %d", processed, writes)
+	}
+}
+
+// TestDispatchingThroughRuntime classifies RPC frames arriving on a
+// priority queue pair: metadata (strict priority QID 0) before bulk.
+func TestDispatchingThroughRuntime(t *testing.T) {
+	n, err := hyperplane.NewNotifier(hyperplane.NotifierConfig{
+		MaxQueues: 4,
+		Policy:    hyperplane.StrictPriority,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := hyperplane.NewMux[[]byte](n)
+	hiQ, _ := mux.Add(32)
+	loQ, _ := mux.Add(32)
+
+	d := dispatch.NewDispatcher()
+	d.AddBackend("cache", "c0")
+	d.AddBackend("search", "s0")
+	d.AddBackend("ml", "m0")
+
+	frame := func(typ dispatch.RequestType, id uint64) []byte {
+		r := dispatch.Request{Type: typ, Tenant: 7, RequestID: id, Payload: []byte("p")}
+		return r.Marshal(nil)
+	}
+	// Enqueue low-priority first; strict priority must still serve hiQ
+	// first once serving begins.
+	for i := 0; i < 5; i++ {
+		loQ.Push(frame(dispatch.TypeQuery, uint64(100+i)))
+	}
+	for i := 0; i < 3; i++ {
+		hiQ.Push(frame(dispatch.TypeGet, uint64(i)))
+	}
+
+	var order []hyperplane.QID
+	total := 0
+	mux.Serve(func(qid hyperplane.QID, f []byte) bool {
+		disp, err := d.Prepare(f)
+		if err != nil {
+			t.Fatalf("prepare: %v", err)
+		}
+		d.Complete(disp.Tier, disp.Backend)
+		order = append(order, qid)
+		total++
+		return total < 8
+	})
+	n.Close()
+
+	for i := 0; i < 3; i++ {
+		if order[i] != hiQ.QID() {
+			t.Fatalf("strict priority violated: %v", order)
+		}
+	}
+	counts := d.TypeCounts()
+	if counts[dispatch.TypeGet] != 3 || counts[dispatch.TypeQuery] != 5 {
+		t.Errorf("type counts = %v", counts)
+	}
+}
+
+// TestSimulationMatchesRuntimeSemantics cross-checks that a simulated
+// HyperPlane run and the real runtime agree on protocol-level accounting:
+// every arrival is eventually completed exactly once.
+func TestSimulationMatchesRuntimeSemantics(t *testing.T) {
+	r, err := hyperplane.Simulate(hyperplane.SimConfig{
+		Plane:    hyperplane.PlaneHyperPlane,
+		Queues:   32,
+		Shape:    hyperplane.PropConcentrated,
+		Load:     0.4,
+		Duration: 20 * time.Millisecond,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed == 0 {
+		t.Fatal("simulation completed nothing")
+	}
+	// Runtime side: same load pattern, counted exactly.
+	n, _ := hyperplane.NewNotifier(hyperplane.NotifierConfig{MaxQueues: 32})
+	mux := hyperplane.NewMux[int](n)
+	qs := make([]*hyperplane.Queue[int], 8)
+	for i := range qs {
+		qs[i], _ = mux.Add(64)
+	}
+	const items = 400
+	go func() {
+		for i := 0; i < items; i++ {
+			q := qs[i%len(qs)]
+			for !q.Push(i) {
+				time.Sleep(time.Microsecond)
+			}
+		}
+	}()
+	got := 0
+	mux.Serve(func(hyperplane.QID, int) bool {
+		got++
+		return got < items
+	})
+	n.Close()
+	if got != items {
+		t.Errorf("runtime consumed %d of %d", got, items)
+	}
+	st := n.Stats()
+	if st.Activations > st.Notifies {
+		t.Errorf("activations %d exceed notifies %d", st.Activations, st.Notifies)
+	}
+}

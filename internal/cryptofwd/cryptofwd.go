@@ -1,0 +1,146 @@
+// Package cryptofwd implements the paper's "crypto forwarding" workload:
+// network packets encrypted with AES-CBC-256 before being forwarded (the
+// AES-CBC cipher as used with IPsec, RFC 3602).
+//
+// A Forwarder holds per-flow keys derived from a master secret; Seal
+// produces IV || ciphertext with PKCS#7 padding, Open reverses it.
+package cryptofwd
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the forwarder.
+var (
+	ErrShortPacket = errors.New("cryptofwd: ciphertext shorter than IV + one block")
+	ErrBadPadding  = errors.New("cryptofwd: invalid PKCS#7 padding")
+	ErrNotAligned  = errors.New("cryptofwd: ciphertext not block-aligned")
+)
+
+// KeySize is the AES-256 key size in bytes.
+const KeySize = 32
+
+// Forwarder encrypts/decrypts packets for a set of flows. Each flow's key
+// is derived from the master secret via HMAC-SHA256(master, flowID), an
+// HKDF-expand-like derivation, and the resulting cipher.Block is cached.
+type Forwarder struct {
+	master []byte
+	flows  map[uint64]cipher.Block
+	// ivCounter provides deterministic unique IVs. Production systems would
+	// use a CSPRNG; the data plane evaluation needs reproducibility.
+	ivCounter uint64
+}
+
+// NewForwarder creates a forwarder with the given master secret.
+func NewForwarder(master []byte) (*Forwarder, error) {
+	if len(master) == 0 {
+		return nil, errors.New("cryptofwd: empty master secret")
+	}
+	return &Forwarder{
+		master: append([]byte(nil), master...),
+		flows:  make(map[uint64]cipher.Block),
+	}, nil
+}
+
+// flowKey derives the AES-256 key for a flow.
+func (f *Forwarder) flowKey(flow uint64) []byte {
+	mac := hmac.New(sha256.New, f.master)
+	var id [8]byte
+	binary.BigEndian.PutUint64(id[:], flow)
+	mac.Write(id[:])
+	return mac.Sum(nil) // 32 bytes: exactly an AES-256 key
+}
+
+// block returns (creating if needed) the cached cipher for a flow.
+func (f *Forwarder) block(flow uint64) (cipher.Block, error) {
+	if b, ok := f.flows[flow]; ok {
+		return b, nil
+	}
+	b, err := aes.NewCipher(f.flowKey(flow))
+	if err != nil {
+		return nil, fmt.Errorf("cryptofwd: %w", err)
+	}
+	f.flows[flow] = b
+	return b, nil
+}
+
+// pad appends PKCS#7 padding up to the AES block size.
+func pad(data []byte) []byte {
+	n := aes.BlockSize - len(data)%aes.BlockSize
+	out := make([]byte, len(data)+n)
+	copy(out, data)
+	for i := len(data); i < len(out); i++ {
+		out[i] = byte(n)
+	}
+	return out
+}
+
+// unpad strips and validates PKCS#7 padding.
+func unpad(data []byte) ([]byte, error) {
+	if len(data) == 0 || len(data)%aes.BlockSize != 0 {
+		return nil, ErrBadPadding
+	}
+	n := int(data[len(data)-1])
+	if n == 0 || n > aes.BlockSize || n > len(data) {
+		return nil, ErrBadPadding
+	}
+	for _, b := range data[len(data)-n:] {
+		if b != byte(n) {
+			return nil, ErrBadPadding
+		}
+	}
+	return data[:len(data)-n], nil
+}
+
+// nextIV produces a unique deterministic IV.
+func (f *Forwarder) nextIV() [aes.BlockSize]byte {
+	f.ivCounter++
+	var iv [aes.BlockSize]byte
+	binary.BigEndian.PutUint64(iv[:8], f.ivCounter)
+	binary.BigEndian.PutUint64(iv[8:], f.ivCounter*0x9e3779b97f4a7c15)
+	return iv
+}
+
+// Seal encrypts plaintext for the given flow, returning IV || ciphertext.
+func (f *Forwarder) Seal(flow uint64, plaintext []byte) ([]byte, error) {
+	b, err := f.block(flow)
+	if err != nil {
+		return nil, err
+	}
+	iv := f.nextIV()
+	padded := pad(plaintext)
+	out := make([]byte, aes.BlockSize+len(padded))
+	copy(out[:aes.BlockSize], iv[:])
+	cipher.NewCBCEncrypter(b, iv[:]).CryptBlocks(out[aes.BlockSize:], padded)
+	return out, nil
+}
+
+// Open decrypts a packet produced by Seal for the given flow.
+func (f *Forwarder) Open(flow uint64, sealed []byte) ([]byte, error) {
+	if len(sealed) < 2*aes.BlockSize {
+		return nil, ErrShortPacket
+	}
+	ct := sealed[aes.BlockSize:]
+	if len(ct)%aes.BlockSize != 0 {
+		return nil, ErrNotAligned
+	}
+	b, err := f.block(flow)
+	if err != nil {
+		return nil, err
+	}
+	pt := make([]byte, len(ct))
+	cipher.NewCBCDecrypter(b, sealed[:aes.BlockSize]).CryptBlocks(pt, ct)
+	return unpad(pt)
+}
+
+// FlowCount returns the number of flows with cached keys.
+func (f *Forwarder) FlowCount() int { return len(f.flows) }
+
+// EvictFlow discards a flow's cached key material (tenant disconnect).
+func (f *Forwarder) EvictFlow(flow uint64) { delete(f.flows, flow) }

@@ -1,0 +1,181 @@
+package cryptofwd
+
+import (
+	"bytes"
+	"crypto/aes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func newFwd(t *testing.T) *Forwarder {
+	t.Helper()
+	f, err := NewForwarder([]byte("master secret for tests"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	f := newFwd(t)
+	for _, n := range []int{0, 1, 15, 16, 17, 64, 1500} {
+		pt := make([]byte, n)
+		for i := range pt {
+			pt[i] = byte(i * 13)
+		}
+		sealed, err := f.Seal(42, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.Open(42, sealed)
+		if err != nil {
+			t.Fatalf("open n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Fatalf("round trip n=%d mismatch", n)
+		}
+	}
+}
+
+func TestCiphertextDiffersFromPlaintext(t *testing.T) {
+	f := newFwd(t)
+	pt := bytes.Repeat([]byte("A"), 64)
+	sealed, _ := f.Seal(1, pt)
+	if bytes.Contains(sealed, pt[:aes.BlockSize]) {
+		t.Error("ciphertext contains plaintext block")
+	}
+}
+
+func TestIVUniquePerPacket(t *testing.T) {
+	f := newFwd(t)
+	a, _ := f.Seal(1, []byte("same message"))
+	b, _ := f.Seal(1, []byte("same message"))
+	if bytes.Equal(a[:aes.BlockSize], b[:aes.BlockSize]) {
+		t.Error("IV reused")
+	}
+	if bytes.Equal(a, b) {
+		t.Error("identical ciphertexts for identical plaintexts")
+	}
+}
+
+func TestFlowIsolation(t *testing.T) {
+	f := newFwd(t)
+	pt := []byte("flow-isolated payload")
+	sealed, _ := f.Seal(1, pt)
+	// Opening with a different flow's key must fail (bad padding) or
+	// produce different bytes.
+	got, err := f.Open(2, sealed)
+	if err == nil && bytes.Equal(got, pt) {
+		t.Error("cross-flow decryption succeeded")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	f := newFwd(t)
+	if _, err := f.Open(1, make([]byte, 8)); !errors.Is(err, ErrShortPacket) {
+		t.Errorf("short: %v", err)
+	}
+	if _, err := f.Open(1, make([]byte, aes.BlockSize+5)); !errors.Is(err, ErrShortPacket) {
+		t.Errorf("below two blocks: %v", err)
+	}
+	sealed, _ := f.Seal(1, []byte("valid message padded"))
+	if _, err := f.Open(1, append(sealed, 0x00)); !errors.Is(err, ErrNotAligned) {
+		t.Errorf("unaligned: %v", err)
+	}
+	// Corrupt the final block: padding check must fail.
+	bad := append([]byte(nil), sealed...)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := f.Open(1, bad); !errors.Is(err, ErrBadPadding) {
+		t.Errorf("corrupt tail: %v", err)
+	}
+}
+
+func TestKeyDerivationDeterministic(t *testing.T) {
+	f1, _ := NewForwarder([]byte("k"))
+	f2, _ := NewForwarder([]byte("k"))
+	if !bytes.Equal(f1.flowKey(7), f2.flowKey(7)) {
+		t.Error("same master/flow derived different keys")
+	}
+	if bytes.Equal(f1.flowKey(7), f1.flowKey(8)) {
+		t.Error("different flows derived same key")
+	}
+	f3, _ := NewForwarder([]byte("other"))
+	if bytes.Equal(f1.flowKey(7), f3.flowKey(7)) {
+		t.Error("different masters derived same key")
+	}
+	if len(f1.flowKey(0)) != KeySize {
+		t.Error("derived key is not AES-256 sized")
+	}
+}
+
+func TestEmptyMasterRejected(t *testing.T) {
+	if _, err := NewForwarder(nil); err == nil {
+		t.Error("empty master accepted")
+	}
+}
+
+func TestFlowCacheManagement(t *testing.T) {
+	f := newFwd(t)
+	f.Seal(1, []byte("x"))
+	f.Seal(2, []byte("y"))
+	if f.FlowCount() != 2 {
+		t.Errorf("flow count = %d", f.FlowCount())
+	}
+	f.EvictFlow(1)
+	if f.FlowCount() != 1 {
+		t.Errorf("after evict = %d", f.FlowCount())
+	}
+	// Evicted flow still decrypts (key re-derived identically).
+	sealed, _ := f.Seal(1, []byte("again"))
+	if got, err := f.Open(1, sealed); err != nil || string(got) != "again" {
+		t.Error("re-derived flow key mismatch")
+	}
+}
+
+func TestPadUnpad(t *testing.T) {
+	for n := 0; n < 40; n++ {
+		data := bytes.Repeat([]byte{0xCC}, n)
+		padded := pad(data)
+		if len(padded)%aes.BlockSize != 0 {
+			t.Fatalf("pad(%d) not aligned", n)
+		}
+		if len(padded) == len(data) {
+			t.Fatalf("pad(%d) added no padding", n)
+		}
+		got, err := unpad(padded)
+		if err != nil || !bytes.Equal(got, data) {
+			t.Fatalf("unpad(pad(%d)) failed: %v", n, err)
+		}
+	}
+}
+
+func TestUnpadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},
+		bytes.Repeat([]byte{0}, 16),            // padding byte 0
+		bytes.Repeat([]byte{17}, 16),           // padding byte > block
+		append(bytes.Repeat([]byte{1}, 15), 3), // inconsistent padding
+	}
+	for i, c := range cases {
+		if _, err := unpad(c); err == nil {
+			t.Errorf("case %d: garbage unpaded", i)
+		}
+	}
+}
+
+// Property: Seal/Open round-trips arbitrary payloads on arbitrary flows.
+func TestSealOpenProperty(t *testing.T) {
+	f, _ := NewForwarder([]byte("prop master"))
+	fn := func(flow uint64, pt []byte) bool {
+		sealed, err := f.Seal(flow, pt)
+		if err != nil {
+			return false
+		}
+		got, err := f.Open(flow, sealed)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

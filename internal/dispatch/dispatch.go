@@ -1,0 +1,235 @@
+// Package dispatch implements the paper's "request dispatching" workload:
+// an online data-intensive (OLDI) front end that identifies request types
+// and prepares remote procedure calls to be dispatched to servers at
+// different tiers.
+//
+// Requests arrive in a compact binary framing; the dispatcher validates the
+// frame, classifies the request type, picks a backend in the type's tier
+// (power-of-two-choices on outstanding load), and emits a ready-to-send
+// dispatch descriptor.
+package dispatch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Request frame layout (big endian):
+//
+//	offset size field
+//	0      2    magic 0x5250 ("RP")
+//	2      1    version (1)
+//	3      1    request type
+//	4      4    tenant id
+//	8      8    request id
+//	16     4    payload length
+//	20     4    CRC32 (IEEE) over bytes [0,20) ++ payload
+//	24     n    payload
+const (
+	HeaderLen = 24
+	Magic     = 0x5250
+	Version   = 1
+)
+
+// RequestType classifies requests into the microservice tiers the paper's
+// dispatcher motivates.
+type RequestType uint8
+
+// Request types.
+const (
+	TypeGet RequestType = iota
+	TypeSet
+	TypeQuery
+	TypeCompute
+	typeCount
+)
+
+func (t RequestType) String() string {
+	switch t {
+	case TypeGet:
+		return "get"
+	case TypeSet:
+		return "set"
+	case TypeQuery:
+		return "query"
+	case TypeCompute:
+		return "compute"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Errors returned by the parser and dispatcher.
+var (
+	ErrTruncated  = errors.New("dispatch: truncated request")
+	ErrBadMagic   = errors.New("dispatch: bad magic")
+	ErrBadVersion = errors.New("dispatch: unsupported version")
+	ErrBadType    = errors.New("dispatch: unknown request type")
+	ErrBadCRC     = errors.New("dispatch: CRC mismatch")
+	ErrNoBackends = errors.New("dispatch: tier has no backends")
+)
+
+// Request is a parsed request frame.
+type Request struct {
+	Type      RequestType
+	Tenant    uint32
+	RequestID uint64
+	Payload   []byte
+}
+
+// Marshal appends the wire form of the request to b.
+func (r *Request) Marshal(b []byte) []byte {
+	start := len(b)
+	b = append(b, make([]byte, HeaderLen)...)
+	p := b[start:]
+	binary.BigEndian.PutUint16(p[0:], Magic)
+	p[2] = Version
+	p[3] = byte(r.Type)
+	binary.BigEndian.PutUint32(p[4:], r.Tenant)
+	binary.BigEndian.PutUint64(p[8:], r.RequestID)
+	binary.BigEndian.PutUint32(p[16:], uint32(len(r.Payload)))
+	b = append(b, r.Payload...)
+	p = b[start:]
+	crc := crc32.NewIEEE()
+	crc.Write(p[:20])
+	crc.Write(r.Payload)
+	binary.BigEndian.PutUint32(p[20:24], crc.Sum32())
+	return b
+}
+
+// Parse decodes and validates a request frame.
+func Parse(frame []byte) (Request, error) {
+	var r Request
+	if len(frame) < HeaderLen {
+		return r, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(frame[0:]) != Magic {
+		return r, ErrBadMagic
+	}
+	if frame[2] != Version {
+		return r, ErrBadVersion
+	}
+	r.Type = RequestType(frame[3])
+	if r.Type >= typeCount {
+		return r, ErrBadType
+	}
+	r.Tenant = binary.BigEndian.Uint32(frame[4:])
+	r.RequestID = binary.BigEndian.Uint64(frame[8:])
+	n := binary.BigEndian.Uint32(frame[16:])
+	if int(n) > len(frame)-HeaderLen {
+		return r, ErrTruncated
+	}
+	r.Payload = frame[HeaderLen : HeaderLen+int(n)]
+	crc := crc32.NewIEEE()
+	crc.Write(frame[:20])
+	crc.Write(r.Payload)
+	if crc.Sum32() != binary.BigEndian.Uint32(frame[20:24]) {
+		return r, ErrBadCRC
+	}
+	return r, nil
+}
+
+// Backend is one server in a tier.
+type Backend struct {
+	Name        string
+	Outstanding int // RPCs dispatched but not yet completed
+}
+
+// Dispatch is a prepared RPC: which backend gets which serialized request.
+type Dispatch struct {
+	Backend string
+	Tier    string
+	Wire    []byte
+}
+
+// Dispatcher routes parsed requests to tier backends.
+type Dispatcher struct {
+	tiers  map[RequestType]string
+	pools  map[string][]*Backend
+	rng    uint64
+	counts map[RequestType]int64
+}
+
+// NewDispatcher builds a dispatcher with the canonical OLDI tier layout:
+// get/set -> "cache" tier, query -> "search" tier, compute -> "ml" tier.
+func NewDispatcher() *Dispatcher {
+	return &Dispatcher{
+		tiers: map[RequestType]string{
+			TypeGet:     "cache",
+			TypeSet:     "cache",
+			TypeQuery:   "search",
+			TypeCompute: "ml",
+		},
+		pools:  make(map[string][]*Backend),
+		rng:    0x853c49e6748fea9b,
+		counts: make(map[RequestType]int64),
+	}
+}
+
+// AddBackend registers a server in a tier.
+func (d *Dispatcher) AddBackend(tier, name string) {
+	d.pools[tier] = append(d.pools[tier], &Backend{Name: name})
+}
+
+func (d *Dispatcher) rand() uint64 {
+	x := d.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	d.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// pick chooses a backend via power-of-two-choices on outstanding load.
+func (d *Dispatcher) pick(pool []*Backend) *Backend {
+	if len(pool) == 1 {
+		return pool[0]
+	}
+	a := pool[d.rand()%uint64(len(pool))]
+	b := pool[d.rand()%uint64(len(pool))]
+	if b.Outstanding < a.Outstanding {
+		return b
+	}
+	return a
+}
+
+// Prepare classifies a raw frame and produces the dispatch descriptor,
+// incrementing the chosen backend's outstanding count.
+func (d *Dispatcher) Prepare(frame []byte) (Dispatch, error) {
+	r, err := Parse(frame)
+	if err != nil {
+		return Dispatch{}, err
+	}
+	tier := d.tiers[r.Type]
+	pool := d.pools[tier]
+	if len(pool) == 0 {
+		return Dispatch{}, fmt.Errorf("%w: %s", ErrNoBackends, tier)
+	}
+	be := d.pick(pool)
+	be.Outstanding++
+	d.counts[r.Type]++
+	return Dispatch{Backend: be.Name, Tier: tier, Wire: frame}, nil
+}
+
+// Complete marks an RPC finished on the named backend.
+func (d *Dispatcher) Complete(tier, backend string) {
+	for _, be := range d.pools[tier] {
+		if be.Name == backend && be.Outstanding > 0 {
+			be.Outstanding--
+			return
+		}
+	}
+}
+
+// TypeCounts returns how many requests of each type were dispatched.
+func (d *Dispatcher) TypeCounts() map[RequestType]int64 {
+	out := make(map[RequestType]int64, len(d.counts))
+	for k, v := range d.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// TierOf returns the tier a request type routes to.
+func (d *Dispatcher) TierOf(t RequestType) string { return d.tiers[t] }

@@ -1,0 +1,212 @@
+package dispatch
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func frame(t RequestType, tenant uint32, id uint64, payload []byte) []byte {
+	r := Request{Type: t, Tenant: tenant, RequestID: id, Payload: payload}
+	return r.Marshal(nil)
+}
+
+func newDispatcher() *Dispatcher {
+	d := NewDispatcher()
+	d.AddBackend("cache", "cache-0")
+	d.AddBackend("cache", "cache-1")
+	d.AddBackend("search", "search-0")
+	d.AddBackend("ml", "ml-0")
+	return d
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	in := Request{Type: TypeQuery, Tenant: 77, RequestID: 0xDEADBEEF, Payload: []byte("select *")}
+	wire := in.Marshal(nil)
+	got, err := Parse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != in.Type || got.Tenant != in.Tenant || got.RequestID != in.RequestID {
+		t.Errorf("got %+v", got)
+	}
+	if !bytes.Equal(got.Payload, in.Payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	valid := frame(TypeGet, 1, 2, []byte("k"))
+
+	short := valid[:10]
+	if _, err := Parse(short); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short: %v", err)
+	}
+
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] = 0xFF
+	if _, err := Parse(badMagic); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("magic: %v", err)
+	}
+
+	badVer := append([]byte(nil), valid...)
+	badVer[2] = 9
+	if _, err := Parse(badVer); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("version: %v", err)
+	}
+
+	badType := append([]byte(nil), valid...)
+	badType[3] = 200
+	if _, err := Parse(badType); !errors.Is(err, ErrBadType) {
+		t.Errorf("type: %v", err)
+	}
+
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)-1] ^= 0x01 // payload bit flip
+	if _, err := Parse(corrupt); !errors.Is(err, ErrBadCRC) {
+		t.Errorf("crc: %v", err)
+	}
+
+	lenLie := append([]byte(nil), valid...)
+	lenLie[19] = 200 // claims payload longer than frame
+	if _, err := Parse(lenLie); !errors.Is(err, ErrTruncated) {
+		t.Errorf("length lie: %v", err)
+	}
+}
+
+func TestTierRouting(t *testing.T) {
+	d := newDispatcher()
+	cases := map[RequestType]string{
+		TypeGet:     "cache",
+		TypeSet:     "cache",
+		TypeQuery:   "search",
+		TypeCompute: "ml",
+	}
+	for typ, tier := range cases {
+		disp, err := d.Prepare(frame(typ, 1, 1, nil))
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		if disp.Tier != tier {
+			t.Errorf("%v routed to %s, want %s", typ, disp.Tier, tier)
+		}
+		if d.TierOf(typ) != tier {
+			t.Errorf("TierOf(%v) = %s", typ, d.TierOf(typ))
+		}
+	}
+}
+
+func TestEmptyTier(t *testing.T) {
+	d := NewDispatcher() // no backends
+	if _, err := d.Prepare(frame(TypeGet, 1, 1, nil)); !errors.Is(err, ErrNoBackends) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLoadBalancing(t *testing.T) {
+	d := NewDispatcher()
+	for i := 0; i < 4; i++ {
+		d.AddBackend("cache", string(rune('a'+i)))
+	}
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		disp, err := d.Prepare(frame(TypeGet, 1, uint64(i), nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[disp.Backend]++
+		d.Complete("cache", disp.Backend)
+	}
+	fair := n / 4
+	for be, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("backend %s got %d (fair %d)", be, c, fair)
+		}
+	}
+}
+
+func TestPowerOfTwoChoicesAvoidsLoadedBackend(t *testing.T) {
+	d := NewDispatcher()
+	d.AddBackend("cache", "busy")
+	d.AddBackend("cache", "idle")
+	// Saturate "busy" artificially.
+	d.pools["cache"][0].Outstanding = 1000
+	busy := 0
+	for i := 0; i < 200; i++ {
+		disp, _ := d.Prepare(frame(TypeGet, 1, uint64(i), nil))
+		if disp.Backend == "busy" {
+			busy++
+		}
+		// Don't complete: keep imbalance visible.
+	}
+	// P2C picks the loaded backend only when both samples land on it
+	// (~25% of draws).
+	if busy > 100 {
+		t.Errorf("busy backend chosen %d/200 times", busy)
+	}
+}
+
+func TestOutstandingAccounting(t *testing.T) {
+	d := NewDispatcher()
+	d.AddBackend("ml", "ml-0")
+	disp, err := d.Prepare(frame(TypeCompute, 1, 1, []byte("model")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.pools["ml"][0].Outstanding != 1 {
+		t.Error("outstanding not incremented")
+	}
+	d.Complete(disp.Tier, disp.Backend)
+	if d.pools["ml"][0].Outstanding != 0 {
+		t.Error("outstanding not decremented")
+	}
+	d.Complete(disp.Tier, disp.Backend) // no-op below zero
+	if d.pools["ml"][0].Outstanding != 0 {
+		t.Error("outstanding went negative")
+	}
+}
+
+func TestTypeCounts(t *testing.T) {
+	d := newDispatcher()
+	d.Prepare(frame(TypeGet, 1, 1, nil))
+	d.Prepare(frame(TypeGet, 1, 2, nil))
+	d.Prepare(frame(TypeQuery, 1, 3, nil))
+	counts := d.TypeCounts()
+	if counts[TypeGet] != 2 || counts[TypeQuery] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestRequestTypeString(t *testing.T) {
+	if TypeGet.String() != "get" || TypeCompute.String() != "compute" {
+		t.Error("type names")
+	}
+	if RequestType(42).String() != "type(42)" {
+		t.Error("unknown type name")
+	}
+}
+
+// Property: Marshal/Parse round-trips arbitrary requests, and any
+// single-byte corruption is rejected.
+func TestFrameProperty(t *testing.T) {
+	f := func(typRaw uint8, tenant uint32, id uint64, payload []byte, flipAt uint16, flipBit uint8) bool {
+		typ := RequestType(typRaw % uint8(typeCount))
+		wire := frame(typ, tenant, id, payload)
+		got, err := Parse(wire)
+		if err != nil || got.Type != typ || got.Tenant != tenant || got.RequestID != id ||
+			!bytes.Equal(got.Payload, payload) {
+			return false
+		}
+		// Corrupt one bit anywhere: must be rejected.
+		bad := append([]byte(nil), wire...)
+		pos := int(flipAt) % len(bad)
+		bad[pos] ^= 1 << (flipBit % 8)
+		_, err = Parse(bad)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,30 @@
+package dispatch
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse: the RPC frame parser must never panic, and any frame it
+// accepts must re-marshal to an equivalent frame.
+func FuzzParse(f *testing.F) {
+	r := Request{Type: TypeQuery, Tenant: 9, RequestID: 1234, Payload: []byte("select")}
+	f.Add(r.Marshal(nil))
+	f.Add([]byte{0x52, 0x50})
+	f.Add(bytes.Repeat([]byte{0}, HeaderLen))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := Parse(data)
+		if err != nil {
+			return
+		}
+		re := req.Marshal(nil)
+		req2, err := Parse(re)
+		if err != nil {
+			t.Fatalf("re-parse of accepted frame failed: %v", err)
+		}
+		if req2.Type != req.Type || req2.Tenant != req.Tenant ||
+			req2.RequestID != req.RequestID || !bytes.Equal(req2.Payload, req.Payload) {
+			t.Fatal("frame fields changed across round-trip")
+		}
+	})
+}

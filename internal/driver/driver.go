@@ -1,0 +1,143 @@
+// Package driver implements the control plane of Algorithm 1 in the
+// HyperPlane paper: the privileged kernel-driver code that owns the
+// reserved doorbell address range (QWAIT_init), allocates a doorbell per
+// queue, and executes QWAIT-ADD with the reallocate-and-retry loop on
+// cuckoo conflicts:
+//
+//	for all QIDs do
+//	    do
+//	        doorbell = allocate_address(doorbell_addr_range)
+//	    while (QWAIT-ADD(QID, doorbell) == FAIL)
+//	    doorbell_map[QID] = doorbell
+//	end
+//
+// With a banked monitoring set the driver also spreads allocations across
+// banks (paper §IV-A: "the driver must spread doorbell addresses across
+// banks").
+package driver
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperplane/internal/mem"
+	"hyperplane/internal/monitor"
+)
+
+// Monitor is the monitoring-set interface the driver programs; satisfied
+// by both *monitor.Set and *monitor.Banked.
+type Monitor interface {
+	Add(qid int, doorbell mem.Addr) error
+	Remove(doorbell mem.Addr) bool
+}
+
+// Driver errors.
+var (
+	ErrExhausted    = errors.New("driver: doorbell address range exhausted")
+	ErrDuplicateQID = errors.New("driver: QID already connected")
+	ErrUnknownQID   = errors.New("driver: QID not connected")
+)
+
+// Driver manages the reserved doorbell range for one monitoring set.
+type Driver struct {
+	mon      Monitor
+	lo, hi   mem.Addr // [lo, hi), line-aligned
+	next     mem.Addr
+	freed    []mem.Addr
+	doorbell map[int]mem.Addr
+	retries  int64
+}
+
+// New creates a driver over the range [lo, hi) (QWAIT_init). Bounds are
+// line-aligned outward/inward respectively.
+func New(mon Monitor, lo, hi mem.Addr) (*Driver, error) {
+	lo = mem.LineOf(lo + mem.LineSize - 1)
+	hi = mem.LineOf(hi)
+	if mon == nil {
+		return nil, errors.New("driver: nil monitor")
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("driver: empty doorbell range [%#x, %#x)", lo, hi)
+	}
+	return &Driver{
+		mon:      mon,
+		lo:       lo,
+		hi:       hi,
+		next:     lo,
+		doorbell: make(map[int]mem.Addr),
+	}, nil
+}
+
+// allocate hands out the next unused doorbell line.
+func (d *Driver) allocate() (mem.Addr, bool) {
+	if n := len(d.freed); n > 0 {
+		a := d.freed[n-1]
+		d.freed = d.freed[:n-1]
+		return a, true
+	}
+	if d.next >= d.hi {
+		return 0, false
+	}
+	a := d.next
+	d.next += mem.LineSize
+	return a, true
+}
+
+// Connect allocates a doorbell for qid and inserts it into the monitoring
+// set, reallocating on cuckoo conflicts until placement succeeds (the
+// Algorithm 1 control-plane loop). It returns the assigned doorbell.
+func (d *Driver) Connect(qid int) (mem.Addr, error) {
+	if _, dup := d.doorbell[qid]; dup {
+		return 0, ErrDuplicateQID
+	}
+	var skipped []mem.Addr // conflicted addresses, recycled afterwards
+	defer func() { d.freed = append(d.freed, skipped...) }()
+	for {
+		addr, ok := d.allocate()
+		if !ok {
+			return 0, ErrExhausted
+		}
+		err := d.mon.Add(qid, addr)
+		switch {
+		case err == nil:
+			d.doorbell[qid] = addr
+			return addr, nil
+		case errors.Is(err, monitor.ErrConflict):
+			// This address's buckets are full; try another. The address
+			// stays usable for other queues that hash elsewhere.
+			d.retries++
+			skipped = append(skipped, addr)
+		default:
+			skipped = append(skipped, addr)
+			return 0, err
+		}
+	}
+}
+
+// Disconnect removes qid's doorbell from the monitoring set and releases
+// the address (tenant teardown; paper: QWAIT-REMOVE).
+func (d *Driver) Disconnect(qid int) error {
+	addr, ok := d.doorbell[qid]
+	if !ok {
+		return ErrUnknownQID
+	}
+	d.mon.Remove(addr)
+	delete(d.doorbell, qid)
+	d.freed = append(d.freed, addr)
+	return nil
+}
+
+// DoorbellOf returns the doorbell assigned to qid.
+func (d *Driver) DoorbellOf(qid int) (mem.Addr, bool) {
+	a, ok := d.doorbell[qid]
+	return a, ok
+}
+
+// Range returns the managed address range (for snoop filtering).
+func (d *Driver) Range() (lo, hi mem.Addr) { return d.lo, d.hi }
+
+// Connected returns the number of connected queues.
+func (d *Driver) Connected() int { return len(d.doorbell) }
+
+// Retries returns how many conflict reallocations occurred.
+func (d *Driver) Retries() int64 { return d.retries }

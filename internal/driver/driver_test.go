@@ -1,0 +1,143 @@
+package driver
+
+import (
+	"errors"
+	"testing"
+
+	"hyperplane/internal/mem"
+	"hyperplane/internal/monitor"
+)
+
+func newDriver(t *testing.T, entries int, banks int) (*Driver, Monitor) {
+	t.Helper()
+	cfg := monitor.DefaultConfig()
+	cfg.Entries = entries
+	var mon Monitor
+	if banks > 1 {
+		mon = monitor.NewBanked(banks, entries/banks, cfg)
+	} else {
+		mon = monitor.New(cfg)
+	}
+	d, err := New(mon, 1<<30, 1<<30+1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, mon
+}
+
+func TestConnectDisconnect(t *testing.T) {
+	d, _ := newDriver(t, 64, 1)
+	a, err := d.Connect(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := d.DoorbellOf(7); !ok || got != a {
+		t.Fatal("doorbell map")
+	}
+	if a != mem.LineOf(a) {
+		t.Error("doorbell not line-aligned")
+	}
+	lo, hi := d.Range()
+	if a < lo || a >= hi {
+		t.Error("doorbell outside managed range")
+	}
+	if _, err := d.Connect(7); !errors.Is(err, ErrDuplicateQID) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if err := d.Disconnect(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Disconnect(7); !errors.Is(err, ErrUnknownQID) {
+		t.Errorf("double disconnect: %v", err)
+	}
+	if d.Connected() != 0 {
+		t.Error("connected count")
+	}
+}
+
+func TestAddressReuseAfterDisconnect(t *testing.T) {
+	d, _ := newDriver(t, 64, 1)
+	a1, _ := d.Connect(1)
+	d.Disconnect(1)
+	a2, err := d.Connect(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a1 {
+		t.Errorf("freed doorbell %#x not reused (got %#x)", a1, a2)
+	}
+}
+
+func TestConnectManyWithRetries(t *testing.T) {
+	// Fill a 1024-entry set to 1000 queues: the driver must succeed for
+	// every queue, transparently retrying on cuckoo conflicts.
+	d, _ := newDriver(t, 1024, 1)
+	seen := map[mem.Addr]bool{}
+	for q := 0; q < 1000; q++ {
+		a, err := d.Connect(q)
+		if err != nil {
+			t.Fatalf("connect %d: %v", q, err)
+		}
+		if seen[a] {
+			t.Fatalf("doorbell %#x assigned twice", a)
+		}
+		seen[a] = true
+	}
+	if d.Connected() != 1000 {
+		t.Fatalf("connected = %d", d.Connected())
+	}
+	t.Logf("conflict reallocations: %d", d.Retries())
+}
+
+func TestConnectBankedSpreads(t *testing.T) {
+	d, mon := newDriver(t, 1024, 4)
+	for q := 0; q < 800; q++ {
+		if _, err := d.Connect(q); err != nil {
+			t.Fatalf("connect %d: %v", q, err)
+		}
+	}
+	b := mon.(*monitor.Banked)
+	for bank, occ := range b.BankOccupancy() {
+		if occ < 120 || occ > 280 {
+			t.Errorf("bank %d occupancy %d badly skewed (fair 200)", bank, occ)
+		}
+	}
+}
+
+func TestRangeExhaustion(t *testing.T) {
+	cfg := monitor.DefaultConfig()
+	cfg.Entries = 64
+	mon := monitor.New(cfg)
+	// Only 4 doorbell lines available.
+	d, err := New(mon, 0x1000, 0x1000+4*mem.LineSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 4; q++ {
+		if _, err := d.Connect(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Connect(99); !errors.Is(err, ErrExhausted) {
+		t.Errorf("exhaustion: %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	mon := monitor.New(monitor.DefaultConfig())
+	if _, err := New(nil, 0, 100); err == nil {
+		t.Error("nil monitor accepted")
+	}
+	if _, err := New(mon, 0x1000, 0x1000); err == nil {
+		t.Error("empty range accepted")
+	}
+	// Unaligned bounds are normalized inward.
+	d, err := New(mon, 0x1001, 0x1000+3*mem.LineSize-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := d.Range()
+	if lo != 0x1040 || hi != 0x1080 {
+		t.Errorf("normalized range = [%#x, %#x)", lo, hi)
+	}
+}

@@ -1,0 +1,343 @@
+package erasure
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFFieldAxioms(t *testing.T) {
+	// Exhaustive checks over small sets: commutativity, associativity,
+	// distributivity, inverses.
+	for a := 0; a < 256; a += 7 {
+		for b := 0; b < 256; b += 11 {
+			x, y := byte(a), byte(b)
+			if Mul(x, y) != Mul(y, x) {
+				t.Fatalf("mul not commutative at %d,%d", a, b)
+			}
+			if Add(x, y) != Add(y, x) {
+				t.Fatalf("add not commutative")
+			}
+			for c := 0; c < 256; c += 31 {
+				z := byte(c)
+				if Mul(x, Mul(y, z)) != Mul(Mul(x, y), z) {
+					t.Fatalf("mul not associative")
+				}
+				if Mul(x, Add(y, z)) != Add(Mul(x, y), Mul(x, z)) {
+					t.Fatalf("not distributive")
+				}
+			}
+		}
+	}
+	for a := 1; a < 256; a++ {
+		x := byte(a)
+		if Mul(x, Inv(x)) != 1 {
+			t.Fatalf("inverse of %d wrong", a)
+		}
+		if Div(x, x) != 1 {
+			t.Fatalf("div of %d wrong", a)
+		}
+		if Mul(x, 1) != x {
+			t.Fatalf("identity")
+		}
+		if Mul(x, 0) != 0 {
+			t.Fatalf("zero")
+		}
+	}
+}
+
+func TestGFDivMulInverse(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 1; b < 256; b += 3 {
+			q := Div(byte(a), byte(b))
+			if Mul(q, byte(b)) != byte(a) {
+				t.Fatalf("div/mul mismatch at %d/%d", a, b)
+			}
+		}
+	}
+}
+
+func TestGFPanics(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("Div by zero", func() { Div(3, 0) })
+	assertPanics("Inv of zero", func() { Inv(0) })
+}
+
+func TestGFExp(t *testing.T) {
+	if Exp(0) != 1 || Exp(1) != 2 || Exp(255) != 1 {
+		t.Error("Exp generator values wrong")
+	}
+	if Exp(-1) != Exp(254) {
+		t.Error("negative exponent")
+	}
+}
+
+func TestMatrixInvertIdentity(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16} {
+		m := Identity(n)
+		inv, ok := m.Invert()
+		if !ok {
+			t.Fatalf("identity %d not invertible", n)
+		}
+		if !bytes.Equal(inv.Data, m.Data) {
+			t.Errorf("inverse of identity is not identity (n=%d)", n)
+		}
+	}
+}
+
+func TestMatrixInvertRoundTrip(t *testing.T) {
+	m := CauchyMatrix(6, 6)
+	inv, ok := m.Invert()
+	if !ok {
+		t.Fatal("Cauchy matrix not invertible")
+	}
+	prod := m.Mul(inv)
+	if !bytes.Equal(prod.Data, Identity(6).Data) {
+		t.Error("m * m^-1 != I")
+	}
+}
+
+func TestMatrixSingular(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 2) // duplicate row
+	if _, ok := m.Invert(); ok {
+		t.Error("singular matrix inverted")
+	}
+}
+
+func TestCauchySubmatricesNonsingular(t *testing.T) {
+	// Spot-check the MDS property: square submatrices of the Cauchy matrix
+	// are invertible.
+	c := CauchyMatrix(4, 4)
+	for r0 := 0; r0 < 3; r0++ {
+		for c0 := 0; c0 < 3; c0++ {
+			sub := NewMatrix(2, 2)
+			for i := 0; i < 2; i++ {
+				for j := 0; j < 2; j++ {
+					sub.Set(i, j, c.At(r0+i, c0+j))
+				}
+			}
+			if _, ok := sub.Invert(); !ok {
+				t.Errorf("2x2 Cauchy submatrix at (%d,%d) singular", r0, c0)
+			}
+		}
+	}
+}
+
+func TestEncodeVerify(t *testing.T) {
+	code, err := NewCode(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	shards := code.Split(data)
+	if err := code.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := code.Verify(shards)
+	if err != nil || !ok {
+		t.Fatalf("verify = %v, %v", ok, err)
+	}
+	shards[5][0] ^= 1
+	ok, _ = code.Verify(shards)
+	if ok {
+		t.Error("corrupted parity verified")
+	}
+}
+
+func TestReconstructAllPatterns(t *testing.T) {
+	code, _ := NewCode(4, 2)
+	data := []byte("erasure coding for the storage data plane workload!!")
+	orig := code.Split(data)
+	if err := code.Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	// Every way of losing up to m=2 shards must reconstruct.
+	n := len(orig)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			shards := make([][]byte, n)
+			for s := range shards {
+				shards[s] = append([]byte(nil), orig[s]...)
+			}
+			shards[i] = nil
+			shards[j] = nil // i == j loses one shard only
+			if err := code.Reconstruct(shards); err != nil {
+				t.Fatalf("reconstruct losing %d,%d: %v", i, j, err)
+			}
+			for s := range shards {
+				if !bytes.Equal(shards[s], orig[s]) {
+					t.Fatalf("shard %d wrong after losing %d,%d", s, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestReconstructTooMany(t *testing.T) {
+	code, _ := NewCode(3, 2)
+	shards := code.Split([]byte("abcdef"))
+	code.Encode(shards)
+	shards[0], shards[1], shards[2] = nil, nil, nil // lost 3 > m=2
+	if err := code.Reconstruct(shards); err != ErrTooFewOK {
+		t.Errorf("err = %v, want ErrTooFewOK", err)
+	}
+}
+
+func TestReconstructNoLoss(t *testing.T) {
+	code, _ := NewCode(2, 1)
+	shards := code.Split([]byte("xy"))
+	code.Encode(shards)
+	if err := code.Reconstruct(shards); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitJoin(t *testing.T) {
+	code, _ := NewCode(3, 2)
+	data := []byte("0123456789") // 10 bytes over 3 shards: 4+4+2pad
+	shards := code.Split(data)
+	if len(shards) != 5 {
+		t.Fatalf("shard count = %d", len(shards))
+	}
+	if len(shards[0]) != 4 {
+		t.Errorf("shard size = %d", len(shards[0]))
+	}
+	got, err := code.Join(shards, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("join = %q", got)
+	}
+	if _, err := code.Join(shards, 100); err == nil {
+		t.Error("overlong join succeeded")
+	}
+}
+
+func TestCodeValidation(t *testing.T) {
+	if _, err := NewCode(0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewCode(1, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := NewCode(200, 100); err == nil {
+		t.Error("k+m > 256 accepted")
+	}
+	code, _ := NewCode(2, 2)
+	if err := code.Encode([][]byte{{1}, {2}}); err != ErrShardCount {
+		t.Errorf("short shard slice: %v", err)
+	}
+	if err := code.Encode([][]byte{{1}, {2, 3}, {0}, {0}}); err != ErrShardSize {
+		t.Errorf("ragged shards: %v", err)
+	}
+}
+
+// Property: for random data, k, m, and loss patterns of size <= m,
+// reconstruction recovers the data exactly.
+func TestReconstructProperty(t *testing.T) {
+	f := func(data []byte, kRaw, mRaw uint8, lossSeed uint32) bool {
+		if len(data) == 0 {
+			data = []byte{0}
+		}
+		k := int(kRaw%8) + 1
+		m := int(mRaw%4) + 1
+		code, err := NewCode(k, m)
+		if err != nil {
+			return false
+		}
+		shards := code.Split(data)
+		if err := code.Encode(shards); err != nil {
+			return false
+		}
+		orig := make([][]byte, len(shards))
+		for i := range shards {
+			orig[i] = append([]byte(nil), shards[i]...)
+		}
+		// Knock out up to m shards pseudo-randomly.
+		losses := int(lossSeed%uint32(m)) + 1
+		seed := lossSeed
+		for i := 0; i < losses; i++ {
+			seed = seed*1664525 + 1013904223
+			shards[int(seed)%len(shards)] = nil
+		}
+		if err := code.Reconstruct(shards); err != nil {
+			return false
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				return false
+			}
+		}
+		got, err := code.Join(shards, len(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: matrix inversion round-trips for random invertible matrices
+// built from Cauchy rows.
+func TestInvertProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%6) + 1
+		m := CauchyMatrix(n, n)
+		inv, ok := m.Invert()
+		if !ok {
+			return false
+		}
+		return bytes.Equal(m.Mul(inv).Data, Identity(n).Data) &&
+			bytes.Equal(inv.Mul(m).Data, Identity(n).Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the table-driven and log/exp mulSlice implementations agree for
+// every coefficient and data byte.
+func TestMulSliceImplementationsAgree(t *testing.T) {
+	src := make([]byte, 256)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	for c := 0; c < 256; c++ {
+		a := make([]byte, len(src))
+		b := make([]byte, len(src))
+		mulSliceTable(byte(c), src, a)
+		mulSliceLog(byte(c), src, b)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("implementations diverge at c=%d", c)
+		}
+		// And both match scalar Mul.
+		for i, s := range src {
+			if a[i] != Mul(byte(c), s) {
+				t.Fatalf("table mulSlice wrong at c=%d x=%d", c, s)
+			}
+		}
+	}
+}
+
+func TestMulRow(t *testing.T) {
+	row := MulRow(29)
+	for x := 0; x < 256; x++ {
+		if row[x] != Mul(29, byte(x)) {
+			t.Fatalf("MulRow(29)[%d] wrong", x)
+		}
+	}
+	if MulRow(0)[7] != 0 {
+		t.Error("zero row must be all zero")
+	}
+}

@@ -1,0 +1,213 @@
+// Package erasure implements the storage-workload substrate: GF(2^8)
+// arithmetic and Cauchy-matrix Reed–Solomon erasure coding, the paper's
+// "erasure coding" data plane task ("Reed-Solomon erasure coding to encode
+// data blocks/fragments using a Cauchy matrix").
+package erasure
+
+// GF(2^8) with the AES/Rijndael-compatible primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the polynomial commonly used by
+// storage erasure codes.
+const gfPoly = 0x11d
+
+var (
+	gfExp [512]byte // exp table doubled to avoid mod 255 in Mul
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gfPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		gfExp[i] = gfExp[i-255]
+	}
+}
+
+// Add returns a+b in GF(2^8) (XOR; identical to subtraction).
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// Div returns a/b in GF(2^8); it panics on division by zero.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("erasure: division by zero in GF(2^8)")
+	}
+	if a == 0 {
+		return 0
+	}
+	d := int(gfLog[a]) - int(gfLog[b])
+	if d < 0 {
+		d += 255
+	}
+	return gfExp[d]
+}
+
+// Inv returns the multiplicative inverse of a; it panics on zero.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("erasure: zero has no inverse in GF(2^8)")
+	}
+	return gfExp[255-int(gfLog[a])]
+}
+
+// Exp returns the generator g=2 raised to the power n.
+func Exp(n int) byte {
+	n %= 255
+	if n < 0 {
+		n += 255
+	}
+	return gfExp[n]
+}
+
+// mulSlice computes dst[i] ^= c * src[i] for all i (the inner loop of both
+// encoding and reconstruction). dst and src must have equal length. It uses
+// the cached per-coefficient product rows (see gftable.go); the log/exp
+// variant is kept for the ablation benchmark.
+func mulSlice(c byte, src, dst []byte) {
+	mulSliceTable(c, src, dst)
+}
+
+// Matrix is a dense matrix over GF(2^8).
+type Matrix struct {
+	Rows, Cols int
+	Data       []byte // row-major
+}
+
+// NewMatrix allocates a zero rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic("erasure: matrix dimensions must be positive")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]byte, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) byte { return m.Data[r*m.Cols+c] }
+
+// Set writes element (r, c).
+func (m *Matrix) Set(r, c int, v byte) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view of row r.
+func (m *Matrix) Row(r int) []byte { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Mul returns m * other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic("erasure: dimension mismatch in matrix multiply")
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(r, k)
+			if a == 0 {
+				continue
+			}
+			logA := int(gfLog[a])
+			orow := other.Row(k)
+			dst := out.Row(r)
+			for c, b := range orow {
+				if b != 0 {
+					dst[c] ^= gfExp[logA+int(gfLog[b])]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Invert returns the inverse of a square matrix via Gauss-Jordan
+// elimination, or ok=false if the matrix is singular.
+func (m *Matrix) Invert() (*Matrix, bool) {
+	if m.Rows != m.Cols {
+		panic("erasure: cannot invert non-square matrix")
+	}
+	n := m.Rows
+	// Work on [m | I].
+	a := NewMatrix(n, 2*n)
+	for r := 0; r < n; r++ {
+		copy(a.Row(r)[:n], m.Row(r))
+		a.Set(r, n+r, 1)
+	}
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, false
+		}
+		if pivot != col {
+			pr, cr := a.Row(pivot), a.Row(col)
+			for i := range pr {
+				pr[i], cr[i] = cr[i], pr[i]
+			}
+		}
+		// Scale pivot row to 1.
+		if d := a.At(col, col); d != 1 {
+			inv := Inv(d)
+			row := a.Row(col)
+			for i, v := range row {
+				row[i] = Mul(v, inv)
+			}
+		}
+		// Eliminate the column from all other rows.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			src, dst := a.Row(col), a.Row(r)
+			mulSlice(f, src, dst)
+		}
+	}
+	out := NewMatrix(n, n)
+	for r := 0; r < n; r++ {
+		copy(out.Row(r), a.Row(r)[n:])
+	}
+	return out, true
+}
+
+// CauchyMatrix returns the m x k Cauchy matrix C[i][j] = 1/(x_i + y_j) with
+// x_i = i + k and y_j = j, which is guaranteed nonsingular in every square
+// submatrix — the property that makes Cauchy Reed–Solomon codes MDS.
+func CauchyMatrix(m, k int) *Matrix {
+	if m+k > 256 {
+		panic("erasure: k + m must be <= 256 for GF(2^8) Cauchy construction")
+	}
+	c := NewMatrix(m, k)
+	for i := 0; i < m; i++ {
+		for j := 0; j < k; j++ {
+			c.Set(i, j, Inv(byte(i+k)^byte(j)))
+		}
+	}
+	return c
+}

@@ -1,0 +1,70 @@
+package erasure
+
+import "sync"
+
+// Table-driven multiplication: storage codecs process megabytes per stripe,
+// so the inner loop matters. A per-coefficient 256-entry product row turns
+// `dst[i] ^= c*src[i]` into one load + one XOR per byte, removing the two
+// log lookups and the branch of the log/exp path. Rows are built lazily and
+// cached — there are at most 255 distinct coefficients.
+var (
+	mulRowsOnce sync.Once
+	mulRows     *[256][256]byte
+)
+
+func buildMulRows() {
+	mulRowsOnce.Do(func() {
+		var rows [256][256]byte
+		for c := 1; c < 256; c++ {
+			logC := int(gfLog[byte(c)])
+			for x := 1; x < 256; x++ {
+				rows[c][x] = gfExp[logC+int(gfLog[byte(x)])]
+			}
+		}
+		mulRows = &rows
+	})
+}
+
+// MulRow returns the 256-entry product table of coefficient c
+// (MulRow(c)[x] == Mul(c, x)).
+func MulRow(c byte) *[256]byte {
+	buildMulRows()
+	return &mulRows[c]
+}
+
+// mulSliceTable computes dst[i] ^= c*src[i] using the product row.
+func mulSliceTable(c byte, src, dst []byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	row := MulRow(c)
+	for i, s := range src {
+		dst[i] ^= row[s]
+	}
+}
+
+// mulSliceLog is the log/exp-table implementation kept for the ablation
+// benchmark (BenchmarkGFMulSlice*).
+func mulSliceLog(c byte, src, dst []byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	logC := int(gfLog[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gfExp[logC+int(gfLog[s])]
+		}
+	}
+}

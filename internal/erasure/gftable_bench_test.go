@@ -1,0 +1,20 @@
+package erasure
+
+import "testing"
+
+// Ablation: table-driven vs log/exp inner loop (DESIGN.md design choice).
+func benchMulSlice(b *testing.B, fn func(byte, []byte, []byte)) {
+	src := make([]byte, 64<<10)
+	dst := make([]byte, 64<<10)
+	for i := range src {
+		src[i] = byte(i*7 + 1)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(byte(i%254+2), src, dst)
+	}
+}
+
+func BenchmarkGFMulSliceTable(b *testing.B) { benchMulSlice(b, mulSliceTable) }
+func BenchmarkGFMulSliceLog(b *testing.B)   { benchMulSlice(b, mulSliceLog) }

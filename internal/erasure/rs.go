@@ -1,0 +1,232 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code is a systematic Cauchy Reed–Solomon erasure code with k data shards
+// and m parity shards: any k of the k+m shards reconstruct the original
+// data.
+type Code struct {
+	k, m   int
+	parity *Matrix // m x k Cauchy coefficients
+}
+
+// Errors returned by the codec.
+var (
+	ErrShardCount = errors.New("erasure: wrong number of shards")
+	ErrShardSize  = errors.New("erasure: shards must be non-empty and equal-sized")
+	ErrTooFewOK   = errors.New("erasure: fewer than k shards available")
+)
+
+// NewCode builds a code with k data and m parity shards (k, m >= 1,
+// k+m <= 256).
+func NewCode(k, m int) (*Code, error) {
+	if k < 1 || m < 1 {
+		return nil, fmt.Errorf("erasure: k and m must be >= 1, got k=%d m=%d", k, m)
+	}
+	if k+m > 256 {
+		return nil, fmt.Errorf("erasure: k+m = %d exceeds 256", k+m)
+	}
+	return &Code{k: k, m: m, parity: CauchyMatrix(m, k)}, nil
+}
+
+// DataShards returns k.
+func (c *Code) DataShards() int { return c.k }
+
+// ParityShards returns m.
+func (c *Code) ParityShards() int { return c.m }
+
+// checkShards validates a full shard slice (k data followed by m parity for
+// Encode; any mix for Reconstruct, with nil marking missing shards).
+func (c *Code) shardSize(shards [][]byte) (int, error) {
+	size := -1
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		}
+		if len(s) != size || size == 0 {
+			return 0, ErrShardSize
+		}
+	}
+	if size <= 0 {
+		return 0, ErrShardSize
+	}
+	return size, nil
+}
+
+// Encode fills the m parity shards from the k data shards. shards must hold
+// k+m equal-length slices; the first k are inputs and the last m are
+// overwritten.
+func (c *Code) Encode(shards [][]byte) error {
+	if len(shards) != c.k+c.m {
+		return ErrShardCount
+	}
+	size, err := c.shardSize(shards)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < c.m; i++ {
+		p := shards[c.k+i]
+		if len(p) != size {
+			return ErrShardSize
+		}
+		for b := range p {
+			p[b] = 0
+		}
+		row := c.parity.Row(i)
+		for j := 0; j < c.k; j++ {
+			mulSlice(row[j], shards[j], p)
+		}
+	}
+	return nil
+}
+
+// Verify reports whether the parity shards are consistent with the data
+// shards.
+func (c *Code) Verify(shards [][]byte) (bool, error) {
+	if len(shards) != c.k+c.m {
+		return false, ErrShardCount
+	}
+	size, err := c.shardSize(shards)
+	if err != nil {
+		return false, err
+	}
+	buf := make([]byte, size)
+	for i := 0; i < c.m; i++ {
+		for b := range buf {
+			buf[b] = 0
+		}
+		row := c.parity.Row(i)
+		for j := 0; j < c.k; j++ {
+			mulSlice(row[j], shards[j], buf)
+		}
+		got := shards[c.k+i]
+		for b := range buf {
+			if buf[b] != got[b] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Reconstruct rebuilds all missing shards in place. Missing shards are nil
+// entries; at least k shards must be present. Reconstructed slices are
+// freshly allocated.
+func (c *Code) Reconstruct(shards [][]byte) error {
+	if len(shards) != c.k+c.m {
+		return ErrShardCount
+	}
+	size, err := c.shardSize(shards)
+	if err != nil {
+		return err
+	}
+	present := 0
+	for _, s := range shards {
+		if s != nil {
+			present++
+		}
+	}
+	if present < c.k {
+		return ErrTooFewOK
+	}
+	if present == c.k+c.m {
+		return nil
+	}
+
+	// Build the k x k decode matrix from the first k available shards'
+	// generator rows: row j of the full generator is e_j for data shard j
+	// and the Cauchy row for parity shard j-k.
+	sub := NewMatrix(c.k, c.k)
+	srcIdx := make([]int, 0, c.k)
+	for idx := 0; idx < c.k+c.m && len(srcIdx) < c.k; idx++ {
+		if shards[idx] == nil {
+			continue
+		}
+		r := len(srcIdx)
+		if idx < c.k {
+			sub.Set(r, idx, 1)
+		} else {
+			copy(sub.Row(r), c.parity.Row(idx-c.k))
+		}
+		srcIdx = append(srcIdx, idx)
+	}
+	inv, ok := sub.Invert()
+	if !ok {
+		// Cannot happen for a Cauchy code (every square submatrix is
+		// nonsingular); guard anyway.
+		return errors.New("erasure: decode matrix singular")
+	}
+
+	// Rebuild missing data shards: data_j = inv.Row(j) . available.
+	for j := 0; j < c.k; j++ {
+		if shards[j] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := inv.Row(j)
+		for r, idx := range srcIdx {
+			mulSlice(row[r], shards[idx], out)
+		}
+		shards[j] = out
+	}
+	// Rebuild missing parity shards from the (now complete) data.
+	for i := 0; i < c.m; i++ {
+		if shards[c.k+i] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		row := c.parity.Row(i)
+		for j := 0; j < c.k; j++ {
+			mulSlice(row[j], shards[j], out)
+		}
+		shards[c.k+i] = out
+	}
+	return nil
+}
+
+// Split slices data into k equal shards (padding the last with zeros) ready
+// for Encode; the returned slice has k+m entries with parity allocated.
+func (c *Code) Split(data []byte) [][]byte {
+	per := (len(data) + c.k - 1) / c.k
+	if per == 0 {
+		per = 1
+	}
+	shards := make([][]byte, c.k+c.m)
+	for i := 0; i < c.k; i++ {
+		shard := make([]byte, per)
+		lo := i * per
+		if lo < len(data) {
+			copy(shard, data[lo:])
+		}
+		shards[i] = shard
+	}
+	for i := 0; i < c.m; i++ {
+		shards[c.k+i] = make([]byte, per)
+	}
+	return shards
+}
+
+// Join concatenates the k data shards and returns the first n bytes
+// (undoing Split's padding).
+func (c *Code) Join(shards [][]byte, n int) ([]byte, error) {
+	if len(shards) < c.k {
+		return nil, ErrShardCount
+	}
+	var out []byte
+	for i := 0; i < c.k; i++ {
+		if shards[i] == nil {
+			return nil, errors.New("erasure: missing data shard in Join")
+		}
+		out = append(out, shards[i]...)
+	}
+	if n > len(out) {
+		return nil, errors.New("erasure: requested length exceeds data")
+	}
+	return out[:n], nil
+}

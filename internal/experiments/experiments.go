@@ -1,0 +1,211 @@
+// Package experiments regenerates every table and figure of the HyperPlane
+// paper's evaluation (§II-C case study and §V). Each constructor returns a
+// Table holding the same series the paper plots; cmd/hyperbench renders
+// them as text, and bench_test.go wraps each in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hyperplane/internal/sim"
+)
+
+// Series is one plotted line: Y(X) with a label matching the paper legend.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Table is one regenerated figure or table.
+type Table struct {
+	ID     string // e.g. "fig8"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Options tunes experiment fidelity.
+type Options struct {
+	// Quick shrinks queue counts, loads, and windows so the whole suite
+	// runs in seconds (used by tests and -short benchmarks); the full
+	// settings match the paper's sweep ranges.
+	Quick bool
+	Seed  uint64
+}
+
+// Runner is an experiment constructor.
+type Runner func(Options) []Table
+
+// Registry maps experiment IDs to runners, in paper order.
+var Registry = []struct {
+	ID   string
+	Desc string
+	Run  Runner
+}{
+	{"table1", "Table I: microarchitecture configuration", TableI},
+	{"fig3a", "Fig. 3a: DPDK throughput vs queue count (4 traffic shapes)", Fig3a},
+	{"fig3b", "Fig. 3b: DPDK round-trip latency vs queue count (light load)", Fig3b},
+	{"fig3c", "Fig. 3c: DPDK latency CDF at 1/256/512 queues", Fig3c},
+	{"fig8", "Fig. 8: peak throughput, spinning vs HyperPlane, 6 workloads x 4 shapes", Fig8},
+	{"fig9a", "Fig. 9a: zero-load avg/P99 latency of the spinning data plane", Fig9a},
+	{"fig9b", "Fig. 9b: zero-load latency of HyperPlane, regular vs power-optimized", Fig9b},
+	{"fig10a", "Fig. 10a: multicore P99 vs load, FB traffic, scale-out/up-2/up-4", Fig10a},
+	{"fig10b", "Fig. 10b: multicore P99 vs load, PC traffic, with 10% imbalance", Fig10b},
+	{"fig11a", "Fig. 11a: IPC breakdown (useful vs useless) vs load", Fig11a},
+	{"fig11b", "Fig. 11b: SMT co-runner IPC vs data plane load", Fig11b},
+	{"fig12a", "Fig. 12a: normalized core power at zero load vs saturation", Fig12a},
+	{"fig12b", "Fig. 12b: tail latency of power-optimized HyperPlane vs load", Fig12b},
+	{"fig13", "Fig. 13: software vs hardware ready set throughput", Fig13},
+	{"headline", "Headline: mean peak-throughput and tail-latency improvements", Headline},
+	{"ext-mwait", "Extension: MWAIT-style halting baseline vs spinning vs HyperPlane", ExtMWait},
+	{"ext-steal", "Extension: work stealing across ready sets under imbalance", ExtSteal},
+	{"ext-policy", "Extension: service policy ablation (paper reports minimal impact)", ExtPolicy},
+	{"ext-monitor", "Extension: monitoring-set conflict rate vs occupancy", ExtMonitor},
+	{"ext-inorder", "Extension: in-order (flow-stateful) processing cost", ExtInOrder},
+	{"ext-batch", "Extension: dequeue batch size ablation", ExtBatch},
+	{"ext-burst", "Extension: tail latency under bursty tenant activity", ExtBurst},
+	{"ext-numa", "Extension: 2-socket NUMA deployment with cross-socket stealing", ExtNUMA},
+	{"hwcost", "Paper §IV-C: HyperPlane hardware area/power/timing costs", HWCost},
+	{"ext-scaling", "Extension: scale-up throughput vs core count", ExtScaling},
+}
+
+// Lookup finds a runner by ID.
+func Lookup(id string) (Runner, bool) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e.Run, true
+		}
+	}
+	return nil, false
+}
+
+// IDs returns all experiment IDs in order.
+func IDs() []string {
+	out := make([]string, len(Registry))
+	for i, e := range Registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// queueCounts returns the sweep over total queue counts.
+func queueCounts(o Options) []int {
+	if o.Quick {
+		return []int{8, 64, 256}
+	}
+	return []int{8, 100, 200, 400, 600, 800, 1000}
+}
+
+// loadPoints returns the offered-load sweep for latency-vs-load figures.
+func loadPoints(o Options) []float64 {
+	if o.Quick {
+		return []float64{0.2, 0.5, 0.8}
+	}
+	return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+}
+
+// satWindow returns warmup and duration for peak-throughput runs, scaled to
+// the workload's service time so every run completes a useful task count.
+func satWindow(o Options, svc sim.Time) (warmup, dur sim.Time) {
+	tasks := sim.Time(3000)
+	if o.Quick {
+		tasks = 400
+	}
+	dur = tasks * svc
+	if dur < 2*sim.Millisecond {
+		dur = 2 * sim.Millisecond
+	}
+	return dur / 10, dur
+}
+
+// Format renders a table as aligned text, the harness's output format.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.XLabel != "" || t.YLabel != "" {
+		fmt.Fprintf(&b, "   x: %s | y: %s\n", t.XLabel, t.YLabel)
+	}
+	// Collect the union of X values to form rows.
+	xsSet := map[float64]bool{}
+	for _, s := range t.Series {
+		for _, x := range s.X {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	// Header.
+	fmt.Fprintf(&b, "%12s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, " %22s", s.Label)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%12.4g", x)
+		for _, s := range t.Series {
+			v, ok := lookupX(s, x)
+			if ok {
+				fmt.Fprintf(&b, " %22.5g", v)
+			} else {
+				fmt.Fprintf(&b, " %22s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
+	}
+	return b.String()
+}
+
+func lookupX(s Series, x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// CSV renders the table as comma-separated values.
+func (t Table) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", t.ID, t.Title)
+	b.WriteString("x")
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, ",%s", strings.ReplaceAll(s.Label, ",", ";"))
+	}
+	b.WriteByte('\n')
+	xsSet := map[float64]bool{}
+	for _, s := range t.Series {
+		for _, x := range s.X {
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range t.Series {
+			if v, ok := lookupX(s, x); ok {
+				fmt.Fprintf(&b, ",%g", v)
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var quick = Options{Quick: true, Seed: 7}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure in the paper's evaluation must be present.
+	want := []string{"table1", "fig3a", "fig3b", "fig3c", "fig8", "fig9a",
+		"fig9b", "fig10a", "fig10b", "fig11a", "fig11b", "fig12a", "fig12b",
+		"fig13", "headline",
+		"ext-mwait", "ext-steal", "ext-policy", "ext-monitor", "ext-inorder",
+		"ext-batch", "ext-burst", "ext-numa", "hwcost", "ext-scaling"}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(ids), len(want))
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("registry[%d] = %s, want %s", i, ids[i], id)
+		}
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("Lookup(%q) failed", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup of unknown id succeeded")
+	}
+}
+
+func TestTableIReflectsDefaults(t *testing.T) {
+	tabs := TableI(quick)
+	if len(tabs) != 1 {
+		t.Fatal("TableI should return one table")
+	}
+	text := tabs[0].Format()
+	for _, frag := range []string{"3.0 GHz", "32 KB", "4-way", "16-way", "MESI", "1024-entry", "50 cycles"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("Table I output missing %q:\n%s", frag, text)
+		}
+	}
+}
+
+func TestFig3aShapes(t *testing.T) {
+	tabs := Fig3a(quick)
+	tab := tabs[0]
+	if len(tab.Series) != 4 {
+		t.Fatalf("series = %d, want 4 shapes", len(tab.Series))
+	}
+	// SQ must collapse from the smallest to largest queue count.
+	var sq Series
+	for _, s := range tab.Series {
+		if s.Label == "SQ" {
+			sq = s
+		}
+	}
+	if len(sq.Y) < 2 {
+		t.Fatal("SQ series missing")
+	}
+	first, last := sq.Y[0], sq.Y[len(sq.Y)-1]
+	if last >= first*0.7 {
+		t.Errorf("SQ throughput did not collapse: %.3f -> %.3f", first, last)
+	}
+}
+
+func TestFig3bMonotone(t *testing.T) {
+	tab := Fig3b(quick)[0]
+	if len(tab.Series) != 2 {
+		t.Fatal("want avg and tail series")
+	}
+	avg, tail := tab.Series[0], tab.Series[1]
+	if avg.Y[len(avg.Y)-1] <= avg.Y[0] {
+		t.Error("average latency did not grow with queue count")
+	}
+	for i := range avg.Y {
+		if tail.Y[i] < avg.Y[i] {
+			t.Errorf("tail below average at x=%v", avg.X[i])
+		}
+	}
+}
+
+func TestFig3cCDFMonotone(t *testing.T) {
+	tab := Fig3c(quick)[0]
+	for _, s := range tab.Series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1] {
+				t.Fatalf("%s: CDF not monotone", s.Label)
+			}
+		}
+	}
+}
+
+func TestFig13SoftwareSlower(t *testing.T) {
+	tab := Fig13(quick)[0]
+	for _, s := range tab.Series {
+		for i, y := range s.Y {
+			if y > 101 {
+				t.Errorf("%s[%d]: software ready set at %.1f%% (faster than hardware?)", s.Label, i, y)
+			}
+			if y < 5 {
+				t.Errorf("%s[%d]: software ready set at %.1f%% (unreasonably slow)", s.Label, i, y)
+			}
+		}
+	}
+}
+
+func TestFig12aProportions(t *testing.T) {
+	tab := Fig12a(quick)[0]
+	byLabel := map[string]Series{}
+	for _, s := range tab.Series {
+		byLabel[s.Label] = s
+	}
+	spin := byLabel["spinning"]
+	if len(spin.Y) != 2 || spin.Y[0] <= spin.Y[1] {
+		t.Errorf("spinning zero-load power (%v) should exceed saturation (%v)", spin.Y[0], spin.Y[1])
+	}
+	popt := byLabel["hyperplane power-optimized"]
+	if len(popt.Y) != 1 || popt.Y[0] > 30 || popt.Y[0] < 8 {
+		t.Errorf("power-optimized zero-load = %.1f%%, expect near paper's 16.2%%", popt.Y[0])
+	}
+}
+
+func TestFormatAndCSV(t *testing.T) {
+	tab := Table{
+		ID: "x", Title: "test", XLabel: "q", YLabel: "v",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Label: "b", X: []float64{2}, Y: []float64{30}},
+		},
+		Notes: []string{"hello"},
+	}
+	text := tab.Format()
+	for _, frag := range []string{"== x: test ==", "a", "b", "hello", "10", "30", "-"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("Format missing %q in:\n%s", frag, text)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.Contains(csv, "x,a,b") || !strings.Contains(csv, "1,10,") {
+		t.Errorf("CSV malformed:\n%s", csv)
+	}
+}
+
+func TestExtMonitorShape(t *testing.T) {
+	tab := ExtMonitor(quick)[0]
+	if len(tab.Series) != 2 {
+		t.Fatal("want bucketized and classic series")
+	}
+	bucketized, classic := tab.Series[0], tab.Series[1]
+	// At 90% occupancy the bucketized design must be far below classic.
+	for i, x := range bucketized.X {
+		if x == 90 {
+			if bucketized.Y[i] > 1 {
+				t.Errorf("bucketized conflict rate at 90%% = %.2f%%", bucketized.Y[i])
+			}
+			if classic.Y[i] < 10 {
+				t.Errorf("classic conflict rate at 90%% = %.2f%%, expected blow-up", classic.Y[i])
+			}
+		}
+	}
+}
+
+func TestExtInOrderShape(t *testing.T) {
+	tab := ExtInOrder(quick)[0]
+	byLabel := map[string]Series{}
+	for _, s := range tab.Series {
+		byLabel[s.Label] = s
+	}
+	conc, ord := byLabel["concurrent"], byLabel["in-order"]
+	// SQ (x=1): ordered must be well below concurrent.
+	if ord.Y[0] > conc.Y[0]*0.5 {
+		t.Errorf("in-order SQ %.3f vs concurrent %.3f: not serialized", ord.Y[0], conc.Y[0])
+	}
+	// FB (x=4): within 15%.
+	if ord.Y[3] < conc.Y[3]*0.85 {
+		t.Errorf("in-order FB %.3f vs concurrent %.3f: unexpected cost", ord.Y[3], conc.Y[3])
+	}
+}
+
+func TestExtPolicyMinimalImpact(t *testing.T) {
+	tab := ExtPolicy(quick)[0]
+	// All policies within 20% of each other at every queue count.
+	base := tab.Series[0]
+	for _, s := range tab.Series[1:] {
+		for i := range base.Y {
+			lo, hi := base.Y[i]*0.8, base.Y[i]*1.2
+			if s.Y[i] < lo || s.Y[i] > hi {
+				t.Errorf("%s at x=%v: %.3f deviates from %s %.3f",
+					s.Label, s.X[i], s.Y[i], base.Label, base.Y[i])
+			}
+		}
+	}
+}
+
+func TestPlotRendering(t *testing.T) {
+	tab := Table{
+		ID: "p", Title: "plot test", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "up", X: []float64{0, 1, 2, 3}, Y: []float64{1, 2, 3, 4}},
+			{Label: "steep", X: []float64{0, 1, 2, 3}, Y: []float64{1, 10, 1000, 100000}},
+		},
+	}
+	out := tab.Plot(40, 10)
+	for _, frag := range []string{"plot test", "log scale", "* up", "o steep", "x: x"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("plot missing %q:\n%s", frag, out)
+		}
+	}
+	// Empty table renders gracefully.
+	empty := Table{ID: "e", Title: "empty"}
+	if !strings.Contains(empty.Plot(40, 10), "no data") {
+		t.Error("empty plot")
+	}
+	// Linear case.
+	lin := Table{ID: "l", Title: "lin", Series: []Series{{Label: "a", X: []float64{0, 1}, Y: []float64{5, 6}}}}
+	if !strings.Contains(lin.Plot(40, 10), "linear scale") {
+		t.Error("linear scale not used")
+	}
+}
+
+// TestAllExperimentsQuick exercises every registered experiment end-to-end
+// in quick mode, checking structural sanity of each output.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry sweep skipped in -short mode")
+	}
+	for _, e := range Registry {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tabs := e.Run(quick)
+			if len(tabs) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tab := range tabs {
+				if tab.ID == "" || tab.Title == "" {
+					t.Error("missing id/title")
+				}
+				if tab.ID != "table1" && len(tab.Series) == 0 {
+					t.Error("no series")
+				}
+				for _, s := range tab.Series {
+					if len(s.X) != len(s.Y) {
+						t.Errorf("series %q: |X|=%d |Y|=%d", s.Label, len(s.X), len(s.Y))
+					}
+					for i, y := range s.Y {
+						if y < 0 {
+							t.Errorf("series %q point %d negative: %v", s.Label, i, y)
+						}
+					}
+				}
+				if tab.Format() == "" || tab.CSV() == "" || tab.Plot(40, 8) == "" {
+					t.Error("empty rendering")
+				}
+			}
+		})
+	}
+}
+
+func TestHWCostArithmetic(t *testing.T) {
+	// The derived overheads must reproduce the paper's §IV-C claims.
+	if got := AreaOverheadPct(); got > 0.26 || got < 0.2 {
+		t.Errorf("area overhead = %.3f%%, paper says within 0.26%%", got)
+	}
+	if got := PowerOverheadPct(); got > 0.4 || got < 0.3 {
+		t.Errorf("power overhead = %.3f%%, paper says within 0.4%%", got)
+	}
+	tab := HWCost(quick)[0]
+	if len(tab.Series) != 1 || len(tab.Notes) < 3 {
+		t.Error("hwcost table malformed")
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hyperplane/internal/sdp"
+	"hyperplane/internal/traffic"
+)
+
+// Fig10a reproduces the multicore tail-latency comparison under fully
+// balanced traffic (§V-C): 4 cores / 400 queues, P99 vs load for scale-out,
+// scale-up-2, and scale-up-4 organizations of both planes.
+func Fig10a(o Options) []Table {
+	t := Table{
+		ID:     "fig10a",
+		Title:  "Multicore 99% tail latency, fully balanced traffic (4 cores, 400 queues)",
+		XLabel: "load (%)",
+		YLabel: "P99 latency (us)",
+	}
+	clusterSizes := []int{1, 2, 4}
+	for _, plane := range []sdp.PlaneKind{sdp.Spinning, sdp.HyperPlane} {
+		for _, cl := range clusterSizes {
+			org := map[int]string{1: "scale-out", 2: "scale-up-2", 4: "scale-up-4"}[cl]
+			s := Series{Label: fmt.Sprintf("%s %s", plane, org)}
+			for _, load := range loadPoints(o) {
+				r := mustRun(multicoreCfg(o, traffic.FB, plane, cl, load, 0))
+				s.X = append(s.X, load*100)
+				s.Y = append(s.Y, r.P99Latency.Microseconds())
+			}
+			t.Series = append(t.Series, s)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"expect: HyperPlane scale-up best; spinning scale-up worst (sync + 4x empty polls) (paper Fig. 10a)")
+	return []Table{t}
+}
+
+// Fig10b reproduces the proportionally concentrated variant with static
+// load imbalance: scale-out (0% and 10% imbalance) vs scale-up-2.
+func Fig10b(o Options) []Table {
+	t := Table{
+		ID:     "fig10b",
+		Title:  "Multicore 99% tail latency, proportionally concentrated traffic",
+		XLabel: "load (%)",
+		YLabel: "P99 latency (us)",
+	}
+	type variant struct {
+		name      string
+		cluster   int
+		imbalance float64
+	}
+	variants := []variant{
+		{"scale-out (no imbalance)", 1, 0},
+		{"scale-out (10% imbalance)", 1, 0.10},
+		{"scale-up-2", 2, 0},
+	}
+	for _, plane := range []sdp.PlaneKind{sdp.Spinning, sdp.HyperPlane} {
+		for _, v := range variants {
+			s := Series{Label: fmt.Sprintf("%s %s", plane, v.name)}
+			for _, load := range loadPoints(o) {
+				r := mustRun(multicoreCfg(o, traffic.PC, plane, v.cluster, load, v.imbalance))
+				s.X = append(s.X, load*100)
+				s.Y = append(s.Y, r.P99Latency.Microseconds())
+			}
+			t.Series = append(t.Series, s)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"expect: imbalance hurts scale-out; HyperPlane scale-up immune (paper Fig. 10b)")
+	return []Table{t}
+}

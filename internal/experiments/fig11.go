@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"hyperplane/internal/sdp"
+)
+
+// fig11Loads sweeps 0-100% including near-idle.
+func fig11Loads(o Options) []float64 {
+	if o.Quick {
+		return []float64{0.02, 0.5, 0.9}
+	}
+	return []float64{0.02, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}
+}
+
+// Fig11a reproduces the IPC breakdown (§V-D): the spinning data plane's
+// useful vs useless IPC, and HyperPlane's IPC, across the load spectrum
+// (packet encapsulation).
+func Fig11a(o Options) []Table {
+	t := Table{
+		ID:     "fig11a",
+		Title:  "IPC breakdown of the data plane core vs load",
+		XLabel: "load (%)",
+		YLabel: "IPC",
+	}
+	spinUseful := Series{Label: "spinning useful"}
+	spinUseless := Series{Label: "spinning useless"}
+	spinTotal := Series{Label: "spinning total"}
+	hp := Series{Label: "hyperplane"}
+	for _, load := range fig11Loads(o) {
+		x := load * 100
+		rs := mustRun(loadSweepCfg(o, sdp.Spinning, load, false))
+		spinUseful.X = append(spinUseful.X, x)
+		spinUseful.Y = append(spinUseful.Y, rs.UsefulIPC)
+		spinUseless.X = append(spinUseless.X, x)
+		spinUseless.Y = append(spinUseless.Y, rs.UselessIPC)
+		spinTotal.X = append(spinTotal.X, x)
+		spinTotal.Y = append(spinTotal.Y, rs.OverallIPC)
+
+		rh := mustRun(loadSweepCfg(o, sdp.HyperPlane, load, false))
+		hp.X = append(hp.X, x)
+		hp.Y = append(hp.Y, rh.OverallIPC)
+	}
+	t.Series = []Series{spinUseful, spinUseless, spinTotal, hp}
+	t.Notes = append(t.Notes,
+		"expect: spinning IPC highest at 0% load (all useless); HyperPlane IPC ~linear in load (paper Fig. 11a)")
+	return []Table{t}
+}
+
+// Fig11b reproduces the SMT co-runner interference experiment: the IPC of
+// a matrix-multiply hyperthread sharing the core with each data plane,
+// derived from the measured data plane activity through the ICOUNT-style
+// contention model.
+func Fig11b(o Options) []Table {
+	t := Table{
+		ID:     "fig11b",
+		Title:  "IPC of an SMT co-runner sharing the core with the data plane",
+		XLabel: "load (%)",
+		YLabel: "co-runner IPC",
+	}
+	spin := Series{Label: "co-running with spinning"}
+	hp := Series{Label: "co-running with hyperplane"}
+	for _, load := range fig11Loads(o) {
+		x := load * 100
+		rs := mustRun(loadSweepCfg(o, sdp.Spinning, load, false))
+		spin.X = append(spin.X, x)
+		spin.Y = append(spin.Y, sdp.CoRunnerIPC(rs.OverallIPC))
+
+		rh := mustRun(loadSweepCfg(o, sdp.HyperPlane, load, false))
+		hp.X = append(hp.X, x)
+		hp.Y = append(hp.Y, sdp.CoRunnerIPC(rh.OverallIPC))
+	}
+	t.Series = []Series{spin, hp}
+	t.Notes = append(t.Notes,
+		"expect: co-runner IPC rises with load under spinning, falls under HyperPlane (paper Fig. 11b)")
+	return []Table{t}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hyperplane/internal/sdp"
+	"hyperplane/internal/traffic"
+)
+
+// Fig12a reproduces the power-proportionality comparison (§V-D): core
+// power at zero load and saturation, normalized to the spinning data
+// plane's saturation power (=100%).
+func Fig12a(o Options) []Table {
+	t := Table{
+		ID:     "fig12a",
+		Title:  "Normalized core power at zero load vs saturation",
+		XLabel: "point (0=zero load, 1=saturation)",
+		YLabel: "power (% of spinning saturation)",
+	}
+	const idle, sat = 0.02, 1.0
+	spinIdle := mustRun(loadSweepCfg(o, sdp.Spinning, idle, false))
+	spinSat := mustRun(loadSweepCfg(o, sdp.Spinning, sat, false))
+	hpIdle := mustRun(loadSweepCfg(o, sdp.HyperPlane, idle, false))
+	hpSat := mustRun(loadSweepCfg(o, sdp.HyperPlane, sat, false))
+	hpIdleC1 := mustRun(loadSweepCfg(o, sdp.HyperPlane, idle, true))
+
+	base := spinSat.AvgPowerW
+	norm := func(w float64) float64 { return w / base * 100 }
+
+	t.Series = []Series{
+		{Label: "spinning", X: []float64{0, 1}, Y: []float64{norm(spinIdle.AvgPowerW), 100}},
+		{Label: "hyperplane", X: []float64{0, 1}, Y: []float64{norm(hpIdle.AvgPowerW), norm(hpSat.AvgPowerW)}},
+		{Label: "hyperplane power-optimized", X: []float64{0}, Y: []float64{norm(hpIdleC1.AvgPowerW)}},
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("power-optimized zero-load power = %.1f%% of spinning saturation (paper: 16.2%%)",
+			norm(hpIdleC1.AvgPowerW)),
+		"expect: spinning zero-load > spinning saturation (work disproportionality) (paper Fig. 12a)")
+	return []Table{t}
+}
+
+// Fig12b reproduces the wake-up latency cost of the power-optimized mode:
+// P99 latency vs load for regular HyperPlane, power-optimized HyperPlane,
+// and the spinning baseline (Fig. 10a's FB multicore setup; paper plots
+// log-scale).
+func Fig12b(o Options) []Table {
+	t := Table{
+		ID:     "fig12b",
+		Title:  "Tail latency vs load with power-optimized HyperPlane (4 cores, FB)",
+		XLabel: "load (%)",
+		YLabel: "P99 latency (us)",
+	}
+	type variant struct {
+		name  string
+		plane sdp.PlaneKind
+		popt  bool
+	}
+	for _, v := range []variant{
+		{"spinning", sdp.Spinning, false},
+		{"hyperplane", sdp.HyperPlane, false},
+		{"hyperplane low-power idle", sdp.HyperPlane, true},
+	} {
+		s := Series{Label: v.name}
+		for _, load := range loadPoints(o) {
+			cfg := multicoreCfg(o, traffic.FB, v.plane, 4, load, 0)
+			if v.plane == sdp.Spinning {
+				cfg.ClusterSize = 1 // spinning runs scale-out, its best org
+			}
+			cfg.PowerOptimized = v.popt
+			r := mustRun(cfg)
+			s.X = append(s.X, load*100)
+			s.Y = append(s.Y, r.P99Latency.Microseconds())
+		}
+		t.Series = append(t.Series, s)
+	}
+	t.Notes = append(t.Notes,
+		"expect: low-power idle costs most at low load (~38% in paper) and the gap shrinks with load (paper Fig. 12b)")
+	return []Table{t}
+}

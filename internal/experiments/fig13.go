@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hyperplane/internal/sdp"
+	"hyperplane/internal/traffic"
+)
+
+// Fig13 reproduces the ready-set implementation study (§V-E): single-core
+// HyperPlane peak throughput with a software ready set, relative to the
+// hardware PPA, for each workload under PC and FB traffic at the maximum
+// queue count.
+func Fig13(o Options) []Table {
+	queues := 1000
+	if o.Quick {
+		queues = 256
+	}
+	t := Table{
+		ID:     "fig13",
+		Title:  fmt.Sprintf("Software ready set throughput relative to hardware (%d queues)", queues),
+		XLabel: "workload index",
+		YLabel: "relative throughput (%)",
+	}
+	for _, shape := range []traffic.Shape{traffic.PC, traffic.FB} {
+		s := Series{Label: shape.String()}
+		for i, w := range workloads(o) {
+			hwCfg := satCfg(o, w, shape, queues, sdp.HyperPlane)
+			swCfg := hwCfg
+			swCfg.SoftwareReadySet = true
+			hw := mustRun(hwCfg).ThroughputMTasks
+			sw := mustRun(swCfg).ThroughputMTasks
+			s.X = append(s.X, float64(i+1))
+			s.Y = append(s.Y, sw/hw*100)
+		}
+		t.Series = append(t.Series, s)
+	}
+	var names []string
+	for i, w := range workloads(o) {
+		names = append(names, fmt.Sprintf("%d=%s", i+1, w.Name))
+	}
+	t.Notes = append(t.Notes,
+		"workloads: "+join(names),
+		"expect: software ready set loses most under FB (larger ready list to iterate) (paper Fig. 13)")
+	return []Table{t}
+}
+
+func join(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}

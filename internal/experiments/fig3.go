@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hyperplane/internal/sdp"
+	"hyperplane/internal/sim"
+	"hyperplane/internal/traffic"
+	"hyperplane/internal/workload"
+)
+
+// Fig3a reproduces the DPDK case study's throughput scalability (§II-C):
+// a single spinning core executing packet encapsulation under the four
+// traffic shapes as the queue count grows.
+func Fig3a(o Options) []Table {
+	t := Table{
+		ID:     "fig3a",
+		Title:  "Throughput of packet encapsulation (spinning data plane)",
+		XLabel: "queues",
+		YLabel: "million tasks/sec",
+	}
+	for _, shape := range traffic.Shapes {
+		s := Series{Label: shape.String()}
+		for _, n := range queueCounts(o) {
+			r := mustRun(satCfg(o, workload.PacketEncap, shape, n, sdp.Spinning))
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, r.ThroughputMTasks)
+		}
+		t.Series = append(t.Series, s)
+	}
+	t.Notes = append(t.Notes,
+		"expect: drastic drop for SQ, milder for NC, stabilizing for FB/PC (paper Fig. 3a)")
+	return []Table{t}
+}
+
+// fig3bQueueCounts is the Fig. 3b sweep (paper: up to 512).
+func fig3bQueueCounts(o Options) []int {
+	if o.Quick {
+		return []int{1, 64, 256}
+	}
+	return []int{1, 64, 128, 256, 384, 512}
+}
+
+// Fig3b reproduces the round-trip latency of packet forwarding under light
+// traffic (~0.01 MPPS): average and 99th percentile vs queue count.
+func Fig3b(o Options) []Table {
+	t := Table{
+		ID:     "fig3b",
+		Title:  "Round-trip latency of packet forwarding under light traffic",
+		XLabel: "queues",
+		YLabel: "latency (us)",
+	}
+	samples := 400
+	if o.Quick {
+		samples = 80
+	}
+	avg := Series{Label: "average"}
+	tail := Series{Label: "99% tail"}
+	for _, n := range fig3bQueueCounts(o) {
+		r := mustRun(lightCfg(o, forwarding, traffic.FB, n, sdp.Spinning, samples))
+		avg.X = append(avg.X, float64(n))
+		avg.Y = append(avg.Y, (r.AvgLatency + wireRTT).Microseconds())
+		tail.X = append(tail.X, float64(n))
+		tail.Y = append(tail.Y, (r.P99Latency + wireRTT).Microseconds())
+	}
+	t.Series = []Series{avg, tail}
+	t.Notes = append(t.Notes,
+		"expect: both grow ~linearly with queue count, tail with a higher slope (paper Fig. 3b)")
+	return []Table{t}
+}
+
+// Fig3c reproduces the latency CDF at three queue counts.
+func Fig3c(o Options) []Table {
+	t := Table{
+		ID:     "fig3c",
+		Title:  "Distribution of round-trip latency (CDF)",
+		XLabel: "CDF percentile",
+		YLabel: "latency (us)",
+	}
+	counts := []int{1, 256, 512}
+	if o.Quick {
+		counts = []int{1, 128}
+	}
+	samples := 600
+	if o.Quick {
+		samples = 120
+	}
+	for _, n := range counts {
+		r := mustRun(lightCfg(o, forwarding, traffic.FB, n, sdp.Spinning, samples))
+		s := Series{Label: plural(n)}
+		for _, pt := range r.CDF {
+			s.X = append(s.X, pt.Pct)
+			s.Y = append(s.Y, (sim.Time(pt.Value) + wireRTT).Microseconds())
+		}
+		t.Series = append(t.Series, s)
+	}
+	t.Notes = append(t.Notes,
+		"expect: wider latency spread at higher queue counts (paper Fig. 3c)")
+	return []Table{t}
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return "1 queue"
+	}
+	return fmt.Sprintf("%d queues", n)
+}

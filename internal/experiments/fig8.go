@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hyperplane/internal/sdp"
+	"hyperplane/internal/traffic"
+)
+
+// Fig8 reproduces the peak-throughput comparison (§V-B): one table per
+// workload, each with eight series (4 traffic shapes x {spinning,
+// HyperPlane}) over the queue-count sweep.
+func Fig8(o Options) []Table {
+	var out []Table
+	for _, w := range workloads(o) {
+		t := Table{
+			ID:     "fig8",
+			Title:  fmt.Sprintf("Peak throughput: %s", w.Name),
+			XLabel: "queues",
+			YLabel: "million tasks/sec",
+		}
+		for _, shape := range traffic.Shapes {
+			for _, plane := range []sdp.PlaneKind{sdp.Spinning, sdp.HyperPlane} {
+				s := Series{Label: fmt.Sprintf("%s-%s", shape, plane)}
+				for _, n := range queueCounts(o) {
+					r := mustRun(satCfg(o, w, shape, n, plane))
+					s.X = append(s.X, float64(n))
+					s.Y = append(s.Y, r.ThroughputMTasks)
+				}
+				t.Series = append(t.Series, s)
+			}
+		}
+		t.Notes = append(t.Notes,
+			"expect: spinning collapses under SQ/NC; HyperPlane flat in queue count (paper Fig. 8)")
+		out = append(out, t)
+	}
+	return out
+}

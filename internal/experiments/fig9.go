@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hyperplane/internal/sdp"
+	"hyperplane/internal/traffic"
+)
+
+// fig9Samples returns the latency sample target per run.
+func fig9Samples(o Options) int {
+	if o.Quick {
+		return 60
+	}
+	return 300
+}
+
+// Fig9a reproduces the spinning data plane's zero-load latency (§V-B):
+// average and 99th-percentile latency per workload as queue count grows,
+// under <1% load.
+func Fig9a(o Options) []Table {
+	t := Table{
+		ID:     "fig9a",
+		Title:  "Zero-load latency of the spinning data plane",
+		XLabel: "queues",
+		YLabel: "latency (us)",
+	}
+	for _, w := range workloads(o) {
+		avg := Series{Label: w.Name + " avg"}
+		tail := Series{Label: w.Name + " p99"}
+		for _, n := range queueCounts(o) {
+			r := mustRun(lightCfg(o, w, traffic.FB, n, sdp.Spinning, fig9Samples(o)))
+			avg.X = append(avg.X, float64(n))
+			avg.Y = append(avg.Y, r.AvgLatency.Microseconds())
+			tail.X = append(tail.X, float64(n))
+			tail.Y = append(tail.Y, r.P99Latency.Microseconds())
+		}
+		t.Series = append(t.Series, avg, tail)
+	}
+	t.Notes = append(t.Notes,
+		"expect: avg and p99 grow ~linearly with queues; p99 slope steeper (paper Fig. 9a)")
+	return []Table{t}
+}
+
+// Fig9b reproduces HyperPlane's zero-load latency in regular and
+// power-optimized (C1) modes: flat in queue count, with the ~0.5 us wake-up
+// penalty in the power-optimized mode.
+func Fig9b(o Options) []Table {
+	t := Table{
+		ID:     "fig9b",
+		Title:  "Zero-load average latency of HyperPlane (regular vs power-optimized)",
+		XLabel: "queues",
+		YLabel: "latency (us)",
+	}
+	for _, w := range workloads(o) {
+		for _, popt := range []bool{false, true} {
+			mode := "regular"
+			if popt {
+				mode = "power-optimized"
+			}
+			s := Series{Label: fmt.Sprintf("%s %s", w.Name, mode)}
+			for _, n := range queueCounts(o) {
+				cfg := lightCfg(o, w, traffic.FB, n, sdp.HyperPlane, fig9Samples(o))
+				cfg.PowerOptimized = popt
+				r := mustRun(cfg)
+				s.X = append(s.X, float64(n))
+				s.Y = append(s.Y, r.AvgLatency.Microseconds())
+			}
+			t.Series = append(t.Series, s)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"expect: flat in queue count; power-optimized ~0.5us above regular (paper Fig. 9b)")
+	return []Table{t}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"hyperplane/internal/sdp"
+	"hyperplane/internal/traffic"
+	"hyperplane/internal/workload"
+)
+
+// Headline computes the paper's summary numbers: HyperPlane's mean peak-
+// throughput improvement (paper: 4.1x) across workloads, traffic shapes,
+// and queue counts, and its mean average/tail zero-load latency
+// improvements (paper: 9.1x / 16.4x) across queue counts.
+func Headline(o Options) []Table {
+	t := Table{
+		ID:     "headline",
+		Title:  "Mean improvements of HyperPlane over the spinning data plane",
+		XLabel: "metric (1=throughput, 2=avg latency, 3=p99 latency)",
+		YLabel: "improvement (x)",
+	}
+
+	// Throughput: mean of per-point ratios over the Fig. 8 grid (the
+	// paper's "on average ... across a varying number of I/O queues" is an
+	// arithmetic mean over its sweep; the geometric mean is reported in
+	// the notes for robustness).
+	var sum, logSum float64
+	var points int
+	counts := queueCounts(o)
+	for _, w := range throughputWorkloads(o) {
+		for _, shape := range traffic.Shapes {
+			for _, n := range counts {
+				spin := mustRun(satCfg(o, w, shape, n, sdp.Spinning)).ThroughputMTasks
+				hp := mustRun(satCfg(o, w, shape, n, sdp.HyperPlane)).ThroughputMTasks
+				if spin > 0 && hp > 0 {
+					sum += hp / spin
+					logSum += math.Log(hp / spin)
+					points++
+				}
+			}
+		}
+	}
+	thr := sum / float64(points)
+	thrGeo := math.Exp(logSum / float64(points))
+
+	// Latency: mean ratios across queue counts at <1% load.
+	var avgSum, tailSum float64
+	var latPoints int
+	samples := fig9Samples(o)
+	for _, w := range throughputWorkloads(o) {
+		for _, n := range counts {
+			spin := mustRun(lightCfg(o, w, traffic.FB, n, sdp.Spinning, samples))
+			hp := mustRun(lightCfg(o, w, traffic.FB, n, sdp.HyperPlane, samples))
+			if hp.AvgLatency > 0 && hp.P99Latency > 0 {
+				avgSum += float64(spin.AvgLatency) / float64(hp.AvgLatency)
+				tailSum += float64(spin.P99Latency) / float64(hp.P99Latency)
+				latPoints++
+			}
+		}
+	}
+	avgImp := avgSum / float64(latPoints)
+	tailImp := tailSum / float64(latPoints)
+
+	t.Series = []Series{
+		{Label: "measured", X: []float64{1, 2, 3}, Y: []float64{thr, avgImp, tailImp}},
+		{Label: "paper", X: []float64{1, 2, 3}, Y: []float64{4.1, 9.1, 16.4}},
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("measured: %.1fx peak throughput (geomean %.1fx), %.1fx avg latency, %.1fx p99 latency",
+			thr, thrGeo, avgImp, tailImp),
+		"paper: 4.1x peak throughput, 9.1x avg latency, 16.4x p99 latency",
+		"absolute factors depend on substrate calibration; direction and magnitude class should match")
+	return []Table{t}
+}
+
+// throughputWorkloads bounds the headline sweep (2 workloads in quick mode,
+// 3 in full to keep the full suite's runtime reasonable — the remaining
+// workloads behave identically per Fig. 8).
+func throughputWorkloads(o Options) []workload.Spec {
+	if o.Quick {
+		return []workload.Spec{workload.PacketEncap}
+	}
+	return []workload.Spec{workload.PacketEncap, workload.PacketSteering, workload.RAIDProtection}
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hyperplane/internal/ready"
+	"hyperplane/internal/sdp"
+	"hyperplane/internal/sim"
+	"hyperplane/internal/traffic"
+	"hyperplane/internal/workload"
+)
+
+// quickWorkloads limits the workload sweep in Quick mode.
+func workloads(o Options) []workload.Spec {
+	if o.Quick {
+		return []workload.Spec{workload.PacketEncap, workload.PacketSteering}
+	}
+	return workload.All
+}
+
+// satCfg builds a peak-throughput (Saturate) configuration.
+func satCfg(o Options, w workload.Spec, shape traffic.Shape, queues int, plane sdp.PlaneKind) sdp.Config {
+	warm, dur := satWindow(o, w.ServiceMean)
+	return sdp.Config{
+		Cores:    1,
+		Queues:   queues,
+		Workload: w,
+		Shape:    shape,
+		Plane:    plane,
+		Policy:   ready.RoundRobin,
+		Mode:     sdp.Saturate,
+		Warmup:   warm,
+		Duration: dur,
+		Seed:     o.Seed + 1,
+	}
+}
+
+// lightCfg builds a near-zero-load latency configuration. samples controls
+// the expected number of latency observations.
+func lightCfg(o Options, w workload.Spec, shape traffic.Shape, queues int, plane sdp.PlaneKind, samples int) sdp.Config {
+	const load = 0.01
+	rate := load * 1 / w.ServiceMean.Seconds()
+	dur := sim.FromSeconds(float64(samples) / rate)
+	return sdp.Config{
+		Cores:    1,
+		Queues:   queues,
+		Workload: w,
+		Shape:    shape,
+		Plane:    plane,
+		Policy:   ready.RoundRobin,
+		Mode:     sdp.OpenLoop,
+		Load:     load,
+		Warmup:   dur / 20,
+		Duration: dur,
+		Seed:     o.Seed + 2,
+	}
+}
+
+// multicoreCfg builds the Fig. 10/12b configuration: 4 cores, 400 queues.
+func multicoreCfg(o Options, shape traffic.Shape, plane sdp.PlaneKind, clusterSize int, load, imbalance float64) sdp.Config {
+	queues := 400
+	dur := 40 * sim.Millisecond
+	if o.Quick {
+		queues = 100
+		dur = 8 * sim.Millisecond
+	}
+	return sdp.Config{
+		Cores:       4,
+		ClusterSize: clusterSize,
+		Queues:      queues,
+		Workload:    workload.PacketEncap,
+		Shape:       shape,
+		Plane:       plane,
+		Policy:      ready.RoundRobin,
+		Mode:        sdp.OpenLoop,
+		Load:        load,
+		Imbalance:   imbalance,
+		Warmup:      dur / 8,
+		Duration:    dur,
+		Seed:        o.Seed + 3,
+	}
+}
+
+// loadSweepCfg builds the Fig. 11/12a single-core load-sweep configuration.
+// 100 queues keeps the queue heads L1-resident, giving the paper's high
+// idle-spin IPC (~2) that then *drops* with load as task buffers evict them
+// (the paper's >50%-load anomaly).
+func loadSweepCfg(o Options, plane sdp.PlaneKind, load float64, powerOpt bool) sdp.Config {
+	queues := 100
+	dur := 30 * sim.Millisecond
+	if o.Quick {
+		queues = 64
+		dur = 6 * sim.Millisecond
+	}
+	return sdp.Config{
+		Cores:          1,
+		Queues:         queues,
+		Workload:       workload.PacketEncap,
+		Shape:          traffic.FB,
+		Plane:          plane,
+		Policy:         ready.RoundRobin,
+		Mode:           sdp.OpenLoop,
+		Load:           load,
+		PowerOptimized: powerOpt,
+		Warmup:         dur / 8,
+		Duration:       dur,
+		Seed:           o.Seed + 4,
+	}
+}
+
+// mustRun executes a configuration; config errors are programming bugs in
+// the experiment definitions, hence panic.
+func mustRun(cfg sdp.Config) sdp.Result {
+	r, err := sdp.Run(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return r
+}
+
+// forwarding is the light packet-forwarding task of the §II-C DPDK case
+// study (Fig. 3b/3c): minimal per-packet work.
+var forwarding = workload.Spec{
+	Name:               "packet-forwarding",
+	ServiceMean:        450 * sim.Nanosecond,
+	CV:                 0.4,
+	BufferLinesPerItem: 2,
+	UsefulIPC:          1.5,
+}
+
+// wireRTT is the generator<->NIC round-trip added to Fig. 3b/3c latencies
+// (the paper measures at an external packet generator).
+const wireRTT = 4 * sim.Microsecond

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders the table as an ASCII chart: one mark per series over a
+// width x height grid, with a legend. Y is linear unless the series span
+// more than three decades, in which case a log scale is used. Intended for
+// quick terminal inspection (hyperbench -plot); the Format/CSV renderings
+// remain the precise outputs.
+func (t Table) Plot(width, height int) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range t.Series {
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			if first {
+				xmin, xmax, ymin, ymax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if first {
+		return fmt.Sprintf("== %s: %s == (no data)\n", t.ID, t.Title)
+	}
+	logY := ymin > 0 && ymax/ymin > 1000
+	ty := func(y float64) float64 {
+		if logY {
+			return math.Log10(y)
+		}
+		return y
+	}
+	lo, hi := ty(ymin), ty(ymax)
+	if hi == lo {
+		hi = lo + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "*o+x#@%&"
+	for si, s := range t.Series {
+		m := marks[si%len(marks)]
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((ty(s.Y[i])-lo)/(hi-lo)*float64(height-1))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = m
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	scale := "linear"
+	if logY {
+		scale = "log"
+	}
+	fmt.Fprintf(&b, "   y: %s (%s scale, %.4g .. %.4g)\n", t.YLabel, scale, ymin, ymax)
+	for _, row := range grid {
+		b.WriteString("   |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("   +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "    x: %s (%.4g .. %.4g)\n", t.XLabel, xmin, xmax)
+	for si, s := range t.Series {
+		fmt.Fprintf(&b, "    %c %s\n", marks[si%len(marks)], s.Label)
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+)
+
+// Replicate runs an experiment n times with distinct seeds and returns
+// tables whose Y values are the across-seed means, with a note reporting
+// the worst-case relative standard deviation — the standard way to put
+// confidence behind single-seed simulation numbers.
+//
+// Series and X grids must be identical across seeds (they are: sweeps are
+// configuration-driven); Replicate panics otherwise, since that would
+// indicate a nondeterministic experiment definition.
+func Replicate(run Runner, o Options, n int) []Table {
+	if n < 1 {
+		panic("experiments: replication count must be positive")
+	}
+	if n == 1 {
+		return run(o)
+	}
+	var reps [][]Table
+	for i := 0; i < n; i++ {
+		oi := o
+		oi.Seed = o.Seed + uint64(i)*0x9e3779b9
+		reps = append(reps, run(oi))
+	}
+	base := reps[0]
+	out := make([]Table, len(base))
+	var worstRSD float64
+	for ti := range base {
+		t := base[ti]
+		avg := Table{ID: t.ID, Title: t.Title, XLabel: t.XLabel, YLabel: t.YLabel, Notes: t.Notes}
+		for si, s := range t.Series {
+			mean := Series{Label: s.Label, X: append([]float64(nil), s.X...)}
+			for pi := range s.Y {
+				var sum, sumSq float64
+				for _, rep := range reps {
+					checkShape(rep, ti, si, pi, t, s)
+					y := rep[ti].Series[si].Y[pi]
+					sum += y
+					sumSq += y * y
+				}
+				m := sum / float64(n)
+				mean.Y = append(mean.Y, m)
+				if m != 0 && n > 1 {
+					variance := (sumSq - float64(n)*m*m) / float64(n-1)
+					if variance < 0 {
+						variance = 0
+					}
+					if rsd := math.Sqrt(variance) / math.Abs(m); rsd > worstRSD {
+						worstRSD = rsd
+					}
+				}
+			}
+			avg.Series = append(avg.Series, mean)
+		}
+		out[ti] = avg
+	}
+	for ti := range out {
+		out[ti].Notes = append(out[ti].Notes,
+			fmt.Sprintf("averaged over %d seeds; worst-case relative stddev %.1f%%", n, worstRSD*100))
+	}
+	return out
+}
+
+func checkShape(rep []Table, ti, si, pi int, t Table, s Series) {
+	if ti >= len(rep) || si >= len(rep[ti].Series) || pi >= len(rep[ti].Series[si].Y) ||
+		rep[ti].Series[si].X[pi] != s.X[pi] {
+		panic(fmt.Sprintf("experiments: replicate shape mismatch in %s/%s", t.ID, s.Label))
+	}
+}

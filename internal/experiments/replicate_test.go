@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeRunner yields Y = base + seed-derived offset so averaging is testable.
+func fakeRunner(o Options) []Table {
+	off := float64(o.Seed % 5)
+	return []Table{{
+		ID: "fake", Title: "fake", XLabel: "x", YLabel: "y",
+		Series: []Series{{Label: "s", X: []float64{1, 2}, Y: []float64{10 + off, 20 + off}}},
+	}}
+}
+
+func TestReplicateAverages(t *testing.T) {
+	// Seeds 0, 0x9e3779b9, ... produce offsets seed%5: deterministic set.
+	out := Replicate(fakeRunner, Options{Seed: 0}, 5)
+	if len(out) != 1 || len(out[0].Series) != 1 {
+		t.Fatal("shape")
+	}
+	s := out[0].Series[0]
+	// Offsets for seeds {0, 1*k, 2*k, ...} mod 5 — compute expected mean.
+	var want float64
+	for i := 0; i < 5; i++ {
+		want += float64((uint64(i) * 0x9e3779b9) % 5)
+	}
+	want = want / 5
+	if s.Y[0] != 10+want || s.Y[1] != 20+want {
+		t.Errorf("averaged Y = %v, want offsets %v", s.Y, want)
+	}
+	found := false
+	for _, n := range out[0].Notes {
+		if strings.Contains(n, "averaged over 5 seeds") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing replication note")
+	}
+}
+
+func TestReplicateSingle(t *testing.T) {
+	out := Replicate(fakeRunner, Options{Seed: 3}, 1)
+	if out[0].Series[0].Y[0] != 10+3 {
+		t.Error("n=1 must be a plain run")
+	}
+}
+
+func TestReplicateValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("n=0 accepted")
+		}
+	}()
+	Replicate(fakeRunner, Options{}, 0)
+}
+
+func TestReplicateRealExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication of a real experiment skipped in -short mode")
+	}
+	// Fig. 3a quick, 3 seeds: output shape preserved, values averaged.
+	out := Replicate(Fig3a, quick, 3)
+	if len(out) != 1 || len(out[0].Series) != 4 {
+		t.Fatal("shape changed under replication")
+	}
+	for _, s := range out[0].Series {
+		for _, y := range s.Y {
+			if y <= 0 {
+				t.Errorf("series %s has non-positive averaged throughput", s.Label)
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package mem
+
+// way is one cache way entry.
+type way struct {
+	tag   Addr // line address
+	state MESI
+	valid bool
+	lru   uint64
+}
+
+// cache is a set-associative cache with true-LRU replacement. It stores only
+// tags and states; data contents are not modelled.
+type cache struct {
+	sets  [][]way
+	nsets uint64
+	tick  uint64
+}
+
+// newCache builds a cache of size bytes with the given associativity.
+// The set count is rounded down to a power of two for cheap indexing.
+func newCache(size, ways int) *cache {
+	if size <= 0 || ways <= 0 {
+		panic("mem: cache size and ways must be positive")
+	}
+	nsets := size / (LineSize * ways)
+	if nsets < 1 {
+		nsets = 1
+	}
+	// Round down to a power of two.
+	p := 1
+	for p*2 <= nsets {
+		p *= 2
+	}
+	c := &cache{nsets: uint64(p)}
+	c.sets = make([][]way, p)
+	for i := range c.sets {
+		c.sets[i] = make([]way, ways)
+	}
+	return c
+}
+
+func (c *cache) set(line Addr) []way {
+	return c.sets[lineNum(line)&(c.nsets-1)]
+}
+
+// lookup returns the way holding line, or nil. A hit refreshes LRU.
+func (c *cache) lookup(line Addr) *way {
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			c.tick++
+			set[i].lru = c.tick
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// insert fills line with the given state, returning the evicted victim if a
+// valid entry had to be replaced. Inserting a line already present just
+// updates its state.
+func (c *cache) insert(line Addr, state MESI) (victim way, evicted bool) {
+	set := c.set(line)
+	c.tick++
+	// Already present?
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].state = state
+			set[i].lru = c.tick
+			return way{}, false
+		}
+	}
+	// Free way?
+	for i := range set {
+		if !set[i].valid {
+			set[i] = way{tag: line, state: state, valid: true, lru: c.tick}
+			return way{}, false
+		}
+	}
+	// Evict LRU.
+	vi := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	victim = set[vi]
+	set[vi] = way{tag: line, state: state, valid: true, lru: c.tick}
+	return victim, true
+}
+
+// invalidate drops line if present.
+func (c *cache) invalidate(line Addr) {
+	set := c.set(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].valid = false
+			return
+		}
+	}
+}

@@ -1,0 +1,429 @@
+// Package mem models the memory hierarchy of the simulated CMP: per-core
+// private L1 caches, a shared LLC, and a directory-based MESI coherence
+// protocol (Table I of the HyperPlane paper).
+//
+// The model is behavioural, not cycle-accurate: each Access returns the
+// latency the requesting core observes, and the directory exposes the write
+// transactions (GetM and device DMA writes) that HyperPlane's monitoring set
+// snoops. Silent E->M upgrades are modelled faithfully — they produce no
+// visible transaction, which is exactly why the paper's re-arm path issues a
+// GetS (ForceShared here) so that a subsequent doorbell write must make a
+// GetM visible.
+package mem
+
+import "hyperplane/internal/sim"
+
+// Addr is a physical byte address in the simulated machine.
+type Addr uint64
+
+// LineSize is the cache line size in bytes (Table I: 64 B lines).
+const LineSize = 64
+
+// LineOf returns the address of the cache line containing a.
+func LineOf(a Addr) Addr { return a &^ (LineSize - 1) }
+
+// lineNum returns the line index used for set selection.
+func lineNum(a Addr) uint64 { return uint64(a) / LineSize }
+
+// MESI is the coherence state of a line in a private cache.
+type MESI uint8
+
+// Coherence states.
+const (
+	Invalid MESI = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+func (s MESI) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Level identifies where an access was satisfied.
+type Level uint8
+
+// Hit levels.
+const (
+	LevelL1 Level = iota
+	LevelLLC
+	LevelRemoteL1 // cache-to-cache transfer from another core's L1
+	LevelMemory
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelLLC:
+		return "LLC"
+	case LevelRemoteL1:
+		return "remote-L1"
+	case LevelMemory:
+		return "memory"
+	}
+	return "?"
+}
+
+// SnoopFunc observes a coherence write transaction: a GetM issued by a core,
+// or a device DMA write. writer is the core id, or -1 for a device.
+// HyperPlane's monitoring set registers one of these.
+type SnoopFunc func(line Addr, writer int)
+
+// Config sizes the hierarchy. Defaults (via DefaultConfig) follow Table I.
+type Config struct {
+	Cores int
+
+	L1Size int // bytes, per core
+	L1Ways int
+
+	LLCSize int // bytes, total shared
+	LLCWays int
+
+	Clock sim.Clock
+
+	L1HitCycles  int64    // tag+data access on an L1 hit
+	LLCHitCycles int64    // L1 miss satisfied by the LLC
+	C2CCycles    int64    // cache-to-cache transfer between L1s
+	MemLatency   sim.Time // L1+LLC miss to DRAM
+}
+
+// DefaultConfig returns the Table I configuration: 32 KB 4-way L1,
+// 1 MB/core 16-way shared LLC, 3 GHz clock.
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores:        cores,
+		L1Size:       32 << 10,
+		L1Ways:       4,
+		LLCSize:      cores * (1 << 20),
+		LLCWays:      16,
+		Clock:        sim.NewClock(3.0),
+		L1HitCycles:  4,
+		LLCHitCycles: 30,
+		C2CCycles:    60,
+		MemLatency:   80 * sim.Nanosecond,
+	}
+}
+
+// Stats counts accesses by outcome for one core (or the device, index Cores).
+type Stats struct {
+	Accesses      int64
+	L1Hits        int64
+	LLCHits       int64
+	C2CTransfers  int64
+	MemAccesses   int64
+	Invalidations int64 // invalidations this agent caused in other L1s
+}
+
+// dirEntry tracks the global state of one line: which L1s hold it and which
+// (if any) holds it in E or M.
+type dirEntry struct {
+	sharers uint64 // bitmask over cores
+	owner   int    // core holding E/M, or -1
+}
+
+// System is the simulated memory hierarchy.
+type System struct {
+	cfg    Config
+	l1     []*cache
+	llc    *cache
+	dir    map[Addr]*dirEntry
+	snoops []SnoopFunc
+	stats  []Stats // per core, plus one slot for the device
+
+	l1Hit  sim.Time
+	llcHit sim.Time
+	c2c    sim.Time
+}
+
+// NewSystem builds the hierarchy described by cfg.
+func NewSystem(cfg Config) *System {
+	if cfg.Cores <= 0 {
+		panic("mem: Cores must be positive")
+	}
+	if cfg.Cores > 64 {
+		panic("mem: directory bitmask supports at most 64 cores")
+	}
+	s := &System{
+		cfg:    cfg,
+		dir:    make(map[Addr]*dirEntry),
+		stats:  make([]Stats, cfg.Cores+1),
+		l1Hit:  cfg.Clock.Cycles(cfg.L1HitCycles),
+		llcHit: cfg.Clock.Cycles(cfg.LLCHitCycles),
+		c2c:    cfg.Clock.Cycles(cfg.C2CCycles),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		s.l1 = append(s.l1, newCache(cfg.L1Size, cfg.L1Ways))
+	}
+	s.llc = newCache(cfg.LLCSize, cfg.LLCWays)
+	return s
+}
+
+// Config returns the configuration the system was built with.
+func (s *System) Config() Config { return s.cfg }
+
+// OnWrite registers a snoop hook, called on every visible write transaction
+// to any line. The monitoring set filters by its reserved doorbell range.
+func (s *System) OnWrite(fn SnoopFunc) { s.snoops = append(s.snoops, fn) }
+
+func (s *System) snoop(line Addr, writer int) {
+	for _, fn := range s.snoops {
+		fn(line, writer)
+	}
+}
+
+// Stats returns access statistics for the given core (or Cores for device).
+func (s *System) Stats(agent int) Stats { return s.stats[agent] }
+
+func (s *System) entry(line Addr) *dirEntry {
+	e := s.dir[line]
+	if e == nil {
+		e = &dirEntry{owner: -1}
+		s.dir[line] = e
+	}
+	return e
+}
+
+// Read performs a load by core from addr and returns the observed latency
+// and the level that satisfied it.
+func (s *System) Read(core int, addr Addr) (sim.Time, Level) {
+	line := LineOf(addr)
+	st := &s.stats[core]
+	st.Accesses++
+	l1 := s.l1[core]
+	if w := l1.lookup(line); w != nil {
+		st.L1Hits++
+		return s.l1Hit, LevelL1
+	}
+	// L1 miss: consult the directory.
+	e := s.entry(line)
+	lat := s.l1Hit // tag check before going out
+	var lvl Level
+	switch {
+	case e.owner >= 0 && e.owner != core:
+		// Dirty (or exclusive) in a remote L1: cache-to-cache transfer,
+		// owner downgrades to S and the LLC picks up the data.
+		lat += s.c2c
+		lvl = LevelRemoteL1
+		st.C2CTransfers++
+		if w := s.l1[e.owner].lookup(line); w != nil {
+			w.state = Shared
+		}
+		e.sharers |= 1 << uint(e.owner)
+		e.owner = -1
+		s.llcInsert(line)
+	case s.llc.lookup(line) != nil:
+		lat += s.llcHit
+		lvl = LevelLLC
+		st.LLCHits++
+	default:
+		lat += s.cfg.MemLatency
+		lvl = LevelMemory
+		st.MemAccesses++
+		s.llcInsert(line)
+	}
+	// Fill into L1: E if nobody else holds it, else S.
+	state := Shared
+	if e.sharers&^(1<<uint(core)) == 0 && e.owner < 0 {
+		state = Exclusive
+	}
+	s.l1Insert(core, line, state)
+	e = s.entry(line) // l1Insert may evict and mutate the directory
+	if state == Exclusive {
+		e.owner = core
+		e.sharers = 0
+	} else {
+		e.sharers |= 1 << uint(core)
+	}
+	return lat, lvl
+}
+
+// Write performs a store by core to addr and returns the observed latency
+// and satisfying level. Stores that upgrade from S or miss entirely issue a
+// GetM, which invalidates remote copies and fires the snoop hooks. Silent
+// E->M upgrades fire no hooks (no bus/directory transaction exists).
+func (s *System) Write(core int, addr Addr) (sim.Time, Level) {
+	line := LineOf(addr)
+	st := &s.stats[core]
+	st.Accesses++
+	l1 := s.l1[core]
+	if w := l1.lookup(line); w != nil {
+		switch w.state {
+		case Modified:
+			st.L1Hits++
+			return s.l1Hit, LevelL1
+		case Exclusive:
+			// Silent upgrade: no visible transaction.
+			w.state = Modified
+			st.L1Hits++
+			e := s.entry(line)
+			e.owner = core
+			return s.l1Hit, LevelL1
+		case Shared:
+			// Upgrade: invalidate other sharers; data already present.
+			lat := s.l1Hit + s.invalidateOthers(core, line)
+			w.state = Modified
+			e := s.entry(line)
+			e.owner = core
+			e.sharers = 0
+			s.snoop(line, core)
+			return lat, LevelL1
+		}
+	}
+	// Write miss: GetM. Fetch data and invalidate everyone else.
+	e := s.entry(line)
+	lat := s.l1Hit
+	var lvl Level
+	switch {
+	case e.owner >= 0 && e.owner != core:
+		lat += s.c2c
+		lvl = LevelRemoteL1
+		st.C2CTransfers++
+	case s.llc.lookup(line) != nil:
+		lat += s.llcHit
+		lvl = LevelLLC
+		st.LLCHits++
+	default:
+		lat += s.cfg.MemLatency
+		lvl = LevelMemory
+		st.MemAccesses++
+		s.llcInsert(line)
+	}
+	lat += s.invalidateOthers(core, line)
+	s.l1Insert(core, line, Modified)
+	e = s.entry(line)
+	e.owner = core
+	e.sharers = 0
+	s.snoop(line, core)
+	return lat, lvl
+}
+
+// DeviceWrite models a DMA write by an I/O device (e.g. a NIC posting a
+// descriptor or ringing a doorbell). It invalidates all cached copies,
+// updates memory/LLC, and fires the snoop hooks. The returned latency is the
+// device-side cost and is normally not charged to any core.
+func (s *System) DeviceWrite(addr Addr) sim.Time {
+	line := LineOf(addr)
+	st := &s.stats[s.cfg.Cores]
+	st.Accesses++
+	e := s.entry(line)
+	lat := s.cfg.MemLatency
+	for c := 0; c < s.cfg.Cores; c++ {
+		held := e.sharers&(1<<uint(c)) != 0 || e.owner == c
+		if held {
+			s.l1[c].invalidate(line)
+			st.Invalidations++
+		}
+	}
+	e.sharers = 0
+	e.owner = -1
+	s.llcInsert(line)
+	s.snoop(line, -1)
+	return lat
+}
+
+// ForceShared models the monitoring set's re-arm GetS (paper §IV-A): it
+// ensures no core holds the line in E/M, so the next write must issue a
+// visible GetM. Any dirty copy is downgraded to S with its data pushed to
+// the LLC.
+func (s *System) ForceShared(addr Addr) {
+	line := LineOf(addr)
+	e := s.entry(line)
+	if e.owner < 0 {
+		return
+	}
+	if w := s.l1[e.owner].lookup(line); w != nil {
+		w.state = Shared
+	}
+	e.sharers |= 1 << uint(e.owner)
+	e.owner = -1
+	s.llcInsert(line)
+}
+
+// HasOwner reports whether some core holds the line in E or M (test hook).
+func (s *System) HasOwner(addr Addr) bool {
+	e := s.dir[LineOf(addr)]
+	return e != nil && e.owner >= 0
+}
+
+// StateIn returns core's L1 state for the line (test hook).
+func (s *System) StateIn(core int, addr Addr) MESI {
+	if w := s.l1[core].lookup(LineOf(addr)); w != nil {
+		return w.state
+	}
+	return Invalid
+}
+
+// invalidateOthers removes all remote copies of line and returns the added
+// latency (one cross-core hop if any copy existed).
+func (s *System) invalidateOthers(core int, line Addr) sim.Time {
+	e := s.entry(line)
+	var lat sim.Time
+	st := &s.stats[core]
+	for c := 0; c < s.cfg.Cores; c++ {
+		if c == core {
+			continue
+		}
+		held := e.sharers&(1<<uint(c)) != 0 || e.owner == c
+		if !held {
+			continue
+		}
+		if w := s.l1[c].lookup(line); w != nil {
+			if w.state == Modified {
+				s.llcInsert(line) // writeback
+			}
+			w.valid = false
+		}
+		st.Invalidations++
+		if lat == 0 {
+			lat = s.c2c // invalidation acks overlap; charge one hop
+		}
+	}
+	e.sharers &= 1 << uint(core)
+	if e.owner != core {
+		e.owner = -1
+	}
+	return lat
+}
+
+// l1Insert fills line into core's L1, handling victim eviction.
+func (s *System) l1Insert(core int, line Addr, state MESI) {
+	victim, hadVictim := s.l1[core].insert(line, state)
+	if !hadVictim {
+		return
+	}
+	ve := s.entry(victim.tag)
+	if victim.state == Modified || victim.state == Exclusive {
+		if victim.state == Modified {
+			s.llcInsert(victim.tag) // writeback
+		}
+		if ve.owner == core {
+			ve.owner = -1
+		}
+	}
+	ve.sharers &^= 1 << uint(core)
+}
+
+// llcInsert fills line into the shared LLC; evicted victims are simply
+// dropped (the directory is full-map and independent of LLC capacity, like
+// the monitoring set in the paper).
+func (s *System) llcInsert(line Addr) {
+	s.llc.insert(line, Shared)
+}
+
+// FlushAgentStats zeroes the statistics (between warm-up and measurement).
+func (s *System) FlushAgentStats() {
+	for i := range s.stats {
+		s.stats[i] = Stats{}
+	}
+}

@@ -1,0 +1,115 @@
+package mem
+
+import "testing"
+
+func TestLevelAndStateStrings(t *testing.T) {
+	if LevelL1.String() != "L1" || LevelLLC.String() != "LLC" ||
+		LevelRemoteL1.String() != "remote-L1" || LevelMemory.String() != "memory" ||
+		Level(9).String() != "?" {
+		t.Error("level names")
+	}
+	if Invalid.String() != "I" || Shared.String() != "S" ||
+		Exclusive.String() != "E" || Modified.String() != "M" ||
+		MESI(9).String() != "?" {
+		t.Error("state names")
+	}
+}
+
+func TestDeviceWriteOverwritesDirtyLine(t *testing.T) {
+	s := testSystem(2)
+	addr := Addr(0x9000)
+	s.Write(0, addr) // core 0 holds M
+	if s.StateIn(0, addr) != Modified {
+		t.Fatal("setup")
+	}
+	s.DeviceWrite(addr)
+	if s.StateIn(0, addr) != Invalid {
+		t.Error("dirty copy survived DMA write")
+	}
+	if s.HasOwner(addr) {
+		t.Error("owner survived DMA write")
+	}
+	if s.Stats(2).Invalidations == 0 { // device slot = Cores
+		t.Error("device invalidation not counted")
+	}
+}
+
+func TestForceSharedNoOwnerNoop(t *testing.T) {
+	s := testSystem(2)
+	s.ForceShared(0xAAAA) // untouched line: nothing to do, must not panic
+	s.Read(0, 0xAAAA)
+	s.Read(1, 0xAAAA)
+	s.ForceShared(0xAAAA) // both in S: still a no-op
+	if s.StateIn(0, 0xAAAA) != Shared || s.StateIn(1, 0xAAAA) != Shared {
+		t.Error("ForceShared disturbed shared copies")
+	}
+}
+
+func TestWriteMissFetchesFromRemoteDirty(t *testing.T) {
+	s := testSystem(2)
+	addr := Addr(0xB000)
+	s.Write(0, addr) // core 0: M
+	lat, lvl := s.Write(1, addr)
+	if lvl != LevelRemoteL1 {
+		t.Fatalf("write miss level = %v", lvl)
+	}
+	if lat <= s.cfg.Clock.Cycles(s.cfg.L1HitCycles) {
+		t.Error("remote dirty fetch too cheap")
+	}
+	if s.StateIn(0, addr) != Invalid || s.StateIn(1, addr) != Modified {
+		t.Error("ownership did not transfer")
+	}
+}
+
+func TestUpgradePathSharedToModified(t *testing.T) {
+	s := testSystem(4)
+	addr := Addr(0xC000)
+	for c := 0; c < 4; c++ {
+		s.Read(c, addr)
+	}
+	writerStats := s.Stats(2)
+	base := writerStats.Invalidations
+	s.Write(2, addr)
+	if got := s.Stats(2).Invalidations - base; got != 3 {
+		t.Errorf("invalidations = %d, want 3", got)
+	}
+	for c := 0; c < 4; c++ {
+		want := Invalid
+		if c == 2 {
+			want = Modified
+		}
+		if s.StateIn(c, addr) != want {
+			t.Errorf("core %d state = %v, want %v", c, s.StateIn(c, addr), want)
+		}
+	}
+}
+
+func TestSameLineDifferentOffsets(t *testing.T) {
+	s := testSystem(1)
+	s.Read(0, 0xD000)
+	// Any offset within the same 64 B line is an L1 hit.
+	for off := Addr(1); off < LineSize; off += 7 {
+		if _, lvl := s.Read(0, 0xD000+off); lvl != LevelL1 {
+			t.Fatalf("offset %d missed", off)
+		}
+	}
+	// The next line misses.
+	if _, lvl := s.Read(0, 0xD000+LineSize); lvl == LevelL1 {
+		t.Error("adjacent line hit in L1 unexpectedly")
+	}
+}
+
+func TestLLCSharedAcrossCores(t *testing.T) {
+	s := testSystem(4)
+	addr := Addr(0xE000)
+	s.Read(0, addr) // mem -> LLC, core 0 E
+	// Evict from core 0's L1 by filling its set.
+	stride := Addr(128 * LineSize)
+	for i := 1; i <= 4; i++ {
+		s.Read(0, addr+Addr(i)*stride)
+	}
+	// Other cores now hit the shared LLC, not memory.
+	if _, lvl := s.Read(3, addr); lvl != LevelLLC {
+		t.Errorf("cross-core read level = %v, want LLC", lvl)
+	}
+}

@@ -1,0 +1,318 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hyperplane/internal/sim"
+)
+
+func testSystem(cores int) *System {
+	return NewSystem(DefaultConfig(cores))
+}
+
+func TestLineOf(t *testing.T) {
+	if LineOf(0) != 0 || LineOf(63) != 0 || LineOf(64) != 64 || LineOf(130) != 128 {
+		t.Error("LineOf misaligned")
+	}
+}
+
+func TestReadMissThenHit(t *testing.T) {
+	s := testSystem(2)
+	lat, lvl := s.Read(0, 0x1000)
+	if lvl != LevelMemory {
+		t.Fatalf("first read level = %v", lvl)
+	}
+	if lat < s.cfg.MemLatency {
+		t.Errorf("miss latency %v < memory latency", lat)
+	}
+	lat2, lvl2 := s.Read(0, 0x1008) // same line
+	if lvl2 != LevelL1 {
+		t.Fatalf("second read level = %v", lvl2)
+	}
+	if lat2 >= lat {
+		t.Errorf("hit latency %v not below miss latency %v", lat2, lat)
+	}
+	st := s.Stats(0)
+	if st.Accesses != 2 || st.L1Hits != 1 || st.MemAccesses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLLCHitAfterRemoteRead(t *testing.T) {
+	s := testSystem(2)
+	s.Read(0, 0x2000) // memory -> LLC + core0 L1 (E)
+	_, lvl := s.Read(1, 0x2000)
+	// Core 0 holds it E (owner), so this is a cache-to-cache transfer.
+	if lvl != LevelRemoteL1 {
+		t.Fatalf("remote read level = %v", lvl)
+	}
+	// Both now share; a third core-0 read is an L1 hit.
+	if _, lvl := s.Read(0, 0x2000); lvl != LevelL1 {
+		t.Errorf("re-read level = %v", lvl)
+	}
+}
+
+func TestExclusiveThenSilentUpgrade(t *testing.T) {
+	s := testSystem(2)
+	s.Read(0, 0x3000)
+	if st := s.StateIn(0, 0x3000); st != Exclusive {
+		t.Fatalf("state after solo read = %v, want E", st)
+	}
+	snooped := 0
+	s.OnWrite(func(line Addr, writer int) { snooped++ })
+	_, lvl := s.Write(0, 0x3000)
+	if lvl != LevelL1 {
+		t.Errorf("upgrade level = %v", lvl)
+	}
+	if snooped != 0 {
+		t.Error("silent E->M upgrade fired a snoop; it must be invisible")
+	}
+	if st := s.StateIn(0, 0x3000); st != Modified {
+		t.Errorf("state after upgrade = %v, want M", st)
+	}
+}
+
+func TestWriteToSharedInvalidatesAndSnoops(t *testing.T) {
+	s := testSystem(4)
+	addr := Addr(0x4000)
+	s.Read(0, addr)
+	s.Read(1, addr)
+	s.Read(2, addr)
+	var snoops []int
+	s.OnWrite(func(line Addr, writer int) {
+		if line != LineOf(addr) {
+			t.Errorf("snooped wrong line %#x", line)
+		}
+		snoops = append(snoops, writer)
+	})
+	s.Write(1, addr)
+	if len(snoops) != 1 || snoops[0] != 1 {
+		t.Fatalf("snoops = %v", snoops)
+	}
+	if s.StateIn(0, addr) != Invalid || s.StateIn(2, addr) != Invalid {
+		t.Error("sharers not invalidated")
+	}
+	if s.StateIn(1, addr) != Modified {
+		t.Error("writer not in M")
+	}
+	// Writer's next write is a silent M hit: no more snoops.
+	s.Write(1, addr)
+	if len(snoops) != 1 {
+		t.Error("M-state write fired a snoop")
+	}
+}
+
+func TestForceSharedMakesNextWriteVisible(t *testing.T) {
+	s := testSystem(2)
+	addr := Addr(0x5000)
+	// Producer writes doorbell: ends in M.
+	s.Write(0, addr)
+	snooped := 0
+	s.OnWrite(func(Addr, int) { snooped++ })
+	// Without ForceShared, a second write would be silent.
+	s.Write(0, addr)
+	if snooped != 0 {
+		t.Fatal("M write was visible")
+	}
+	// Re-arm: monitoring set issues GetS.
+	s.ForceShared(addr)
+	if s.HasOwner(addr) {
+		t.Fatal("ForceShared left an owner")
+	}
+	if s.StateIn(0, addr) != Shared {
+		t.Fatalf("owner state after ForceShared = %v", s.StateIn(0, addr))
+	}
+	s.Write(0, addr)
+	if snooped != 1 {
+		t.Error("write after ForceShared did not snoop")
+	}
+}
+
+func TestDeviceWrite(t *testing.T) {
+	s := testSystem(2)
+	addr := Addr(0x6000)
+	s.Read(0, addr)
+	s.Read(1, addr)
+	snooped := 0
+	var lastWriter int
+	s.OnWrite(func(line Addr, writer int) { snooped++; lastWriter = writer })
+	s.DeviceWrite(addr)
+	if snooped != 1 {
+		t.Fatal("device write did not snoop")
+	}
+	if lastWriter != -1 {
+		t.Errorf("device writer id = %d, want -1", lastWriter)
+	}
+	if s.StateIn(0, addr) != Invalid || s.StateIn(1, addr) != Invalid {
+		t.Error("device write did not invalidate caches")
+	}
+	// Next read should hit the LLC (device deposited the line there).
+	if _, lvl := s.Read(0, addr); lvl != LevelLLC {
+		t.Errorf("read after device write = %v, want LLC", lvl)
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	// Two cores alternately writing one line: every write after the first
+	// must pay a remote transfer — the coherence cost that makes scale-up
+	// spinning expensive (paper §II-B).
+	s := testSystem(2)
+	addr := Addr(0x7000)
+	s.Write(0, addr)
+	for i := 0; i < 10; i++ {
+		core := (i + 1) % 2
+		_, lvl := s.Write(core, addr)
+		if lvl != LevelRemoteL1 {
+			t.Fatalf("write %d level = %v, want remote-L1", i, lvl)
+		}
+	}
+	if s.Stats(0).C2CTransfers != 5 || s.Stats(1).C2CTransfers != 5 {
+		t.Errorf("C2C counts = %d, %d", s.Stats(0).C2CTransfers, s.Stats(1).C2CTransfers)
+	}
+}
+
+func TestL1Eviction(t *testing.T) {
+	s := testSystem(1)
+	// L1: 32 KB, 4-way, 64 B lines -> 128 sets. Lines that map to the same
+	// set differ by 128*64 = 8192 bytes. Fill 5 such lines: first must go.
+	base := Addr(0x10000)
+	stride := Addr(128 * LineSize)
+	for i := 0; i < 5; i++ {
+		s.Read(0, base+Addr(i)*stride)
+	}
+	if s.StateIn(0, base) != Invalid {
+		t.Error("LRU victim still present after overfill")
+	}
+	if s.StateIn(0, base+4*stride) == Invalid {
+		t.Error("most recently inserted line was evicted")
+	}
+	// Victim read now misses L1 but hits LLC.
+	if _, lvl := s.Read(0, base); lvl != LevelLLC {
+		t.Errorf("evicted line read level = %v, want LLC", lvl)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	s := testSystem(1)
+	base := Addr(0x20000)
+	stride := Addr(128 * LineSize)
+	s.Write(0, base) // M
+	for i := 1; i < 5; i++ {
+		s.Read(0, base+Addr(i)*stride)
+	}
+	// The dirty victim must have been written back to the LLC and its
+	// ownership cleared.
+	if s.HasOwner(base) {
+		t.Error("evicted dirty line still has an owner")
+	}
+	if _, lvl := s.Read(0, base); lvl != LevelLLC {
+		t.Errorf("read of written-back line = %v, want LLC", lvl)
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	s := testSystem(2)
+	l1, _ := s.Read(0, 0x8000)    // mem
+	llcMiss := l1                 // memory-level latency
+	_, _ = s.Read(1, 0x8000)      // c2c or LLC
+	l1hit, _ := s.Read(0, 0x8000) // L1 hit
+	if !(l1hit < llcMiss) {
+		t.Errorf("L1 hit %v !< mem %v", l1hit, llcMiss)
+	}
+	if l1hit != s.cfg.Clock.Cycles(s.cfg.L1HitCycles) {
+		t.Errorf("L1 hit latency = %v", l1hit)
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	for _, cores := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSystem with %d cores did not panic", cores)
+				}
+			}()
+			NewSystem(DefaultConfig(cores))
+		}()
+	}
+}
+
+func TestFlushAgentStats(t *testing.T) {
+	s := testSystem(1)
+	s.Read(0, 0x100)
+	s.FlushAgentStats()
+	if s.Stats(0).Accesses != 0 {
+		t.Error("stats not flushed")
+	}
+}
+
+// Property: the coherence invariant SWMR (single writer or multiple readers)
+// holds under random access sequences — at most one core in E/M, and if any
+// core is in E/M no other core holds the line.
+func TestCoherenceSWMRProperty(t *testing.T) {
+	type op struct {
+		Core  uint8
+		Addr  uint16
+		Write bool
+		Dev   bool
+	}
+	f := func(ops []op) bool {
+		s := testSystem(4)
+		lines := map[Addr]bool{}
+		for _, o := range ops {
+			addr := Addr(o.Addr) * 8 // keep within a modest range
+			lines[LineOf(addr)] = true
+			core := int(o.Core % 4)
+			switch {
+			case o.Dev:
+				s.DeviceWrite(addr)
+			case o.Write:
+				s.Write(core, addr)
+			default:
+				s.Read(core, addr)
+			}
+		}
+		for line := range lines {
+			owners, holders := 0, 0
+			for c := 0; c < 4; c++ {
+				switch s.StateIn(c, line) {
+				case Modified, Exclusive:
+					owners++
+					holders++
+				case Shared:
+					holders++
+				}
+			}
+			if owners > 1 {
+				return false
+			}
+			if owners == 1 && holders > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: latency returned is always positive and bounded by
+// mem + c2c + invalidation cost.
+func TestLatencyBoundsProperty(t *testing.T) {
+	s := testSystem(4)
+	maxLat := s.cfg.MemLatency + 2*s.c2c + 2*s.l1Hit
+	f := func(core uint8, a uint16, w bool) bool {
+		var lat sim.Time
+		if w {
+			lat, _ = s.Write(int(core%4), Addr(a))
+		} else {
+			lat, _ = s.Read(int(core%4), Addr(a))
+		}
+		return lat > 0 && lat <= maxLat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

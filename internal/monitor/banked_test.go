@@ -1,0 +1,96 @@
+package monitor
+
+import (
+	"testing"
+)
+
+func TestBankedRouting(t *testing.T) {
+	cfg := DefaultConfig()
+	b := NewBanked(4, 256, cfg)
+	if b.Banks() != 4 || b.Capacity() != 1024 {
+		t.Fatalf("banks=%d capacity=%d", b.Banks(), b.Capacity())
+	}
+	// Insert many doorbells; each must be findable and snoopable, and the
+	// load should spread across banks.
+	for i := 0; i < 800; i++ {
+		a := doorbell(i)
+		for try := 1; b.Add(i, a) != nil; try++ {
+			a = doorbell(100000 + i*31 + try)
+		}
+	}
+	if b.Occupancy() != 800 {
+		t.Fatalf("occupancy = %d", b.Occupancy())
+	}
+	occ := b.BankOccupancy()
+	for bank, n := range occ {
+		if n < 120 || n > 280 {
+			t.Errorf("bank %d occupancy %d badly skewed (fair 200)", bank, n)
+		}
+	}
+}
+
+func TestBankedSnoopActivation(t *testing.T) {
+	b := NewBanked(2, 64, DefaultConfig())
+	a := doorbell(7)
+	if err := b.Add(42, a); err != nil {
+		t.Fatal(err)
+	}
+	if !b.IsArmed(a) {
+		t.Fatal("not armed after add")
+	}
+	qid, activate := b.Snoop(a)
+	if !activate || qid != 42 {
+		t.Fatalf("snoop = %d, %v", qid, activate)
+	}
+	if _, again := b.Snoop(a); again {
+		t.Fatal("double activation")
+	}
+	if !b.Arm(a) {
+		t.Fatal("re-arm failed")
+	}
+	if _, ok := b.Lookup(a); !ok {
+		t.Fatal("lookup failed")
+	}
+	if !b.Remove(a) {
+		t.Fatal("remove failed")
+	}
+	if b.Occupancy() != 0 {
+		t.Fatal("occupancy after remove")
+	}
+}
+
+func TestBankedStatsAggregate(t *testing.T) {
+	b := NewBanked(2, 64, DefaultConfig())
+	for i := 0; i < 20; i++ {
+		b.Add(i, doorbell(i))
+		b.Snoop(doorbell(i))
+	}
+	st := b.Stats()
+	if st.Adds != 20 || st.Activations != 20 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBankedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero banks accepted")
+		}
+	}()
+	NewBanked(0, 64, DefaultConfig())
+}
+
+func TestConflictRateOverProvisioning(t *testing.T) {
+	// Paper §IV-A: over-provisioning a cuckoo table by 5-10% pushes the
+	// conflict rate to ~0.1%. At 1024 entries for 930 queues (10% headroom)
+	// the rate must be tiny; at 100% occupancy it must be visibly larger.
+	relaxed := ConflictRate(1024, 930, 99)
+	if relaxed > 0.005 {
+		t.Errorf("conflict rate at 10%% over-provisioning = %.4f, want < 0.5%%", relaxed)
+	}
+	tight := ConflictRate(1024, 1024, 99)
+	if tight <= relaxed {
+		t.Errorf("full table conflict rate (%.4f) not above over-provisioned (%.4f)", tight, relaxed)
+	}
+	t.Logf("conflict rate: 10%% headroom %.5f, 0%% headroom %.5f", relaxed, tight)
+}

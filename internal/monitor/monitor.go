@@ -1,0 +1,269 @@
+// Package monitor implements HyperPlane's monitoring set (paper §IV-A): an
+// associative structure mapping doorbell cache-line tags to queue IDs,
+// realized as a 2-way bucketized cuckoo hash table (ZCache-style): lookups
+// touch only two bucket rows, while insertion table-walks provide high
+// effective associativity. With 4 slots per bucket the structure sustains
+// >95% occupancy, which is what lets the paper over-provision by just
+// 5-10% and see ~0.1% conflicts.
+//
+// The monitoring set snoops coherence write transactions. When a write hits
+// an armed entry, the entry is disarmed and the QID is handed to the ready
+// set. Re-arming (QWAIT-VERIFY / QWAIT-RECONSIDER) only flips the monitoring
+// bit — entries are inserted once per QWAIT-ADD and removed only by
+// QWAIT-REMOVE.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperplane/internal/mem"
+	"hyperplane/internal/sim"
+)
+
+// ErrConflict is returned by Add when the cuckoo table walk fails to place
+// the new entry. The HyperPlane kernel driver responds by reallocating a
+// different doorbell address for the queue and retrying.
+var ErrConflict = errors.New("monitor: cuckoo insertion conflict")
+
+// ErrDuplicate is returned by Add when the doorbell line is already present.
+var ErrDuplicate = errors.New("monitor: doorbell already monitored")
+
+// ErrFull is returned by Add when every entry is valid.
+var ErrFull = errors.New("monitor: monitoring set full")
+
+// Entry is one monitoring-set entry (paper: tag, QID, monitoring bit,
+// valid bit).
+type Entry struct {
+	Tag   mem.Addr // doorbell cache-line address
+	QID   int
+	Armed bool // monitoring bit: watching for write transactions
+	Valid bool
+}
+
+// Config sizes the monitoring set.
+type Config struct {
+	Entries int // total entries across both ways (paper: 1024)
+	Slots   int // entries per bucket (bucketized cuckoo; default 4)
+	MaxWalk int // cuckoo displacement bound before declaring a conflict
+	Seed    uint64
+	// LookupCycles is the latency of a tag lookup (paper §IV-C: within 5
+	// CPU cycles), charged by callers that model timing.
+	LookupCycles int64
+	Clock        sim.Clock
+}
+
+// DefaultConfig returns the paper's 1024-entry configuration.
+func DefaultConfig() Config {
+	return Config{
+		Entries:      1024,
+		Slots:        4,
+		MaxWalk:      64,
+		Seed:         0x9e3779b97f4a7c15,
+		LookupCycles: 5,
+		Clock:        sim.NewClock(3.0),
+	}
+}
+
+// Stats counts monitoring-set activity.
+type Stats struct {
+	Adds         int64
+	Conflicts    int64 // failed insertions (driver must reallocate)
+	WalkSteps    int64 // total cuckoo displacements performed
+	Removes      int64
+	Snoops       int64 // write transactions matching a valid entry
+	Activations  int64 // snoops that hit an *armed* entry
+	SpuriousHits int64 // snoops on valid but disarmed entries
+	Arms         int64
+}
+
+// Set is a 2-way bucketized cuckoo-hashed monitoring set: each way holds
+// rows buckets of Slots entries; a tag hashes to exactly one bucket per
+// way.
+type Set struct {
+	cfg   Config
+	rows  int        // buckets per way
+	way   [2][]Entry // flat: bucket r spans [r*Slots, (r+1)*Slots)
+	used  int
+	stats Stats
+}
+
+// New builds a monitoring set; Entries must be a positive multiple of
+// 2*Slots.
+func New(cfg Config) *Set {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 4
+	}
+	if cfg.MaxWalk <= 0 {
+		cfg.MaxWalk = 64
+	}
+	if cfg.Entries <= 0 || cfg.Entries%(2*cfg.Slots) != 0 {
+		panic(fmt.Sprintf("monitor: Entries must be a positive multiple of %d, got %d",
+			2*cfg.Slots, cfg.Entries))
+	}
+	s := &Set{cfg: cfg, rows: cfg.Entries / (2 * cfg.Slots)}
+	s.way[0] = make([]Entry, s.rows*cfg.Slots)
+	s.way[1] = make([]Entry, s.rows*cfg.Slots)
+	return s
+}
+
+// bucket returns the slot slice of tag's bucket in way w.
+func (s *Set) bucket(w int, tag mem.Addr) []Entry {
+	r := s.hash(w, tag)
+	return s.way[w][r*s.cfg.Slots : (r+1)*s.cfg.Slots]
+}
+
+// hash computes the row for tag in the given way.
+func (s *Set) hash(w int, tag mem.Addr) int {
+	x := uint64(tag) ^ s.cfg.Seed
+	if w == 1 {
+		x ^= 0xda3e39cb94b95bdb
+	}
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(s.rows))
+}
+
+// find returns the entry holding tag, or nil. Hardware compares the two
+// buckets' tags in parallel, so this remains a 2-row lookup.
+func (s *Set) find(tag mem.Addr) *Entry {
+	for w := 0; w < 2; w++ {
+		b := s.bucket(w, tag)
+		for i := range b {
+			if b[i].Valid && b[i].Tag == tag {
+				return &b[i]
+			}
+		}
+	}
+	return nil
+}
+
+// Add inserts a <QID, doorbell line> pair, armed. It corresponds to the
+// QWAIT-ADD instruction. The doorbell address is truncated to its cache
+// line. On ErrConflict the caller should allocate a different doorbell
+// address and retry (Algorithm 1, control plane).
+func (s *Set) Add(qid int, doorbell mem.Addr) error {
+	tag := mem.LineOf(doorbell)
+	if s.find(tag) != nil {
+		return ErrDuplicate
+	}
+	if s.used >= s.cfg.Entries {
+		return ErrFull
+	}
+	s.stats.Adds++
+	ins := Entry{Tag: tag, QID: qid, Armed: true, Valid: true}
+	// Record every displacement so a failed walk can be rolled back in
+	// reverse, leaving the table exactly as it was (the paper's driver then
+	// reallocates a different doorbell address and retries).
+	type slotRef struct {
+		w, idx int
+		prev   Entry
+	}
+	var chain []slotRef
+	w := 0
+	for step := 0; step < s.cfg.MaxWalk; step++ {
+		// Place into either way's bucket if a slot is free.
+		for w2 := 0; w2 < 2; w2++ {
+			b := s.bucket(w2, ins.Tag)
+			for i := range b {
+				if !b[i].Valid {
+					b[i] = ins
+					s.used++
+					return nil
+				}
+			}
+		}
+		// Both buckets full: displace a slot from way w's bucket (rotating
+		// victim choice by step) and continue with the victim.
+		row := s.hash(w, ins.Tag)
+		idx := row*s.cfg.Slots + step%s.cfg.Slots
+		e := &s.way[w][idx]
+		chain = append(chain, slotRef{w: w, idx: idx, prev: *e})
+		ins, *e = *e, ins
+		s.stats.WalkSteps++
+		w = 1 - w
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		s.way[chain[i].w][chain[i].idx] = chain[i].prev
+	}
+	s.stats.Conflicts++
+	return ErrConflict
+}
+
+// Remove deletes the entry for the doorbell line (QWAIT-REMOVE), returning
+// false if it was not present.
+func (s *Set) Remove(doorbell mem.Addr) bool {
+	e := s.find(mem.LineOf(doorbell))
+	if e == nil {
+		return false
+	}
+	*e = Entry{}
+	s.used--
+	s.stats.Removes++
+	return true
+}
+
+// Arm sets the monitoring bit for the doorbell line so subsequent write
+// transactions activate its QID. It returns false if the line is not
+// monitored. Arm is invoked by QWAIT-VERIFY / QWAIT-RECONSIDER when the
+// queue tests empty.
+func (s *Set) Arm(doorbell mem.Addr) bool {
+	e := s.find(mem.LineOf(doorbell))
+	if e == nil {
+		return false
+	}
+	e.Armed = true
+	s.stats.Arms++
+	return true
+}
+
+// IsArmed reports the monitoring bit for the doorbell line.
+func (s *Set) IsArmed(doorbell mem.Addr) bool {
+	e := s.find(mem.LineOf(doorbell))
+	return e != nil && e.Armed
+}
+
+// Lookup returns the QID monitored at the doorbell line.
+func (s *Set) Lookup(doorbell mem.Addr) (qid int, ok bool) {
+	e := s.find(mem.LineOf(doorbell))
+	if e == nil {
+		return 0, false
+	}
+	return e.QID, true
+}
+
+// Snoop processes a coherence write transaction for the given line. If the
+// line matches an armed entry, the entry is disarmed and its QID returned
+// with activate=true; the caller then activates the QID in the ready set.
+// Writes to disarmed entries (further arrivals before re-arm, or consumer
+// doorbell decrements) return activate=false.
+func (s *Set) Snoop(line mem.Addr) (qid int, activate bool) {
+	e := s.find(mem.LineOf(line))
+	if e == nil {
+		return 0, false
+	}
+	s.stats.Snoops++
+	if !e.Armed {
+		s.stats.SpuriousHits++
+		return e.QID, false
+	}
+	e.Armed = false
+	s.stats.Activations++
+	return e.QID, true
+}
+
+// LookupLatency returns the modeled latency of a tag lookup.
+func (s *Set) LookupLatency() sim.Time {
+	return s.cfg.Clock.Cycles(s.cfg.LookupCycles)
+}
+
+// Occupancy returns the number of valid entries.
+func (s *Set) Occupancy() int { return s.used }
+
+// Capacity returns the total entry count.
+func (s *Set) Capacity() int { return s.cfg.Entries }
+
+// Stats returns activity counters.
+func (s *Set) Stats() Stats { return s.stats }

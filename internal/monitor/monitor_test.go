@@ -1,0 +1,264 @@
+package monitor
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"hyperplane/internal/mem"
+)
+
+func smallSet(entries int) *Set {
+	cfg := DefaultConfig()
+	cfg.Entries = entries
+	return New(cfg)
+}
+
+// doorbell returns distinct cache-line-aligned addresses.
+func doorbell(i int) mem.Addr { return mem.Addr(0x10_0000 + i*mem.LineSize) }
+
+func TestAddLookupSnoop(t *testing.T) {
+	s := New(DefaultConfig())
+	if err := s.Add(7, doorbell(1)); err != nil {
+		t.Fatal(err)
+	}
+	if qid, ok := s.Lookup(doorbell(1)); !ok || qid != 7 {
+		t.Fatalf("lookup = %d, %v", qid, ok)
+	}
+	if !s.IsArmed(doorbell(1)) {
+		t.Fatal("fresh entry not armed")
+	}
+	qid, activate := s.Snoop(doorbell(1))
+	if !activate || qid != 7 {
+		t.Fatalf("snoop = %d, %v", qid, activate)
+	}
+	// Second write before re-arm: no activation (paper: further arrivals
+	// have no effect until the queue is armed again).
+	if _, activate := s.Snoop(doorbell(1)); activate {
+		t.Fatal("disarmed entry activated")
+	}
+	if !s.Arm(doorbell(1)) {
+		t.Fatal("re-arm failed")
+	}
+	if _, activate := s.Snoop(doorbell(1)); !activate {
+		t.Fatal("re-armed entry did not activate")
+	}
+	st := s.Stats()
+	if st.Activations != 2 || st.SpuriousHits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSnoopUnmonitoredLine(t *testing.T) {
+	s := New(DefaultConfig())
+	s.Add(1, doorbell(1))
+	if _, activate := s.Snoop(doorbell(99)); activate {
+		t.Fatal("unmonitored line activated")
+	}
+	if s.Stats().Snoops != 0 {
+		t.Error("unmonitored line counted as snoop match")
+	}
+}
+
+func TestAddressTruncatedToLine(t *testing.T) {
+	s := New(DefaultConfig())
+	s.Add(3, doorbell(5)+17) // unaligned doorbell address
+	if qid, ok := s.Lookup(doorbell(5)); !ok || qid != 3 {
+		t.Fatal("lookup by line base failed")
+	}
+	if _, activate := s.Snoop(doorbell(5) + 40); !activate {
+		t.Fatal("snoop within the same line did not match")
+	}
+}
+
+func TestDuplicateAdd(t *testing.T) {
+	s := New(DefaultConfig())
+	s.Add(1, doorbell(1))
+	if err := s.Add(2, doorbell(1)); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := New(DefaultConfig())
+	s.Add(1, doorbell(1))
+	if !s.Remove(doorbell(1)) {
+		t.Fatal("remove failed")
+	}
+	if s.Remove(doorbell(1)) {
+		t.Fatal("double remove succeeded")
+	}
+	if _, ok := s.Lookup(doorbell(1)); ok {
+		t.Fatal("removed entry still found")
+	}
+	if s.Occupancy() != 0 {
+		t.Errorf("occupancy = %d", s.Occupancy())
+	}
+}
+
+func TestArmUnknown(t *testing.T) {
+	s := New(DefaultConfig())
+	if s.Arm(doorbell(1)) {
+		t.Fatal("arming unknown doorbell succeeded")
+	}
+}
+
+func TestHighOccupancyInsertions(t *testing.T) {
+	// The paper over-provisions by 5-10% to make conflicts negligible.
+	// Fill a 1024-entry set to 1000 queues (97.7%): cuckoo walks should
+	// place nearly all; count conflicts.
+	s := New(DefaultConfig())
+	conflicts := 0
+	for i := 0; i < 1000; i++ {
+		err := s.Add(i, doorbell(i))
+		if errors.Is(err, ErrConflict) {
+			conflicts++
+			// Driver behaviour: reallocate another address.
+			for try := 1; err != nil; try++ {
+				err = s.Add(i, doorbell(100000+i*64+try))
+			}
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Occupancy() != 1000 {
+		t.Fatalf("occupancy = %d", s.Occupancy())
+	}
+	t.Logf("conflicts at 97.7%% load: %d (walk steps %d)", conflicts, s.Stats().WalkSteps)
+	// Every queue must remain findable.
+	found := 0
+	for w := 0; w < 2; w++ {
+		for _, e := range s.way[w] {
+			if e.Valid {
+				found++
+			}
+		}
+	}
+	if found != 1000 {
+		t.Errorf("valid entries = %d", found)
+	}
+}
+
+func TestConflictRollback(t *testing.T) {
+	// Force conflicts with a tiny table and verify the table is unchanged
+	// after a failed insert.
+	cfg := DefaultConfig()
+	cfg.Entries = 4
+	cfg.Slots = 1 // classic (non-bucketized) cuckoo to force conflicts
+	cfg.MaxWalk = 8
+	s := New(cfg)
+	inserted := map[int]mem.Addr{}
+	i := 0
+	for len(inserted) < 4 {
+		a := doorbell(i)
+		if err := s.Add(i, a); err == nil {
+			inserted[i] = a
+		}
+		i++
+		if i > 10000 {
+			t.Fatal("could not fill tiny table")
+		}
+	}
+	if s.Occupancy() != 4 {
+		t.Fatalf("occupancy = %d", s.Occupancy())
+	}
+	// Next insert must fail (full) and leave all residents intact.
+	err := s.Add(999, doorbell(777777))
+	if err == nil {
+		t.Fatal("insert into full table succeeded")
+	}
+	for qid, a := range inserted {
+		if got, ok := s.Lookup(a); !ok || got != qid {
+			t.Errorf("resident qid %d lost after failed insert", qid)
+		}
+	}
+}
+
+func TestFullTable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Entries = 2
+	cfg.Slots = 1
+	s := New(cfg)
+	n := 0
+	for i := 0; n < 2 && i < 1000; i++ {
+		if s.Add(i, doorbell(i)) == nil {
+			n++
+		}
+	}
+	if err := s.Add(1000, doorbell(5000)); !errors.Is(err, ErrFull) {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, entries := range []int{0, -2, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New with Entries=%d did not panic", entries)
+				}
+			}()
+			cfg := DefaultConfig()
+			cfg.Entries = entries
+			New(cfg)
+		}()
+	}
+}
+
+func TestLookupLatency(t *testing.T) {
+	s := New(DefaultConfig())
+	want := DefaultConfig().Clock.Cycles(5)
+	if got := s.LookupLatency(); got != want {
+		t.Errorf("lookup latency = %v, want %v", got, want)
+	}
+}
+
+// Property: for any set of distinct lines inserted within capacity with
+// retry-on-conflict, every line is found with its QID, and snooping each
+// exactly once activates each exactly once.
+func TestInsertFindProperty(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		cfg := DefaultConfig()
+		cfg.Entries = 256
+		s := New(cfg)
+		if len(seeds) > 200 {
+			seeds = seeds[:200]
+		}
+		placed := map[mem.Addr]int{}
+		for i, seed := range seeds {
+			a := mem.Addr(mem.LineOf(mem.Addr(seed) * mem.LineSize))
+			if _, dup := placed[a]; dup {
+				continue
+			}
+			err := s.Add(i, a)
+			for try := 1; errors.Is(err, ErrConflict); try++ {
+				a = mem.Addr((uint64(seed) + uint64(try)*7919) * mem.LineSize)
+				if _, dup := placed[a]; dup {
+					continue
+				}
+				err = s.Add(i, a)
+			}
+			if err != nil {
+				continue
+			}
+			placed[a] = i
+		}
+		for a, qid := range placed {
+			got, ok := s.Lookup(a)
+			if !ok || got != qid {
+				return false
+			}
+			sq, activate := s.Snoop(a)
+			if !activate || sq != qid {
+				return false
+			}
+			if _, again := s.Snoop(a); again {
+				return false // double activation without re-arm
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+package netproto
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// GRE (RFC 2784) base header:
+//
+//	 0                   1                   2                   3
+//	 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+//	+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//	|C|       Reserved0       | Ver |         Protocol Type         |
+//	+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+//	|      Checksum (optional)      |       Reserved1 (Optional)    |
+//	+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+
+// GREHeader is a GRE encapsulation header.
+type GREHeader struct {
+	ChecksumPresent bool
+	Protocol        uint16 // EtherType of the encapsulated payload
+	Checksum        uint16 // valid when ChecksumPresent
+}
+
+// GRE errors.
+var (
+	ErrGREVersion  = errors.New("netproto: unsupported GRE version")
+	ErrGREReserved = errors.New("netproto: nonzero GRE reserved bits")
+)
+
+// Len returns the wire size of the header.
+func (h *GREHeader) Len() int {
+	if h.ChecksumPresent {
+		return GREHeaderLen + 4
+	}
+	return GREHeaderLen
+}
+
+// Marshal appends the GRE header to b. payload is needed when the optional
+// checksum is present (RFC 2784 §2.3: checksum over GRE header + payload).
+func (h *GREHeader) Marshal(b, payload []byte) []byte {
+	start := len(b)
+	b = append(b, make([]byte, h.Len())...)
+	p := b[start:]
+	if h.ChecksumPresent {
+		p[0] = 0x80
+	}
+	binary.BigEndian.PutUint16(p[2:], h.Protocol)
+	if h.ChecksumPresent {
+		// Compute over the GRE header (checksum field zero) plus payload.
+		sum := checksumConcat(p, payload)
+		binary.BigEndian.PutUint16(p[4:], sum)
+	}
+	return b
+}
+
+// checksumConcat computes the internet checksum of a || b without copying.
+func checksumConcat(a, b []byte) uint16 {
+	var sum uint32
+	add := func(data []byte, odd bool) bool {
+		i := 0
+		if odd && len(data) > 0 {
+			// Pair the dangling byte from the previous buffer.
+			sum += uint32(data[0])
+			i = 1
+		}
+		for ; i+1 < len(data); i += 2 {
+			sum += uint32(binary.BigEndian.Uint16(data[i:]))
+		}
+		if (len(data)-i)%2 == 1 {
+			sum += uint32(data[len(data)-1]) << 8
+			return true
+		}
+		return false
+	}
+	odd := add(a, false)
+	add(b, odd)
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// ParseGRE decodes a GRE header, returning it and the payload.
+func ParseGRE(pkt []byte) (GREHeader, []byte, error) {
+	var h GREHeader
+	if len(pkt) < GREHeaderLen {
+		return h, nil, ErrTruncated
+	}
+	flags := binary.BigEndian.Uint16(pkt[0:])
+	if flags&0x0007 != 0 {
+		return h, nil, ErrGREVersion
+	}
+	h.ChecksumPresent = flags&0x8000 != 0
+	if flags&0x7ff8 != 0 {
+		return h, nil, ErrGREReserved
+	}
+	h.Protocol = binary.BigEndian.Uint16(pkt[2:])
+	n := h.Len()
+	if len(pkt) < n {
+		return h, nil, ErrTruncated
+	}
+	payload := pkt[n:]
+	if h.ChecksumPresent {
+		h.Checksum = binary.BigEndian.Uint16(pkt[4:])
+		// With the transmitted checksum in place, the one's-complement sum
+		// over header+payload folds to 0xffff, so Checksum() yields zero.
+		if checksumConcat(pkt[:n], payload) != 0 {
+			return h, nil, ErrBadChecksum
+		}
+	}
+	return h, payload, nil
+}
+
+// Tunnel encapsulates IPv4 packets within IPv6+GRE, the paper's packet
+// encapsulation workload (GRE protocol, IPv4 over IPv6).
+type Tunnel struct {
+	Src, Dst    [16]byte // tunnel endpoints
+	HopLimit    uint8
+	UseChecksum bool
+	buf         []byte // reused between calls
+}
+
+// NewTunnel returns a tunnel between the given IPv6 endpoints.
+func NewTunnel(src, dst [16]byte) *Tunnel {
+	return &Tunnel{Src: src, Dst: dst, HopLimit: 64}
+}
+
+// Encap wraps an IPv4 packet in IPv6+GRE. The IPv4 packet is validated
+// first (header checksum, length). The returned slice is reused across
+// calls; callers that retain it must copy.
+func (t *Tunnel) Encap(ipv4 []byte) ([]byte, error) {
+	if _, _, err := ParseIPv4(ipv4); err != nil {
+		return nil, err
+	}
+	gre := GREHeader{Protocol: EtherTypeIPv4, ChecksumPresent: t.UseChecksum}
+	payloadLen := gre.Len() + len(ipv4)
+	if payloadLen > 0xffff {
+		return nil, errors.New("netproto: encapsulated packet too large")
+	}
+	ip6 := IPv6Header{
+		PayloadLen: uint16(payloadLen),
+		NextHeader: ProtoGRE,
+		HopLimit:   t.HopLimit,
+		Src:        t.Src,
+		Dst:        t.Dst,
+	}
+	t.buf = t.buf[:0]
+	t.buf = ip6.Marshal(t.buf)
+	t.buf = gre.Marshal(t.buf, ipv4)
+	t.buf = append(t.buf, ipv4...)
+	return t.buf, nil
+}
+
+// Decap unwraps an IPv6+GRE packet produced by Encap, returning the inner
+// IPv4 packet (a sub-slice of pkt).
+func Decap(pkt []byte) ([]byte, error) {
+	ip6, payload, err := ParseIPv6(pkt)
+	if err != nil {
+		return nil, err
+	}
+	if ip6.NextHeader != ProtoGRE {
+		return nil, errors.New("netproto: not a GRE packet")
+	}
+	gre, inner, err := ParseGRE(payload)
+	if err != nil {
+		return nil, err
+	}
+	if gre.Protocol != EtherTypeIPv4 {
+		return nil, errors.New("netproto: GRE payload is not IPv4")
+	}
+	if _, _, err := ParseIPv4(inner); err != nil {
+		return nil, err
+	}
+	return inner, nil
+}

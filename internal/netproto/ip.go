@@ -1,0 +1,165 @@
+// Package netproto implements the packet-processing substrate for the
+// "packet encapsulation" and "packet steering" data plane workloads: byte-
+// level Ethernet/IPv4/IPv6 header handling, the internet checksum, and GRE
+// encapsulation of IPv4 within IPv6 (RFC 2784), the exact tunneling task the
+// paper's evaluation uses.
+package netproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Protocol numbers and EtherTypes used by the workloads.
+const (
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+	ProtoGRE  = 47
+	ProtoIPv4 = 4
+
+	EtherTypeIPv4 = 0x0800
+	EtherTypeIPv6 = 0x86DD
+)
+
+// Header sizes in bytes.
+const (
+	IPv4HeaderLen = 20 // without options
+	IPv6HeaderLen = 40
+	GREHeaderLen  = 4 // base header, no optional fields
+)
+
+// Errors returned by parsers.
+var (
+	ErrTruncated   = errors.New("netproto: packet truncated")
+	ErrBadVersion  = errors.New("netproto: wrong IP version")
+	ErrBadChecksum = errors.New("netproto: header checksum mismatch")
+	ErrBadIHL      = errors.New("netproto: bad IPv4 header length")
+)
+
+// Checksum computes the internet checksum (RFC 1071) over data.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i:]))
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// IPv4Header is a fixed-size (optionless) IPv4 header.
+type IPv4Header struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8  // 3 bits
+	FragOff  uint16 // 13 bits
+	TTL      uint8
+	Protocol uint8
+	Src, Dst [4]byte
+}
+
+// Marshal appends the 20-byte header (with correct checksum) to b.
+func (h *IPv4Header) Marshal(b []byte) []byte {
+	start := len(b)
+	b = append(b, make([]byte, IPv4HeaderLen)...)
+	p := b[start:]
+	p[0] = 4<<4 | 5 // version 4, IHL 5 words
+	p[1] = h.TOS
+	binary.BigEndian.PutUint16(p[2:], h.TotalLen)
+	binary.BigEndian.PutUint16(p[4:], h.ID)
+	binary.BigEndian.PutUint16(p[6:], uint16(h.Flags)<<13|h.FragOff&0x1fff)
+	p[8] = h.TTL
+	p[9] = h.Protocol
+	// p[10:12] checksum zero for computation
+	copy(p[12:16], h.Src[:])
+	copy(p[16:20], h.Dst[:])
+	binary.BigEndian.PutUint16(p[10:], Checksum(p))
+	return b
+}
+
+// ParseIPv4 decodes and validates a header, returning it and the payload.
+func ParseIPv4(pkt []byte) (IPv4Header, []byte, error) {
+	var h IPv4Header
+	if len(pkt) < IPv4HeaderLen {
+		return h, nil, ErrTruncated
+	}
+	if pkt[0]>>4 != 4 {
+		return h, nil, ErrBadVersion
+	}
+	ihl := int(pkt[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(pkt) < ihl {
+		return h, nil, ErrBadIHL
+	}
+	if Checksum(pkt[:ihl]) != 0 {
+		return h, nil, ErrBadChecksum
+	}
+	h.TOS = pkt[1]
+	h.TotalLen = binary.BigEndian.Uint16(pkt[2:])
+	h.ID = binary.BigEndian.Uint16(pkt[4:])
+	ff := binary.BigEndian.Uint16(pkt[6:])
+	h.Flags = uint8(ff >> 13)
+	h.FragOff = ff & 0x1fff
+	h.TTL = pkt[8]
+	h.Protocol = pkt[9]
+	copy(h.Src[:], pkt[12:16])
+	copy(h.Dst[:], pkt[16:20])
+	if int(h.TotalLen) < ihl || int(h.TotalLen) > len(pkt) {
+		return h, nil, fmt.Errorf("netproto: total length %d outside packet of %d bytes: %w",
+			h.TotalLen, len(pkt), ErrTruncated)
+	}
+	return h, pkt[ihl:h.TotalLen], nil
+}
+
+// IPv6Header is a fixed 40-byte IPv6 header.
+type IPv6Header struct {
+	TrafficClass uint8
+	FlowLabel    uint32 // 20 bits
+	PayloadLen   uint16
+	NextHeader   uint8
+	HopLimit     uint8
+	Src, Dst     [16]byte
+}
+
+// Marshal appends the 40-byte header to b.
+func (h *IPv6Header) Marshal(b []byte) []byte {
+	start := len(b)
+	b = append(b, make([]byte, IPv6HeaderLen)...)
+	p := b[start:]
+	binary.BigEndian.PutUint32(p[0:], 6<<28|uint32(h.TrafficClass)<<20|h.FlowLabel&0xfffff)
+	binary.BigEndian.PutUint16(p[4:], h.PayloadLen)
+	p[6] = h.NextHeader
+	p[7] = h.HopLimit
+	copy(p[8:24], h.Src[:])
+	copy(p[24:40], h.Dst[:])
+	return b
+}
+
+// ParseIPv6 decodes a header, returning it and the payload.
+func ParseIPv6(pkt []byte) (IPv6Header, []byte, error) {
+	var h IPv6Header
+	if len(pkt) < IPv6HeaderLen {
+		return h, nil, ErrTruncated
+	}
+	w := binary.BigEndian.Uint32(pkt[0:])
+	if w>>28 != 6 {
+		return h, nil, ErrBadVersion
+	}
+	h.TrafficClass = uint8(w >> 20)
+	h.FlowLabel = w & 0xfffff
+	h.PayloadLen = binary.BigEndian.Uint16(pkt[4:])
+	h.NextHeader = pkt[6]
+	h.HopLimit = pkt[7]
+	copy(h.Src[:], pkt[8:24])
+	copy(h.Dst[:], pkt[24:40])
+	if int(h.PayloadLen) > len(pkt)-IPv6HeaderLen {
+		return h, nil, ErrTruncated
+	}
+	return h, pkt[IPv6HeaderLen : IPv6HeaderLen+int(h.PayloadLen)], nil
+}

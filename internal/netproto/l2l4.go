@@ -1,0 +1,265 @@
+package netproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Layer-2 and layer-4 header support: Ethernet (with optional 802.1Q VLAN
+// tag), UDP, and TCP. Together with the IPv4/IPv6/GRE code these let the
+// packet workloads and traffic generators build full frames byte-for-byte.
+
+// Header sizes.
+const (
+	EthernetHeaderLen = 14
+	VLANTagLen        = 4
+	UDPHeaderLen      = 8
+	TCPHeaderLen      = 20 // without options
+)
+
+// EtherTypeVLAN is the 802.1Q TPID.
+const EtherTypeVLAN = 0x8100
+
+// MAC is a 48-bit hardware address.
+type MAC [6]byte
+
+// String formats the address in canonical colon notation.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// EthernetHeader is an Ethernet II frame header, optionally 802.1Q-tagged.
+type EthernetHeader struct {
+	Dst, Src  MAC
+	EtherType uint16
+	// VLAN, when true, inserts an 802.1Q tag with the given fields.
+	VLAN bool
+	PCP  uint8  // 3-bit priority code point
+	VID  uint16 // 12-bit VLAN id
+}
+
+// Len returns the wire length of the header.
+func (h *EthernetHeader) Len() int {
+	if h.VLAN {
+		return EthernetHeaderLen + VLANTagLen
+	}
+	return EthernetHeaderLen
+}
+
+// Marshal appends the header to b.
+func (h *EthernetHeader) Marshal(b []byte) []byte {
+	start := len(b)
+	b = append(b, make([]byte, h.Len())...)
+	p := b[start:]
+	copy(p[0:6], h.Dst[:])
+	copy(p[6:12], h.Src[:])
+	if h.VLAN {
+		binary.BigEndian.PutUint16(p[12:], EtherTypeVLAN)
+		binary.BigEndian.PutUint16(p[14:], uint16(h.PCP&0x7)<<13|h.VID&0x0fff)
+		binary.BigEndian.PutUint16(p[16:], h.EtherType)
+	} else {
+		binary.BigEndian.PutUint16(p[12:], h.EtherType)
+	}
+	return b
+}
+
+// ParseEthernet decodes a frame header, returning it and the payload.
+func ParseEthernet(frame []byte) (EthernetHeader, []byte, error) {
+	var h EthernetHeader
+	if len(frame) < EthernetHeaderLen {
+		return h, nil, ErrTruncated
+	}
+	copy(h.Dst[:], frame[0:6])
+	copy(h.Src[:], frame[6:12])
+	et := binary.BigEndian.Uint16(frame[12:])
+	off := EthernetHeaderLen
+	if et == EtherTypeVLAN {
+		if len(frame) < EthernetHeaderLen+VLANTagLen {
+			return h, nil, ErrTruncated
+		}
+		h.VLAN = true
+		tci := binary.BigEndian.Uint16(frame[14:])
+		h.PCP = uint8(tci >> 13)
+		h.VID = tci & 0x0fff
+		et = binary.BigEndian.Uint16(frame[16:])
+		off += VLANTagLen
+	}
+	h.EtherType = et
+	return h, frame[off:], nil
+}
+
+// UDPHeader is a UDP datagram header.
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+	Length           uint16 // header + payload
+	Checksum         uint16
+}
+
+// MarshalUDP appends a UDP header (with IPv4 pseudo-header checksum over
+// payload) to b.
+func MarshalUDP(b []byte, src, dst [4]byte, srcPort, dstPort uint16, payload []byte) []byte {
+	length := uint16(UDPHeaderLen + len(payload))
+	start := len(b)
+	b = append(b, make([]byte, UDPHeaderLen)...)
+	p := b[start:]
+	binary.BigEndian.PutUint16(p[0:], srcPort)
+	binary.BigEndian.PutUint16(p[2:], dstPort)
+	binary.BigEndian.PutUint16(p[4:], length)
+	sum := transportChecksum(src, dst, ProtoUDP, p[:UDPHeaderLen], payload)
+	if sum == 0 {
+		sum = 0xffff // RFC 768: zero checksum means "none"; transmit as ones
+	}
+	binary.BigEndian.PutUint16(p[6:], sum)
+	return b
+}
+
+// ParseUDP decodes a UDP header and validates its checksum against the
+// given IPv4 pseudo-header addresses. payload is the remaining bytes.
+func ParseUDP(seg []byte, src, dst [4]byte) (UDPHeader, []byte, error) {
+	var h UDPHeader
+	if len(seg) < UDPHeaderLen {
+		return h, nil, ErrTruncated
+	}
+	h.SrcPort = binary.BigEndian.Uint16(seg[0:])
+	h.DstPort = binary.BigEndian.Uint16(seg[2:])
+	h.Length = binary.BigEndian.Uint16(seg[4:])
+	h.Checksum = binary.BigEndian.Uint16(seg[6:])
+	if int(h.Length) < UDPHeaderLen || int(h.Length) > len(seg) {
+		return h, nil, ErrTruncated
+	}
+	payload := seg[UDPHeaderLen:h.Length]
+	if h.Checksum != 0 {
+		if transportChecksum(src, dst, ProtoUDP, seg[:h.Length], nil) != 0 {
+			return h, nil, ErrBadChecksum
+		}
+	}
+	return h, payload, nil
+}
+
+// TCPHeader is a (optionless) TCP segment header.
+type TCPHeader struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8 // FIN|SYN|RST|PSH|ACK|URG from LSB
+	Window           uint16
+	Checksum         uint16
+}
+
+// TCP flag bits.
+const (
+	TCPFin = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+	TCPUrg
+)
+
+// MarshalTCP appends a TCP header with a valid pseudo-header checksum.
+func MarshalTCP(b []byte, src, dst [4]byte, h TCPHeader, payload []byte) []byte {
+	start := len(b)
+	b = append(b, make([]byte, TCPHeaderLen)...)
+	p := b[start:]
+	binary.BigEndian.PutUint16(p[0:], h.SrcPort)
+	binary.BigEndian.PutUint16(p[2:], h.DstPort)
+	binary.BigEndian.PutUint32(p[4:], h.Seq)
+	binary.BigEndian.PutUint32(p[8:], h.Ack)
+	p[12] = 5 << 4 // data offset: 5 words
+	p[13] = h.Flags
+	binary.BigEndian.PutUint16(p[14:], h.Window)
+	sum := transportChecksum(src, dst, ProtoTCP, p[:TCPHeaderLen], payload)
+	binary.BigEndian.PutUint16(p[16:], sum)
+	return b
+}
+
+// ErrBadOffset reports an unsupported TCP data offset.
+var ErrBadOffset = errors.New("netproto: bad TCP data offset")
+
+// ParseTCP decodes a TCP header, validating the checksum.
+func ParseTCP(seg []byte, src, dst [4]byte) (TCPHeader, []byte, error) {
+	var h TCPHeader
+	if len(seg) < TCPHeaderLen {
+		return h, nil, ErrTruncated
+	}
+	off := int(seg[12]>>4) * 4
+	if off < TCPHeaderLen || off > len(seg) {
+		return h, nil, ErrBadOffset
+	}
+	h.SrcPort = binary.BigEndian.Uint16(seg[0:])
+	h.DstPort = binary.BigEndian.Uint16(seg[2:])
+	h.Seq = binary.BigEndian.Uint32(seg[4:])
+	h.Ack = binary.BigEndian.Uint32(seg[8:])
+	h.Flags = seg[13]
+	h.Window = binary.BigEndian.Uint16(seg[14:])
+	h.Checksum = binary.BigEndian.Uint16(seg[16:])
+	if transportChecksum(src, dst, ProtoTCP, seg, nil) != 0 {
+		return h, nil, ErrBadChecksum
+	}
+	return h, seg[off:], nil
+}
+
+// transportChecksum computes the internet checksum over the IPv4
+// pseudo-header plus the given segment bytes (and optional extra payload).
+// The checksum field inside seg must be zero when computing, or included
+// when verifying (a valid packet folds to zero).
+func transportChecksum(src, dst [4]byte, proto uint8, seg, payload []byte) uint16 {
+	var pseudo [12]byte
+	copy(pseudo[0:4], src[:])
+	copy(pseudo[4:8], dst[:])
+	pseudo[9] = proto
+	binary.BigEndian.PutUint16(pseudo[10:], uint16(len(seg)+len(payload)))
+	var sum uint32
+	add := func(data []byte, odd bool) bool {
+		i := 0
+		if odd && len(data) > 0 {
+			sum += uint32(data[0])
+			i = 1
+		}
+		for ; i+1 < len(data); i += 2 {
+			sum += uint32(binary.BigEndian.Uint16(data[i:]))
+		}
+		if (len(data)-i)%2 == 1 {
+			sum += uint32(data[len(data)-1]) << 8
+			return true
+		}
+		return false
+	}
+	odd := add(pseudo[:], false)
+	odd = add(seg, odd)
+	add(payload, odd)
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// BuildUDPPacket assembles a complete IPv4/UDP packet: convenience for the
+// traffic generators and the steering workload.
+func BuildUDPPacket(src, dst [4]byte, srcPort, dstPort uint16, payload []byte) []byte {
+	udpLen := UDPHeaderLen + len(payload)
+	ip := IPv4Header{
+		TotalLen: uint16(IPv4HeaderLen + udpLen),
+		TTL:      64,
+		Protocol: ProtoUDP,
+		Src:      src,
+		Dst:      dst,
+	}
+	b := ip.Marshal(nil)
+	b = MarshalUDP(b, src, dst, srcPort, dstPort, payload)
+	return append(b, payload...)
+}
+
+// BuildTCPPacket assembles a complete IPv4/TCP packet.
+func BuildTCPPacket(src, dst [4]byte, h TCPHeader, payload []byte) []byte {
+	ip := IPv4Header{
+		TotalLen: uint16(IPv4HeaderLen + TCPHeaderLen + len(payload)),
+		TTL:      64,
+		Protocol: ProtoTCP,
+		Src:      src,
+		Dst:      dst,
+	}
+	b := ip.Marshal(nil)
+	b = MarshalTCP(b, src, dst, h, payload)
+	return append(b, payload...)
+}

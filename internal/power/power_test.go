@@ -1,0 +1,126 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"hyperplane/internal/sim"
+)
+
+func TestModelOrdering(t *testing.T) {
+	m := Default()
+	spin := m.Active(2.4)      // full-tilt useless spinning
+	saturated := m.Active(1.2) // mixed useful work
+	halt := m.Halted()
+	sleep := m.Sleeping()
+	if !(sleep < halt && halt < saturated && saturated < spin) {
+		t.Fatalf("power ordering violated: sleep=%.2f halt=%.2f sat=%.2f spin=%.2f",
+			sleep, halt, saturated, spin)
+	}
+}
+
+func TestPaperProportions(t *testing.T) {
+	// Paper Fig. 12a: power-optimized HyperPlane at zero load draws ~16.2%
+	// of the spinning data plane's saturation power.
+	m := Default()
+	saturated := m.Active(1.2)
+	ratio := m.Sleeping() / saturated
+	if math.Abs(ratio-0.162) > 0.02 {
+		t.Errorf("C1/saturation ratio = %.3f, want ~0.162", ratio)
+	}
+	// And zero-load spinning must exceed saturation power (work
+	// disproportionality).
+	if m.Active(2.4) <= saturated {
+		t.Error("spinning at zero load should out-consume saturation")
+	}
+}
+
+func TestActiveClampsIPC(t *testing.T) {
+	m := Default()
+	if m.Active(-5) != m.Active(0) {
+		t.Error("negative IPC not clamped")
+	}
+	if m.Active(100) != m.Active(m.MaxIPC) {
+		t.Error("excessive IPC not clamped")
+	}
+}
+
+func TestResidencyIPC(t *testing.T) {
+	clock := sim.NewClock(3.0)
+	r := NewResidency(clock)
+	r.Add(C0Active, sim.Microsecond)
+	r.Add(C0Halt, sim.Microsecond)
+	r.AddInstrs(3000)
+	// Active cycles: ~3003 at 3GHz over 1us -> active IPC ~1.0.
+	if ipc := r.ActiveIPC(); ipc < 0.95 || ipc > 1.05 {
+		t.Errorf("active IPC = %.3f", ipc)
+	}
+	// Overall spans 2us -> ~0.5.
+	if ipc := r.OverallIPC(); ipc < 0.45 || ipc > 0.55 {
+		t.Errorf("overall IPC = %.3f", ipc)
+	}
+	if r.Total() != 2*sim.Microsecond {
+		t.Errorf("total = %v", r.Total())
+	}
+}
+
+func TestResidencyAveragePower(t *testing.T) {
+	m := Default()
+	clock := sim.NewClock(3.0)
+
+	// All time in C1 -> exactly sleeping power.
+	r := NewResidency(clock)
+	r.Add(C1, sim.Millisecond)
+	if p := r.AveragePower(m); math.Abs(p-m.Sleeping()) > 1e-9 {
+		t.Errorf("C1 power = %v", p)
+	}
+
+	// Half active at IPC 2, half halted -> between the two.
+	r2 := NewResidency(clock)
+	r2.Add(C0Active, sim.Millisecond)
+	r2.AddInstrs(2 * clock.ToCycles(sim.Millisecond))
+	r2.Add(C0Halt, sim.Millisecond)
+	p := r2.AveragePower(m)
+	want := (m.Active(2) + m.Halted()) / 2
+	if math.Abs(p-want) > 0.05 {
+		t.Errorf("mixed power = %.3f, want ~%.3f", p, want)
+	}
+
+	// Energy = power * time.
+	e := r2.EnergyJoules(m)
+	if math.Abs(e-p*r2.Total().Seconds()) > 1e-12 {
+		t.Errorf("energy = %v", e)
+	}
+}
+
+func TestResidencyEmpty(t *testing.T) {
+	r := NewResidency(sim.NewClock(3.0))
+	if r.AveragePower(Default()) != 0 || r.OverallIPC() != 0 || r.ActiveIPC() != 0 {
+		t.Error("empty residency should report zeros")
+	}
+}
+
+func TestResidencyNegativePanics(t *testing.T) {
+	r := NewResidency(sim.NewClock(3.0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative residency accepted")
+		}
+	}()
+	r.Add(C0Active, -sim.Nanosecond)
+}
+
+func TestCStateString(t *testing.T) {
+	if C0Active.String() != "C0-active" || C0Halt.String() != "C0-halt" || C1.String() != "C1" {
+		t.Error("state names")
+	}
+	if CState(9).String() != "?" {
+		t.Error("unknown state name")
+	}
+}
+
+func TestC1WakeLatencyValue(t *testing.T) {
+	if C1WakeLatency != 500*sim.Nanosecond {
+		t.Errorf("C1 wake latency = %v, want 0.5us (paper §V-D)", C1WakeLatency)
+	}
+}

@@ -1,0 +1,134 @@
+// Package queue provides the I/O queue models used by the simulated data
+// planes: FIFO task queues with doorbell semantics (an atomic counter of
+// queued elements, incremented by producers and decremented by consumers,
+// paper §III-A), plus the address layout that places each queue's doorbell
+// in the reserved range snooped by the monitoring set.
+package queue
+
+import (
+	"hyperplane/internal/mem"
+	"hyperplane/internal/sim"
+)
+
+// Item is one work item (packet, request, or storage block descriptor).
+type Item struct {
+	Enqueued sim.Time // arrival time, for end-to-end latency accounting
+	Flow     uint64   // flow/session identity for stateful workloads
+	Seq      uint64   // global sequence number
+}
+
+// Queue is a simulated device-side or tenant-side memory-mapped queue.
+// It holds pure state; memory-system costs (doorbell writes, head reads)
+// are charged by the data plane code that manipulates it.
+type Queue struct {
+	ID       int
+	Doorbell mem.Addr // cache line holding the atomic element counter
+	items    []Item
+	head     int
+	// MaxDepth, if nonzero, bounds occupancy; Enqueue beyond it reports
+	// drop (device queue overflow).
+	MaxDepth int
+	drops    int64
+	enqueued int64
+}
+
+// Len returns the doorbell counter value (elements currently queued).
+func (q *Queue) Len() int { return len(q.items) - q.head }
+
+// Empty reports whether the queue holds no items.
+func (q *Queue) Empty() bool { return q.Len() == 0 }
+
+// Enqueue appends an item, returning false on overflow.
+func (q *Queue) Enqueue(it Item) bool {
+	if q.MaxDepth > 0 && q.Len() >= q.MaxDepth {
+		q.drops++
+		return false
+	}
+	// Compact lazily once the dead prefix dominates.
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	q.items = append(q.items, it)
+	q.enqueued++
+	return true
+}
+
+// Dequeue removes and returns the item at the head.
+func (q *Queue) Dequeue() (Item, bool) {
+	if q.Empty() {
+		return Item{}, false
+	}
+	it := q.items[q.head]
+	q.head++
+	return it, true
+}
+
+// DequeueBatch removes up to max items.
+func (q *Queue) DequeueBatch(max int) []Item {
+	n := q.Len()
+	if n > max {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := q.items[q.head : q.head+n]
+	q.head += n
+	return out
+}
+
+// Drops returns the number of items rejected due to MaxDepth.
+func (q *Queue) Drops() int64 { return q.drops }
+
+// Enqueued returns the total number of accepted items.
+func (q *Queue) Enqueued() int64 { return q.enqueued }
+
+// Layout assigns the simulated physical addresses of doorbells, queue data,
+// and task buffers. Doorbells live in a dedicated reserved range (the range
+// QWAIT_init registers with the monitoring set); one cache line per queue so
+// no two doorbells false-share.
+type Layout struct {
+	DoorbellBase mem.Addr
+	BufferBase   mem.Addr
+	// BufferLines is the per-queue task-buffer footprint in cache lines;
+	// tasks cycle through these, creating the LLC pressure the paper
+	// observes when total data outgrows the LLC.
+	BufferLines int
+}
+
+// DefaultLayout mirrors the evaluation setup: doorbells at 1 GiB, buffers at
+// 2 GiB with 64 lines (4 KiB) of task data per queue.
+func DefaultLayout() Layout {
+	return Layout{
+		DoorbellBase: 1 << 30,
+		BufferBase:   2 << 30,
+		BufferLines:  64,
+	}
+}
+
+// DoorbellAddr returns the doorbell line of queue qid.
+func (l Layout) DoorbellAddr(qid int) mem.Addr {
+	return l.DoorbellBase + mem.Addr(qid)*mem.LineSize
+}
+
+// DoorbellRange returns the [lo, hi) address range covering n doorbells,
+// for monitoring-set range registration.
+func (l Layout) DoorbellRange(n int) (lo, hi mem.Addr) {
+	return l.DoorbellBase, l.DoorbellBase + mem.Addr(n)*mem.LineSize
+}
+
+// BufferAddr returns the slot-th task-buffer line of queue qid.
+func (l Layout) BufferAddr(qid, slot int) mem.Addr {
+	slot %= l.BufferLines
+	return l.BufferBase + mem.Addr(qid*l.BufferLines+slot)*mem.LineSize
+}
+
+// NewSet builds n queues with doorbells laid out per l.
+func NewSet(n int, l Layout, maxDepth int) []*Queue {
+	qs := make([]*Queue, n)
+	for i := range qs {
+		qs[i] = &Queue{ID: i, Doorbell: l.DoorbellAddr(i), MaxDepth: maxDepth}
+	}
+	return qs
+}

@@ -1,0 +1,265 @@
+package queue
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"hyperplane/internal/mem"
+	"hyperplane/internal/sim"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := &Queue{ID: 1}
+	for i := 0; i < 5; i++ {
+		if !q.Enqueue(Item{Seq: uint64(i)}) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	if q.Len() != 5 || q.Empty() {
+		t.Fatalf("len = %d", q.Len())
+	}
+	for i := 0; i < 5; i++ {
+		it, ok := q.Dequeue()
+		if !ok || it.Seq != uint64(i) {
+			t.Fatalf("dequeue %d: %+v, %v", i, it, ok)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue from empty succeeded")
+	}
+	if !q.Empty() {
+		t.Fatal("not empty")
+	}
+}
+
+func TestQueueMaxDepth(t *testing.T) {
+	q := &Queue{MaxDepth: 2}
+	q.Enqueue(Item{})
+	q.Enqueue(Item{})
+	if q.Enqueue(Item{}) {
+		t.Fatal("overflow accepted")
+	}
+	if q.Drops() != 1 || q.Enqueued() != 2 {
+		t.Errorf("drops=%d enqueued=%d", q.Drops(), q.Enqueued())
+	}
+	q.Dequeue()
+	if !q.Enqueue(Item{}) {
+		t.Fatal("enqueue after drain failed")
+	}
+}
+
+func TestDequeueBatch(t *testing.T) {
+	q := &Queue{}
+	for i := 0; i < 10; i++ {
+		q.Enqueue(Item{Seq: uint64(i)})
+	}
+	batch := q.DequeueBatch(4)
+	if len(batch) != 4 || batch[0].Seq != 0 || batch[3].Seq != 3 {
+		t.Fatalf("batch = %v", batch)
+	}
+	if q.Len() != 6 {
+		t.Errorf("len = %d", q.Len())
+	}
+	rest := q.DequeueBatch(100)
+	if len(rest) != 6 || rest[0].Seq != 4 {
+		t.Fatalf("rest = %v", rest)
+	}
+	if q.DequeueBatch(5) != nil {
+		t.Error("batch from empty queue")
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	q := &Queue{}
+	// Heavy churn should not grow the backing slice without bound.
+	for i := 0; i < 10000; i++ {
+		q.Enqueue(Item{Seq: uint64(i)})
+		if i%2 == 1 {
+			q.Dequeue()
+			q.Dequeue()
+		}
+	}
+	for !q.Empty() {
+		q.Dequeue()
+	}
+	if cap(q.items) > 4096 {
+		t.Errorf("backing capacity grew to %d despite compaction", cap(q.items))
+	}
+}
+
+func TestLayoutAddressing(t *testing.T) {
+	l := DefaultLayout()
+	if l.DoorbellAddr(0) != l.DoorbellBase {
+		t.Error("doorbell 0")
+	}
+	if l.DoorbellAddr(1)-l.DoorbellAddr(0) != mem.LineSize {
+		t.Error("doorbells not one line apart")
+	}
+	lo, hi := l.DoorbellRange(1000)
+	if lo != l.DoorbellBase || hi != l.DoorbellBase+1000*mem.LineSize {
+		t.Errorf("range = [%#x, %#x)", lo, hi)
+	}
+	// Buffers: distinct lines per queue/slot, wrapping at BufferLines.
+	if l.BufferAddr(0, 0) == l.BufferAddr(1, 0) {
+		t.Error("queues share buffer lines")
+	}
+	if l.BufferAddr(0, 0) != l.BufferAddr(0, l.BufferLines) {
+		t.Error("buffer slots do not wrap")
+	}
+	if l.BufferAddr(0, 1)-l.BufferAddr(0, 0) != mem.LineSize {
+		t.Error("buffer slots not line-spaced")
+	}
+}
+
+func TestNewSet(t *testing.T) {
+	l := DefaultLayout()
+	qs := NewSet(8, l, 16)
+	if len(qs) != 8 {
+		t.Fatalf("count = %d", len(qs))
+	}
+	for i, q := range qs {
+		if q.ID != i || q.Doorbell != l.DoorbellAddr(i) || q.MaxDepth != 16 {
+			t.Errorf("queue %d misconfigured: %+v", i, q)
+		}
+	}
+}
+
+// Property: any interleaving of enqueues and dequeues preserves FIFO order
+// and exact occupancy accounting.
+func TestQueueFIFOProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		q := &Queue{}
+		var next, expect uint64
+		depth := 0
+		for _, enq := range ops {
+			if enq {
+				q.Enqueue(Item{Seq: next})
+				next++
+				depth++
+			} else {
+				it, ok := q.Dequeue()
+				if depth == 0 {
+					if ok {
+						return false
+					}
+					continue
+				}
+				if !ok || it.Seq != expect {
+					return false
+				}
+				expect++
+				depth--
+			}
+			if q.Len() != depth {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingBasics(t *testing.T) {
+	r, err := NewRing[int](8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cap() != 8 || r.Len() != 0 {
+		t.Fatal("fresh ring state")
+	}
+	for i := 0; i < 8; i++ {
+		if !r.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if r.Push(99) {
+		t.Fatal("push into full ring succeeded")
+	}
+	if r.Len() != 8 {
+		t.Errorf("len = %d", r.Len())
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = %d, %v", i, v, ok)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+}
+
+func TestRingSizeValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 100} {
+		if _, err := NewRing[int](n); err == nil {
+			t.Errorf("capacity %d accepted", n)
+		}
+	}
+}
+
+func TestRingSPSCConcurrent(t *testing.T) {
+	r, _ := NewRing[uint64](1024)
+	const n = 50000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < n; {
+			if r.Push(i) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	var bad bool
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < n; {
+			v, ok := r.Pop()
+			if !ok {
+				runtime.Gosched()
+				continue
+			}
+			if v != i {
+				bad = true
+				return
+			}
+			i++
+		}
+	}()
+	wg.Wait()
+	if bad {
+		t.Fatal("ring reordered or corrupted elements")
+	}
+	if r.Len() != 0 {
+		t.Errorf("doorbell = %d after drain", r.Len())
+	}
+}
+
+func TestRingDoorbellSemantics(t *testing.T) {
+	r, _ := NewRing[string](4)
+	db := r.Doorbell()
+	r.Push("a")
+	r.Push("b")
+	if db.Load() != 2 {
+		t.Errorf("doorbell = %d", db.Load())
+	}
+	r.Pop()
+	if db.Load() != 1 {
+		t.Errorf("doorbell after pop = %d", db.Load())
+	}
+}
+
+func TestItemTimestampPreserved(t *testing.T) {
+	q := &Queue{}
+	q.Enqueue(Item{Enqueued: 5 * sim.Microsecond, Flow: 7})
+	it, _ := q.Dequeue()
+	if it.Enqueued != 5*sim.Microsecond || it.Flow != 7 {
+		t.Error("item fields lost")
+	}
+}

@@ -1,0 +1,81 @@
+package queue
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// Ring is a real (not simulated) lock-free single-producer single-consumer
+// ring buffer, the shared-memory queue used between tenants and the
+// software data plane in the runtime library. The element counter doubles
+// as the queue's doorbell: producers increment it after enqueuing and
+// consumers decrement it before dequeuing, exactly the semantics the
+// monitoring set watches in hardware.
+type Ring[T any] struct {
+	buf  []T
+	mask uint64
+	// head is the consumer cursor, tail the producer cursor. Padding keeps
+	// the two hot words on distinct cache lines to avoid false sharing.
+	head atomic.Uint64
+	_    [7]uint64
+	tail atomic.Uint64
+	_    [7]uint64
+	// count is the doorbell: number of committed, unconsumed elements.
+	count atomic.Int64
+}
+
+// ErrRingSize reports an invalid ring capacity.
+var ErrRingSize = errors.New("queue: ring capacity must be a power of two >= 2")
+
+// NewRing creates a ring with the given power-of-two capacity.
+func NewRing[T any](capacity int) (*Ring[T], error) {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		return nil, ErrRingSize
+	}
+	return &Ring[T]{buf: make([]T, capacity), mask: uint64(capacity - 1)}, nil
+}
+
+// Push enqueues v, returning false if the ring is full. Safe for a single
+// producer goroutine.
+func (r *Ring[T]) Push(v T) bool {
+	tail := r.tail.Load()
+	if tail-r.head.Load() >= uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[tail&r.mask] = v
+	r.tail.Store(tail + 1) // publish the slot
+	r.count.Add(1)         // ring the doorbell
+	return true
+}
+
+// Pop dequeues the oldest element, returning false if the ring is empty.
+// Safe for a single consumer goroutine.
+func (r *Ring[T]) Pop() (T, bool) {
+	var zero T
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return zero, false
+	}
+	// Decrement the doorbell before dequeuing (paper §III-A semantics).
+	r.count.Add(-1)
+	v := r.buf[head&r.mask]
+	r.buf[head&r.mask] = zero // release references
+	r.head.Store(head + 1)
+	return v, true
+}
+
+// Len returns the doorbell counter.
+func (r *Ring[T]) Len() int {
+	n := r.count.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Cap returns the ring capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Doorbell exposes the counter for notification integration: the runtime
+// Notifier watches it the way the monitoring set watches the doorbell line.
+func (r *Ring[T]) Doorbell() *atomic.Int64 { return &r.count }

@@ -1,0 +1,272 @@
+// Package raidp implements RAID with P+Q redundancy (RAID-6), the paper's
+// "RAID protection" workload: computing the P (XOR) and Q (Reed–Solomon
+// over GF(2^8)) parity bytes of input data blocks and reconstructing after
+// one or two device failures.
+package raidp
+
+import (
+	"errors"
+	"fmt"
+
+	"hyperplane/internal/erasure"
+)
+
+// Errors returned by the array operations.
+var (
+	ErrBlockSize  = errors.New("raidp: blocks must be non-empty and equal-sized")
+	ErrBlockCount = errors.New("raidp: wrong number of data blocks")
+	ErrTooManyBad = errors.New("raidp: more than two failures cannot be recovered")
+	ErrBadIndex   = errors.New("raidp: failure index out of range")
+)
+
+// Array is a RAID-6 stripe layout over n data disks plus P and Q.
+//
+//	P = D_0 ^ D_1 ^ ... ^ D_{n-1}
+//	Q = g^0*D_0 ^ g^1*D_1 ^ ... ^ g^{n-1}*D_{n-1},  g = 2 in GF(2^8)
+type Array struct {
+	n int
+}
+
+// New returns an array with n data disks (2 <= n <= 254, so that the g^i
+// coefficients stay distinct and nonzero).
+func New(n int) (*Array, error) {
+	if n < 2 || n > 254 {
+		return nil, fmt.Errorf("raidp: data disk count %d out of range [2,254]", n)
+	}
+	return &Array{n: n}, nil
+}
+
+// DataDisks returns n.
+func (a *Array) DataDisks() int { return a.n }
+
+func (a *Array) checkBlocks(data [][]byte) (int, error) {
+	if len(data) != a.n {
+		return 0, ErrBlockCount
+	}
+	size := -1
+	for _, d := range data {
+		if d == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(d)
+		}
+		if len(d) != size || size == 0 {
+			return 0, ErrBlockSize
+		}
+	}
+	if size <= 0 {
+		return 0, ErrBlockSize
+	}
+	return size, nil
+}
+
+// ComputePQ fills p and q with the stripe parities. p and q must be the
+// same length as the data blocks.
+func (a *Array) ComputePQ(data [][]byte, p, q []byte) error {
+	size, err := a.checkBlocks(data)
+	if err != nil {
+		return err
+	}
+	if len(p) != size || len(q) != size {
+		return ErrBlockSize
+	}
+	for i := range p {
+		p[i], q[i] = 0, 0
+	}
+	for d := a.n - 1; d >= 0; d-- {
+		// Horner's rule for Q: Q = ((...(D_{n-1})*g ^ D_{n-2})*g ...) ^ D_0.
+		for i, b := range data[d] {
+			p[i] ^= b
+			q[i] = erasure.Mul(q[i], 2) ^ b
+		}
+	}
+	return nil
+}
+
+// VerifyStripe recomputes P and Q and compares.
+func (a *Array) VerifyStripe(data [][]byte, p, q []byte) (bool, error) {
+	size, err := a.checkBlocks(data)
+	if err != nil {
+		return false, err
+	}
+	if len(p) != size || len(q) != size {
+		return false, ErrBlockSize
+	}
+	pp := make([]byte, size)
+	qq := make([]byte, size)
+	if err := a.ComputePQ(data, pp, qq); err != nil {
+		return false, err
+	}
+	for i := range pp {
+		if pp[i] != p[i] || qq[i] != q[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// coef returns g^d, the Q coefficient of data disk d.
+func coef(d int) byte { return erasure.Exp(d) }
+
+// RecoverOneData rebuilds data disk x from the surviving data and P.
+func (a *Array) RecoverOneData(data [][]byte, p []byte, x int) error {
+	if x < 0 || x >= a.n {
+		return ErrBadIndex
+	}
+	size := len(p)
+	out := make([]byte, size)
+	copy(out, p)
+	for d := 0; d < a.n; d++ {
+		if d == x {
+			continue
+		}
+		if data[d] == nil || len(data[d]) != size {
+			return ErrBlockSize
+		}
+		for i, b := range data[d] {
+			out[i] ^= b
+		}
+	}
+	data[x] = out
+	return nil
+}
+
+// RecoverDataAndP rebuilds data disk x and the P parity using Q.
+func (a *Array) RecoverDataAndP(data [][]byte, p, q []byte, x int) error {
+	if x < 0 || x >= a.n {
+		return ErrBadIndex
+	}
+	size := len(q)
+	// D_x = (Q ^ Q') * g^{-x}, where Q' is Q computed over surviving disks.
+	out := make([]byte, size)
+	qq := make([]byte, size)
+	for d := 0; d < a.n; d++ {
+		if d == x {
+			continue
+		}
+		if data[d] == nil || len(data[d]) != size {
+			return ErrBlockSize
+		}
+		c := coef(d)
+		for i, b := range data[d] {
+			qq[i] ^= erasure.Mul(c, b)
+		}
+	}
+	invCx := erasure.Inv(coef(x))
+	for i := range out {
+		out[i] = erasure.Mul(q[i]^qq[i], invCx)
+	}
+	data[x] = out
+	// Recompute P from the complete data.
+	for i := range p {
+		p[i] = 0
+	}
+	for d := 0; d < a.n; d++ {
+		for i, b := range data[d] {
+			p[i] ^= b
+		}
+	}
+	return nil
+}
+
+// RecoverTwoData rebuilds data disks x and y (x != y) from P and Q using
+// the standard RAID-6 two-failure equations.
+func (a *Array) RecoverTwoData(data [][]byte, p, q []byte, x, y int) error {
+	if x == y {
+		return ErrBadIndex
+	}
+	if x > y {
+		x, y = y, x
+	}
+	if x < 0 || y >= a.n {
+		return ErrBadIndex
+	}
+	size := len(p)
+	if len(q) != size {
+		return ErrBlockSize
+	}
+	// Pxy = P ^ (xor of surviving), Qxy = Q ^ (Q-sum of surviving):
+	//   D_x ^ D_y           = Pxy
+	//   g^x D_x ^ g^y D_y   = Qxy
+	// =>
+	//   D_x = (g^{y-x} Pxy ^ g^{-x} Qxy) / (g^{y-x} ^ 1)
+	//   D_y = D_x ^ Pxy
+	pxy := make([]byte, size)
+	qxy := make([]byte, size)
+	copy(pxy, p)
+	copy(qxy, q)
+	for d := 0; d < a.n; d++ {
+		if d == x || d == y {
+			continue
+		}
+		if data[d] == nil || len(data[d]) != size {
+			return ErrBlockSize
+		}
+		c := coef(d)
+		for i, b := range data[d] {
+			pxy[i] ^= b
+			qxy[i] ^= erasure.Mul(c, b)
+		}
+	}
+	gyx := erasure.Div(coef(y), coef(x)) // g^{y-x}
+	denom := erasure.Inv(gyx ^ 1)
+	ginvx := erasure.Inv(coef(x))
+	dx := make([]byte, size)
+	dy := make([]byte, size)
+	for i := 0; i < size; i++ {
+		dx[i] = erasure.Mul(erasure.Mul(gyx, pxy[i])^erasure.Mul(ginvx, qxy[i]), denom)
+		dy[i] = dx[i] ^ pxy[i]
+	}
+	data[x] = dx
+	data[y] = dy
+	return nil
+}
+
+// Recover dispatches on the failure pattern: failed lists the indices of
+// lost devices, where 0..n-1 are data disks, n is P, and n+1 is Q. Data,
+// p, and q are repaired in place.
+func (a *Array) Recover(data [][]byte, p, q []byte, failed []int) error {
+	if len(failed) > 2 {
+		return ErrTooManyBad
+	}
+	for _, f := range failed {
+		if f < 0 || f > a.n+1 {
+			return ErrBadIndex
+		}
+	}
+	pIdx, qIdx := a.n, a.n+1
+	has := func(idx int) bool {
+		for _, f := range failed {
+			if f == idx {
+				return true
+			}
+		}
+		return false
+	}
+	var lostData []int
+	for _, f := range failed {
+		if f < a.n {
+			lostData = append(lostData, f)
+		}
+	}
+	switch {
+	case len(lostData) == 2:
+		if err := a.RecoverTwoData(data, p, q, lostData[0], lostData[1]); err != nil {
+			return err
+		}
+	case len(lostData) == 1 && has(pIdx):
+		if err := a.RecoverDataAndP(data, p, q, lostData[0]); err != nil {
+			return err
+		}
+	case len(lostData) == 1:
+		if err := a.RecoverOneData(data, p, lostData[0]); err != nil {
+			return err
+		}
+	}
+	// Any lost parity is recomputed from (now complete) data.
+	if has(pIdx) || has(qIdx) {
+		return a.ComputePQ(data, p, q)
+	}
+	return nil
+}

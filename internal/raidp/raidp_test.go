@@ -1,0 +1,275 @@
+package raidp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// stripe builds deterministic test data for n disks of the given block size.
+func stripe(n, size int) [][]byte {
+	data := make([][]byte, n)
+	for d := range data {
+		data[d] = make([]byte, size)
+		for i := range data[d] {
+			data[d][i] = byte(d*31 + i*7 + 1)
+		}
+	}
+	return data
+}
+
+func clone(data [][]byte) [][]byte {
+	out := make([][]byte, len(data))
+	for i := range data {
+		if data[i] != nil {
+			out[i] = append([]byte(nil), data[i]...)
+		}
+	}
+	return out
+}
+
+func TestComputeVerifyPQ(t *testing.T) {
+	a, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := stripe(5, 64)
+	p := make([]byte, 64)
+	q := make([]byte, 64)
+	if err := a.ComputePQ(data, p, q); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := a.VerifyStripe(data, p, q)
+	if err != nil || !ok {
+		t.Fatalf("verify = %v, %v", ok, err)
+	}
+	// P must equal the XOR of all blocks.
+	for i := 0; i < 64; i++ {
+		var x byte
+		for d := 0; d < 5; d++ {
+			x ^= data[d][i]
+		}
+		if p[i] != x {
+			t.Fatalf("P[%d] wrong", i)
+		}
+	}
+	data[2][10] ^= 0xff
+	ok, _ = a.VerifyStripe(data, p, q)
+	if ok {
+		t.Error("corrupted stripe verified")
+	}
+}
+
+func TestRecoverOneData(t *testing.T) {
+	a, _ := New(4)
+	data := stripe(4, 32)
+	orig := clone(data)
+	p := make([]byte, 32)
+	q := make([]byte, 32)
+	a.ComputePQ(data, p, q)
+	for x := 0; x < 4; x++ {
+		d := clone(orig)
+		d[x] = nil
+		if err := a.RecoverOneData(d, p, x); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(d[x], orig[x]) {
+			t.Errorf("disk %d wrong after single recovery", x)
+		}
+	}
+}
+
+func TestRecoverDataAndP(t *testing.T) {
+	a, _ := New(4)
+	orig := stripe(4, 32)
+	p := make([]byte, 32)
+	q := make([]byte, 32)
+	a.ComputePQ(orig, p, q)
+	for x := 0; x < 4; x++ {
+		d := clone(orig)
+		d[x] = nil
+		pBad := make([]byte, 32) // P lost too
+		if err := a.RecoverDataAndP(d, pBad, q, x); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(d[x], orig[x]) {
+			t.Errorf("disk %d wrong after data+P recovery", x)
+		}
+		if !bytes.Equal(pBad, p) {
+			t.Errorf("P wrong after data+P recovery (x=%d)", x)
+		}
+	}
+}
+
+func TestRecoverTwoData(t *testing.T) {
+	a, _ := New(6)
+	orig := stripe(6, 48)
+	p := make([]byte, 48)
+	q := make([]byte, 48)
+	a.ComputePQ(orig, p, q)
+	for x := 0; x < 6; x++ {
+		for y := x + 1; y < 6; y++ {
+			d := clone(orig)
+			d[x], d[y] = nil, nil
+			if err := a.RecoverTwoData(d, p, q, x, y); err != nil {
+				t.Fatalf("recover (%d,%d): %v", x, y, err)
+			}
+			if !bytes.Equal(d[x], orig[x]) || !bytes.Equal(d[y], orig[y]) {
+				t.Fatalf("disks (%d,%d) wrong after double recovery", x, y)
+			}
+		}
+	}
+}
+
+func TestRecoverDispatch(t *testing.T) {
+	a, _ := New(4)
+	orig := stripe(4, 16)
+	p := make([]byte, 16)
+	q := make([]byte, 16)
+	a.ComputePQ(orig, p, q)
+	pIdx, qIdx := 4, 5
+
+	cases := [][]int{
+		{},           // nothing lost
+		{1},          // one data
+		{0, 2},       // two data
+		{3, pIdx},    // data + P
+		{2, qIdx},    // data + Q
+		{pIdx},       // P only
+		{qIdx},       // Q only
+		{pIdx, qIdx}, // both parities
+	}
+	for _, failed := range cases {
+		d := clone(orig)
+		pp := append([]byte(nil), p...)
+		qq := append([]byte(nil), q...)
+		for _, f := range failed {
+			switch {
+			case f < 4:
+				d[f] = nil
+			case f == pIdx:
+				for i := range pp {
+					pp[i] = 0xEE
+				}
+			case f == qIdx:
+				for i := range qq {
+					qq[i] = 0xEE
+				}
+			}
+		}
+		if err := a.Recover(d, pp, qq, failed); err != nil {
+			t.Fatalf("recover %v: %v", failed, err)
+		}
+		for i := range orig {
+			if !bytes.Equal(d[i], orig[i]) {
+				t.Fatalf("recover %v: disk %d wrong", failed, i)
+			}
+		}
+		if !bytes.Equal(pp, p) || !bytes.Equal(qq, q) {
+			t.Fatalf("recover %v: parity wrong", failed)
+		}
+	}
+}
+
+func TestRecoverErrors(t *testing.T) {
+	a, _ := New(3)
+	data := stripe(3, 8)
+	p := make([]byte, 8)
+	q := make([]byte, 8)
+	a.ComputePQ(data, p, q)
+	if err := a.Recover(data, p, q, []int{0, 1, 2}); err != ErrTooManyBad {
+		t.Errorf("3 failures: %v", err)
+	}
+	if err := a.Recover(data, p, q, []int{9}); err != ErrBadIndex {
+		t.Errorf("bad index: %v", err)
+	}
+	if err := a.RecoverTwoData(data, p, q, 1, 1); err != ErrBadIndex {
+		t.Errorf("x==y: %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 255, 300} {
+		if _, err := New(n); err == nil {
+			t.Errorf("New(%d) accepted", n)
+		}
+	}
+}
+
+func TestComputePQValidation(t *testing.T) {
+	a, _ := New(2)
+	p := make([]byte, 4)
+	q := make([]byte, 4)
+	if err := a.ComputePQ([][]byte{{1, 2, 3, 4}}, p, q); err != ErrBlockCount {
+		t.Errorf("block count: %v", err)
+	}
+	if err := a.ComputePQ([][]byte{{1, 2}, {1, 2, 3}}, p, q); err != ErrBlockSize {
+		t.Errorf("ragged: %v", err)
+	}
+	if err := a.ComputePQ([][]byte{{1, 2, 3, 4}, {5, 6, 7, 8}}, p[:2], q); err != ErrBlockSize {
+		t.Errorf("short parity: %v", err)
+	}
+}
+
+// Property: random stripes survive any random loss of up to two devices.
+func TestRecoverProperty(t *testing.T) {
+	f := func(blocks []byte, nRaw uint8, f1, f2 uint8) bool {
+		n := int(nRaw%8) + 2
+		size := len(blocks)/n + 1
+		a, err := New(n)
+		if err != nil {
+			return false
+		}
+		data := make([][]byte, n)
+		for d := range data {
+			data[d] = make([]byte, size)
+			for i := range data[d] {
+				idx := d*size + i
+				if idx < len(blocks) {
+					data[d][i] = blocks[idx]
+				}
+			}
+		}
+		orig := clone(data)
+		p := make([]byte, size)
+		q := make([]byte, size)
+		if err := a.ComputePQ(data, p, q); err != nil {
+			return false
+		}
+		origP := append([]byte(nil), p...)
+		origQ := append([]byte(nil), q...)
+
+		i1 := int(f1) % (n + 2)
+		i2 := int(f2) % (n + 2)
+		failed := []int{i1}
+		if i2 != i1 {
+			failed = append(failed, i2)
+		}
+		for _, f := range failed {
+			switch {
+			case f < n:
+				data[f] = nil
+			case f == n:
+				for i := range p {
+					p[i] = 0xAA
+				}
+			default:
+				for i := range q {
+					q[i] = 0xAA
+				}
+			}
+		}
+		if err := a.Recover(data, p, q, failed); err != nil {
+			return false
+		}
+		for d := range orig {
+			if !bytes.Equal(data[d], orig[d]) {
+				return false
+			}
+		}
+		return bytes.Equal(p, origP) && bytes.Equal(q, origQ)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

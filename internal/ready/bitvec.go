@@ -1,0 +1,103 @@
+// Package ready implements HyperPlane's ready set (paper §IV-B): the
+// structure that tracks which queues have work and selects the next QID to
+// return from QWAIT according to a service policy.
+//
+// The hardware design is a pair of bit vectors (ready bits, mask bits)
+// feeding a Programmable Priority Arbiter (PPA). The package provides two
+// functionally identical PPA models — a bit-slice ripple design and a
+// parallel-prefix (Brent–Kung-style) design — plus the software ready-set
+// baseline the paper compares against in Fig. 13.
+package ready
+
+import "math/bits"
+
+// BitVec is a fixed-width bit vector over queue IDs.
+type BitVec struct {
+	words []uint64
+	n     int
+}
+
+// NewBitVec returns an n-bit vector, all zero.
+func NewBitVec(n int) *BitVec {
+	if n <= 0 {
+		panic("ready: bit vector width must be positive")
+	}
+	return &BitVec{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the width of the vector.
+func (v *BitVec) Len() int { return v.n }
+
+func (v *BitVec) check(i int) {
+	if i < 0 || i >= v.n {
+		panic("ready: bit index out of range")
+	}
+}
+
+// Set sets bit i.
+func (v *BitVec) Set(i int) {
+	v.check(i)
+	v.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Clear clears bit i.
+func (v *BitVec) Clear(i int) {
+	v.check(i)
+	v.words[i>>6] &^= 1 << uint(i&63)
+}
+
+// Get reports bit i.
+func (v *BitVec) Get(i int) bool {
+	v.check(i)
+	return v.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// SetAll sets every bit.
+func (v *BitVec) SetAll() {
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.trim()
+}
+
+// ClearAll zeroes the vector.
+func (v *BitVec) ClearAll() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// trim zeroes bits beyond n in the last word.
+func (v *BitVec) trim() {
+	if rem := v.n & 63; rem != 0 {
+		v.words[len(v.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Any reports whether any bit is set.
+func (v *BitVec) Any() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of set bits.
+func (v *BitVec) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// andWord returns word i of (v AND m), treating a nil mask as all-ones.
+func andWord(v, m *BitVec, i int) uint64 {
+	w := v.words[i]
+	if m != nil {
+		w &= m.words[i]
+	}
+	return w
+}

@@ -1,0 +1,94 @@
+package ready
+
+// Gate-level model of the Brent–Kung parallel-prefix arbiter the paper
+// synthesizes (§IV-B, Fig. 7): thermometer coding removes the wrap-around
+// combinational loop, and a prefix network propagates the "priority has
+// passed and not yet been consumed" signal in O(log n) logic levels.
+//
+// prefixSelect (ppa.go) is the word-parallel production implementation;
+// this file computes the same function the way the hardware does — as an
+// explicit prefix network over per-bit kill signals — and reports the
+// network's gate depth, so tests can cross-check all three implementations
+// and the latency model can be related to structure.
+//
+// Formulation: rotate the request vector so the current-priority position
+// is bit 0 (thermometer trick: selection order becomes a plain linear
+// priority). The selected bit is then the first asserted request:
+//
+//	grant[i] = req[i] AND NOT (req[0] OR req[1] OR ... OR req[i-1])
+//
+// The OR-prefix over req is computed by a Brent–Kung network: an up-sweep
+// building power-of-two block ORs and a down-sweep distributing them,
+// 2*log2(n) - 1 levels of 2-input OR gates.
+
+// brentKungPrefixOR returns, for each i, OR of in[0..i-1] (exclusive
+// prefix), computed with the Brent–Kung schedule.
+func brentKungPrefixOR(in []bool) []bool {
+	n := len(in)
+	// Pad to a power of two (hardware ties unused inputs low).
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	v := make([]bool, size)
+	copy(v, in)
+
+	// Up-sweep: v[k] accumulates the OR of its power-of-two block.
+	for d := 1; d < size; d <<= 1 {
+		for k := 2*d - 1; k < size; k += 2 * d {
+			v[k] = v[k] || v[k-d]
+		}
+	}
+	// Down-sweep for the exclusive prefix: root gets identity (false).
+	v[size-1] = false
+	for d := size >> 1; d >= 1; d >>= 1 {
+		for k := 2*d - 1; k < size; k += 2 * d {
+			left := v[k-d]
+			v[k-d] = v[k]
+			v[k] = v[k] || left
+		}
+	}
+	return v[:n]
+}
+
+// brentKungDepth returns the logic depth (2-input OR levels) of the
+// network for n requests: 2*ceil(log2(n)) - 1 for n > 1.
+func brentKungDepth(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	levels := 0
+	size := 1
+	for size < n {
+		size <<= 1
+		levels++
+	}
+	return 2*levels - 1
+}
+
+// brentKungSelect selects the first asserted (ready AND mask) bit at or
+// after prio in circular order, exactly like prefixSelect and
+// rippleSelect, but via the explicit prefix network.
+func brentKungSelect(v, m *BitVec, prio int) (int, bool) {
+	n := v.Len()
+	// Thermometer rotation: req[k] corresponds to bit (prio + k) mod n.
+	req := make([]bool, n)
+	for k := 0; k < n; k++ {
+		i := prio + k
+		if i >= n {
+			i -= n
+		}
+		req[k] = v.Get(i) && (m == nil || m.Get(i))
+	}
+	notBefore := brentKungPrefixOR(req)
+	for k := 0; k < n; k++ {
+		if req[k] && !notBefore[k] { // grant = req AND NOT prefixOR
+			i := prio + k
+			if i >= n {
+				i -= n
+			}
+			return i, true
+		}
+	}
+	return 0, false
+}

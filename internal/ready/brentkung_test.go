@@ -1,0 +1,102 @@
+package ready
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBrentKungPrefixORSmall(t *testing.T) {
+	in := []bool{false, true, false, false, true, false}
+	got := brentKungPrefixOR(in)
+	// Exclusive prefix OR: [F, F, T, T, T, T]
+	want := []bool{false, false, true, true, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("prefix[%d] = %v, want %v (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestBrentKungPrefixORMatchesNaive(t *testing.T) {
+	f := func(bits []bool) bool {
+		if len(bits) == 0 {
+			return true
+		}
+		got := brentKungPrefixOR(bits)
+		acc := false
+		for i, b := range bits {
+			if got[i] != acc {
+				return false
+			}
+			acc = acc || b
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBrentKungDepthLogarithmic(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 4: 3, 8: 5, 1024: 19, 1000: 19}
+	for n, want := range cases {
+		if got := brentKungDepth(n); got != want {
+			t.Errorf("depth(%d) = %d, want %d", n, got, want)
+		}
+	}
+	// The paper's 1024-entry ready set: 19 OR levels plus grant logic is
+	// what makes the 12.25 ns latency plausible at 32 nm.
+	if brentKungDepth(1024) >= 1024/8 {
+		t.Error("depth is not logarithmic")
+	}
+}
+
+// Property: all three arbiter implementations — ripple (bit-slice
+// reference), word-parallel prefixSelect, and the gate-level Brent–Kung
+// network — agree on every input.
+func TestThreeArbitersAgree(t *testing.T) {
+	f := func(readyBits, maskBits []bool, prio uint16) bool {
+		n := len(readyBits)
+		if n == 0 {
+			return true
+		}
+		if n > 200 {
+			n = 200
+		}
+		v := NewBitVec(n)
+		m := NewBitVec(n)
+		for i := 0; i < n; i++ {
+			if readyBits[i] {
+				v.Set(i)
+			}
+			if i < len(maskBits) && maskBits[i] {
+				m.Set(i)
+			}
+		}
+		p := int(prio) % n
+		q1, ok1 := rippleSelect(func(i int) bool { return v.Get(i) && m.Get(i) }, n, p)
+		q2, ok2 := prefixSelect(v, m, p)
+		q3, ok3 := brentKungSelect(v, m, p)
+		if ok1 != ok2 || ok2 != ok3 {
+			return false
+		}
+		return !ok1 || (q1 == q2 && q2 == q3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBrentKungNilMask(t *testing.T) {
+	v := NewBitVec(10)
+	v.Set(7)
+	q, ok := brentKungSelect(v, nil, 3)
+	if !ok || q != 7 {
+		t.Fatalf("select = %d, %v", q, ok)
+	}
+	// Wrap-around: priority past the only set bit.
+	q, ok = brentKungSelect(v, nil, 8)
+	if !ok || q != 7 {
+		t.Fatalf("wrapped select = %d, %v", q, ok)
+	}
+}

@@ -1,0 +1,64 @@
+package ready
+
+import "math/bits"
+
+// A PPA (Programmable Priority Arbiter) selects, among the asserted request
+// bits, the first one at or after the current-priority position in circular
+// order (paper §IV-B, Figs. 6-7). Two models are provided:
+//
+//   - rippleSelect: the bit-slice ripple-priority reference design — O(n)
+//     per selection, mirrors Fig. 7's Pin/Pout chain including the
+//     wrap-around connection.
+//   - prefixSelect: the production design — thermometer coding to eliminate
+//     the wrap-around plus word-parallel scanning, the software analogue of
+//     the Brent–Kung parallel-prefix network the paper synthesizes.
+//
+// Both must agree bit-for-bit; the test suite property-checks equivalence.
+
+// rippleSelect walks bit positions one at a time starting at prio,
+// propagating priority exactly like the Pin/Pout ripple chain.
+func rippleSelect(readyMasked func(int) bool, n, prio int) (int, bool) {
+	for k := 0; k < n; k++ {
+		i := prio + k
+		if i >= n {
+			i -= n // wrap-around connection
+		}
+		if readyMasked(i) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// prefixSelect finds the first asserted bit at or after prio in circular
+// order using word-level operations: first the upper segment [prio, n), then
+// the wrapped lower segment [0, prio). This mirrors the thermometer-coded
+// double-width trick used to remove the combinational loop from PPN-based
+// arbiters.
+func prefixSelect(v, m *BitVec, prio int) (int, bool) {
+	nw := len(v.words)
+	startWord := prio >> 6
+	startBit := uint(prio & 63)
+
+	// Segment [prio, n): mask off bits below prio in the first word.
+	w := andWord(v, m, startWord) &^ ((1 << startBit) - 1)
+	if w != 0 {
+		return startWord<<6 + bits.TrailingZeros64(w), true
+	}
+	for i := startWord + 1; i < nw; i++ {
+		if w := andWord(v, m, i); w != 0 {
+			return i<<6 + bits.TrailingZeros64(w), true
+		}
+	}
+	// Wrapped segment [0, prio).
+	for i := 0; i <= startWord && i < nw; i++ {
+		w := andWord(v, m, i)
+		if i == startWord {
+			w &= (1 << startBit) - 1
+		}
+		if w != 0 {
+			return i<<6 + bits.TrailingZeros64(w), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,395 @@
+package ready
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitVecBasics(t *testing.T) {
+	v := NewBitVec(130)
+	if v.Any() || v.Count() != 0 {
+		t.Fatal("fresh vector not empty")
+	}
+	v.Set(0)
+	v.Set(64)
+	v.Set(129)
+	if !v.Get(0) || !v.Get(64) || !v.Get(129) || v.Get(1) {
+		t.Fatal("get/set mismatch")
+	}
+	if v.Count() != 3 {
+		t.Errorf("count = %d", v.Count())
+	}
+	v.Clear(64)
+	if v.Get(64) || v.Count() != 2 {
+		t.Fatal("clear failed")
+	}
+	v.SetAll()
+	if v.Count() != 130 {
+		t.Errorf("SetAll count = %d", v.Count())
+	}
+	v.ClearAll()
+	if v.Any() {
+		t.Fatal("ClearAll failed")
+	}
+}
+
+func TestBitVecBounds(t *testing.T) {
+	v := NewBitVec(10)
+	for _, i := range []int{-1, 10} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Set(%d) did not panic", i)
+				}
+			}()
+			v.Set(i)
+		}()
+	}
+}
+
+func TestRoundRobinRotation(t *testing.T) {
+	h := NewHardware(8, RoundRobin, nil)
+	for _, q := range []int{1, 3, 6} {
+		h.Activate(q)
+	}
+	var got []int
+	for {
+		q, ok, lat := h.Select()
+		if !ok {
+			break
+		}
+		if lat != HardwareLatency {
+			t.Errorf("latency = %v", lat)
+		}
+		got = append(got, q)
+	}
+	want := []int{1, 3, 6}
+	if len(got) != len(want) {
+		t.Fatalf("selected %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("selected %v, want %v", got, want)
+		}
+	}
+	// After servicing 6, priority sits at 7; re-activating 1 and 7 must
+	// yield 7 first (circular order from current priority).
+	h.Activate(1)
+	h.Activate(7)
+	if q, _, _ := h.Select(); q != 7 {
+		t.Errorf("after rotation selected %d, want 7", q)
+	}
+	if q, _, _ := h.Select(); q != 1 {
+		t.Errorf("then selected %d, want 1", q)
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	// All queues always ready: each must be served exactly once per round.
+	const n = 16
+	h := NewHardware(n, RoundRobin, nil)
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		h.Activate(i)
+	}
+	for round := 0; round < 10; round++ {
+		for i := 0; i < n; i++ {
+			q, ok, _ := h.Select()
+			if !ok {
+				t.Fatal("ran dry")
+			}
+			counts[q]++
+			h.Activate(q) // immediately ready again
+		}
+	}
+	for q, c := range counts {
+		if c != 10 {
+			t.Errorf("queue %d served %d times, want 10", q, c)
+		}
+	}
+}
+
+func TestStrictPriority(t *testing.T) {
+	h := NewHardware(8, StrictPriority, nil)
+	h.Activate(5)
+	h.Activate(2)
+	h.Activate(7)
+	if q, _, _ := h.Select(); q != 2 {
+		t.Errorf("selected %d, want 2", q)
+	}
+	h.Activate(2) // low QID keeps winning: starvation by design
+	if q, _, _ := h.Select(); q != 2 {
+		t.Error("strict priority did not prefer lowest QID")
+	}
+	if q, _, _ := h.Select(); q != 5 {
+		t.Error("next should be 5")
+	}
+}
+
+func TestWeightedRoundRobin(t *testing.T) {
+	weights := []int{3, 1, 2}
+	h := NewHardware(3, WeightedRoundRobin, weights)
+	// Keep all queues perpetually ready; observe service proportions.
+	for i := 0; i < 3; i++ {
+		h.Activate(i)
+	}
+	counts := make([]int, 3)
+	for i := 0; i < 60; i++ {
+		q, ok, _ := h.Select()
+		if !ok {
+			t.Fatal("ran dry")
+		}
+		counts[q]++
+		h.Activate(q)
+	}
+	// 60 services over weights 3:1:2 -> 30:10:20.
+	if counts[0] != 30 || counts[1] != 10 || counts[2] != 20 {
+		t.Errorf("WRR service counts = %v, want [30 10 20]", counts)
+	}
+}
+
+func TestWRRSkipsEmptyFavored(t *testing.T) {
+	weights := []int{4, 1}
+	h := NewHardware(2, WeightedRoundRobin, weights)
+	h.Activate(0)
+	if q, _, _ := h.Select(); q != 0 {
+		t.Fatal("first select")
+	}
+	// Queue 0 ran out of items (not re-activated); queue 1 becomes ready.
+	// Despite 0's remaining weight, 1 must be selected.
+	h.Activate(1)
+	if q, ok, _ := h.Select(); !ok || q != 1 {
+		t.Errorf("selected %d, want 1 (favored queue empty)", q)
+	}
+}
+
+func TestMaskBits(t *testing.T) {
+	for _, mk := range []func() Set{
+		func() Set { return NewHardware(4, RoundRobin, nil) },
+		func() Set { return NewSoftware(4, RoundRobin, nil) },
+	} {
+		s := mk()
+		s.Activate(1)
+		s.Activate(2)
+		s.SetEnabled(1, false) // QWAIT-DISABLE
+		if q, ok, _ := s.Select(); !ok || q != 2 {
+			t.Errorf("selected %d, want 2 (1 disabled)", q)
+		}
+		if _, ok, _ := s.Select(); ok {
+			t.Error("disabled queue was selected")
+		}
+		// Ready bit survives the mask: re-enabling reveals it.
+		s.SetEnabled(1, true) // QWAIT-ENABLE
+		if q, ok, _ := s.Select(); !ok || q != 1 {
+			t.Errorf("selected %d after enable, want 1", q)
+		}
+	}
+}
+
+func TestPeekAndCounts(t *testing.T) {
+	for _, mk := range []func() Set{
+		func() Set { return NewHardware(8, RoundRobin, nil) },
+		func() Set { return NewSoftware(8, RoundRobin, nil) },
+	} {
+		s := mk()
+		if s.Peek() || s.ReadyCount() != 0 {
+			t.Fatal("fresh set not empty")
+		}
+		s.Activate(3)
+		s.Activate(3) // idempotent
+		if !s.Peek() || s.ReadyCount() != 1 || !s.IsReady(3) {
+			t.Fatal("activate bookkeeping wrong")
+		}
+		s.SetEnabled(3, false)
+		if s.Peek() {
+			t.Error("masked-only set peeks true")
+		}
+		if s.ReadyCount() != 1 {
+			t.Error("mask must not clear ready state")
+		}
+		s.SetEnabled(3, true)
+		s.Deactivate(3)
+		if s.Peek() || s.IsReady(3) {
+			t.Error("deactivate failed")
+		}
+	}
+}
+
+func TestSoftwareLatencyGrowsWithReadyCount(t *testing.T) {
+	s := NewSoftware(1000, RoundRobin, nil)
+	s.Activate(0)
+	_, _, lat1 := s.Select()
+	for i := 0; i < 1000; i++ {
+		s.Activate(i)
+	}
+	_, _, lat1000 := s.Select()
+	if lat1000 <= lat1 {
+		t.Errorf("software latency did not grow: %v vs %v", lat1, lat1000)
+	}
+	want := SoftwareBaseLatency + 1000*SoftwarePerEntryLatency
+	if lat1000 != want {
+		t.Errorf("lat at 1000 ready = %v, want %v", lat1000, want)
+	}
+}
+
+func TestHardwareLatencyConstant(t *testing.T) {
+	h := NewHardware(1024, RoundRobin, nil)
+	for i := 0; i < 1024; i++ {
+		h.Activate(i)
+	}
+	_, _, lat := h.Select()
+	if lat != HardwareLatency {
+		t.Errorf("hardware latency = %v, want %v", lat, HardwareLatency)
+	}
+}
+
+func TestSoftwareRoundRobinOrder(t *testing.T) {
+	s := NewSoftware(8, RoundRobin, nil)
+	for _, q := range []int{6, 1, 3} {
+		s.Activate(q)
+	}
+	var got []int
+	for {
+		q, ok, _ := s.Select()
+		if !ok {
+			break
+		}
+		got = append(got, q)
+	}
+	want := []int{1, 3, 6}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSoftwareWRRProportions(t *testing.T) {
+	weights := []int{2, 1}
+	s := NewSoftware(2, WeightedRoundRobin, weights)
+	s.Activate(0)
+	s.Activate(1)
+	counts := make([]int, 2)
+	for i := 0; i < 30; i++ {
+		q, ok, _ := s.Select()
+		if !ok {
+			t.Fatal("ran dry")
+		}
+		counts[q]++
+		s.Activate(q)
+	}
+	if counts[0] != 20 || counts[1] != 10 {
+		t.Errorf("counts = %v, want [20 10]", counts)
+	}
+}
+
+// Property: the parallel-prefix PPA agrees with the ripple reference for all
+// ready/mask/priority combinations.
+func TestPPAEquivalenceProperty(t *testing.T) {
+	f := func(readyBits, maskBits []bool, prio uint16) bool {
+		n := len(readyBits)
+		if n == 0 {
+			return true
+		}
+		if n > 300 {
+			n = 300
+		}
+		v := NewBitVec(n)
+		m := NewBitVec(n)
+		for i := 0; i < n; i++ {
+			if readyBits[i] {
+				v.Set(i)
+			}
+			if i < len(maskBits) && maskBits[i] {
+				m.Set(i)
+			}
+		}
+		p := int(prio) % n
+		gotQ, gotOK := prefixSelect(v, m, p)
+		wantQ, wantOK := rippleSelect(func(i int) bool {
+			return v.Get(i) && m.Get(i)
+		}, n, p)
+		return gotOK == wantOK && (!gotOK || gotQ == wantQ)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hardware Select agrees with the ripple reference applied to the
+// same live state, across a random activation/selection workload.
+func TestHardwareSelectMatchesRipple(t *testing.T) {
+	f := func(ops []uint16) bool {
+		h := NewHardware(64, RoundRobin, nil)
+		for _, op := range ops {
+			q := int(op % 64)
+			if op%3 == 0 {
+				h.Activate(q)
+			} else {
+				wantQ, wantOK := h.selectRipple()
+				gotQ, gotOK, _ := h.Select()
+				if gotOK != wantOK || (gotOK && gotQ != wantQ) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hardware and software ready sets select the same QIDs in the
+// same order under round-robin for any activation set.
+func TestHardwareSoftwareAgreeRR(t *testing.T) {
+	f := func(qs []uint8) bool {
+		h := NewHardware(256, RoundRobin, nil)
+		s := NewSoftware(256, RoundRobin, nil)
+		for _, q := range qs {
+			h.Activate(int(q))
+			s.Activate(int(q))
+		}
+		for {
+			hq, hok, _ := h.Select()
+			sq, sok, _ := s.Select()
+			if hok != sok {
+				return false
+			}
+			if !hok {
+				return true
+			}
+			if hq != sq {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("NewHardware(0)", func() { NewHardware(0, RoundRobin, nil) })
+	assertPanics("NewSoftware(0)", func() { NewSoftware(0, RoundRobin, nil) })
+	assertPanics("WRR missing weights", func() { NewHardware(4, WeightedRoundRobin, nil) })
+	assertPanics("WRR zero weight", func() { NewHardware(2, WeightedRoundRobin, []int{1, 0}) })
+	assertPanics("NewBitVec(0)", func() { NewBitVec(0) })
+}
+
+func TestPolicyString(t *testing.T) {
+	if RoundRobin.String() != "round-robin" ||
+		WeightedRoundRobin.String() != "weighted-round-robin" ||
+		StrictPriority.String() != "strict-priority" ||
+		Policy(99).String() != "unknown" {
+		t.Error("Policy.String mismatch")
+	}
+}

@@ -1,0 +1,189 @@
+package ready
+
+import (
+	"fmt"
+
+	"hyperplane/internal/sim"
+)
+
+// Policy selects the service discipline the ready set implements
+// (paper §III-A / §IV-B).
+type Policy uint8
+
+// Service policies.
+const (
+	// RoundRobin gives the selected QID lowest priority in the next round.
+	RoundRobin Policy = iota
+	// WeightedRoundRobin lets a selected queue be serviced for weight
+	// consecutive rounds before the priority rotates.
+	WeightedRoundRobin
+	// StrictPriority always prefers lower-numbered QIDs. The paper notes it
+	// can starve high-numbered queues and is rarely used in practice.
+	StrictPriority
+)
+
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case WeightedRoundRobin:
+		return "weighted-round-robin"
+	case StrictPriority:
+		return "strict-priority"
+	}
+	return "unknown"
+}
+
+// Set is the interface shared by the hardware and software ready-set
+// implementations. Select returns the next QID to service and removes it
+// from the ready set (QWAIT-RECONSIDER re-activates it if the queue still
+// has items); the returned latency models the selection cost.
+type Set interface {
+	// Activate marks the queue ready (called by the monitoring set).
+	Activate(qid int)
+	// Deactivate clears a queue's ready bit (e.g. QWAIT-REMOVE).
+	Deactivate(qid int)
+	// Select returns the next QID per the policy, clearing its ready state.
+	Select() (qid int, ok bool, lat sim.Time)
+	// Peek reports whether any (unmasked) queue is ready without selecting.
+	Peek() bool
+	// SetEnabled implements QWAIT-ENABLE/QWAIT-DISABLE mask bits.
+	SetEnabled(qid int, enabled bool)
+	// IsReady reports a queue's ready bit.
+	IsReady(qid int) bool
+	// ReadyCount returns the number of ready queues (masked or not).
+	ReadyCount() int
+}
+
+// HardwareLatency is the selection latency of the synthesized 1024-entry
+// ready set reported by the paper's RTL model (§IV-C).
+const HardwareLatency = sim.Time(12250) // 12.25 ns in picoseconds
+
+// Hardware is the PPA-based hardware ready set: ready bits, mask bits, and
+// policy state (current-priority one-hot vector and WRR weight counter).
+type Hardware struct {
+	policy  Policy
+	ready   *BitVec
+	mask    *BitVec // enabled queues; Disable clears the bit
+	n       int
+	prio    int // current-priority position
+	weights []int
+	counter int // remaining consecutive services for WRR's favored QID
+	latency sim.Time
+}
+
+// NewHardware builds an n-queue hardware ready set. weights is required for
+// WeightedRoundRobin (len n, entries >= 1) and ignored otherwise.
+func NewHardware(n int, policy Policy, weights []int) *Hardware {
+	if n <= 0 {
+		panic("ready: queue count must be positive")
+	}
+	h := &Hardware{
+		policy:  policy,
+		ready:   NewBitVec(n),
+		mask:    NewBitVec(n),
+		n:       n,
+		latency: HardwareLatency,
+	}
+	h.mask.SetAll()
+	if policy == WeightedRoundRobin {
+		if len(weights) != n {
+			panic(fmt.Sprintf("ready: WRR needs %d weights, got %d", n, len(weights)))
+		}
+		h.weights = make([]int, n)
+		for i, w := range weights {
+			if w < 1 {
+				panic(fmt.Sprintf("ready: WRR weight for qid %d must be >= 1", i))
+			}
+			h.weights[i] = w
+		}
+		h.counter = h.weights[0]
+	}
+	return h
+}
+
+// Activate implements Set.
+func (h *Hardware) Activate(qid int) { h.ready.Set(qid) }
+
+// Deactivate implements Set.
+func (h *Hardware) Deactivate(qid int) { h.ready.Clear(qid) }
+
+// SetEnabled implements Set (QWAIT-ENABLE / QWAIT-DISABLE).
+func (h *Hardware) SetEnabled(qid int, enabled bool) {
+	if enabled {
+		h.mask.Set(qid)
+	} else {
+		h.mask.Clear(qid)
+	}
+}
+
+// IsReady implements Set.
+func (h *Hardware) IsReady(qid int) bool { return h.ready.Get(qid) }
+
+// ReadyCount implements Set.
+func (h *Hardware) ReadyCount() int { return h.ready.Count() }
+
+// Peek implements Set: true if any enabled queue is ready.
+func (h *Hardware) Peek() bool {
+	for i := range h.ready.words {
+		if andWord(h.ready, h.mask, i) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Select implements Set using the parallel-prefix PPA.
+func (h *Hardware) Select() (int, bool, sim.Time) {
+	start := h.prio
+	if h.policy == StrictPriority {
+		start = 0 // current-priority vector fixed at "10...0"
+	}
+	sel, ok := prefixSelect(h.ready, h.mask, start)
+	if !ok {
+		return 0, false, h.latency
+	}
+	h.ready.Clear(sel)
+	switch h.policy {
+	case RoundRobin:
+		// Rotate: selected QID gets lowest priority next round.
+		h.prio = sel + 1
+		if h.prio == h.n {
+			h.prio = 0
+		}
+	case WeightedRoundRobin:
+		// counter tracks how many more services the favored QID (prio) may
+		// receive before the priority rotates past it.
+		if sel == h.prio {
+			h.counter--
+		} else {
+			// Favored queue had no work: priority passes to the selected
+			// QID, which consumes one unit of its own weight now.
+			h.prio = sel
+			h.counter = h.weights[sel] - 1
+		}
+		if h.counter <= 0 {
+			// Budget exhausted: rotate to the next QID and reload.
+			h.prio = sel + 1
+			if h.prio == h.n {
+				h.prio = 0
+			}
+			h.counter = h.weights[h.prio]
+		}
+	case StrictPriority:
+		// Priority vector is fixed; nothing rotates.
+	}
+	return sel, true, h.latency
+}
+
+// selectRipple is the reference bit-slice implementation used by tests to
+// cross-check prefixSelect. It does not mutate state.
+func (h *Hardware) selectRipple() (int, bool) {
+	start := h.prio
+	if h.policy == StrictPriority {
+		start = 0
+	}
+	return rippleSelect(func(i int) bool {
+		return h.ready.Get(i) && h.mask.Get(i)
+	}, h.n, start)
+}

@@ -1,0 +1,174 @@
+package ready
+
+import (
+	"fmt"
+
+	"hyperplane/internal/sim"
+)
+
+// Software models the paper's software ready-set alternative (§III-B, §V-E):
+// QWAIT's selection runs as code that iterates over an unsorted list of
+// ready QIDs to find the next one per the policy. Its cost grows with the
+// number of ready queues, which is why the hardware PPA wins under
+// fully-balanced traffic (Fig. 13).
+type Software struct {
+	policy   Policy
+	n        int
+	list     []int // unsorted ready QIDs
+	inList   []bool
+	enabled  []bool
+	last     int // last serviced QID (round-robin origin)
+	weights  []int
+	counter  int
+	base     sim.Time // fixed per-call overhead
+	perEntry sim.Time // cost of examining one list entry
+}
+
+// Software iteration cost model: a handful of instructions per examined
+// entry on a 3 GHz core, plus fixed call overhead.
+const (
+	SoftwareBaseLatency     = 25 * sim.Nanosecond
+	SoftwarePerEntryLatency = sim.Time(1500) // 1.5 ns
+)
+
+// NewSoftware builds an n-queue software ready set.
+func NewSoftware(n int, policy Policy, weights []int) *Software {
+	if n <= 0 {
+		panic("ready: queue count must be positive")
+	}
+	s := &Software{
+		policy:   policy,
+		n:        n,
+		inList:   make([]bool, n),
+		enabled:  make([]bool, n),
+		last:     n - 1, // so queue 0 is first in circular order
+		base:     SoftwareBaseLatency,
+		perEntry: SoftwarePerEntryLatency,
+	}
+	for i := range s.enabled {
+		s.enabled[i] = true
+	}
+	if policy == WeightedRoundRobin {
+		if len(weights) != n {
+			panic(fmt.Sprintf("ready: WRR needs %d weights, got %d", n, len(weights)))
+		}
+		s.weights = append([]int(nil), weights...)
+		for i, w := range s.weights {
+			if w < 1 {
+				panic(fmt.Sprintf("ready: WRR weight for qid %d must be >= 1", i))
+			}
+		}
+	}
+	return s
+}
+
+// Activate implements Set.
+func (s *Software) Activate(qid int) {
+	if qid < 0 || qid >= s.n {
+		panic("ready: qid out of range")
+	}
+	if !s.inList[qid] {
+		s.inList[qid] = true
+		s.list = append(s.list, qid)
+	}
+}
+
+// Deactivate implements Set.
+func (s *Software) Deactivate(qid int) {
+	if qid < 0 || qid >= s.n {
+		panic("ready: qid out of range")
+	}
+	if !s.inList[qid] {
+		return
+	}
+	s.inList[qid] = false
+	for i, q := range s.list {
+		if q == qid {
+			s.removeAt(i)
+			return
+		}
+	}
+}
+
+func (s *Software) removeAt(i int) {
+	s.list[i] = s.list[len(s.list)-1]
+	s.list = s.list[:len(s.list)-1]
+}
+
+// SetEnabled implements Set.
+func (s *Software) SetEnabled(qid int, enabled bool) { s.enabled[qid] = enabled }
+
+// IsReady implements Set.
+func (s *Software) IsReady(qid int) bool { return s.inList[qid] }
+
+// ReadyCount implements Set.
+func (s *Software) ReadyCount() int { return len(s.list) }
+
+// Peek implements Set.
+func (s *Software) Peek() bool {
+	for _, q := range s.list {
+		if s.enabled[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// circDist returns the circular distance from 'from' (exclusive) to 'to'.
+func (s *Software) circDist(from, to int) int {
+	d := to - from
+	if d <= 0 {
+		d += s.n
+	}
+	return d
+}
+
+// Select implements Set: a full scan of the ready list, charged per entry.
+func (s *Software) Select() (int, bool, sim.Time) {
+	lat := s.base + sim.Time(len(s.list))*s.perEntry
+	best, bestIdx := -1, -1
+	switch s.policy {
+	case StrictPriority:
+		for i, q := range s.list {
+			if !s.enabled[q] {
+				continue
+			}
+			if best < 0 || q < best {
+				best, bestIdx = q, i
+			}
+		}
+	case WeightedRoundRobin:
+		// Favored QID keeps being selected while its weight budget lasts.
+		if s.counter > 0 && s.inList[s.last] && s.enabled[s.last] {
+			for i, q := range s.list {
+				if q == s.last {
+					s.counter--
+					s.removeAt(i)
+					s.inList[q] = false
+					return q, true, lat
+				}
+			}
+		}
+		fallthrough
+	case RoundRobin:
+		bestDist := s.n + 1
+		for i, q := range s.list {
+			if !s.enabled[q] {
+				continue
+			}
+			if d := s.circDist(s.last, q); d < bestDist {
+				bestDist, best, bestIdx = d, q, i
+			}
+		}
+	}
+	if bestIdx < 0 {
+		return 0, false, lat
+	}
+	s.removeAt(bestIdx)
+	s.inList[best] = false
+	s.last = best
+	if s.policy == WeightedRoundRobin {
+		s.counter = s.weights[best] - 1
+	}
+	return best, true, lat
+}

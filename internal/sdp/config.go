@@ -1,0 +1,273 @@
+// Package sdp implements the systems under test: a spin-polling software
+// data plane (the DPDK-like baseline) and the HyperPlane-accelerated data
+// plane, both running on the simulated CMP (internal/sim + internal/mem)
+// with the monitoring set (internal/monitor) and ready set (internal/ready)
+// wired to the coherence fabric.
+//
+// One Sim instance corresponds to one experimental point: a plane kind, a
+// sharing organization, a workload, a traffic shape, a queue count, and a
+// load mode (peak-saturation or open-loop Poisson at a load fraction).
+package sdp
+
+import (
+	"fmt"
+
+	"hyperplane/internal/mem"
+	"hyperplane/internal/monitor"
+	"hyperplane/internal/power"
+	"hyperplane/internal/ready"
+	"hyperplane/internal/sim"
+	"hyperplane/internal/stats"
+	"hyperplane/internal/traffic"
+	"hyperplane/internal/workload"
+)
+
+// PlaneKind selects the notification mechanism under test.
+type PlaneKind uint8
+
+// Plane kinds.
+const (
+	// Spinning is the software-only baseline: cores iterate over queue
+	// heads at full tilt.
+	Spinning PlaneKind = iota
+	// HyperPlane uses the monitoring set + ready set and the QWAIT
+	// programming model.
+	HyperPlane
+	// MWait is the intermediate baseline the paper discusses (§III-A): an
+	// MWAIT/UMWAIT-style data plane that halts when every queue is empty
+	// (restoring work proportionality at idle) but, on wake-up, must still
+	// iterate across the queues to find which one has work — so it keeps
+	// the spinning plane's queue-scalability problem.
+	MWait
+)
+
+func (p PlaneKind) String() string {
+	switch p {
+	case Spinning:
+		return "spinning"
+	case HyperPlane:
+		return "hyperplane"
+	case MWait:
+		return "mwait"
+	}
+	return "unknown"
+}
+
+// LoadMode selects how work is offered.
+type LoadMode uint8
+
+// Load modes.
+const (
+	// Saturate keeps every hot queue backlogged to measure peak throughput
+	// (Fig. 8 / Fig. 3a / Fig. 13).
+	Saturate LoadMode = iota
+	// OpenLoop offers Poisson arrivals at Load x nominal capacity
+	// (Figs. 3b, 9, 10, 11, 12).
+	OpenLoop
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Cores  int // data plane cores (paper: 1-4)
+	Queues int
+
+	Workload workload.Spec
+	Shape    traffic.Shape
+	Plane    PlaneKind
+	Policy   ready.Policy
+	Weights  []int // for WeightedRoundRobin
+
+	// ClusterSize is the number of cores sharing one queue partition:
+	// 1 = scale-out, Cores = scale-up-all, 2 = scale-up-2 (paper §V-C).
+	ClusterSize int
+
+	// Sockets models the paper's envisioned NUMA deployment (§III-B):
+	// clusters are placed on sockets contiguously, queues (doorbells and
+	// buffers) are homed on their owning cluster's socket, and any access
+	// or steal that crosses sockets pays an inter-socket penalty. 0 or 1 =
+	// single socket.
+	Sockets int
+
+	// SoftwareReadySet swaps the PPA for the software iterator (Fig. 13).
+	SoftwareReadySet bool
+	// MonitorBanks > 1 banks the monitoring set across directory banks
+	// (paper §IV-A, distributed directories). 0 or 1 = unified.
+	MonitorBanks int
+	// PowerOptimized lets halted HyperPlane/MWait cores enter C1
+	// (Fig. 9b, 12).
+	PowerOptimized bool
+	// InOrder enforces per-queue processing order for flow-stateful
+	// workloads (paper §III-B: QWAIT-RECONSIDER moves after processing,
+	// forgoing intra-queue concurrency).
+	InOrder bool
+	// WorkStealing lets a HyperPlane core whose cluster ready set is empty
+	// fetch ready QIDs from remote clusters' ready sets (the mitigation
+	// the paper sketches for NUMA scale-out imbalance, §III-B).
+	WorkStealing bool
+
+	Mode LoadMode
+	// Load is the offered fraction of nominal capacity in OpenLoop mode.
+	Load float64
+	// Burstiness > 1 switches OpenLoop arrivals from Poisson to an on/off-
+	// modulated process with that peak-to-mean ratio (paper §II-B: tenants
+	// "typically experience bursty activity patterns"). 0 or 1 = Poisson.
+	Burstiness float64
+	// Imbalance statically skews hot-queue assignment toward cluster 0 in
+	// scale-out configurations (0.1 = 10%, paper Fig. 10b).
+	Imbalance float64
+
+	// Warmup and Duration bound the run; measurement covers [Warmup,
+	// Warmup+Duration).
+	Warmup   sim.Time
+	Duration sim.Time
+
+	Seed uint64
+
+	// BatchSize bounds items dequeued per notification (default 1).
+	BatchSize int
+
+	// Trace, when non-nil, receives every notification-protocol event
+	// (arrivals, activations, QWAIT returns, completions, halts/wakes).
+	Trace func(TraceEvent)
+}
+
+// Validate checks the configuration, applying defaults where documented.
+func (c *Config) Validate() error {
+	if c.Cores < 1 || c.Cores > 16 {
+		return fmt.Errorf("sdp: Cores must be in [1,16], got %d", c.Cores)
+	}
+	if c.Queues < 1 {
+		return fmt.Errorf("sdp: Queues must be positive, got %d", c.Queues)
+	}
+	if c.Workload.Name == "" || c.Workload.ServiceMean <= 0 {
+		return fmt.Errorf("sdp: missing workload spec")
+	}
+	if c.ClusterSize == 0 {
+		c.ClusterSize = 1
+	}
+	if c.ClusterSize < 1 || c.ClusterSize > c.Cores || c.Cores%c.ClusterSize != 0 {
+		return fmt.Errorf("sdp: ClusterSize %d must divide Cores %d", c.ClusterSize, c.Cores)
+	}
+	if c.Sockets == 0 {
+		c.Sockets = 1
+	}
+	if c.Sockets < 1 || c.Clusters()%c.Sockets != 0 {
+		return fmt.Errorf("sdp: Sockets %d must divide the %d clusters", c.Sockets, c.Clusters())
+	}
+	if c.Mode == OpenLoop && (c.Load <= 0 || c.Load > 1.5) {
+		return fmt.Errorf("sdp: OpenLoop Load must be in (0, 1.5], got %v", c.Load)
+	}
+	if c.Burstiness != 0 && c.Burstiness < 1 {
+		return fmt.Errorf("sdp: Burstiness must be 0 or >= 1, got %v", c.Burstiness)
+	}
+	if c.MonitorBanks < 0 {
+		return fmt.Errorf("sdp: MonitorBanks must be non-negative, got %d", c.MonitorBanks)
+	}
+	if c.Imbalance < 0 || c.Imbalance > 1 {
+		return fmt.Errorf("sdp: Imbalance must be in [0,1], got %v", c.Imbalance)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("sdp: Duration must be positive")
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("sdp: Warmup must be non-negative")
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 1
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("sdp: BatchSize must be positive")
+	}
+	if c.Policy == ready.WeightedRoundRobin && len(c.Weights) != c.Queues {
+		return fmt.Errorf("sdp: WRR needs %d weights", c.Queues)
+	}
+	if c.WorkStealing && c.Plane != HyperPlane {
+		return fmt.Errorf("sdp: WorkStealing requires the HyperPlane plane")
+	}
+	if c.WorkStealing && c.Clusters() < 2 {
+		return fmt.Errorf("sdp: WorkStealing needs at least two clusters")
+	}
+	if c.SoftwareReadySet && c.Plane != HyperPlane {
+		return fmt.Errorf("sdp: SoftwareReadySet requires the HyperPlane plane")
+	}
+	return nil
+}
+
+// Clusters returns the number of core clusters.
+func (c *Config) Clusters() int { return c.Cores / c.ClusterSize }
+
+// NominalCapacity returns the ideal task service rate (tasks/sec) of all
+// cores ignoring notification overheads; OpenLoop offered rate is
+// Load x this.
+func (c *Config) NominalCapacity() float64 {
+	return float64(c.Cores) / c.Workload.ServiceMean.Seconds()
+}
+
+// CoreResult reports one core's measured activity.
+type CoreResult struct {
+	Core        int
+	Completions int64
+	UsefulIPC   float64
+	UselessIPC  float64
+	OverallIPC  float64
+	PowerW      float64
+	Residency   [3]sim.Time // C0-active, C0-halt, C1
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Config Config
+
+	Completed        int64
+	ThroughputMTasks float64 // million tasks/sec across all cores
+
+	AvgLatency sim.Time
+	P50Latency sim.Time
+	P99Latency sim.Time
+	MaxLatency sim.Time
+	CDF        []stats.CDFPoint
+
+	// Aggregate IPC metrics (mean across cores), the Fig. 11a breakdown.
+	UsefulIPC  float64
+	UselessIPC float64
+	OverallIPC float64
+
+	AvgPowerW float64 // mean core power during measurement
+
+	Cores   []CoreResult
+	Monitor monitor.Stats
+	Mem     []mem.Stats
+
+	// SpuriousWakeups counts QWAIT returns whose QWAIT-VERIFY found an
+	// empty queue.
+	SpuriousWakeups int64
+	// LockContention counts scale-up spinning lock acquisition conflicts.
+	LockContention int64
+	// Drops counts arrivals rejected by bounded queues (0 when unbounded).
+	Drops int64
+	// QueueFairness is Jain's fairness index over the hot queues'
+	// completion counts: ~1 under round-robin, low under strict priority
+	// with contention.
+	QueueFairness float64
+}
+
+// CoRunnerBaseIPC is the solo IPC of the matrix-multiply SMT co-runner of
+// Fig. 11b.
+const CoRunnerBaseIPC = 2.2
+
+// smtInterference scales how strongly the data plane thread's issue-slot
+// consumption suppresses its SMT sibling.
+const smtInterference = 0.65
+
+// CoRunnerIPC models the Fig. 11b experiment analytically: an ICOUNT-style
+// SMT fetch policy grants slots in proportion to thread activity, so the
+// co-runner's IPC falls as the data plane thread's overall IPC rises. A
+// halted (QWAIT-blocked) thread consumes nothing.
+func CoRunnerIPC(dataPlaneOverallIPC float64) float64 {
+	m := power.Default()
+	frac := dataPlaneOverallIPC / m.MaxIPC
+	if frac > 1 {
+		frac = 1
+	}
+	return CoRunnerBaseIPC * (1 - smtInterference*frac)
+}

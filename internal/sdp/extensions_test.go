@@ -1,0 +1,326 @@
+package sdp
+
+import (
+	"testing"
+
+	"hyperplane/internal/ready"
+	"hyperplane/internal/sim"
+	"hyperplane/internal/traffic"
+	"hyperplane/internal/workload"
+)
+
+// --- MWAIT baseline plane -------------------------------------------------
+
+func TestMWaitWorkProportionalAtIdle(t *testing.T) {
+	// The MWAIT plane fixes the spinning plane's idle-time waste: at near-
+	// zero load its IPC and power approach HyperPlane's, not spinning's.
+	runAt := func(plane PlaneKind) Result {
+		cfg := base()
+		cfg.Plane = plane
+		cfg.Queues = 128
+		cfg.Shape = traffic.FB
+		cfg.Mode = OpenLoop
+		cfg.Load = 0.02
+		cfg.Duration = 10 * sim.Millisecond
+		cfg.Warmup = sim.Millisecond
+		return run(t, cfg)
+	}
+	spin := runAt(Spinning)
+	mw := runAt(MWait)
+	hp := runAt(HyperPlane)
+	if mw.OverallIPC > spin.OverallIPC/3 {
+		t.Errorf("MWait idle IPC %.2f not far below spinning %.2f", mw.OverallIPC, spin.OverallIPC)
+	}
+	if mw.AvgPowerW > spin.AvgPowerW*0.8 {
+		t.Errorf("MWait idle power %.2fW not well below spinning %.2fW", mw.AvgPowerW, spin.AvgPowerW)
+	}
+	if mw.AvgPowerW > hp.AvgPowerW*1.5 {
+		t.Errorf("MWait idle power %.2fW should approach HyperPlane %.2fW", mw.AvgPowerW, hp.AvgPowerW)
+	}
+}
+
+func TestMWaitKeepsQueueScalabilityProblem(t *testing.T) {
+	// Paper §III-A: MWAIT cannot indicate which queue has work, so zero-
+	// load latency still grows with queue count (unlike HyperPlane).
+	lat := func(plane PlaneKind, queues int) sim.Time {
+		cfg := base()
+		cfg.Plane = plane
+		cfg.Queues = queues
+		cfg.Shape = traffic.FB
+		cfg.Mode = OpenLoop
+		cfg.Load = 0.01
+		cfg.Duration = 30 * sim.Millisecond
+		cfg.Warmup = sim.Millisecond
+		return run(t, cfg).AvgLatency
+	}
+	mw16, mw256 := lat(MWait, 16), lat(MWait, 256)
+	hp256 := lat(HyperPlane, 256)
+	if mw256 < mw16*2 {
+		t.Errorf("MWait latency did not grow with queues: %v -> %v", mw16, mw256)
+	}
+	if mw256 < hp256*2 {
+		t.Errorf("MWait (%v) should be far above HyperPlane (%v) at 256 queues", mw256, hp256)
+	}
+}
+
+func TestMWaitPeakThroughputMatchesSpinning(t *testing.T) {
+	// Under saturation nothing halts, so MWait behaves like spinning.
+	through := func(plane PlaneKind) float64 {
+		cfg := base()
+		cfg.Plane = plane
+		cfg.Queues = 256
+		cfg.Shape = traffic.SQ
+		return run(t, cfg).ThroughputMTasks
+	}
+	spin, mw := through(Spinning), through(MWait)
+	ratio := mw / spin
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("MWait saturation throughput %.3f vs spinning %.3f (ratio %.2f)", mw, spin, ratio)
+	}
+}
+
+func TestMWaitNoLostWakeups(t *testing.T) {
+	// Sparse arrivals across many queues must all complete.
+	cfg := base()
+	cfg.Plane = MWait
+	cfg.Queues = 64
+	cfg.Shape = traffic.PC
+	cfg.Mode = OpenLoop
+	cfg.Load = 0.05
+	cfg.Duration = 20 * sim.Millisecond
+	cfg.Warmup = sim.Millisecond
+	r := run(t, cfg)
+	if r.Completed < 300 {
+		t.Fatalf("only %d completions; lost wake-ups?", r.Completed)
+	}
+	if r.P99Latency > 500*sim.Microsecond {
+		t.Errorf("P99 = %v suggests stalls", r.P99Latency)
+	}
+}
+
+func TestPlaneKindString(t *testing.T) {
+	if Spinning.String() != "spinning" || HyperPlane.String() != "hyperplane" ||
+		MWait.String() != "mwait" || PlaneKind(9).String() != "unknown" {
+		t.Error("plane names")
+	}
+}
+
+// --- In-order (flow-stateful) processing ----------------------------------
+
+func TestInOrderLimitsIntraQueueConcurrency(t *testing.T) {
+	// With SQ traffic and 4 scale-up cores, normal HyperPlane drains one
+	// queue with all cores; in-order mode serializes it to ~1 core's rate.
+	through := func(inOrder bool) float64 {
+		cfg := base()
+		cfg.Plane = HyperPlane
+		cfg.Cores = 4
+		cfg.ClusterSize = 4
+		cfg.Queues = 16
+		cfg.Shape = traffic.SQ
+		cfg.InOrder = inOrder
+		cfg.Duration = 5 * sim.Millisecond
+		return run(t, cfg).ThroughputMTasks
+	}
+	concurrent := through(false)
+	ordered := through(true)
+	if ordered > concurrent*0.6 {
+		t.Errorf("in-order SQ throughput %.3f not serialized vs concurrent %.3f",
+			ordered, concurrent)
+	}
+	// One core's nominal rate for packet encapsulation is ~0.77 M/s; the
+	// ordered plane must stay in that regime, not 4x it.
+	if ordered > 1.0 {
+		t.Errorf("in-order throughput %.3f exceeds single-core regime", ordered)
+	}
+}
+
+func TestInOrderMultiQueueUnaffected(t *testing.T) {
+	// With FB traffic the order constraint binds per queue only, so
+	// multicore throughput is preserved.
+	through := func(inOrder bool) float64 {
+		cfg := base()
+		cfg.Plane = HyperPlane
+		cfg.Cores = 4
+		cfg.ClusterSize = 4
+		cfg.Queues = 64
+		cfg.Shape = traffic.FB
+		cfg.InOrder = inOrder
+		cfg.Duration = 5 * sim.Millisecond
+		return run(t, cfg).ThroughputMTasks
+	}
+	if o, c := through(true), through(false); o < c*0.85 {
+		t.Errorf("in-order FB throughput %.3f dropped vs %.3f", o, c)
+	}
+}
+
+// --- Work stealing ---------------------------------------------------------
+
+func TestWorkStealingValidation(t *testing.T) {
+	cfg := base()
+	cfg.WorkStealing = true
+	if err := cfg.Validate(); err == nil {
+		t.Error("stealing with spinning plane accepted")
+	}
+	cfg = base()
+	cfg.Plane = HyperPlane
+	cfg.WorkStealing = true // single cluster
+	if err := cfg.Validate(); err == nil {
+		t.Error("stealing with one cluster accepted")
+	}
+	cfg = base()
+	cfg.SoftwareReadySet = true // spinning plane
+	if err := cfg.Validate(); err == nil {
+		t.Error("software ready set with spinning plane accepted")
+	}
+}
+
+func TestWorkStealingMitigatesImbalance(t *testing.T) {
+	// Scale-out HyperPlane with heavy static imbalance: stealing lets idle
+	// clusters drain the overloaded one, cutting tail latency.
+	p99 := func(steal bool) sim.Time {
+		cfg := base()
+		cfg.Plane = HyperPlane
+		cfg.Cores = 4
+		cfg.ClusterSize = 1
+		cfg.Queues = 80
+		cfg.Shape = traffic.PC
+		cfg.Imbalance = 1.0 // all movable hot queues into cluster 0
+		cfg.WorkStealing = steal
+		cfg.Mode = OpenLoop
+		cfg.Load = 0.7
+		cfg.Duration = 20 * sim.Millisecond
+		cfg.Warmup = 2 * sim.Millisecond
+		r := run(t, cfg)
+		if r.Completed < 500 {
+			t.Fatalf("steal=%v: only %d completions", steal, r.Completed)
+		}
+		return r.P99Latency
+	}
+	without := p99(false)
+	with := p99(true)
+	if with >= without {
+		t.Errorf("stealing did not help under imbalance: %v -> %v", without, with)
+	}
+}
+
+// --- Policy behaviour in full simulation ----------------------------------
+
+func TestSimWithWRRPolicy(t *testing.T) {
+	cfg := base()
+	cfg.Plane = HyperPlane
+	cfg.Queues = 8
+	cfg.Shape = traffic.FB
+	cfg.Policy = ready.WeightedRoundRobin
+	cfg.Weights = []int{4, 1, 1, 1, 1, 1, 1, 1}
+	r := run(t, cfg)
+	if r.Completed == 0 {
+		t.Fatal("no completions under WRR")
+	}
+}
+
+func TestSimWithStrictPriority(t *testing.T) {
+	cfg := base()
+	cfg.Plane = HyperPlane
+	cfg.Queues = 8
+	cfg.Shape = traffic.FB
+	cfg.Policy = ready.StrictPriority
+	r := run(t, cfg)
+	if r.Completed == 0 {
+		t.Fatal("no completions under strict priority")
+	}
+}
+
+func TestPolicyMinimalThroughputImpact(t *testing.T) {
+	// Paper §V-A: "we found service policy to have minimal impact on the
+	// performance trends."
+	through := func(pol ready.Policy, weights []int) float64 {
+		cfg := base()
+		cfg.Plane = HyperPlane
+		cfg.Queues = 64
+		cfg.Shape = traffic.FB
+		cfg.Policy = pol
+		cfg.Weights = weights
+		return run(t, cfg).ThroughputMTasks
+	}
+	rr := through(ready.RoundRobin, nil)
+	w := make([]int, 64)
+	for i := range w {
+		w[i] = 1 + i%3
+	}
+	wrr := through(ready.WeightedRoundRobin, w)
+	if wrr < rr*0.9 || wrr > rr*1.1 {
+		t.Errorf("WRR throughput %.3f deviates from RR %.3f", wrr, rr)
+	}
+}
+
+// --- MWait with the six workloads ------------------------------------------
+
+func TestAllWorkloadsRunOnAllPlanes(t *testing.T) {
+	for _, w := range workload.All {
+		for _, plane := range []PlaneKind{Spinning, MWait, HyperPlane} {
+			cfg := base()
+			cfg.Workload = w
+			cfg.Plane = plane
+			cfg.Queues = 32
+			cfg.Shape = traffic.PC
+			cfg.Duration = 4 * sim.Millisecond
+			r := run(t, cfg)
+			if r.Completed == 0 {
+				t.Errorf("%s on %v: no completions", w.Name, plane)
+			}
+		}
+	}
+}
+
+func TestServicePolicyFairness(t *testing.T) {
+	// Under FB saturation every queue is always ready: round-robin must
+	// serve them evenly (Jain index ~1) while strict priority starves
+	// high-numbered queues (index near 1/n).
+	fairness := func(pol ready.Policy) float64 {
+		cfg := base()
+		cfg.Plane = HyperPlane
+		cfg.Queues = 16
+		cfg.Shape = traffic.FB
+		cfg.Policy = pol
+		cfg.Duration = 5 * sim.Millisecond
+		return run(t, cfg).QueueFairness
+	}
+	rr := fairness(ready.RoundRobin)
+	strict := fairness(ready.StrictPriority)
+	if rr < 0.98 {
+		t.Errorf("round-robin fairness = %.3f, want ~1", rr)
+	}
+	if strict > 0.2 {
+		t.Errorf("strict-priority fairness = %.3f, want near 1/16 (starvation)", strict)
+	}
+}
+
+func TestWRRFairnessWeighted(t *testing.T) {
+	// Weighted round-robin with weight 3 on queue 0: queue 0 gets ~3x the
+	// service of each other queue under FB saturation.
+	cfg := base()
+	cfg.Plane = HyperPlane
+	cfg.Queues = 8
+	cfg.Shape = traffic.FB
+	cfg.Policy = ready.WeightedRoundRobin
+	cfg.Weights = []int{3, 1, 1, 1, 1, 1, 1, 1}
+	cfg.Duration = 5 * sim.Millisecond
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.eng.At(cfg.Warmup, s.startMeasure)
+	s.eng.At(cfg.Warmup+cfg.Duration, func() { s.finalize(); s.eng.Stop() })
+	s.eng.Run(sim.MaxTime)
+	s.eng.Shutdown()
+	q0 := float64(s.qCompleted[0])
+	var others float64
+	for q := 1; q < 8; q++ {
+		others += float64(s.qCompleted[q])
+	}
+	perOther := others / 7
+	ratio := q0 / perOther
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("WRR weight-3 ratio = %.2f, want ~3", ratio)
+	}
+}

@@ -1,0 +1,150 @@
+package sdp
+
+import (
+	"hyperplane/internal/power"
+	"hyperplane/internal/sim"
+)
+
+// hpCore runs the HyperPlane data plane loop of Algorithm 1: QWAIT for the
+// next ready QID (halting when none), QWAIT-VERIFY it, dequeue,
+// QWAIT-RECONSIDER, and process.
+func (s *Sim) hpCore(p *sim.Proc, cs *coreState) {
+	rs := s.rsets[cs.cluster]
+	sig := s.signals[cs.cluster]
+	for {
+		// QWAIT: select the next ready queue per the service policy.
+		qid, ok, selLat := rs.Select()
+		if !ok && s.cfg.WorkStealing {
+			qid, ok, selLat = s.steal(cs)
+		}
+		if !ok {
+			// No ready queue: halt until the monitoring set activates one.
+			// With work stealing the halt is bounded so the core
+			// periodically re-checks remote ready sets (local activations
+			// still wake it immediately).
+			s.trace(TraceHalt, cs.id, -1)
+			cs.waiting = true
+			cs.waitStart = p.Now()
+			if s.cfg.WorkStealing {
+				p.WaitSignalTimeout(sig, stealCheckPeriod)
+			} else {
+				p.WaitSignal(sig)
+			}
+			cs.waiting = false
+			s.trace(TraceWake, cs.id, -1)
+			waited := p.Now() - cs.waitStart
+			s.chargeWait(cs, cs.waitStart, p.Now())
+			if s.cfg.PowerOptimized && waited > c1EntryDelay {
+				// The core reached C1; pay the wake-up latency.
+				p.Sleep(power.C1WakeLatency)
+				s.charge(cs, power.C0Active, power.C1WakeLatency, 0, false)
+			}
+			continue // re-run QWAIT; a peer may have raced us to the QID
+		}
+		// The paper charges a conservative 50-cycle QWAIT latency covering
+		// the non-uniform core <-> ready-set distance; a software ready set
+		// costs whatever its iterator does.
+		qlat := s.qwaitLat
+		if selLat > qlat {
+			qlat = selLat
+		}
+		p.Sleep(qlat)
+		s.charge(cs, power.C0Active, qlat, qwaitInstrs, true)
+		s.trace(TraceQWait, cs.id, qid)
+
+		q := s.queues[qid]
+		// QWAIT-VERIFY: check the doorbell counter; if the queue is empty
+		// (spurious wake-up), atomically re-arm it in the monitoring set.
+		vlat, _ := s.sys.Read(cs.id, q.Doorbell)
+		vlat += s.mon.LookupLatency()
+		if q.Empty() {
+			s.mon.Arm(q.Doorbell)
+			s.sys.ForceShared(q.Doorbell)
+			p.Sleep(vlat)
+			s.charge(cs, power.C0Active, vlat, verifyInstrs, false)
+			if s.measuring {
+				s.spurious++
+			}
+			s.trace(TraceSpurious, cs.id, qid)
+			continue
+		}
+
+		s.trace(TraceDequeue, cs.id, qid)
+		batch := q.DequeueBatch(s.cfg.BatchSize)
+		dlat, _ := s.sys.Write(cs.id, q.Doorbell) // decrement counter
+		for range batch {
+			s.refill(qid)
+		}
+
+		head := vlat + dlat + dequeueOverhead
+		if s.cfg.InOrder {
+			// Flow-stateful processing (paper §III-B): the queue may only
+			// be serviced again once this item is fully processed, so
+			// QWAIT-RECONSIDER moves after process() — forgoing intra-queue
+			// concurrency to preserve order.
+			p.Sleep(head)
+			s.charge(cs, power.C0Active, head, verifyInstrs+dequeueInstrs, true)
+			for _, it := range batch {
+				s.process(p, cs, qid, it)
+			}
+			s.reconsider(p, cs, qid)
+			continue
+		}
+
+		// QWAIT-RECONSIDER: re-arm if the queue drained, else re-activate
+		// so the iterator will select it again. Activation always targets
+		// the queue's home cluster — a stolen queue goes back to its owner
+		// after one batch rather than migrating to the thief.
+		rlat := s.mon.LookupLatency()
+		if q.Empty() {
+			s.mon.Arm(q.Doorbell)
+			s.sys.ForceShared(q.Doorbell)
+		} else {
+			home := s.clusterOfQueue[qid]
+			s.rsets[home].Activate(qid)
+			s.signals[home].Fire(qid) // a halted peer can take it
+		}
+		head += rlat
+		p.Sleep(head)
+		s.charge(cs, power.C0Active, head,
+			verifyInstrs+dequeueInstrs+reconsiderInstrs, true)
+
+		for _, it := range batch {
+			s.process(p, cs, qid, it)
+		}
+	}
+}
+
+// reconsider performs QWAIT-RECONSIDER as a standalone step (in-order mode).
+func (s *Sim) reconsider(p *sim.Proc, cs *coreState, qid int) {
+	q := s.queues[qid]
+	rlat := s.mon.LookupLatency()
+	if q.Empty() {
+		s.mon.Arm(q.Doorbell)
+		s.sys.ForceShared(q.Doorbell)
+	} else {
+		cl := s.clusterOfQueue[qid]
+		s.rsets[cl].Activate(qid)
+		s.signals[cl].Fire(qid)
+	}
+	p.Sleep(rlat)
+	s.charge(cs, power.C0Active, rlat, reconsiderInstrs, true)
+}
+
+// steal scans remote clusters' ready sets for a QID when the local one is
+// empty (paper §III-B's work-stealing sketch). Remote ready sets sit by
+// other directory banks, so a successful steal pays an extra cross-chip
+// hop on top of the normal QWAIT latency.
+func (s *Sim) steal(cs *coreState) (int, bool, sim.Time) {
+	for d := 1; d < len(s.rsets); d++ {
+		cl := (cs.cluster + d) % len(s.rsets)
+		if qid, ok, selLat := s.rsets[cl].Select(); ok {
+			lat := selLat + stealPenalty
+			if s.cfg.Sockets > 1 && s.socketOfCluster(cs.cluster) != s.socketOfCluster(cl) {
+				lat += interSocket // remote ready set sits across the interconnect
+			}
+			return qid, true, lat
+		}
+	}
+	return 0, false, 0
+}

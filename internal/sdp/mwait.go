@@ -1,0 +1,102 @@
+package sdp
+
+import (
+	"hyperplane/internal/power"
+	"hyperplane/internal/sim"
+)
+
+// mwCore is the MWAIT-style baseline (paper §III-A): identical to the
+// spinning loop, except that after observing a full scan round with every
+// queue empty, the core halts on an address-range monitor covering the
+// doorbells and wakes when any of them is written. The paper's criticism
+// holds by construction: the wake-up says only that *some* queue has work,
+// so the core must resume iterating to find it, keeping the latency and
+// throughput queue-scalability problems while fixing idle-time work
+// disproportionality.
+func (s *Sim) mwCore(p *sim.Proc, cs *coreState) {
+	myQueues := s.queuesOfCluster[cs.cluster]
+	idx := (cs.id * len(myQueues)) / s.cfg.Cores
+	var accum sim.Time
+	var accumInstr int64
+	emptyStreak := 0
+
+	flush := func() {
+		if accum <= 0 {
+			return
+		}
+		p.Sleep(accum)
+		s.charge(cs, power.C0Active, accum, accumInstr, false)
+		accum, accumInstr = 0, 0
+	}
+
+	anyWork := func() bool {
+		for _, qid := range myQueues {
+			if !s.queues[qid].Empty() {
+				return true
+			}
+		}
+		return false
+	}
+
+	for {
+		qid := myQueues[idx]
+		idx++
+		if idx == len(myQueues) {
+			idx = 0
+		}
+		q := s.queues[qid]
+		lat, _ := s.sys.Read(cs.id, q.Doorbell)
+		lat2, _ := s.sys.Read(cs.id, s.descAddr(qid))
+		accum += lat + lat2 + pollOverhead
+		accumInstr += pollInstrs
+		if q.Empty() {
+			emptyStreak++
+			if emptyStreak >= len(myQueues) {
+				// Every queue observed empty in one full round: arm the
+				// range monitor and halt (MWAIT).
+				flush()
+				emptyStreak = 0
+				if anyWork() {
+					// An arrival landed during the flush; the armed
+					// monitor would have caught the write — keep scanning.
+					continue
+				}
+				cs.waiting = true
+				cs.waitStart = p.Now()
+				p.WaitSignal(s.signals[cs.cluster])
+				cs.waiting = false
+				waited := p.Now() - cs.waitStart
+				s.chargeWait(cs, cs.waitStart, p.Now())
+				if s.cfg.PowerOptimized && waited > c1EntryDelay {
+					p.Sleep(power.C1WakeLatency)
+					s.charge(cs, power.C0Active, power.C1WakeLatency, 0, false)
+				}
+				// Woken: some doorbell was written, but MWAIT cannot say
+				// which — resume the scan to find it.
+			}
+			if accum >= scanQuantum {
+				flush()
+			}
+			continue
+		}
+		emptyStreak = 0
+		flush()
+
+		if s.cfg.ClusterSize > 1 {
+			s.acquireLock(p, cs, qid)
+		}
+		s.trace(TraceDequeue, cs.id, qid)
+		batch := q.DequeueBatch(s.cfg.BatchSize)
+		if len(batch) == 0 {
+			continue
+		}
+		dlat, _ := s.sys.Write(cs.id, q.Doorbell)
+		dlat += dequeueOverhead
+		p.Sleep(dlat)
+		s.charge(cs, power.C0Active, dlat, dequeueInstrs, true)
+		for _, it := range batch {
+			s.refill(qid)
+			s.process(p, cs, qid, it)
+		}
+	}
+}

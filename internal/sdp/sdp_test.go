@@ -1,0 +1,442 @@
+package sdp
+
+import (
+	"testing"
+
+	"hyperplane/internal/ready"
+	"hyperplane/internal/sim"
+	"hyperplane/internal/traffic"
+	"hyperplane/internal/workload"
+)
+
+// base returns a small, fast configuration for tests.
+func base() Config {
+	return Config{
+		Cores:    1,
+		Queues:   64,
+		Workload: workload.PacketEncap,
+		Shape:    traffic.SQ,
+		Plane:    Spinning,
+		Policy:   ready.RoundRobin,
+		Mode:     Saturate,
+		Warmup:   200 * sim.Microsecond,
+		Duration: 2 * sim.Millisecond,
+		Seed:     1,
+	}
+}
+
+func run(t *testing.T, cfg Config) Result {
+	t.Helper()
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.Cores = 32 },
+		func(c *Config) { c.Queues = 0 },
+		func(c *Config) { c.Workload = workload.Spec{} },
+		func(c *Config) { c.ClusterSize = 3 }, // does not divide 1 core
+		func(c *Config) { c.Mode = OpenLoop; c.Load = 0 },
+		func(c *Config) { c.Imbalance = 2 },
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.Warmup = -1 },
+		func(c *Config) { c.BatchSize = -1 },
+		func(c *Config) { c.Policy = ready.WeightedRoundRobin }, // missing weights
+	}
+	for i, mutate := range bad {
+		cfg := base()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	good := base()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if good.BatchSize != 1 || good.ClusterSize != 1 {
+		t.Error("defaults not applied")
+	}
+}
+
+func TestSaturateThroughputPositive(t *testing.T) {
+	for _, plane := range []PlaneKind{Spinning, HyperPlane} {
+		cfg := base()
+		cfg.Plane = plane
+		r := run(t, cfg)
+		if r.Completed == 0 {
+			t.Errorf("%v: no completions", plane)
+		}
+		if r.ThroughputMTasks <= 0 {
+			t.Errorf("%v: throughput = %v", plane, r.ThroughputMTasks)
+		}
+	}
+}
+
+func TestQueueScalabilityThroughput(t *testing.T) {
+	// Paper Fig. 8, SQ traffic: spinning throughput collapses as queues
+	// grow; HyperPlane stays flat.
+	through := func(plane PlaneKind, queues int) float64 {
+		cfg := base()
+		cfg.Plane = plane
+		cfg.Queues = queues
+		return run(t, cfg).ThroughputMTasks
+	}
+	spin8, spin512 := through(Spinning, 8), through(Spinning, 512)
+	hp8, hp512 := through(HyperPlane, 8), through(HyperPlane, 512)
+	if spin512 >= spin8*0.6 {
+		t.Errorf("spinning SQ throughput did not collapse: %0.3f -> %0.3f", spin8, spin512)
+	}
+	if hp512 < hp8*0.9 {
+		t.Errorf("HyperPlane SQ throughput not flat: %0.3f -> %0.3f", hp8, hp512)
+	}
+	if hp512 < spin512*2 {
+		t.Errorf("HyperPlane (%0.3f) should dominate spinning (%0.3f) at 512 queues", hp512, spin512)
+	}
+}
+
+func TestZeroLoadLatencyScaling(t *testing.T) {
+	// Paper Fig. 9: spinning latency grows with queue count; HyperPlane's
+	// does not.
+	lat := func(plane PlaneKind, queues int) (avg, p99 sim.Time) {
+		cfg := base()
+		cfg.Plane = plane
+		cfg.Queues = queues
+		cfg.Shape = traffic.FB
+		cfg.Mode = OpenLoop
+		cfg.Load = 0.01
+		cfg.Duration = 30 * sim.Millisecond
+		cfg.Warmup = sim.Millisecond
+		r := run(t, cfg)
+		if r.Completed < 20 {
+			t.Fatalf("%v/%d queues: only %d samples", plane, queues, r.Completed)
+		}
+		return r.AvgLatency, r.P99Latency
+	}
+	spinAvg16, _ := lat(Spinning, 16)
+	spinAvg256, spinP99 := lat(Spinning, 256)
+	hpAvg16, _ := lat(HyperPlane, 16)
+	hpAvg256, _ := lat(HyperPlane, 256)
+
+	if spinAvg256 < spinAvg16*2 {
+		t.Errorf("spinning latency not growing with queues: %v -> %v", spinAvg16, spinAvg256)
+	}
+	if hpAvg256 > hpAvg16*3/2 {
+		t.Errorf("HyperPlane latency grew with queues: %v -> %v", hpAvg16, hpAvg256)
+	}
+	if hpAvg256*2 > spinAvg256 {
+		t.Errorf("HyperPlane (%v) should beat spinning (%v) at 256 queues", hpAvg256, spinAvg256)
+	}
+	if spinP99 < spinAvg256 {
+		t.Errorf("P99 (%v) below average (%v)", spinP99, spinAvg256)
+	}
+}
+
+func TestWorkProportionalityIPC(t *testing.T) {
+	// Paper Fig. 11a: spinning IPC is highest at zero load; HyperPlane IPC
+	// grows with load.
+	ipc := func(plane PlaneKind, load float64) Result {
+		cfg := base()
+		cfg.Plane = plane
+		cfg.Queues = 128
+		cfg.Shape = traffic.FB
+		cfg.Mode = OpenLoop
+		cfg.Load = load
+		cfg.Duration = 10 * sim.Millisecond
+		cfg.Warmup = sim.Millisecond
+		return run(t, cfg)
+	}
+	spinIdle := ipc(Spinning, 0.02)
+	spinBusy := ipc(Spinning, 0.7)
+	hpIdle := ipc(HyperPlane, 0.02)
+	hpBusy := ipc(HyperPlane, 0.7)
+
+	if spinIdle.OverallIPC < 1.5 {
+		t.Errorf("idle spin IPC = %.2f, want full-tilt (> 1.5)", spinIdle.OverallIPC)
+	}
+	if spinIdle.UselessIPC <= spinBusy.UselessIPC {
+		t.Errorf("useless spin IPC should fall with load: %.2f -> %.2f",
+			spinIdle.UselessIPC, spinBusy.UselessIPC)
+	}
+	if hpIdle.OverallIPC > 0.1 {
+		t.Errorf("idle HyperPlane IPC = %.2f, want ~0 (halted)", hpIdle.OverallIPC)
+	}
+	if hpBusy.OverallIPC <= hpIdle.OverallIPC {
+		t.Error("HyperPlane IPC not growing with load")
+	}
+	if hpBusy.UselessIPC > 0.2 {
+		t.Errorf("HyperPlane useless IPC = %.2f, want ~0", hpBusy.UselessIPC)
+	}
+}
+
+func TestPowerProportionality(t *testing.T) {
+	// Paper Fig. 12a: spinning consumes more power at zero load than at
+	// saturation; HyperPlane idles cheaply, cheaper still in C1.
+	runAt := func(plane PlaneKind, load float64, popt bool) Result {
+		cfg := base()
+		cfg.Plane = plane
+		cfg.Queues = 128
+		cfg.Shape = traffic.FB
+		cfg.Mode = OpenLoop
+		cfg.Load = load
+		cfg.PowerOptimized = popt
+		cfg.Duration = 10 * sim.Millisecond
+		cfg.Warmup = sim.Millisecond
+		return run(t, cfg)
+	}
+	spinIdle := runAt(Spinning, 0.02, false)
+	spinBusy := runAt(Spinning, 0.8, false)
+	hpIdle := runAt(HyperPlane, 0.02, false)
+	hpIdleC1 := runAt(HyperPlane, 0.02, true)
+
+	if spinIdle.AvgPowerW <= spinBusy.AvgPowerW {
+		t.Errorf("spinning idle power (%.2fW) should exceed busy power (%.2fW)",
+			spinIdle.AvgPowerW, spinBusy.AvgPowerW)
+	}
+	if hpIdle.AvgPowerW >= spinIdle.AvgPowerW/2 {
+		t.Errorf("HyperPlane idle power (%.2fW) not well below spinning (%.2fW)",
+			hpIdle.AvgPowerW, spinIdle.AvgPowerW)
+	}
+	if hpIdleC1.AvgPowerW >= hpIdle.AvgPowerW {
+		t.Errorf("C1 mode (%.2fW) should undercut C0-halt (%.2fW)",
+			hpIdleC1.AvgPowerW, hpIdle.AvgPowerW)
+	}
+}
+
+func TestPowerOptimizedWakeLatency(t *testing.T) {
+	// Paper Fig. 9b / 12b: the C1 wake-up adds ~0.5 us at light load.
+	lat := func(popt bool) sim.Time {
+		cfg := base()
+		cfg.Plane = HyperPlane
+		cfg.Queues = 64
+		cfg.Shape = traffic.FB
+		cfg.Mode = OpenLoop
+		cfg.Load = 0.01
+		cfg.PowerOptimized = popt
+		cfg.Duration = 30 * sim.Millisecond
+		cfg.Warmup = sim.Millisecond
+		return run(t, cfg).AvgLatency
+	}
+	regular, optimized := lat(false), lat(true)
+	delta := optimized - regular
+	if delta < 300*sim.Nanosecond || delta > 700*sim.Nanosecond {
+		t.Errorf("C1 wake-up penalty = %v, want ~0.5us", delta)
+	}
+}
+
+func TestScaleUpBeatsScaleOutForHyperPlane(t *testing.T) {
+	// Paper Fig. 10: scale-up HyperPlane wins; scale-up spinning loses to
+	// its own scale-out variant due to synchronization.
+	// Paper Fig. 10a configuration: 4 cores, 400 queues, FB traffic.
+	p99 := func(plane PlaneKind, clusterSize int) sim.Time {
+		cfg := base()
+		cfg.Cores = 4
+		cfg.ClusterSize = clusterSize
+		cfg.Queues = 400
+		cfg.Shape = traffic.FB
+		cfg.Plane = plane
+		cfg.Mode = OpenLoop
+		cfg.Load = 0.5
+		cfg.Duration = 15 * sim.Millisecond
+		cfg.Warmup = 2 * sim.Millisecond
+		r := run(t, cfg)
+		if r.Completed < 100 {
+			t.Fatalf("%v cluster=%d: only %d completions", plane, clusterSize, r.Completed)
+		}
+		return r.P99Latency
+	}
+	hpOut := p99(HyperPlane, 1)
+	hpUp := p99(HyperPlane, 4)
+	spinOut := p99(Spinning, 1)
+	spinUp := p99(Spinning, 4)
+
+	if hpUp > hpOut {
+		t.Errorf("HyperPlane scale-up P99 (%v) worse than scale-out (%v)", hpUp, hpOut)
+	}
+	if spinUp < spinOut {
+		t.Errorf("spinning scale-up P99 (%v) better than scale-out (%v); sync costs missing", spinUp, spinOut)
+	}
+	if hpUp > spinOut {
+		t.Errorf("HyperPlane scale-up (%v) should beat spinning scale-out (%v)", hpUp, spinOut)
+	}
+}
+
+func TestSoftwareReadySetSlower(t *testing.T) {
+	// Paper Fig. 13: under FB traffic with many queues, the software ready
+	// set costs substantial throughput.
+	through := func(software bool) float64 {
+		cfg := base()
+		cfg.Plane = HyperPlane
+		cfg.Queues = 512
+		cfg.Shape = traffic.FB
+		cfg.SoftwareReadySet = software
+		cfg.Duration = 4 * sim.Millisecond
+		return run(t, cfg).ThroughputMTasks
+	}
+	hw, sw := through(false), through(true)
+	if sw >= hw*0.95 {
+		t.Errorf("software ready set (%.3f) not slower than hardware (%.3f)", sw, hw)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := base()
+	cfg.Plane = HyperPlane
+	cfg.Mode = OpenLoop
+	cfg.Load = 0.5
+	cfg.Shape = traffic.PC
+	cfg.Duration = 5 * sim.Millisecond
+	a := run(t, cfg)
+	b := run(t, cfg)
+	if a.Completed != b.Completed || a.P99Latency != b.P99Latency ||
+		a.ThroughputMTasks != b.ThroughputMTasks {
+		t.Errorf("runs diverged: %d/%v vs %d/%v",
+			a.Completed, a.P99Latency, b.Completed, b.P99Latency)
+	}
+}
+
+func TestHyperPlaneNoUselessSpinningWhenIdle(t *testing.T) {
+	cfg := base()
+	cfg.Plane = HyperPlane
+	cfg.Mode = OpenLoop
+	cfg.Load = 0.01
+	cfg.Shape = traffic.SQ
+	cfg.Duration = 20 * sim.Millisecond
+	cfg.Warmup = sim.Millisecond
+	r := run(t, cfg)
+	// The halted core must spend nearly all its time in C0-halt.
+	res := r.Cores[0].Residency
+	total := res[0] + res[1] + res[2]
+	if total == 0 {
+		t.Fatal("no residency recorded")
+	}
+	idleFrac := float64(res[1]+res[2]) / float64(total)
+	if idleFrac < 0.9 {
+		t.Errorf("idle fraction = %.2f, want > 0.9", idleFrac)
+	}
+}
+
+func TestMonitorIntegration(t *testing.T) {
+	cfg := base()
+	cfg.Plane = HyperPlane
+	cfg.Mode = OpenLoop
+	cfg.Load = 0.3
+	cfg.Shape = traffic.PC
+	cfg.Duration = 10 * sim.Millisecond
+	r := run(t, cfg)
+	if r.Monitor.Activations == 0 {
+		t.Error("monitoring set never activated a QID")
+	}
+	if r.Monitor.Adds != int64(cfg.Queues) {
+		t.Errorf("adds = %d, want %d", r.Monitor.Adds, cfg.Queues)
+	}
+	if r.Completed == 0 {
+		t.Error("no completions")
+	}
+}
+
+func TestImbalancePartition(t *testing.T) {
+	cfg := base()
+	cfg.Cores = 4
+	cfg.ClusterSize = 1
+	cfg.Queues = 80
+	cfg.Shape = traffic.PC
+	cfg.Imbalance = 0.5
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotPer := make([]int, 4)
+	for q, cl := range s.clusterOfQueue {
+		if s.hot[q] {
+			hotPer[cl]++
+		}
+	}
+	// PC(80) has 16 hot queues, 4 per cluster balanced; 50% imbalance
+	// moves 2 extra to cluster 0.
+	if hotPer[0] <= 4 {
+		t.Errorf("cluster 0 hot queues = %d, want > 4 (imbalanced)", hotPer[0])
+	}
+	sum := hotPer[0] + hotPer[1] + hotPer[2] + hotPer[3]
+	if sum != 16 {
+		t.Errorf("hot total = %d", sum)
+	}
+	// Cluster sizes stay equal.
+	for cl, qs := range s.queuesOfCluster {
+		if len(qs) != 20 {
+			t.Errorf("cluster %d has %d queues", cl, len(qs))
+		}
+	}
+	s.eng.Run(sim.Microsecond)
+	s.eng.Shutdown()
+}
+
+func TestCoRunnerIPCModel(t *testing.T) {
+	// Fig. 11b directions: a high-IPC spinning antagonist suppresses the
+	// co-runner; a halted HyperPlane thread does not.
+	idleHP := CoRunnerIPC(0)
+	busany := CoRunnerIPC(1.2)
+	spin := CoRunnerIPC(2.3)
+	if idleHP != CoRunnerBaseIPC {
+		t.Errorf("co-runner with halted sibling = %.2f, want %v", idleHP, CoRunnerBaseIPC)
+	}
+	if !(spin < busany && busany < idleHP) {
+		t.Errorf("co-runner ordering wrong: spin=%.2f busy=%.2f idle=%.2f", spin, busany, idleHP)
+	}
+	if CoRunnerIPC(100) < 0 {
+		t.Error("co-runner IPC went negative")
+	}
+}
+
+func TestBatchDequeue(t *testing.T) {
+	cfg := base()
+	cfg.Plane = HyperPlane
+	cfg.BatchSize = 4
+	r := run(t, cfg)
+	if r.Completed == 0 {
+		t.Error("no completions with batching")
+	}
+}
+
+func TestSpuriousWakeupsFiltered(t *testing.T) {
+	// Spurious wake-ups may occur, but they must never produce phantom
+	// completions: completed <= enqueued.
+	cfg := base()
+	cfg.Plane = HyperPlane
+	cfg.Cores = 2
+	cfg.ClusterSize = 2
+	cfg.Queues = 32
+	cfg.Shape = traffic.FB
+	cfg.Mode = OpenLoop
+	cfg.Load = 0.5
+	cfg.Duration = 10 * sim.Millisecond
+	r := run(t, cfg)
+	if r.Completed == 0 {
+		t.Fatal("no completions")
+	}
+	t.Logf("spurious wake-ups: %d over %d completions", r.SpuriousWakeups, r.Completed)
+}
+
+func TestDeterminismAllPlanes(t *testing.T) {
+	for _, plane := range []PlaneKind{Spinning, MWait, HyperPlane} {
+		cfg := base()
+		cfg.Plane = plane
+		cfg.Mode = OpenLoop
+		cfg.Load = 0.4
+		cfg.Shape = traffic.NC
+		cfg.Queues = 128
+		cfg.Duration = 5 * sim.Millisecond
+		a := run(t, cfg)
+		b := run(t, cfg)
+		if a.Completed != b.Completed || a.P99Latency != b.P99Latency ||
+			a.AvgPowerW != b.AvgPowerW {
+			t.Errorf("%v runs diverged: %d/%v vs %d/%v",
+				plane, a.Completed, a.P99Latency, b.Completed, b.P99Latency)
+		}
+	}
+}

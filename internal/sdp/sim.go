@@ -1,0 +1,602 @@
+package sdp
+
+import (
+	"hyperplane/internal/driver"
+	"hyperplane/internal/mem"
+	"hyperplane/internal/monitor"
+	"hyperplane/internal/power"
+	"hyperplane/internal/queue"
+	"hyperplane/internal/ready"
+	"hyperplane/internal/sim"
+	"hyperplane/internal/stats"
+	"hyperplane/internal/traffic"
+	"hyperplane/internal/workload"
+)
+
+// Modeled software costs of the data plane fast paths. The poll-loop costs
+// are calibrated to DPDK-like empty-poll behaviour: ~170 instructions and
+// ~24 ns of non-memory work per interrogated queue, yielding the paper's
+// observed spin IPC of ~2.2 when queue heads hit in the L1 and the IPC
+// collapse when they fall out (Fig. 11a).
+const (
+	pollInstrs   = 240
+	pollOverhead = 40 * sim.Nanosecond
+
+	dequeueInstrs   = 120
+	dequeueOverhead = 20 * sim.Nanosecond
+
+	notifyInstrs = 40 // tenant-side doorbell trigger
+
+	qwaitInstrs      = 12
+	verifyInstrs     = 18
+	reconsiderInstrs = 18
+
+	lockInstrs = 60 // CAS + retry path on shared dequeue
+	// criticalSection is the multi-consumer dequeue's synchronized window
+	// (CAS on head, tail update, memory fences); ~120 ns matches contended
+	// DPDK MC-ring dequeues.
+	criticalSection = 120 * sim.Nanosecond
+
+	// scanQuantum bounds how much poll-loop time is simulated per engine
+	// event; larger values are faster but delay arrival visibility by up
+	// to one quantum.
+	scanQuantum = sim.Microsecond
+
+	// c1EntryDelay is how long a halted core idles in C0 before the power
+	// management transitions it to C1 (power-optimized mode only).
+	c1EntryDelay = sim.Microsecond
+
+	// refillDepth is the standing backlog per hot queue in Saturate mode.
+	refillDepth = 2
+
+	// qwaitCycles is the paper's conservative end-to-end QWAIT latency
+	// (§IV-C).
+	qwaitCycles = 50
+
+	// stealPenalty is the extra cross-chip hop a work-stealing QWAIT pays
+	// to reach a remote cluster's ready set.
+	stealPenalty = 40 * sim.Nanosecond
+
+	// stealCheckPeriod bounds a halted work-stealing core's sleep so it
+	// periodically re-checks remote ready sets.
+	stealCheckPeriod = 5 * sim.Microsecond
+
+	// interSocket is the extra one-way latency of crossing the socket
+	// interconnect (QPI/UPI-class hop), paid by cross-socket queue
+	// accesses and cross-socket ready-set steals in NUMA configurations.
+	interSocket = 60 * sim.Nanosecond
+)
+
+// coreState tracks one data plane core's measured activity.
+type coreState struct {
+	id      int
+	cluster int
+	res     *power.Residency
+	useful  int64
+	useless int64
+	compl   int64
+
+	waiting      bool
+	waitStart    sim.Time
+	everMeasured bool
+}
+
+// monitorSet is the monitoring-set surface the data plane uses; satisfied
+// by both the unified *monitor.Set and the *monitor.Banked variant.
+type monitorSet interface {
+	driver.Monitor
+	Arm(doorbell mem.Addr) bool
+	Snoop(line mem.Addr) (qid int, activate bool)
+	LookupLatency() sim.Time
+	Occupancy() int
+	Capacity() int
+	Stats() monitor.Stats
+}
+
+// Sim is one assembled simulation run.
+type Sim struct {
+	cfg   Config
+	eng   *sim.Engine
+	clock sim.Clock
+	sys   *mem.System
+
+	layout     queue.Layout
+	descBase   mem.Addr
+	tenantBase mem.Addr
+	queues     []*queue.Queue
+	hot        []bool
+	bufCursor  []int
+	locks      []sim.Time // scale-up spinning: per-queue lock release time
+
+	mon     monitorSet
+	drv     *driver.Driver
+	rsets   []ready.Set
+	signals []*sim.Signal
+
+	clusterOfQueue  []int
+	queuesOfCluster [][]int
+
+	cores []*coreState
+
+	svc    *workload.Sampler
+	arrRNG *sim.RNG
+
+	lat        *stats.Sample
+	qCompleted []int64 // completions per queue during measurement
+	totalDone  int64   // all completions, including warm-up (conservation)
+	measuring  bool
+	measStart  sim.Time
+	completed  int64
+	spurious   int64
+	lockConf   int64
+	seq        uint64
+	qwaitLat   sim.Time
+}
+
+// New assembles (but does not run) a simulation.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		cfg:        cfg,
+		eng:        sim.NewEngine(),
+		layout:     queue.DefaultLayout(),
+		descBase:   3 << 30,
+		tenantBase: 4 << 30,
+		lat:        stats.NewSample(100_000),
+	}
+	memCfg := mem.DefaultConfig(cfg.Cores)
+	s.clock = memCfg.Clock
+	s.sys = mem.NewSystem(memCfg)
+	s.qwaitLat = s.clock.Cycles(qwaitCycles)
+
+	s.queues = queue.NewSet(cfg.Queues, s.layout, 0)
+	s.qCompleted = make([]int64, cfg.Queues)
+	s.bufCursor = make([]int, cfg.Queues)
+	s.locks = make([]sim.Time, cfg.Queues)
+	s.hot = make([]bool, cfg.Queues)
+	for i, w := range traffic.Weights(cfg.Shape, cfg.Queues) {
+		s.hot[i] = w >= 1
+	}
+
+	s.partition()
+
+	s.svc = workload.NewSampler(cfg.Workload, sim.NewRNG(cfg.Seed, 1))
+	s.arrRNG = sim.NewRNG(cfg.Seed, 2)
+
+	switch cfg.Plane {
+	case HyperPlane:
+		s.buildHyperPlane()
+	case MWait:
+		// MWAIT needs only a per-cluster range monitor: a wake signal
+		// fired on any doorbell write to the cluster's queues.
+		for cl := 0; cl < cfg.Clusters(); cl++ {
+			s.signals = append(s.signals, s.eng.NewSignal("mwait-wake"))
+		}
+	}
+
+	for c := 0; c < cfg.Cores; c++ {
+		cs := &coreState{id: c, cluster: c / cfg.ClusterSize, res: power.NewResidency(s.clock)}
+		s.cores = append(s.cores, cs)
+	}
+
+	s.prime()
+
+	// Launch core processes.
+	for _, cs := range s.cores {
+		cs := cs
+		switch cfg.Plane {
+		case Spinning:
+			s.eng.Go("spin-core", func(p *sim.Proc) { s.spinCore(p, cs) })
+		case MWait:
+			s.eng.Go("mwait-core", func(p *sim.Proc) { s.mwCore(p, cs) })
+		default:
+			s.eng.Go("hp-core", func(p *sim.Proc) { s.hpCore(p, cs) })
+		}
+	}
+	if cfg.Mode == OpenLoop {
+		s.eng.Go("producer", s.producer)
+	}
+	return s, nil
+}
+
+// partition assigns queues to clusters. Queues go round-robin across
+// clusters so hot queues (which the traffic shapes place at low indices)
+// spread evenly; the Imbalance knob then moves extra hot queues into
+// cluster 0 (swapping with cold ones) to model static load imbalance.
+func (s *Sim) partition() {
+	clusters := s.cfg.Clusters()
+	s.clusterOfQueue = make([]int, s.cfg.Queues)
+	s.queuesOfCluster = make([][]int, clusters)
+	for q := 0; q < s.cfg.Queues; q++ {
+		s.clusterOfQueue[q] = q % clusters
+	}
+	if s.cfg.Imbalance > 0 && clusters > 1 {
+		hotTotal := 0
+		for _, h := range s.hot {
+			if h {
+				hotTotal++
+			}
+		}
+		perCluster := hotTotal / clusters
+		extra := int(float64(perCluster)*s.cfg.Imbalance + 0.5)
+		moved := 0
+		for q := 0; q < s.cfg.Queues && moved < extra; q++ {
+			if !s.hot[q] || s.clusterOfQueue[q] == 0 {
+				continue
+			}
+			// Swap this hot queue into cluster 0 with a cold queue from 0.
+			for w := 0; w < s.cfg.Queues; w++ {
+				if !s.hot[w] && s.clusterOfQueue[w] == 0 {
+					s.clusterOfQueue[w] = s.clusterOfQueue[q]
+					s.clusterOfQueue[q] = 0
+					moved++
+					break
+				}
+			}
+		}
+	}
+	for q := 0; q < s.cfg.Queues; q++ {
+		cl := s.clusterOfQueue[q]
+		s.queuesOfCluster[cl] = append(s.queuesOfCluster[cl], q)
+	}
+}
+
+// buildHyperPlane wires the monitoring set and per-cluster ready sets to
+// the coherence fabric.
+func (s *Sim) buildHyperPlane() {
+	mcfg := monitor.DefaultConfig()
+	mcfg.Clock = s.clock
+	if s.cfg.Queues > mcfg.Entries {
+		// Over-provision beyond the paper's 1024 when asked for more
+		// queues; round up to a bucket multiple.
+		granule := 2 * mcfg.Slots
+		mcfg.Entries = (s.cfg.Queues*110/100 + granule - 1) / granule * granule
+	}
+	if s.cfg.MonitorBanks > 1 {
+		per := mcfg.Entries / s.cfg.MonitorBanks
+		granule := 2 * mcfg.Slots
+		per = (per + granule - 1) / granule * granule
+		s.mon = monitor.NewBanked(s.cfg.MonitorBanks, per, mcfg)
+	} else {
+		s.mon = monitor.New(mcfg)
+	}
+	// The driver owns a reserved range with generous headroom for
+	// conflict reallocations.
+	lo := s.layout.DoorbellBase
+	hi := lo + mem.Addr(4*s.cfg.Queues+1024)*mem.LineSize
+
+	clusters := s.cfg.Clusters()
+	s.rsets = make([]ready.Set, clusters)
+	s.signals = make([]*sim.Signal, clusters)
+	for cl := 0; cl < clusters; cl++ {
+		if s.cfg.SoftwareReadySet {
+			s.rsets[cl] = ready.NewSoftware(s.cfg.Queues, s.cfg.Policy, s.cfg.Weights)
+		} else {
+			s.rsets[cl] = ready.NewHardware(s.cfg.Queues, s.cfg.Policy, s.cfg.Weights)
+		}
+		s.signals[cl] = s.eng.NewSignal("hp-wake")
+	}
+
+	// Control plane (Algorithm 1): the driver allocates each queue's
+	// doorbell and executes QWAIT-ADD, reallocating on cuckoo conflicts.
+	drv, err := driver.New(s.mon, lo, hi)
+	if err != nil {
+		panic(err) // static range; cannot fail for positive queue counts
+	}
+	s.drv = drv
+	for q := 0; q < s.cfg.Queues; q++ {
+		addr, err := drv.Connect(q)
+		if err != nil {
+			panic(err) // range sized with 4x headroom above
+		}
+		s.queues[q].Doorbell = addr
+	}
+
+	s.sys.OnWrite(func(line mem.Addr, writer int) {
+		if line < lo || line >= hi {
+			return
+		}
+		qid, activate := s.mon.Snoop(line)
+		if !activate {
+			return
+		}
+		s.trace(TraceActivate, -1, qid)
+		cl := s.clusterOfQueue[qid]
+		s.rsets[cl].Activate(qid)
+		s.signals[cl].Fire(qid)
+	})
+}
+
+// prime pre-loads hot queues in Saturate mode.
+func (s *Sim) prime() {
+	if s.cfg.Mode != Saturate {
+		return
+	}
+	for q := 0; q < s.cfg.Queues; q++ {
+		if !s.hot[q] {
+			continue
+		}
+		for i := 0; i < refillDepth; i++ {
+			s.enqueue(q)
+		}
+	}
+}
+
+// enqueue adds one item to queue q and rings its doorbell from the device
+// side (DMA write), which the monitoring set snoops.
+func (s *Sim) enqueue(q int) {
+	s.seq++
+	s.queues[q].Enqueue(queue.Item{Enqueued: s.eng.Now(), Seq: s.seq})
+	s.trace(TraceArrival, -1, q)
+	s.sys.DeviceWrite(s.queues[q].Doorbell)
+	if s.cfg.Plane == MWait {
+		// The doorbell write hits the MWAIT range monitor of the cluster
+		// owning this queue.
+		s.signals[s.clusterOfQueue[q]].Fire(q)
+	}
+}
+
+// refill keeps hot queues backlogged in Saturate mode; called right after a
+// dequeue so QWAIT-RECONSIDER sees the standing backlog.
+func (s *Sim) refill(q int) {
+	if s.cfg.Mode == Saturate && s.hot[q] {
+		s.enqueue(q)
+	}
+}
+
+// burstPhase is the mean ON-phase duration of the bursty arrival process.
+const burstPhase = 50 * sim.Microsecond
+
+// producer is the OpenLoop arrival process (an emulated I/O device):
+// Poisson by default, on/off-modulated when Burstiness > 1.
+func (s *Sim) producer(p *sim.Proc) {
+	rate := s.cfg.Load * s.cfg.NominalCapacity()
+	var next func() (sim.Time, int)
+	if s.cfg.Burstiness > 1 {
+		b := traffic.NewBursty(s.cfg.Shape, s.cfg.Queues, rate, s.cfg.Burstiness, burstPhase, s.arrRNG)
+		next = b.Next
+	} else {
+		pois := traffic.NewPoisson(s.cfg.Shape, s.cfg.Queues, rate, s.arrRNG)
+		next = pois.Next
+	}
+	for {
+		d, q := next()
+		p.Sleep(d)
+		s.enqueue(q)
+	}
+}
+
+// socketOfCluster places clusters on sockets contiguously.
+func (s *Sim) socketOfCluster(cl int) int {
+	perSocket := s.cfg.Clusters() / s.cfg.Sockets
+	return cl / perSocket
+}
+
+// numaPenalty returns the added latency for core cs touching queue qid's
+// memory (doorbell, descriptor, buffers): zero on the home socket, one
+// interconnect hop otherwise.
+func (s *Sim) numaPenalty(cs *coreState, qid int) sim.Time {
+	if s.cfg.Sockets <= 1 {
+		return 0
+	}
+	if s.socketOfCluster(cs.cluster) == s.socketOfCluster(s.clusterOfQueue[qid]) {
+		return 0
+	}
+	return interSocket
+}
+
+// descAddr is the queue descriptor line polled alongside the doorbell
+// (DPDK-style rings span multiple metadata lines).
+func (s *Sim) descAddr(q int) mem.Addr {
+	return s.descBase + mem.Addr(q)*mem.LineSize
+}
+
+// tenantAddr is the tenant-side doorbell written to notify the tenant
+// (step 2d in the paper's Fig. 2).
+func (s *Sim) tenantAddr(q int) mem.Addr {
+	return s.tenantBase + mem.Addr(q)*mem.LineSize
+}
+
+// charge books d of state time plus instructions to a core, clipped to the
+// measurement window. Call immediately after the core slept for d.
+func (s *Sim) charge(cs *coreState, st power.CState, d sim.Time, instrs int64, useful bool) {
+	if !s.measuring || d < 0 {
+		return
+	}
+	start := s.eng.Now() - d
+	if start < s.measStart {
+		if s.eng.Now() <= s.measStart {
+			return
+		}
+		clipped := s.eng.Now() - s.measStart
+		instrs = int64(float64(instrs) * float64(clipped) / float64(d))
+		d = clipped
+	}
+	cs.res.Add(st, d)
+	cs.res.AddInstrs(instrs)
+	if useful {
+		cs.useful += instrs
+	} else {
+		cs.useless += instrs
+	}
+}
+
+// chargeWait books a halt interval, splitting C0-halt and C1 residency in
+// power-optimized mode.
+func (s *Sim) chargeWait(cs *coreState, start, end sim.Time) {
+	if !s.measuring || end <= start {
+		return
+	}
+	if start < s.measStart {
+		start = s.measStart
+	}
+	if end <= start {
+		return
+	}
+	d := end - start
+	if s.cfg.PowerOptimized && d > c1EntryDelay {
+		cs.res.Add(power.C0Halt, c1EntryDelay)
+		cs.res.Add(power.C1, d-c1EntryDelay)
+	} else {
+		cs.res.Add(power.C0Halt, d)
+	}
+}
+
+// process executes one work item on a core: buffer-line touches, the
+// workload's service time, and the tenant-side notification.
+func (s *Sim) process(p *sim.Proc, cs *coreState, qid int, it queue.Item) {
+	var lat sim.Time
+	spec := s.cfg.Workload
+	cur := s.bufCursor[qid]
+	for i := 0; i < spec.BufferLinesPerItem; i++ {
+		l, _ := s.sys.Read(cs.id, s.layout.BufferAddr(qid, cur+i))
+		lat += l
+	}
+	s.bufCursor[qid] = cur + spec.BufferLinesPerItem
+	svc := s.svc.Next()
+	wlat, _ := s.sys.Write(cs.id, s.tenantAddr(qid))
+	total := lat + svc + wlat + s.numaPenalty(cs, qid)
+	p.Sleep(total)
+	s.charge(cs, power.C0Active, total, spec.Instructions(s.clock)+notifyInstrs, true)
+	s.totalDone++
+	s.trace(TraceComplete, cs.id, qid)
+	if s.measuring {
+		cs.compl++
+		s.completed++
+		s.qCompleted[qid]++
+		if s.cfg.Mode == OpenLoop {
+			s.lat.Add(float64(p.Now() - it.Enqueued))
+		}
+	}
+}
+
+// startMeasure flips measurement on and resets warm-up statistics.
+func (s *Sim) startMeasure() {
+	s.measuring = true
+	s.measStart = s.eng.Now()
+	s.sys.FlushAgentStats()
+	s.lat.Reset()
+	for i := range s.qCompleted {
+		s.qCompleted[i] = 0
+	}
+	s.completed = 0
+	s.spurious = 0
+	s.lockConf = 0
+	for _, cs := range s.cores {
+		cs.compl = 0
+		cs.useful, cs.useless = 0, 0
+		cs.res = power.NewResidency(s.clock)
+	}
+}
+
+// finalize closes out residency for cores still halted when measurement
+// ends.
+func (s *Sim) finalize() {
+	now := s.eng.Now()
+	for _, cs := range s.cores {
+		if cs.waiting {
+			s.chargeWait(cs, cs.waitStart, now)
+			cs.waiting = false
+		}
+	}
+}
+
+// Run executes the configured run and returns its measurements.
+func Run(cfg Config) (Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	s.eng.At(cfg.Warmup, s.startMeasure)
+	end := cfg.Warmup + cfg.Duration
+	s.eng.At(end, func() {
+		s.finalize()
+		s.eng.Stop()
+	})
+	s.eng.Run(sim.MaxTime)
+	s.eng.Shutdown()
+	return s.result(), nil
+}
+
+// result assembles the Result from measured state.
+func (s *Sim) result() Result {
+	r := Result{
+		Config:          s.cfg,
+		Completed:       s.completed,
+		SpuriousWakeups: s.spurious,
+		LockContention:  s.lockConf,
+	}
+	window := s.cfg.Duration.Seconds()
+	r.ThroughputMTasks = float64(s.completed) / window / 1e6
+	if s.lat.Count() > 0 {
+		r.AvgLatency = sim.Time(s.lat.Mean())
+		r.P50Latency = sim.Time(s.lat.P50())
+		r.P99Latency = sim.Time(s.lat.P99())
+		r.MaxLatency = sim.Time(s.lat.Max())
+		r.CDF = s.lat.CDF(100)
+	}
+	m := power.Default()
+	var uIPC, sIPC, oIPC, pw float64
+	for _, cs := range s.cores {
+		cycles := s.clock.ToCycles(cs.res.Total())
+		var u, l float64
+		if cycles > 0 {
+			u = float64(cs.useful) / float64(cycles)
+			l = float64(cs.useless) / float64(cycles)
+		}
+		cr := CoreResult{
+			Core:        cs.id,
+			Completions: cs.compl,
+			UsefulIPC:   u,
+			UselessIPC:  l,
+			OverallIPC:  cs.res.OverallIPC(),
+			PowerW:      cs.res.AveragePower(m),
+			Residency:   cs.res.Time,
+		}
+		r.Cores = append(r.Cores, cr)
+		uIPC += u
+		sIPC += l
+		oIPC += cr.OverallIPC
+		pw += cr.PowerW
+	}
+	n := float64(len(s.cores))
+	r.UsefulIPC = uIPC / n
+	r.UselessIPC = sIPC / n
+	r.OverallIPC = oIPC / n
+	r.AvgPowerW = pw / n
+	if s.mon != nil {
+		r.Monitor = s.mon.Stats()
+	}
+	for a := 0; a <= s.cfg.Cores; a++ {
+		r.Mem = append(r.Mem, s.sys.Stats(a))
+	}
+	var drops int64
+	for _, q := range s.queues {
+		drops += q.Drops()
+	}
+	r.Drops = drops
+	r.QueueFairness = jainIndex(s.qCompleted, s.hot)
+	return r
+}
+
+// jainIndex computes Jain's fairness index over the hot queues' completion
+// counts: 1.0 = perfectly even service, 1/n = one queue monopolizes.
+func jainIndex(counts []int64, hot []bool) float64 {
+	var sum, sumSq float64
+	n := 0
+	for q, c := range counts {
+		if !hot[q] {
+			continue
+		}
+		n++
+		x := float64(c)
+		sum += x
+		sumSq += x * x
+	}
+	if n == 0 || sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
+}

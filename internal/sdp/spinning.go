@@ -1,0 +1,92 @@
+package sdp
+
+import (
+	"hyperplane/internal/power"
+	"hyperplane/internal/sim"
+)
+
+// spinCore is the software-only baseline: the core iterates over its
+// cluster's queues at full tilt, interrogating (possibly empty) queue heads.
+// Poll costs accumulate and are slept in quanta so that simulating a
+// thousand empty polls does not cost a thousand engine events; the quantum
+// bounds how stale an emptiness check can be.
+func (s *Sim) spinCore(p *sim.Proc, cs *coreState) {
+	myQueues := s.queuesOfCluster[cs.cluster]
+	idx := (cs.id * len(myQueues)) / s.cfg.Cores // stagger scan starts
+	var accum sim.Time
+	var accumInstr int64
+
+	flush := func() {
+		if accum <= 0 {
+			return
+		}
+		p.Sleep(accum)
+		s.charge(cs, power.C0Active, accum, accumInstr, false)
+		accum, accumInstr = 0, 0
+	}
+
+	for {
+		qid := myQueues[idx]
+		idx++
+		if idx == len(myQueues) {
+			idx = 0
+		}
+		q := s.queues[qid]
+		// Interrogate the queue head: doorbell plus descriptor line.
+		lat, _ := s.sys.Read(cs.id, q.Doorbell)
+		lat2, _ := s.sys.Read(cs.id, s.descAddr(qid))
+		accum += lat + lat2 + pollOverhead
+		accumInstr += pollInstrs
+		if q.Empty() {
+			if accum >= scanQuantum {
+				flush()
+			}
+			continue
+		}
+		flush()
+
+		if s.cfg.ClusterSize > 1 {
+			s.acquireLock(p, cs, qid)
+		}
+		s.trace(TraceDequeue, cs.id, qid)
+		batch := q.DequeueBatch(s.cfg.BatchSize)
+		if len(batch) == 0 {
+			// A cluster peer drained the queue between our poll and the
+			// lock acquisition.
+			continue
+		}
+		// Decrement the doorbell counter (consumer side).
+		dlat, _ := s.sys.Write(cs.id, q.Doorbell)
+		dlat += dequeueOverhead
+		p.Sleep(dlat)
+		s.charge(cs, power.C0Active, dlat, dequeueInstrs, true)
+		for _, it := range batch {
+			s.refill(qid)
+			s.process(p, cs, qid, it)
+		}
+	}
+}
+
+// acquireLock models the synchronization a scale-up spinning data plane
+// needs to dequeue from shared queues: an atomic RMW on the queue's
+// metadata line (which ping-pongs between the cluster's L1s) plus blocking
+// while a peer holds the short critical section.
+func (s *Sim) acquireLock(p *sim.Proc, cs *coreState, qid int) {
+	for {
+		lat, _ := s.sys.Write(cs.id, s.descAddr(qid)) // CAS attempt
+		now := p.Now()
+		if s.locks[qid] <= now {
+			s.locks[qid] = now + lat + criticalSection
+			p.Sleep(lat)
+			s.charge(cs, power.C0Active, lat, lockInstrs, false)
+			return
+		}
+		// Contended: spin until the holder's critical section ends.
+		if s.measuring {
+			s.lockConf++
+		}
+		wait := s.locks[qid] - now + lat
+		p.Sleep(wait)
+		s.charge(cs, power.C0Active, wait, lockInstrs, false)
+	}
+}

@@ -1,0 +1,77 @@
+package sdp
+
+import (
+	"fmt"
+
+	"hyperplane/internal/sim"
+)
+
+// TraceKind classifies a simulation trace event.
+type TraceKind uint8
+
+// Trace event kinds, in rough lifecycle order of one work item.
+const (
+	// TraceArrival: a work item was enqueued and the doorbell rung.
+	TraceArrival TraceKind = iota
+	// TraceActivate: the monitoring set matched the doorbell write and
+	// activated the QID in the ready set.
+	TraceActivate
+	// TraceQWait: a core's QWAIT returned this QID.
+	TraceQWait
+	// TraceSpurious: QWAIT-VERIFY found the queue empty; re-armed.
+	TraceSpurious
+	// TraceDequeue: the core dequeued item(s) from the queue.
+	TraceDequeue
+	// TraceComplete: processing finished (tenant notified).
+	TraceComplete
+	// TraceHalt: a core blocked with no ready queues.
+	TraceHalt
+	// TraceWake: a halted core resumed.
+	TraceWake
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceArrival:
+		return "arrival"
+	case TraceActivate:
+		return "activate"
+	case TraceQWait:
+		return "qwait"
+	case TraceSpurious:
+		return "spurious"
+	case TraceDequeue:
+		return "dequeue"
+	case TraceComplete:
+		return "complete"
+	case TraceHalt:
+		return "halt"
+	case TraceWake:
+		return "wake"
+	}
+	return "?"
+}
+
+// TraceEvent is one notification-protocol event in virtual time. Core is
+// -1 for device-side events (arrivals, activations).
+type TraceEvent struct {
+	At   sim.Time
+	Kind TraceKind
+	Core int
+	QID  int
+}
+
+// String formats the event for logs.
+func (e TraceEvent) String() string {
+	if e.Core < 0 {
+		return fmt.Sprintf("%12v %-9s qid=%d", e.At, e.Kind, e.QID)
+	}
+	return fmt.Sprintf("%12v %-9s core=%d qid=%d", e.At, e.Kind, e.Core, e.QID)
+}
+
+// trace emits an event to the configured sink, if any.
+func (s *Sim) trace(kind TraceKind, core, qid int) {
+	if s.cfg.Trace != nil {
+		s.cfg.Trace(TraceEvent{At: s.eng.Now(), Kind: kind, Core: core, QID: qid})
+	}
+}

@@ -1,0 +1,105 @@
+package sdp
+
+import (
+	"strings"
+	"testing"
+
+	"hyperplane/internal/sim"
+	"hyperplane/internal/traffic"
+)
+
+func TestTraceProtocolOrdering(t *testing.T) {
+	var events []TraceEvent
+	cfg := base()
+	cfg.Plane = HyperPlane
+	cfg.Queues = 4
+	cfg.Shape = traffic.FB
+	cfg.Mode = OpenLoop
+	cfg.Load = 0.2
+	cfg.Duration = 2 * sim.Millisecond
+	cfg.Warmup = 0
+	cfg.Trace = func(e TraceEvent) { events = append(events, e) }
+	r := run(t, cfg)
+	if r.Completed == 0 || len(events) == 0 {
+		t.Fatal("no events traced")
+	}
+
+	// Per-queue lifecycle: every dequeue must be preceded by a qwait for
+	// the same QID, and every complete by a dequeue.
+	lastKind := map[int]TraceKind{}
+	counts := map[TraceKind]int{}
+	for _, e := range events {
+		counts[e.Kind]++
+		switch e.Kind {
+		case TraceQWait:
+			lastKind[e.QID] = TraceQWait
+		case TraceDequeue:
+			if lastKind[e.QID] != TraceQWait {
+				t.Fatalf("dequeue of qid %d without preceding qwait", e.QID)
+			}
+			lastKind[e.QID] = TraceDequeue
+		case TraceComplete:
+			if lastKind[e.QID] != TraceDequeue {
+				t.Fatalf("complete of qid %d without preceding dequeue", e.QID)
+			}
+			lastKind[e.QID] = TraceComplete
+		}
+	}
+	// Event times must be non-decreasing.
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatal("trace times went backwards")
+		}
+	}
+	// Every arrival eventually activates (armed queues) or coalesces;
+	// completes equal the result count.
+	if int64(counts[TraceComplete]) < r.Completed {
+		t.Errorf("complete events %d < completions %d", counts[TraceComplete], r.Completed)
+	}
+	if counts[TraceArrival] == 0 || counts[TraceActivate] == 0 ||
+		counts[TraceHalt] == 0 || counts[TraceWake] == 0 {
+		t.Errorf("missing event kinds: %v", counts)
+	}
+	// Activations never exceed arrivals (coalescing only removes).
+	if counts[TraceActivate] > counts[TraceArrival] {
+		t.Errorf("activations %d exceed arrivals %d",
+			counts[TraceActivate], counts[TraceArrival])
+	}
+}
+
+func TestTraceEventString(t *testing.T) {
+	dev := TraceEvent{At: sim.Microsecond, Kind: TraceArrival, Core: -1, QID: 3}
+	if !strings.Contains(dev.String(), "arrival") || strings.Contains(dev.String(), "core") {
+		t.Errorf("device event string = %q", dev.String())
+	}
+	core := TraceEvent{At: sim.Microsecond, Kind: TraceQWait, Core: 2, QID: 3}
+	if !strings.Contains(core.String(), "core=2") {
+		t.Errorf("core event string = %q", core.String())
+	}
+	for k := TraceArrival; k <= TraceWake; k++ {
+		if k.String() == "?" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if TraceKind(99).String() != "?" {
+		t.Error("unknown kind name")
+	}
+}
+
+func TestTraceSpinningPlane(t *testing.T) {
+	var dequeues, completes int
+	cfg := base()
+	cfg.Duration = sim.Millisecond
+	cfg.Trace = func(e TraceEvent) {
+		switch e.Kind {
+		case TraceDequeue:
+			dequeues++
+		case TraceComplete:
+			completes++
+		}
+	}
+	r := run(t, cfg)
+	if r.Completed == 0 || dequeues == 0 || completes == 0 {
+		t.Fatalf("spinning plane traced %d dequeues, %d completes", dequeues, completes)
+	}
+}

@@ -1,0 +1,161 @@
+package sdp
+
+import (
+	"math"
+	"testing"
+
+	"hyperplane/internal/ready"
+	"hyperplane/internal/sim"
+	"hyperplane/internal/traffic"
+	"hyperplane/internal/workload"
+)
+
+// Queueing-theory validation: with a single queue and a single HyperPlane
+// core, the system is an M/G/1 queue (Poisson arrivals, general service,
+// one server). The measured mean sojourn time must match the
+// Pollaczek–Khinchine formula
+//
+//	T = E[S] + rho * E[S] * (1 + CV^2) / (2 * (1 - rho))
+//
+// within the tolerance allowed by the notification overheads (which we fold
+// into an effective service time). This cross-checks the arrival process,
+// the service sampler, and the event engine end-to-end against closed-form
+// theory.
+
+// mg1Run measures mean sojourn time at offered load rho for a service
+// distribution with the given CV.
+func mg1Run(t *testing.T, rho, cv float64, samples int) (measured, service sim.Time) {
+	t.Helper()
+	spec := workload.Spec{
+		Name:               "mg1-validation",
+		ServiceMean:        10 * sim.Microsecond,
+		CV:                 cv,
+		BufferLinesPerItem: 1,
+		UsefulIPC:          1.5,
+	}
+	dur := sim.Time(float64(samples)) * sim.Time(float64(spec.ServiceMean)/rho)
+	cfg := Config{
+		Cores:    1,
+		Queues:   1,
+		Workload: spec,
+		Shape:    traffic.SQ,
+		Plane:    HyperPlane,
+		Policy:   ready.RoundRobin,
+		Mode:     OpenLoop,
+		Load:     rho,
+		Warmup:   dur / 10,
+		Duration: dur,
+		Seed:     123,
+	}
+	r := run(t, cfg)
+	if r.Completed < int64(samples)*8/10 {
+		t.Fatalf("rho=%v: only %d completions", rho, r.Completed)
+	}
+	return r.AvgLatency, spec.ServiceMean
+}
+
+func pkSojourn(s sim.Time, rho, cv float64) sim.Time {
+	wait := rho * float64(s) * (1 + cv*cv) / (2 * (1 - rho))
+	return s + sim.Time(wait)
+}
+
+func TestMG1SojournMatchesTheory(t *testing.T) {
+	cases := []struct {
+		rho, cv float64
+		tol     float64 // relative tolerance (higher rho -> slower CLT)
+	}{
+		{0.3, 1.0, 0.12},
+		{0.5, 1.0, 0.12},
+		{0.7, 1.0, 0.18},
+		{0.5, 0.0, 0.10}, // M/D/1
+		{0.5, 0.3, 0.10},
+	}
+	for _, c := range cases {
+		measured, s := mg1Run(t, c.rho, c.cv, 12000)
+		want := pkSojourn(s, c.rho, c.cv)
+		ratio := float64(measured) / float64(want)
+		if math.Abs(ratio-1) > c.tol {
+			t.Errorf("rho=%.1f cv=%.1f: measured %v vs P-K %v (ratio %.3f)",
+				c.rho, c.cv, measured, want, ratio)
+		} else {
+			t.Logf("rho=%.1f cv=%.1f: measured %v vs P-K %v (ratio %.3f)",
+				c.rho, c.cv, measured, want, ratio)
+		}
+	}
+}
+
+// With multiple scale-up cores and one shared queue set, the system
+// approaches M/M/c, whose sojourn time at equal total load is strictly
+// below c independent M/M/1 queues — the paper's scale-up queuing argument
+// (§II-B) stated as theory, verified in the simulator.
+func TestScaleUpBeatsScaleOutTheory(t *testing.T) {
+	spec := workload.Spec{
+		Name:               "mmc-validation",
+		ServiceMean:        10 * sim.Microsecond,
+		CV:                 1.0,
+		BufferLinesPerItem: 1,
+		UsefulIPC:          1.5,
+	}
+	runOrg := func(clusterSize int) sim.Time {
+		cfg := Config{
+			Cores:       4,
+			ClusterSize: clusterSize,
+			Queues:      64,
+			Workload:    spec,
+			Shape:       traffic.FB,
+			Plane:       HyperPlane,
+			Policy:      ready.RoundRobin,
+			Mode:        OpenLoop,
+			Load:        0.7,
+			Warmup:      10 * sim.Millisecond,
+			Duration:    80 * sim.Millisecond,
+			Seed:        77,
+		}
+		return run(t, cfg).AvgLatency
+	}
+	scaleOut := runOrg(1)
+	scaleUp := runOrg(4)
+	if scaleUp >= scaleOut {
+		t.Fatalf("scale-up mean (%v) not below scale-out (%v)", scaleUp, scaleOut)
+	}
+	// M/M/1 at rho=0.7: T = S/(1-rho) ~ 33.3us. M/M/4 at the same rho:
+	// T ~ S * (1 + C(4,0.7)/ (4*(1-rho))) ~ 13.1us (Erlang C ~ 0.51).
+	// Allow generous tolerance for notification overheads.
+	s := float64(spec.ServiceMean)
+	mm1 := s / 0.3
+	if r := float64(scaleOut) / mm1; r < 0.8 || r > 1.3 {
+		t.Errorf("scale-out mean %v vs M/M/1 %.0fns (ratio %.2f)", scaleOut, mm1, r)
+	}
+	erlangC := 0.51
+	mm4 := s * (1 + erlangC/(4*0.3))
+	if r := float64(scaleUp) / mm4; r < 0.7 || r > 1.4 {
+		t.Errorf("scale-up mean %v vs M/M/4 %.0fns (ratio %.2f)", scaleUp, mm4, r)
+	}
+}
+
+// Zero-load spinning latency must match the scan-geometry prediction:
+// an arrival waits on average half a scan round before discovery.
+func TestSpinningZeroLoadMatchesScanGeometry(t *testing.T) {
+	cfg := base()
+	cfg.Queues = 256
+	cfg.Shape = traffic.FB
+	cfg.Mode = OpenLoop
+	cfg.Load = 0.005
+	cfg.Duration = 80 * sim.Millisecond
+	cfg.Warmup = 2 * sim.Millisecond
+	r := run(t, cfg)
+
+	// Predicted per-poll cost: fixed overhead + doorbell/descriptor reads.
+	// At 256 queues those lines mostly live in the LLC (32 KB > L1), so
+	// use the LLC hit cost (tag check + LLC access cycles) for both.
+	clock := sim.NewClock(3.0)
+	perPoll := pollOverhead + clock.Cycles(4+30) + clock.Cycles(4+30)
+	halfRound := sim.Time(cfg.Queues) * perPoll / 2
+	// Sojourn ~ half scan round + dequeue + service.
+	want := halfRound + dequeueOverhead + cfg.Workload.ServiceMean
+	ratio := float64(r.AvgLatency) / float64(want)
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("zero-load avg %v vs scan-geometry prediction %v (ratio %.2f)",
+			r.AvgLatency, want, ratio)
+	}
+}

@@ -1,0 +1,359 @@
+package sdp
+
+import (
+	"testing"
+
+	"hyperplane/internal/mem"
+	"hyperplane/internal/power"
+	"hyperplane/internal/sim"
+	"hyperplane/internal/traffic"
+)
+
+// White-box tests of the simulation internals: measurement clipping,
+// partitioning invariants, and address-space separation.
+
+func mustNew(t *testing.T, cfg Config) *Sim {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPartitionCoversAllQueuesOnce(t *testing.T) {
+	for _, tc := range []struct {
+		cores, cluster, queues int
+		shape                  traffic.Shape
+		imbalance              float64
+	}{
+		{1, 1, 17, traffic.FB, 0},
+		{4, 1, 100, traffic.PC, 0},
+		{4, 2, 64, traffic.NC, 0},
+		{4, 4, 33, traffic.SQ, 0},
+		{4, 1, 80, traffic.PC, 0.3},
+		{8, 2, 123, traffic.FB, 0},
+	} {
+		cfg := base()
+		cfg.Cores = tc.cores
+		cfg.ClusterSize = tc.cluster
+		cfg.Queues = tc.queues
+		cfg.Shape = tc.shape
+		cfg.Imbalance = tc.imbalance
+		s := mustNew(t, cfg)
+		seen := make([]int, tc.queues)
+		for cl, qs := range s.queuesOfCluster {
+			for _, q := range qs {
+				seen[q]++
+				if s.clusterOfQueue[q] != cl {
+					t.Fatalf("%+v: queue %d cluster mapping inconsistent", tc, q)
+				}
+			}
+		}
+		for q, n := range seen {
+			if n != 1 {
+				t.Fatalf("%+v: queue %d assigned %d times", tc, q, n)
+			}
+		}
+		s.eng.Shutdown()
+	}
+}
+
+func TestImbalanceKeepsClusterSizesEqual(t *testing.T) {
+	cfg := base()
+	cfg.Cores = 4
+	cfg.Queues = 80
+	cfg.Shape = traffic.PC
+	cfg.Imbalance = 1.0
+	s := mustNew(t, cfg)
+	defer s.eng.Shutdown()
+	for cl, qs := range s.queuesOfCluster {
+		if len(qs) != 20 {
+			t.Errorf("cluster %d has %d queues, want 20", cl, len(qs))
+		}
+	}
+}
+
+func TestAddressSpacesDisjoint(t *testing.T) {
+	cfg := base()
+	cfg.Queues = 100
+	s := mustNew(t, cfg)
+	defer s.eng.Shutdown()
+	kinds := map[mem.Addr]string{}
+	put := func(a mem.Addr, kind string) {
+		if prev, dup := kinds[a]; dup {
+			t.Fatalf("address %#x used by both %s and %s", a, prev, kind)
+		}
+		kinds[a] = kind
+	}
+	for q := 0; q < cfg.Queues; q++ {
+		put(s.queues[q].Doorbell, "doorbell")
+		put(s.descAddr(q), "descriptor")
+		put(s.tenantAddr(q), "tenant")
+		for slot := 0; slot < s.layout.BufferLines; slot++ {
+			put(s.layout.BufferAddr(q, slot), "buffer")
+		}
+	}
+}
+
+func TestChargeClipsToMeasurementWindow(t *testing.T) {
+	cfg := base()
+	s := mustNew(t, cfg)
+	// Kill the core processes so only this test's explicit charges are
+	// booked; the engine remains usable for fresh events.
+	s.eng.Shutdown()
+	cs := s.cores[0]
+
+	// Before measurement: nothing is booked.
+	s.charge(cs, power.C0Active, sim.Microsecond, 1000, true)
+	if cs.useful != 0 || cs.res.Total() != 0 {
+		t.Fatal("charged before measurement started")
+	}
+
+	// Simulate measurement starting midway through a sleep: the span
+	// [now-1us, now) straddles measStart by 400ns.
+	s.measuring = true
+	s.measStart = 600 * sim.Nanosecond
+	s.eng.At(sim.Microsecond, func() {
+		s.charge(cs, power.C0Active, sim.Microsecond, 1000, true)
+	})
+	s.eng.Run(2 * sim.Microsecond)
+	if cs.res.Time[power.C0Active] != 400*sim.Nanosecond {
+		t.Errorf("clipped residency = %v, want 400ns", cs.res.Time[power.C0Active])
+	}
+	if cs.useful != 400 {
+		t.Errorf("clipped instructions = %d, want 400 (prorated)", cs.useful)
+	}
+}
+
+func TestChargeWaitSplitsC1(t *testing.T) {
+	cfg := base()
+	cfg.PowerOptimized = true
+	s := mustNew(t, cfg)
+	defer s.eng.Shutdown()
+	cs := s.cores[0]
+	s.measuring = true
+	s.measStart = 0
+
+	// A 10us halt: first c1EntryDelay in C0-halt, remainder in C1.
+	s.chargeWait(cs, 0, 10*sim.Microsecond)
+	if cs.res.Time[power.C0Halt] != c1EntryDelay {
+		t.Errorf("C0-halt = %v, want %v", cs.res.Time[power.C0Halt], c1EntryDelay)
+	}
+	if cs.res.Time[power.C1] != 10*sim.Microsecond-c1EntryDelay {
+		t.Errorf("C1 = %v", cs.res.Time[power.C1])
+	}
+
+	// A short halt never reaches C1.
+	cs2 := s.cores[0]
+	before := cs2.res.Time[power.C1]
+	s.chargeWait(cs2, 20*sim.Microsecond, 20*sim.Microsecond+c1EntryDelay/2)
+	if cs2.res.Time[power.C1] != before {
+		t.Error("short halt booked C1 time")
+	}
+}
+
+func TestMonitorOverProvisionedForLargeQueueCounts(t *testing.T) {
+	cfg := base()
+	cfg.Plane = HyperPlane
+	cfg.Queues = 2000 // beyond the default 1024-entry monitoring set
+	s := mustNew(t, cfg)
+	defer s.eng.Shutdown()
+	if s.mon.Capacity() < 2100 {
+		t.Errorf("monitoring set capacity = %d for 2000 queues", s.mon.Capacity())
+	}
+	if s.mon.Occupancy() != 2000 {
+		t.Errorf("occupancy = %d", s.mon.Occupancy())
+	}
+}
+
+func TestSaturatePrimesOnlyHotQueues(t *testing.T) {
+	cfg := base()
+	cfg.Shape = traffic.NC
+	cfg.Queues = 200
+	s := mustNew(t, cfg)
+	defer s.eng.Shutdown()
+	for q := 0; q < 100; q++ {
+		if s.queues[q].Len() != refillDepth {
+			t.Fatalf("hot queue %d primed with %d", q, s.queues[q].Len())
+		}
+	}
+	for q := 100; q < 200; q++ {
+		if s.queues[q].Len() != 0 {
+			t.Fatalf("cold queue %d primed", q)
+		}
+	}
+}
+
+func TestNominalCapacity(t *testing.T) {
+	cfg := base()
+	cfg.Cores = 4
+	// packet-encapsulation: 1.3us mean -> ~769k/s/core -> ~3.08M/s for 4.
+	got := cfg.NominalCapacity()
+	if got < 3.0e6 || got > 3.2e6 {
+		t.Errorf("nominal capacity = %.3g", got)
+	}
+}
+
+func TestResultContainsMemAndCDF(t *testing.T) {
+	cfg := base()
+	cfg.Plane = HyperPlane
+	cfg.Mode = OpenLoop
+	cfg.Load = 0.4
+	cfg.Duration = 5 * sim.Millisecond
+	r := run(t, cfg)
+	if len(r.Mem) != cfg.Cores+1 {
+		t.Errorf("mem stats entries = %d", len(r.Mem))
+	}
+	if r.Mem[0].Accesses == 0 {
+		t.Error("core 0 recorded no memory accesses")
+	}
+	if len(r.CDF) == 0 {
+		t.Error("no latency CDF in open-loop result")
+	}
+	for i := 1; i < len(r.CDF); i++ {
+		if r.CDF[i].Value < r.CDF[i-1].Value {
+			t.Fatal("CDF not monotone")
+		}
+	}
+}
+
+func TestBurstyProducerRuns(t *testing.T) {
+	cfg := base()
+	cfg.Plane = HyperPlane
+	cfg.Mode = OpenLoop
+	cfg.Load = 0.3
+	cfg.Burstiness = 4
+	cfg.Duration = 10 * sim.Millisecond
+	r := run(t, cfg)
+	if r.Completed == 0 {
+		t.Fatal("bursty producer delivered nothing")
+	}
+	// Validation rejects sub-1 burstiness.
+	cfg.Burstiness = 0.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("burstiness 0.5 accepted")
+	}
+}
+
+func TestBurstinessRaisesTail(t *testing.T) {
+	p99 := func(burst float64) sim.Time {
+		cfg := base()
+		cfg.Plane = HyperPlane
+		cfg.Queues = 64
+		cfg.Shape = traffic.PC
+		cfg.Mode = OpenLoop
+		cfg.Load = 0.5
+		cfg.Burstiness = burst
+		cfg.Duration = 20 * sim.Millisecond
+		cfg.Warmup = 2 * sim.Millisecond
+		return run(t, cfg).P99Latency
+	}
+	if plain, bursty := p99(1), p99(6); bursty < plain*2 {
+		t.Errorf("burstiness 6 P99 (%v) not well above Poisson (%v)", bursty, plain)
+	}
+}
+
+func TestBankedMonitorIntegration(t *testing.T) {
+	// A banked monitoring set must behave identically to the unified one at
+	// the data plane level.
+	through := func(banks int) (float64, int64) {
+		cfg := base()
+		cfg.Plane = HyperPlane
+		cfg.Queues = 256
+		cfg.Shape = traffic.PC
+		cfg.MonitorBanks = banks
+		r := run(t, cfg)
+		return r.ThroughputMTasks, r.Monitor.Activations
+	}
+	uniThr, uniAct := through(0)
+	bankThr, bankAct := through(4)
+	if bankAct == 0 || uniAct == 0 {
+		t.Fatal("no activations")
+	}
+	if bankThr < uniThr*0.95 || bankThr > uniThr*1.05 {
+		t.Errorf("banked throughput %.3f deviates from unified %.3f", bankThr, uniThr)
+	}
+	cfg := base()
+	cfg.MonitorBanks = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative banks accepted")
+	}
+}
+
+func TestDriverAssignsDoorbellsWithinSnoopRange(t *testing.T) {
+	cfg := base()
+	cfg.Plane = HyperPlane
+	cfg.Queues = 1000
+	s := mustNew(t, cfg)
+	defer s.eng.Shutdown()
+	lo, hi := s.drv.Range()
+	seen := map[mem.Addr]bool{}
+	for q := 0; q < cfg.Queues; q++ {
+		a := s.queues[q].Doorbell
+		if a < lo || a >= hi {
+			t.Fatalf("queue %d doorbell %#x outside driver range", q, a)
+		}
+		if seen[a] {
+			t.Fatalf("doorbell %#x assigned twice", a)
+		}
+		seen[a] = true
+		if got, ok := s.mon.(interface {
+			Lookup(mem.Addr) (int, bool)
+		}); ok {
+			if qid, found := got.Lookup(a); !found || qid != q {
+				t.Fatalf("monitoring set lookup for queue %d failed", q)
+			}
+		}
+	}
+	if s.drv.Connected() != cfg.Queues {
+		t.Errorf("driver connected = %d", s.drv.Connected())
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// Simulator-wide invariant: every enqueued item is either completed,
+	// still queued, or in flight on a core (at most Cores x BatchSize).
+	for _, tc := range []struct {
+		plane   PlaneKind
+		cores   int
+		cluster int
+		batch   int
+	}{
+		{Spinning, 1, 1, 1},
+		{MWait, 1, 1, 1},
+		{HyperPlane, 1, 1, 1},
+		{HyperPlane, 4, 4, 1},
+		{HyperPlane, 4, 2, 4},
+		{Spinning, 4, 4, 2},
+	} {
+		cfg := base()
+		cfg.Plane = tc.plane
+		cfg.Cores = tc.cores
+		cfg.ClusterSize = tc.cluster
+		cfg.BatchSize = tc.batch
+		cfg.Queues = 64
+		cfg.Shape = traffic.PC
+		cfg.Mode = OpenLoop
+		cfg.Load = 0.6
+		cfg.Duration = 8 * sim.Millisecond
+		cfg.Warmup = sim.Millisecond
+		s := mustNew(t, cfg)
+		s.eng.At(cfg.Warmup, s.startMeasure)
+		s.eng.At(cfg.Warmup+cfg.Duration, func() { s.finalize(); s.eng.Stop() })
+		s.eng.Run(sim.MaxTime)
+		s.eng.Shutdown()
+
+		var queued int64
+		for _, q := range s.queues {
+			queued += int64(q.Len())
+		}
+		inFlight := int64(s.seq) - s.totalDone - queued
+		if inFlight < 0 {
+			t.Errorf("%+v: more completions than arrivals (%d)", tc, inFlight)
+		}
+		if maxFlight := int64(tc.cores * tc.batch); inFlight > maxFlight {
+			t.Errorf("%+v: %d items unaccounted for (max in-flight %d)", tc, inFlight, maxFlight)
+		}
+	}
+}

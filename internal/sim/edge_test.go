@@ -1,0 +1,156 @@
+package sim
+
+import "testing"
+
+func TestRunResumableAcrossHorizons(t *testing.T) {
+	e := NewEngine()
+	ticks := 0
+	e.Go("ticker", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(10 * Nanosecond)
+			ticks++
+		}
+	})
+	e.Run(35 * Nanosecond)
+	if ticks != 3 {
+		t.Fatalf("ticks after first horizon = %d", ticks)
+	}
+	e.Run(200 * Nanosecond)
+	if ticks != 10 {
+		t.Fatalf("ticks after second horizon = %d", ticks)
+	}
+	e.Shutdown()
+}
+
+func TestZeroSleepYields(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Go("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Sleep(0)
+		order = append(order, "a2")
+	})
+	e.Go("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	e.Run(MaxTime)
+	// a's zero-length sleep must let b run before a resumes.
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestNegativeSleepPanics(t *testing.T) {
+	e := NewEngine()
+	recovered := false
+	e.Go("bad", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				recovered = true
+				panic(errKilled) // unwind cooperatively after observing
+			}
+		}()
+		p.Sleep(-Nanosecond)
+	})
+	e.Run(MaxTime)
+	if !recovered {
+		t.Fatal("negative sleep did not panic")
+	}
+}
+
+func TestSignalFIFOOrder(t *testing.T) {
+	e := NewEngine()
+	s := e.NewSignal("fifo")
+	var woken []int
+	for i := 0; i < 4; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			// Stagger arrival so waiter order is deterministic.
+			p.Sleep(Time(i) * Nanosecond)
+			p.WaitSignal(s)
+			woken = append(woken, i)
+		})
+	}
+	e.At(100*Nanosecond, func() {
+		for i := 0; i < 4; i++ {
+			s.Fire(nil)
+		}
+	})
+	e.Run(MaxTime)
+	for i := range woken {
+		if woken[i] != i {
+			t.Fatalf("wake order = %v, want FIFO", woken)
+		}
+	}
+}
+
+func TestSignalFireDoesNotPreempt(t *testing.T) {
+	// Fire from within a running process must not run the waiter inline.
+	e := NewEngine()
+	s := e.NewSignal("defer")
+	var order []string
+	e.Go("waiter", func(p *Proc) {
+		p.WaitSignal(s)
+		order = append(order, "waiter")
+	})
+	e.Go("firer", func(p *Proc) {
+		p.Sleep(Nanosecond)
+		s.Fire(nil)
+		order = append(order, "firer-after-fire")
+	})
+	e.Run(MaxTime)
+	if len(order) != 2 || order[0] != "firer-after-fire" {
+		t.Fatalf("order = %v; Fire must not preempt the caller", order)
+	}
+}
+
+func TestProcFinishedAndName(t *testing.T) {
+	e := NewEngine()
+	p := e.Go("named", func(p *Proc) {
+		if p.Name() != "named" {
+			t.Error("name")
+		}
+		if p.Engine() != e {
+			t.Error("engine")
+		}
+		p.Sleep(Nanosecond)
+	})
+	if p.Finished() {
+		t.Error("finished before run")
+	}
+	e.Run(MaxTime)
+	if !p.Finished() {
+		t.Error("not finished after run")
+	}
+}
+
+func TestShutdownTwice(t *testing.T) {
+	e := NewEngine()
+	s := e.NewSignal("x")
+	e.Go("stuck", func(p *Proc) { p.WaitSignal(s) })
+	e.Run(Microsecond)
+	e.Shutdown()
+	e.Shutdown() // idempotent
+	if e.LiveProcs() != 0 {
+		t.Error("procs after double shutdown")
+	}
+}
+
+func TestCancelSleepViaShutdown(t *testing.T) {
+	// A proc sleeping when Shutdown hits must unwind, and its pending
+	// timer event must not fire afterwards.
+	e := NewEngine()
+	fired := false
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(10 * Microsecond)
+		fired = true
+	})
+	e.Run(Microsecond)
+	e.Shutdown()
+	if fired {
+		t.Error("sleeper resumed after shutdown")
+	}
+}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback in virtual time.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among events at the same instant
+	fn  func()
+	idx int // heap index; -1 when cancelled or popped
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// Cancelled reports whether the event has already fired or been cancelled.
+func (id EventID) Cancelled() bool { return id.ev == nil || id.ev.idx < 0 }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulation engine.
+//
+// All access to an Engine must happen from simulation context: either from
+// event callbacks or from processes started with Go. The engine runs exactly
+// one process or callback at a time, so no additional synchronization is
+// needed inside simulation code.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	procs   int // live (not yet finished) processes
+	live    []*Proc
+	stopped bool
+	running bool
+}
+
+// NewEngine returns an engine with virtual time at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it indicates a modelling bug, not a recoverable condition.
+func (e *Engine) At(t Time, fn func()) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return EventID{ev: ev}
+}
+
+// After schedules fn to run after delay d.
+func (e *Engine) After(d Time, fn func()) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(id EventID) {
+	if id.ev == nil || id.ev.idx < 0 {
+		return
+	}
+	heap.Remove(&e.events, id.ev.idx)
+	id.ev.idx = -1
+}
+
+// Stop ends the simulation: Run returns once the current callback or process
+// step completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Run executes events in time order until the horizon is reached, Stop is
+// called, or no events remain. It returns the virtual time at which the run
+// ended. Run(MaxTime) runs to quiescence.
+func (e *Engine) Run(horizon Time) Time {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for !e.stopped && len(e.events) > 0 {
+		next := e.events[0]
+		if next.at > horizon {
+			e.now = horizon
+			return e.now
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		next.fn()
+	}
+	if e.now < horizon && horizon != MaxTime {
+		e.now = horizon
+	}
+	return e.now
+}
+
+// Pending returns the number of scheduled events (for tests and diagnostics).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// LiveProcs returns the number of processes whose bodies have not returned.
+func (e *Engine) LiveProcs() int { return e.procs }
+
+// Shutdown unwinds every live process goroutine. It must be called after Run
+// returns (never from simulation context) and is required before discarding
+// an engine whose processes may still be parked, to avoid leaking goroutines
+// across many simulation runs.
+func (e *Engine) Shutdown() {
+	if e.running {
+		panic("sim: Shutdown called from simulation context")
+	}
+	for _, p := range e.live {
+		if !p.finished && p.parked {
+			p.dispatch(wakeMsg{kill: true})
+		}
+	}
+	e.live = nil
+	e.events = nil
+}

@@ -1,0 +1,392 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{Nanosecond, "1ns"},
+		{1500 * Nanosecond, "1.5us"},
+		{Millisecond, "1ms"},
+		{2 * Second, "2s"},
+		{MaxTime, "inf"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromMicroseconds(2.5); got != 2500*Nanosecond {
+		t.Errorf("FromMicroseconds(2.5) = %v", got)
+	}
+	if got := FromNanoseconds(0.5); got != 500*Picosecond {
+		t.Errorf("FromNanoseconds(0.5) = %v", got)
+	}
+	if got := FromSeconds(1e-6); got != Microsecond {
+		t.Errorf("FromSeconds(1e-6) = %v", got)
+	}
+	if got := (3 * Microsecond).Microseconds(); got != 3.0 {
+		t.Errorf("Microseconds = %v", got)
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := NewClock(3.0) // 3 GHz -> 333ps period (rounded)
+	if c.Period() != 333*Picosecond {
+		t.Fatalf("period = %v, want 333ps", c.Period())
+	}
+	if got := c.Cycles(50); got != 50*333*Picosecond {
+		t.Errorf("Cycles(50) = %v", got)
+	}
+	if got := c.ToCycles(Microsecond); got != 3003 {
+		t.Errorf("ToCycles(1us) = %d", got)
+	}
+	c2 := NewClock(2.0)
+	if c2.Period() != 500*Picosecond {
+		t.Errorf("2GHz period = %v", c2.Period())
+	}
+}
+
+func TestClockInvalidFrequency(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewClock(0) did not panic")
+		}
+	}()
+	NewClock(0)
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30*Nanosecond, func() { order = append(order, 3) })
+	e.At(10*Nanosecond, func() { order = append(order, 1) })
+	e.At(20*Nanosecond, func() { order = append(order, 2) })
+	e.At(10*Nanosecond, func() { order = append(order, 11) }) // FIFO tie-break
+	end := e.Run(MaxTime)
+	if end != 30*Nanosecond {
+		t.Errorf("end time = %v", end)
+	}
+	want := []int{1, 11, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(100*Nanosecond, func() { fired = true })
+	end := e.Run(50 * Nanosecond)
+	if fired {
+		t.Error("event beyond horizon fired")
+	}
+	if end != 50*Nanosecond {
+		t.Errorf("end = %v, want 50ns", end)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+	// Resume past the event.
+	end = e.Run(200 * Nanosecond)
+	if !fired {
+		t.Error("event did not fire on resumed run")
+	}
+	if end != 200*Nanosecond {
+		t.Errorf("end = %v", end)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id := e.After(10*Nanosecond, func() { fired = true })
+	if id.Cancelled() {
+		t.Error("fresh event reports cancelled")
+	}
+	e.Cancel(id)
+	if !id.Cancelled() {
+		t.Error("cancelled event does not report cancelled")
+	}
+	e.Cancel(id) // double-cancel is a no-op
+	e.Run(MaxTime)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count == 5 {
+			e.Stop()
+			return
+		}
+		e.After(Nanosecond, tick)
+	}
+	e.After(Nanosecond, tick)
+	e.Run(MaxTime)
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if !e.Stopped() {
+		t.Error("engine not stopped")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10*Nanosecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5*Nanosecond, func() {})
+	})
+	e.Run(MaxTime)
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine()
+	var wakes []Time
+	e.Go("sleeper", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10 * Nanosecond)
+			wakes = append(wakes, p.Now())
+		}
+	})
+	e.Run(MaxTime)
+	want := []Time{10 * Nanosecond, 20 * Nanosecond, 30 * Nanosecond}
+	if len(wakes) != 3 {
+		t.Fatalf("wakes = %v", wakes)
+	}
+	for i := range want {
+		if wakes[i] != want[i] {
+			t.Errorf("wake %d = %v, want %v", i, wakes[i], want[i])
+		}
+	}
+	if e.LiveProcs() != 0 {
+		t.Errorf("live procs = %d", e.LiveProcs())
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	mk := func(name string, period Time) {
+		e.Go(name, func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Sleep(period)
+				trace = append(trace, name)
+			}
+		})
+	}
+	mk("a", 10*Nanosecond)
+	mk("b", 15*Nanosecond)
+	e.Run(MaxTime)
+	// a wakes at 10, 20, 30; b wakes at 15, 30, 45. At t=30 b's wake event
+	// was scheduled earlier (at t=15) than a's (at t=20), so b runs first.
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestSignalFire(t *testing.T) {
+	e := NewEngine()
+	s := e.NewSignal("work")
+	var got any
+	e.Go("waiter", func(p *Proc) {
+		got = p.WaitSignal(s)
+	})
+	e.Go("firer", func(p *Proc) {
+		p.Sleep(100 * Nanosecond)
+		if !s.Fire(42) {
+			t.Error("Fire found no waiter")
+		}
+	})
+	e.Run(MaxTime)
+	if got != 42 {
+		t.Errorf("signal data = %v, want 42", got)
+	}
+}
+
+func TestSignalTimeout(t *testing.T) {
+	e := NewEngine()
+	s := e.NewSignal("never")
+	var ok bool
+	var at Time
+	e.Go("waiter", func(p *Proc) {
+		_, ok = p.WaitSignalTimeout(s, 50*Nanosecond)
+		at = p.Now()
+	})
+	e.Run(MaxTime)
+	if ok {
+		t.Error("wait did not time out")
+	}
+	if at != 50*Nanosecond {
+		t.Errorf("timed out at %v", at)
+	}
+	if s.Waiters() != 0 {
+		t.Errorf("stale waiters: %d", s.Waiters())
+	}
+}
+
+func TestSignalTimeoutRace(t *testing.T) {
+	// A fire and a timeout at the same instant: the fire is scheduled first
+	// and must win; the stale timeout must not double-wake.
+	e := NewEngine()
+	s := e.NewSignal("race")
+	wakes := 0
+	var ok bool
+	e.Go("waiter", func(p *Proc) {
+		_, ok = p.WaitSignalTimeout(s, 50*Nanosecond)
+		wakes++
+	})
+	e.At(50*Nanosecond, func() { s.Fire("x") })
+	e.Run(MaxTime)
+	if wakes != 1 {
+		t.Fatalf("wakes = %d", wakes)
+	}
+	if !ok {
+		t.Error("fire at deadline should win over timeout (scheduled first)")
+	}
+}
+
+func TestSignalFireAll(t *testing.T) {
+	e := NewEngine()
+	s := e.NewSignal("broadcast")
+	woken := 0
+	for i := 0; i < 5; i++ {
+		e.Go("w", func(p *Proc) {
+			p.WaitSignal(s)
+			woken++
+		})
+	}
+	e.At(10*Nanosecond, func() {
+		if n := s.FireAll("go"); n != 5 {
+			t.Errorf("FireAll woke %d", n)
+		}
+	})
+	e.Run(MaxTime)
+	if woken != 5 {
+		t.Errorf("woken = %d", woken)
+	}
+}
+
+func TestSignalFireNoWaiters(t *testing.T) {
+	e := NewEngine()
+	s := e.NewSignal("empty")
+	if s.Fire(nil) {
+		t.Error("Fire with no waiters returned true")
+	}
+	if n := s.FireAll(nil); n != 0 {
+		t.Errorf("FireAll with no waiters woke %d", n)
+	}
+}
+
+func TestShutdownUnwindsParkedProcs(t *testing.T) {
+	e := NewEngine()
+	s := e.NewSignal("never")
+	cleaned := false
+	e.Go("stuck", func(p *Proc) {
+		defer func() { cleaned = true }()
+		p.WaitSignal(s)
+		t.Error("stuck proc should never resume")
+	})
+	e.Run(Microsecond)
+	if e.LiveProcs() != 1 {
+		t.Fatalf("live procs = %d", e.LiveProcs())
+	}
+	e.Shutdown()
+	if e.LiveProcs() != 0 {
+		t.Errorf("live procs after shutdown = %d", e.LiveProcs())
+	}
+	if !cleaned {
+		t.Error("deferred cleanup did not run on kill")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine()
+		g := NewRNG(7, 0)
+		var arrivals []Time
+		e.Go("poisson", func(p *Proc) {
+			for i := 0; i < 100; i++ {
+				p.Sleep(g.Exp(Microsecond))
+				arrivals = append(arrivals, p.Now())
+			}
+		})
+		e.Run(MaxTime)
+		return arrivals
+	}
+	a, b := run(), run()
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRNGStreamsIndependent(t *testing.T) {
+	a := NewRNG(1, 0)
+	b := NewRNG(1, 1)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("streams collide %d/64 times", same)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	g := NewRNG(42, 3)
+	const n = 200000
+	mean := 10 * Microsecond
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(g.Exp(mean))
+	}
+	got := sum / n / float64(Microsecond)
+	if got < 9.8 || got > 10.2 {
+		t.Errorf("empirical mean = %.3fus, want ~10us", got)
+	}
+}
+
+func TestRNGNormalClamped(t *testing.T) {
+	g := NewRNG(9, 4)
+	for i := 0; i < 10000; i++ {
+		if d := g.Normal(Nanosecond, 100*Nanosecond); d < 0 {
+			t.Fatal("Normal returned negative duration")
+		}
+	}
+}

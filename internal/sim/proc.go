@@ -1,0 +1,137 @@
+package sim
+
+import "errors"
+
+// errKilled is panicked inside a process goroutine to unwind it when the
+// engine shuts down. It never escapes the package.
+var errKilled = errors.New("sim: process killed")
+
+// wakeMsg carries the reason a parked process is resumed.
+type wakeMsg struct {
+	kill    bool
+	timeout bool
+	data    any
+}
+
+// Proc is a simulated process: a goroutine that runs cooperatively under the
+// engine. At any instant at most one process (or event callback) executes, so
+// process bodies need no synchronization and runs are deterministic.
+//
+// All Proc methods must be called from the process's own body.
+type Proc struct {
+	eng      *Engine
+	name     string
+	resume   chan wakeMsg
+	yield    chan struct{}
+	gen      uint64 // park generation; guards against stale wake-ups
+	parked   bool
+	claimed  bool // a waker has committed to waking this park generation
+	finished bool
+}
+
+// Go starts a new process whose body begins executing at the current virtual
+// time (after the caller returns to the engine).
+func (e *Engine) Go(name string, body func(*Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan wakeMsg),
+		yield:  make(chan struct{}),
+		parked: true,
+	}
+	e.procs++
+	e.live = append(e.live, p)
+	go func() {
+		defer func() {
+			p.finished = true
+			p.eng.procs--
+			r := recover()
+			if r != nil && r != errKilled {
+				// Re-panic on the engine goroutine would be nicer, but the
+				// stack trace here is what identifies the bug.
+				panic(r)
+			}
+			p.yield <- struct{}{}
+		}()
+		msg := <-p.resume
+		if msg.kill {
+			panic(errKilled)
+		}
+		body(p)
+	}()
+	startGen := p.gen
+	e.At(e.now, func() { p.tryWake(startGen, wakeMsg{}) })
+	return p
+}
+
+// dispatch hands control to the process until it parks again or finishes.
+// It must run on the engine goroutine (inside an event callback).
+func (p *Proc) dispatch(msg wakeMsg) {
+	p.parked = false
+	p.resume <- msg
+	<-p.yield
+}
+
+// claim commits the caller to waking park generation gen. Exactly one waker
+// can claim a given park; losers (e.g. a timeout racing a signal fire at the
+// same instant) get false and must drop their wake-up.
+func (p *Proc) claim(gen uint64) bool {
+	if p.finished || !p.parked || p.gen != gen || p.claimed {
+		return false
+	}
+	p.claimed = true
+	return true
+}
+
+// tryWake resumes the process if it is still parked on generation gen and no
+// other waker has claimed it. It must run on the engine goroutine.
+func (p *Proc) tryWake(gen uint64, msg wakeMsg) {
+	if !p.claim(gen) {
+		return
+	}
+	p.dispatch(msg)
+}
+
+// park suspends the process until some waker dispatches it.
+func (p *Proc) park() wakeMsg {
+	p.parked = true
+	p.claimed = false
+	p.gen++
+	p.yield <- struct{}{}
+	msg := <-p.resume
+	if msg.kill {
+		panic(errKilled)
+	}
+	return msg
+}
+
+// nextGen returns the generation the next park will have; wakers registered
+// before parking must capture it.
+func (p *Proc) nextGen() uint64 { return p.gen + 1 }
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine the process runs under.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Sleep suspends the process for duration d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	if d == 0 {
+		// Still yield through the event queue so same-time events interleave
+		// fairly.
+		d = 0
+	}
+	gen := p.nextGen()
+	p.eng.After(d, func() { p.tryWake(gen, wakeMsg{}) })
+	p.park()
+}
+
+// Finished reports whether the process body has returned.
+func (p *Proc) Finished() bool { return p.finished }

@@ -1,0 +1,98 @@
+package sim
+
+// Signal is a broadcast/wake-one rendezvous for processes, analogous to a
+// condition variable in virtual time. Processes block on it with
+// Proc.WaitSignal; other simulation code wakes them with Fire or FireAll.
+//
+// Wake-ups are delivered through the event queue at the current instant, so
+// firing a signal never runs another process in the middle of the caller.
+type Signal struct {
+	eng     *Engine
+	name    string
+	waiters []sigWaiter
+}
+
+type sigWaiter struct {
+	p   *Proc
+	gen uint64
+}
+
+// NewSignal creates a signal bound to the engine.
+func (e *Engine) NewSignal(name string) *Signal {
+	return &Signal{eng: e, name: name}
+}
+
+// Waiters returns the number of processes currently blocked on the signal.
+func (s *Signal) Waiters() int { return len(s.waiters) }
+
+// Fire wakes the longest-waiting process, passing it data. It returns true
+// if a waiter was woken, false if nobody was waiting (the signal is not
+// latched: a Fire with no waiters is lost, exactly like a condition variable
+// notify).
+func (s *Signal) Fire(data any) bool {
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		// Claim immediately so a timeout at the same instant cannot steal the
+		// wake-up; deliver the dispatch through the event queue so firing
+		// never runs another process in the middle of the caller.
+		if !w.p.claim(w.gen) {
+			continue
+		}
+		s.eng.At(s.eng.now, func() { w.p.dispatch(wakeMsg{data: data}) })
+		return true
+	}
+	return false
+}
+
+// FireAll wakes every waiting process, passing each the same data. It returns
+// the number of processes woken.
+func (s *Signal) FireAll(data any) int {
+	n := 0
+	for len(s.waiters) > 0 {
+		if s.Fire(data) {
+			n++
+		}
+	}
+	return n
+}
+
+// remove deletes p from the waiter list (after a timeout fired).
+func (s *Signal) remove(p *Proc) {
+	for i, w := range s.waiters {
+		if w.p == p {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// WaitSignal blocks the process until the signal fires for it, returning the
+// data passed to Fire/FireAll.
+func (p *Proc) WaitSignal(s *Signal) any {
+	data, _ := p.waitSignal(s, -1)
+	return data
+}
+
+// WaitSignalTimeout blocks until the signal fires or d elapses. ok is false
+// on timeout.
+func (p *Proc) WaitSignalTimeout(s *Signal, d Time) (data any, ok bool) {
+	return p.waitSignal(s, d)
+}
+
+func (p *Proc) waitSignal(s *Signal, d Time) (any, bool) {
+	gen := p.nextGen()
+	s.waiters = append(s.waiters, sigWaiter{p: p, gen: gen})
+	var timeoutEv EventID
+	if d >= 0 {
+		timeoutEv = p.eng.After(d, func() {
+			s.remove(p)
+			p.tryWake(gen, wakeMsg{timeout: true})
+		})
+	}
+	msg := p.park()
+	if d >= 0 {
+		p.eng.Cancel(timeoutEv)
+	}
+	return msg.data, !msg.timeout
+}

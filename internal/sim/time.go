@@ -1,0 +1,109 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine replaces the gem5 full-system simulation used by the HyperPlane
+// paper (MICRO 2020). It offers picosecond-resolution virtual time, an event
+// heap, and a cooperative process model in which each simulated actor (a data
+// plane core, a traffic source, an I/O device) runs as a goroutine that is
+// scheduled one-at-a-time by the engine, making runs fully deterministic for
+// a given seed.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is a point in (or duration of) virtual time, in picoseconds.
+//
+// Picoseconds let us represent sub-nanosecond quantities such as clock cycles
+// at multi-GHz frequencies and the paper's 12.25 ns ready-set latency without
+// floating-point drift.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond       = 1000 * Picosecond
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable Time; used as an "infinite" deadline.
+const MaxTime = Time(math.MaxInt64)
+
+// Nanoseconds returns t as a floating-point number of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds returns t as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds returns t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an auto-selected unit.
+func (t Time) String() string {
+	switch {
+	case t == MaxTime:
+		return "inf"
+	case t < 0:
+		return fmt.Sprintf("-%s", -t)
+	case t < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%.3gns", t.Nanoseconds())
+	case t < Millisecond:
+		return fmt.Sprintf("%.4gus", t.Microseconds())
+	case t < Second:
+		return fmt.Sprintf("%.4gms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.4gs", t.Seconds())
+	}
+}
+
+// FromNanoseconds converts a floating-point nanosecond count to Time,
+// rounding to the nearest picosecond.
+func FromNanoseconds(ns float64) Time {
+	return Time(math.Round(ns * float64(Nanosecond)))
+}
+
+// FromMicroseconds converts a floating-point microsecond count to Time.
+func FromMicroseconds(us float64) Time {
+	return Time(math.Round(us * float64(Microsecond)))
+}
+
+// FromSeconds converts a floating-point second count to Time.
+func FromSeconds(s float64) Time {
+	return Time(math.Round(s * float64(Second)))
+}
+
+// Clock converts between CPU cycles and Time at a fixed frequency.
+type Clock struct {
+	period Time // picoseconds per cycle
+}
+
+// NewClock returns a Clock running at the given frequency in GHz.
+// A 3 GHz clock has a period of 333 ps (rounded).
+func NewClock(freqGHz float64) Clock {
+	if freqGHz <= 0 {
+		panic("sim: clock frequency must be positive")
+	}
+	return Clock{period: Time(math.Round(1000.0 / freqGHz))}
+}
+
+// Period returns the duration of one cycle.
+func (c Clock) Period() Time { return c.period }
+
+// Cycles returns the duration of n cycles.
+func (c Clock) Cycles(n int64) Time { return Time(n) * c.period }
+
+// ToCycles converts a duration to a (truncated) cycle count.
+func (c Clock) ToCycles(t Time) int64 {
+	if c.period == 0 {
+		return 0
+	}
+	return int64(t / c.period)
+}
+
+// FreqGHz reports the clock frequency in GHz.
+func (c Clock) FreqGHz() float64 { return 1000.0 / float64(c.period) }

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a log-bucketed (HDR-style) histogram for long simulation
+// runs where retaining raw samples would be too costly. Buckets grow
+// geometrically, giving a bounded relative error on percentile queries
+// while using constant memory.
+type Histogram struct {
+	min     float64 // lower bound of bucket 0
+	growth  float64 // bucket width ratio
+	logG    float64
+	buckets []int64
+	under   int64 // observations below min
+	count   int64
+	sum     float64
+	maxSeen float64
+}
+
+// NewHistogram builds a histogram covering [min, max] with the given
+// relative precision (e.g. 0.05 for 5% bucket growth).
+func NewHistogram(min, max, precision float64) *Histogram {
+	if min <= 0 || max <= min {
+		panic(fmt.Sprintf("stats: histogram bounds must satisfy 0 < min < max, got [%v, %v]", min, max))
+	}
+	if precision <= 0 || precision >= 1 {
+		panic(fmt.Sprintf("stats: histogram precision must be in (0,1), got %v", precision))
+	}
+	growth := 1 + precision
+	n := int(math.Ceil(math.Log(max/min)/math.Log(growth))) + 1
+	return &Histogram{
+		min:     min,
+		growth:  growth,
+		logG:    math.Log(growth),
+		buckets: make([]int64, n),
+	}
+}
+
+// bucketOf maps a value to its bucket index (clamped to the last bucket).
+func (h *Histogram) bucketOf(x float64) int {
+	i := int(math.Log(x/h.min) / h.logG)
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	return i
+}
+
+// Add records an observation.
+func (h *Histogram) Add(x float64) {
+	h.count++
+	h.sum += x
+	if x > h.maxSeen {
+		h.maxSeen = x
+	}
+	if x < h.min {
+		h.under++
+		return
+	}
+	h.buckets[h.bucketOf(x)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the exact mean of all observations.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Max returns the exact maximum observation.
+func (h *Histogram) Max() float64 { return h.maxSeen }
+
+// Percentile returns the p-th percentile (0-100) with the histogram's
+// relative precision: the geometric midpoint of the bucket containing the
+// rank.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.count)))
+	if rank <= h.under {
+		return h.min / 2 // below-range bucket midpoint approximation
+	}
+	seen := h.under
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			lo := h.min * math.Pow(h.growth, float64(i))
+			return lo * math.Sqrt(h.growth) // geometric bucket midpoint
+		}
+	}
+	return h.maxSeen
+}
+
+// Merge folds other (which must share bounds and precision) into h.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other.min != h.min || other.growth != h.growth || len(other.buckets) != len(h.buckets) {
+		return fmt.Errorf("stats: merging incompatible histograms")
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.under += other.under
+	h.count += other.count
+	h.sum += other.sum
+	if other.maxSeen > h.maxSeen {
+		h.maxSeen = other.maxSeen
+	}
+	return nil
+}
+
+// Reset discards all observations.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.under, h.count = 0, 0
+	h.sum, h.maxSeen = 0, 0
+}
+
+// String renders a compact summary for logs.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.4g p50=%.4g p99=%.4g max=%.4g",
+		h.count, h.Mean(), h.Percentile(50), h.Percentile(99), h.maxSeen)
+	return b.String()
+}

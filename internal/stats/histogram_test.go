@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(1, 1e6, 0.01)
+	for i := 1; i <= 10000; i++ {
+		h.Add(float64(i))
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if !almostEq(h.Mean(), 5000.5, 1e-9) {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	if h.Max() != 10000 {
+		t.Errorf("max = %v", h.Max())
+	}
+	// Percentiles within the configured 1% relative precision (plus bucket
+	// midpoint slack: allow 2%).
+	for _, p := range []float64{10, 50, 90, 99} {
+		want := p / 100 * 10000
+		got := h.Percentile(p)
+		if math.Abs(got-want) > want*0.02 {
+			t.Errorf("P%v = %v, want ~%v", p, got, want)
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1, 100, 0.1)
+	if h.Percentile(50) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramUnderflowAndClamp(t *testing.T) {
+	h := NewHistogram(10, 1000, 0.1)
+	h.Add(1)   // below range
+	h.Add(1e9) // above range: clamped to last bucket
+	h.Add(100)
+	if h.Count() != 3 {
+		t.Fatal("count")
+	}
+	if got := h.Percentile(1); got >= 10 {
+		t.Errorf("underflow percentile = %v", got)
+	}
+	if h.Max() != 1e9 {
+		t.Error("max must stay exact despite clamping")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(1, 1e4, 0.05)
+	b := NewHistogram(1, 1e4, 0.05)
+	all := NewHistogram(1, 1e4, 0.05)
+	for i := 1; i <= 1000; i++ {
+		x := float64(i)
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != all.Count() {
+		t.Fatal("merged count")
+	}
+	if math.Abs(a.Percentile(50)-all.Percentile(50)) > all.Percentile(50)*0.01 {
+		t.Errorf("merged P50 = %v vs %v", a.Percentile(50), all.Percentile(50))
+	}
+	c := NewHistogram(2, 1e4, 0.05)
+	if err := a.Merge(c); err == nil {
+		t.Error("incompatible merge accepted")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(1, 100, 0.1)
+	h.Add(50)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Percentile(50) != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewHistogram(0, 10, 0.1) },
+		func() { NewHistogram(10, 10, 0.1) },
+		func() { NewHistogram(1, 10, 0) },
+		func() { NewHistogram(1, 10, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+	h := NewHistogram(1, 10, 0.1)
+	h.Add(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("Percentile(-1) did not panic")
+		}
+	}()
+	h.Percentile(-1)
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(1, 100, 0.1)
+	h.Add(10)
+	if h.String() == "" {
+		t.Error("empty string")
+	}
+}
+
+// Property: histogram percentiles agree with exact sample percentiles
+// within the configured relative precision.
+func TestHistogramVsExactProperty(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram(1, 70000, 0.05)
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			x := float64(v) + 1 // keep within [1, 65536]
+			h.Add(x)
+			vals = append(vals, x)
+		}
+		sort.Float64s(vals)
+		p := float64(pRaw%99) + 1
+		// Rank-based exact percentile (the definition the histogram uses).
+		rank := int(math.Ceil(p / 100 * float64(len(vals))))
+		if rank < 1 {
+			rank = 1
+		}
+		exact := vals[rank-1]
+		approx := h.Percentile(p)
+		// The bucket containing the rank spans a 5% ratio; the geometric
+		// midpoint is within ~2.5% of any value in it.
+		return math.Abs(approx-exact) <= exact*0.05+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package stats provides the measurement primitives used by the HyperPlane
+// evaluation: streaming summaries, exact/reservoir latency percentiles, and
+// CDF extraction matching the figures in the paper (e.g. Fig. 3c).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming count/mean/variance/min/max using Welford's
+// algorithm. The zero value is ready to use.
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() int64 { return s.n }
+
+// Mean returns the running mean, or 0 with no observations.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the sample variance, or 0 with fewer than 2 observations.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// Merge folds other into s (parallel Welford merge).
+func (s *Summary) Merge(other *Summary) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	n := s.n + other.n
+	d := other.mean - s.mean
+	s.m2 += other.m2 + d*d*float64(s.n)*float64(other.n)/float64(n)
+	s.mean += d * float64(other.n) / float64(n)
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.n = n
+}
+
+// Sample stores observations for percentile and CDF queries. Below Cap it is
+// exact; beyond Cap it switches to deterministic reservoir sampling (seeded
+// by the sample's own count, so runs stay reproducible). Cap <= 0 means
+// unbounded (exact).
+type Sample struct {
+	Cap      int
+	vals     []float64
+	n        int64 // total observations, including those not retained
+	sorted   bool
+	rngState uint64
+	sum      float64
+	max      float64
+}
+
+// NewSample returns a sample retaining at most capHint observations.
+func NewSample(capHint int) *Sample {
+	return &Sample{Cap: capHint, rngState: 0x243f6a8885a308d3}
+}
+
+func (s *Sample) rand() uint64 {
+	// xorshift64*: cheap deterministic stream private to the sample.
+	x := s.rngState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	s.rngState = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.n++
+	s.sum += x
+	if s.n == 1 || x > s.max {
+		s.max = x
+	}
+	if s.Cap <= 0 || len(s.vals) < s.Cap {
+		s.vals = append(s.vals, x)
+		s.sorted = false
+		return
+	}
+	// Reservoir replacement: keep each observation with probability Cap/n.
+	if i := s.rand() % uint64(s.n); i < uint64(s.Cap) {
+		s.vals[i] = x
+		s.sorted = false
+	}
+}
+
+// Count returns the number of observations recorded (not retained).
+func (s *Sample) Count() int64 { return s.n }
+
+// Mean returns the exact mean of all observations.
+func (s *Sample) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Max returns the exact maximum of all observations.
+func (s *Sample) Max() float64 { return s.max }
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between retained order statistics.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	s.sort()
+	if len(s.vals) == 1 {
+		return s.vals[0]
+	}
+	rank := p / 100 * float64(len(s.vals)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.vals[lo]
+	}
+	frac := rank - float64(lo)
+	return s.vals[lo]*(1-frac) + s.vals[hi]*frac
+}
+
+// P50 returns the median.
+func (s *Sample) P50() float64 { return s.Percentile(50) }
+
+// P99 returns the 99th percentile, the paper's tail-latency metric.
+func (s *Sample) P99() float64 { return s.Percentile(99) }
+
+// P999 returns the 99.9th percentile.
+func (s *Sample) P999() float64 { return s.Percentile(99.9) }
+
+// CDFPoint is one point of a cumulative distribution: Pct percent of
+// observations are <= Value.
+type CDFPoint struct {
+	Value float64
+	Pct   float64
+}
+
+// CDF returns the distribution evaluated at n evenly spaced cumulative
+// probabilities, suitable for plotting (paper Fig. 3c).
+func (s *Sample) CDF(n int) []CDFPoint {
+	if len(s.vals) == 0 || n <= 0 {
+		return nil
+	}
+	s.sort()
+	pts := make([]CDFPoint, 0, n)
+	for i := 1; i <= n; i++ {
+		pct := float64(i) / float64(n) * 100
+		pts = append(pts, CDFPoint{Value: s.Percentile(pct), Pct: pct})
+	}
+	return pts
+}
+
+// Reset discards all observations but keeps the capacity.
+func (s *Sample) Reset() {
+	s.vals = s.vals[:0]
+	s.n = 0
+	s.sum = 0
+	s.max = 0
+	s.sorted = false
+}
+
+// Retained returns how many observations are currently held.
+func (s *Sample) Retained() int { return len(s.vals) }

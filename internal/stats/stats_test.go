@@ -1,0 +1,281 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.Count() != 8 {
+		t.Errorf("count = %d", s.Count())
+	}
+	if !almostEq(s.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if !almostEq(s.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("variance = %v", s.Variance())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.Stddev() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	var all, a, b Summary
+	for i := 0; i < 100; i++ {
+		x := float64(i*i%37) - 10
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if !almostEq(a.Mean(), all.Mean(), 1e-9) {
+		t.Errorf("merged mean %v vs %v", a.Mean(), all.Mean())
+	}
+	if !almostEq(a.Variance(), all.Variance(), 1e-9) {
+		t.Errorf("merged variance %v vs %v", a.Variance(), all.Variance())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Errorf("merged min/max")
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a, b Summary
+	a.Add(5)
+	a.Merge(&b) // merging empty is a no-op
+	if a.Count() != 1 || a.Mean() != 5 {
+		t.Error("merge with empty changed summary")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.Count() != 1 || b.Mean() != 5 {
+		t.Error("merge into empty did not copy")
+	}
+}
+
+func TestSamplePercentilesExact(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.P50(); !almostEq(got, 50.5, 1e-9) {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := s.P99(); !almostEq(got, 99.01, 1e-9) {
+		t.Errorf("P99 = %v", got)
+	}
+	if s.Mean() != 50.5 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if s.Max() != 100 {
+		t.Errorf("max = %v", s.Max())
+	}
+}
+
+func TestSampleSingle(t *testing.T) {
+	s := NewSample(10)
+	s.Add(42)
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := s.Percentile(p); got != 42 {
+			t.Errorf("P%v = %v", p, got)
+		}
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	s := NewSample(10)
+	if s.Percentile(50) != 0 || s.Mean() != 0 || s.Max() != 0 {
+		t.Error("empty sample should report zeros")
+	}
+	if s.CDF(10) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestSamplePercentileOutOfRange(t *testing.T) {
+	s := NewSample(0)
+	s.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Percentile(101) did not panic")
+		}
+	}()
+	s.Percentile(101)
+}
+
+func TestSampleReservoir(t *testing.T) {
+	s := NewSample(1000)
+	// Uniform 0..9999: reservoir of 1000 should estimate percentiles well.
+	for i := 0; i < 100000; i++ {
+		s.Add(float64(i % 10000))
+	}
+	if s.Retained() != 1000 {
+		t.Fatalf("retained = %d", s.Retained())
+	}
+	if s.Count() != 100000 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if got := s.P50(); got < 4200 || got > 5800 {
+		t.Errorf("reservoir P50 = %v, want ~5000", got)
+	}
+	// Mean and max stay exact regardless of the reservoir.
+	if !almostEq(s.Mean(), 4999.5, 1e-6) {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	if s.Max() != 9999 {
+		t.Errorf("max = %v", s.Max())
+	}
+}
+
+func TestSampleCDF(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 1000; i++ {
+		s.Add(float64(i))
+	}
+	cdf := s.CDF(10)
+	if len(cdf) != 10 {
+		t.Fatalf("len = %d", len(cdf))
+	}
+	for i, pt := range cdf {
+		wantPct := float64(i+1) * 10
+		if !almostEq(pt.Pct, wantPct, 1e-9) {
+			t.Errorf("point %d pct = %v", i, pt.Pct)
+		}
+		if !almostEq(pt.Value, wantPct*10, 1.0) {
+			t.Errorf("point %d value = %v, want ~%v", i, pt.Value, wantPct*10)
+		}
+	}
+	// CDF must be non-decreasing.
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Value < cdf[i-1].Value {
+			t.Fatal("CDF not monotone")
+		}
+	}
+}
+
+func TestSampleReset(t *testing.T) {
+	s := NewSample(10)
+	s.Add(1)
+	s.Add(2)
+	s.Reset()
+	if s.Count() != 0 || s.Retained() != 0 || s.Mean() != 0 || s.Max() != 0 {
+		t.Error("reset did not clear sample")
+	}
+	s.Add(7)
+	if s.P50() != 7 {
+		t.Error("sample unusable after reset")
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	run := func() float64 {
+		s := NewSample(100)
+		for i := 0; i < 10000; i++ {
+			s.Add(float64((i * 7919) % 1000))
+		}
+		return s.P99()
+	}
+	if run() != run() {
+		t.Error("reservoir sampling is not deterministic")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, a, b uint8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		s := NewSample(0)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			s.Add(x)
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		pa := float64(a % 101)
+		pb := float64(b % 101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := s.Percentile(pa), s.Percentile(pb)
+		return va <= vb && va >= lo && vb <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Summary.Merge is equivalent to adding all observations to one
+// summary.
+func TestSummaryMergeProperty(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		clean := func(in []float64) []float64 {
+			out := in[:0]
+			for _, x := range in {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+					out = append(out, x)
+				}
+			}
+			return out
+		}
+		xs, ys = clean(xs), clean(ys)
+		var a, b, all Summary
+		for _, x := range xs {
+			a.Add(x)
+			all.Add(x)
+		}
+		for _, y := range ys {
+			b.Add(y)
+			all.Add(y)
+		}
+		a.Merge(&b)
+		if a.Count() != all.Count() {
+			return false
+		}
+		if all.Count() == 0 {
+			return true
+		}
+		tol := 1e-6 * (1 + math.Abs(all.Mean()))
+		return almostEq(a.Mean(), all.Mean(), tol)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

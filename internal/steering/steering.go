@@ -1,0 +1,247 @@
+// Package steering implements the paper's "packet steering" workload: a
+// work-distribution mechanism that redirects traffic by obtaining a session
+// affinity from a hash table. Packets are classified by their 5-tuple; the
+// first packet of a flow is assigned a target worker via rendezvous
+// (highest-random-weight) hashing, and subsequent packets stick to it.
+package steering
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"hyperplane/internal/netproto"
+)
+
+// FiveTuple identifies a transport flow.
+type FiveTuple struct {
+	Src, Dst         [4]byte
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// Errors returned by the steerer.
+var (
+	ErrNotTransport = errors.New("steering: packet is not TCP or UDP")
+	ErrNoWorkers    = errors.New("steering: no workers configured")
+)
+
+// ParseFiveTuple extracts the flow key from an IPv4 TCP/UDP packet.
+func ParseFiveTuple(pkt []byte) (FiveTuple, error) {
+	var ft FiveTuple
+	h, payload, err := netproto.ParseIPv4(pkt)
+	if err != nil {
+		return ft, err
+	}
+	if h.Protocol != netproto.ProtoTCP && h.Protocol != netproto.ProtoUDP {
+		return ft, ErrNotTransport
+	}
+	if len(payload) < 4 {
+		return ft, netproto.ErrTruncated
+	}
+	ft.Src, ft.Dst = h.Src, h.Dst
+	ft.Proto = h.Protocol
+	ft.SrcPort = binary.BigEndian.Uint16(payload[0:])
+	ft.DstPort = binary.BigEndian.Uint16(payload[2:])
+	return ft, nil
+}
+
+// hash64 mixes the 5-tuple into a 64-bit flow hash (splitmix-style).
+func (ft FiveTuple) hash64() uint64 {
+	x := uint64(binary.BigEndian.Uint32(ft.Src[:]))<<32 |
+		uint64(binary.BigEndian.Uint32(ft.Dst[:]))
+	x ^= uint64(ft.SrcPort)<<24 | uint64(ft.DstPort)<<8 | uint64(ft.Proto)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// sessionEntry is one open-addressed table slot.
+type sessionEntry struct {
+	key    FiveTuple
+	hash   uint64
+	worker int
+	used   bool
+	tick   uint64 // last access, for LRU-ish eviction
+}
+
+// Steerer maps flows to workers with session affinity.
+type Steerer struct {
+	workers  []string
+	slots    []sessionEntry
+	mask     uint64
+	size     int
+	maxLoad  int
+	tick     uint64
+	hits     int64
+	misses   int64
+	evicted  int64
+	capacity int
+}
+
+// NewSteerer creates a steerer over the named workers with room for at
+// least capacity concurrent sessions.
+func NewSteerer(workers []string, capacity int) (*Steerer, error) {
+	if len(workers) == 0 {
+		return nil, ErrNoWorkers
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	// Size the table at 2x capacity, power of two, for open addressing.
+	n := 1
+	for n < capacity*2 {
+		n *= 2
+	}
+	return &Steerer{
+		workers:  append([]string(nil), workers...),
+		slots:    make([]sessionEntry, n),
+		mask:     uint64(n - 1),
+		maxLoad:  capacity,
+		capacity: capacity,
+	}, nil
+}
+
+// rendezvous picks the worker with the highest hash(flow, worker) — flows
+// spread evenly and reassignments stay minimal when the worker set changes.
+func (s *Steerer) rendezvous(h uint64) int {
+	best, bestScore := 0, uint64(0)
+	for i := range s.workers {
+		x := h ^ (uint64(i+1) * 0xda3e39cb94b95bdb)
+		x = (x ^ (x >> 33)) * 0xff51afd7ed558ccd
+		x ^= x >> 33
+		if x >= bestScore {
+			best, bestScore = i, x
+		}
+	}
+	return best
+}
+
+// Steer returns the worker index for the flow, creating the session on
+// first sight. The second return reports whether the session already
+// existed (affinity hit).
+func (s *Steerer) Steer(ft FiveTuple) (worker int, existing bool) {
+	h := ft.hash64()
+	s.tick++
+	idx := h & s.mask
+	var firstFree = -1
+	// Linear probing with a bounded scan.
+	for probe := uint64(0); probe < uint64(len(s.slots)); probe++ {
+		e := &s.slots[(idx+probe)&s.mask]
+		if !e.used {
+			if firstFree < 0 {
+				firstFree = int((idx + probe) & s.mask)
+			}
+			break // open addressing: an empty slot ends the probe chain
+		}
+		if e.hash == h && e.key == ft {
+			e.tick = s.tick
+			s.hits++
+			return e.worker, true
+		}
+	}
+	// Miss: assign and insert.
+	s.misses++
+	w := s.rendezvous(h)
+	if s.size >= s.maxLoad {
+		s.evictOldest()
+		// Eviction may have opened a different slot; re-probe for one.
+		firstFree = -1
+		for probe := uint64(0); probe < uint64(len(s.slots)); probe++ {
+			if !s.slots[(idx+probe)&s.mask].used {
+				firstFree = int((idx + probe) & s.mask)
+				break
+			}
+		}
+	}
+	if firstFree < 0 {
+		// Table unexpectedly full; steer statelessly.
+		return w, false
+	}
+	s.slots[firstFree] = sessionEntry{key: ft, hash: h, worker: w, used: true, tick: s.tick}
+	s.size++
+	return w, false
+}
+
+// evictOldest removes the least-recently-used session. A linear scan is
+// acceptable: eviction happens only at capacity.
+func (s *Steerer) evictOldest() {
+	oldest, oldestTick := -1, ^uint64(0)
+	for i := range s.slots {
+		if s.slots[i].used && s.slots[i].tick < oldestTick {
+			oldest, oldestTick = i, s.slots[i].tick
+		}
+	}
+	if oldest >= 0 {
+		s.removeAt(oldest)
+		s.evicted++
+	}
+}
+
+// removeAt deletes slot i and re-inserts the displaced probe chain
+// (backward-shift deletion for linear probing).
+func (s *Steerer) removeAt(i int) {
+	s.slots[i] = sessionEntry{}
+	s.size--
+	// Rehash the contiguous cluster after i.
+	j := (uint64(i) + 1) & s.mask
+	for s.slots[j].used {
+		e := s.slots[j]
+		s.slots[j] = sessionEntry{}
+		s.size--
+		s.reinsert(e)
+		j = (j + 1) & s.mask
+	}
+}
+
+func (s *Steerer) reinsert(e sessionEntry) {
+	idx := e.hash & s.mask
+	for probe := uint64(0); probe < uint64(len(s.slots)); probe++ {
+		slot := &s.slots[(idx+probe)&s.mask]
+		if !slot.used {
+			*slot = e
+			s.size++
+			return
+		}
+	}
+}
+
+// End removes a session (flow termination), reporting whether it existed.
+func (s *Steerer) End(ft FiveTuple) bool {
+	h := ft.hash64()
+	idx := h & s.mask
+	for probe := uint64(0); probe < uint64(len(s.slots)); probe++ {
+		i := int((idx + probe) & s.mask)
+		e := &s.slots[i]
+		if !e.used {
+			return false
+		}
+		if e.hash == h && e.key == ft {
+			s.removeAt(i)
+			return true
+		}
+	}
+	return false
+}
+
+// SteerPacket parses an IPv4 packet and steers it, returning the worker
+// name.
+func (s *Steerer) SteerPacket(pkt []byte) (string, error) {
+	ft, err := ParseFiveTuple(pkt)
+	if err != nil {
+		return "", err
+	}
+	w, _ := s.Steer(ft)
+	return s.workers[w], nil
+}
+
+// Sessions returns the number of live sessions.
+func (s *Steerer) Sessions() int { return s.size }
+
+// Stats reports affinity hits, misses, and evictions.
+func (s *Steerer) Stats() (hits, misses, evicted int64) {
+	return s.hits, s.misses, s.evicted
+}
+
+// Workers returns the configured worker names.
+func (s *Steerer) Workers() []string { return append([]string(nil), s.workers...) }

@@ -1,0 +1,268 @@
+package steering
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"hyperplane/internal/netproto"
+)
+
+func tuple(i int) FiveTuple {
+	return FiveTuple{
+		Src:     [4]byte{10, 0, byte(i >> 8), byte(i)},
+		Dst:     [4]byte{10, 1, 0, 1},
+		SrcPort: uint16(1024 + i),
+		DstPort: 443,
+		Proto:   netproto.ProtoTCP,
+	}
+}
+
+func newSteerer(t *testing.T, workers int, capacity int) *Steerer {
+	t.Helper()
+	names := make([]string, workers)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	s, err := NewSteerer(names, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAffinity(t *testing.T) {
+	s := newSteerer(t, 4, 100)
+	ft := tuple(1)
+	w1, existing := s.Steer(ft)
+	if existing {
+		t.Fatal("first packet reported existing session")
+	}
+	for i := 0; i < 10; i++ {
+		w, existing := s.Steer(ft)
+		if !existing {
+			t.Fatal("follow-up packet missed session")
+		}
+		if w != w1 {
+			t.Fatal("affinity violated")
+		}
+	}
+	hits, misses, _ := s.Stats()
+	if hits != 10 || misses != 1 {
+		t.Errorf("hits/misses = %d/%d", hits, misses)
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	s := newSteerer(t, 4, 10000)
+	counts := make(map[int]int)
+	const flows = 8000
+	for i := 0; i < flows; i++ {
+		w, _ := s.Steer(tuple(i))
+		counts[w]++
+	}
+	// Rendezvous hashing should spread flows within ~±25% of fair share.
+	fair := flows / 4
+	for w, c := range counts {
+		if c < fair*3/4 || c > fair*5/4 {
+			t.Errorf("worker %d got %d flows (fair %d)", w, c, fair)
+		}
+	}
+}
+
+func TestDeterministicAssignment(t *testing.T) {
+	s1 := newSteerer(t, 5, 100)
+	s2 := newSteerer(t, 5, 100)
+	for i := 0; i < 50; i++ {
+		w1, _ := s1.Steer(tuple(i))
+		w2, _ := s2.Steer(tuple(i))
+		if w1 != w2 {
+			t.Fatal("assignment not deterministic")
+		}
+	}
+}
+
+func TestEnd(t *testing.T) {
+	s := newSteerer(t, 2, 10)
+	ft := tuple(3)
+	s.Steer(ft)
+	if s.Sessions() != 1 {
+		t.Fatal("session not created")
+	}
+	if !s.End(ft) {
+		t.Fatal("End missed live session")
+	}
+	if s.Sessions() != 0 {
+		t.Fatal("session not removed")
+	}
+	if s.End(ft) {
+		t.Fatal("End found dead session")
+	}
+	// New packet re-creates.
+	if _, existing := s.Steer(ft); existing {
+		t.Fatal("dead session resurrected")
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	s := newSteerer(t, 2, 8)
+	for i := 0; i < 20; i++ {
+		s.Steer(tuple(i))
+	}
+	if s.Sessions() > 8 {
+		t.Errorf("sessions = %d exceeds capacity 8", s.Sessions())
+	}
+	_, _, evicted := s.Stats()
+	if evicted == 0 {
+		t.Error("no evictions despite overflow")
+	}
+	// Recently used flows survive; oldest were evicted.
+	if _, existing := s.Steer(tuple(19)); !existing {
+		t.Error("most recent flow evicted")
+	}
+}
+
+func TestLRUKeepsHotFlows(t *testing.T) {
+	s := newSteerer(t, 2, 4)
+	hot := tuple(0)
+	s.Steer(hot)
+	for i := 1; i < 12; i++ {
+		s.Steer(hot) // keep hot flow fresh
+		s.Steer(tuple(i))
+	}
+	if _, existing := s.Steer(hot); !existing {
+		t.Error("hot flow was evicted")
+	}
+}
+
+func TestParseFiveTuple(t *testing.T) {
+	h := netproto.IPv4Header{
+		TotalLen: netproto.IPv4HeaderLen + 8,
+		TTL:      64,
+		Protocol: netproto.ProtoUDP,
+		Src:      [4]byte{1, 2, 3, 4},
+		Dst:      [4]byte{5, 6, 7, 8},
+	}
+	pkt := h.Marshal(nil)
+	l4 := make([]byte, 8)
+	binary.BigEndian.PutUint16(l4[0:], 5353)
+	binary.BigEndian.PutUint16(l4[2:], 53)
+	pkt = append(pkt, l4...)
+	ft, err := ParseFiveTuple(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FiveTuple{
+		Src: [4]byte{1, 2, 3, 4}, Dst: [4]byte{5, 6, 7, 8},
+		SrcPort: 5353, DstPort: 53, Proto: netproto.ProtoUDP,
+	}
+	if ft != want {
+		t.Errorf("tuple = %+v", ft)
+	}
+}
+
+func TestParseRejectsNonTransport(t *testing.T) {
+	h := netproto.IPv4Header{
+		TotalLen: netproto.IPv4HeaderLen + 8,
+		TTL:      1,
+		Protocol: netproto.ProtoGRE,
+	}
+	pkt := append(h.Marshal(nil), make([]byte, 8)...)
+	if _, err := ParseFiveTuple(pkt); !errors.Is(err, ErrNotTransport) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestParseTruncatedL4(t *testing.T) {
+	h := netproto.IPv4Header{
+		TotalLen: netproto.IPv4HeaderLen + 2,
+		TTL:      1,
+		Protocol: netproto.ProtoTCP,
+	}
+	pkt := append(h.Marshal(nil), 0, 1)
+	if _, err := ParseFiveTuple(pkt); err == nil {
+		t.Error("truncated L4 accepted")
+	}
+}
+
+func TestSteerPacket(t *testing.T) {
+	s := newSteerer(t, 3, 16)
+	h := netproto.IPv4Header{
+		TotalLen: netproto.IPv4HeaderLen + 4,
+		TTL:      64,
+		Protocol: netproto.ProtoTCP,
+		Src:      [4]byte{9, 9, 9, 9},
+	}
+	pkt := append(h.Marshal(nil), 0x01, 0x02, 0x03, 0x04)
+	w1, err := s.SteerPacket(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := s.SteerPacket(pkt)
+	if w1 != w2 {
+		t.Error("packet-level affinity violated")
+	}
+}
+
+func TestNoWorkers(t *testing.T) {
+	if _, err := NewSteerer(nil, 8); !errors.Is(err, ErrNoWorkers) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// Property: affinity holds under interleaved traffic from many flows,
+// regardless of insertion order or table pressure.
+func TestAffinityProperty(t *testing.T) {
+	f := func(seq []uint8) bool {
+		s, err := NewSteerer([]string{"a", "b", "c"}, 64)
+		if err != nil {
+			return false
+		}
+		assigned := map[int]int{}
+		for _, b := range seq {
+			id := int(b % 32) // 32 flows fit comfortably in capacity 64
+			w, _ := s.Steer(tuple(id))
+			if prev, ok := assigned[id]; ok && prev != w {
+				return false
+			}
+			assigned[id] = w
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: removal via End keeps the probe chains intact — remaining
+// sessions stay findable after arbitrary interleavings of Steer and End.
+func TestDeletionIntegrityProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		// Capacity 64 >> 24 distinct flows, so no LRU eviction interferes.
+		s, err := NewSteerer([]string{"a", "b"}, 64)
+		if err != nil {
+			return false
+		}
+		live := map[int]int{}
+		for _, op := range ops {
+			id := int(op % 24)
+			if op&0x80 != 0 {
+				s.End(tuple(id))
+				delete(live, id)
+				continue
+			}
+			w, existing := s.Steer(tuple(id))
+			if prev, ok := live[id]; ok {
+				if !existing || w != prev {
+					return false
+				}
+			}
+			live[id] = w
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,68 @@
+package traffic
+
+import "hyperplane/internal/sim"
+
+// Bursty is an on/off-modulated Poisson process (a 2-state MMPP): tenants
+// alternate between exponentially distributed ON periods, during which they
+// generate Poisson arrivals at an elevated rate, and OFF periods with no
+// arrivals. The paper motivates this directly: "tenant applications/VMs
+// typically experience bursty activity patterns at different times"
+// (§I, §II-B); time-averaged rate equals the configured rate.
+type Bursty struct {
+	sampler *Sampler
+	rng     *sim.RNG
+
+	onMean  sim.Time // mean ON duration
+	offMean sim.Time // mean OFF duration
+	onGap   sim.Time // mean inter-arrival while ON
+
+	on        bool
+	phaseLeft sim.Time // remaining time in the current phase
+}
+
+// NewBursty builds a bursty process with the given time-averaged aggregate
+// rate. burstiness b >= 1 scales the peak rate: the source is ON a fraction
+// 1/b of the time and generates at b x rate while ON (b = 1 degenerates to
+// plain Poisson). phase sets the mean ON duration.
+func NewBursty(s Shape, n int, ratePerSec, burstiness float64, phase sim.Time, rng *sim.RNG) *Bursty {
+	if ratePerSec <= 0 {
+		panic("traffic: arrival rate must be positive")
+	}
+	if burstiness < 1 {
+		panic("traffic: burstiness must be >= 1")
+	}
+	if phase <= 0 {
+		panic("traffic: phase duration must be positive")
+	}
+	b := &Bursty{
+		sampler: NewSampler(s, n, rng),
+		rng:     rng,
+		onMean:  phase,
+		offMean: sim.Time(float64(phase) * (burstiness - 1)),
+		onGap:   sim.FromSeconds(1 / (ratePerSec * burstiness)),
+		on:      true,
+	}
+	b.phaseLeft = rng.Exp(b.onMean)
+	return b
+}
+
+// Next returns the delay to the next arrival and its target queue, skipping
+// over OFF periods.
+func (b *Bursty) Next() (sim.Time, int) {
+	var delay sim.Time
+	for {
+		gap := b.rng.Exp(b.onGap)
+		if gap <= b.phaseLeft {
+			// Arrival lands inside the current ON phase.
+			b.phaseLeft -= gap
+			return delay + gap, b.sampler.Next()
+		}
+		// ON phase ends before the next arrival: fast-forward through the
+		// OFF phase and redraw within the next ON phase.
+		delay += b.phaseLeft
+		if b.offMean > 0 {
+			delay += b.rng.Exp(b.offMean)
+		}
+		b.phaseLeft = b.rng.Exp(b.onMean)
+	}
+}

@@ -1,0 +1,83 @@
+package traffic
+
+import (
+	"testing"
+
+	"hyperplane/internal/sim"
+	"hyperplane/internal/stats"
+)
+
+func TestBurstyMeanRatePreserved(t *testing.T) {
+	// Regardless of burstiness, the time-averaged rate must match.
+	for _, burst := range []float64{1, 2, 5, 10} {
+		rng := sim.NewRNG(3, uint64(burst))
+		b := NewBursty(FB, 16, 1e6, burst, 20*sim.Microsecond, rng)
+		var total sim.Time
+		const n = 200000
+		for i := 0; i < n; i++ {
+			d, q := b.Next()
+			if q < 0 || q >= 16 {
+				t.Fatal("queue out of range")
+			}
+			total += d
+		}
+		rate := n / total.Seconds()
+		if rate < 0.92e6 || rate > 1.08e6 {
+			t.Errorf("burstiness %v: mean rate = %.3g/s, want ~1e6", burst, rate)
+		}
+	}
+}
+
+func TestBurstyIsBurstier(t *testing.T) {
+	// The inter-arrival CV must grow with burstiness: an MMPP has heavier
+	// variability than Poisson (CV 1).
+	cv := func(burst float64) float64 {
+		rng := sim.NewRNG(4, uint64(burst*10))
+		b := NewBursty(FB, 4, 1e6, burst, 50*sim.Microsecond, rng)
+		var s stats.Summary
+		for i := 0; i < 100000; i++ {
+			d, _ := b.Next()
+			s.Add(float64(d))
+		}
+		return s.Stddev() / s.Mean()
+	}
+	plain := cv(1)
+	heavy := cv(8)
+	if plain < 0.9 || plain > 1.1 {
+		t.Errorf("burstiness 1 CV = %.3f, want ~1 (Poisson)", plain)
+	}
+	if heavy < plain*1.5 {
+		t.Errorf("burstiness 8 CV = %.3f not above Poisson %.3f", heavy, plain)
+	}
+}
+
+func TestBurstyDegeneratesToPoisson(t *testing.T) {
+	// burstiness 1: offMean = 0, always ON — statistically Poisson.
+	rng := sim.NewRNG(5, 0)
+	b := NewBursty(SQ, 8, 5e5, 1, sim.Millisecond, rng)
+	for i := 0; i < 1000; i++ {
+		_, q := b.Next()
+		if q != 0 {
+			t.Fatal("SQ shape violated")
+		}
+	}
+}
+
+func TestBurstyValidation(t *testing.T) {
+	rng := sim.NewRNG(1, 0)
+	cases := []func(){
+		func() { NewBursty(FB, 4, 0, 2, sim.Millisecond, rng) },
+		func() { NewBursty(FB, 4, 1e6, 0.5, sim.Millisecond, rng) },
+		func() { NewBursty(FB, 4, 1e6, 2, 0, rng) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,220 @@
+// Package traffic generates the arrival processes of the HyperPlane
+// evaluation: open-loop Poisson arrivals spread over N queues according to
+// the paper's four traffic shapes (§II-C, §V-A):
+//
+//   - FB (Fully Balanced): traffic passes through all queues.
+//   - PC (Proportionally Concentrated): 20% of queues carry traffic all the
+//     time; the rest with probability 5%.
+//   - NC (Non-proportionally Concentrated): 100 queues carry traffic all
+//     the time; the rest with probability 5%.
+//   - SQ (Single Queue): all traffic through one queue.
+package traffic
+
+import (
+	"fmt"
+
+	"hyperplane/internal/sim"
+)
+
+// Shape is a traffic concentration pattern.
+type Shape uint8
+
+// Traffic shapes.
+const (
+	FB Shape = iota
+	PC
+	NC
+	SQ
+)
+
+func (s Shape) String() string {
+	switch s {
+	case FB:
+		return "FB"
+	case PC:
+		return "PC"
+	case NC:
+		return "NC"
+	case SQ:
+		return "SQ"
+	}
+	return "?"
+}
+
+// Shapes lists all four in paper order.
+var Shapes = []Shape{FB, PC, NC, SQ}
+
+// coldWeight is the relative arrival rate of non-hot queues under PC/NC
+// ("with a probability of 5%").
+const coldWeight = 0.05
+
+// Weights returns the per-queue relative arrival rates for shape s over n
+// queues. Hot queues have weight 1.
+func Weights(s Shape, n int) []float64 {
+	if n <= 0 {
+		panic("traffic: queue count must be positive")
+	}
+	w := make([]float64, n)
+	switch s {
+	case FB:
+		for i := range w {
+			w[i] = 1
+		}
+	case PC:
+		hot := n / 5
+		if hot < 1 {
+			hot = 1
+		}
+		for i := range w {
+			if i < hot {
+				w[i] = 1
+			} else {
+				w[i] = coldWeight
+			}
+		}
+	case NC:
+		hot := 100
+		if hot > n {
+			hot = n
+		}
+		for i := range w {
+			if i < hot {
+				w[i] = 1
+			} else {
+				w[i] = coldWeight
+			}
+		}
+	case SQ:
+		w[0] = 1
+	default:
+		panic(fmt.Sprintf("traffic: unknown shape %d", s))
+	}
+	return w
+}
+
+// HotQueues returns how many queues carry full-rate traffic under s.
+func HotQueues(s Shape, n int) int {
+	switch s {
+	case FB:
+		return n
+	case PC:
+		hot := n / 5
+		if hot < 1 {
+			hot = 1
+		}
+		return hot
+	case NC:
+		if n < 100 {
+			return n
+		}
+		return 100
+	case SQ:
+		return 1
+	}
+	return 0
+}
+
+// Sampler draws queue indices with probability proportional to the shape's
+// weights, using Walker's alias method for O(1) draws.
+type Sampler struct {
+	prob  []float64
+	alias []int
+	rng   *sim.RNG
+}
+
+// NewSampler builds a sampler for the shape over n queues.
+func NewSampler(s Shape, n int, rng *sim.RNG) *Sampler {
+	return NewWeightedSampler(Weights(s, n), rng)
+}
+
+// NewWeightedSampler builds an alias-method sampler over arbitrary
+// non-negative weights (at least one positive).
+func NewWeightedSampler(weights []float64, rng *sim.RNG) *Sampler {
+	n := len(weights)
+	if n == 0 {
+		panic("traffic: empty weights")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("traffic: negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("traffic: all weights zero")
+	}
+	sm := &Sampler{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+		rng:   rng,
+	}
+	// Walker/Vose alias table construction.
+	scaled := make([]float64, n)
+	var small, large []int
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		sm.prob[s] = scaled[s]
+		sm.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		sm.prob[i] = 1
+	}
+	for _, i := range small {
+		sm.prob[i] = 1
+	}
+	return sm
+}
+
+// Next draws a queue index.
+func (sm *Sampler) Next() int {
+	i := sm.rng.IntN(len(sm.prob))
+	if sm.rng.Float64() < sm.prob[i] {
+		return i
+	}
+	return sm.alias[i]
+}
+
+// Poisson is an open-loop Poisson arrival process over shaped queues.
+type Poisson struct {
+	sampler *Sampler
+	rng     *sim.RNG
+	mean    sim.Time // mean inter-arrival time
+}
+
+// NewPoisson builds a process with aggregate rate ratePerSec arrivals/sec.
+func NewPoisson(s Shape, n int, ratePerSec float64, rng *sim.RNG) *Poisson {
+	if ratePerSec <= 0 {
+		panic("traffic: arrival rate must be positive")
+	}
+	return &Poisson{
+		sampler: NewSampler(s, n, rng),
+		rng:     rng,
+		mean:    sim.FromSeconds(1 / ratePerSec),
+	}
+}
+
+// Next returns the delay until the next arrival and its target queue.
+func (p *Poisson) Next() (sim.Time, int) {
+	return p.rng.Exp(p.mean), p.sampler.Next()
+}
+
+// MeanInterarrival returns the process's mean inter-arrival time.
+func (p *Poisson) MeanInterarrival() sim.Time { return p.mean }

@@ -1,0 +1,199 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hyperplane/internal/sim"
+)
+
+func TestWeightsShapes(t *testing.T) {
+	n := 500
+	fb := Weights(FB, n)
+	for _, w := range fb {
+		if w != 1 {
+			t.Fatal("FB weight != 1")
+		}
+	}
+	pc := Weights(PC, n)
+	hot := 0
+	for _, w := range pc {
+		switch w {
+		case 1:
+			hot++
+		case coldWeight:
+		default:
+			t.Fatalf("PC weight %v", w)
+		}
+	}
+	if hot != 100 { // 20% of 500
+		t.Errorf("PC hot = %d", hot)
+	}
+	nc := Weights(NC, n)
+	hot = 0
+	for _, w := range nc {
+		if w == 1 {
+			hot++
+		}
+	}
+	if hot != 100 {
+		t.Errorf("NC hot = %d", hot)
+	}
+	sq := Weights(SQ, n)
+	if sq[0] != 1 {
+		t.Error("SQ queue 0 not hot")
+	}
+	for _, w := range sq[1:] {
+		if w != 0 {
+			t.Error("SQ extra hot queue")
+		}
+	}
+}
+
+func TestWeightsSmallN(t *testing.T) {
+	if Weights(PC, 3)[0] != 1 {
+		t.Error("PC with tiny n lacks a hot queue")
+	}
+	if got := HotQueues(NC, 50); got != 50 {
+		t.Errorf("NC hot with 50 queues = %d", got)
+	}
+	if HotQueues(PC, 10) != 2 || HotQueues(SQ, 10) != 1 || HotQueues(FB, 10) != 10 {
+		t.Error("HotQueues wrong")
+	}
+}
+
+func TestWeightsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Weights(FB, 0) did not panic")
+		}
+	}()
+	Weights(FB, 0)
+}
+
+func TestShapeString(t *testing.T) {
+	if FB.String() != "FB" || PC.String() != "PC" || NC.String() != "NC" || SQ.String() != "SQ" {
+		t.Error("shape names")
+	}
+}
+
+func TestSamplerMatchesWeights(t *testing.T) {
+	rng := sim.NewRNG(1, 0)
+	weights := []float64{4, 1, 0, 3}
+	s := NewWeightedSampler(weights, rng)
+	counts := make([]int, 4)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[s.Next()]++
+	}
+	if counts[2] != 0 {
+		t.Fatalf("zero-weight index drawn %d times", counts[2])
+	}
+	total := 8.0
+	for i, w := range weights {
+		want := float64(draws) * w / total
+		got := float64(counts[i])
+		if w > 0 && math.Abs(got-want) > want*0.05 {
+			t.Errorf("index %d drawn %v times, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestSamplerSQ(t *testing.T) {
+	rng := sim.NewRNG(2, 0)
+	s := NewSampler(SQ, 100, rng)
+	for i := 0; i < 1000; i++ {
+		if s.Next() != 0 {
+			t.Fatal("SQ drew a non-zero queue")
+		}
+	}
+}
+
+func TestSamplerValidation(t *testing.T) {
+	rng := sim.NewRNG(1, 0)
+	for name, weights := range map[string][]float64{
+		"empty":    {},
+		"all-zero": {0, 0},
+		"negative": {1, -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s weights did not panic", name)
+				}
+			}()
+			NewWeightedSampler(weights, rng)
+		}()
+	}
+}
+
+func TestPoissonRate(t *testing.T) {
+	rng := sim.NewRNG(3, 0)
+	p := NewPoisson(FB, 10, 1e6, rng) // 1M arrivals/sec
+	if p.MeanInterarrival() != sim.Microsecond {
+		t.Fatalf("mean interarrival = %v", p.MeanInterarrival())
+	}
+	var total sim.Time
+	const n = 100000
+	for i := 0; i < n; i++ {
+		d, q := p.Next()
+		if q < 0 || q >= 10 {
+			t.Fatal("queue out of range")
+		}
+		total += d
+	}
+	mean := float64(total) / n / float64(sim.Microsecond)
+	if mean < 0.97 || mean > 1.03 {
+		t.Errorf("empirical mean interarrival = %.3fus", mean)
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero rate accepted")
+		}
+	}()
+	NewPoisson(FB, 1, 0, sim.NewRNG(1, 0))
+}
+
+// Property: the alias table always returns indices with positive weight and
+// covers all of them given enough draws.
+func TestSamplerSupportProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 32 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		anyPositive := false
+		for i, r := range raw {
+			weights[i] = float64(r % 8)
+			if weights[i] > 0 {
+				anyPositive = true
+			}
+		}
+		if !anyPositive {
+			return true
+		}
+		s := NewWeightedSampler(weights, sim.NewRNG(99, 7))
+		seen := make([]bool, len(weights))
+		for i := 0; i < 4096; i++ {
+			idx := s.Next()
+			if weights[idx] == 0 {
+				return false
+			}
+			seen[idx] = true
+		}
+		// Every decently weighted index should appear in 4096 draws.
+		for i, w := range weights {
+			if w >= 1 && !seen[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"hyperplane/internal/cryptofwd"
+	"hyperplane/internal/dispatch"
+	"hyperplane/internal/erasure"
+	"hyperplane/internal/netproto"
+	"hyperplane/internal/raidp"
+	"hyperplane/internal/steering"
+)
+
+// Calibration cross-check: the simulator's service-time specs must at
+// least preserve the *relative cost ordering* of the real kernel
+// implementations on canonical task sizes (1500 B packets, 4 KiB storage
+// blocks). Absolute times differ across machines, so only coarse ordering
+// is asserted; measurements use enough iterations to dominate timer noise.
+func TestSpecOrderingMatchesRealKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kernel timing skipped in -short mode")
+	}
+
+	timeIt := func(name string, iters int, fn func(i int)) time.Duration {
+		t.Helper()
+		fn(0) // warm caches and lazy tables
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn(i)
+		}
+		d := time.Since(start) / time.Duration(iters)
+		t.Logf("%-22s %v/task", name, d)
+		return d
+	}
+
+	// Packet encapsulation: GRE-encapsulate a 1500 B IPv4 packet.
+	var s16, d16 [16]byte
+	tun := netproto.NewTunnel(s16, d16)
+	ip := netproto.IPv4Header{TotalLen: netproto.IPv4HeaderLen + 1400, TTL: 64, Protocol: netproto.ProtoUDP}
+	pkt := append(ip.Marshal(nil), make([]byte, 1400)...)
+	encap := timeIt("packet-encapsulation", 20000, func(int) {
+		if _, err := tun.Encap(pkt); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Crypto forwarding: AES-CBC-256 over the same packet.
+	fwd, _ := cryptofwd.NewForwarder([]byte("calibration"))
+	crypto := timeIt("crypto-forwarding", 4000, func(i int) {
+		if _, err := fwd.Seal(uint64(i%8), pkt); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Packet steering: parse + steer the packet.
+	st, _ := steering.NewSteerer([]string{"a", "b", "c", "d"}, 4096)
+	spkt := netproto.BuildUDPPacket([4]byte{10, 0, 0, 1}, [4]byte{10, 0, 0, 2}, 1234, 80, make([]byte, 64))
+	steer := timeIt("packet-steering", 20000, func(i int) {
+		if _, err := st.SteerPacket(spkt); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Erasure coding: 4+2 over a 16 KiB object.
+	code, _ := erasure.NewCode(4, 2)
+	shards := code.Split(make([]byte, 16<<10))
+	erasureT := timeIt("erasure-coding", 2000, func(int) {
+		if err := code.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// RAID P+Q: 4 data disks x 4 KiB.
+	arr, _ := raidp.New(4)
+	data := make([][]byte, 4)
+	for i := range data {
+		data[i] = make([]byte, 4096)
+	}
+	p := make([]byte, 4096)
+	q := make([]byte, 4096)
+	raidT := timeIt("raid-protection", 4000, func(int) {
+		if err := arr.ComputePQ(data, p, q); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Request dispatching: parse + classify + route one frame.
+	dp := dispatch.NewDispatcher()
+	dp.AddBackend("cache", "c0")
+	dp.AddBackend("search", "s0")
+	dp.AddBackend("ml", "m0")
+	req := dispatch.Request{Type: dispatch.TypeGet, Tenant: 1, Payload: make([]byte, 64)}
+	frame := req.Marshal(nil)
+	disp := timeIt("request-dispatching", 20000, func(int) {
+		d, err := dp.Prepare(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp.Complete(d.Tier, d.Backend)
+	})
+
+	// Coarse ordering assertions mirroring the spec magnitudes: the
+	// heavyweight kernels (crypto, erasure, RAID) must measurably exceed
+	// the lightweight ones (encap, steering, dispatch), as the specs say.
+	heavy := map[string]time.Duration{"crypto": crypto, "erasure": erasureT, "raid": raidT}
+	light := map[string]time.Duration{"encap": encap, "steer": steer, "dispatch": disp}
+	for hn, h := range heavy {
+		for ln, l := range light {
+			if h <= l {
+				t.Errorf("real %s (%v) not above real %s (%v); spec ordering suspect", hn, h, ln, l)
+			}
+		}
+	}
+	// And the specs agree with themselves.
+	if !(CryptoForward.ServiceMean > PacketEncap.ServiceMean &&
+		ErasureCoding.ServiceMean > PacketSteering.ServiceMean &&
+		RAIDProtection.ServiceMean > RequestDispatch.ServiceMean) {
+		t.Error("spec service means do not reflect heavy > light ordering")
+	}
+}

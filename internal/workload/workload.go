@@ -1,0 +1,156 @@
+// Package workload defines the six data plane tasks of the HyperPlane
+// evaluation (§V-A) as simulation specs: calibrated service-time
+// distributions, instruction counts for the IPC model, and cache-footprint
+// parameters. The real Go implementations of each kernel live in their own
+// packages (netproto, cryptofwd, steering, erasure, raidp, dispatch); the
+// calibrated means here track the relative costs the paper's Fig. 8
+// reports.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"hyperplane/internal/sim"
+)
+
+// Spec describes one data plane task for the simulator.
+type Spec struct {
+	Name string
+	// ServiceMean is the mean per-item processing time on a data plane
+	// core (compute only, excluding notification and queue accesses).
+	ServiceMean sim.Time
+	// CV is the coefficient of variation of service time; items draw from
+	// a two-point (hyperexponential-like) mixture achieving this CV,
+	// keeping tails realistic without heavy math.
+	CV float64
+	// BufferLinesPerItem is how many task-buffer cache lines one item
+	// touches; together with the per-queue buffer pool this creates the
+	// LLC pressure seen at high queue counts.
+	BufferLinesPerItem int
+	// UsefulIPC is the core IPC while executing this task (memory-bound
+	// tasks run lower). Used to derive instructions for work-
+	// proportionality accounting.
+	UsefulIPC float64
+}
+
+// Instructions returns the useful instruction count of one item at the
+// given clock.
+func (s Spec) Instructions(clock sim.Clock) int64 {
+	cycles := float64(clock.ToCycles(s.ServiceMean))
+	return int64(cycles * s.UsefulIPC)
+}
+
+// The six paper workloads. Service means are calibrated so that single-core
+// peak throughputs match the magnitudes of the paper's Fig. 8 (e.g. packet
+// encapsulation ~0.7 M tasks/s, crypto forwarding ~0.15 M tasks/s).
+var (
+	PacketEncap = Spec{
+		Name:               "packet-encapsulation",
+		ServiceMean:        1300 * sim.Nanosecond,
+		CV:                 0.30,
+		BufferLinesPerItem: 4,
+		UsefulIPC:          1.6,
+	}
+	CryptoForward = Spec{
+		Name:               "crypto-forwarding",
+		ServiceMean:        6200 * sim.Nanosecond,
+		CV:                 0.20,
+		BufferLinesPerItem: 8,
+		UsefulIPC:          2.0,
+	}
+	PacketSteering = Spec{
+		Name:               "packet-steering",
+		ServiceMean:        2600 * sim.Nanosecond,
+		CV:                 0.35,
+		BufferLinesPerItem: 3,
+		UsefulIPC:          1.2,
+	}
+	ErasureCoding = Spec{
+		Name:               "erasure-coding",
+		ServiceMean:        8500 * sim.Nanosecond,
+		CV:                 0.15,
+		BufferLinesPerItem: 12,
+		UsefulIPC:          1.8,
+	}
+	RAIDProtection = Spec{
+		Name:               "raid-protection",
+		ServiceMean:        4200 * sim.Nanosecond,
+		CV:                 0.15,
+		BufferLinesPerItem: 10,
+		UsefulIPC:          1.7,
+	}
+	RequestDispatch = Spec{
+		Name:               "request-dispatching",
+		ServiceMean:        1450 * sim.Nanosecond,
+		CV:                 0.45,
+		BufferLinesPerItem: 2,
+		UsefulIPC:          1.1,
+	}
+)
+
+// All lists the six workloads in the paper's order.
+var All = []Spec{
+	PacketEncap,
+	CryptoForward,
+	PacketSteering,
+	ErasureCoding,
+	RAIDProtection,
+	RequestDispatch,
+}
+
+// ByName returns the spec with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range All {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// Sampler draws per-item service times with the spec's mean and CV using a
+// two-point exponential mixture: with probability p items are "long" with
+// mean m2, otherwise "short" with mean m1. Solves for (p, m1, m2) to match
+// mean and CV; CV <= 1 degrades to a shifted-deterministic + exponential
+// blend.
+type Sampler struct {
+	spec Spec
+	rng  *sim.RNG
+}
+
+// NewSampler binds a spec to a random stream.
+func NewSampler(spec Spec, rng *sim.RNG) *Sampler {
+	return &Sampler{spec: spec, rng: rng}
+}
+
+// Spec returns the bound workload spec.
+func (s *Sampler) Spec() Spec { return s.spec }
+
+// Next draws one service time.
+func (s *Sampler) Next() sim.Time {
+	mean := float64(s.spec.ServiceMean)
+	cv := s.spec.CV
+	switch {
+	case cv <= 0:
+		return s.spec.ServiceMean
+	case cv < 1:
+		// Deterministic floor + exponential tail: X = (1-cv)*mean + Exp(cv*mean)
+		// has mean `mean` and stddev cv*mean.
+		floor := (1 - cv) * mean
+		return sim.Time(floor) + s.rng.Exp(sim.Time(cv*mean))
+	case cv == 1:
+		return s.rng.Exp(s.spec.ServiceMean)
+	default:
+		// Hyperexponential with balanced means for CV > 1.
+		c2 := cv * cv
+		p := 0.5 * (1 - math.Sqrt((c2-1)/(c2+1)))
+		var m float64
+		if s.rng.Float64() < p {
+			m = mean / (2 * p)
+		} else {
+			m = mean / (2 * (1 - p))
+		}
+		return s.rng.Exp(sim.Time(m))
+	}
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"hyperplane/internal/sim"
+	"hyperplane/internal/stats"
+)
+
+func TestAllSpecsSane(t *testing.T) {
+	if len(All) != 6 {
+		t.Fatalf("expected 6 workloads, got %d", len(All))
+	}
+	seen := map[string]bool{}
+	for _, s := range All {
+		if s.Name == "" || seen[s.Name] {
+			t.Errorf("bad/duplicate name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.ServiceMean < sim.Microsecond || s.ServiceMean > 20*sim.Microsecond {
+			t.Errorf("%s: service mean %v outside the paper's us-scale regime", s.Name, s.ServiceMean)
+		}
+		if s.CV < 0 || s.CV > 2 {
+			t.Errorf("%s: CV %v out of range", s.Name, s.CV)
+		}
+		if s.BufferLinesPerItem <= 0 || s.UsefulIPC <= 0 {
+			t.Errorf("%s: non-positive footprint or IPC", s.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("crypto-forwarding")
+	if err != nil || s.Name != "crypto-forwarding" {
+		t.Fatalf("ByName: %v", err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestInstructions(t *testing.T) {
+	clock := sim.NewClock(3.0)
+	n := PacketEncap.Instructions(clock)
+	// 1300ns at 3GHz is ~3900 cycles; at IPC 1.6 that's ~6240 instructions.
+	if n < 5500 || n > 7000 {
+		t.Errorf("instructions = %d", n)
+	}
+}
+
+func TestSamplerMeanAndCV(t *testing.T) {
+	for _, spec := range All {
+		s := NewSampler(spec, sim.NewRNG(11, 5))
+		var sum stats.Summary
+		const n = 100000
+		for i := 0; i < n; i++ {
+			d := s.Next()
+			if d < 0 {
+				t.Fatalf("%s: negative service time", spec.Name)
+			}
+			sum.Add(float64(d))
+		}
+		mean := sum.Mean()
+		wantMean := float64(spec.ServiceMean)
+		if math.Abs(mean-wantMean) > wantMean*0.03 {
+			t.Errorf("%s: mean %.0f, want ~%.0f", spec.Name, mean, wantMean)
+		}
+		cv := sum.Stddev() / mean
+		if math.Abs(cv-spec.CV) > 0.08 {
+			t.Errorf("%s: CV %.3f, want ~%.2f", spec.Name, cv, spec.CV)
+		}
+	}
+}
+
+func TestSamplerDeterministicCV0(t *testing.T) {
+	spec := Spec{Name: "det", ServiceMean: 2 * sim.Microsecond, CV: 0, UsefulIPC: 1, BufferLinesPerItem: 1}
+	s := NewSampler(spec, sim.NewRNG(1, 1))
+	for i := 0; i < 100; i++ {
+		if s.Next() != 2*sim.Microsecond {
+			t.Fatal("CV=0 sampler not deterministic")
+		}
+	}
+}
+
+func TestSamplerHyperexponential(t *testing.T) {
+	spec := Spec{Name: "hx", ServiceMean: sim.Microsecond, CV: 1.5, UsefulIPC: 1, BufferLinesPerItem: 1}
+	s := NewSampler(spec, sim.NewRNG(4, 2))
+	var sum stats.Summary
+	for i := 0; i < 200000; i++ {
+		sum.Add(float64(s.Next()))
+	}
+	mean := sum.Mean()
+	if math.Abs(mean-float64(sim.Microsecond)) > float64(sim.Microsecond)*0.05 {
+		t.Errorf("mean = %.0f", mean)
+	}
+	cv := sum.Stddev() / mean
+	if cv < 1.3 || cv > 1.7 {
+		t.Errorf("CV = %.3f, want ~1.5", cv)
+	}
+}
+
+func TestSamplerExponential(t *testing.T) {
+	spec := Spec{Name: "exp", ServiceMean: sim.Microsecond, CV: 1, UsefulIPC: 1, BufferLinesPerItem: 1}
+	s := NewSampler(spec, sim.NewRNG(4, 3))
+	var sum stats.Summary
+	for i := 0; i < 100000; i++ {
+		sum.Add(float64(s.Next()))
+	}
+	cv := sum.Stddev() / sum.Mean()
+	if cv < 0.95 || cv > 1.05 {
+		t.Errorf("CV = %.3f, want ~1", cv)
+	}
+}

@@ -1,0 +1,425 @@
+// Package hyperplane is a Go reproduction of "HyperPlane: A Scalable
+// Low-Latency Notification Accelerator for Software Data Planes"
+// (MICRO 2020).
+//
+// The package has two halves:
+//
+//   - A real, usable runtime: Notifier implements the QWAIT programming
+//     model in software for Go data planes — register many queues, block
+//     until one is ready, and receive the next queue ID under round-robin,
+//     weighted round-robin, or strict-priority service policies, without
+//     spin-polling empty queues. Queue[T] pairs a lock-free SPSC ring with
+//     a Notifier for a complete producer/consumer fast path.
+//
+//   - A simulation facade: Simulate runs the paper's evaluation platform (a
+//     discrete-event CMP model with MESI coherence, the cuckoo-hash
+//     monitoring set, and the PPA ready set) and ReproduceFigure regenerates
+//     any table or figure from the paper.
+package hyperplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperplane/internal/ready"
+)
+
+// Policy is a queue service policy (paper §III-A).
+type Policy int
+
+// Service policies.
+const (
+	// RoundRobin services ready queues in circular order.
+	RoundRobin Policy = iota
+	// WeightedRoundRobin lets a queue be serviced for its weight's worth
+	// of consecutive rounds, differentiating tenants' QoS.
+	WeightedRoundRobin
+	// StrictPriority always prefers the lowest-numbered ready queue. Like
+	// the paper notes, it can starve high-numbered queues.
+	StrictPriority
+)
+
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case WeightedRoundRobin:
+		return "weighted-round-robin"
+	case StrictPriority:
+		return "strict-priority"
+	}
+	return "unknown"
+}
+
+func (p Policy) internal() (ready.Policy, error) {
+	switch p {
+	case RoundRobin:
+		return ready.RoundRobin, nil
+	case WeightedRoundRobin:
+		return ready.WeightedRoundRobin, nil
+	case StrictPriority:
+		return ready.StrictPriority, nil
+	}
+	return 0, fmt.Errorf("hyperplane: unknown policy %d", int(p))
+}
+
+// QID identifies a registered queue within a Notifier.
+type QID int
+
+// Errors returned by the Notifier.
+var (
+	ErrFull         = errors.New("hyperplane: notifier is at queue capacity")
+	ErrClosed       = errors.New("hyperplane: notifier closed")
+	ErrUnregistered = errors.New("hyperplane: queue is not registered")
+	ErrNilDoorbell  = errors.New("hyperplane: doorbell must not be nil")
+)
+
+// NotifierConfig configures a Notifier.
+type NotifierConfig struct {
+	// MaxQueues is the monitoring capacity (like the paper's 1024-entry
+	// monitoring set). Defaults to 1024.
+	MaxQueues int
+	// Policy selects the service discipline. Defaults to RoundRobin.
+	Policy Policy
+	// Weights are per-QID service weights for WeightedRoundRobin (values
+	// >= 1). Defaults to all-1 when nil.
+	Weights []int
+}
+
+// Notifier is the software realization of the HyperPlane programming model:
+// the monitoring set becomes per-queue armed bits checked on Notify, and
+// the ready set is the same PPA selection logic the simulated hardware
+// uses. Consumers block in Wait instead of spinning over empty queues.
+//
+// Protocol (mirrors Algorithm 1 in the paper):
+//
+//	producer:  push item; doorbell.Add(1); n.Notify(qid)
+//	consumer:  qid := n.Wait()
+//	           if !n.Verify(qid) { continue }   // spurious wake-up
+//	           item := pop(); doorbell.Add(-1)
+//	           n.Reconsider(qid)
+//	           process(item)
+//
+// All methods are safe for concurrent use.
+type Notifier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	rs     *ready.Hardware
+	queues []nqueue
+	free   []QID
+	closed bool
+
+	// statistics
+	notifies  atomic.Int64
+	activates atomic.Int64
+	spurious  atomic.Int64
+	waits     atomic.Int64
+	halts     atomic.Int64 // Waits that actually blocked
+}
+
+type nqueue struct {
+	doorbell   *atomic.Int64
+	armed      bool
+	registered bool
+}
+
+// NewNotifier creates a Notifier.
+func NewNotifier(cfg NotifierConfig) (*Notifier, error) {
+	if cfg.MaxQueues == 0 {
+		cfg.MaxQueues = 1024
+	}
+	if cfg.MaxQueues < 1 {
+		return nil, fmt.Errorf("hyperplane: MaxQueues must be positive, got %d", cfg.MaxQueues)
+	}
+	pol, err := cfg.Policy.internal()
+	if err != nil {
+		return nil, err
+	}
+	weights := cfg.Weights
+	if pol == ready.WeightedRoundRobin {
+		if weights == nil {
+			weights = make([]int, cfg.MaxQueues)
+			for i := range weights {
+				weights[i] = 1
+			}
+		}
+		if len(weights) != cfg.MaxQueues {
+			return nil, fmt.Errorf("hyperplane: need %d weights, got %d", cfg.MaxQueues, len(weights))
+		}
+		for i, w := range weights {
+			if w < 1 {
+				return nil, fmt.Errorf("hyperplane: weight for qid %d must be >= 1", i)
+			}
+		}
+	}
+	n := &Notifier{
+		rs:     ready.NewHardware(cfg.MaxQueues, pol, weights),
+		queues: make([]nqueue, cfg.MaxQueues),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	for i := cfg.MaxQueues - 1; i >= 0; i-- {
+		n.free = append(n.free, QID(i))
+	}
+	return n, nil
+}
+
+// Register adds a queue with the given doorbell counter, armed
+// (QWAIT-ADD). The doorbell must count queued elements: producers increment
+// after enqueuing, consumers decrement before dequeuing.
+func (n *Notifier) Register(doorbell *atomic.Int64) (QID, error) {
+	if doorbell == nil {
+		return 0, ErrNilDoorbell
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return 0, ErrClosed
+	}
+	if len(n.free) == 0 {
+		return 0, ErrFull
+	}
+	qid := n.free[len(n.free)-1]
+	n.free = n.free[:len(n.free)-1]
+	n.queues[qid] = nqueue{doorbell: doorbell, armed: true, registered: true}
+	n.rs.SetEnabled(int(qid), true)
+	// The queue may already hold items at registration.
+	if doorbell.Load() > 0 {
+		n.activateLocked(qid)
+	}
+	return qid, nil
+}
+
+// Unregister removes a queue (QWAIT-REMOVE).
+func (n *Notifier) Unregister(qid QID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.checkLocked(qid); err != nil {
+		return err
+	}
+	n.queues[qid] = nqueue{}
+	n.rs.Deactivate(int(qid))
+	n.free = append(n.free, qid)
+	return nil
+}
+
+func (n *Notifier) checkLocked(qid QID) error {
+	if n.closed {
+		return ErrClosed
+	}
+	if qid < 0 || int(qid) >= len(n.queues) || !n.queues[qid].registered {
+		return ErrUnregistered
+	}
+	return nil
+}
+
+func (n *Notifier) activateLocked(qid QID) {
+	n.queues[qid].armed = false
+	n.rs.Activate(int(qid))
+	n.activates.Add(1)
+	n.cond.Signal()
+}
+
+// Notify is the software stand-in for the doorbell write transaction the
+// hardware monitoring set would snoop: producers call it after
+// incrementing the doorbell. If the queue is armed, it is activated in the
+// ready set and one waiting consumer wakes; further notifies before re-arm
+// coalesce, exactly like disarmed monitoring-set entries.
+func (n *Notifier) Notify(qid QID) {
+	n.notifies.Add(1)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if qid < 0 || int(qid) >= len(n.queues) || !n.queues[qid].registered {
+		return
+	}
+	if n.queues[qid].armed {
+		n.activateLocked(qid)
+	}
+}
+
+// Wait blocks until a queue is ready and returns its QID per the service
+// policy (the QWAIT instruction). ok is false if the Notifier is closed.
+func (n *Notifier) Wait() (qid QID, ok bool) {
+	n.waits.Add(1)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	blocked := false
+	for {
+		if n.closed {
+			return 0, false
+		}
+		if q, found, _ := n.rs.Select(); found {
+			if blocked {
+				n.halts.Add(1)
+			}
+			return QID(q), true
+		}
+		blocked = true
+		n.cond.Wait()
+	}
+}
+
+// TryWait is the paper's non-blocking QWAIT variant: it returns the next
+// ready QID or ok=false immediately.
+func (n *Notifier) TryWait() (qid QID, ok bool) {
+	n.waits.Add(1)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return 0, false
+	}
+	q, found, _ := n.rs.Select()
+	return QID(q), found
+}
+
+// WaitTimeout is Wait with a deadline; ok is false on timeout or close.
+//
+// sync.Cond has no native timed wait, so the timeout is implemented with a
+// timer goroutine that broadcasts; the cost is paid only by calls that
+// actually block past their deadline's first wake.
+func (n *Notifier) WaitTimeout(d time.Duration) (qid QID, ok bool) {
+	deadline := time.Now().Add(d)
+	n.waits.Add(1)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		if n.closed {
+			return 0, false
+		}
+		if q, found, _ := n.rs.Select(); found {
+			return QID(q), true
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return 0, false
+		}
+		t := time.AfterFunc(remain, func() {
+			n.mu.Lock()
+			n.cond.Broadcast()
+			n.mu.Unlock()
+		})
+		n.cond.Wait()
+		t.Stop()
+	}
+}
+
+// WaitContext blocks like Wait but also returns (with ok=false) when ctx is
+// cancelled or times out — the idiomatic way to bound a Go consumer loop.
+func (n *Notifier) WaitContext(ctx context.Context) (qid QID, ok bool) {
+	n.waits.Add(1)
+	// Wake all waiters when the context fires; cheap no-op if never fired.
+	stop := context.AfterFunc(ctx, func() {
+		n.mu.Lock()
+		n.cond.Broadcast()
+		n.mu.Unlock()
+	})
+	defer stop()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for {
+		if n.closed || ctx.Err() != nil {
+			return 0, false
+		}
+		if q, found, _ := n.rs.Select(); found {
+			return QID(q), true
+		}
+		n.cond.Wait()
+	}
+}
+
+// Verify implements QWAIT-VERIFY: it reports whether the queue actually has
+// items; if it is empty (a spurious wake-up), the queue is atomically
+// re-armed so the next Notify activates it.
+func (n *Notifier) Verify(qid QID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.checkLocked(qid) != nil {
+		return false
+	}
+	if n.queues[qid].doorbell.Load() > 0 {
+		return true
+	}
+	n.queues[qid].armed = true
+	n.spurious.Add(1)
+	return false
+}
+
+// Reconsider implements QWAIT-RECONSIDER: after dequeuing (and
+// decrementing the doorbell), it re-activates the queue if items remain or
+// re-arms it if empty — atomically with respect to Notify, so arrivals
+// cannot be missed in between.
+func (n *Notifier) Reconsider(qid QID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.checkLocked(qid) != nil {
+		return
+	}
+	if n.queues[qid].doorbell.Load() > 0 {
+		n.activateLocked(qid)
+	} else {
+		n.queues[qid].armed = true
+	}
+}
+
+// Enable implements QWAIT-ENABLE: the queue may be returned by Wait again.
+func (n *Notifier) Enable(qid QID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.checkLocked(qid); err != nil {
+		return err
+	}
+	n.rs.SetEnabled(int(qid), true)
+	if n.rs.IsReady(int(qid)) {
+		n.cond.Signal()
+	}
+	return nil
+}
+
+// Disable implements QWAIT-DISABLE: the queue keeps accumulating readiness
+// but is not returned by Wait until re-enabled (e.g. for congestion
+// control pacing).
+func (n *Notifier) Disable(qid QID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.checkLocked(qid); err != nil {
+		return err
+	}
+	n.rs.SetEnabled(int(qid), false)
+	return nil
+}
+
+// Close wakes all waiters with ok=false and rejects further registration.
+func (n *Notifier) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+	n.cond.Broadcast()
+}
+
+// Stats reports runtime counters.
+type NotifierStats struct {
+	Notifies    int64 // producer doorbell notifications
+	Activations int64 // notifies that activated an armed queue
+	Waits       int64 // Wait/TryWait calls
+	Blocked     int64 // Waits that had to block (halted "core")
+	Spurious    int64 // Verify calls that found an empty queue
+	Registered  int   // currently registered queues
+}
+
+// Stats returns a snapshot of runtime counters.
+func (n *Notifier) Stats() NotifierStats {
+	n.mu.Lock()
+	registered := len(n.queues) - len(n.free)
+	n.mu.Unlock()
+	return NotifierStats{
+		Notifies:    n.notifies.Load(),
+		Activations: n.activates.Load(),
+		Waits:       n.waits.Load(),
+		Blocked:     n.halts.Load(),
+		Spurious:    n.spurious.Load(),
+		Registered:  registered,
+	}
+}

@@ -1,0 +1,456 @@
+package hyperplane
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newN(t *testing.T, cfg NotifierConfig) *Notifier {
+	t.Helper()
+	n, err := NewNotifier(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNotifierBasicFlow(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 8})
+	defer n.Close()
+	var db atomic.Int64
+	qid, err := n.Register(&db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Producer: increment doorbell, notify.
+	db.Add(1)
+	n.Notify(qid)
+
+	got, ok := n.Wait()
+	if !ok || got != qid {
+		t.Fatalf("Wait = %v, %v", got, ok)
+	}
+	if !n.Verify(qid) {
+		t.Fatal("Verify rejected non-empty queue")
+	}
+	db.Add(-1) // dequeue
+	n.Reconsider(qid)
+
+	// Queue drained: next Wait must block, and a fresh Notify must wake it.
+	if _, ok := n.TryWait(); ok {
+		t.Fatal("TryWait found phantom work")
+	}
+	done := make(chan QID, 1)
+	go func() {
+		q, _ := n.Wait()
+		done <- q
+	}()
+	time.Sleep(10 * time.Millisecond)
+	db.Add(1)
+	n.Notify(qid)
+	select {
+	case q := <-done:
+		if q != qid {
+			t.Fatalf("woke with %v", q)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait never woke")
+	}
+}
+
+func TestNotifyCoalescesWhileDisarmed(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 4})
+	defer n.Close()
+	var db atomic.Int64
+	qid, _ := n.Register(&db)
+	for i := 0; i < 5; i++ {
+		db.Add(1)
+		n.Notify(qid)
+	}
+	// Only one activation despite five notifies.
+	if got, ok := n.TryWait(); !ok || got != qid {
+		t.Fatal("first TryWait failed")
+	}
+	if _, ok := n.TryWait(); ok {
+		t.Fatal("coalesced notifies produced extra activations")
+	}
+	// Reconsider re-activates because items remain.
+	db.Add(-1)
+	n.Reconsider(qid)
+	if got, ok := n.TryWait(); !ok || got != qid {
+		t.Fatal("Reconsider did not re-activate backlogged queue")
+	}
+	st := n.Stats()
+	if st.Notifies != 5 {
+		t.Errorf("notifies = %d", st.Notifies)
+	}
+}
+
+func TestVerifyFiltersSpuriousAndRearms(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 4})
+	defer n.Close()
+	var db atomic.Int64
+	qid, _ := n.Register(&db)
+	db.Add(1)
+	n.Notify(qid)
+	db.Add(-1) // item stolen before Verify (e.g. by a direct consumer)
+	got, _ := n.Wait()
+	if n.Verify(got) {
+		t.Fatal("Verify accepted empty queue")
+	}
+	if n.Stats().Spurious != 1 {
+		t.Error("spurious not counted")
+	}
+	// Re-armed: the next producer notify activates again.
+	db.Add(1)
+	n.Notify(qid)
+	if _, ok := n.TryWait(); !ok {
+		t.Fatal("re-armed queue did not activate")
+	}
+}
+
+func TestRegisterPreloadedQueue(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 4})
+	defer n.Close()
+	var db atomic.Int64
+	db.Store(3) // items exist before registration
+	qid, _ := n.Register(&db)
+	got, ok := n.TryWait()
+	if !ok || got != qid {
+		t.Fatal("preloaded queue not activated at registration")
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 2})
+	if _, err := n.Register(nil); !errors.Is(err, ErrNilDoorbell) {
+		t.Errorf("nil doorbell: %v", err)
+	}
+	var a, b, c atomic.Int64
+	n.Register(&a)
+	n.Register(&b)
+	if _, err := n.Register(&c); !errors.Is(err, ErrFull) {
+		t.Errorf("full: %v", err)
+	}
+	n.Close()
+	if _, err := n.Register(&c); !errors.Is(err, ErrClosed) {
+		t.Errorf("closed: %v", err)
+	}
+}
+
+func TestUnregisterAndReuse(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 2})
+	defer n.Close()
+	var a, b atomic.Int64
+	q1, _ := n.Register(&a)
+	if err := n.Unregister(q1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Unregister(q1); !errors.Is(err, ErrUnregistered) {
+		t.Errorf("double unregister: %v", err)
+	}
+	q2, err := n.Register(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2 != q1 {
+		t.Errorf("freed QID not reused: %v vs %v", q2, q1)
+	}
+	// Notify on an unregistered QID is a harmless no-op.
+	n.Notify(QID(99))
+}
+
+func TestEnableDisable(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 4})
+	defer n.Close()
+	var a, b atomic.Int64
+	qa, _ := n.Register(&a)
+	qb, _ := n.Register(&b)
+	a.Add(1)
+	n.Notify(qa)
+	b.Add(1)
+	n.Notify(qb)
+	if err := n.Disable(qa); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := n.TryWait(); !ok || got != qb {
+		t.Fatalf("disabled queue returned: %v %v", got, ok)
+	}
+	if _, ok := n.TryWait(); ok {
+		t.Fatal("nothing should remain with qa disabled")
+	}
+	// Enable reveals the retained readiness and wakes a waiter.
+	done := make(chan QID, 1)
+	go func() {
+		q, _ := n.Wait()
+		done <- q
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := n.Enable(qa); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case q := <-done:
+		if q != qa {
+			t.Fatalf("woke with %v", q)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Enable did not wake waiter")
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 2})
+	defer n.Close()
+	var db atomic.Int64
+	qid, _ := n.Register(&db)
+
+	start := time.Now()
+	if _, ok := n.WaitTimeout(50 * time.Millisecond); ok {
+		t.Fatal("timeout wait found phantom work")
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Error("returned too early")
+	}
+
+	db.Add(1)
+	n.Notify(qid)
+	if got, ok := n.WaitTimeout(time.Second); !ok || got != qid {
+		t.Fatalf("WaitTimeout = %v, %v", got, ok)
+	}
+}
+
+func TestCloseWakesWaiters(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, ok := n.Wait(); ok {
+				t.Error("Wait returned ok after close")
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	n.Close()
+	wg.Wait()
+}
+
+func TestRoundRobinAcrossQueues(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 4, Policy: RoundRobin})
+	defer n.Close()
+	dbs := make([]atomic.Int64, 3)
+	qids := make([]QID, 3)
+	for i := range dbs {
+		qids[i], _ = n.Register(&dbs[i])
+		dbs[i].Add(1)
+		n.Notify(qids[i])
+	}
+	seen := map[QID]bool{}
+	for range qids {
+		q, ok := n.Wait()
+		if !ok {
+			t.Fatal("wait failed")
+		}
+		seen[q] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("round robin visited %d queues, want 3", len(seen))
+	}
+}
+
+func TestStrictPriorityOrder(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 4, Policy: StrictPriority})
+	defer n.Close()
+	dbs := make([]atomic.Int64, 3)
+	qids := make([]QID, 3)
+	for i := range dbs {
+		qids[i], _ = n.Register(&dbs[i])
+	}
+	// Ready high-numbered then low-numbered: low must win.
+	dbs[2].Add(1)
+	n.Notify(qids[2])
+	dbs[0].Add(1)
+	n.Notify(qids[0])
+	if got, _ := n.Wait(); got != qids[0] {
+		t.Errorf("strict priority returned %v first", got)
+	}
+}
+
+func TestWeightedRoundRobinConfig(t *testing.T) {
+	if _, err := NewNotifier(NotifierConfig{MaxQueues: 2, Policy: WeightedRoundRobin, Weights: []int{1}}); err == nil {
+		t.Error("short weights accepted")
+	}
+	if _, err := NewNotifier(NotifierConfig{MaxQueues: 2, Policy: WeightedRoundRobin, Weights: []int{1, 0}}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	n, err := NewNotifier(NotifierConfig{MaxQueues: 2, Policy: WeightedRoundRobin})
+	if err != nil {
+		t.Fatalf("default weights: %v", err)
+	}
+	n.Close()
+	if _, err := NewNotifier(NotifierConfig{MaxQueues: -1}); err == nil {
+		t.Error("negative MaxQueues accepted")
+	}
+	if _, err := NewNotifier(NotifierConfig{Policy: Policy(99)}); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if RoundRobin.String() != "round-robin" ||
+		WeightedRoundRobin.String() != "weighted-round-robin" ||
+		StrictPriority.String() != "strict-priority" ||
+		Policy(9).String() != "unknown" {
+		t.Error("policy names")
+	}
+}
+
+// Stress: many producers over many queues, one consumer following the
+// QWAIT protocol; every produced item must be consumed exactly once.
+func TestNotifierStress(t *testing.T) {
+	const (
+		producers    = 8
+		itemsPerProd = 2000
+	)
+	n := newN(t, NotifierConfig{MaxQueues: producers})
+	defer n.Close()
+
+	type q struct {
+		db    atomic.Int64
+		items []int // guarded by mu
+		mu    sync.Mutex
+	}
+	queues := make([]*q, producers)
+	qidOf := make(map[QID]*q)
+	for i := range queues {
+		queues[i] = &q{}
+		qid, err := n.Register(&queues[i].db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qidOf[qid] = queues[i]
+	}
+
+	var produced, consumed atomic.Int64
+	var wg sync.WaitGroup
+	for i, qu := range queues {
+		wg.Add(1)
+		go func(id int, qu *q) {
+			defer wg.Done()
+			qid := func() QID {
+				for k, v := range qidOf {
+					if v == qu {
+						return k
+					}
+				}
+				panic("missing qid")
+			}()
+			for j := 0; j < itemsPerProd; j++ {
+				qu.mu.Lock()
+				qu.items = append(qu.items, j)
+				qu.mu.Unlock()
+				qu.db.Add(1)
+				produced.Add(1)
+				n.Notify(qid)
+			}
+		}(i, qu)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for consumed.Load() < producers*itemsPerProd {
+			qid, ok := n.WaitTimeout(2 * time.Second)
+			if !ok {
+				return
+			}
+			qu := qidOf[qid]
+			if !n.Verify(qid) {
+				continue
+			}
+			qu.db.Add(-1)
+			qu.mu.Lock()
+			if len(qu.items) > 0 {
+				qu.items = qu.items[1:]
+				consumed.Add(1)
+			}
+			qu.mu.Unlock()
+			n.Reconsider(qid)
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("consumer stalled")
+	}
+	if consumed.Load() != producers*itemsPerProd {
+		t.Fatalf("consumed %d of %d", consumed.Load(), produced.Load())
+	}
+}
+
+func TestWaitContext(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 2})
+	defer n.Close()
+	var db atomic.Int64
+	qid, _ := n.Register(&db)
+
+	// Cancelled context unblocks with ok=false.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, ok := n.WaitContext(ctx); ok {
+		t.Fatal("wait found phantom work")
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Error("returned before deadline")
+	}
+
+	// Ready work returns immediately regardless of context.
+	db.Add(1)
+	n.Notify(qid)
+	got, ok := n.WaitContext(context.Background())
+	if !ok || got != qid {
+		t.Fatalf("WaitContext = %v, %v", got, ok)
+	}
+
+	// Pre-cancelled context returns at once.
+	done, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, ok := n.WaitContext(done); ok {
+		t.Fatal("cancelled context returned work")
+	}
+}
+
+func TestWaitContextWokenByNotify(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 2})
+	defer n.Close()
+	var db atomic.Int64
+	qid, _ := n.Register(&db)
+	res := make(chan QID, 1)
+	go func() {
+		q, ok := n.WaitContext(context.Background())
+		if ok {
+			res <- q
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	db.Add(1)
+	n.Notify(qid)
+	select {
+	case q := <-res:
+		if q != qid {
+			t.Fatalf("woke with %v", q)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitContext never woke on notify")
+	}
+}

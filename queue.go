@@ -1,0 +1,110 @@
+package hyperplane
+
+import (
+	"hyperplane/internal/queue"
+)
+
+// Queue pairs a lock-free single-producer/single-consumer ring buffer with
+// a Notifier registration: Push rings the doorbell and notifies, Pop
+// decrements it — the tenant-side shared-memory queue of the paper's SDP
+// architecture, ready to use.
+//
+// One goroutine may Push concurrently with one goroutine Popping; the
+// notification side is fully concurrent.
+type Queue[T any] struct {
+	ring *queue.Ring[T]
+	n    *Notifier
+	qid  QID
+}
+
+// NewQueue creates a ring of the given power-of-two capacity and registers
+// it with the notifier.
+func NewQueue[T any](n *Notifier, capacity int) (*Queue[T], error) {
+	r, err := queue.NewRing[T](capacity)
+	if err != nil {
+		return nil, err
+	}
+	qid, err := n.Register(r.Doorbell())
+	if err != nil {
+		return nil, err
+	}
+	return &Queue[T]{ring: r, n: n, qid: qid}, nil
+}
+
+// QID returns the queue's notifier ID.
+func (q *Queue[T]) QID() QID { return q.qid }
+
+// Push enqueues v and notifies the data plane; it returns false if the
+// ring is full (backpressure).
+func (q *Queue[T]) Push(v T) bool {
+	if !q.ring.Push(v) {
+		return false
+	}
+	q.n.Notify(q.qid)
+	return true
+}
+
+// Pop dequeues the oldest element (consumer side). Callers following the
+// QWAIT protocol invoke Reconsider afterwards; Serve does this for you.
+func (q *Queue[T]) Pop() (T, bool) {
+	return q.ring.Pop()
+}
+
+// Len returns the doorbell counter.
+func (q *Queue[T]) Len() int { return q.ring.Len() }
+
+// Cap returns the ring capacity.
+func (q *Queue[T]) Cap() int { return q.ring.Cap() }
+
+// Close unregisters the queue from the notifier.
+func (q *Queue[T]) Close() error { return q.n.Unregister(q.qid) }
+
+// Mux routes Wait results to the right Queue for heterogeneous consumers:
+// a tiny helper implementing the full QWAIT consumer protocol over a set
+// of queues with one callback per item.
+type Mux[T any] struct {
+	n      *Notifier
+	queues map[QID]*Queue[T]
+}
+
+// NewMux creates an empty mux over the notifier.
+func NewMux[T any](n *Notifier) *Mux[T] {
+	return &Mux[T]{n: n, queues: make(map[QID]*Queue[T])}
+}
+
+// Add creates and tracks a new queue.
+func (m *Mux[T]) Add(capacity int) (*Queue[T], error) {
+	q, err := NewQueue[T](m.n, capacity)
+	if err != nil {
+		return nil, err
+	}
+	m.queues[q.qid] = q
+	return q, nil
+}
+
+// Serve runs the QWAIT consumer loop, invoking fn for every item until the
+// notifier is closed or fn returns false. It returns the number of items
+// processed. Run one Serve per data plane "core" goroutine; queues are
+// SPSC, so give each Serve its own Mux (its own queue set).
+func (m *Mux[T]) Serve(fn func(qid QID, item T) bool) int64 {
+	var handled int64
+	for {
+		qid, ok := m.n.Wait()
+		if !ok {
+			return handled
+		}
+		q := m.queues[qid]
+		if q == nil || !m.n.Verify(qid) {
+			continue // spurious wake-up or foreign queue
+		}
+		item, got := q.Pop()
+		m.n.Reconsider(qid)
+		if !got {
+			continue
+		}
+		handled++
+		if !fn(qid, item) {
+			return handled
+		}
+	}
+}

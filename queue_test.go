@@ -1,0 +1,143 @@
+package hyperplane
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueuePushPop(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 4})
+	defer n.Close()
+	q, err := NewQueue[string](n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Cap() != 8 || q.Len() != 0 {
+		t.Fatal("fresh queue state")
+	}
+	if !q.Push("a") {
+		t.Fatal("push failed")
+	}
+	if q.Len() != 1 {
+		t.Fatal("doorbell not rung")
+	}
+	// The notifier saw the push.
+	qid, ok := n.TryWait()
+	if !ok || qid != q.QID() {
+		t.Fatalf("TryWait = %v, %v", qid, ok)
+	}
+	v, ok := q.Pop()
+	if !ok || v != "a" {
+		t.Fatalf("pop = %q, %v", v, ok)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 4})
+	defer n.Close()
+	q, _ := NewQueue[int](n, 2)
+	if !q.Push(1) || !q.Push(2) {
+		t.Fatal("fills failed")
+	}
+	if q.Push(3) {
+		t.Fatal("push beyond capacity succeeded")
+	}
+}
+
+func TestQueueInvalidCapacity(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 4})
+	defer n.Close()
+	if _, err := NewQueue[int](n, 3); err == nil {
+		t.Fatal("non-power-of-two capacity accepted")
+	}
+}
+
+func TestQueueClose(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 1})
+	defer n.Close()
+	q, _ := NewQueue[int](n, 4)
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Capacity freed: a new queue can register.
+	if _, err := NewQueue[int](n, 4); err != nil {
+		t.Fatalf("register after close: %v", err)
+	}
+}
+
+func TestMuxServe(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 8})
+	m := NewMux[int](n)
+	const nq = 4
+	qs := make([]*Queue[int], nq)
+	for i := range qs {
+		var err error
+		qs[i], err = m.Add(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var mu sync.Mutex
+	got := map[QID][]int{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.Serve(func(qid QID, item int) bool {
+			mu.Lock()
+			got[qid] = append(got[qid], item)
+			total := 0
+			for _, xs := range got {
+				total += len(xs)
+			}
+			mu.Unlock()
+			return total < nq*50
+		})
+	}()
+
+	for i := 0; i < 50; i++ {
+		for _, q := range qs {
+			for !q.Push(i) {
+				time.Sleep(time.Microsecond)
+			}
+		}
+	}
+	wg.Wait()
+	n.Close()
+
+	for _, q := range qs {
+		items := got[q.QID()]
+		if len(items) != 50 {
+			t.Fatalf("queue %v delivered %d items", q.QID(), len(items))
+		}
+		for i, v := range items {
+			if v != i {
+				t.Fatalf("queue %v out of order at %d: %d", q.QID(), i, v)
+			}
+		}
+	}
+}
+
+func TestMuxServeStopsOnClose(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 2})
+	m := NewMux[int](n)
+	if _, err := m.Add(4); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int64, 1)
+	go func() {
+		done <- m.Serve(func(QID, int) bool { return true })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	n.Close()
+	select {
+	case handled := <-done:
+		if handled != 0 {
+			t.Errorf("handled = %d", handled)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve did not stop on close")
+	}
+}

@@ -1,0 +1,301 @@
+package hyperplane
+
+import (
+	"fmt"
+	"time"
+
+	"hyperplane/internal/experiments"
+	"hyperplane/internal/ready"
+	"hyperplane/internal/sdp"
+	"hyperplane/internal/sim"
+	"hyperplane/internal/traffic"
+	"hyperplane/internal/workload"
+)
+
+// Plane selects the simulated notification mechanism.
+type Plane string
+
+// Simulated plane kinds.
+const (
+	PlaneSpinning   Plane = "spinning"
+	PlaneHyperPlane Plane = "hyperplane"
+	// PlaneMWait is the MWAIT/UMWAIT-style intermediate baseline: halts
+	// when all queues are empty but must still scan to find work.
+	PlaneMWait Plane = "mwait"
+)
+
+// TrafficShape is one of the paper's four traffic concentration patterns.
+type TrafficShape string
+
+// Traffic shapes (paper §II-C).
+const (
+	FullyBalanced       TrafficShape = "FB"
+	PropConcentrated    TrafficShape = "PC"
+	NonPropConcentrated TrafficShape = "NC"
+	SingleQueue         TrafficShape = "SQ"
+)
+
+// Workloads lists the six evaluation workload names accepted by SimConfig.
+func Workloads() []string {
+	out := make([]string, len(workload.All))
+	for i, w := range workload.All {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// SimConfig configures one simulation run of the evaluation platform.
+type SimConfig struct {
+	Plane    Plane        // default: hyperplane
+	Workload string       // one of Workloads(); default packet-encapsulation
+	Shape    TrafficShape // default FB
+	Cores    int          // default 1
+	Queues   int          // default 256
+	// ClusterSize groups cores sharing queues: 1 = scale-out (default),
+	// Cores = full scale-up.
+	ClusterSize int
+	// Sockets spreads clusters over NUMA sockets (cross-socket accesses
+	// and steals pay an interconnect hop). 0 or 1 = single socket.
+	Sockets int
+	Policy  Policy
+	Weights []int
+	// Saturate measures peak throughput; otherwise Load (0,1] offers
+	// Poisson arrivals at that fraction of nominal capacity.
+	Saturate bool
+	Load     float64
+	// Burstiness > 1 makes open-loop arrivals bursty (on/off modulated)
+	// with that peak-to-mean ratio.
+	Burstiness       float64
+	PowerOptimized   bool
+	SoftwareReadySet bool
+	// MonitorBanks > 1 banks the monitoring set (distributed directories).
+	MonitorBanks int
+	// InOrder preserves per-queue processing order (flow-stateful
+	// workloads; paper §III-B).
+	InOrder bool
+	// WorkStealing lets HyperPlane cores fetch QIDs from remote clusters'
+	// ready sets when the local one is empty.
+	WorkStealing bool
+	Imbalance    float64
+	Duration     time.Duration // simulated measurement window; default 10ms
+	Seed         uint64
+	// OnTrace, when non-nil, receives every notification-protocol event
+	// (kind is one of arrival/activate/qwait/spurious/dequeue/complete/
+	// halt/wake; core is -1 for device-side events).
+	OnTrace func(at time.Duration, kind string, core, qid int)
+}
+
+// SimResult reports a simulation run's measurements.
+type SimResult struct {
+	Completed        int64
+	ThroughputMTasks float64
+
+	AvgLatency time.Duration
+	P50Latency time.Duration
+	P99Latency time.Duration
+	MaxLatency time.Duration
+
+	UsefulIPC  float64
+	UselessIPC float64
+	OverallIPC float64
+	AvgPowerW  float64
+
+	SpuriousWakeups int64
+	LockContention  int64
+}
+
+func (c SimConfig) internal() (sdp.Config, error) {
+	out := sdp.Config{
+		Cores:            c.Cores,
+		Queues:           c.Queues,
+		ClusterSize:      c.ClusterSize,
+		Sockets:          c.Sockets,
+		PowerOptimized:   c.PowerOptimized,
+		SoftwareReadySet: c.SoftwareReadySet,
+		MonitorBanks:     c.MonitorBanks,
+		InOrder:          c.InOrder,
+		WorkStealing:     c.WorkStealing,
+		Imbalance:        c.Imbalance,
+		Weights:          c.Weights,
+		Seed:             c.Seed,
+	}
+	if out.Cores == 0 {
+		out.Cores = 1
+	}
+	if out.Queues == 0 {
+		out.Queues = 256
+	}
+	name := c.Workload
+	if name == "" {
+		name = workload.PacketEncap.Name
+	}
+	w, err := workload.ByName(name)
+	if err != nil {
+		return out, err
+	}
+	out.Workload = w
+
+	switch c.Shape {
+	case FullyBalanced, "":
+		out.Shape = traffic.FB
+	case PropConcentrated:
+		out.Shape = traffic.PC
+	case NonPropConcentrated:
+		out.Shape = traffic.NC
+	case SingleQueue:
+		out.Shape = traffic.SQ
+	default:
+		return out, fmt.Errorf("hyperplane: unknown traffic shape %q", c.Shape)
+	}
+
+	switch c.Plane {
+	case PlaneSpinning:
+		out.Plane = sdp.Spinning
+	case PlaneMWait:
+		out.Plane = sdp.MWait
+	case PlaneHyperPlane, "":
+		out.Plane = sdp.HyperPlane
+	default:
+		return out, fmt.Errorf("hyperplane: unknown plane %q", c.Plane)
+	}
+
+	pol, err := c.Policy.internal()
+	if err != nil {
+		return out, err
+	}
+	out.Policy = pol
+	if pol == ready.WeightedRoundRobin && out.Weights == nil {
+		out.Weights = make([]int, out.Queues)
+		for i := range out.Weights {
+			out.Weights[i] = 1
+		}
+	}
+
+	if c.Saturate {
+		out.Mode = sdp.Saturate
+	} else {
+		out.Mode = sdp.OpenLoop
+		out.Load = c.Load
+		if out.Load == 0 {
+			out.Load = 0.5
+		}
+		out.Burstiness = c.Burstiness
+	}
+	dur := c.Duration
+	if dur == 0 {
+		dur = 10 * time.Millisecond
+	}
+	out.Duration = sim.FromSeconds(dur.Seconds())
+	out.Warmup = out.Duration / 10
+	if c.OnTrace != nil {
+		fn := c.OnTrace
+		out.Trace = func(e sdp.TraceEvent) {
+			fn(time.Duration(e.At/sim.Nanosecond)*time.Nanosecond,
+				e.Kind.String(), e.Core, e.QID)
+		}
+	}
+	return out, nil
+}
+
+// Simulate runs one configuration on the simulated evaluation platform.
+func Simulate(cfg SimConfig) (SimResult, error) {
+	ic, err := cfg.internal()
+	if err != nil {
+		return SimResult{}, err
+	}
+	r, err := sdp.Run(ic)
+	if err != nil {
+		return SimResult{}, err
+	}
+	toDur := func(t sim.Time) time.Duration {
+		return time.Duration(t / sim.Nanosecond * sim.Time(time.Nanosecond))
+	}
+	return SimResult{
+		Completed:        r.Completed,
+		ThroughputMTasks: r.ThroughputMTasks,
+		AvgLatency:       toDur(r.AvgLatency),
+		P50Latency:       toDur(r.P50Latency),
+		P99Latency:       toDur(r.P99Latency),
+		MaxLatency:       toDur(r.MaxLatency),
+		UsefulIPC:        r.UsefulIPC,
+		UselessIPC:       r.UselessIPC,
+		OverallIPC:       r.OverallIPC,
+		AvgPowerW:        r.AvgPowerW,
+		SpuriousWakeups:  r.SpuriousWakeups,
+		LockContention:   r.LockContention,
+	}, nil
+}
+
+// Series is one plotted line of a regenerated figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is one regenerated table/figure from the paper.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+	// Text is the rendered table; CSV is machine-readable; Plot is an
+	// ASCII chart for terminal inspection.
+	Text string
+	CSV  string
+	Plot string
+}
+
+// FigureInfo describes one reproducible experiment.
+type FigureInfo struct {
+	ID   string
+	Desc string
+}
+
+// Figures lists every reproducible table and figure.
+func Figures() []FigureInfo {
+	out := make([]FigureInfo, 0, len(experiments.Registry))
+	for _, e := range experiments.Registry {
+		out = append(out, FigureInfo{ID: e.ID, Desc: e.Desc})
+	}
+	return out
+}
+
+// ReproduceFigure regenerates the identified table/figure. quick trades
+// sweep breadth for speed (seconds instead of minutes).
+func ReproduceFigure(id string, quick bool, seed uint64) ([]Figure, error) {
+	return ReproduceFigureN(id, quick, seed, 1)
+}
+
+// ReproduceFigureN is ReproduceFigure averaged over n seeds, with the
+// worst-case relative standard deviation reported in the notes.
+func ReproduceFigureN(id string, quick bool, seed uint64, n int) ([]Figure, error) {
+	run, ok := experiments.Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("hyperplane: unknown experiment %q (see Figures())", id)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("hyperplane: replication count must be positive, got %d", n)
+	}
+	tabs := experiments.Replicate(run, experiments.Options{Quick: quick, Seed: seed}, n)
+	out := make([]Figure, 0, len(tabs))
+	for _, t := range tabs {
+		f := Figure{
+			ID:     t.ID,
+			Title:  t.Title,
+			XLabel: t.XLabel,
+			YLabel: t.YLabel,
+			Notes:  t.Notes,
+			Text:   t.Format(),
+			CSV:    t.CSV(),
+			Plot:   t.Plot(64, 16),
+		}
+		for _, s := range t.Series {
+			f.Series = append(f.Series, Series{Label: s.Label, X: s.X, Y: s.Y})
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,192 @@
+package hyperplane
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSimulateDefaults(t *testing.T) {
+	r, err := Simulate(SimConfig{Saturate: true, Duration: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed == 0 || r.ThroughputMTasks <= 0 {
+		t.Errorf("result = %+v", r)
+	}
+}
+
+func TestSimulateSpinningVsHyperPlane(t *testing.T) {
+	mk := func(p Plane) SimResult {
+		r, err := Simulate(SimConfig{
+			Plane:    p,
+			Shape:    SingleQueue,
+			Queues:   512,
+			Saturate: true,
+			Duration: 4 * time.Millisecond,
+			Seed:     3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	spin := mk(PlaneSpinning)
+	hp := mk(PlaneHyperPlane)
+	if hp.ThroughputMTasks <= spin.ThroughputMTasks {
+		t.Errorf("HyperPlane (%v) should beat spinning (%v) at 512 queues SQ",
+			hp.ThroughputMTasks, spin.ThroughputMTasks)
+	}
+}
+
+func TestSimulateOpenLoopLatency(t *testing.T) {
+	r, err := Simulate(SimConfig{
+		Plane:    PlaneHyperPlane,
+		Load:     0.3,
+		Queues:   64,
+		Duration: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AvgLatency <= 0 || r.P99Latency < r.AvgLatency {
+		t.Errorf("latency stats: avg=%v p99=%v", r.AvgLatency, r.P99Latency)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	cases := []SimConfig{
+		{Workload: "bogus"},
+		{Shape: "XX"},
+		{Plane: "warp"},
+		{Policy: Policy(9)},
+		{Load: 9},
+	}
+	for i, c := range cases {
+		if _, err := Simulate(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWorkloadsList(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 6 {
+		t.Fatalf("workloads = %v", ws)
+	}
+	found := false
+	for _, w := range ws {
+		if w == "erasure-coding" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("erasure-coding missing")
+	}
+}
+
+func TestFiguresAndReproduce(t *testing.T) {
+	figs := Figures()
+	if len(figs) != 25 {
+		t.Fatalf("figures = %d", len(figs))
+	}
+	out, err := ReproduceFigure("table1", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || !strings.Contains(out[0].Text, "Table I") {
+		t.Errorf("table1 output: %+v", out)
+	}
+	if _, err := ReproduceFigure("nope", true, 1); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestReproduceQuickFig3a(t *testing.T) {
+	out, err := ReproduceFigure("fig3a", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := out[0]
+	if len(f.Series) != 4 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	if f.CSV == "" || f.Text == "" {
+		t.Error("missing renderings")
+	}
+}
+
+func TestSimulateOnTrace(t *testing.T) {
+	kinds := map[string]int{}
+	_, err := Simulate(SimConfig{
+		Plane:    PlaneHyperPlane,
+		Queues:   8,
+		Load:     0.3,
+		Duration: 2 * time.Millisecond,
+		OnTrace: func(at time.Duration, kind string, core, qid int) {
+			if at < 0 {
+				t.Error("negative trace time")
+			}
+			kinds[kind]++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"arrival", "activate", "qwait", "dequeue", "complete"} {
+		if kinds[k] == 0 {
+			t.Errorf("no %q events traced (%v)", k, kinds)
+		}
+	}
+}
+
+func TestSimulateMWaitPlane(t *testing.T) {
+	r, err := Simulate(SimConfig{
+		Plane:    PlaneMWait,
+		Queues:   64,
+		Load:     0.2,
+		Duration: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed == 0 {
+		t.Error("mwait plane completed nothing")
+	}
+}
+
+func TestSimulateNUMAAndStealing(t *testing.T) {
+	r, err := Simulate(SimConfig{
+		Plane:        PlaneHyperPlane,
+		Cores:        4,
+		ClusterSize:  1,
+		Sockets:      2,
+		Queues:       80,
+		Shape:        PropConcentrated,
+		Load:         0.5,
+		Imbalance:    0.5,
+		WorkStealing: true,
+		Duration:     10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed == 0 {
+		t.Error("NUMA config completed nothing")
+	}
+}
+
+func TestSimulateBursty(t *testing.T) {
+	r, err := Simulate(SimConfig{
+		Queues:     32,
+		Load:       0.4,
+		Burstiness: 4,
+		Duration:   8 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed == 0 {
+		t.Error("bursty config completed nothing")
+	}
+}
