@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test race vet bench clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Regenerate BENCH_notifier.json: the banked lock-free notifier vs the
+# retired single-mutex engine over a producers x queues grid.
+bench:
+	$(GO) run ./cmd/notifierbench -out BENCH_notifier.json
+
+clean:
+	$(GO) clean ./...

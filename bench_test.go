@@ -5,6 +5,8 @@
 package hyperplane_test
 
 import (
+	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -196,6 +198,98 @@ func BenchmarkNotifierNotifyWait(b *testing.B) {
 		}
 		db.Add(-1)
 		n.Reconsider(qid)
+	}
+}
+
+// benchNotifyMulti runs the full producer/consumer protocol: producers
+// increment a doorbell then Notify; one consumer loops Wait -> drain ->
+// Consume. The producers×queues grid matches cmd/notifierbench (and
+// BENCH_notifier.json), where the same cells are compared against the
+// retired single-mutex engine.
+func benchNotifyMulti(b *testing.B, producers, queues int) {
+	n, err := hyperplane.NewNotifier(hyperplane.NotifierConfig{MaxQueues: queues})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	dbs := make([]atomic.Int64, queues)
+	qids := make([]hyperplane.QID, queues)
+	for i := range qids {
+		qids[i], _ = n.Register(&dbs[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		iters := b.N / producers
+		if p < b.N%producers {
+			iters++
+		}
+		wg.Add(1)
+		go func(p, iters int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q := (p + i*producers) % queues
+				dbs[q].Add(1)
+				n.Notify(qids[q])
+			}
+		}(p, iters)
+	}
+	consumed := 0
+	for consumed < b.N {
+		qid, ok := n.Wait()
+		if !ok {
+			b.Fatal("notifier closed")
+		}
+		for dbs[qid].Load() > 0 {
+			dbs[qid].Add(-1)
+			consumed++
+		}
+		n.Consume(qid)
+	}
+	wg.Wait()
+}
+
+func BenchmarkNotifyMulti(b *testing.B) {
+	for _, p := range []int{1, 8, 64} {
+		for _, q := range []int{16, 256, 1024} {
+			b.Run(fmt.Sprintf("p%d_q%d", p, q), func(b *testing.B) {
+				benchNotifyMulti(b, p, q)
+			})
+		}
+	}
+}
+
+// One coalesced doorbell ring for a 32-queue burst, drained by WaitBatch:
+// the batched fast path producers get from NotifyBatch/IngressBatch.
+func BenchmarkNotifierNotifyBatch(b *testing.B) {
+	const batch = 32
+	n, err := hyperplane.NewNotifier(hyperplane.NotifierConfig{MaxQueues: batch})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer n.Close()
+	dbs := make([]atomic.Int64, batch)
+	qids := make([]hyperplane.QID, batch)
+	for i := range qids {
+		qids[i], _ = n.Register(&dbs[i])
+	}
+	buf := make([]hyperplane.QID, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for q := range dbs {
+			dbs[q].Add(1)
+		}
+		n.NotifyBatch(qids)
+		for got := 0; got < batch; {
+			k := n.WaitBatch(buf)
+			for _, qid := range buf[:k] {
+				dbs[qid].Add(-1)
+				n.Consume(qid)
+			}
+			got += k
+		}
 	}
 }
 

@@ -100,13 +100,16 @@ type Plane struct {
 	wg      sync.WaitGroup
 }
 
-// worker owns a partition of tenant device-side queues.
+// worker owns a partition of tenant device-side queues. QID<->tenant
+// routing uses dense slices: the worker registers its tenants in order,
+// so its notifier QIDs are 0..len(tenants)-1 and both lookups are a
+// bounds check and a load on the hot path.
 type worker struct {
 	id          int
 	tenants     []int // tenant ids served by this worker
 	n           *hyperplane.Notifier
-	qidOf       map[hyperplane.QID]int // notifier QID -> tenant
-	qidByTenant map[int]hyperplane.QID
+	tenantOf    []int            // notifier QID -> tenant id
+	qidByTenant []hyperplane.QID // tenant id -> notifier QID (-1 = not ours)
 	stop        atomic.Bool
 }
 
@@ -162,11 +165,7 @@ func New(cfg Config) (*Plane, error) {
 	// Partition tenants across workers round-robin; in Notify mode each
 	// worker gets its own notifier over its partition.
 	for w := 0; w < cfg.Workers; w++ {
-		wk := &worker{
-			id:          w,
-			qidOf:       make(map[hyperplane.QID]int),
-			qidByTenant: make(map[int]hyperplane.QID),
-		}
+		wk := &worker{id: w}
 		for t := w; t < cfg.Tenants; t += cfg.Workers {
 			wk.tenants = append(wk.tenants, t)
 		}
@@ -178,12 +177,17 @@ func New(cfg Config) (*Plane, error) {
 			if err != nil {
 				return nil, err
 			}
+			wk.tenantOf = make([]int, len(wk.tenants))
+			wk.qidByTenant = make([]hyperplane.QID, cfg.Tenants)
+			for t := range wk.qidByTenant {
+				wk.qidByTenant[t] = -1
+			}
 			for _, t := range wk.tenants {
 				qid, err := n.Register(p.devRings[t].Doorbell())
 				if err != nil {
 					return nil, err
 				}
-				wk.qidOf[qid] = t
+				wk.tenantOf[qid] = t
 				wk.qidByTenant[t] = qid
 			}
 			wk.n = n
@@ -251,6 +255,51 @@ func (p *Plane) Ingress(tenant int, payload []byte) bool {
 	return true
 }
 
+// IngressItem pairs a tenant with a payload for batch ingress.
+type IngressItem struct {
+	Tenant  int
+	Payload []byte
+}
+
+// IngressBatch places a burst of work items in one call (the emulated
+// device's batched DMA + coalesced doorbells): payloads are pushed first
+// and each worker's doorbells are rung once via NotifyBatch, amortizing
+// waiter wakeups across the burst. It returns the number of items
+// accepted; items for invalid tenants or full rings are dropped, like
+// Ingress.
+func (p *Plane) IngressBatch(items []IngressItem) int {
+	if p.stopped.Load() {
+		return 0
+	}
+	var perWorker [][]hyperplane.QID
+	if p.cfg.Mode == Notify {
+		perWorker = make([][]hyperplane.QID, len(p.workers))
+	}
+	accepted := 0
+	for _, it := range items {
+		if it.Tenant < 0 || it.Tenant >= p.cfg.Tenants {
+			continue
+		}
+		if !p.devRings[it.Tenant].Push(it.Payload) {
+			continue
+		}
+		accepted++
+		if perWorker != nil {
+			w := it.Tenant % p.cfg.Workers
+			perWorker[w] = append(perWorker[w], p.workers[w].qidByTenant[it.Tenant])
+		}
+	}
+	if accepted > 0 {
+		p.ingressed.Add(int64(accepted))
+	}
+	for w, qids := range perWorker {
+		if len(qids) > 0 {
+			p.workers[w].n.NotifyBatch(qids)
+		}
+	}
+	return accepted
+}
+
 // Egress pops one processed item from a tenant's delivery queue without
 // blocking.
 func (p *Plane) Egress(tenant int) ([]byte, bool) {
@@ -277,32 +326,37 @@ func (p *Plane) EgressWait(tenant int) ([]byte, bool) {
 			// Closed: drain any remaining item without blocking.
 			return p.outRings[tenant].Pop()
 		}
-		if !tn.Verify(qid) {
-			continue
-		}
 		v, ok := p.outRings[tenant].Pop()
-		tn.Reconsider(qid)
+		tn.Consume(qid)
 		if ok {
 			return v, true
 		}
 	}
 }
 
-// runNotify is the QWAIT worker loop (Algorithm 1 of the paper).
+// runNotify is the QWAIT worker loop (Algorithm 1 of the paper), batched:
+// WaitBatch drains several ready queues per wakeup and Consume collapses
+// the Verify/Reconsider pair to one ready-set acquisition per item.
 func (p *Plane) runNotify(wk *worker) {
+	// Strict priority must re-evaluate the lowest ready QID after every
+	// item, so it gets a batch of one (see Notifier.WaitBatch docs).
+	size := 32
+	if p.cfg.Policy == hyperplane.StrictPriority {
+		size = 1
+	}
+	batch := make([]hyperplane.QID, size)
 	for {
-		qid, ok := wk.n.Wait()
-		if !ok {
+		c := wk.n.WaitBatch(batch)
+		if c == 0 {
 			return // notifier closed by Stop
 		}
-		if !wk.n.Verify(qid) {
-			continue
-		}
-		tenant := wk.qidOf[qid]
-		payload, got := p.devRings[tenant].Pop()
-		wk.n.Reconsider(qid)
-		if got {
-			p.handle(tenant, payload)
+		for _, qid := range batch[:c] {
+			tenant := wk.tenantOf[qid]
+			payload, got := p.devRings[tenant].Pop()
+			wk.n.Consume(qid)
+			if got {
+				p.handle(tenant, payload)
+			}
 		}
 	}
 }

@@ -314,6 +314,69 @@ func TestStrictPriorityAcrossTenants(t *testing.T) {
 	}
 }
 
+func TestIngressBatch(t *testing.T) {
+	for _, mode := range []Mode{Notify, Spin} {
+		t.Run(mode.String(), func(t *testing.T) {
+			const tenants = 3
+			p, err := New(Config{
+				Tenants: tenants,
+				Workers: 2,
+				Mode:    mode,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Start()
+			defer p.Stop()
+
+			// Mixed-tenant burst with invalid entries sprinkled in: they
+			// must be dropped without poisoning the rest of the batch.
+			const perTenant = 20
+			var batch []IngressItem
+			for i := 0; i < perTenant; i++ {
+				for tn := 0; tn < tenants; tn++ {
+					batch = append(batch, IngressItem{Tenant: tn, Payload: []byte{byte(tn), byte(i)}})
+				}
+				batch = append(batch, IngressItem{Tenant: -1, Payload: []byte("bad")})
+				batch = append(batch, IngressItem{Tenant: tenants, Payload: []byte("bad")})
+			}
+			if got := p.IngressBatch(batch); got != tenants*perTenant {
+				t.Fatalf("IngressBatch accepted %d, want %d", got, tenants*perTenant)
+			}
+			waitFor(t, 5*time.Second, func() bool {
+				return p.Stats().Delivered == tenants*perTenant
+			})
+			for tn := 0; tn < tenants; tn++ {
+				for i := 0; i < perTenant; i++ {
+					v, ok := p.Egress(tn)
+					if !ok || !bytes.Equal(v, []byte{byte(tn), byte(i)}) {
+						t.Fatalf("tenant %d item %d = %v, %v", tn, i, v, ok)
+					}
+				}
+			}
+			if st := p.Stats(); st.Ingressed != int64(tenants*perTenant) {
+				t.Errorf("stats = %+v", st)
+			}
+		})
+	}
+}
+
+func TestIngressBatchBackpressureAndStop(t *testing.T) {
+	p, _ := New(Config{Tenants: 1, RingCapacity: 2})
+	// No Start: the ring fills after two items, the rest drop.
+	batch := []IngressItem{
+		{0, []byte("a")}, {0, []byte("b")}, {0, []byte("c")},
+	}
+	if got := p.IngressBatch(batch); got != 2 {
+		t.Fatalf("accepted %d with capacity 2, want 2", got)
+	}
+	p.Start()
+	p.Stop()
+	if got := p.IngressBatch(batch); got != 0 {
+		t.Errorf("stopped plane accepted %d", got)
+	}
+}
+
 // Benchmarks comparing the two notification modes on real hardware: the
 // software analogue of Fig. 8's spinning-vs-HyperPlane comparison.
 func benchPlane(b *testing.B, mode Mode, tenants int) {

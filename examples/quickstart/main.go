@@ -37,13 +37,20 @@ func main() {
 		}
 		queues[q.QID()] = tenant
 
-		// Producer: bursty tenant traffic.
+		// Producer: bursty tenant traffic. The opening burst goes through
+		// PushBatch — one doorbell ring for three messages — then the tail
+		// trickles in one Push at a time.
 		wg.Add(1)
 		go func(tenant string, q *hyperplane.Queue[string]) {
 			defer wg.Done()
-			for i := 0; i < 5; i++ {
-				q.Push(fmt.Sprintf("%s's message #%d", tenant, i))
+			burst := make([]string, 3)
+			for i := range burst {
+				burst[i] = fmt.Sprintf("%s's message #%d", tenant, i)
+			}
+			q.PushBatch(burst)
+			for i := len(burst); i < 5; i++ {
 				time.Sleep(time.Duration(10+len(tenant)) * time.Millisecond)
+				q.Push(fmt.Sprintf("%s's message #%d", tenant, i))
 			}
 		}(tenant, q)
 	}

@@ -1,0 +1,149 @@
+package nshard
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hyperplane/internal/ready"
+)
+
+// Bank is one shard of the banked ready set. QIDs interleave across banks
+// exactly like doorbell lines interleave across directory banks in the
+// paper (monitor.Banked.BankOf): bank s of S owns every QID congruent to
+// s mod S, mapped to local index qid/S. Each bank runs its own
+// ready.Hardware (the same PPA selection logic as the simulated RTL) over
+// those local indices, so round-robin, weighted-round-robin and
+// strict-priority semantics hold exactly within a bank; cross-bank order
+// is governed by the caller's sweep rotor (see Notifier docs for the
+// fairness bound).
+//
+// Each bank also owns one bit of a shared summary word, kept in sync
+// under the bank lock: bit set iff the bank has at least one enabled
+// ready queue. Sweeps load the summary once and skip empty banks without
+// taking their locks.
+type Bank struct {
+	mu      sync.Mutex
+	rs      *ready.Hardware
+	stride  int
+	offset  int
+	summary *atomic.Uint64
+	bit     uint64
+}
+
+// NewBank builds the bank owning QIDs {offset, offset+stride, ...} below
+// total. weights is the full global weight slice (may be nil unless the
+// policy is WeightedRoundRobin); the bank extracts its own entries.
+func NewBank(total, stride, offset int, pol ready.Policy, weights []int, summary *atomic.Uint64, bit uint) *Bank {
+	localN := (total - offset + stride - 1) / stride
+	var lw []int
+	if pol == ready.WeightedRoundRobin {
+		lw = make([]int, localN)
+		for l := range lw {
+			lw[l] = weights[l*stride+offset]
+		}
+	}
+	return &Bank{
+		rs:      ready.NewHardware(localN, pol, lw),
+		stride:  stride,
+		offset:  offset,
+		summary: summary,
+		bit:     1 << bit,
+	}
+}
+
+func (b *Bank) local(qid int) int { return qid / b.stride }
+func (b *Bank) global(l int) int  { return l*b.stride + b.offset }
+
+// syncSummaryLocked publishes the bank's non-empty bit. Called with b.mu
+// held after every mutation, so the summary never goes stale relative to
+// the lock order sweeps use.
+func (b *Bank) syncSummaryLocked() {
+	for {
+		old := b.summary.Load()
+		var nw uint64
+		if b.rs.Peek() {
+			nw = old | b.bit
+		} else {
+			nw = old &^ b.bit
+		}
+		if nw == old || b.summary.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Activate marks qid ready.
+func (b *Bank) Activate(qid int) {
+	b.mu.Lock()
+	b.rs.Activate(b.local(qid))
+	b.syncSummaryLocked()
+	b.mu.Unlock()
+}
+
+// Deactivate clears qid's ready bit (QWAIT-REMOVE).
+func (b *Bank) Deactivate(qid int) {
+	b.mu.Lock()
+	b.rs.Deactivate(b.local(qid))
+	b.syncSummaryLocked()
+	b.mu.Unlock()
+}
+
+// Select returns the next ready QID per the bank's policy, clearing its
+// ready bit.
+func (b *Bank) Select() (int, bool) {
+	b.mu.Lock()
+	l, ok, _ := b.rs.Select()
+	b.syncSummaryLocked()
+	b.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	return b.global(l), true
+}
+
+// SelectMany fills dst with ready QIDs under a single lock acquisition,
+// returning the count — the bank half of Notifier.WaitBatch.
+func (b *Bank) SelectMany(dst []int) int {
+	b.mu.Lock()
+	i := 0
+	for i < len(dst) {
+		l, ok, _ := b.rs.Select()
+		if !ok {
+			break
+		}
+		dst[i] = b.global(l)
+		i++
+	}
+	b.syncSummaryLocked()
+	b.mu.Unlock()
+	return i
+}
+
+// SetEnabled flips the QWAIT-ENABLE/DISABLE mask bit and reports whether
+// the queue is ready and enabled afterwards (so the caller knows to wake
+// a waiter on Enable).
+func (b *Bank) SetEnabled(qid int, enabled bool) bool {
+	l := b.local(qid)
+	b.mu.Lock()
+	b.rs.SetEnabled(l, enabled)
+	ready := b.rs.IsReady(l)
+	b.syncSummaryLocked()
+	b.mu.Unlock()
+	return ready && enabled
+}
+
+// IsReady reports qid's ready bit.
+func (b *Bank) IsReady(qid int) bool {
+	b.mu.Lock()
+	r := b.rs.IsReady(b.local(qid))
+	b.mu.Unlock()
+	return r
+}
+
+// ReadyCount returns the number of ready queues in the bank.
+func (b *Bank) ReadyCount() int {
+	b.mu.Lock()
+	n := b.rs.ReadyCount()
+	b.mu.Unlock()
+	return n
+}

@@ -1,0 +1,297 @@
+package nshard
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hyperplane/internal/ready"
+)
+
+func TestQStateLifecycle(t *testing.T) {
+	var q QState
+	if q.Registered() || q.Pending() {
+		t.Fatal("zero state must be unregistered and armed")
+	}
+	if q.TryActivate() {
+		t.Fatal("unregistered entry activated")
+	}
+	var db atomic.Int64
+	q.Register(&db)
+	if !q.Registered() || q.Pending() {
+		t.Fatal("fresh registration must be armed")
+	}
+	if q.Doorbell() != &db {
+		t.Fatal("doorbell pointer lost")
+	}
+	if !q.TryActivate() {
+		t.Fatal("armed entry refused activation")
+	}
+	if q.TryActivate() {
+		t.Fatal("pending entry re-activated (notify must coalesce)")
+	}
+	if !q.Pending() {
+		t.Fatal("state not pending")
+	}
+	if !q.TryRearm() {
+		t.Fatal("pending entry refused rearm")
+	}
+	if q.TryRearm() {
+		t.Fatal("armed entry re-armed")
+	}
+	q.Unregister()
+	if q.Registered() || q.TryActivate() || q.TryRearm() {
+		t.Fatal("unregistered entry still live")
+	}
+	if q.Doorbell() != nil {
+		t.Fatal("doorbell not released")
+	}
+}
+
+func TestQStateEpochAdvances(t *testing.T) {
+	var q QState
+	var db atomic.Int64
+	e0 := q.Epoch()
+	q.Register(&db)
+	e1 := q.Epoch()
+	q.Unregister()
+	q.Register(&db)
+	e2 := q.Epoch()
+	if !(e0 < e1 && e1 < e2) {
+		t.Fatalf("epoch must advance per registration: %d %d %d", e0, e1, e2)
+	}
+}
+
+// One goroutine activates, one rearms: every transition must be won by
+// exactly one side (CAS), and the word must never hold an illegal value.
+func TestQStateConcurrentTransitions(t *testing.T) {
+	var q QState
+	var db atomic.Int64
+	q.Register(&db)
+	const iters = 20000
+	var activations, rearms atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if q.TryActivate() {
+					activations.Add(1)
+				}
+				if q.TryRearm() {
+					rearms.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	diff := activations.Load() - rearms.Load()
+	if diff != 0 && diff != 1 {
+		t.Fatalf("activations=%d rearms=%d: state machine leaked a transition",
+			activations.Load(), rearms.Load())
+	}
+}
+
+func TestBankStridedMapping(t *testing.T) {
+	var summary atomic.Uint64
+	// Bank 1 of 4 over 10 queues owns qids 1, 5, 9.
+	b := NewBank(10, 4, 1, ready.RoundRobin, nil, &summary, 1)
+	for _, qid := range []int{9, 1, 5} {
+		b.Activate(qid)
+	}
+	if summary.Load()&(1<<1) == 0 {
+		t.Fatal("summary bit not set on activate")
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		q, ok := b.Select()
+		if !ok {
+			t.Fatalf("select %d dry", i)
+		}
+		if q%4 != 1 {
+			t.Fatalf("bank returned foreign qid %d", q)
+		}
+		seen[q] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("round robin visited %d of 3", len(seen))
+	}
+	if _, ok := b.Select(); ok {
+		t.Fatal("empty bank selected")
+	}
+	if summary.Load()&(1<<1) != 0 {
+		t.Fatal("summary bit not cleared when bank drained")
+	}
+}
+
+func TestBankSelectMany(t *testing.T) {
+	var summary atomic.Uint64
+	b := NewBank(16, 2, 0, ready.RoundRobin, nil, &summary, 0)
+	for q := 0; q < 16; q += 2 {
+		b.Activate(q)
+	}
+	dst := make([]int, 16)
+	got := b.SelectMany(dst)
+	if got != 8 {
+		t.Fatalf("SelectMany = %d, want 8", got)
+	}
+	for _, q := range dst[:got] {
+		if q%2 != 0 {
+			t.Fatalf("foreign qid %d", q)
+		}
+	}
+	if summary.Load() != 0 {
+		t.Fatal("summary bit survived a full drain")
+	}
+}
+
+func TestBankMaskMaintainsSummary(t *testing.T) {
+	var summary atomic.Uint64
+	b := NewBank(4, 1, 0, ready.RoundRobin, nil, &summary, 0)
+	b.Activate(2)
+	if b.SetEnabled(2, false) {
+		t.Fatal("disabled queue reported wakeable")
+	}
+	if summary.Load() != 0 {
+		t.Fatal("summary set with only masked queues ready")
+	}
+	if _, ok := b.Select(); ok {
+		t.Fatal("masked queue selected")
+	}
+	if !b.SetEnabled(2, true) {
+		t.Fatal("enable of a ready queue must report wakeable")
+	}
+	if summary.Load() == 0 {
+		t.Fatal("summary not restored on enable")
+	}
+	if q, ok := b.Select(); !ok || q != 2 {
+		t.Fatalf("Select = %d, %v", q, ok)
+	}
+	if b.IsReady(2) || b.ReadyCount() != 0 {
+		t.Fatal("ready accounting broken after select")
+	}
+}
+
+func TestBankWRRLocalWeights(t *testing.T) {
+	var summary atomic.Uint64
+	// Bank 0 of 2 over 4 queues owns qids 0, 2 with weights 3 and 1.
+	weights := []int{3, 7, 1, 9}
+	b := NewBank(4, 2, 0, ready.WeightedRoundRobin, weights, &summary, 0)
+	counts := map[int]int{}
+	b.Activate(0)
+	b.Activate(2)
+	for i := 0; i < 400; i++ {
+		q, ok := b.Select()
+		if !ok {
+			t.Fatal("dry")
+		}
+		counts[q]++
+		b.Activate(q) // continuously backlogged
+	}
+	ratio := float64(counts[0]) / float64(counts[2])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("WRR 3:1 ratio off: counts=%v ratio=%.2f", counts, ratio)
+	}
+}
+
+func TestParkerSignalAndCancel(t *testing.T) {
+	p := NewParker(4)
+	w := NewWaiter()
+	p.Enqueue(1, w)
+	if p.Parked() != 1 {
+		t.Fatalf("parked = %d", p.Parked())
+	}
+	if !p.WakeOne(3) { // scan wraps across stripes
+		t.Fatal("WakeOne found nobody")
+	}
+	<-w.C()
+	if p.Parked() != 0 {
+		t.Fatalf("parked = %d after wake", p.Parked())
+	}
+	// Cancelled waiters are skipped and the token goes to a live one.
+	wc, wl := NewWaiter(), NewWaiter()
+	p.Enqueue(0, wc)
+	p.Enqueue(0, wl)
+	p.Cancel(wc, 0)
+	if !p.WakeOne(0) {
+		t.Fatal("live waiter not found past cancelled one")
+	}
+	<-wl.C()
+	select {
+	case <-wc.C():
+		t.Fatal("cancelled waiter signaled")
+	default:
+	}
+}
+
+func TestParkerCancelAfterSignalPassesTokenOn(t *testing.T) {
+	p := NewParker(2)
+	w1, w2 := NewWaiter(), NewWaiter()
+	p.Enqueue(0, w1)
+	if !p.WakeOne(0) {
+		t.Fatal("wake failed")
+	}
+	// w1 was signaled but decides to cancel (found work in re-sweep):
+	// its token must wake w2 instead of vanishing.
+	p.Enqueue(1, w2)
+	p.Cancel(w1, 0)
+	select {
+	case <-w2.C():
+	default:
+		t.Fatal("token dropped: w2 not woken")
+	}
+	if p.Parked() != 0 {
+		t.Fatalf("parked = %d", p.Parked())
+	}
+}
+
+func TestParkerWakeAll(t *testing.T) {
+	p := NewParker(3)
+	ws := make([]*Waiter, 7)
+	for i := range ws {
+		ws[i] = NewWaiter()
+		p.Enqueue(i, ws[i])
+	}
+	p.WakeAll()
+	for i, w := range ws {
+		select {
+		case <-w.C():
+		default:
+			t.Fatalf("waiter %d not woken", i)
+		}
+	}
+	if p.Parked() != 0 {
+		t.Fatalf("parked = %d", p.Parked())
+	}
+}
+
+// Hammer enqueue/cancel/wake from many goroutines; -race is the oracle,
+// plus the invariant that no live waiter is left behind at the end.
+func TestParkerConcurrentStress(t *testing.T) {
+	p := NewParker(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				w := NewWaiter()
+				p.Enqueue(g, w)
+				if i%2 == 0 {
+					p.Cancel(w, g)
+				} else {
+					// Tokens may land on any live waiter (including ones
+					// whose Cancel passes them on), so don't insist this
+					// call succeeds or that our own waiter gets it.
+					p.WakeOne(i % 4)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	p.WakeAll()
+	if p.Parked() != 0 {
+		t.Fatalf("parked = %d at end", p.Parked())
+	}
+}

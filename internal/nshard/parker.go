@@ -1,0 +1,144 @@
+package nshard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Waiter states.
+const (
+	wWaiting uint32 = iota
+	wSignaled
+	wCancelled
+)
+
+// Waiter is one blocked consumer's parking token. A waiter is enqueued on
+// a Parker stripe, then blocks on C() until a producer signals it (or it
+// cancels itself after finding work in a re-sweep).
+type Waiter struct {
+	state atomic.Uint32
+	ch    chan struct{}
+}
+
+// NewWaiter allocates a parking token. Allocation happens only on the
+// blocking slow path; the notify/wait fast paths are allocation-free.
+func NewWaiter() *Waiter {
+	return &Waiter{ch: make(chan struct{}, 1)}
+}
+
+// C is the channel the waiter blocks on; it receives exactly one token
+// when the waiter is signaled.
+func (w *Waiter) C() <-chan struct{} { return w.ch }
+
+// trySignal delivers the wakeup token unless the waiter already
+// cancelled.
+func (w *Waiter) trySignal() bool {
+	if w.state.CompareAndSwap(wWaiting, wSignaled) {
+		w.ch <- struct{}{}
+		return true
+	}
+	return false
+}
+
+// Parker is the shard-striped wakeup list: parked waiters are spread over
+// stripes (one per bank) so producers in different banks do not contend
+// on a single wait-queue lock, the way a global sync.Cond would make
+// them. A live-waiter count lets producers skip the scan entirely when
+// nobody is parked — the common case for a busy data plane.
+type Parker struct {
+	parked  atomic.Int64
+	stripes []stripe
+}
+
+type stripe struct {
+	mu sync.Mutex
+	ws []*Waiter
+}
+
+// NewParker builds a parker with n stripes.
+func NewParker(n int) *Parker {
+	return &Parker{stripes: make([]stripe, n)}
+}
+
+// Enqueue parks w on stripe s. The caller MUST re-sweep the ready banks
+// after Enqueue returns and cancel if it finds work: the enqueue-then-
+// recheck order, against producers' activate-then-wake order, is what
+// makes lost wakeups impossible.
+func (p *Parker) Enqueue(s int, w *Waiter) {
+	p.parked.Add(1)
+	st := &p.stripes[s%len(p.stripes)]
+	st.mu.Lock()
+	st.ws = append(st.ws, w)
+	st.mu.Unlock()
+}
+
+// Cancel retracts a parked waiter that found work on its own (or is
+// giving up on timeout/context-cancel/close). If a producer signaled it
+// concurrently, the wakeup token it holds is passed on to another parked
+// waiter so the activation it represents is not silently dropped.
+func (p *Parker) Cancel(w *Waiter, from int) {
+	if w.state.CompareAndSwap(wWaiting, wCancelled) {
+		p.parked.Add(-1)
+		return
+	}
+	// Already signaled: hand the token to someone else.
+	p.WakeOne(from)
+}
+
+// WakeOne wakes one parked waiter, scanning stripes starting at `from`
+// (producers pass the bank they just activated in, so the waiter most
+// likely to find that work is preferred). Cancelled entries found along
+// the way are discarded. Returns false if no live waiter exists.
+func (p *Parker) WakeOne(from int) bool {
+	if p.parked.Load() == 0 {
+		return false
+	}
+	n := len(p.stripes)
+	for i := 0; i < n; i++ {
+		st := &p.stripes[(from+i)%n]
+		st.mu.Lock()
+		for len(st.ws) > 0 {
+			w := st.ws[0]
+			st.ws[0] = nil
+			st.ws = st.ws[1:]
+			if len(st.ws) == 0 {
+				st.ws = nil // let the grown backing array go
+			}
+			if w.trySignal() {
+				p.parked.Add(-1)
+				st.mu.Unlock()
+				return true
+			}
+		}
+		st.mu.Unlock()
+	}
+	return false
+}
+
+// WakeN wakes up to n waiters (NotifyBatch's amortized wakeup).
+func (p *Parker) WakeN(from, n int) int {
+	woken := 0
+	for woken < n && p.WakeOne(from) {
+		woken++
+	}
+	return woken
+}
+
+// WakeAll signals every parked waiter (Close).
+func (p *Parker) WakeAll() {
+	for i := range p.stripes {
+		st := &p.stripes[i]
+		st.mu.Lock()
+		ws := st.ws
+		st.ws = nil
+		st.mu.Unlock()
+		for _, w := range ws {
+			if w.trySignal() {
+				p.parked.Add(-1)
+			}
+		}
+	}
+}
+
+// Parked returns the live parked-waiter count (for tests/stats).
+func (p *Parker) Parked() int { return int(p.parked.Load()) }

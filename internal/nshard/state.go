@@ -1,0 +1,118 @@
+// Package nshard is the banked core of the runtime Notifier: it mirrors
+// the paper's banked monitoring set (§IV-A) in software so that thousands
+// of producer goroutines can ring doorbells without serializing on one
+// lock. Three pieces compose:
+//
+//   - QState: the per-queue monitoring-set entry, a packed atomic word
+//     (armed/pending bit, registered bit, registration epoch) manipulated
+//     only by CAS. A producer notifying an already-activated queue costs a
+//     single atomic load; activating an armed queue is one CAS.
+//   - Bank: a QID-interleaved shard of the ready set (one small mutex
+//     around a ready.Hardware over the shard's local indices, plus one bit
+//     in a shared summary word so sweeps can skip empty banks).
+//   - Parker: a shard-striped wakeup list that consumers block on, so
+//     producers wake exactly one waiter without a global condition
+//     variable.
+package nshard
+
+import "sync/atomic"
+
+// Packed word layout: bit 0 is the activation state (0 = armed, 1 =
+// pending/activated), bit 1 is the registered bit, and the remaining bits
+// are a registration epoch bumped on every Register. The epoch makes the
+// word ABA-safe: a CAS prepared against a queue that was unregistered and
+// re-registered in between always fails, so a stale Notify cannot
+// activate the new tenant's entry.
+const (
+	pendingBit uint64 = 1 << 0
+	regBit     uint64 = 1 << 1
+	epochShift        = 2
+)
+
+// QState is one queue's monitoring-set entry: the packed atomic state
+// word plus the doorbell pointer (Go cannot pack a pointer into the same
+// word, so it rides alongside; both are only ever accessed atomically).
+// The struct is padded to a cache line so neighbouring queues' producers
+// do not false-share.
+type QState struct {
+	word atomic.Uint64
+	db   atomic.Pointer[atomic.Int64]
+	_    [64 - 16]byte
+}
+
+// Register stores the doorbell, sets the registered bit, arms the entry,
+// and bumps the epoch. The caller serializes Register/Unregister (they
+// are the cold control path); producers may race freely.
+func (q *QState) Register(db *atomic.Int64) {
+	q.db.Store(db)
+	for {
+		w := q.word.Load()
+		nw := (w>>epochShift+1)<<epochShift | regBit
+		if q.word.CompareAndSwap(w, nw) {
+			return
+		}
+	}
+}
+
+// Unregister clears the registered and pending bits, keeping the epoch so
+// in-flight CASes against the old registration fail.
+func (q *QState) Unregister() {
+	for {
+		w := q.word.Load()
+		nw := (w >> epochShift) << epochShift
+		if q.word.CompareAndSwap(w, nw) {
+			break
+		}
+	}
+	q.db.Store(nil)
+}
+
+// Registered reports the registered bit.
+func (q *QState) Registered() bool { return q.word.Load()&regBit != 0 }
+
+// Pending reports whether the entry is activated (disarmed).
+func (q *QState) Pending() bool {
+	w := q.word.Load()
+	return w&regBit != 0 && w&pendingBit != 0
+}
+
+// Epoch returns the registration epoch.
+func (q *QState) Epoch() uint64 { return q.word.Load() >> epochShift }
+
+// Doorbell returns the registered doorbell, or nil.
+func (q *QState) Doorbell() *atomic.Int64 { return q.db.Load() }
+
+// TryActivate is the producer fast path: armed -> pending. It returns
+// false when the entry is unregistered or already pending (the notify
+// coalesces, exactly like a disarmed monitoring-set entry swallowing
+// doorbell writes). On false the caller does nothing further; on true the
+// caller must insert the QID into its Bank and wake a waiter.
+func (q *QState) TryActivate() bool {
+	for {
+		w := q.word.Load()
+		if w&regBit == 0 || w&pendingBit != 0 {
+			return false
+		}
+		if q.word.CompareAndSwap(w, w|pendingBit) {
+			return true
+		}
+	}
+}
+
+// TryRearm is the consumer side: pending -> armed, so the next Notify
+// activates again. Returns false if the entry is unregistered or already
+// armed. Callers must re-check the doorbell AFTER a successful rearm and
+// re-activate if it is non-zero: a producer that incremented the doorbell
+// before the rearm may have had its Notify coalesced against the pending
+// state, and the post-rearm re-check is what closes that window.
+func (q *QState) TryRearm() bool {
+	for {
+		w := q.word.Load()
+		if w&regBit == 0 || w&pendingBit == 0 {
+			return false
+		}
+		if q.word.CompareAndSwap(w, w&^pendingBit) {
+			return true
+		}
+	}
+}

@@ -21,10 +21,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"hyperplane/internal/nshard"
 	"hyperplane/internal/ready"
 )
 
@@ -78,6 +80,10 @@ var (
 	ErrNilDoorbell  = errors.New("hyperplane: doorbell must not be nil")
 )
 
+// MaxShards is the hard ceiling on ready-set banks (the bank summary is
+// one 64-bit word, one bit per bank).
+const MaxShards = 64
+
 // NotifierConfig configures a Notifier.
 type NotifierConfig struct {
 	// MaxQueues is the monitoring capacity (like the paper's 1024-entry
@@ -88,12 +94,26 @@ type NotifierConfig struct {
 	// Weights are per-QID service weights for WeightedRoundRobin (values
 	// >= 1). Defaults to all-1 when nil.
 	Weights []int
+	// Shards is the number of ready-set banks (clamped to MaxQueues and
+	// MaxShards). QIDs interleave across banks (qid mod Shards), like the
+	// paper's banked monitoring set interleaves doorbell lines across
+	// directory banks. 0 picks GOMAXPROCS — except under StrictPriority,
+	// where the default is 1 because strict priority is inherently a
+	// global order (an explicit Shards > 1 gives per-bank strict priority
+	// with rotor sweeping between banks). Service-policy semantics are
+	// exact within a bank; across banks, see Wait's fairness bound.
+	Shards int
 }
 
-// Notifier is the software realization of the HyperPlane programming model:
-// the monitoring set becomes per-queue armed bits checked on Notify, and
-// the ready set is the same PPA selection logic the simulated hardware
-// uses. Consumers block in Wait instead of spinning over empty queues.
+// Notifier is the software realization of the HyperPlane programming model,
+// banked like the paper's monitoring set so producers do not serialize:
+// each queue's monitoring-set entry is a packed atomic word (armed bit,
+// registered bit, registration epoch) manipulated by CAS, and the ready
+// set is sharded into banks, each running the same PPA selection logic the
+// simulated hardware uses under its own small lock. Notify on an
+// already-activated queue is a single atomic load; Notify that activates
+// is one CAS plus an insertion into the queue's bank. Consumers block in
+// Wait instead of spinning over empty queues.
 //
 // Protocol (mirrors Algorithm 1 in the paper):
 //
@@ -104,14 +124,31 @@ type NotifierConfig struct {
 //	           n.Reconsider(qid)
 //	           process(item)
 //
+// or, collapsing Verify+Reconsider into one step:
+//
+//	consumer:  qid := n.Wait()
+//	           item, got := pop()               // pop decrements doorbell
+//	           n.Consume(qid)
+//	           if got { process(item) }
+//
 // All methods are safe for concurrent use.
 type Notifier struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	rs     *ready.Hardware
-	queues []nqueue
-	free   []QID
-	closed bool
+	banks  []*nshard.Bank
+	parker *nshard.Parker
+	states []nshard.QState
+
+	// bankSummary has one bit per bank, set iff the bank has an enabled
+	// ready queue; sweeps skip clear banks without locking them.
+	bankSummary atomic.Uint64
+	// rotor staggers waiters' sweep origins across banks.
+	rotor  atomic.Uint64
+	policy Policy
+	closed atomic.Bool
+
+	// regMu guards the registration free list (cold control path only —
+	// never taken by Notify/Wait/Verify/Reconsider/Consume).
+	regMu sync.Mutex
+	free  []QID
 
 	// statistics
 	notifies  atomic.Int64
@@ -119,12 +156,6 @@ type Notifier struct {
 	spurious  atomic.Int64
 	waits     atomic.Int64
 	halts     atomic.Int64 // Waits that actually blocked
-}
-
-type nqueue struct {
-	doorbell   *atomic.Int64
-	armed      bool
-	registered bool
 }
 
 // NewNotifier creates a Notifier.
@@ -156,16 +187,41 @@ func NewNotifier(cfg NotifierConfig) (*Notifier, error) {
 			}
 		}
 	}
-	n := &Notifier{
-		rs:     ready.NewHardware(cfg.MaxQueues, pol, weights),
-		queues: make([]nqueue, cfg.MaxQueues),
+	shards := cfg.Shards
+	if shards < 0 {
+		return nil, fmt.Errorf("hyperplane: Shards must be >= 0, got %d", cfg.Shards)
 	}
-	n.cond = sync.NewCond(&n.mu)
+	if shards == 0 {
+		if cfg.Policy == StrictPriority {
+			shards = 1
+		} else {
+			shards = runtime.GOMAXPROCS(0)
+		}
+	}
+	if shards > cfg.MaxQueues {
+		shards = cfg.MaxQueues
+	}
+	if shards > MaxShards {
+		shards = MaxShards
+	}
+	n := &Notifier{
+		parker: nshard.NewParker(shards),
+		states: make([]nshard.QState, cfg.MaxQueues),
+		policy: cfg.Policy,
+	}
+	for s := 0; s < shards; s++ {
+		n.banks = append(n.banks, nshard.NewBank(cfg.MaxQueues, shards, s, pol, weights, &n.bankSummary, uint(s)))
+	}
 	for i := cfg.MaxQueues - 1; i >= 0; i-- {
 		n.free = append(n.free, QID(i))
 	}
 	return n, nil
 }
+
+// Shards returns the number of ready-set banks.
+func (n *Notifier) Shards() int { return len(n.banks) }
+
+func (n *Notifier) bankOf(qid QID) *nshard.Bank { return n.banks[int(qid)%len(n.banks)] }
 
 // Register adds a queue with the given doorbell counter, armed
 // (QWAIT-ADD). The doorbell must count queued elements: producers increment
@@ -174,9 +230,9 @@ func (n *Notifier) Register(doorbell *atomic.Int64) (QID, error) {
 	if doorbell == nil {
 		return 0, ErrNilDoorbell
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
+	n.regMu.Lock()
+	defer n.regMu.Unlock()
+	if n.closed.Load() {
 		return 0, ErrClosed
 	}
 	if len(n.free) == 0 {
@@ -184,81 +240,240 @@ func (n *Notifier) Register(doorbell *atomic.Int64) (QID, error) {
 	}
 	qid := n.free[len(n.free)-1]
 	n.free = n.free[:len(n.free)-1]
-	n.queues[qid] = nqueue{doorbell: doorbell, armed: true, registered: true}
-	n.rs.SetEnabled(int(qid), true)
+	st := &n.states[qid]
+	st.Register(doorbell)
+	n.bankOf(qid).SetEnabled(int(qid), true)
 	// The queue may already hold items at registration.
-	if doorbell.Load() > 0 {
-		n.activateLocked(qid)
+	if doorbell.Load() > 0 && st.TryActivate() {
+		n.activate(qid)
 	}
 	return qid, nil
 }
 
 // Unregister removes a queue (QWAIT-REMOVE).
 func (n *Notifier) Unregister(qid QID) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if err := n.checkLocked(qid); err != nil {
+	n.regMu.Lock()
+	defer n.regMu.Unlock()
+	if err := n.check(qid); err != nil {
 		return err
 	}
-	n.queues[qid] = nqueue{}
-	n.rs.Deactivate(int(qid))
+	n.states[qid].Unregister()
+	n.bankOf(qid).Deactivate(int(qid))
 	n.free = append(n.free, qid)
 	return nil
 }
 
-func (n *Notifier) checkLocked(qid QID) error {
-	if n.closed {
+func (n *Notifier) check(qid QID) error {
+	if n.closed.Load() {
 		return ErrClosed
 	}
-	if qid < 0 || int(qid) >= len(n.queues) || !n.queues[qid].registered {
+	if qid < 0 || int(qid) >= len(n.states) || !n.states[qid].Registered() {
 		return ErrUnregistered
 	}
 	return nil
 }
 
-func (n *Notifier) activateLocked(qid QID) {
-	n.queues[qid].armed = false
-	n.rs.Activate(int(qid))
+// activate inserts an already-pending queue into its bank and wakes one
+// waiter, preferring waiters parked on that bank's stripe.
+func (n *Notifier) activate(qid QID) {
+	s := int(qid) % len(n.banks)
+	n.banks[s].Activate(int(qid))
 	n.activates.Add(1)
-	n.cond.Signal()
+	n.parker.WakeOne(s)
 }
 
 // Notify is the software stand-in for the doorbell write transaction the
 // hardware monitoring set would snoop: producers call it after
-// incrementing the doorbell. If the queue is armed, it is activated in the
-// ready set and one waiting consumer wakes; further notifies before re-arm
-// coalesce, exactly like disarmed monitoring-set entries.
+// incrementing the doorbell. If the queue is armed, it is activated in its
+// ready-set bank and one waiting consumer wakes; further notifies before
+// re-arm coalesce, exactly like disarmed monitoring-set entries. The
+// coalescing case is a single atomic load — no locks on the producer path.
 func (n *Notifier) Notify(qid QID) {
 	n.notifies.Add(1)
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if qid < 0 || int(qid) >= len(n.queues) || !n.queues[qid].registered {
+	if qid < 0 || int(qid) >= len(n.states) {
 		return
 	}
-	if n.queues[qid].armed {
-		n.activateLocked(qid)
+	if n.states[qid].TryActivate() {
+		n.activate(qid)
 	}
+}
+
+// NotifyBatch notifies many queues with one call, amortizing waiter
+// wakeups for bursty producers: activations are collected first and up to
+// that many waiters are woken at the end. Duplicate or already-activated
+// QIDs coalesce exactly as with Notify.
+func (n *Notifier) NotifyBatch(qids []QID) {
+	n.notifies.Add(int64(len(qids)))
+	activated := 0
+	firstBank := 0
+	for _, qid := range qids {
+		if qid < 0 || int(qid) >= len(n.states) {
+			continue
+		}
+		if n.states[qid].TryActivate() {
+			s := int(qid) % len(n.banks)
+			n.banks[s].Activate(int(qid))
+			n.activates.Add(1)
+			if activated == 0 {
+				firstBank = s
+			}
+			activated++
+		}
+	}
+	if activated > 0 {
+		n.parker.WakeN(firstBank, activated)
+	}
+}
+
+// startBank picks the sweep origin for one Wait: a rotor staggers
+// concurrent waiters across banks. Strict priority always sweeps from
+// bank 0 so lower QIDs (which live in lower banks first) keep precedence.
+func (n *Notifier) startBank() int {
+	if n.policy == StrictPriority || len(n.banks) == 1 {
+		return 0
+	}
+	return int(n.rotor.Add(1)-1) % len(n.banks)
+}
+
+// sweep visits banks once, starting at `start`, skipping banks whose
+// summary bit is clear, and returns the first selection.
+func (n *Notifier) sweep(start int) (QID, bool) {
+	S := len(n.banks)
+	for i := 0; i < S; i++ {
+		s := start + i
+		if s >= S {
+			s -= S
+		}
+		if n.bankSummary.Load()&(1<<uint(s)) == 0 {
+			continue
+		}
+		if q, ok := n.banks[s].Select(); ok {
+			return QID(q), true
+		}
+	}
+	return 0, false
+}
+
+// sweepBatch is sweep for WaitBatch: it keeps selecting (draining banks
+// under one lock acquisition each) until dst is full or all banks are dry.
+func (n *Notifier) sweepBatch(start int, dst []QID) int {
+	var buf [64]int
+	c := 0
+	S := len(n.banks)
+	for i := 0; i < S && c < len(dst); i++ {
+		s := start + i
+		if s >= S {
+			s -= S
+		}
+		if n.bankSummary.Load()&(1<<uint(s)) == 0 {
+			continue
+		}
+		for c < len(dst) {
+			lim := len(dst) - c
+			if lim > len(buf) {
+				lim = len(buf)
+			}
+			got := n.banks[s].SelectMany(buf[:lim])
+			for j := 0; j < got; j++ {
+				dst[c] = QID(buf[j])
+				c++
+			}
+			if got < lim {
+				break
+			}
+		}
+	}
+	return c
 }
 
 // Wait blocks until a queue is ready and returns its QID per the service
 // policy (the QWAIT instruction). ok is false if the Notifier is closed.
+//
+// Fairness across banks: policy semantics are exact within a bank. Across
+// banks, each Wait sweeps from a rotating origin, so with S banks and all
+// banks non-empty, a continuously-ready queue is serviced at least once
+// every S*R selections, where R is its own bank's policy bound (the
+// number of ready queues in the bank for round-robin, the bank's
+// outstanding weight sum for WRR). With balanced QID interleave this
+// degenerates to the single-lock bound. Shards=1 recovers exact global
+// policy order.
 func (n *Notifier) Wait() (qid QID, ok bool) {
 	n.waits.Add(1)
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	start := n.startBank()
 	blocked := false
 	for {
-		if n.closed {
+		if n.closed.Load() {
 			return 0, false
 		}
-		if q, found, _ := n.rs.Select(); found {
+		if q, ok := n.sweep(start); ok {
 			if blocked {
 				n.halts.Add(1)
 			}
-			return QID(q), true
+			return q, true
+		}
+		// Park. The enqueue-then-resweep order pairs with producers'
+		// activate-then-wake order: either the producer sees us parked,
+		// or our re-sweep sees its activation.
+		w := nshard.NewWaiter()
+		n.parker.Enqueue(start, w)
+		if q, ok := n.sweep(start); ok {
+			n.parker.Cancel(w, start)
+			if blocked {
+				n.halts.Add(1)
+			}
+			return q, true
+		}
+		if n.closed.Load() {
+			n.parker.Cancel(w, start)
+			return 0, false
 		}
 		blocked = true
-		n.cond.Wait()
+		<-w.C()
+	}
+}
+
+// WaitBatch blocks like Wait but drains up to len(dst) ready QIDs in one
+// call, amortizing sweep and wakeup costs for bursty traffic. It returns
+// the number filled (0 when the Notifier is closed or dst is empty). The
+// caller owes each returned QID its own Verify/Reconsider or Consume.
+//
+// The batch is a snapshot: the policy orders QIDs within it, but queues
+// that become ready mid-batch are not reconsidered until the next call.
+// Under StrictPriority that weakens the "always the lowest ready QID"
+// guarantee across a batch — use Wait (or len(dst)==1) when per-item
+// strictness matters.
+func (n *Notifier) WaitBatch(dst []QID) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	n.waits.Add(1)
+	start := n.startBank()
+	blocked := false
+	for {
+		if n.closed.Load() {
+			return 0
+		}
+		if c := n.sweepBatch(start, dst); c > 0 {
+			if blocked {
+				n.halts.Add(1)
+			}
+			return c
+		}
+		w := nshard.NewWaiter()
+		n.parker.Enqueue(start, w)
+		if c := n.sweepBatch(start, dst); c > 0 {
+			n.parker.Cancel(w, start)
+			if blocked {
+				n.halts.Add(1)
+			}
+			return c
+		}
+		if n.closed.Load() {
+			n.parker.Cancel(w, start)
+			return 0
+		}
+		blocked = true
+		<-w.C()
 	}
 }
 
@@ -266,43 +481,67 @@ func (n *Notifier) Wait() (qid QID, ok bool) {
 // ready QID or ok=false immediately.
 func (n *Notifier) TryWait() (qid QID, ok bool) {
 	n.waits.Add(1)
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.closed {
+	if n.closed.Load() {
 		return 0, false
 	}
-	q, found, _ := n.rs.Select()
-	return QID(q), found
+	return n.sweep(n.startBank())
 }
 
 // WaitTimeout is Wait with a deadline; ok is false on timeout or close.
-//
-// sync.Cond has no native timed wait, so the timeout is implemented with a
-// timer goroutine that broadcasts; the cost is paid only by calls that
-// actually block past their deadline's first wake.
+// One timer is allocated per call and reused across wake-ups.
 func (n *Notifier) WaitTimeout(d time.Duration) (qid QID, ok bool) {
-	deadline := time.Now().Add(d)
 	n.waits.Add(1)
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	deadline := time.Now().Add(d)
+	start := n.startBank()
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
-		if n.closed {
+		if n.closed.Load() {
 			return 0, false
 		}
-		if q, found, _ := n.rs.Select(); found {
-			return QID(q), true
+		if q, ok := n.sweep(start); ok {
+			return q, true
 		}
 		remain := time.Until(deadline)
 		if remain <= 0 {
 			return 0, false
 		}
-		t := time.AfterFunc(remain, func() {
-			n.mu.Lock()
-			n.cond.Broadcast()
-			n.mu.Unlock()
-		})
-		n.cond.Wait()
-		t.Stop()
+		w := nshard.NewWaiter()
+		n.parker.Enqueue(start, w)
+		if q, ok := n.sweep(start); ok {
+			n.parker.Cancel(w, start)
+			return q, true
+		}
+		if n.closed.Load() {
+			n.parker.Cancel(w, start)
+			return 0, false
+		}
+		if timer == nil {
+			timer = time.NewTimer(remain)
+		} else {
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(remain)
+		}
+		select {
+		case <-w.C():
+		case <-timer.C:
+			n.parker.Cancel(w, start)
+			// A racing activation may have signaled us instead; take a
+			// last look before reporting timeout.
+			if q, ok := n.sweep(start); ok {
+				return q, true
+			}
+			return 0, false
+		}
 	}
 }
 
@@ -310,70 +549,117 @@ func (n *Notifier) WaitTimeout(d time.Duration) (qid QID, ok bool) {
 // cancelled or times out — the idiomatic way to bound a Go consumer loop.
 func (n *Notifier) WaitContext(ctx context.Context) (qid QID, ok bool) {
 	n.waits.Add(1)
-	// Wake all waiters when the context fires; cheap no-op if never fired.
-	stop := context.AfterFunc(ctx, func() {
-		n.mu.Lock()
-		n.cond.Broadcast()
-		n.mu.Unlock()
-	})
-	defer stop()
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	start := n.startBank()
 	for {
-		if n.closed || ctx.Err() != nil {
+		if n.closed.Load() || ctx.Err() != nil {
 			return 0, false
 		}
-		if q, found, _ := n.rs.Select(); found {
-			return QID(q), true
+		if q, ok := n.sweep(start); ok {
+			return q, true
 		}
-		n.cond.Wait()
+		w := nshard.NewWaiter()
+		n.parker.Enqueue(start, w)
+		if q, ok := n.sweep(start); ok {
+			n.parker.Cancel(w, start)
+			return q, true
+		}
+		if n.closed.Load() || ctx.Err() != nil {
+			n.parker.Cancel(w, start)
+			return 0, false
+		}
+		select {
+		case <-w.C():
+		case <-ctx.Done():
+			n.parker.Cancel(w, start)
+			return 0, false
+		}
 	}
 }
 
 // Verify implements QWAIT-VERIFY: it reports whether the queue actually has
-// items; if it is empty (a spurious wake-up), the queue is atomically
-// re-armed so the next Notify activates it.
+// items; if it is empty (a spurious wake-up), the queue is re-armed so the
+// next Notify activates it. The re-arm is race-free against concurrent
+// producers: after a successful re-arm the doorbell is checked again and
+// the queue re-activated if a producer slipped in between.
 func (n *Notifier) Verify(qid QID) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.checkLocked(qid) != nil {
+	if qid < 0 || int(qid) >= len(n.states) {
 		return false
 	}
-	if n.queues[qid].doorbell.Load() > 0 {
+	st := &n.states[qid]
+	if n.closed.Load() || !st.Registered() {
+		return false
+	}
+	db := st.Doorbell()
+	if db == nil {
+		return false
+	}
+	if db.Load() > 0 {
 		return true
 	}
-	n.queues[qid].armed = true
 	n.spurious.Add(1)
+	if st.TryRearm() {
+		if db.Load() > 0 && st.TryActivate() {
+			n.activate(qid)
+		}
+	}
 	return false
 }
 
 // Reconsider implements QWAIT-RECONSIDER: after dequeuing (and
 // decrementing the doorbell), it re-activates the queue if items remain or
-// re-arms it if empty — atomically with respect to Notify, so arrivals
+// re-arms it if empty — with a post-rearm doorbell re-check, so arrivals
 // cannot be missed in between.
 func (n *Notifier) Reconsider(qid QID) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.checkLocked(qid) != nil {
-		return
+	n.consume(qid)
+}
+
+// Consume collapses Verify and Reconsider into one step for consumers
+// that pop first and check what they got (Pop on an SPSC ring decrements
+// the doorbell itself): call it after the pop attempt. It re-activates
+// the queue if the doorbell shows remaining items (returning true) or
+// re-arms it (returning false), closing the producer race the same way
+// Reconsider does. Mux.Serve uses it so each item costs one ready-set
+// bank acquisition instead of two global-lock round-trips.
+func (n *Notifier) Consume(qid QID) bool {
+	return n.consume(qid)
+}
+
+func (n *Notifier) consume(qid QID) bool {
+	if qid < 0 || int(qid) >= len(n.states) {
+		return false
 	}
-	if n.queues[qid].doorbell.Load() > 0 {
-		n.activateLocked(qid)
-	} else {
-		n.queues[qid].armed = true
+	st := &n.states[qid]
+	if !st.Registered() {
+		return false
 	}
+	db := st.Doorbell()
+	if db == nil {
+		return false
+	}
+	if db.Load() > 0 {
+		// Still backlogged: the entry stays pending; just put it back on
+		// its bank's ready set.
+		n.activate(qid)
+		return true
+	}
+	if st.TryRearm() {
+		// Closed the rearm window; re-check for a producer that rang the
+		// doorbell while we were pending (its Notify coalesced).
+		if db.Load() > 0 && st.TryActivate() {
+			n.activate(qid)
+		}
+	}
+	return false
 }
 
 // Enable implements QWAIT-ENABLE: the queue may be returned by Wait again.
 func (n *Notifier) Enable(qid QID) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if err := n.checkLocked(qid); err != nil {
+	if err := n.check(qid); err != nil {
 		return err
 	}
-	n.rs.SetEnabled(int(qid), true)
-	if n.rs.IsReady(int(qid)) {
-		n.cond.Signal()
+	s := int(qid) % len(n.banks)
+	if n.banks[s].SetEnabled(int(qid), true) {
+		n.parker.WakeOne(s)
 	}
 	return nil
 }
@@ -382,21 +668,17 @@ func (n *Notifier) Enable(qid QID) error {
 // but is not returned by Wait until re-enabled (e.g. for congestion
 // control pacing).
 func (n *Notifier) Disable(qid QID) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if err := n.checkLocked(qid); err != nil {
+	if err := n.check(qid); err != nil {
 		return err
 	}
-	n.rs.SetEnabled(int(qid), false)
+	n.bankOf(qid).SetEnabled(int(qid), false)
 	return nil
 }
 
 // Close wakes all waiters with ok=false and rejects further registration.
 func (n *Notifier) Close() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.closed = true
-	n.cond.Broadcast()
+	n.closed.Store(true)
+	n.parker.WakeAll()
 }
 
 // Stats reports runtime counters.
@@ -411,9 +693,9 @@ type NotifierStats struct {
 
 // Stats returns a snapshot of runtime counters.
 func (n *Notifier) Stats() NotifierStats {
-	n.mu.Lock()
-	registered := len(n.queues) - len(n.free)
-	n.mu.Unlock()
+	n.regMu.Lock()
+	registered := len(n.states) - len(n.free)
+	n.regMu.Unlock()
 	return NotifierStats{
 		Notifies:    n.notifies.Load(),
 		Activations: n.activates.Load(),

@@ -44,8 +44,27 @@ func (q *Queue[T]) Push(v T) bool {
 	return true
 }
 
+// PushBatch enqueues as many of vs as fit and rings the doorbell once at
+// the end — the batched producer fast path (notifies on a queue that is
+// already activated coalesce anyway; this skips even the per-item atomic
+// load). It returns the number enqueued.
+func (q *Queue[T]) PushBatch(vs []T) int {
+	pushed := 0
+	for _, v := range vs {
+		if !q.ring.Push(v) {
+			break
+		}
+		pushed++
+	}
+	if pushed > 0 {
+		q.n.Notify(q.qid)
+	}
+	return pushed
+}
+
 // Pop dequeues the oldest element (consumer side). Callers following the
-// QWAIT protocol invoke Reconsider afterwards; Serve does this for you.
+// QWAIT protocol invoke Consume (or Reconsider) afterwards; Serve does
+// this for you.
 func (q *Queue[T]) Pop() (T, bool) {
 	return q.ring.Pop()
 }
@@ -61,15 +80,16 @@ func (q *Queue[T]) Close() error { return q.n.Unregister(q.qid) }
 
 // Mux routes Wait results to the right Queue for heterogeneous consumers:
 // a tiny helper implementing the full QWAIT consumer protocol over a set
-// of queues with one callback per item.
+// of queues with one callback per item. Queues are tracked in a dense
+// slice indexed by QID, so per-item routing is a bounds check and a load.
 type Mux[T any] struct {
 	n      *Notifier
-	queues map[QID]*Queue[T]
+	queues []*Queue[T] // dense, indexed by QID; nil = not ours
 }
 
 // NewMux creates an empty mux over the notifier.
 func NewMux[T any](n *Notifier) *Mux[T] {
-	return &Mux[T]{n: n, queues: make(map[QID]*Queue[T])}
+	return &Mux[T]{n: n}
 }
 
 // Add creates and tracks a new queue.
@@ -77,6 +97,9 @@ func (m *Mux[T]) Add(capacity int) (*Queue[T], error) {
 	q, err := NewQueue[T](m.n, capacity)
 	if err != nil {
 		return nil, err
+	}
+	for int(q.qid) >= len(m.queues) {
+		m.queues = append(m.queues, nil)
 	}
 	m.queues[q.qid] = q
 	return q, nil
@@ -86,6 +109,11 @@ func (m *Mux[T]) Add(capacity int) (*Queue[T], error) {
 // notifier is closed or fn returns false. It returns the number of items
 // processed. Run one Serve per data plane "core" goroutine; queues are
 // SPSC, so give each Serve its own Mux (its own queue set).
+//
+// Serve uses Consume: it pops first (Pop decrements the doorbell), then
+// re-activates or re-arms in a single step, so each item costs one
+// ready-set bank acquisition instead of separate Verify and Reconsider
+// passes.
 func (m *Mux[T]) Serve(fn func(qid QID, item T) bool) int64 {
 	var handled int64
 	for {
@@ -93,13 +121,17 @@ func (m *Mux[T]) Serve(fn func(qid QID, item T) bool) int64 {
 		if !ok {
 			return handled
 		}
-		q := m.queues[qid]
-		if q == nil || !m.n.Verify(qid) {
-			continue // spurious wake-up or foreign queue
+		var q *Queue[T]
+		if int(qid) < len(m.queues) {
+			q = m.queues[qid]
+		}
+		if q == nil {
+			continue // foreign queue
 		}
 		item, got := q.Pop()
-		m.n.Reconsider(qid)
+		m.n.Consume(qid)
 		if !got {
+			m.n.spurious.Add(1) // woke with nothing to pop
 			continue
 		}
 		handled++
