@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench clean
+.PHONY: all build test race vet bench chaos clean
 
 all: build vet test
 
@@ -15,6 +15,11 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Chaos suite: fault-injected dataplane isolation/recovery tests and the
+# notifier close-race hammers, repeated under the race detector.
+chaos:
+	$(GO) test -race -run Chaos -count=3 ./...
 
 # Regenerate BENCH_notifier.json: the banked lock-free notifier vs the
 # retired single-mutex engine over a producers x queues grid.

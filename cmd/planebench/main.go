@@ -6,6 +6,14 @@
 // Example:
 //
 //	planebench -tenants 8,64,256 -duration 2s
+//
+// With the fault harness it also measures tenant isolation: a fraction of
+// tenants is injected with handler panics/errors/latency spikes and stalled
+// consumers, and throughput is reported separately for healthy and faulty
+// tenants so the isolation cost is visible directly:
+//
+//	planebench -tenants 64 -faulty 0.25 -panic-every 1 -stall \
+//	           -drop drop-newest -quarantine 3
 package main
 
 import (
@@ -20,7 +28,28 @@ import (
 	"time"
 
 	"hyperplane/dataplane"
+	"hyperplane/internal/fault"
 )
+
+type benchConfig struct {
+	workers    int
+	capacity   int
+	mode       dataplane.Mode
+	duration   time.Duration
+	rate       float64
+	delivery   dataplane.DeliveryPolicy
+	deliverTO  time.Duration
+	quarantine int
+
+	// fault plan (nil faultCfg = no injection)
+	faultFrac  float64
+	seed       int64
+	panicEvery int
+	errorEvery int
+	spikeEvery int
+	spike      time.Duration
+	stall      bool
+}
 
 func main() {
 	var (
@@ -29,6 +58,18 @@ func main() {
 		duration    = flag.Duration("duration", 2*time.Second, "measurement window per point")
 		capacity    = flag.Int("cap", 1024, "ring capacity (power of two)")
 		rate        = flag.Float64("rate", 0, "paced ingress per tenant (items/s); 0 = flood (saturation)")
+
+		dropFlag   = flag.String("drop", "block", "delivery policy: block, drop-newest, drop-oldest")
+		deliverTO  = flag.Duration("delivery-timeout", 0, "Block-policy per-item delivery deadline (0 = unbounded)")
+		quarantine = flag.Int("quarantine", 0, "quarantine after N consecutive tenant failures (0 = off)")
+
+		faultFrac  = flag.Float64("faulty", 0, "fraction of tenants injected faulty (0 = no injection)")
+		faultSeed  = flag.Int64("fault-seed", 1, "fault plan seed")
+		panicEvery = flag.Int("panic-every", 0, "panic every Nth item of a faulty tenant (0 = never)")
+		errorEvery = flag.Int("error-every", 0, "fail every Nth item of a faulty tenant (0 = never)")
+		spikeEvery = flag.Int("spike-every", 0, "latency-spike every Nth item of a faulty tenant (0 = never)")
+		spike      = flag.Duration("spike", time.Millisecond, "injected handler latency per spike")
+		stall      = flag.Bool("stall", false, "stall faulty tenants' consumers (dead delivery rings)")
 	)
 	flag.Parse()
 
@@ -42,34 +83,122 @@ func main() {
 		counts = append(counts, n)
 	}
 
-	fmt.Printf("%8s %10s %14s %12s %12s\n", "tenants", "mode", "items/s", "p50", "p99")
+	var delivery dataplane.DeliveryPolicy
+	switch *dropFlag {
+	case "block":
+		delivery = dataplane.Block
+	case "drop-newest":
+		delivery = dataplane.DropNewest
+	case "drop-oldest":
+		delivery = dataplane.DropOldest
+	default:
+		fmt.Fprintf(os.Stderr, "planebench: bad -drop %q\n", *dropFlag)
+		os.Exit(2)
+	}
+
+	cfg := benchConfig{
+		workers:    *workers,
+		capacity:   *capacity,
+		duration:   *duration,
+		rate:       *rate,
+		delivery:   delivery,
+		deliverTO:  *deliverTO,
+		quarantine: *quarantine,
+		faultFrac:  *faultFrac,
+		seed:       *faultSeed,
+		panicEvery: *panicEvery,
+		errorEvery: *errorEvery,
+		spikeEvery: *spikeEvery,
+		spike:      *spike,
+		stall:      *stall,
+	}
+
+	injecting := cfg.faultFrac > 0
+	if injecting {
+		fmt.Printf("%8s %10s %14s %14s %12s %12s  %s\n",
+			"tenants", "mode", "healthy/s", "faulty/s", "p50", "p99", "plane stats")
+	} else {
+		fmt.Printf("%8s %10s %14s %12s %12s\n", "tenants", "mode", "items/s", "p50", "p99")
+	}
 	for _, tenants := range counts {
 		for _, mode := range []dataplane.Mode{dataplane.Notify, dataplane.Spin} {
-			thr, p50, p99, err := measure(tenants, *workers, *capacity, mode, *duration, *rate)
+			cfg.mode = mode
+			r, err := measure(tenants, cfg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "planebench:", err)
 				os.Exit(1)
 			}
-			fmt.Printf("%8d %10s %14.0f %12v %12v\n", tenants, mode, thr, p50, p99)
+			if injecting {
+				fmt.Printf("%8d %10s %14.0f %14.0f %12v %12v  panics=%d errors=%d dropped=%d quarantined=%d restarts=%d\n",
+					tenants, mode, r.healthyThr, r.faultyThr, r.p50, r.p99,
+					r.stats.Panics, r.stats.Errors, r.stats.Dropped, r.stats.Quarantined, r.stats.Restarts)
+			} else {
+				fmt.Printf("%8d %10s %14.0f %12v %12v\n", tenants, mode, r.healthyThr, r.p50, r.p99)
+			}
 		}
 	}
 }
 
-func measure(tenants, workers, capacity int, mode dataplane.Mode, duration time.Duration, rate float64) (float64, time.Duration, time.Duration, error) {
+type result struct {
+	healthyThr float64 // items/s delivered to healthy tenants (all, when no injection)
+	faultyThr  float64 // items/s delivered to faulty tenants
+	p50, p99   time.Duration
+	stats      dataplane.Stats
+}
+
+func measure(tenants int, cfg benchConfig) (result, error) {
+	// Faulty set: the first ceil(frac*tenants) tenant ids.
+	nFaulty := 0
+	if cfg.faultFrac > 0 {
+		nFaulty = int(cfg.faultFrac*float64(tenants) + 0.999999)
+		if nFaulty > tenants {
+			nFaulty = tenants
+		}
+	}
+	var inj *fault.Injector
+	var handler dataplane.Handler
+	if nFaulty > 0 {
+		faulty := make([]int, nFaulty)
+		for i := range faulty {
+			faulty[i] = i
+		}
+		var err error
+		inj, err = fault.New(fault.Config{
+			Seed:           cfg.seed,
+			Tenants:        tenants,
+			Faulty:         faulty,
+			PanicEvery:     cfg.panicEvery,
+			ErrorEvery:     cfg.errorEvery,
+			SpikeEvery:     cfg.spikeEvery,
+			Spike:          cfg.spike,
+			StallConsumers: cfg.stall,
+		})
+		if err != nil {
+			return result{}, err
+		}
+		handler = dataplane.Handler(inj.Wrap(func(tenant int, payload []byte) ([]byte, error) {
+			return payload, nil
+		}))
+	}
+
 	p, err := dataplane.New(dataplane.Config{
-		Tenants:      tenants,
-		Workers:      workers,
-		RingCapacity: capacity,
-		Mode:         mode,
+		Tenants:         tenants,
+		Workers:         cfg.workers,
+		RingCapacity:    cfg.capacity,
+		Mode:            cfg.mode,
+		Handler:         handler,
+		Delivery:        cfg.delivery,
+		DeliveryTimeout: cfg.deliverTO,
+		Quarantine:      dataplane.QuarantineConfig{Threshold: cfg.quarantine},
 	})
 	if err != nil {
-		return 0, 0, 0, err
+		return result{}, err
 	}
 	p.Start()
 	defer p.Stop()
 
 	var stop atomic.Bool
-	var consumed atomic.Int64
+	var healthyConsumed, faultyConsumed atomic.Int64
 	var latMu sync.Mutex
 	var lats []time.Duration
 
@@ -80,8 +209,8 @@ func measure(tenants, workers, capacity int, mode dataplane.Mode, duration time.
 		go func(tn int) {
 			defer wg.Done()
 			var pace time.Duration
-			if rate > 0 {
-				pace = time.Duration(float64(time.Second) / rate)
+			if cfg.rate > 0 {
+				pace = time.Duration(float64(time.Second) / cfg.rate)
 			}
 			for !stop.Load() {
 				now := time.Now()
@@ -100,13 +229,25 @@ func measure(tenants, workers, capacity int, mode dataplane.Mode, duration time.
 		}(tn)
 		go func(tn int) {
 			defer wg.Done()
+			faulty := inj != nil && inj.Faulty(tn)
 			for {
+				if inj != nil && inj.Stalled(tn) {
+					if stop.Load() {
+						return
+					}
+					time.Sleep(100 * time.Microsecond)
+					continue
+				}
 				out, ok := p.EgressWait(tn)
 				if !ok {
 					return
 				}
 				d := time.Since(timeFrom(out))
-				consumed.Add(1)
+				if faulty {
+					faultyConsumed.Add(1)
+				} else {
+					healthyConsumed.Add(1)
+				}
 				latMu.Lock()
 				if len(lats) < 2_000_000 {
 					lats = append(lats, d)
@@ -120,9 +261,10 @@ func measure(tenants, workers, capacity int, mode dataplane.Mode, duration time.
 	}
 
 	start := time.Now()
-	time.Sleep(duration)
+	time.Sleep(cfg.duration)
 	stop.Store(true)
 	elapsed := time.Since(start)
+	st := p.Stats()
 	p.Stop() // closes tenant notifiers, unblocking EgressWait
 	wg.Wait()
 
@@ -135,7 +277,13 @@ func measure(tenants, workers, capacity int, mode dataplane.Mode, duration time.
 		}
 		return lats[int(q*float64(len(lats)-1))]
 	}
-	return float64(consumed.Load()) / elapsed.Seconds(), pct(0.50), pct(0.99), nil
+	return result{
+		healthyThr: float64(healthyConsumed.Load()) / elapsed.Seconds(),
+		faultyThr:  float64(faultyConsumed.Load()) / elapsed.Seconds(),
+		p50:        pct(0.50),
+		p99:        pct(0.99),
+		stats:      st,
+	}, nil
 }
 
 func timeBytes(t time.Time) [8]byte {

@@ -11,17 +11,27 @@
 // the result to the tenant-side queue, and ring the tenant's doorbell.
 // Tenants consume with Egress/EgressWait.
 //
+// The plane degrades instead of dying: handler panics are recovered and
+// counted, a supervisor restarts crashed workers with capped exponential
+// backoff, tenant-side backpressure is governed by a configurable delivery
+// policy so one stalled tenant cannot head-of-line-block its worker, and
+// tenants whose handlers fail repeatedly are quarantined via the paper's
+// QWAIT-DISABLE primitive and re-probed with backoff. See DESIGN.md
+// "Failure model & degradation".
+//
 // The package is the software analogue of the simulated planes in
 // internal/sdp, usable for real measurements on real hardware (see
 // BenchmarkPlaneNotify/BenchmarkPlaneSpin).
 package dataplane
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hyperplane"
 	"hyperplane/internal/queue"
@@ -51,6 +61,51 @@ func (m Mode) String() string {
 	return "notify"
 }
 
+// DeliveryPolicy selects what a worker does when a tenant-side ring is full
+// (a stalled or slow tenant consumer). Block preserves every item but can
+// hold the worker; the drop policies charge the stalled tenant instead of
+// head-of-line-blocking every other tenant in the worker's partition.
+type DeliveryPolicy uint8
+
+// Delivery policies.
+const (
+	// Block waits for ring space, bounded by Config.DeliveryTimeout when
+	// set (unbounded when zero — the legacy behavior). On timeout the item
+	// is dropped and counted in Stats.Dropped.
+	Block DeliveryPolicy = iota
+	// DropNewest drops the just-processed item when the tenant ring is
+	// full; the worker never waits.
+	DropNewest
+	// DropOldest evicts the oldest undelivered item to make room for the
+	// new one; the worker never waits and the tenant sees the freshest
+	// results.
+	DropOldest
+)
+
+func (d DeliveryPolicy) String() string {
+	switch d {
+	case DropNewest:
+		return "drop-newest"
+	case DropOldest:
+		return "drop-oldest"
+	}
+	return "block"
+}
+
+// QuarantineConfig governs tenant quarantine: a tenant whose handler fails
+// (error or panic) Threshold times in a row is disabled via the notifier's
+// QWAIT-DISABLE primitive, so its backlog stops costing worker time, and is
+// re-probed after a backoff that doubles on every failed probe.
+type QuarantineConfig struct {
+	// Threshold is the consecutive-failure count that quarantines a
+	// tenant. 0 disables quarantine.
+	Threshold int
+	// Backoff is the delay before the first re-probe (default 10ms).
+	Backoff time.Duration
+	// BackoffMax caps the probe-failure doubling (default 1s).
+	BackoffMax time.Duration
+}
+
 // Config describes a Plane.
 type Config struct {
 	// Tenants is the number of tenant queue pairs (device-side RX +
@@ -67,15 +122,51 @@ type Config struct {
 	Policy hyperplane.Policy
 	// Handler is the transport-processing function; nil defaults to echo.
 	Handler Handler
+	// Delivery selects the tenant-side full-ring policy (default Block).
+	Delivery DeliveryPolicy
+	// DeliveryTimeout bounds Block per item; 0 waits until the plane
+	// stops. Ignored by the drop policies.
+	DeliveryTimeout time.Duration
+	// Quarantine configures failing-tenant quarantine; the zero value
+	// disables it.
+	Quarantine QuarantineConfig
+	// RestartBackoff is the supervisor's initial delay before restarting
+	// a crashed worker (default 1ms); it doubles per consecutive crash up
+	// to RestartBackoffMax (default 250ms).
+	RestartBackoff    time.Duration
+	RestartBackoffMax time.Duration
 }
 
 // Stats is a snapshot of plane activity.
 type Stats struct {
-	Ingressed int64 // items accepted by Ingress
-	Processed int64 // items run through the Handler
-	Delivered int64 // items placed on tenant-side queues
-	Errors    int64 // handler errors (item dropped)
-	Backlog   int   // items currently queued device-side
+	Ingressed   int64 // items accepted by Ingress
+	Processed   int64 // items run through the Handler
+	Delivered   int64 // items placed on tenant-side queues
+	Errors      int64 // handler errors (item dropped)
+	Panics      int64 // handler panics recovered (item dropped)
+	Dropped     int64 // items dropped by the delivery policy
+	Restarts    int64 // worker restarts by the supervisor
+	Backlog     int   // items currently queued device-side
+	OutBacklog  int   // items currently queued tenant-side
+	Quarantined int   // tenants currently quarantined (incl. probing)
+}
+
+// Tenant quarantine states.
+const (
+	tsHealthy     int32 = iota
+	tsQuarantined       // disabled, waiting out its backoff
+	tsProbing           // re-enabled; next outcome decides
+)
+
+// tenantState is the per-tenant failure tracker. streak and state are
+// atomics because the worker (handle) and the quarantine supervisor read
+// them without the lock; transitions take mu.
+type tenantState struct {
+	streak     atomic.Int32
+	state      atomic.Int32
+	mu         sync.Mutex
+	backoff    time.Duration
+	reenableAt time.Time
 }
 
 // Plane is a running software data plane.
@@ -84,19 +175,30 @@ type Plane struct {
 
 	devRings []*queue.Ring[[]byte] // per tenant, device side
 	outRings []*queue.Ring[[]byte] // per tenant, tenant side
+	// outMu serializes the two tenant-side consumers that exist under
+	// DropOldest (the tenant and the evicting worker); unused otherwise.
+	outMu []sync.Mutex
 
 	workers []*worker
+	tstate  []tenantState
 
 	tenantNotifiers []*hyperplane.Notifier // one per tenant (delivery side)
 	tenantQIDs      []hyperplane.QID
 
-	ingressed atomic.Int64
-	processed atomic.Int64
-	delivered atomic.Int64
-	errors    atomic.Int64
+	ingressed  atomic.Int64
+	processed  atomic.Int64
+	delivered  atomic.Int64
+	errors     atomic.Int64
+	panics     atomic.Int64
+	dropped    atomic.Int64
+	restarts   atomic.Int64
+	completed  atomic.Int64 // items fully through handle (any outcome)
+	inQuar     atomic.Int64 // currently quarantined tenants
+	ingressing atomic.Int64 // in-flight Ingress/IngressBatch calls
 
 	started atomic.Bool
 	stopped atomic.Bool
+	stopCh  chan struct{}
 	wg      sync.WaitGroup
 }
 
@@ -111,10 +213,23 @@ type worker struct {
 	tenantOf    []int            // notifier QID -> tenant id
 	qidByTenant []hyperplane.QID // tenant id -> notifier QID (-1 = not ours)
 	stop        atomic.Bool
+	// pending is the unprocessed remainder of the current notify batch;
+	// the supervisor re-offers it after a crash so no tenant is stranded.
+	pending []hyperplane.QID
+	// crashNext induces a worker-loop panic: a test hook for the
+	// supervisor (handler panics are recovered in handle and never reach
+	// it).
+	crashNext atomic.Bool
 }
 
-// ErrNotStarted is returned by Stop before Start.
-var ErrNotStarted = errors.New("dataplane: plane not started")
+// Errors returned by the Plane.
+var (
+	// ErrNotStarted is returned by Stop/Drain before Start.
+	ErrNotStarted = errors.New("dataplane: plane not started")
+	// ErrStopped is returned by Drain when the plane stopped with work
+	// still queued (nothing will ever drain it).
+	ErrStopped = errors.New("dataplane: plane stopped")
+)
 
 // New builds a Plane; call Start to launch the workers.
 func New(cfg Config) (*Plane, error) {
@@ -133,7 +248,38 @@ func New(cfg Config) (*Plane, error) {
 	if cfg.Handler == nil {
 		cfg.Handler = func(_ int, payload []byte) ([]byte, error) { return payload, nil }
 	}
-	p := &Plane{cfg: cfg}
+	if cfg.Delivery > DropOldest {
+		return nil, fmt.Errorf("dataplane: unknown delivery policy %d", cfg.Delivery)
+	}
+	if cfg.Quarantine.Threshold < 0 {
+		return nil, fmt.Errorf("dataplane: Quarantine.Threshold must be >= 0, got %d", cfg.Quarantine.Threshold)
+	}
+	if cfg.Quarantine.Threshold > 0 {
+		if cfg.Quarantine.Backoff <= 0 {
+			cfg.Quarantine.Backoff = 10 * time.Millisecond
+		}
+		if cfg.Quarantine.BackoffMax <= 0 {
+			cfg.Quarantine.BackoffMax = time.Second
+		}
+		if cfg.Quarantine.BackoffMax < cfg.Quarantine.Backoff {
+			cfg.Quarantine.BackoffMax = cfg.Quarantine.Backoff
+		}
+	}
+	if cfg.RestartBackoff <= 0 {
+		cfg.RestartBackoff = time.Millisecond
+	}
+	if cfg.RestartBackoffMax <= 0 {
+		cfg.RestartBackoffMax = 250 * time.Millisecond
+	}
+	if cfg.RestartBackoffMax < cfg.RestartBackoff {
+		cfg.RestartBackoffMax = cfg.RestartBackoff
+	}
+	p := &Plane{
+		cfg:    cfg,
+		tstate: make([]tenantState, cfg.Tenants),
+		outMu:  make([]sync.Mutex, cfg.Tenants),
+		stopCh: make(chan struct{}),
+	}
 
 	for t := 0; t < cfg.Tenants; t++ {
 		dr, err := queue.NewRing[[]byte](cfg.RingCapacity)
@@ -197,32 +343,37 @@ func New(cfg Config) (*Plane, error) {
 	return p, nil
 }
 
-// Start launches the data plane workers.
+// Start launches the data plane workers under supervision.
 func (p *Plane) Start() {
 	if !p.started.CompareAndSwap(false, true) {
 		return
 	}
 	for _, wk := range p.workers {
 		p.wg.Add(1)
-		go func(wk *worker) {
-			defer p.wg.Done()
-			if p.cfg.Mode == Notify {
-				p.runNotify(wk)
-			} else {
-				p.runSpin(wk)
-			}
-		}(wk)
+		go p.supervise(wk)
+	}
+	if p.cfg.Quarantine.Threshold > 0 {
+		p.wg.Add(1)
+		go p.quarantineLoop()
 	}
 }
 
-// Stop drains in-flight work, terminates the workers, and closes tenant
-// notifiers. It is idempotent.
+// Stop terminates the workers promptly and closes the notifiers: items
+// being handled finish, queued backlog is abandoned. Use StopContext to
+// bound a drain of queued work first. Stop is idempotent, and once it
+// returns, Ingress and IngressBatch deterministically reject.
 func (p *Plane) Stop() error {
 	if !p.started.Load() {
 		return ErrNotStarted
 	}
 	if !p.stopped.CompareAndSwap(false, true) {
 		return nil
+	}
+	close(p.stopCh)
+	// Let in-flight Ingress/IngressBatch calls finish before closing the
+	// worker notifiers they may be about to Notify.
+	for p.ingressing.Load() != 0 {
+		runtime.Gosched()
 	}
 	for _, wk := range p.workers {
 		wk.stop.Store(true)
@@ -237,17 +388,64 @@ func (p *Plane) Stop() error {
 	return nil
 }
 
+// StopContext drains queued work until ctx expires, then stops the plane
+// regardless. It returns the drain error (nil when the plane emptied in
+// time) — the plane is stopped either way.
+func (p *Plane) StopContext(ctx context.Context) error {
+	err := p.Drain(ctx)
+	if stopErr := p.Stop(); stopErr != nil && err == nil {
+		err = stopErr
+	}
+	return err
+}
+
+// Drain blocks until every item accepted by Ingress has fully passed
+// through the plane (delivered, dropped, or rejected by the handler) or
+// ctx is done. Quarantined tenants hold their backlog until re-probed, so
+// a drain during quarantine only completes once the probe succeeds — bound
+// it with ctx.
+func (p *Plane) Drain(ctx context.Context) error {
+	if !p.started.Load() {
+		return ErrNotStarted
+	}
+	for {
+		// ingressed is incremented before an item becomes visible to
+		// workers (and decremented on push failure), so equality with
+		// completed means no hidden in-flight work.
+		if p.ingressing.Load() == 0 && p.completed.Load() == p.ingressed.Load() {
+			return nil
+		}
+		if p.stopped.Load() {
+			return ErrStopped
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
 // Ingress places a work item on a tenant's device-side queue (the emulated
-// NIC's DMA + doorbell). It returns false on backpressure (ring full) or
-// invalid tenant.
+// NIC's DMA + doorbell). It returns false on backpressure (ring full),
+// invalid tenant, or a stopped plane; after Stop returns it always returns
+// false and never touches the closed notifiers.
 func (p *Plane) Ingress(tenant int, payload []byte) bool {
-	if tenant < 0 || tenant >= p.cfg.Tenants || p.stopped.Load() {
+	if tenant < 0 || tenant >= p.cfg.Tenants {
 		return false
 	}
-	if !p.devRings[tenant].Push(payload) {
+	p.ingressing.Add(1)
+	defer p.ingressing.Add(-1)
+	if p.stopped.Load() {
 		return false
 	}
+	// Count before the push so Drain never sees a pushed-but-uncounted
+	// item; undo on backpressure.
 	p.ingressed.Add(1)
+	if !p.devRings[tenant].Push(payload) {
+		p.ingressed.Add(-1)
+		return false
+	}
 	if p.cfg.Mode == Notify {
 		w := p.workers[tenant%p.cfg.Workers]
 		w.n.Notify(w.qidByTenant[tenant])
@@ -266,11 +464,15 @@ type IngressItem struct {
 // and each worker's doorbells are rung once via NotifyBatch, amortizing
 // waiter wakeups across the burst. It returns the number of items
 // accepted; items for invalid tenants or full rings are dropped, like
-// Ingress.
+// Ingress. After Stop returns it deterministically accepts nothing.
 func (p *Plane) IngressBatch(items []IngressItem) int {
+	p.ingressing.Add(1)
+	defer p.ingressing.Add(-1)
 	if p.stopped.Load() {
 		return 0
 	}
+	// Over-count up front (see Ingress) and settle after the loop.
+	p.ingressed.Add(int64(len(items)))
 	var perWorker [][]hyperplane.QID
 	if p.cfg.Mode == Notify {
 		perWorker = make([][]hyperplane.QID, len(p.workers))
@@ -289,8 +491,8 @@ func (p *Plane) IngressBatch(items []IngressItem) int {
 			perWorker[w] = append(perWorker[w], p.workers[w].qidByTenant[it.Tenant])
 		}
 	}
-	if accepted > 0 {
-		p.ingressed.Add(int64(accepted))
+	if accepted != len(items) {
+		p.ingressed.Add(int64(accepted - len(items)))
 	}
 	for w, qids := range perWorker {
 		if len(qids) > 0 {
@@ -300,13 +502,27 @@ func (p *Plane) IngressBatch(items []IngressItem) int {
 	return accepted
 }
 
+// popOut dequeues from a tenant-side ring. Under DropOldest the ring has
+// two competing consumers (the tenant and the evicting worker), so pops
+// serialize on the tenant's mutex; every other policy keeps the lock-free
+// SPSC fast path.
+func (p *Plane) popOut(tenant int) ([]byte, bool) {
+	if p.cfg.Delivery == DropOldest {
+		p.outMu[tenant].Lock()
+		v, ok := p.outRings[tenant].Pop()
+		p.outMu[tenant].Unlock()
+		return v, ok
+	}
+	return p.outRings[tenant].Pop()
+}
+
 // Egress pops one processed item from a tenant's delivery queue without
 // blocking.
 func (p *Plane) Egress(tenant int) ([]byte, bool) {
 	if tenant < 0 || tenant >= p.cfg.Tenants {
 		return nil, false
 	}
-	v, ok := p.outRings[tenant].Pop()
+	v, ok := p.popOut(tenant)
 	if ok {
 		p.tenantNotifiers[tenant].Reconsider(p.tenantQIDs[tenant])
 	}
@@ -324,14 +540,58 @@ func (p *Plane) EgressWait(tenant int) ([]byte, bool) {
 	for {
 		if _, ok := tn.Wait(); !ok {
 			// Closed: drain any remaining item without blocking.
-			return p.outRings[tenant].Pop()
+			return p.popOut(tenant)
 		}
-		v, ok := p.outRings[tenant].Pop()
+		v, ok := p.popOut(tenant)
 		tn.Consume(qid)
 		if ok {
 			return v, true
 		}
 	}
+}
+
+// supervise runs a worker until clean exit, restarting it after crashes
+// with capped exponential backoff — the plane degrades rather than
+// silently orphaning the worker's whole tenant partition.
+func (p *Plane) supervise(wk *worker) {
+	defer p.wg.Done()
+	backoff := p.cfg.RestartBackoff
+	for {
+		if p.runWorker(wk) {
+			return // clean exit (plane stopping)
+		}
+		p.restarts.Add(1)
+		select {
+		case <-p.stopCh:
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > p.cfg.RestartBackoffMax {
+			backoff = p.cfg.RestartBackoffMax
+		}
+	}
+}
+
+// runWorker executes one worker incarnation, converting a panic anywhere
+// in the loop into a restartable crash. Notify-mode batch entries not yet
+// processed are re-offered to the notifier so their tenants are not
+// stranded with activated-but-unserviced queues.
+func (p *Plane) runWorker(wk *worker) (clean bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			for _, qid := range wk.pending {
+				wk.n.Consume(qid)
+			}
+			wk.pending = nil
+		}
+	}()
+	if p.cfg.Mode == Notify {
+		p.runNotify(wk)
+	} else {
+		p.runSpin(wk)
+	}
+	return true
 }
 
 // runNotify is the QWAIT worker loop (Algorithm 1 of the paper), batched:
@@ -346,11 +606,17 @@ func (p *Plane) runNotify(wk *worker) {
 	}
 	batch := make([]hyperplane.QID, size)
 	for {
+		if wk.crashNext.CompareAndSwap(true, false) {
+			panic("dataplane: induced worker crash")
+		}
 		c := wk.n.WaitBatch(batch)
 		if c == 0 {
 			return // notifier closed by Stop
 		}
-		for _, qid := range batch[:c] {
+		wk.pending = batch[:c]
+		for len(wk.pending) > 0 {
+			qid := wk.pending[0]
+			wk.pending = wk.pending[1:]
 			tenant := wk.tenantOf[qid]
 			payload, got := p.devRings[tenant].Pop()
 			wk.n.Consume(qid)
@@ -361,12 +627,19 @@ func (p *Plane) runNotify(wk *worker) {
 	}
 }
 
-// runSpin is the baseline loop: iterate over owned tenants at full tilt.
+// runSpin is the baseline loop: iterate over owned tenants at full tilt,
+// skipping quarantined ones.
 func (p *Plane) runSpin(wk *worker) {
 	idle := 0
 	for !wk.stop.Load() {
+		if wk.crashNext.CompareAndSwap(true, false) {
+			panic("dataplane: induced worker crash")
+		}
 		found := false
 		for _, tenant := range wk.tenants {
+			if p.cfg.Quarantine.Threshold > 0 && p.tstate[tenant].state.Load() == tsQuarantined {
+				continue
+			}
 			payload, got := p.devRings[tenant].Pop()
 			if !got {
 				continue
@@ -390,22 +663,205 @@ func (p *Plane) runSpin(wk *worker) {
 // handle runs transport processing and delivers to the tenant side.
 func (p *Plane) handle(tenant int, payload []byte) {
 	p.processed.Add(1)
-	out, err := p.cfg.Handler(tenant, payload)
-	if err != nil {
-		p.errors.Add(1)
+	defer p.completed.Add(1)
+	out, err, panicked := p.runHandler(tenant, payload)
+	if panicked {
+		p.noteFailure(tenant)
 		return
 	}
+	if err != nil {
+		p.errors.Add(1)
+		p.noteFailure(tenant)
+		return
+	}
+	p.noteSuccess(tenant)
 	if out == nil {
 		return
 	}
-	for !p.outRings[tenant].Push(out) {
-		if p.stopped.Load() {
-			return
+	p.deliver(tenant, out)
+}
+
+// runHandler isolates a handler panic to the item that caused it: the
+// panic is recovered, counted in Stats.Panics, and fed to the quarantine
+// tracker instead of killing the worker goroutine.
+func (p *Plane) runHandler(tenant int, payload []byte) (out []byte, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+			out, err, panicked = nil, nil, true
 		}
-		runtime.Gosched() // tenant-side backpressure
+	}()
+	out, err = p.cfg.Handler(tenant, payload)
+	return out, err, false
+}
+
+// deliver pushes a processed item to the tenant-side ring under the
+// configured delivery policy and rings the tenant's doorbell.
+func (p *Plane) deliver(tenant int, out []byte) {
+	r := p.outRings[tenant]
+	if !r.Push(out) {
+		switch p.cfg.Delivery {
+		case DropNewest:
+			p.dropped.Add(1)
+			return
+		case DropOldest:
+			mu := &p.outMu[tenant]
+			mu.Lock()
+			if !r.Push(out) {
+				if _, ok := r.Pop(); ok {
+					p.dropped.Add(1)
+				}
+				if !r.Push(out) {
+					// Cannot happen with capacity >= 2 and a single
+					// producer, but never wedge the worker over it.
+					mu.Unlock()
+					p.dropped.Add(1)
+					return
+				}
+			}
+			mu.Unlock()
+		default: // Block
+			var deadline time.Time
+			if p.cfg.DeliveryTimeout > 0 {
+				deadline = time.Now().Add(p.cfg.DeliveryTimeout)
+			}
+			for !r.Push(out) {
+				if p.stopped.Load() {
+					p.dropped.Add(1)
+					return
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					p.dropped.Add(1)
+					return
+				}
+				runtime.Gosched() // tenant-side backpressure
+			}
+		}
 	}
 	p.delivered.Add(1)
 	p.tenantNotifiers[tenant].Notify(p.tenantQIDs[tenant])
+}
+
+// noteSuccess resets the tenant's failure streak and, if the success came
+// from a quarantine probe, lifts the quarantine.
+func (p *Plane) noteSuccess(tenant int) {
+	if p.cfg.Quarantine.Threshold <= 0 {
+		return
+	}
+	ts := &p.tstate[tenant]
+	if ts.streak.Load() != 0 {
+		ts.streak.Store(0)
+	}
+	if ts.state.Load() != tsProbing {
+		return
+	}
+	ts.mu.Lock()
+	if ts.state.Load() != tsProbing {
+		ts.mu.Unlock()
+		return
+	}
+	ts.state.Store(tsHealthy)
+	ts.backoff = 0
+	ts.mu.Unlock()
+	p.inQuar.Add(-1)
+}
+
+// noteFailure advances the tenant's failure streak; at the threshold the
+// tenant is quarantined (QWAIT-DISABLE), and a failure during a probe
+// re-quarantines with doubled backoff.
+func (p *Plane) noteFailure(tenant int) {
+	q := p.cfg.Quarantine
+	if q.Threshold <= 0 {
+		return
+	}
+	ts := &p.tstate[tenant]
+	streak := ts.streak.Add(1)
+	switch ts.state.Load() {
+	case tsHealthy:
+		if int(streak) < q.Threshold {
+			return
+		}
+		ts.mu.Lock()
+		if ts.state.Load() != tsHealthy {
+			ts.mu.Unlock()
+			return
+		}
+		ts.backoff = q.Backoff
+		ts.reenableAt = time.Now().Add(ts.backoff)
+		ts.state.Store(tsQuarantined)
+		ts.mu.Unlock()
+		p.inQuar.Add(1)
+		p.setTenantEnabled(tenant, false)
+	case tsProbing:
+		ts.mu.Lock()
+		if ts.state.Load() != tsProbing {
+			ts.mu.Unlock()
+			return
+		}
+		ts.backoff *= 2
+		if ts.backoff > q.BackoffMax {
+			ts.backoff = q.BackoffMax
+		}
+		ts.reenableAt = time.Now().Add(ts.backoff)
+		ts.state.Store(tsQuarantined)
+		ts.mu.Unlock()
+		p.setTenantEnabled(tenant, false)
+	}
+}
+
+// setTenantEnabled flips the tenant's QWAIT-ENABLE/DISABLE bit on its
+// worker's notifier (Notify mode; the spin loop checks the state word
+// directly). Readiness keeps accruing while disabled, so re-enabling a
+// backlogged tenant immediately reoffers it to QWAIT.
+func (p *Plane) setTenantEnabled(tenant int, enabled bool) {
+	if p.cfg.Mode != Notify {
+		return
+	}
+	wk := p.workers[tenant%p.cfg.Workers]
+	if enabled {
+		_ = wk.n.Enable(wk.qidByTenant[tenant])
+	} else {
+		_ = wk.n.Disable(wk.qidByTenant[tenant])
+	}
+}
+
+// quarantineLoop is the plane's quarantine supervisor: it re-probes
+// quarantined tenants whose backoff has elapsed by re-enabling them; the
+// first handler outcome after the probe decides recovery vs re-quarantine
+// (with doubled backoff).
+func (p *Plane) quarantineLoop() {
+	defer p.wg.Done()
+	tick := p.cfg.Quarantine.Backoff / 4
+	if tick < 100*time.Microsecond {
+		tick = 100 * time.Microsecond
+	}
+	if tick > 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		for tn := range p.tstate {
+			ts := &p.tstate[tn]
+			if ts.state.Load() != tsQuarantined {
+				continue
+			}
+			ts.mu.Lock()
+			if ts.state.Load() == tsQuarantined && !now.Before(ts.reenableAt) {
+				ts.state.Store(tsProbing)
+				ts.mu.Unlock()
+				p.setTenantEnabled(tn, true)
+			} else {
+				ts.mu.Unlock()
+			}
+		}
+	}
 }
 
 // Stats returns a snapshot of plane counters.
@@ -414,13 +870,31 @@ func (p *Plane) Stats() Stats {
 	for _, r := range p.devRings {
 		backlog += r.Len()
 	}
-	return Stats{
-		Ingressed: p.ingressed.Load(),
-		Processed: p.processed.Load(),
-		Delivered: p.delivered.Load(),
-		Errors:    p.errors.Load(),
-		Backlog:   backlog,
+	outBacklog := 0
+	for _, r := range p.outRings {
+		outBacklog += r.Len()
 	}
+	return Stats{
+		Ingressed:   p.ingressed.Load(),
+		Processed:   p.processed.Load(),
+		Delivered:   p.delivered.Load(),
+		Errors:      p.errors.Load(),
+		Panics:      p.panics.Load(),
+		Dropped:     p.dropped.Load(),
+		Restarts:    p.restarts.Load(),
+		Backlog:     backlog,
+		OutBacklog:  outBacklog,
+		Quarantined: int(p.inQuar.Load()),
+	}
+}
+
+// Quarantined reports whether the tenant is currently quarantined
+// (including the probing window).
+func (p *Plane) Quarantined(tenant int) bool {
+	if tenant < 0 || tenant >= p.cfg.Tenants {
+		return false
+	}
+	return p.tstate[tenant].state.Load() != tsHealthy
 }
 
 // Tenants returns the configured tenant count.

@@ -1,0 +1,419 @@
+package dataplane
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHandlerPanicRecovered: a panicking handler loses only its own item;
+// the worker survives and keeps serving, in both modes.
+func TestHandlerPanicRecovered(t *testing.T) {
+	for _, mode := range []Mode{Notify, Spin} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p, err := New(Config{
+				Tenants: 2,
+				Mode:    mode,
+				Handler: func(tenant int, payload []byte) ([]byte, error) {
+					if payload[0] == 0xff {
+						panic("handler bug")
+					}
+					return payload, nil
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Start()
+			defer p.Stop()
+
+			for i := 0; i < 5; i++ {
+				p.Ingress(0, []byte{0xff})    // panics
+				p.Ingress(1, []byte{byte(i)}) // healthy
+			}
+			waitFor(t, 5*time.Second, func() bool { return p.Stats().Processed == 10 })
+			st := p.Stats()
+			if st.Panics != 5 {
+				t.Errorf("Panics = %d, want 5", st.Panics)
+			}
+			if st.Delivered != 5 || st.Errors != 0 {
+				t.Errorf("stats = %+v", st)
+			}
+			if st.Restarts != 0 {
+				t.Errorf("handler panic restarted a worker: %+v", st)
+			}
+			// The worker is still alive: more traffic flows.
+			p.Ingress(0, []byte{1})
+			waitFor(t, 5*time.Second, func() bool { return p.Stats().Delivered == 6 })
+		})
+	}
+}
+
+// TestWorkerCrashRestart: a panic escaping handle (induced via the test
+// hook) is recovered by the supervisor, the worker restarts, and the
+// partition keeps flowing.
+func TestWorkerCrashRestart(t *testing.T) {
+	for _, mode := range []Mode{Notify, Spin} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p, err := New(Config{
+				Tenants:        2,
+				Mode:           mode,
+				RestartBackoff: 100 * time.Microsecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Start()
+			defer p.Stop()
+
+			p.Ingress(0, []byte("a"))
+			waitFor(t, 5*time.Second, func() bool { return p.Stats().Delivered == 1 })
+
+			p.workers[0].crashNext.Store(true)
+			// In Notify mode the worker is parked; traffic makes it cycle
+			// through the crash point.
+			p.Ingress(0, []byte("b"))
+			waitFor(t, 5*time.Second, func() bool { return p.Stats().Restarts >= 1 })
+			// The restarted worker still serves its partition.
+			waitFor(t, 5*time.Second, func() bool { return p.Stats().Delivered == 2 })
+			p.Ingress(1, []byte("c"))
+			waitFor(t, 5*time.Second, func() bool { return p.Stats().Delivered == 3 })
+		})
+	}
+}
+
+// TestDropNewest: with no consumer, a full tenant ring sheds the newest
+// items without holding the worker.
+func TestDropNewest(t *testing.T) {
+	p, err := New(Config{Tenants: 1, RingCapacity: 4, Delivery: DropNewest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Stop()
+	for i := 0; i < 10; i++ {
+		if !p.Ingress(0, []byte{byte(i)}) {
+			t.Fatalf("ingress %d rejected", i)
+		}
+		// Wait until the item fully cleared delivery (delivered or dropped).
+		waitFor(t, 5*time.Second, func() bool {
+			st := p.Stats()
+			return st.Delivered+st.Dropped == int64(i+1)
+		})
+	}
+	st := p.Stats()
+	if st.Delivered != 4 || st.Dropped != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.OutBacklog != 4 {
+		t.Errorf("OutBacklog = %d, want 4", st.OutBacklog)
+	}
+	// The oldest four items survived.
+	for i := 0; i < 4; i++ {
+		v, ok := p.Egress(0)
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("egress %d = %v, %v", i, v, ok)
+		}
+	}
+}
+
+// TestDropOldest: the freshest items survive instead.
+func TestDropOldest(t *testing.T) {
+	p, err := New(Config{Tenants: 1, RingCapacity: 4, Delivery: DropOldest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Stop()
+	for i := 0; i < 10; i++ {
+		if !p.Ingress(0, []byte{byte(i)}) {
+			t.Fatalf("ingress %d rejected", i)
+		}
+		// DropOldest delivers every item (evicting an older one when
+		// full), so Delivered alone tracks completion.
+		waitFor(t, 5*time.Second, func() bool { return p.Stats().Delivered == int64(i+1) })
+	}
+	st := p.Stats()
+	if st.Delivered != 10 || st.Dropped != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The newest four items survived, in order.
+	for i := 6; i < 10; i++ {
+		v, ok := p.Egress(0)
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("egress = %v, %v, want [%d]", v, ok, i)
+		}
+	}
+}
+
+// TestBlockTimeout: Block with a deadline drops the item after the
+// deadline instead of wedging the worker forever.
+func TestBlockTimeout(t *testing.T) {
+	p, err := New(Config{
+		Tenants:         1,
+		RingCapacity:    2,
+		Delivery:        Block,
+		DeliveryTimeout: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Stop()
+	for i := 0; i < 4; i++ {
+		if !p.Ingress(0, []byte{byte(i)}) {
+			t.Fatalf("ingress %d rejected", i)
+		}
+		waitFor(t, 5*time.Second, func() bool {
+			st := p.Stats()
+			return st.Delivered+st.Dropped == int64(i+1)
+		})
+	}
+	st := p.Stats()
+	if st.Delivered != 2 || st.Dropped != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Worker is free, not stuck in the delivery loop: new work processes.
+	if _, ok := p.Egress(0); !ok {
+		t.Fatal("egress empty")
+	}
+	p.Ingress(0, []byte{9})
+	waitFor(t, 5*time.Second, func() bool { return p.Stats().Processed == 5 })
+}
+
+// TestQuarantineAndRecovery: a tenant crossing the failure threshold is
+// quarantined (its backlog stops being served) and recovers via a probe
+// once the fault clears, in both modes.
+func TestQuarantineAndRecovery(t *testing.T) {
+	for _, mode := range []Mode{Notify, Spin} {
+		t.Run(mode.String(), func(t *testing.T) {
+			var failing atomic.Bool
+			failing.Store(true)
+			p, err := New(Config{
+				Tenants: 2,
+				Mode:    mode,
+				Handler: func(tenant int, payload []byte) ([]byte, error) {
+					if tenant == 0 && failing.Load() {
+						return nil, errors.New("boom")
+					}
+					return payload, nil
+				},
+				Quarantine: QuarantineConfig{
+					Threshold:  3,
+					Backoff:    2 * time.Millisecond,
+					BackoffMax: 20 * time.Millisecond,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Start()
+			defer p.Stop()
+
+			for i := 0; i < 3; i++ {
+				p.Ingress(0, []byte{byte(i)})
+			}
+			waitFor(t, 5*time.Second, func() bool { return p.Stats().Quarantined == 1 })
+			if !p.Quarantined(0) || p.Quarantined(1) {
+				t.Fatal("wrong tenant quarantined")
+			}
+
+			// While quarantined, tenant 0's backlog is not served (probes
+			// keep re-quarantining with backoff, one item at a time), and
+			// tenant 1 is unaffected.
+			for i := 0; i < 12; i++ {
+				p.Ingress(0, []byte{0xaa})
+			}
+			for i := 0; i < 4; i++ {
+				p.Ingress(1, []byte{byte(i)})
+			}
+			waitFor(t, 5*time.Second, func() bool { return p.Stats().Delivered >= 4 })
+			if got := p.Stats().Backlog; got == 0 {
+				t.Error("quarantined tenant's backlog fully drained while faulty")
+			}
+
+			// Fault clears; the next probe succeeds and the backlog drains.
+			failing.Store(false)
+			waitFor(t, 5*time.Second, func() bool {
+				return p.Stats().Quarantined == 0 && p.Stats().Backlog == 0
+			})
+			if p.Quarantined(0) {
+				t.Error("tenant 0 still quarantined after recovery")
+			}
+			// Everything the failing handler rejected is an error; the
+			// rest delivered.
+			st := p.Stats()
+			if st.Delivered+st.Errors != st.Processed {
+				t.Errorf("accounting: %+v", st)
+			}
+		})
+	}
+}
+
+// TestDrainAndStopContext: Drain waits for quiescence, respects its
+// context, and StopContext stops regardless of drain outcome.
+func TestDrainAndStopContext(t *testing.T) {
+	p, err := New(Config{
+		Tenants: 1,
+		Handler: func(_ int, payload []byte) ([]byte, error) {
+			time.Sleep(200 * time.Microsecond)
+			return payload, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Drain(context.Background()); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("Drain before Start = %v", err)
+	}
+	p.Start()
+	for i := 0; i < 20; i++ {
+		p.Ingress(0, []byte{byte(i)})
+	}
+	// A too-short deadline reports DeadlineExceeded...
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	err = p.Drain(ctx)
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("short Drain = %v", err)
+	}
+	// ...an adequate one returns nil with the plane quiescent.
+	ctx, cancel = context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Backlog != 0 || st.Processed != 20 {
+		t.Fatalf("not quiescent after Drain: %+v", st)
+	}
+	if err := p.StopContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if p.Ingress(0, []byte("late")) {
+		t.Error("ingress accepted after StopContext")
+	}
+	if err := p.Drain(context.Background()); err != nil {
+		t.Errorf("Drain on stopped quiescent plane = %v", err)
+	}
+}
+
+// TestDrainStoppedWithBacklog: a plane stopped with queued work reports
+// ErrStopped from Drain instead of waiting forever.
+func TestDrainStoppedWithBacklog(t *testing.T) {
+	block := make(chan struct{})
+	p, err := New(Config{
+		Tenants: 1,
+		Handler: func(_ int, payload []byte) ([]byte, error) {
+			<-block
+			return payload, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	for i := 0; i < 8; i++ {
+		p.Ingress(0, []byte{byte(i)})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	// Stop waits for the in-flight handler, so release it once the drain
+	// deadline has certainly expired.
+	go func() { time.Sleep(30 * time.Millisecond); close(block) }()
+	err = p.StopContext(ctx) // cannot drain: handler is blocked
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("StopContext = %v", err)
+	}
+	if err := p.Drain(context.Background()); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Drain after stop with backlog = %v", err)
+	}
+}
+
+// TestStatsOutBacklog: tenant-side queue depth is observable.
+func TestStatsOutBacklog(t *testing.T) {
+	p, _ := New(Config{Tenants: 2})
+	p.Start()
+	defer p.Stop()
+	for i := 0; i < 3; i++ {
+		p.Ingress(0, []byte{byte(i)})
+	}
+	waitFor(t, 5*time.Second, func() bool { return p.Stats().Delivered == 3 })
+	st := p.Stats()
+	if st.OutBacklog != 3 || st.Backlog != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	p.Egress(0)
+	if st := p.Stats(); st.OutBacklog != 2 {
+		t.Fatalf("OutBacklog after egress = %d", st.OutBacklog)
+	}
+}
+
+// TestDeliveryPolicyValidationAndStrings covers config validation and the
+// String methods of the new types.
+func TestDeliveryPolicyValidationAndStrings(t *testing.T) {
+	if _, err := New(Config{Tenants: 1, Delivery: DeliveryPolicy(9)}); err == nil {
+		t.Error("bogus delivery policy accepted")
+	}
+	if _, err := New(Config{Tenants: 1, Quarantine: QuarantineConfig{Threshold: -1}}); err == nil {
+		t.Error("negative quarantine threshold accepted")
+	}
+	if Block.String() != "block" || DropNewest.String() != "drop-newest" || DropOldest.String() != "drop-oldest" {
+		t.Error("DeliveryPolicy strings")
+	}
+	// Quarantine defaults are filled in.
+	p, err := New(Config{Tenants: 1, Quarantine: QuarantineConfig{Threshold: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.cfg.Quarantine.Backoff <= 0 || p.cfg.Quarantine.BackoffMax < p.cfg.Quarantine.Backoff {
+		t.Errorf("quarantine defaults = %+v", p.cfg.Quarantine)
+	}
+	if p.Quarantined(-1) || p.Quarantined(5) {
+		t.Error("Quarantined out-of-range")
+	}
+}
+
+// TestEgressWaitDropOldestConcurrent exercises the locked tenant-side pop
+// path (DropOldest) against a concurrently evicting worker under load.
+func TestEgressWaitDropOldestConcurrent(t *testing.T) {
+	p, err := New(Config{Tenants: 1, RingCapacity: 4, Delivery: DropOldest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Stop()
+
+	const n = 300
+	done := make(chan int)
+	go func() {
+		got := 0
+		for {
+			v, ok := p.EgressWait(0)
+			if !ok {
+				done <- got
+				return
+			}
+			if len(v) != 1 {
+				t.Error("bad payload")
+				done <- got
+				return
+			}
+			got++
+		}
+	}()
+	for i := 0; i < n; i++ {
+		for !p.Ingress(0, []byte{byte(i)}) {
+			time.Sleep(time.Microsecond)
+		}
+	}
+	waitFor(t, 10*time.Second, func() bool { return p.Stats().Processed == n })
+	p.Stop()
+	got := <-done
+	st := p.Stats()
+	if int64(got) < st.Delivered-st.Dropped-int64(st.OutBacklog) {
+		t.Errorf("consumer saw %d, stats %+v", got, st)
+	}
+}

@@ -1,0 +1,183 @@
+// Package fault is a seeded, deterministic fault-injection harness for the
+// data plane: it wraps transport handlers to inject panics, errors, and
+// latency spikes into a chosen subset of tenants, and gates tenant
+// consumers to emulate stalled delivery rings. Chaos tests and
+// cmd/planebench use it to prove that healthy tenants stay isolated from
+// faulty ones and that quarantined tenants recover once the fault clears.
+//
+// The injector avoids importing dataplane (which sits above internal/) by
+// operating on the plain handler signature; dataplane.Handler converts
+// implicitly.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Handler mirrors dataplane.Handler without importing it.
+type Handler func(tenant int, payload []byte) ([]byte, error)
+
+// ErrInjected is the error returned by injected handler failures.
+var ErrInjected = errors.New("fault: injected handler error")
+
+// PanicValue is the value raised by injected handler panics, so recovery
+// paths can recognize harness-induced crashes.
+const PanicValue = "fault: injected handler panic"
+
+// Config describes a deterministic fault plan. Cadences are per faulty
+// tenant and phase-shifted by a seed-derived offset, so tenants do not
+// fault in lockstep yet every run with the same seed faults identically.
+type Config struct {
+	// Seed derives the per-tenant phase offsets. Same seed, same plan.
+	Seed int64
+	// Tenants is the total tenant count (sizes per-tenant state).
+	Tenants int
+	// Faulty lists the tenant ids faults are injected into.
+	Faulty []int
+	// PanicEvery panics on every Nth handled item of a faulty tenant
+	// (1 = every item; 0 = never).
+	PanicEvery int
+	// ErrorEvery returns ErrInjected on every Nth item (0 = never).
+	ErrorEvery int
+	// SpikeEvery sleeps Spike before every Nth item (0 = never) —
+	// a handler latency spike.
+	SpikeEvery int
+	// Spike is the injected handler latency (default 1ms when
+	// SpikeEvery > 0).
+	Spike time.Duration
+	// StallConsumers starts faulty tenants' consumer gates stalled.
+	StallConsumers bool
+}
+
+// Injector injects the configured faults. All methods are safe for
+// concurrent use.
+type Injector struct {
+	cfg     Config
+	faulty  []bool
+	phase   []uint64        // seed-derived cadence offsets
+	count   []atomic.Uint64 // per-tenant handled-item counters
+	stalled []atomic.Bool   // consumer stall gates
+	active  atomic.Bool
+
+	panics atomic.Int64
+	errs   atomic.Int64
+	spikes atomic.Int64
+}
+
+// Stats counts faults injected so far, by kind.
+type Stats struct {
+	Panics int64
+	Errors int64
+	Spikes int64
+}
+
+// New builds an Injector; injection starts active.
+func New(cfg Config) (*Injector, error) {
+	if cfg.Tenants < 1 {
+		return nil, fmt.Errorf("fault: Tenants must be positive, got %d", cfg.Tenants)
+	}
+	if cfg.PanicEvery < 0 || cfg.ErrorEvery < 0 || cfg.SpikeEvery < 0 {
+		return nil, fmt.Errorf("fault: cadences must be >= 0")
+	}
+	if cfg.SpikeEvery > 0 && cfg.Spike <= 0 {
+		cfg.Spike = time.Millisecond
+	}
+	in := &Injector{
+		cfg:     cfg,
+		faulty:  make([]bool, cfg.Tenants),
+		phase:   make([]uint64, cfg.Tenants),
+		count:   make([]atomic.Uint64, cfg.Tenants),
+		stalled: make([]atomic.Bool, cfg.Tenants),
+	}
+	for _, t := range cfg.Faulty {
+		if t < 0 || t >= cfg.Tenants {
+			return nil, fmt.Errorf("fault: faulty tenant %d out of range [0,%d)", t, cfg.Tenants)
+		}
+		in.faulty[t] = true
+		in.phase[t] = splitmix64(uint64(cfg.Seed) ^ (uint64(t)+1)*0x9e3779b97f4a7c15)
+		if cfg.StallConsumers {
+			in.stalled[t].Store(true)
+		}
+	}
+	in.active.Store(true)
+	return in, nil
+}
+
+// splitmix64 is the standard seed scrambler — deterministic, stateless.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Wrap decorates a handler with the configured fault plan. Spikes fire
+// before the decision between panic and error, so a single item can both
+// stall and fail — the worst case a real buggy handler produces.
+func (in *Injector) Wrap(h Handler) Handler {
+	return func(tenant int, payload []byte) ([]byte, error) {
+		if tenant < 0 || tenant >= len(in.faulty) || !in.faulty[tenant] || !in.active.Load() {
+			return h(tenant, payload)
+		}
+		n := in.count[tenant].Add(1) - 1 + in.phase[tenant]
+		if in.cfg.SpikeEvery > 0 && n%uint64(in.cfg.SpikeEvery) == 0 {
+			in.spikes.Add(1)
+			time.Sleep(in.cfg.Spike)
+		}
+		if in.cfg.PanicEvery > 0 && n%uint64(in.cfg.PanicEvery) == 0 {
+			in.panics.Add(1)
+			panic(PanicValue)
+		}
+		if in.cfg.ErrorEvery > 0 && n%uint64(in.cfg.ErrorEvery) == 0 {
+			in.errs.Add(1)
+			return nil, ErrInjected
+		}
+		return h(tenant, payload)
+	}
+}
+
+// Faulty reports whether the tenant is in the fault plan.
+func (in *Injector) Faulty(tenant int) bool {
+	return tenant >= 0 && tenant < len(in.faulty) && in.faulty[tenant]
+}
+
+// Clear stops all injection and opens every consumer gate — the fault has
+// "cleared", letting recovery (quarantine probes succeeding, consumers
+// draining) be observed.
+func (in *Injector) Clear() {
+	in.active.Store(false)
+	for i := range in.stalled {
+		in.stalled[i].Store(false)
+	}
+}
+
+// Activate (re-)starts injection (gates are left as they are).
+func (in *Injector) Activate() { in.active.Store(true) }
+
+// Active reports whether injection is currently on.
+func (in *Injector) Active() bool { return in.active.Load() }
+
+// Stalled reports the tenant's consumer gate; test consumers poll it and
+// refuse to drain the tenant-side ring while it is set.
+func (in *Injector) Stalled(tenant int) bool {
+	return tenant >= 0 && tenant < len(in.stalled) && in.stalled[tenant].Load()
+}
+
+// SetStalled flips one tenant's consumer gate.
+func (in *Injector) SetStalled(tenant int, v bool) {
+	if tenant >= 0 && tenant < len(in.stalled) {
+		in.stalled[tenant].Store(v)
+	}
+}
+
+// Stats returns the injected-fault counts.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Panics: in.panics.Load(),
+		Errors: in.errs.Load(),
+		Spikes: in.spikes.Load(),
+	}
+}

@@ -1,0 +1,159 @@
+package hyperplane
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestChaosNotifierCloseRaces hammers Close against concurrent Wait,
+// WaitBatch, Notify, and Register/Unregister churn on the banked notifier.
+// The invariants: no panic, every blocked waiter is released by Close
+// (ok=false / 0), Register after Close reports ErrClosed, and nothing
+// deadlocks — all under -race.
+func TestChaosNotifierCloseRaces(t *testing.T) {
+	const rounds = 25
+	for round := 0; round < rounds; round++ {
+		n, err := NewNotifier(NotifierConfig{MaxQueues: 64, Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Seed some registered queues the notifiers can ring.
+		dbs := make([]*atomic.Int64, 8)
+		qids := make([]QID, 8)
+		for i := range qids {
+			dbs[i] = new(atomic.Int64)
+			qid, err := n.Register(dbs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			qids[i] = qid
+		}
+
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+
+		// Blocking waiters: must all be released by Close with ok=false.
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for {
+					qid, ok := n.Wait()
+					if !ok {
+						return
+					}
+					n.Consume(qid)
+				}
+			}()
+		}
+		// Batch waiter: Close must make WaitBatch return 0.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			dst := make([]QID, 16)
+			for {
+				c := n.WaitBatch(dst)
+				if c == 0 {
+					return
+				}
+				for _, qid := range dst[:c] {
+					n.Consume(qid)
+				}
+			}
+		}()
+		// Notifiers: Notify must stay safe during and after Close.
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 10000; i++ {
+					q := (g*4 + i) % len(qids)
+					dbs[q].Add(1)
+					n.Notify(qids[q])
+					n.NotifyBatch(qids[q : q+1])
+				}
+			}(g)
+		}
+		// Register/Unregister churner: runs until Close flips it to
+		// ErrClosed; after that every attempt must keep reporting ErrClosed.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			db := new(atomic.Int64)
+			for {
+				qid, err := n.Register(db)
+				if err != nil {
+					if errors.Is(err, ErrClosed) {
+						if _, err := n.Register(db); !errors.Is(err, ErrClosed) {
+							t.Error("Register after Close did not return ErrClosed")
+						}
+						return
+					}
+					if errors.Is(err, ErrFull) {
+						continue
+					}
+					t.Errorf("Register: unexpected error %v", err)
+					return
+				}
+				db.Add(1)
+				n.Notify(qid)
+				if err := n.Unregister(qid); err != nil && !errors.Is(err, ErrClosed) {
+					t.Errorf("Unregister: unexpected error %v", err)
+					return
+				}
+			}
+		}()
+		// Enable/Disable churner racing Close (the quarantine path).
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; ; i++ {
+				q := qids[i%len(qids)]
+				if err := n.Disable(q); errors.Is(err, ErrClosed) {
+					return
+				}
+				_ = n.Enable(q)
+			}
+		}()
+
+		// The racing Close, staggered a little more each round.
+		wg.Add(1)
+		go func(round int) {
+			defer wg.Done()
+			<-start
+			time.Sleep(time.Duration(round%5) * 200 * time.Microsecond)
+			n.Close()
+		}(round)
+
+		close(start)
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("goroutines did not drain after Close: waiter or churner stuck")
+		}
+
+		// Post-close determinism.
+		if _, ok := n.Wait(); ok {
+			t.Fatal("Wait returned ok after Close")
+		}
+		if c := n.WaitBatch(make([]QID, 4)); c != 0 {
+			t.Fatalf("WaitBatch returned %d after Close", c)
+		}
+		if _, ok := n.TryWait(); ok {
+			t.Fatal("TryWait returned ok after Close")
+		}
+		n.Notify(qids[0]) // must not panic
+		n.Close()         // idempotent
+	}
+}
