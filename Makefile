@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench chaos clean
+.PHONY: all build test race vet lint bench bench-guard chaos clean
 
 all: build vet test
 
@@ -16,6 +16,14 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Static analysis: vet always; staticcheck when installed (CI installs it).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 # Chaos suite: fault-injected dataplane isolation/recovery tests and the
 # notifier close-race hammers, repeated under the race detector.
 chaos:
@@ -25,6 +33,12 @@ chaos:
 # retired single-mutex engine over a producers x queues grid.
 bench:
 	$(GO) run ./cmd/notifierbench -out BENCH_notifier.json
+
+# Regression guard: re-measure the grid and fail if any cell's best-path
+# speedup over the mutex baseline drops more than 10% below the recorded
+# BENCH_notifier.json numbers (ratios, so machine speed cancels out).
+bench-guard:
+	$(GO) run ./cmd/notifierbench -check BENCH_notifier.json -tolerance 0.10 -ops 300000 -trials 3
 
 clean:
 	$(GO) clean ./...

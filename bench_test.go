@@ -17,6 +17,7 @@ import (
 	"hyperplane/internal/mem"
 	"hyperplane/internal/monitor"
 	"hyperplane/internal/netproto"
+	"hyperplane/internal/policy"
 	"hyperplane/internal/queue"
 	"hyperplane/internal/raidp"
 	"hyperplane/internal/ready"
@@ -308,11 +309,19 @@ func BenchmarkRingPushPop(b *testing.B) {
 
 // Ready-set select: the PPA (O(words)) vs the software iterator (O(ready)).
 func BenchmarkReadySetHardware1024(b *testing.B) {
-	benchReadySet(b, ready.NewHardware(1024, ready.RoundRobin, nil))
+	h, err := ready.NewHardware(1024, policy.Spec{Kind: policy.RoundRobin})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchReadySet(b, h)
 }
 
 func BenchmarkReadySetSoftware1024(b *testing.B) {
-	benchReadySet(b, ready.NewSoftware(1024, ready.RoundRobin, nil))
+	s, err := ready.NewSoftware(1024, policy.Spec{Kind: policy.RoundRobin})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchReadySet(b, s)
 }
 
 func benchReadySet(b *testing.B, rs ready.Set) {

@@ -35,23 +35,16 @@ func main() {
 		imb      = flag.Float64("imbalance", 0, "static hot-queue imbalance toward cluster 0 (e.g. 0.1)")
 		inOrder  = flag.Bool("in-order", false, "preserve per-queue processing order (no intra-queue concurrency)")
 		steal    = flag.Bool("steal", false, "HyperPlane work stealing across clusters")
-		policy   = flag.String("policy", "rr", "service policy: rr | wrr | strict")
+		policy   = flag.String("policy", "rr", "service policy: rr | wrr | strict | drr | ewma")
 		dur      = flag.Duration("duration", 20*time.Millisecond, "simulated measurement window")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		traceN   = flag.Int("trace", 0, "print the first N notification-protocol events")
 	)
 	flag.Parse()
 
-	var pol hyperplane.Policy
-	switch *policy {
-	case "rr":
-		pol = hyperplane.RoundRobin
-	case "wrr":
-		pol = hyperplane.WeightedRoundRobin
-	case "strict":
-		pol = hyperplane.StrictPriority
-	default:
-		fmt.Fprintf(os.Stderr, "hyperplane-sim: unknown policy %q\n", *policy)
+	pol, err := hyperplane.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hyperplane-sim: unknown policy %q (want rr | wrr | strict | drr | ewma)\n", *policy)
 		os.Exit(2)
 	}
 

@@ -12,6 +12,14 @@
 // single atomic load.
 //
 // Run with: go run ./cmd/notifierbench -out BENCH_notifier.json
+//
+// Guard mode re-measures the grid recorded in a previous report and fails
+// (exit 1) if any cell's best-path speedup over the mutex engine regresses
+// by more than the tolerance. Comparing the speedup *ratio* — both engines
+// re-measured on the current machine — keeps the check portable across
+// hosts, unlike absolute ns/op:
+//
+//	go run ./cmd/notifierbench -check BENCH_notifier.json -tolerance 0.10
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"time"
 
 	"hyperplane"
+	"hyperplane/internal/policy"
 	"hyperplane/internal/ready"
 )
 
@@ -71,8 +80,12 @@ type mutexEngine struct {
 }
 
 func newMutexEngine(maxQueues int) *mutexEngine {
+	rs, err := ready.NewHardware(maxQueues, policy.Spec{Kind: policy.RoundRobin})
+	if err != nil {
+		log.Fatal(err)
+	}
 	e := &mutexEngine{
-		rs:     ready.NewHardware(maxQueues, ready.RoundRobin, nil),
+		rs:     rs,
 		queues: make([]mutexQueue, maxQueues),
 	}
 	e.cond = sync.NewCond(&e.mu)
@@ -327,6 +340,67 @@ func parseList(s string) []int {
 	return out
 }
 
+func mutexMk(q int) engine  { return newMutexEngine(q) }
+func bankedMk(q int) engine { return newBankedEngine(q) }
+
+// measureCell runs both engines' per-item and batched paths for one grid
+// cell and fills in the derived speedups.
+func measureCell(p, q, ops, trials, batch int) cellResult {
+	var c cellResult
+	c.Producers, c.Queues = p, q
+	c.MutexNsOp, c.MutexAllocsOp = runCell(mutexMk, p, q, ops, trials, 1)
+	c.MutexBatchNsOp, _ = runCell(mutexMk, p, q, ops, trials, batch)
+	c.BankedNsOp, c.BankedAllocsOp = runCell(bankedMk, p, q, ops, trials, 1)
+	c.BankedBatchNsOp, _ = runCell(bankedMk, p, q, ops, trials, batch)
+	c.SpeedupNotify = c.MutexNsOp / c.BankedNsOp
+	c.Speedup = math.Min(c.MutexNsOp, c.MutexBatchNsOp) / math.Min(c.BankedNsOp, c.BankedBatchNsOp)
+	fmt.Fprintf(os.Stderr,
+		"p%d_q%d: mutex %.1f/%.1f ns/op, banked %.1f/%.1f ns/op (notify %.2fx, best %.2fx)\n",
+		p, q, c.MutexNsOp, c.MutexBatchNsOp, c.BankedNsOp, c.BankedBatchNsOp,
+		c.SpeedupNotify, c.Speedup)
+	return c
+}
+
+// warmup exercises the scheduler and code paths once per engine.
+func warmup(ops int) {
+	runTrial(mutexMk, 4, 16, ops/10+1, 1)
+	runTrial(bankedMk, 4, 16, ops/10+1, 1)
+}
+
+// checkAgainst re-measures every cell of a stored report and fails if any
+// best-path speedup falls more than tolerance below the recorded one.
+func checkAgainst(path string, tolerance float64, ops, trials, batch int) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatalf("parse %s: %v", path, err)
+	}
+	if len(base.Cells) == 0 {
+		log.Fatalf("%s has no cells", path)
+	}
+	warmup(ops)
+	failed := 0
+	for _, bc := range base.Cells {
+		c := measureCell(bc.Producers, bc.Queues, ops, trials, batch)
+		floor := bc.Speedup * (1 - tolerance)
+		status := "ok"
+		if c.Speedup < floor {
+			status = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("p%d_q%d: best-path speedup %.2fx, baseline %.2fx, floor %.2fx — %s\n",
+			bc.Producers, bc.Queues, c.Speedup, bc.Speedup, floor, status)
+	}
+	if failed > 0 {
+		log.Fatalf("%d of %d cells regressed beyond %.0f%% of %s",
+			failed, len(base.Cells), tolerance*100, path)
+	}
+	fmt.Printf("all %d cells within %.0f%% of %s\n", len(base.Cells), tolerance*100, path)
+}
+
 func main() {
 	producers := flag.String("producers", "1,8,64", "comma-separated producer counts")
 	queues := flag.String("queues", "16,256,1024", "comma-separated queue counts")
@@ -334,7 +408,14 @@ func main() {
 	trials := flag.Int("trials", 5, "trials per cell; median reported")
 	batch := flag.Int("batch", 16, "producer burst size for the batched columns")
 	out := flag.String("out", "", "output JSON path (default stdout)")
+	check := flag.String("check", "", "guard mode: baseline report to re-measure and compare against")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional speedup regression in -check mode")
 	flag.Parse()
+
+	if *check != "" {
+		checkAgainst(*check, *tolerance, *ops, *trials, *batch)
+		return
+	}
 
 	rep := report{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
@@ -343,32 +424,10 @@ func main() {
 		OpsPerCell: *ops,
 		Trials:     *trials,
 	}
-	engines := []struct {
-		name string
-		mk   func(int) engine
-	}{
-		{"mutex", func(q int) engine { return newMutexEngine(q) }},
-		{"banked", func(q int) engine { return newBankedEngine(q) }},
-	}
-	// Warm up the scheduler and code paths once per engine.
-	for _, eng := range engines {
-		runTrial(eng.mk, 4, 16, *ops/10+1, 1)
-	}
+	warmup(*ops)
 	for _, p := range parseList(*producers) {
 		for _, q := range parseList(*queues) {
-			var c cellResult
-			c.Producers, c.Queues = p, q
-			c.MutexNsOp, c.MutexAllocsOp = runCell(engines[0].mk, p, q, *ops, *trials, 1)
-			c.MutexBatchNsOp, _ = runCell(engines[0].mk, p, q, *ops, *trials, *batch)
-			c.BankedNsOp, c.BankedAllocsOp = runCell(engines[1].mk, p, q, *ops, *trials, 1)
-			c.BankedBatchNsOp, _ = runCell(engines[1].mk, p, q, *ops, *trials, *batch)
-			c.SpeedupNotify = c.MutexNsOp / c.BankedNsOp
-			c.Speedup = math.Min(c.MutexNsOp, c.MutexBatchNsOp) / math.Min(c.BankedNsOp, c.BankedBatchNsOp)
-			rep.Cells = append(rep.Cells, c)
-			fmt.Fprintf(os.Stderr,
-				"p%d_q%d: mutex %.1f/%.1f ns/op, banked %.1f/%.1f ns/op (notify %.2fx, best %.2fx)\n",
-				p, q, c.MutexNsOp, c.MutexBatchNsOp, c.BankedNsOp, c.BankedBatchNsOp,
-				c.SpeedupNotify, c.Speedup)
+			rep.Cells = append(rep.Cells, measureCell(p, q, *ops, *trials, *batch))
 		}
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")

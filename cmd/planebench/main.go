@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hyperplane"
 	"hyperplane/dataplane"
 	"hyperplane/internal/fault"
 )
@@ -37,6 +38,7 @@ type benchConfig struct {
 	mode       dataplane.Mode
 	duration   time.Duration
 	rate       float64
+	policy     hyperplane.Policy
 	delivery   dataplane.DeliveryPolicy
 	deliverTO  time.Duration
 	quarantine int
@@ -58,6 +60,7 @@ func main() {
 		duration    = flag.Duration("duration", 2*time.Second, "measurement window per point")
 		capacity    = flag.Int("cap", 1024, "ring capacity (power of two)")
 		rate        = flag.Float64("rate", 0, "paced ingress per tenant (items/s); 0 = flood (saturation)")
+		policyFlag  = flag.String("policy", "rr", "Notify-mode service policy: rr | wrr | strict | drr | ewma")
 
 		dropFlag   = flag.String("drop", "block", "delivery policy: block, drop-newest, drop-oldest")
 		deliverTO  = flag.Duration("delivery-timeout", 0, "Block-policy per-item delivery deadline (0 = unbounded)")
@@ -83,6 +86,12 @@ func main() {
 		counts = append(counts, n)
 	}
 
+	pol, err := hyperplane.ParsePolicy(*policyFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "planebench: unknown -policy %q\n", *policyFlag)
+		os.Exit(2)
+	}
+
 	var delivery dataplane.DeliveryPolicy
 	switch *dropFlag {
 	case "block":
@@ -101,6 +110,7 @@ func main() {
 		capacity:   *capacity,
 		duration:   *duration,
 		rate:       *rate,
+		policy:     pol,
 		delivery:   delivery,
 		deliverTO:  *deliverTO,
 		quarantine: *quarantine,
@@ -186,6 +196,7 @@ func measure(tenants int, cfg benchConfig) (result, error) {
 		Workers:         cfg.workers,
 		RingCapacity:    cfg.capacity,
 		Mode:            cfg.mode,
+		Policy:          cfg.policy,
 		Handler:         handler,
 		Delivery:        cfg.delivery,
 		DeliveryTimeout: cfg.deliverTO,

@@ -30,13 +30,14 @@ func main() {
 		consumers = flag.Int("consumers", 1, "consumer goroutines (each owns queues/consumers queues)")
 		duration  = flag.Duration("duration", 3*time.Second, "run time")
 		capacity  = flag.Int("cap", 1024, "ring capacity per queue (power of two)")
-		policy    = flag.String("policy", "rr", "rr | strict")
+		policy    = flag.String("policy", "rr", "rr | wrr | strict | drr | ewma")
 	)
 	flag.Parse()
 
-	pol := hyperplane.RoundRobin
-	if *policy == "strict" {
-		pol = hyperplane.StrictPriority
+	pol, err := hyperplane.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qstress: unknown policy %q\n", *policy)
+		os.Exit(2)
 	}
 	if *consumers < 1 || *nQueues < *consumers {
 		fmt.Fprintln(os.Stderr, "qstress: need at least one queue per consumer")

@@ -601,7 +601,7 @@ func (p *Plane) runNotify(wk *worker) {
 	// Strict priority must re-evaluate the lowest ready QID after every
 	// item, so it gets a batch of one (see Notifier.WaitBatch docs).
 	size := 32
-	if p.cfg.Policy == hyperplane.StrictPriority {
+	if p.cfg.Policy.Kind == hyperplane.StrictPriority.Kind {
 		size = 1
 	}
 	batch := make([]hyperplane.QID, size)

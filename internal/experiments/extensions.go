@@ -5,7 +5,7 @@ import (
 
 	"hyperplane/internal/mem"
 	"hyperplane/internal/monitor"
-	"hyperplane/internal/ready"
+	"hyperplane/internal/policy"
 	"hyperplane/internal/sdp"
 	"hyperplane/internal/sim"
 	"hyperplane/internal/traffic"
@@ -76,7 +76,7 @@ func ExtSteal(o Options) []Table {
 				Workload:     workload.PacketEncap,
 				Shape:        traffic.PC,
 				Plane:        sdp.HyperPlane,
-				Policy:       ready.RoundRobin,
+				Policy:       policy.Spec{Kind: policy.RoundRobin},
 				Mode:         sdp.OpenLoop,
 				Load:         load,
 				Imbalance:    imbalance,
@@ -102,7 +102,9 @@ func ExtSteal(o Options) []Table {
 }
 
 // ExtPolicy ablates the service policy: the paper reports policies have
-// minimal impact on performance trends (§V-A); this verifies it.
+// minimal impact on performance trends (§V-A); this verifies it across
+// all five disciplines of the shared arbitration layer, including the
+// deficit-round-robin and EWMA-adaptive extensions.
 func ExtPolicy(o Options) []Table {
 	t := Table{
 		ID:     "ext-policy",
@@ -111,27 +113,31 @@ func ExtPolicy(o Options) []Table {
 		YLabel: "million tasks/sec",
 	}
 	queues := queueCounts(o)
+	skewed := func(n int) []int {
+		w := make([]int, n)
+		for i := range w {
+			w[i] = 1 + i%4
+		}
+		return w
+	}
+	none := func(int) []int { return nil }
 	type pol struct {
 		name    string
-		p       ready.Policy
+		kind    policy.Kind
 		weights func(n int) []int
 	}
 	pols := []pol{
-		{"round-robin", ready.RoundRobin, func(int) []int { return nil }},
-		{"weighted-round-robin", ready.WeightedRoundRobin, func(n int) []int {
-			w := make([]int, n)
-			for i := range w {
-				w[i] = 1 + i%4
-			}
-			return w
-		}},
-		{"strict-priority", ready.StrictPriority, func(int) []int { return nil }},
+		{"round-robin", policy.RoundRobin, none},
+		{"weighted-round-robin", policy.WeightedRoundRobin, skewed},
+		{"strict-priority", policy.StrictPriority, none},
+		{"deficit-round-robin", policy.DeficitRoundRobin, skewed},
+		{"ewma-adaptive", policy.EWMAAdaptive, none},
 	}
 	for _, pl := range pols {
 		s := Series{Label: pl.name}
 		for _, n := range queues {
 			cfg := satCfg(o, workload.PacketEncap, traffic.PC, n, sdp.HyperPlane)
-			cfg.Policy = pl.p
+			cfg.Policy = policy.Spec{Kind: pl.kind}
 			cfg.Weights = pl.weights(n)
 			r := mustRun(cfg)
 			s.X = append(s.X, float64(n))
@@ -299,7 +305,7 @@ func ExtBurst(o Options) []Table {
 				Workload:   workload.PacketEncap,
 				Shape:      traffic.PC,
 				Plane:      plane,
-				Policy:     ready.RoundRobin,
+				Policy:     policy.Spec{Kind: policy.RoundRobin},
 				Mode:       sdp.OpenLoop,
 				Load:       0.5,
 				Burstiness: burst,
@@ -346,7 +352,7 @@ func ExtNUMA(o Options) []Table {
 				Workload:     workload.PacketEncap,
 				Shape:        traffic.PC,
 				Plane:        sdp.HyperPlane,
-				Policy:       ready.RoundRobin,
+				Policy:       policy.Spec{Kind: policy.RoundRobin},
 				Mode:         sdp.OpenLoop,
 				Load:         load,
 				Imbalance:    imbalance,

@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"hyperplane/internal/ready"
+	"hyperplane/internal/policy"
 	"hyperplane/internal/sdp"
 	"hyperplane/internal/sim"
 	"hyperplane/internal/traffic"
@@ -27,7 +27,7 @@ func satCfg(o Options, w workload.Spec, shape traffic.Shape, queues int, plane s
 		Workload: w,
 		Shape:    shape,
 		Plane:    plane,
-		Policy:   ready.RoundRobin,
+		Policy:   policy.Spec{Kind: policy.RoundRobin},
 		Mode:     sdp.Saturate,
 		Warmup:   warm,
 		Duration: dur,
@@ -47,7 +47,7 @@ func lightCfg(o Options, w workload.Spec, shape traffic.Shape, queues int, plane
 		Workload: w,
 		Shape:    shape,
 		Plane:    plane,
-		Policy:   ready.RoundRobin,
+		Policy:   policy.Spec{Kind: policy.RoundRobin},
 		Mode:     sdp.OpenLoop,
 		Load:     load,
 		Warmup:   dur / 20,
@@ -71,7 +71,7 @@ func multicoreCfg(o Options, shape traffic.Shape, plane sdp.PlaneKind, clusterSi
 		Workload:    workload.PacketEncap,
 		Shape:       shape,
 		Plane:       plane,
-		Policy:      ready.RoundRobin,
+		Policy:      policy.Spec{Kind: policy.RoundRobin},
 		Mode:        sdp.OpenLoop,
 		Load:        load,
 		Imbalance:   imbalance,
@@ -98,7 +98,7 @@ func loadSweepCfg(o Options, plane sdp.PlaneKind, load float64, powerOpt bool) s
 		Workload:       workload.PacketEncap,
 		Shape:          traffic.FB,
 		Plane:          plane,
-		Policy:         ready.RoundRobin,
+		Policy:         policy.Spec{Kind: policy.RoundRobin},
 		Mode:           sdp.OpenLoop,
 		Load:           load,
 		PowerOptimized: powerOpt,

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hyperplane/internal/policy"
 	"hyperplane/internal/ready"
 )
 
@@ -11,11 +12,16 @@ import (
 // exactly like doorbell lines interleave across directory banks in the
 // paper (monitor.Banked.BankOf): bank s of S owns every QID congruent to
 // s mod S, mapped to local index qid/S. Each bank runs its own
-// ready.Hardware (the same PPA selection logic as the simulated RTL) over
-// those local indices, so round-robin, weighted-round-robin and
-// strict-priority semantics hold exactly within a bank; cross-bank order
-// is governed by the caller's sweep rotor (see Notifier docs for the
-// fairness bound).
+// ready.Hardware — and through it the same internal/policy arbitration
+// state machine the simulated RTL drives — over those local indices, so
+// every discipline's semantics hold exactly within a bank. The bank's
+// policy instance is built from the shared policy.Spec via Spec.Sub, so
+// per-queue parameters (WRR/DRR weights) follow each queue into its bank.
+// Cross-bank order is governed by the caller's sweep rotor: with S banks
+// and a per-bank policy bound of R selections (ready-queue count for
+// round-robin/EWMA, outstanding weight or quantum sum for WRR/DRR), a
+// continuously-ready queue is serviced at least once every S*R
+// selections (see Notifier docs).
 //
 // Each bank also owns one bit of a shared summary word, kept in sync
 // under the bank lock: bit set iff the bank has at least one enabled
@@ -31,24 +37,25 @@ type Bank struct {
 }
 
 // NewBank builds the bank owning QIDs {offset, offset+stride, ...} below
-// total. weights is the full global weight slice (may be nil unless the
-// policy is WeightedRoundRobin); the bank extracts its own entries.
-func NewBank(total, stride, offset int, pol ready.Policy, weights []int, summary *atomic.Uint64, bit uint) *Bank {
+// total, arbitrated by spec (whose Weights, if any, are the full global
+// slice; the bank extracts its own entries via Spec.Sub).
+func NewBank(total, stride, offset int, spec policy.Spec, summary *atomic.Uint64, bit uint) (*Bank, error) {
+	sub, err := spec.Sub(total, stride, offset)
+	if err != nil {
+		return nil, err
+	}
 	localN := (total - offset + stride - 1) / stride
-	var lw []int
-	if pol == ready.WeightedRoundRobin {
-		lw = make([]int, localN)
-		for l := range lw {
-			lw[l] = weights[l*stride+offset]
-		}
+	rs, err := ready.NewHardware(localN, sub)
+	if err != nil {
+		return nil, err
 	}
 	return &Bank{
-		rs:      ready.NewHardware(localN, pol, lw),
+		rs:      rs,
 		stride:  stride,
 		offset:  offset,
 		summary: summary,
 		bit:     1 << bit,
-	}
+	}, nil
 }
 
 func (b *Bank) local(qid int) int { return qid / b.stride }

@@ -1,0 +1,100 @@
+package nshard
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hyperplane/internal/policy"
+	"hyperplane/internal/ready"
+)
+
+// fuzzQueues deliberately spans more than one 64-bit word so selection
+// must cross word boundaries in every substrate.
+const fuzzQueues = 70
+
+// FuzzDifferentialServiceOrder feeds an identical activate / consume /
+// mask stream to the three arbitration substrates — the hardware PPA
+// model, the software fallback, and a single-shard runtime Bank — and
+// requires that all three service queues in exactly the same order for
+// every built-in discipline. This is the acceptance check for the
+// unified policy layer: sim and runtime cannot drift because they share
+// one state machine.
+func FuzzDifferentialServiceOrder(f *testing.F) {
+	f.Add([]byte{0, 5, 0, 64, 0, 69, 1, 0, 1, 0, 1, 0, 1, 0})
+	f.Add([]byte{0, 1, 0, 2, 4, 0, 4, 0, 4, 0, 4, 0, 4, 0, 4, 0})
+	f.Add([]byte{0, 3, 2, 3, 1, 0, 2, 3, 1, 0, 3, 3, 1, 0})
+	f.Add([]byte{0, 10, 0, 20, 0, 30, 2, 20, 1, 0, 1, 0, 2, 20, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		weights := make([]int, fuzzQueues)
+		for i := range weights {
+			weights[i] = 1 + i%5
+		}
+		for _, kind := range policy.Kinds() {
+			spec := policy.Spec{Kind: kind}
+			if kind.UsesWeights() {
+				spec.Weights = weights
+			}
+			hw, err := ready.NewHardware(fuzzQueues, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sw, err := ready.NewSoftware(fuzzQueues, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var summary atomic.Uint64
+			bk, err := NewBank(fuzzQueues, 1, 0, spec, &summary, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			enabled := make([]bool, fuzzQueues)
+			for i := range enabled {
+				enabled[i] = true
+			}
+			for i := 0; i+1 < len(data); i += 2 {
+				op, qid := data[i]%5, int(data[i+1])%fuzzQueues
+				switch op {
+				case 0: // arrival
+					hw.Activate(qid)
+					sw.Activate(qid)
+					bk.Activate(qid)
+				case 1: // consume
+					hq, hok, _ := hw.Select()
+					sq, sok, _ := sw.Select()
+					bq, bok := bk.Select()
+					if hok != sok || hok != bok || (hok && (hq != sq || hq != bq)) {
+						t.Fatalf("%v op %d: hw=(%d,%v) sw=(%d,%v) bank=(%d,%v)",
+							kind, i/2, hq, hok, sq, sok, bq, bok)
+					}
+				case 2: // QWAIT-ENABLE / QWAIT-DISABLE toggle
+					enabled[qid] = !enabled[qid]
+					hw.SetEnabled(qid, enabled[qid])
+					sw.SetEnabled(qid, enabled[qid])
+					bk.SetEnabled(qid, enabled[qid])
+				case 3: // QWAIT-REMOVE
+					hw.Deactivate(qid)
+					sw.Deactivate(qid)
+					bk.Deactivate(qid)
+				case 4: // consume and re-arm (persistent backlog)
+					hq, hok, _ := hw.Select()
+					sq, sok, _ := sw.Select()
+					bq, bok := bk.Select()
+					if hok != sok || hok != bok || (hok && (hq != sq || hq != bq)) {
+						t.Fatalf("%v op %d: hw=(%d,%v) sw=(%d,%v) bank=(%d,%v)",
+							kind, i/2, hq, hok, sq, sok, bq, bok)
+					}
+					if hok {
+						hw.Activate(hq)
+						sw.Activate(sq)
+						bk.Activate(bq)
+					}
+				}
+				if hw.ReadyCount() != sw.ReadyCount() || hw.ReadyCount() != bk.ReadyCount() {
+					t.Fatalf("%v op %d: ready counts diverged hw=%d sw=%d bank=%d",
+						kind, i/2, hw.ReadyCount(), sw.ReadyCount(), bk.ReadyCount())
+				}
+			}
+		}
+	})
+}

@@ -5,8 +5,18 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"hyperplane/internal/ready"
+	"hyperplane/internal/policy"
 )
+
+// bank builds a Bank for tests, failing the test on spec errors.
+func bank(t *testing.T, total, stride, offset int, spec policy.Spec, summary *atomic.Uint64, bit uint) *Bank {
+	t.Helper()
+	b, err := NewBank(total, stride, offset, spec, summary, bit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
 
 func TestQStateLifecycle(t *testing.T) {
 	var q QState
@@ -96,7 +106,7 @@ func TestQStateConcurrentTransitions(t *testing.T) {
 func TestBankStridedMapping(t *testing.T) {
 	var summary atomic.Uint64
 	// Bank 1 of 4 over 10 queues owns qids 1, 5, 9.
-	b := NewBank(10, 4, 1, ready.RoundRobin, nil, &summary, 1)
+	b := bank(t, 10, 4, 1, policy.Spec{Kind: policy.RoundRobin}, &summary, 1)
 	for _, qid := range []int{9, 1, 5} {
 		b.Activate(qid)
 	}
@@ -127,7 +137,7 @@ func TestBankStridedMapping(t *testing.T) {
 
 func TestBankSelectMany(t *testing.T) {
 	var summary atomic.Uint64
-	b := NewBank(16, 2, 0, ready.RoundRobin, nil, &summary, 0)
+	b := bank(t, 16, 2, 0, policy.Spec{Kind: policy.RoundRobin}, &summary, 0)
 	for q := 0; q < 16; q += 2 {
 		b.Activate(q)
 	}
@@ -148,7 +158,7 @@ func TestBankSelectMany(t *testing.T) {
 
 func TestBankMaskMaintainsSummary(t *testing.T) {
 	var summary atomic.Uint64
-	b := NewBank(4, 1, 0, ready.RoundRobin, nil, &summary, 0)
+	b := bank(t, 4, 1, 0, policy.Spec{Kind: policy.RoundRobin}, &summary, 0)
 	b.Activate(2)
 	if b.SetEnabled(2, false) {
 		t.Fatal("disabled queue reported wakeable")
@@ -177,7 +187,7 @@ func TestBankWRRLocalWeights(t *testing.T) {
 	var summary atomic.Uint64
 	// Bank 0 of 2 over 4 queues owns qids 0, 2 with weights 3 and 1.
 	weights := []int{3, 7, 1, 9}
-	b := NewBank(4, 2, 0, ready.WeightedRoundRobin, weights, &summary, 0)
+	b := bank(t, 4, 2, 0, policy.Spec{Kind: policy.WeightedRoundRobin, Weights: weights}, &summary, 0)
 	counts := map[int]int{}
 	b.Activate(0)
 	b.Activate(2)

@@ -1,0 +1,59 @@
+package policy
+
+// drrPolicy is deficit round-robin (Shreedhar & Varghese) adapted to the
+// PPA's bit-vector substrate: a rotor visits ready queues in circular
+// order; each visit grants the queue its quantum of work credit, and
+// Charge costs draw the credit down, so a queue consuming large batches
+// (or bytes, when the driver charges them) yields its turn proportionally
+// sooner. With unit costs it services exactly like weighted round-robin.
+//
+// Two deviations from the textbook algorithm, forced by the substrate
+// (the policy sees ready bits, not queue departures):
+//
+//   - Credit left when a queue drains is capped at one quantum when the
+//     rotor moves on, instead of being reset to zero — the policy cannot
+//     observe "queue went empty", only "bit no longer set at Next".
+//   - A queue that overdraws (one Charge cost larger than its remaining
+//     credit) carries the debt into its next visit, shortening that
+//     burst. The rotor still visits every ready queue once per round, so
+//     no queue starves regardless of debt.
+type drrPolicy struct {
+	n    int
+	prio int // rotor: where the next visit scans from
+	cur  int // queue currently spending its credit, -1 between visits
+
+	quantum []int64 // per-round credit grant (the configured weight)
+	deficit []int64 // remaining credit (may go negative on overdraw)
+}
+
+func (p *drrPolicy) Kind() Kind  { return DeficitRoundRobin }
+func (p *drrPolicy) Observe(int) {}
+
+func (p *drrPolicy) Next(v View) (int, bool) {
+	// Keep serving the current queue while it is ready and in credit.
+	if p.cur >= 0 && p.deficit[p.cur] > 0 && Has(v, p.cur) {
+		return p.cur, true
+	}
+	return SelectFrom(v, p.prio)
+}
+
+func (p *drrPolicy) Charge(qid, cost int) {
+	if qid != p.cur {
+		// Rotor moved on: cap the previous queue's banked credit at one
+		// quantum so an idle queue cannot hoard rounds of credit.
+		if p.cur >= 0 && p.deficit[p.cur] > p.quantum[p.cur] {
+			p.deficit[p.cur] = p.quantum[p.cur]
+		}
+		p.cur = qid
+		p.deficit[qid] += p.quantum[qid]
+	}
+	p.deficit[qid] -= int64(cost)
+	if p.deficit[qid] <= 0 {
+		// Credit spent (or overdrawn): the turn ends, rotor rotates past.
+		p.prio = qid + 1
+		if p.prio == p.n {
+			p.prio = 0
+		}
+		p.cur = -1
+	}
+}

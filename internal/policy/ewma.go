@@ -1,0 +1,88 @@
+package policy
+
+import "math/bits"
+
+// ewmaPolicy biases service toward queues whose backlog is rising. Each
+// queue carries an exponentially-weighted moving average of arrival
+// pressure: Observe (the ready-set activation edge — a producer ringing a
+// doorbell that found the queue idle) pushes the score toward 1, and
+// Charge (a completed service) decays it toward 0. A queue whose
+// activations outpace its services — the signature of rising backlog —
+// accumulates score and is drained first, before its latency tail grows.
+//
+// Pure backlog-greedy selection can starve a quiet ready queue behind a
+// persistently hot one, so selection ranks queues by score plus an aging
+// bonus of 1/(4n) per service round the queue has waited: any ready queue
+// overtakes any score difference within at most 4n rounds and the
+// discipline stays starvation-free. With no Observe signal at all, every
+// score is zero and the aging term plus the circular tie-break reduce it
+// to plain round-robin.
+type ewmaPolicy struct {
+	n     int
+	prio  int     // rotor for the equal-rank tie-break
+	alpha float64 // smoothing factor
+	age   float64 // aging bonus per round waited, 1/(4n)
+	round int64   // service counter
+	score []float64
+	last  []int64 // round of each queue's last service
+}
+
+func (p *ewmaPolicy) Kind() Kind { return EWMAAdaptive }
+
+func (p *ewmaPolicy) Observe(qid int) {
+	// EWMA of an arrival indicator: each activation pushes toward 1.
+	p.score[qid] += p.alpha * (1 - p.score[qid])
+}
+
+func (p *ewmaPolicy) Charge(qid, cost int) {
+	// Each unit of service decays the pressure estimate toward 0.
+	for i := 0; i < cost; i++ {
+		p.score[qid] *= 1 - p.alpha
+	}
+	p.round++
+	p.last[qid] = p.round
+	p.prio = qid + 1
+	if p.prio == p.n {
+		p.prio = 0
+	}
+}
+
+// rank is a queue's effective selection score: backlog pressure plus the
+// aging bonus for rounds waited since its last service.
+func (p *ewmaPolicy) rank(qid int) float64 {
+	return p.score[qid] + p.age*float64(p.round-p.last[qid])
+}
+
+// circDist is the circular distance from the rotor to qid, the
+// deterministic tie-break that makes equal-rank selection round-robin.
+func (p *ewmaPolicy) circDist(qid int) int {
+	d := qid - p.prio
+	if d < 0 {
+		d += p.n
+	}
+	return d
+}
+
+const rankEpsilon = 1e-9
+
+func (p *ewmaPolicy) Next(v View) (int, bool) {
+	best, bestDist := -1, 0
+	var bestRank float64
+	nw := (p.n + 63) >> 6
+	for w := 0; w < nw; w++ {
+		word := v.Word(w)
+		for word != 0 {
+			qid := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			r, d := p.rank(qid), p.circDist(qid)
+			if best < 0 || r > bestRank+rankEpsilon ||
+				(r > bestRank-rankEpsilon && d < bestDist) {
+				best, bestRank, bestDist = qid, r, d
+			}
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}

@@ -1,0 +1,285 @@
+// Package policy is HyperPlane's pluggable service-policy arbitration
+// layer: the one implementation of queue-service disciplines shared by
+// every ready-set substrate in the repository — the cycle-accurate
+// hardware PPA model (internal/ready.Hardware), the software ready-set
+// baseline (internal/ready.Software), and the production banked runtime
+// (internal/nshard.Bank).
+//
+// The paper's Programmable Priority Arbiter (§III-A, §IV-B) is one
+// selection mechanism parameterized by a discipline: the current-priority
+// vector and weight counters are *policy state*, while the ready/mask bit
+// substrate is *queue state*. This package keeps that split explicit: a
+// Policy owns all rotation/weight/deficit state and selects over a View —
+// a read-only bit view of "ready AND enabled" — while the substrate owns
+// the bits. Because the simulator and the runtime drive the very same
+// policy code, their service order is identical by construction, which the
+// differential fuzz test in internal/nshard asserts for every discipline.
+//
+// Five disciplines are built in: the paper's RoundRobin,
+// WeightedRoundRobin and StrictPriority, plus two software extensions the
+// old per-substrate copies made impractical — DeficitRoundRobin
+// (work-aware fairness with per-queue quanta) and EWMAAdaptive (biases
+// toward queues with rising backlog, with an aging term that keeps it
+// starvation-free).
+package policy
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind identifies a service discipline.
+type Kind uint8
+
+// Service disciplines.
+const (
+	// RoundRobin gives the selected QID lowest priority in the next round.
+	RoundRobin Kind = iota
+	// WeightedRoundRobin lets a selected queue be serviced for weight
+	// consecutive rounds before the priority rotates.
+	WeightedRoundRobin
+	// StrictPriority always prefers lower-numbered QIDs. The paper notes
+	// it can starve high-numbered queues and is rarely used in practice.
+	StrictPriority
+	// DeficitRoundRobin grants each queue a per-round quantum of work
+	// credit (its weight); Charge costs draw the credit down, so queues
+	// doing large batches yield proportionally sooner. With unit costs it
+	// degenerates to WeightedRoundRobin.
+	DeficitRoundRobin
+	// EWMAAdaptive scores queues by an exponentially-weighted moving
+	// average of arrival pressure (Observe raises, Charge decays) and
+	// services the highest-scoring ready queue, so rising backlog is
+	// drained first. An aging bonus bounds how long a ready queue can be
+	// passed over, keeping the discipline starvation-free.
+	EWMAAdaptive
+
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case RoundRobin:
+		return "round-robin"
+	case WeightedRoundRobin:
+		return "weighted-round-robin"
+	case StrictPriority:
+		return "strict-priority"
+	case DeficitRoundRobin:
+		return "deficit-round-robin"
+	case EWMAAdaptive:
+		return "ewma-adaptive"
+	}
+	return "unknown"
+}
+
+// UsesWeights reports whether the discipline consumes per-queue weights.
+func (k Kind) UsesWeights() bool {
+	return k == WeightedRoundRobin || k == DeficitRoundRobin
+}
+
+// Kinds lists the built-in disciplines.
+func Kinds() []Kind {
+	out := make([]Kind, 0, numKinds)
+	for k := Kind(0); k < numKinds; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// View is a read-only bit view of the arbitration input: bit i is set iff
+// queue i is ready AND enabled. Bits at or beyond Len are zero.
+type View interface {
+	// Len returns the number of queues.
+	Len() int
+	// Word returns the w'th 64-bit chunk of the view.
+	Word(w int) uint64
+}
+
+// A Policy is one service-discipline instance over a fixed number of
+// queues. It owns all selection state (priority rotor, weight counters,
+// deficits, scores); the caller owns the ready bits. Instances are not
+// safe for concurrent use — each ready-set bank builds its own from a
+// Spec and serializes access under the bank lock.
+type Policy interface {
+	// Next returns the QID the discipline selects among the asserted bits
+	// of v, without committing any state. ok is false when no bit is set.
+	Next(v View) (qid int, ok bool)
+	// Charge commits the selection of qid with the given work cost
+	// (>= 1; batch-aware drivers may pass bytes or items), consuming
+	// budget and rotating priority per the discipline. It must follow a
+	// successful Next returning qid.
+	Charge(qid, cost int)
+	// Observe records an arrival signal for qid (a queue transitioning to
+	// ready). Adaptive disciplines use it to track backlog pressure;
+	// static ones ignore it.
+	Observe(qid int)
+	// Kind reports the discipline.
+	Kind() Kind
+}
+
+// DefaultAlpha is the EWMAAdaptive smoothing factor used when Spec.Alpha
+// is zero.
+const DefaultAlpha = 0.25
+
+// Errors returned by Spec validation. WeightsError carries the detail for
+// weight problems.
+var (
+	ErrUnknownKind = errors.New("policy: unknown policy kind")
+	ErrBadCount    = errors.New("policy: queue count must be positive")
+	ErrBadAlpha    = errors.New("policy: EWMA alpha must be in (0, 1]")
+)
+
+// WeightsError reports an invalid per-queue weight configuration: either
+// a length mismatch (Got != Want, QID < 0) or a non-positive entry
+// (QID >= 0 with its Weight).
+type WeightsError struct {
+	Want   int // required weight count (the queue count)
+	Got    int // provided weight count
+	QID    int // offending entry, -1 for length errors
+	Weight int // offending value when QID >= 0
+}
+
+func (e *WeightsError) Error() string {
+	if e.QID < 0 {
+		return fmt.Sprintf("policy: need %d weights, got %d", e.Want, e.Got)
+	}
+	return fmt.Sprintf("policy: weight for qid %d must be >= 1, got %d", e.QID, e.Weight)
+}
+
+// Spec is a policy constructor: a discipline plus its parameters. The
+// zero value is plain round-robin. A Spec is inert configuration — every
+// ready set (and every bank of a sharded ready set, via Sub) builds its
+// own Policy instance from it with New.
+type Spec struct {
+	// Kind selects the discipline.
+	Kind Kind
+	// Weights are per-QID service weights (WeightedRoundRobin: consecutive
+	// services per round; DeficitRoundRobin: work quantum per round). nil
+	// defaults to all-1; otherwise the length must equal the queue count
+	// and every entry must be >= 1. Ignored by non-weighted disciplines.
+	Weights []int
+	// Alpha is the EWMAAdaptive smoothing factor in (0, 1]; 0 selects
+	// DefaultAlpha. Ignored by other disciplines.
+	Alpha float64
+}
+
+// String returns the discipline name.
+func (s Spec) String() string { return s.Kind.String() }
+
+// Validate checks the Spec against a queue count. It is the single
+// weights/parameter validation for every ready-set implementation.
+func (s Spec) Validate(n int) error {
+	if n <= 0 {
+		return ErrBadCount
+	}
+	if s.Kind >= numKinds {
+		return ErrUnknownKind
+	}
+	if s.Kind.UsesWeights() && s.Weights != nil {
+		if len(s.Weights) != n {
+			return &WeightsError{Want: n, Got: len(s.Weights), QID: -1}
+		}
+		for i, w := range s.Weights {
+			if w < 1 {
+				return &WeightsError{Want: n, Got: n, QID: i, Weight: w}
+			}
+		}
+	}
+	if s.Kind == EWMAAdaptive && (s.Alpha < 0 || s.Alpha > 1) {
+		return ErrBadAlpha
+	}
+	return nil
+}
+
+// weights returns the effective weight slice for n queues (a copy; nil
+// Weights defaults to all-1). Callers must have validated first.
+func (s Spec) weights(n int) []int {
+	w := make([]int, n)
+	for i := range w {
+		if s.Weights != nil {
+			w[i] = s.Weights[i]
+		} else {
+			w[i] = 1
+		}
+	}
+	return w
+}
+
+// New validates the Spec for n queues and builds a fresh Policy instance.
+func (s Spec) New(n int) (Policy, error) {
+	if err := s.Validate(n); err != nil {
+		return nil, err
+	}
+	switch s.Kind {
+	case RoundRobin:
+		return &rrPolicy{n: n}, nil
+	case WeightedRoundRobin:
+		w := s.weights(n)
+		return &wrrPolicy{n: n, weights: w, counter: w[0]}, nil
+	case StrictPriority:
+		return strictPolicy{}, nil
+	case DeficitRoundRobin:
+		w := s.weights(n)
+		q := make([]int64, n)
+		for i, v := range w {
+			q[i] = int64(v)
+		}
+		return &drrPolicy{n: n, cur: -1, quantum: q, deficit: make([]int64, n)}, nil
+	case EWMAAdaptive:
+		a := s.Alpha
+		if a == 0 {
+			a = DefaultAlpha
+		}
+		return &ewmaPolicy{
+			n:     n,
+			alpha: a,
+			age:   1 / float64(4*n),
+			score: make([]float64, n),
+			last:  make([]int64, n),
+		}, nil
+	}
+	return nil, ErrUnknownKind
+}
+
+// Sub derives the Spec for one bank of a sharded ready set owning the
+// local indices {offset, offset+stride, 2*stride+offset, ...} below
+// total: per-queue weights follow their queue into the bank. The banked
+// Notifier uses it so per-bank policy state sees exactly its own queues'
+// parameters.
+func (s Spec) Sub(total, stride, offset int) (Spec, error) {
+	if err := s.Validate(total); err != nil {
+		return Spec{}, err
+	}
+	if stride < 1 || offset < 0 || offset >= stride || offset >= total {
+		return Spec{}, fmt.Errorf("policy: bad shard geometry stride=%d offset=%d total=%d", stride, offset, total)
+	}
+	out := s
+	if s.Weights != nil && s.Kind.UsesWeights() {
+		localN := (total - offset + stride - 1) / stride
+		lw := make([]int, localN)
+		for l := range lw {
+			lw[l] = s.Weights[l*stride+offset]
+		}
+		out.Weights = lw
+	}
+	return out, nil
+}
+
+// Parse maps a policy name — short ("rr", "wrr", "strict", "drr",
+// "ewma") or canonical ("round-robin", ...) — to a Spec with default
+// parameters. CLI tools share it so every binary accepts the same names.
+func Parse(name string) (Spec, error) {
+	switch name {
+	case "rr", "round-robin":
+		return Spec{Kind: RoundRobin}, nil
+	case "wrr", "weighted-round-robin":
+		return Spec{Kind: WeightedRoundRobin}, nil
+	case "strict", "strict-priority":
+		return Spec{Kind: StrictPriority}, nil
+	case "drr", "deficit-round-robin":
+		return Spec{Kind: DeficitRoundRobin}, nil
+	case "ewma", "ewma-adaptive":
+		return Spec{Kind: EWMAAdaptive}, nil
+	}
+	return Spec{}, fmt.Errorf("policy: unknown policy %q", name)
+}

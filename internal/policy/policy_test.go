@@ -1,0 +1,360 @@
+package policy
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// testView is a mutable View for driving policies directly.
+type testView struct {
+	words []uint64
+	n     int
+}
+
+func newView(n int) *testView {
+	return &testView{words: make([]uint64, (n+63)/64), n: n}
+}
+
+func (v *testView) Len() int          { return v.n }
+func (v *testView) Word(i int) uint64 { return v.words[i] }
+func (v *testView) set(i int)         { v.words[i>>6] |= 1 << uint(i&63) }
+func (v *testView) clear(i int)       { v.words[i>>6] &^= 1 << uint(i&63) }
+
+func mustNew(t *testing.T, s Spec, n int) Policy {
+	t.Helper()
+	p, err := s.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// serve drives iters selections over an always-backlogged view (bits are
+// never cleared), charging the given cost per selection, and returns the
+// per-queue service counts.
+func serve(t *testing.T, p Policy, v *testView, iters, cost int) []int {
+	t.Helper()
+	counts := make([]int, v.n)
+	for i := 0; i < iters; i++ {
+		q, ok := p.Next(v)
+		if !ok {
+			t.Fatal("ran dry on a fully-ready view")
+		}
+		counts[q]++
+		p.Charge(q, cost)
+	}
+	return counts
+}
+
+func fullView(n int) *testView {
+	v := newView(n)
+	for i := 0; i < n; i++ {
+		v.set(i)
+	}
+	return v
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		RoundRobin:         "round-robin",
+		WeightedRoundRobin: "weighted-round-robin",
+		StrictPriority:     "strict-priority",
+		DeficitRoundRobin:  "deficit-round-robin",
+		EWMAAdaptive:       "ewma-adaptive",
+		Kind(99):           "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if len(Kinds()) != 5 {
+		t.Errorf("Kinds() = %v, want 5 disciplines", Kinds())
+	}
+}
+
+func TestParse(t *testing.T) {
+	for _, k := range Kinds() {
+		s, err := Parse(k.String())
+		if err != nil || s.Kind != k {
+			t.Errorf("Parse(%q) = %v, %v", k.String(), s, err)
+		}
+	}
+	short := map[string]Kind{
+		"rr": RoundRobin, "wrr": WeightedRoundRobin, "strict": StrictPriority,
+		"drr": DeficitRoundRobin, "ewma": EWMAAdaptive,
+	}
+	for name, k := range short {
+		s, err := Parse(name)
+		if err != nil || s.Kind != k {
+			t.Errorf("Parse(%q) = %v, %v", name, s, err)
+		}
+	}
+	if _, err := Parse("fifo"); err == nil {
+		t.Error("Parse accepted an unknown name")
+	}
+}
+
+func TestValidateTypedErrors(t *testing.T) {
+	if err := (Spec{}).Validate(0); !errors.Is(err, ErrBadCount) {
+		t.Errorf("n=0: %v, want ErrBadCount", err)
+	}
+	if err := (Spec{Kind: Kind(42)}).Validate(4); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("bad kind: %v, want ErrUnknownKind", err)
+	}
+	var werr *WeightsError
+	err := Spec{Kind: WeightedRoundRobin, Weights: []int{1, 2}}.Validate(4)
+	if !errors.As(err, &werr) || werr.Want != 4 || werr.Got != 2 || werr.QID != -1 {
+		t.Errorf("short weights: %v", err)
+	}
+	err = Spec{Kind: DeficitRoundRobin, Weights: []int{1, 0, 3}}.Validate(3)
+	if !errors.As(err, &werr) || werr.QID != 1 || werr.Weight != 0 {
+		t.Errorf("zero weight: %v", err)
+	}
+	// nil weights are the documented all-1 default for every substrate.
+	if err := (Spec{Kind: WeightedRoundRobin}).Validate(8); err != nil {
+		t.Errorf("nil weights: %v, want valid", err)
+	}
+	// Weights on non-weighted disciplines are ignored, not rejected.
+	if err := (Spec{Kind: StrictPriority, Weights: []int{1}}).Validate(8); err != nil {
+		t.Errorf("ignored weights: %v, want valid", err)
+	}
+	if err := (Spec{Kind: EWMAAdaptive, Alpha: 1.5}).Validate(4); !errors.Is(err, ErrBadAlpha) {
+		t.Errorf("alpha 1.5: %v, want ErrBadAlpha", err)
+	}
+	if err := (Spec{Kind: EWMAAdaptive, Alpha: -0.1}).Validate(4); !errors.Is(err, ErrBadAlpha) {
+		t.Errorf("alpha -0.1: %v, want ErrBadAlpha", err)
+	}
+	if err := (Spec{Kind: EWMAAdaptive}).Validate(4); err != nil {
+		t.Errorf("alpha 0 (default): %v, want valid", err)
+	}
+}
+
+func TestSubSlicesWeights(t *testing.T) {
+	s := Spec{Kind: WeightedRoundRobin, Weights: []int{10, 11, 12, 13, 14, 15, 16, 17, 18, 19}}
+	// Bank 1 of 4 over 10 queues owns global QIDs 1, 5, 9.
+	sub, err := s.Sub(10, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{11, 15, 19}
+	if len(sub.Weights) != len(want) {
+		t.Fatalf("sub weights = %v, want %v", sub.Weights, want)
+	}
+	for i := range want {
+		if sub.Weights[i] != want[i] {
+			t.Fatalf("sub weights = %v, want %v", sub.Weights, want)
+		}
+	}
+	// Non-weighted disciplines and nil weights pass through untouched.
+	if sub, err := (Spec{Kind: RoundRobin}).Sub(10, 4, 1); err != nil || sub.Weights != nil {
+		t.Errorf("RR sub = %v, %v", sub, err)
+	}
+	if _, err := s.Sub(10, 0, 0); err == nil {
+		t.Error("stride 0 accepted")
+	}
+	if _, err := s.Sub(10, 4, 4); err == nil {
+		t.Error("offset >= stride accepted")
+	}
+	if _, err := (Spec{Kind: WeightedRoundRobin, Weights: []int{1}}).Sub(10, 4, 1); err == nil {
+		t.Error("Sub skipped validation")
+	}
+}
+
+func TestWRRServiceRatios(t *testing.T) {
+	cases := []struct {
+		weights []int
+		iters   int
+		want    []int
+	}{
+		{[]int{3, 1, 2}, 60, []int{30, 10, 20}},
+		{[]int{2, 1}, 30, []int{20, 10}},
+		{[]int{1, 1, 1, 1}, 40, []int{10, 10, 10, 10}},
+	}
+	for _, c := range cases {
+		n := len(c.weights)
+		p := mustNew(t, Spec{Kind: WeightedRoundRobin, Weights: c.weights}, n)
+		counts := serve(t, p, fullView(n), c.iters, 1)
+		for q := range c.want {
+			if counts[q] != c.want[q] {
+				t.Errorf("weights %v: counts = %v, want %v", c.weights, counts, c.want)
+				break
+			}
+		}
+	}
+}
+
+// With unit costs DRR must service in exactly WRR's order: the quantum is
+// spent one service at a time, which is precisely the WRR counter.
+func TestDRRUnitCostMatchesWRR(t *testing.T) {
+	weights := []int{3, 1, 2}
+	n := len(weights)
+	wrr := mustNew(t, Spec{Kind: WeightedRoundRobin, Weights: weights}, n)
+	drr := mustNew(t, Spec{Kind: DeficitRoundRobin, Weights: weights}, n)
+	v := fullView(n)
+	for i := 0; i < 200; i++ {
+		wq, wok := wrr.Next(v)
+		dq, dok := drr.Next(v)
+		if wok != dok || wq != dq {
+			t.Fatalf("step %d: wrr=(%d,%v) drr=(%d,%v)", i, wq, wok, dq, dok)
+		}
+		wrr.Charge(wq, 1)
+		drr.Charge(dq, 1)
+	}
+}
+
+// Work-awareness: with every service costing 2 units and weights {4, 3},
+// WRR forgives queue 1's overdraw each round (the counter reloads to the
+// full weight on rotation) and degenerates to 1:1, while DRR carries the
+// debt across rounds — queue 1 alternates between 2 and 1 services per
+// round, restoring the 4:3 work share the weights ask for.
+func TestDRRCostAware(t *testing.T) {
+	weights := []int{4, 3}
+	drr := mustNew(t, Spec{Kind: DeficitRoundRobin, Weights: weights}, 2)
+	counts := serve(t, drr, fullView(2), 70, 2)
+	if counts[0] != 40 || counts[1] != 30 {
+		t.Errorf("DRR cost-2 counts = %v, want [40 30] (4:3 by work)", counts)
+	}
+	wrr := mustNew(t, Spec{Kind: WeightedRoundRobin, Weights: weights}, 2)
+	counts = serve(t, wrr, fullView(2), 68, 2)
+	if counts[0] != 34 || counts[1] != 34 {
+		t.Errorf("WRR cost-2 counts = %v, want [34 34] (overdraw forgiven)", counts)
+	}
+}
+
+func TestStrictPriorityStarves(t *testing.T) {
+	p := mustNew(t, Spec{Kind: StrictPriority}, 8)
+	v := newView(8)
+	v.set(0)
+	v.set(5)
+	counts := serve(t, p, v, 50, 1)
+	if counts[0] != 50 || counts[5] != 0 {
+		t.Errorf("counts = %v: strict priority must starve queue 5 behind ready queue 0", counts)
+	}
+}
+
+// The rotor guarantees DRR visits every ready queue once per round even
+// when one queue is deep in debt from overdrawing.
+func TestDRRNoStarvation(t *testing.T) {
+	p := mustNew(t, Spec{Kind: DeficitRoundRobin, Weights: []int{1, 8, 1, 1}}, 4)
+	counts := serve(t, p, fullView(4), 200, 3) // every service overdraws quantum-1 queues
+	for q, c := range counts {
+		if c == 0 {
+			t.Fatalf("queue %d starved: counts = %v", q, counts)
+		}
+	}
+}
+
+func TestEWMABiasTowardRisingBacklog(t *testing.T) {
+	p := mustNew(t, Spec{Kind: EWMAAdaptive}, 4)
+	// Queue 2's backlog is rising: repeated activation edges.
+	p.Observe(2)
+	p.Observe(2)
+	p.Observe(2)
+	if q, ok := p.Next(fullView(4)); !ok || q != 2 {
+		t.Errorf("Next = %d, want hot queue 2", q)
+	}
+}
+
+// With no arrival signal every score is zero and the aging bonus plus the
+// circular tie-break must reduce EWMA to plain round-robin.
+func TestEWMAEqualScoresIsRoundRobin(t *testing.T) {
+	p := mustNew(t, Spec{Kind: EWMAAdaptive}, 4)
+	v := fullView(4)
+	var got []int
+	for i := 0; i < 8; i++ {
+		q, ok := p.Next(v)
+		if !ok {
+			t.Fatal("dry")
+		}
+		got = append(got, q)
+		p.Charge(q, 1)
+	}
+	want := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+// Starvation freedom: a persistently hot queue (fresh activation edge
+// before every selection) must not shut out quiet ready queues — the
+// aging bonus lets any waiter overtake any score gap within ~4n rounds.
+func TestEWMANoStarvation(t *testing.T) {
+	const n = 8
+	p := mustNew(t, Spec{Kind: EWMAAdaptive}, n)
+	v := fullView(n)
+	counts := make([]int, n)
+	for i := 0; i < 40*n; i++ {
+		p.Observe(0) // queue 0 stays red-hot
+		q, ok := p.Next(v)
+		if !ok {
+			t.Fatal("dry")
+		}
+		counts[q]++
+		p.Charge(q, 1)
+	}
+	for q, c := range counts {
+		if c == 0 {
+			t.Fatalf("queue %d starved: counts = %v", q, counts)
+		}
+	}
+	if counts[0] <= counts[1] {
+		t.Errorf("hot queue not favored: counts = %v", counts)
+	}
+}
+
+// Observe must be a no-op for the static disciplines.
+func TestObserveIgnoredByStaticPolicies(t *testing.T) {
+	for _, kind := range []Kind{RoundRobin, WeightedRoundRobin, StrictPriority} {
+		p := mustNew(t, Spec{Kind: kind}, 4)
+		v := fullView(4)
+		p.Observe(3)
+		p.Observe(3)
+		if q, _ := p.Next(v); q != 0 {
+			t.Errorf("%v: Observe changed selection to %d", kind, q)
+		}
+	}
+}
+
+// Property: the word-parallel circular selector agrees with the bit-slice
+// ripple reference on every input.
+func TestSelectFromMatchesRipple(t *testing.T) {
+	f := func(bits []bool, prio uint16) bool {
+		n := len(bits)
+		if n == 0 {
+			return true
+		}
+		if n > 300 {
+			n = 300
+		}
+		v := newView(n)
+		for i := 0; i < n; i++ {
+			if bits[i] {
+				v.set(i)
+			}
+		}
+		p := int(prio) % n
+		gq, gok := SelectFrom(v, p)
+		wq, wok := RippleSelect(func(i int) bool { return bits[i] }, n, p)
+		return gok == wok && (!gok || gq == wq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHas(t *testing.T) {
+	v := newView(130)
+	v.set(0)
+	v.set(129)
+	if !Has(v, 0) || !Has(v, 129) || Has(v, 64) {
+		t.Error("Has mismatch")
+	}
+	v.clear(129)
+	if Has(v, 129) {
+		t.Error("Has after clear")
+	}
+}

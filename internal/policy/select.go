@@ -1,0 +1,73 @@
+package policy
+
+import "math/bits"
+
+// This file holds the selection primitive every discipline builds on: the
+// software analogue of the paper's Programmable Priority Arbiter datapath
+// (§IV-B, Figs. 6-7). Two models are provided:
+//
+//   - SelectFrom: the production design — thermometer coding to eliminate
+//     the wrap-around plus word-parallel scanning, the software analogue
+//     of the Brent–Kung parallel-prefix network the paper synthesizes
+//     (internal/ready still carries the gate-level prefix-network model
+//     for cross-checking).
+//   - RippleSelect: the bit-slice ripple-priority reference — O(n) per
+//     selection, mirroring Fig. 7's Pin/Pout chain including the
+//     wrap-around connection.
+//
+// Both must agree bit-for-bit; the test suite property-checks equivalence.
+
+// SelectFrom returns the first asserted bit of v at or after prio in
+// circular order. This is the only word-parallel priority-select
+// implementation in the repository; the hardware PPA model, the software
+// ready set, and the banked runtime all arbitrate through it.
+func SelectFrom(v View, prio int) (int, bool) {
+	n := v.Len()
+	nw := (n + 63) >> 6
+	startWord := prio >> 6
+	startBit := uint(prio & 63)
+
+	// Segment [prio, n): mask off bits below prio in the first word.
+	w := v.Word(startWord) &^ ((1 << startBit) - 1)
+	if w != 0 {
+		return startWord<<6 + bits.TrailingZeros64(w), true
+	}
+	for i := startWord + 1; i < nw; i++ {
+		if w := v.Word(i); w != 0 {
+			return i<<6 + bits.TrailingZeros64(w), true
+		}
+	}
+	// Wrapped segment [0, prio).
+	for i := 0; i <= startWord && i < nw; i++ {
+		w := v.Word(i)
+		if i == startWord {
+			w &= (1 << startBit) - 1
+		}
+		if w != 0 {
+			return i<<6 + bits.TrailingZeros64(w), true
+		}
+	}
+	return 0, false
+}
+
+// RippleSelect walks bit positions one at a time starting at prio,
+// propagating priority exactly like the Pin/Pout ripple chain. It is the
+// reference model tests cross-check SelectFrom (and the gate-level
+// Brent–Kung network in internal/ready) against.
+func RippleSelect(readyMasked func(int) bool, n, prio int) (int, bool) {
+	for k := 0; k < n; k++ {
+		i := prio + k
+		if i >= n {
+			i -= n // wrap-around connection
+		}
+		if readyMasked(i) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Has reports whether bit qid of v is asserted.
+func Has(v View, qid int) bool {
+	return v.Word(qid>>6)&(1<<uint(qid&63)) != 0
+}

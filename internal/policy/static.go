@@ -1,0 +1,67 @@
+package policy
+
+// The three disciplines of the paper's PPA (§III-A): round-robin,
+// weighted round-robin, and strict priority. Their state machines are the
+// exact logic the retired ready.Hardware carried — a current-priority
+// position plus, for WRR, the favored queue's remaining service budget.
+
+// rrPolicy rotates the current-priority position past each selected QID.
+type rrPolicy struct {
+	n    int
+	prio int
+}
+
+func (p *rrPolicy) Kind() Kind              { return RoundRobin }
+func (p *rrPolicy) Observe(int)             {}
+func (p *rrPolicy) Next(v View) (int, bool) { return SelectFrom(v, p.prio) }
+
+func (p *rrPolicy) Charge(qid, _ int) {
+	// Rotate: selected QID gets lowest priority next round.
+	p.prio = qid + 1
+	if p.prio == p.n {
+		p.prio = 0
+	}
+}
+
+// wrrPolicy keeps the current-priority position parked on a favored queue
+// until its weight budget is spent, then rotates.
+type wrrPolicy struct {
+	n       int
+	prio    int
+	counter int // remaining consecutive services for the favored QID
+	weights []int
+}
+
+func (p *wrrPolicy) Kind() Kind              { return WeightedRoundRobin }
+func (p *wrrPolicy) Observe(int)             {}
+func (p *wrrPolicy) Next(v View) (int, bool) { return SelectFrom(v, p.prio) }
+
+func (p *wrrPolicy) Charge(qid, cost int) {
+	// counter tracks how many more services the favored QID (prio) may
+	// receive before the priority rotates past it.
+	if qid == p.prio {
+		p.counter -= cost
+	} else {
+		// Favored queue had no work: priority passes to the selected QID,
+		// which consumes its own weight now.
+		p.prio = qid
+		p.counter = p.weights[qid] - cost
+	}
+	if p.counter <= 0 {
+		// Budget exhausted: rotate to the next QID and reload.
+		p.prio = qid + 1
+		if p.prio == p.n {
+			p.prio = 0
+		}
+		p.counter = p.weights[p.prio]
+	}
+}
+
+// strictPolicy fixes the current-priority vector at "10...0": the lowest
+// ready QID always wins, starving high QIDs by design.
+type strictPolicy struct{}
+
+func (strictPolicy) Kind() Kind              { return StrictPriority }
+func (strictPolicy) Observe(int)             {}
+func (strictPolicy) Charge(int, int)         {}
+func (strictPolicy) Next(v View) (int, bool) { return SelectFrom(v, 0) }

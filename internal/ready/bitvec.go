@@ -3,13 +3,19 @@
 // return from QWAIT according to a service policy.
 //
 // The hardware design is a pair of bit vectors (ready bits, mask bits)
-// feeding a Programmable Priority Arbiter (PPA). The package provides two
-// functionally identical PPA models — a bit-slice ripple design and a
-// parallel-prefix (Brent–Kung-style) design — plus the software ready-set
-// baseline the paper compares against in Fig. 13.
+// feeding a Programmable Priority Arbiter (PPA). The service disciplines
+// themselves live in internal/policy — the shared arbitration layer this
+// package drives; this package contributes the bit substrate, the latency
+// models (constant-time Hardware vs per-entry Software, Fig. 13), and a
+// gate-level Brent–Kung prefix-network model cross-checked against the
+// word-parallel production selector.
 package ready
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"hyperplane/internal/policy"
+)
 
 // BitVec is a fixed-width bit vector over queue IDs.
 type BitVec struct {
@@ -93,11 +99,23 @@ func (v *BitVec) Count() int {
 	return c
 }
 
-// andWord returns word i of (v AND m), treating a nil mask as all-ones.
-func andWord(v, m *BitVec, i int) uint64 {
-	w := v.words[i]
-	if m != nil {
-		w &= m.words[i]
+// masked adapts a ready/mask BitVec pair to policy.View (nil mask =
+// all-ones).
+type masked struct {
+	v, m *BitVec
+}
+
+// Masked returns a policy.View over (v AND m); a nil mask means no
+// masking. Tests use it to drive the arbitration layer over arbitrary bit
+// patterns.
+func Masked(v, m *BitVec) policy.View { return masked{v: v, m: m} }
+
+func (x masked) Len() int { return x.v.n }
+
+func (x masked) Word(i int) uint64 {
+	w := x.v.words[i]
+	if x.m != nil {
+		w &= x.m.words[i]
 	}
 	return w
 }

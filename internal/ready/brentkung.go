@@ -5,7 +5,7 @@ package ready
 // combinational loop, and a prefix network propagates the "priority has
 // passed and not yet been consumed" signal in O(log n) logic levels.
 //
-// prefixSelect (ppa.go) is the word-parallel production implementation;
+// policy.SelectFrom is the word-parallel production implementation;
 // this file computes the same function the way the hardware does — as an
 // explicit prefix network over per-bit kill signals — and reports the
 // network's gate depth, so tests can cross-check all three implementations
@@ -67,8 +67,8 @@ func brentKungDepth(n int) int {
 }
 
 // brentKungSelect selects the first asserted (ready AND mask) bit at or
-// after prio in circular order, exactly like prefixSelect and
-// rippleSelect, but via the explicit prefix network.
+// after prio in circular order, exactly like policy.SelectFrom and
+// policy.RippleSelect, but via the explicit prefix network.
 func brentKungSelect(v, m *BitVec, prio int) (int, bool) {
 	n := v.Len()
 	// Thermometer rotation: req[k] corresponds to bit (prio + k) mod n.

@@ -3,6 +3,8 @@ package ready
 import (
 	"testing"
 	"testing/quick"
+
+	"hyperplane/internal/policy"
 )
 
 func TestBrentKungPrefixORSmall(t *testing.T) {
@@ -52,8 +54,8 @@ func TestBrentKungDepthLogarithmic(t *testing.T) {
 }
 
 // Property: all three arbiter implementations — ripple (bit-slice
-// reference), word-parallel prefixSelect, and the gate-level Brent–Kung
-// network — agree on every input.
+// reference), the word-parallel policy.SelectFrom production selector,
+// and the gate-level Brent–Kung network — agree on every input.
 func TestThreeArbitersAgree(t *testing.T) {
 	f := func(readyBits, maskBits []bool, prio uint16) bool {
 		n := len(readyBits)
@@ -74,8 +76,8 @@ func TestThreeArbitersAgree(t *testing.T) {
 			}
 		}
 		p := int(prio) % n
-		q1, ok1 := rippleSelect(func(i int) bool { return v.Get(i) && m.Get(i) }, n, p)
-		q2, ok2 := prefixSelect(v, m, p)
+		q1, ok1 := policy.RippleSelect(func(i int) bool { return v.Get(i) && m.Get(i) }, n, p)
+		q2, ok2 := policy.SelectFrom(Masked(v, m), p)
 		q3, ok3 := brentKungSelect(v, m, p)
 		if ok1 != ok2 || ok2 != ok3 {
 			return false

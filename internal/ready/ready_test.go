@@ -1,9 +1,30 @@
 package ready
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
+
+	"hyperplane/internal/policy"
 )
+
+// hw / sw build ready sets for tests, panicking on spec errors so they
+// can be used inside testing/quick closures.
+func hw(n int, kind policy.Kind, weights []int) *Hardware {
+	h, err := NewHardware(n, policy.Spec{Kind: kind, Weights: weights})
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func sw(n int, kind policy.Kind, weights []int) *Software {
+	s, err := NewSoftware(n, policy.Spec{Kind: kind, Weights: weights})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
 
 func TestBitVecBasics(t *testing.T) {
 	v := NewBitVec(130)
@@ -48,7 +69,7 @@ func TestBitVecBounds(t *testing.T) {
 }
 
 func TestRoundRobinRotation(t *testing.T) {
-	h := NewHardware(8, RoundRobin, nil)
+	h := hw(8, policy.RoundRobin, nil)
 	for _, q := range []int{1, 3, 6} {
 		h.Activate(q)
 	}
@@ -87,7 +108,7 @@ func TestRoundRobinRotation(t *testing.T) {
 func TestRoundRobinFairness(t *testing.T) {
 	// All queues always ready: each must be served exactly once per round.
 	const n = 16
-	h := NewHardware(n, RoundRobin, nil)
+	h := hw(n, policy.RoundRobin, nil)
 	counts := make([]int, n)
 	for i := 0; i < n; i++ {
 		h.Activate(i)
@@ -110,7 +131,7 @@ func TestRoundRobinFairness(t *testing.T) {
 }
 
 func TestStrictPriority(t *testing.T) {
-	h := NewHardware(8, StrictPriority, nil)
+	h := hw(8, policy.StrictPriority, nil)
 	h.Activate(5)
 	h.Activate(2)
 	h.Activate(7)
@@ -128,7 +149,7 @@ func TestStrictPriority(t *testing.T) {
 
 func TestWeightedRoundRobin(t *testing.T) {
 	weights := []int{3, 1, 2}
-	h := NewHardware(3, WeightedRoundRobin, weights)
+	h := hw(3, policy.WeightedRoundRobin, weights)
 	// Keep all queues perpetually ready; observe service proportions.
 	for i := 0; i < 3; i++ {
 		h.Activate(i)
@@ -150,7 +171,7 @@ func TestWeightedRoundRobin(t *testing.T) {
 
 func TestWRRSkipsEmptyFavored(t *testing.T) {
 	weights := []int{4, 1}
-	h := NewHardware(2, WeightedRoundRobin, weights)
+	h := hw(2, policy.WeightedRoundRobin, weights)
 	h.Activate(0)
 	if q, _, _ := h.Select(); q != 0 {
 		t.Fatal("first select")
@@ -165,8 +186,8 @@ func TestWRRSkipsEmptyFavored(t *testing.T) {
 
 func TestMaskBits(t *testing.T) {
 	for _, mk := range []func() Set{
-		func() Set { return NewHardware(4, RoundRobin, nil) },
-		func() Set { return NewSoftware(4, RoundRobin, nil) },
+		func() Set { return hw(4, policy.RoundRobin, nil) },
+		func() Set { return sw(4, policy.RoundRobin, nil) },
 	} {
 		s := mk()
 		s.Activate(1)
@@ -188,8 +209,8 @@ func TestMaskBits(t *testing.T) {
 
 func TestPeekAndCounts(t *testing.T) {
 	for _, mk := range []func() Set{
-		func() Set { return NewHardware(8, RoundRobin, nil) },
-		func() Set { return NewSoftware(8, RoundRobin, nil) },
+		func() Set { return hw(8, policy.RoundRobin, nil) },
+		func() Set { return sw(8, policy.RoundRobin, nil) },
 	} {
 		s := mk()
 		if s.Peek() || s.ReadyCount() != 0 {
@@ -216,7 +237,7 @@ func TestPeekAndCounts(t *testing.T) {
 }
 
 func TestSoftwareLatencyGrowsWithReadyCount(t *testing.T) {
-	s := NewSoftware(1000, RoundRobin, nil)
+	s := sw(1000, policy.RoundRobin, nil)
 	s.Activate(0)
 	_, _, lat1 := s.Select()
 	for i := 0; i < 1000; i++ {
@@ -233,7 +254,7 @@ func TestSoftwareLatencyGrowsWithReadyCount(t *testing.T) {
 }
 
 func TestHardwareLatencyConstant(t *testing.T) {
-	h := NewHardware(1024, RoundRobin, nil)
+	h := hw(1024, policy.RoundRobin, nil)
 	for i := 0; i < 1024; i++ {
 		h.Activate(i)
 	}
@@ -244,7 +265,7 @@ func TestHardwareLatencyConstant(t *testing.T) {
 }
 
 func TestSoftwareRoundRobinOrder(t *testing.T) {
-	s := NewSoftware(8, RoundRobin, nil)
+	s := sw(8, policy.RoundRobin, nil)
 	for _, q := range []int{6, 1, 3} {
 		s.Activate(q)
 	}
@@ -266,7 +287,7 @@ func TestSoftwareRoundRobinOrder(t *testing.T) {
 
 func TestSoftwareWRRProportions(t *testing.T) {
 	weights := []int{2, 1}
-	s := NewSoftware(2, WeightedRoundRobin, weights)
+	s := sw(2, policy.WeightedRoundRobin, weights)
 	s.Activate(0)
 	s.Activate(1)
 	counts := make([]int, 2)
@@ -283,113 +304,78 @@ func TestSoftwareWRRProportions(t *testing.T) {
 	}
 }
 
-// Property: the parallel-prefix PPA agrees with the ripple reference for all
-// ready/mask/priority combinations.
-func TestPPAEquivalenceProperty(t *testing.T) {
-	f := func(readyBits, maskBits []bool, prio uint16) bool {
-		n := len(readyBits)
-		if n == 0 {
-			return true
-		}
-		if n > 300 {
-			n = 300
-		}
-		v := NewBitVec(n)
-		m := NewBitVec(n)
-		for i := 0; i < n; i++ {
-			if readyBits[i] {
-				v.Set(i)
-			}
-			if i < len(maskBits) && maskBits[i] {
-				m.Set(i)
-			}
-		}
-		p := int(prio) % n
-		gotQ, gotOK := prefixSelect(v, m, p)
-		wantQ, wantOK := rippleSelect(func(i int) bool {
-			return v.Get(i) && m.Get(i)
-		}, n, p)
-		return gotOK == wantOK && (!gotOK || gotQ == wantQ)
+// Property: hardware and software ready sets select the same QIDs in the
+// same order for any activation set, under every discipline — they drive
+// the same arbitration layer by construction.
+func TestHardwareSoftwareAgree(t *testing.T) {
+	weights := make([]int, 256)
+	for i := range weights {
+		weights[i] = 1 + i%5
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
-		t.Error(err)
-	}
-}
-
-// Property: hardware Select agrees with the ripple reference applied to the
-// same live state, across a random activation/selection workload.
-func TestHardwareSelectMatchesRipple(t *testing.T) {
-	f := func(ops []uint16) bool {
-		h := NewHardware(64, RoundRobin, nil)
-		for _, op := range ops {
-			q := int(op % 64)
-			if op%3 == 0 {
-				h.Activate(q)
-			} else {
-				wantQ, wantOK := h.selectRipple()
-				gotQ, gotOK, _ := h.Select()
-				if gotOK != wantOK || (gotOK && gotQ != wantQ) {
-					return false
+	for _, kind := range policy.Kinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			var w []int
+			if kind.UsesWeights() {
+				w = weights
+			}
+			f := func(qs []uint8) bool {
+				h := hw(256, kind, w)
+				s := sw(256, kind, w)
+				for _, q := range qs {
+					h.Activate(int(q))
+					s.Activate(int(q))
+				}
+				for {
+					hq, hok, _ := h.Select()
+					sq, sok, _ := s.Select()
+					if hok != sok {
+						return false
+					}
+					if !hok {
+						return true
+					}
+					if hq != sq {
+						return false
+					}
 				}
 			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
-		t.Error(err)
-	}
-}
-
-// Property: hardware and software ready sets select the same QIDs in the
-// same order under round-robin for any activation set.
-func TestHardwareSoftwareAgreeRR(t *testing.T) {
-	f := func(qs []uint8) bool {
-		h := NewHardware(256, RoundRobin, nil)
-		s := NewSoftware(256, RoundRobin, nil)
-		for _, q := range qs {
-			h.Activate(int(q))
-			s.Activate(int(q))
-		}
-		for {
-			hq, hok, _ := h.Select()
-			sq, sok, _ := s.Select()
-			if hok != sok {
-				return false
+			if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+				t.Error(err)
 			}
-			if !hok {
-				return true
-			}
-			if hq != sq {
-				return false
-			}
-		}
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
-		t.Error(err)
+		})
 	}
 }
 
 func TestConstructorValidation(t *testing.T) {
-	assertPanics := func(name string, fn func()) {
+	if _, err := NewHardware(0, policy.Spec{}); !errors.Is(err, policy.ErrBadCount) {
+		t.Errorf("NewHardware(0) err = %v, want ErrBadCount", err)
+	}
+	if _, err := NewSoftware(0, policy.Spec{}); !errors.Is(err, policy.ErrBadCount) {
+		t.Errorf("NewSoftware(0) err = %v, want ErrBadCount", err)
+	}
+	// WRR with nil weights is valid: all-1 default, same as the runtime.
+	if _, err := NewHardware(4, policy.Spec{Kind: policy.WeightedRoundRobin}); err != nil {
+		t.Errorf("WRR nil weights err = %v, want nil", err)
+	}
+	var werr *policy.WeightsError
+	if _, err := NewHardware(4, policy.Spec{Kind: policy.WeightedRoundRobin, Weights: []int{1, 2}}); !errors.As(err, &werr) {
+		t.Errorf("WRR short weights err = %v, want WeightsError", err)
+	}
+	if _, err := NewSoftware(2, policy.Spec{Kind: policy.WeightedRoundRobin, Weights: []int{1, 0}}); !errors.As(err, &werr) {
+		t.Errorf("WRR zero weight err = %v, want WeightsError", err)
+	} else if werr.QID != 1 {
+		t.Errorf("WeightsError.QID = %d, want 1", werr.QID)
+	}
+	if _, err := NewHardware(4, policy.Spec{Kind: policy.Kind(99)}); !errors.Is(err, policy.ErrUnknownKind) {
+		t.Errorf("unknown kind err = %v, want ErrUnknownKind", err)
+	}
+	func() {
 		defer func() {
 			if recover() == nil {
-				t.Errorf("%s did not panic", name)
+				t.Error("NewBitVec(0) did not panic")
 			}
 		}()
-		fn()
-	}
-	assertPanics("NewHardware(0)", func() { NewHardware(0, RoundRobin, nil) })
-	assertPanics("NewSoftware(0)", func() { NewSoftware(0, RoundRobin, nil) })
-	assertPanics("WRR missing weights", func() { NewHardware(4, WeightedRoundRobin, nil) })
-	assertPanics("WRR zero weight", func() { NewHardware(2, WeightedRoundRobin, []int{1, 0}) })
-	assertPanics("NewBitVec(0)", func() { NewBitVec(0) })
-}
-
-func TestPolicyString(t *testing.T) {
-	if RoundRobin.String() != "round-robin" ||
-		WeightedRoundRobin.String() != "weighted-round-robin" ||
-		StrictPriority.String() != "strict-priority" ||
-		Policy(99).String() != "unknown" {
-		t.Error("Policy.String mismatch")
-	}
+		NewBitVec(0)
+	}()
 }

@@ -1,38 +1,9 @@
 package ready
 
 import (
-	"fmt"
-
+	"hyperplane/internal/policy"
 	"hyperplane/internal/sim"
 )
-
-// Policy selects the service discipline the ready set implements
-// (paper §III-A / §IV-B).
-type Policy uint8
-
-// Service policies.
-const (
-	// RoundRobin gives the selected QID lowest priority in the next round.
-	RoundRobin Policy = iota
-	// WeightedRoundRobin lets a selected queue be serviced for weight
-	// consecutive rounds before the priority rotates.
-	WeightedRoundRobin
-	// StrictPriority always prefers lower-numbered QIDs. The paper notes it
-	// can starve high-numbered queues and is rarely used in practice.
-	StrictPriority
-)
-
-func (p Policy) String() string {
-	switch p {
-	case RoundRobin:
-		return "round-robin"
-	case WeightedRoundRobin:
-		return "weighted-round-robin"
-	case StrictPriority:
-		return "strict-priority"
-	}
-	return "unknown"
-}
 
 // Set is the interface shared by the hardware and software ready-set
 // implementations. Select returns the next QID to service and removes it
@@ -55,135 +26,178 @@ type Set interface {
 	ReadyCount() int
 }
 
-// HardwareLatency is the selection latency of the synthesized 1024-entry
-// ready set reported by the paper's RTL model (§IV-C).
-const HardwareLatency = sim.Time(12250) // 12.25 ns in picoseconds
-
-// Hardware is the PPA-based hardware ready set: ready bits, mask bits, and
-// policy state (current-priority one-hot vector and WRR weight counter).
-type Hardware struct {
-	policy  Policy
-	ready   *BitVec
-	mask    *BitVec // enabled queues; Disable clears the bit
-	n       int
-	prio    int // current-priority position
-	weights []int
-	counter int // remaining consecutive services for WRR's favored QID
-	latency sim.Time
+// core is the substrate both ready-set models drive: the ready/mask bit
+// pair plus one policy.Policy instance holding all discipline state. The
+// hardware PPA and the software iterator differ only in their latency
+// models — selection semantics are the shared arbitration layer's, so the
+// two models (and the banked runtime built on Hardware) service queues in
+// provably identical order.
+type core struct {
+	pol   policy.Policy
+	ready *BitVec
+	mask  *BitVec // enabled queues; Disable clears the bit
+	n     int
 }
 
-// NewHardware builds an n-queue hardware ready set. weights is required for
-// WeightedRoundRobin (len n, entries >= 1) and ignored otherwise.
-func NewHardware(n int, policy Policy, weights []int) *Hardware {
-	if n <= 0 {
-		panic("ready: queue count must be positive")
+func newCore(n int, spec policy.Spec) (core, error) {
+	pol, err := spec.New(n)
+	if err != nil {
+		return core{}, err
 	}
-	h := &Hardware{
-		policy:  policy,
-		ready:   NewBitVec(n),
-		mask:    NewBitVec(n),
-		n:       n,
-		latency: HardwareLatency,
-	}
-	h.mask.SetAll()
-	if policy == WeightedRoundRobin {
-		if len(weights) != n {
-			panic(fmt.Sprintf("ready: WRR needs %d weights, got %d", n, len(weights)))
-		}
-		h.weights = make([]int, n)
-		for i, w := range weights {
-			if w < 1 {
-				panic(fmt.Sprintf("ready: WRR weight for qid %d must be >= 1", i))
-			}
-			h.weights[i] = w
-		}
-		h.counter = h.weights[0]
-	}
-	return h
+	c := core{pol: pol, ready: NewBitVec(n), mask: NewBitVec(n), n: n}
+	c.mask.SetAll()
+	return c, nil
 }
 
-// Activate implements Set.
-func (h *Hardware) Activate(qid int) { h.ready.Set(qid) }
+// core implements policy.View over ready AND mask.
 
-// Deactivate implements Set.
-func (h *Hardware) Deactivate(qid int) { h.ready.Clear(qid) }
+func (c *core) Len() int          { return c.n }
+func (c *core) Word(i int) uint64 { return c.ready.words[i] & c.mask.words[i] }
 
-// SetEnabled implements Set (QWAIT-ENABLE / QWAIT-DISABLE).
-func (h *Hardware) SetEnabled(qid int, enabled bool) {
+func (c *core) activate(qid int) {
+	if !c.ready.Get(qid) {
+		c.ready.Set(qid)
+		// The 0->1 edge is the arrival signal adaptive policies track;
+		// repeated activations coalesce exactly like disarmed
+		// monitoring-set entries.
+		c.pol.Observe(qid)
+	}
+}
+
+func (c *core) selectOne() (int, bool) {
+	qid, ok := c.pol.Next(c)
+	if !ok {
+		return 0, false
+	}
+	c.ready.Clear(qid)
+	c.pol.Charge(qid, 1)
+	return qid, true
+}
+
+func (c *core) setEnabled(qid int, enabled bool) {
 	if enabled {
-		h.mask.Set(qid)
+		c.mask.Set(qid)
 	} else {
-		h.mask.Clear(qid)
+		c.mask.Clear(qid)
 	}
 }
 
-// IsReady implements Set.
-func (h *Hardware) IsReady(qid int) bool { return h.ready.Get(qid) }
-
-// ReadyCount implements Set.
-func (h *Hardware) ReadyCount() int { return h.ready.Count() }
-
-// Peek implements Set: true if any enabled queue is ready.
-func (h *Hardware) Peek() bool {
-	for i := range h.ready.words {
-		if andWord(h.ready, h.mask, i) != 0 {
+func (c *core) peek() bool {
+	for i := range c.ready.words {
+		if c.Word(i) != 0 {
 			return true
 		}
 	}
 	return false
 }
 
-// Select implements Set using the parallel-prefix PPA.
-func (h *Hardware) Select() (int, bool, sim.Time) {
-	start := h.prio
-	if h.policy == StrictPriority {
-		start = 0 // current-priority vector fixed at "10...0"
-	}
-	sel, ok := prefixSelect(h.ready, h.mask, start)
-	if !ok {
-		return 0, false, h.latency
-	}
-	h.ready.Clear(sel)
-	switch h.policy {
-	case RoundRobin:
-		// Rotate: selected QID gets lowest priority next round.
-		h.prio = sel + 1
-		if h.prio == h.n {
-			h.prio = 0
-		}
-	case WeightedRoundRobin:
-		// counter tracks how many more services the favored QID (prio) may
-		// receive before the priority rotates past it.
-		if sel == h.prio {
-			h.counter--
-		} else {
-			// Favored queue had no work: priority passes to the selected
-			// QID, which consumes one unit of its own weight now.
-			h.prio = sel
-			h.counter = h.weights[sel] - 1
-		}
-		if h.counter <= 0 {
-			// Budget exhausted: rotate to the next QID and reload.
-			h.prio = sel + 1
-			if h.prio == h.n {
-				h.prio = 0
-			}
-			h.counter = h.weights[h.prio]
-		}
-	case StrictPriority:
-		// Priority vector is fixed; nothing rotates.
-	}
-	return sel, true, h.latency
+// HardwareLatency is the selection latency of the synthesized 1024-entry
+// ready set reported by the paper's RTL model (§IV-C).
+const HardwareLatency = sim.Time(12250) // 12.25 ns in picoseconds
+
+// Hardware is the PPA-based hardware ready set: ready bits, mask bits,
+// and the configured arbitration policy, selected in constant modeled
+// time regardless of how many queues are ready.
+type Hardware struct {
+	c       core
+	latency sim.Time
 }
 
-// selectRipple is the reference bit-slice implementation used by tests to
-// cross-check prefixSelect. It does not mutate state.
-func (h *Hardware) selectRipple() (int, bool) {
-	start := h.prio
-	if h.policy == StrictPriority {
-		start = 0
+// NewHardware builds an n-queue hardware ready set arbitrated by spec.
+// Weight and parameter validation is internal/policy's (one WeightsError
+// for every substrate).
+func NewHardware(n int, spec policy.Spec) (*Hardware, error) {
+	c, err := newCore(n, spec)
+	if err != nil {
+		return nil, err
 	}
-	return rippleSelect(func(i int) bool {
-		return h.ready.Get(i) && h.mask.Get(i)
-	}, h.n, start)
+	return &Hardware{c: c, latency: HardwareLatency}, nil
+}
+
+// Policy reports the configured discipline.
+func (h *Hardware) Policy() policy.Kind { return h.c.pol.Kind() }
+
+// Activate implements Set.
+func (h *Hardware) Activate(qid int) { h.c.activate(qid) }
+
+// Deactivate implements Set.
+func (h *Hardware) Deactivate(qid int) { h.c.ready.Clear(qid) }
+
+// SetEnabled implements Set (QWAIT-ENABLE / QWAIT-DISABLE).
+func (h *Hardware) SetEnabled(qid int, enabled bool) { h.c.setEnabled(qid, enabled) }
+
+// IsReady implements Set.
+func (h *Hardware) IsReady(qid int) bool { return h.c.ready.Get(qid) }
+
+// ReadyCount implements Set.
+func (h *Hardware) ReadyCount() int { return h.c.ready.Count() }
+
+// Peek implements Set: true if any enabled queue is ready.
+func (h *Hardware) Peek() bool { return h.c.peek() }
+
+// Select implements Set using the parallel-prefix PPA at fixed latency.
+func (h *Hardware) Select() (int, bool, sim.Time) {
+	qid, ok := h.c.selectOne()
+	return qid, ok, h.latency
+}
+
+// Software models the paper's software ready-set alternative (§III-B,
+// §V-E): QWAIT's selection runs as code that scans the ready queues to
+// find the next one per the policy, so its cost grows with the number of
+// ready queues — which is why the hardware PPA wins under fully-balanced
+// traffic (Fig. 13). Selection *semantics* are identical to Hardware's by
+// construction: both drive the same policy instance type over the same
+// bit substrate; only the charged latency differs.
+type Software struct {
+	c        core
+	base     sim.Time // fixed per-call overhead
+	perEntry sim.Time // cost of examining one ready entry
+}
+
+// Software iteration cost model: a handful of instructions per examined
+// entry on a 3 GHz core, plus fixed call overhead.
+const (
+	SoftwareBaseLatency     = 25 * sim.Nanosecond
+	SoftwarePerEntryLatency = sim.Time(1500) // 1.5 ns
+)
+
+// NewSoftware builds an n-queue software ready set arbitrated by spec.
+func NewSoftware(n int, spec policy.Spec) (*Software, error) {
+	c, err := newCore(n, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Software{
+		c:        c,
+		base:     SoftwareBaseLatency,
+		perEntry: SoftwarePerEntryLatency,
+	}, nil
+}
+
+// Policy reports the configured discipline.
+func (s *Software) Policy() policy.Kind { return s.c.pol.Kind() }
+
+// Activate implements Set.
+func (s *Software) Activate(qid int) { s.c.activate(qid) }
+
+// Deactivate implements Set.
+func (s *Software) Deactivate(qid int) { s.c.ready.Clear(qid) }
+
+// SetEnabled implements Set.
+func (s *Software) SetEnabled(qid int, enabled bool) { s.c.setEnabled(qid, enabled) }
+
+// IsReady implements Set.
+func (s *Software) IsReady(qid int) bool { return s.c.ready.Get(qid) }
+
+// ReadyCount implements Set.
+func (s *Software) ReadyCount() int { return s.c.ready.Count() }
+
+// Peek implements Set.
+func (s *Software) Peek() bool { return s.c.peek() }
+
+// Select implements Set: a full scan of the ready list, charged per entry.
+func (s *Software) Select() (int, bool, sim.Time) {
+	lat := s.base + sim.Time(s.c.ready.Count())*s.perEntry
+	qid, ok := s.c.selectOne()
+	return qid, ok, lat
 }

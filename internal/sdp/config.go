@@ -14,8 +14,8 @@ import (
 
 	"hyperplane/internal/mem"
 	"hyperplane/internal/monitor"
+	"hyperplane/internal/policy"
 	"hyperplane/internal/power"
-	"hyperplane/internal/ready"
 	"hyperplane/internal/sim"
 	"hyperplane/internal/stats"
 	"hyperplane/internal/traffic"
@@ -74,8 +74,12 @@ type Config struct {
 	Workload workload.Spec
 	Shape    traffic.Shape
 	Plane    PlaneKind
-	Policy   ready.Policy
-	Weights  []int // for WeightedRoundRobin
+	// Policy is the service discipline spec shared with the runtime (the
+	// arbitration layer in internal/policy). Zero value = round-robin.
+	Policy policy.Spec
+	// Weights parameterizes weight-aware disciplines when Policy.Weights
+	// is nil (one entry per queue, each >= 1; nil = all-1).
+	Weights []int
 
 	// ClusterSize is the number of cores sharing one queue partition:
 	// 1 = scale-out, Cores = scale-up-all, 2 = scale-up-2 (paper §V-C).
@@ -178,8 +182,8 @@ func (c *Config) Validate() error {
 	if c.BatchSize < 0 {
 		return fmt.Errorf("sdp: BatchSize must be positive")
 	}
-	if c.Policy == ready.WeightedRoundRobin && len(c.Weights) != c.Queues {
-		return fmt.Errorf("sdp: WRR needs %d weights", c.Queues)
+	if err := c.PolicySpec().Validate(c.Queues); err != nil {
+		return fmt.Errorf("sdp: %w", err)
 	}
 	if c.WorkStealing && c.Plane != HyperPlane {
 		return fmt.Errorf("sdp: WorkStealing requires the HyperPlane plane")
@@ -195,6 +199,16 @@ func (c *Config) Validate() error {
 
 // Clusters returns the number of core clusters.
 func (c *Config) Clusters() int { return c.Cores / c.ClusterSize }
+
+// PolicySpec returns the effective arbitration spec: Policy with the
+// legacy Weights field folded in when the spec's own Weights is nil.
+func (c *Config) PolicySpec() policy.Spec {
+	s := c.Policy
+	if s.Weights == nil {
+		s.Weights = c.Weights
+	}
+	return s
+}
 
 // NominalCapacity returns the ideal task service rate (tasks/sec) of all
 // cores ignoring notification overheads; OpenLoop offered rate is

@@ -3,7 +3,7 @@ package sdp
 import (
 	"testing"
 
-	"hyperplane/internal/ready"
+	"hyperplane/internal/policy"
 	"hyperplane/internal/sim"
 	"hyperplane/internal/traffic"
 	"hyperplane/internal/workload"
@@ -210,7 +210,7 @@ func TestSimWithWRRPolicy(t *testing.T) {
 	cfg.Plane = HyperPlane
 	cfg.Queues = 8
 	cfg.Shape = traffic.FB
-	cfg.Policy = ready.WeightedRoundRobin
+	cfg.Policy = policy.Spec{Kind: policy.WeightedRoundRobin}
 	cfg.Weights = []int{4, 1, 1, 1, 1, 1, 1, 1}
 	r := run(t, cfg)
 	if r.Completed == 0 {
@@ -223,7 +223,7 @@ func TestSimWithStrictPriority(t *testing.T) {
 	cfg.Plane = HyperPlane
 	cfg.Queues = 8
 	cfg.Shape = traffic.FB
-	cfg.Policy = ready.StrictPriority
+	cfg.Policy = policy.Spec{Kind: policy.StrictPriority}
 	r := run(t, cfg)
 	if r.Completed == 0 {
 		t.Fatal("no completions under strict priority")
@@ -233,7 +233,7 @@ func TestSimWithStrictPriority(t *testing.T) {
 func TestPolicyMinimalThroughputImpact(t *testing.T) {
 	// Paper §V-A: "we found service policy to have minimal impact on the
 	// performance trends."
-	through := func(pol ready.Policy, weights []int) float64 {
+	through := func(pol policy.Spec, weights []int) float64 {
 		cfg := base()
 		cfg.Plane = HyperPlane
 		cfg.Queues = 64
@@ -242,12 +242,12 @@ func TestPolicyMinimalThroughputImpact(t *testing.T) {
 		cfg.Weights = weights
 		return run(t, cfg).ThroughputMTasks
 	}
-	rr := through(ready.RoundRobin, nil)
+	rr := through(policy.Spec{Kind: policy.RoundRobin}, nil)
 	w := make([]int, 64)
 	for i := range w {
 		w[i] = 1 + i%3
 	}
-	wrr := through(ready.WeightedRoundRobin, w)
+	wrr := through(policy.Spec{Kind: policy.WeightedRoundRobin}, w)
 	if wrr < rr*0.9 || wrr > rr*1.1 {
 		t.Errorf("WRR throughput %.3f deviates from RR %.3f", wrr, rr)
 	}
@@ -276,7 +276,7 @@ func TestServicePolicyFairness(t *testing.T) {
 	// Under FB saturation every queue is always ready: round-robin must
 	// serve them evenly (Jain index ~1) while strict priority starves
 	// high-numbered queues (index near 1/n).
-	fairness := func(pol ready.Policy) float64 {
+	fairness := func(pol policy.Spec) float64 {
 		cfg := base()
 		cfg.Plane = HyperPlane
 		cfg.Queues = 16
@@ -285,8 +285,8 @@ func TestServicePolicyFairness(t *testing.T) {
 		cfg.Duration = 5 * sim.Millisecond
 		return run(t, cfg).QueueFairness
 	}
-	rr := fairness(ready.RoundRobin)
-	strict := fairness(ready.StrictPriority)
+	rr := fairness(policy.Spec{Kind: policy.RoundRobin})
+	strict := fairness(policy.Spec{Kind: policy.StrictPriority})
 	if rr < 0.98 {
 		t.Errorf("round-robin fairness = %.3f, want ~1", rr)
 	}
@@ -302,7 +302,7 @@ func TestWRRFairnessWeighted(t *testing.T) {
 	cfg.Plane = HyperPlane
 	cfg.Queues = 8
 	cfg.Shape = traffic.FB
-	cfg.Policy = ready.WeightedRoundRobin
+	cfg.Policy = policy.Spec{Kind: policy.WeightedRoundRobin}
 	cfg.Weights = []int{3, 1, 1, 1, 1, 1, 1, 1}
 	cfg.Duration = 5 * sim.Millisecond
 	s, err := New(cfg)

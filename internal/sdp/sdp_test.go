@@ -3,7 +3,7 @@ package sdp
 import (
 	"testing"
 
-	"hyperplane/internal/ready"
+	"hyperplane/internal/policy"
 	"hyperplane/internal/sim"
 	"hyperplane/internal/traffic"
 	"hyperplane/internal/workload"
@@ -17,7 +17,7 @@ func base() Config {
 		Workload: workload.PacketEncap,
 		Shape:    traffic.SQ,
 		Plane:    Spinning,
-		Policy:   ready.RoundRobin,
+		Policy:   policy.Spec{Kind: policy.RoundRobin},
 		Mode:     Saturate,
 		Warmup:   200 * sim.Microsecond,
 		Duration: 2 * sim.Millisecond,
@@ -46,7 +46,7 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.Duration = 0 },
 		func(c *Config) { c.Warmup = -1 },
 		func(c *Config) { c.BatchSize = -1 },
-		func(c *Config) { c.Policy = ready.WeightedRoundRobin }, // missing weights
+		func(c *Config) { c.Policy = policy.Spec{Kind: policy.WeightedRoundRobin, Weights: []int{1}} }, // short weights
 	}
 	for i, mutate := range bad {
 		cfg := base()

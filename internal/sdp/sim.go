@@ -270,11 +270,18 @@ func (s *Sim) buildHyperPlane() {
 	clusters := s.cfg.Clusters()
 	s.rsets = make([]ready.Set, clusters)
 	s.signals = make([]*sim.Signal, clusters)
+	spec := s.cfg.PolicySpec()
 	for cl := 0; cl < clusters; cl++ {
+		var err error
 		if s.cfg.SoftwareReadySet {
-			s.rsets[cl] = ready.NewSoftware(s.cfg.Queues, s.cfg.Policy, s.cfg.Weights)
+			s.rsets[cl], err = ready.NewSoftware(s.cfg.Queues, spec)
 		} else {
-			s.rsets[cl] = ready.NewHardware(s.cfg.Queues, s.cfg.Policy, s.cfg.Weights)
+			s.rsets[cl], err = ready.NewHardware(s.cfg.Queues, spec)
+		}
+		if err != nil {
+			// Config.Validate already vetted the spec; a failure here is a
+			// programming error, not an input error.
+			panic("sdp: ready set construction after validation: " + err.Error())
 		}
 		s.signals[cl] = s.eng.NewSignal("hp-wake")
 	}

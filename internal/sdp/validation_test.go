@@ -4,7 +4,7 @@ import (
 	"math"
 	"testing"
 
-	"hyperplane/internal/ready"
+	"hyperplane/internal/policy"
 	"hyperplane/internal/sim"
 	"hyperplane/internal/traffic"
 	"hyperplane/internal/workload"
@@ -40,7 +40,7 @@ func mg1Run(t *testing.T, rho, cv float64, samples int) (measured, service sim.T
 		Workload: spec,
 		Shape:    traffic.SQ,
 		Plane:    HyperPlane,
-		Policy:   ready.RoundRobin,
+		Policy:   policy.Spec{Kind: policy.RoundRobin},
 		Mode:     OpenLoop,
 		Load:     rho,
 		Warmup:   dur / 10,
@@ -104,7 +104,7 @@ func TestScaleUpBeatsScaleOutTheory(t *testing.T) {
 			Workload:    spec,
 			Shape:       traffic.FB,
 			Plane:       HyperPlane,
-			Policy:      ready.RoundRobin,
+			Policy:      policy.Spec{Kind: policy.RoundRobin},
 			Mode:        OpenLoop,
 			Load:        0.7,
 			Warmup:      10 * sim.Millisecond,

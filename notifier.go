@@ -6,10 +6,11 @@
 //
 //   - A real, usable runtime: Notifier implements the QWAIT programming
 //     model in software for Go data planes — register many queues, block
-//     until one is ready, and receive the next queue ID under round-robin,
-//     weighted round-robin, or strict-priority service policies, without
-//     spin-polling empty queues. Queue[T] pairs a lock-free SPSC ring with
-//     a Notifier for a complete producer/consumer fast path.
+//     until one is ready, and receive the next queue ID under a pluggable
+//     service policy (round-robin, weighted round-robin, strict priority,
+//     deficit round-robin, or EWMA-adaptive), without spin-polling empty
+//     queues. Queue[T] pairs a lock-free SPSC ring with a Notifier for a
+//     complete producer/consumer fast path.
 //
 //   - A simulation facade: Simulate runs the paper's evaluation platform (a
 //     discrete-event CMP model with MESI coherence, the cuckoo-hash
@@ -27,47 +28,8 @@ import (
 	"time"
 
 	"hyperplane/internal/nshard"
-	"hyperplane/internal/ready"
+	"hyperplane/internal/policy"
 )
-
-// Policy is a queue service policy (paper §III-A).
-type Policy int
-
-// Service policies.
-const (
-	// RoundRobin services ready queues in circular order.
-	RoundRobin Policy = iota
-	// WeightedRoundRobin lets a queue be serviced for its weight's worth
-	// of consecutive rounds, differentiating tenants' QoS.
-	WeightedRoundRobin
-	// StrictPriority always prefers the lowest-numbered ready queue. Like
-	// the paper notes, it can starve high-numbered queues.
-	StrictPriority
-)
-
-func (p Policy) String() string {
-	switch p {
-	case RoundRobin:
-		return "round-robin"
-	case WeightedRoundRobin:
-		return "weighted-round-robin"
-	case StrictPriority:
-		return "strict-priority"
-	}
-	return "unknown"
-}
-
-func (p Policy) internal() (ready.Policy, error) {
-	switch p {
-	case RoundRobin:
-		return ready.RoundRobin, nil
-	case WeightedRoundRobin:
-		return ready.WeightedRoundRobin, nil
-	case StrictPriority:
-		return ready.StrictPriority, nil
-	}
-	return 0, fmt.Errorf("hyperplane: unknown policy %d", int(p))
-}
 
 // QID identifies a registered queue within a Notifier.
 type QID int
@@ -89,10 +51,14 @@ type NotifierConfig struct {
 	// MaxQueues is the monitoring capacity (like the paper's 1024-entry
 	// monitoring set). Defaults to 1024.
 	MaxQueues int
-	// Policy selects the service discipline. Defaults to RoundRobin.
+	// Policy selects and parameterizes the service discipline (the
+	// shared arbitration layer in internal/policy). The zero value is
+	// round-robin; see the package-level RoundRobin, WeightedRoundRobin,
+	// StrictPriority, DeficitRoundRobin and EWMAAdaptive specs.
 	Policy Policy
-	// Weights are per-QID service weights for WeightedRoundRobin (values
-	// >= 1). Defaults to all-1 when nil.
+	// Weights are per-QID service weights for weight-aware disciplines
+	// (one entry per QID, each >= 1; nil means all-1). A convenience for
+	// Policy.Weights — used only when the spec's own Weights is nil.
 	Weights []int
 	// Shards is the number of ready-set banks (clamped to MaxQueues and
 	// MaxShards). QIDs interleave across banks (qid mod Shards), like the
@@ -142,7 +108,7 @@ type Notifier struct {
 	bankSummary atomic.Uint64
 	// rotor staggers waiters' sweep origins across banks.
 	rotor  atomic.Uint64
-	policy Policy
+	kind   policy.Kind
 	closed atomic.Bool
 
 	// regMu guards the registration free list (cold control path only —
@@ -166,33 +132,19 @@ func NewNotifier(cfg NotifierConfig) (*Notifier, error) {
 	if cfg.MaxQueues < 1 {
 		return nil, fmt.Errorf("hyperplane: MaxQueues must be positive, got %d", cfg.MaxQueues)
 	}
-	pol, err := cfg.Policy.internal()
-	if err != nil {
-		return nil, err
+	spec := cfg.Policy
+	if spec.Weights == nil {
+		spec.Weights = cfg.Weights
 	}
-	weights := cfg.Weights
-	if pol == ready.WeightedRoundRobin {
-		if weights == nil {
-			weights = make([]int, cfg.MaxQueues)
-			for i := range weights {
-				weights[i] = 1
-			}
-		}
-		if len(weights) != cfg.MaxQueues {
-			return nil, fmt.Errorf("hyperplane: need %d weights, got %d", cfg.MaxQueues, len(weights))
-		}
-		for i, w := range weights {
-			if w < 1 {
-				return nil, fmt.Errorf("hyperplane: weight for qid %d must be >= 1", i)
-			}
-		}
+	if err := spec.Validate(cfg.MaxQueues); err != nil {
+		return nil, fmt.Errorf("hyperplane: %w", err)
 	}
 	shards := cfg.Shards
 	if shards < 0 {
 		return nil, fmt.Errorf("hyperplane: Shards must be >= 0, got %d", cfg.Shards)
 	}
 	if shards == 0 {
-		if cfg.Policy == StrictPriority {
+		if spec.Kind == policy.StrictPriority {
 			shards = 1
 		} else {
 			shards = runtime.GOMAXPROCS(0)
@@ -207,10 +159,14 @@ func NewNotifier(cfg NotifierConfig) (*Notifier, error) {
 	n := &Notifier{
 		parker: nshard.NewParker(shards),
 		states: make([]nshard.QState, cfg.MaxQueues),
-		policy: cfg.Policy,
+		kind:   spec.Kind,
 	}
 	for s := 0; s < shards; s++ {
-		n.banks = append(n.banks, nshard.NewBank(cfg.MaxQueues, shards, s, pol, weights, &n.bankSummary, uint(s)))
+		b, err := nshard.NewBank(cfg.MaxQueues, shards, s, spec, &n.bankSummary, uint(s))
+		if err != nil {
+			return nil, fmt.Errorf("hyperplane: %w", err)
+		}
+		n.banks = append(n.banks, b)
 	}
 	for i := cfg.MaxQueues - 1; i >= 0; i-- {
 		n.free = append(n.free, QID(i))
@@ -329,7 +285,7 @@ func (n *Notifier) NotifyBatch(qids []QID) {
 // concurrent waiters across banks. Strict priority always sweeps from
 // bank 0 so lower QIDs (which live in lower banks first) keep precedence.
 func (n *Notifier) startBank() int {
-	if n.policy == StrictPriority || len(n.banks) == 1 {
+	if n.kind == policy.StrictPriority || len(n.banks) == 1 {
 		return 0
 	}
 	return int(n.rotor.Add(1)-1) % len(n.banks)

@@ -298,7 +298,7 @@ func TestWeightedRoundRobinConfig(t *testing.T) {
 	if _, err := NewNotifier(NotifierConfig{MaxQueues: -1}); err == nil {
 		t.Error("negative MaxQueues accepted")
 	}
-	if _, err := NewNotifier(NotifierConfig{Policy: Policy(99)}); err == nil {
+	if _, err := NewNotifier(NotifierConfig{Policy: Policy{Kind: PolicyKind(99)}}); err == nil {
 		t.Error("bogus policy accepted")
 	}
 }
@@ -307,7 +307,9 @@ func TestPolicyStrings(t *testing.T) {
 	if RoundRobin.String() != "round-robin" ||
 		WeightedRoundRobin.String() != "weighted-round-robin" ||
 		StrictPriority.String() != "strict-priority" ||
-		Policy(9).String() != "unknown" {
+		DeficitRoundRobin.String() != "deficit-round-robin" ||
+		EWMAAdaptive.String() != "ewma-adaptive" ||
+		(Policy{Kind: PolicyKind(9)}).String() != "unknown" {
 		t.Error("policy names")
 	}
 }

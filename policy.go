@@ -1,0 +1,50 @@
+package hyperplane
+
+import "hyperplane/internal/policy"
+
+// Policy selects and parameterizes a queue service discipline (paper
+// §III-A). It is the same policy.Spec the simulator, the banked runtime,
+// and every benchmark share — one arbitration layer, so a discipline
+// behaves identically no matter which substrate runs it.
+//
+// The zero value is round-robin. The exported package variables
+// (RoundRobin, WeightedRoundRobin, ...) are ready-made specs for each
+// discipline; parameterize by setting fields:
+//
+//	cfg.Policy = hyperplane.WeightedRoundRobin
+//	cfg.Policy.Weights = []int{4, 2, 1, 1}
+//
+// Policy contains a slice, so compare disciplines by Kind
+// (p.Kind == hyperplane.StrictPriority.Kind), not with ==.
+type Policy = policy.Spec
+
+// PolicyKind enumerates the service disciplines.
+type PolicyKind = policy.Kind
+
+// Ready-made specs for each service discipline.
+var (
+	// RoundRobin services ready queues in circular order.
+	RoundRobin = Policy{Kind: policy.RoundRobin}
+	// WeightedRoundRobin lets a queue be serviced for its weight's worth
+	// of consecutive rounds, differentiating tenants' QoS. Set Weights
+	// (one entry per QID, each >= 1); nil means all-1.
+	WeightedRoundRobin = Policy{Kind: policy.WeightedRoundRobin}
+	// StrictPriority always prefers the lowest-numbered ready queue. As
+	// the paper notes, it can starve high-numbered queues.
+	StrictPriority = Policy{Kind: policy.StrictPriority}
+	// DeficitRoundRobin is byte/work-aware weighted fairness: each queue
+	// accrues a per-round quantum (its weight) of service credit and is
+	// serviced while credit lasts, so queues with expensive items get the
+	// same long-run share as queues with cheap ones.
+	DeficitRoundRobin = Policy{Kind: policy.DeficitRoundRobin}
+	// EWMAAdaptive biases selection toward queues whose backlog is
+	// rising, tracked by an exponentially-weighted moving average of
+	// arrival vs. service events, with an aging bonus that guarantees
+	// starvation freedom. Set Alpha in (0, 1]; 0 means
+	// policy.DefaultAlpha.
+	EWMAAdaptive = Policy{Kind: policy.EWMAAdaptive}
+)
+
+// ParsePolicy maps a CLI-friendly name ("rr", "wrr", "strict", "drr",
+// "ewma", or the canonical long forms) to its Policy spec.
+func ParsePolicy(name string) (Policy, error) { return policy.Parse(name) }

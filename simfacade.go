@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"hyperplane/internal/experiments"
-	"hyperplane/internal/ready"
 	"hyperplane/internal/sdp"
 	"hyperplane/internal/sim"
 	"hyperplane/internal/traffic"
@@ -57,7 +56,12 @@ type SimConfig struct {
 	// Sockets spreads clusters over NUMA sockets (cross-socket accesses
 	// and steals pay an interconnect hop). 0 or 1 = single socket.
 	Sockets int
-	Policy  Policy
+	// Policy is the service discipline spec; the simulator drives the
+	// same arbitration layer as the Notifier runtime. Zero value =
+	// round-robin.
+	Policy Policy
+	// Weights parameterizes weight-aware disciplines when Policy.Weights
+	// is nil.
 	Weights []int
 	// Saturate measures peak throughput; otherwise Load (0,1] offers
 	// Poisson arrivals at that fraction of nominal capacity.
@@ -159,17 +163,7 @@ func (c SimConfig) internal() (sdp.Config, error) {
 		return out, fmt.Errorf("hyperplane: unknown plane %q", c.Plane)
 	}
 
-	pol, err := c.Policy.internal()
-	if err != nil {
-		return out, err
-	}
-	out.Policy = pol
-	if pol == ready.WeightedRoundRobin && out.Weights == nil {
-		out.Weights = make([]int, out.Queues)
-		for i := range out.Weights {
-			out.Weights[i] = 1
-		}
-	}
+	out.Policy = c.Policy
 
 	if c.Saturate {
 		out.Mode = sdp.Saturate

@@ -59,7 +59,7 @@ func TestSimulateValidation(t *testing.T) {
 		{Workload: "bogus"},
 		{Shape: "XX"},
 		{Plane: "warp"},
-		{Policy: Policy(9)},
+		{Policy: Policy{Kind: PolicyKind(9)}},
 		{Load: 9},
 	}
 	for i, c := range cases {
