@@ -29,16 +29,23 @@ lint: vet
 chaos:
 	$(GO) test -race -run Chaos -count=3 ./...
 
-# Regenerate BENCH_notifier.json: the banked lock-free notifier vs the
-# retired single-mutex engine over a producers x queues grid.
-bench:
+# Regenerate the benchmark reports: BENCH_notifier.json (banked notifier
+# vs the retired mutex engine), BENCH_ring.json (batched vs per-item ring
+# ops, SPSC and MPSC), and BENCH_dataplane.json (end-to-end planebench
+# grid with the per-item baseline).
+bench: bench-ring
 	$(GO) run ./cmd/notifierbench -out BENCH_notifier.json
+	$(GO) run ./cmd/planebench -tenants 8,64 -duration 1s -trials 3 -batch 1,16 -out BENCH_dataplane.json
 
-# Regression guard: re-measure the grid and fail if any cell's best-path
-# speedup over the mutex baseline drops more than 10% below the recorded
-# BENCH_notifier.json numbers (ratios, so machine speed cancels out).
+bench-ring:
+	$(GO) run ./cmd/ringbench -out BENCH_ring.json
+
+# Regression guards: re-measure each recorded grid and fail if any cell's
+# speedup ratio drops more than 10% below the stored numbers (ratios of
+# two fresh measurements, so machine speed cancels out).
 bench-guard:
 	$(GO) run ./cmd/notifierbench -check BENCH_notifier.json -tolerance 0.10 -ops 300000 -trials 3
+	$(GO) run ./cmd/ringbench -check BENCH_ring.json -tolerance 0.15 -ops 400000 -trials 5
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,398 @@
+// ringbench measures the ring-level batch data path: per-item Push/Pop
+// against PushBatch/PopBatch on the SPSC ring, and multi-producer fan-in
+// on the MPSC ring, writing the results as JSON (BENCH_ring.json via
+// `make bench`).
+//
+// Each SPSC cell runs one producer and one consumer over a ring for a
+// fixed item count, once with per-item operations and once with batched
+// ones; speedup is per-item ns/op over batched ns/op, so it captures
+// exactly what the batch path amortizes (one cursor publish and one
+// doorbell write per burst instead of per item). MPSC cells add producer
+// fan-in: p producers PushBatch into one ring while a single consumer
+// PopBatches, which is the shared-ingress production pattern.
+//
+// Run with: go run ./cmd/ringbench -out BENCH_ring.json
+//
+// Guard mode re-measures a stored report's grid and fails (exit 1) if any
+// cell's batched-over-per-item speedup regresses by more than the
+// tolerance. The speedup is a ratio of two fresh measurements on the
+// current machine, so the check is portable across hosts:
+//
+//	go run ./cmd/ringbench -check BENCH_ring.json -tolerance 0.10
+//
+// -smoke shrinks the grid and op counts for CI: it verifies the harness
+// and the batch-wins invariant without burning minutes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperplane/internal/queue"
+)
+
+// spscTrial pushes ops items through an SPSC ring with one producer and
+// one consumer. batch <= 1 uses Push/Pop; batch > 1 uses PushBatch/
+// PopBatch with bursts of that size. Returns ns per item.
+func spscTrial(ops, capacity, batch int) float64 {
+	r, err := queue.NewRing[int](capacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if batch <= 1 {
+			for i := 0; i < ops; i++ {
+				for !r.Push(i) {
+					runtime.Gosched()
+				}
+			}
+			return
+		}
+		buf := make([]int, batch)
+		for i := 0; i < ops; {
+			n := batch
+			if ops-i < n {
+				n = ops - i
+			}
+			for j := 0; j < n; j++ {
+				buf[j] = i + j
+			}
+			sent := 0
+			for sent < n {
+				k := r.PushBatch(buf[sent:n])
+				if k == 0 {
+					runtime.Gosched()
+				}
+				sent += k
+			}
+			i += n
+		}
+	}()
+	if batch <= 1 {
+		for got := 0; got < ops; {
+			if _, ok := r.Pop(); ok {
+				got++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	} else {
+		dst := make([]int, batch)
+		for got := 0; got < ops; {
+			n := r.PopBatch(dst)
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			got += n
+		}
+	}
+	wg.Wait()
+	return float64(time.Since(start).Nanoseconds()) / float64(ops)
+}
+
+// sink defeats dead-code elimination of producerWork.
+var sink uint64
+
+// producerWork burns iters xorshift steps — a stand-in for the per-item
+// construction cost (parse, encap, checksum) a real producer pays before
+// submitting. Fan-in scaling is only observable when producers do work:
+// an empty push loop is bound by the shared tail cache line no matter how
+// the ring is built, so it measures the fabric, not the ring.
+func producerWork(iters int, seed uint64) uint64 {
+	x := seed | 1
+	for i := 0; i < iters; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}
+
+// mpscTrial drives p producers into one MPSC ring with a single
+// consumer. batch <= 1 uses Push; batch > 1 uses PushBatch bursts; work
+// is the per-item production cost in xorshift iterations (0 = raw ring
+// overhead). The consumer always drains with PopBatch — that is the
+// worker-side service discipline regardless of how producers submit.
+// Returns ns per item.
+func mpscTrial(ops, capacity, producers, batch, work int) float64 {
+	m, err := queue.NewMPSC[int](capacity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		iters := ops / producers
+		if p < ops%producers {
+			iters++
+		}
+		wg.Add(1)
+		go func(p, iters int) {
+			defer wg.Done()
+			var acc uint64
+			if batch <= 1 {
+				for i := 0; i < iters; i++ {
+					acc += producerWork(work, uint64(p*iters+i))
+					for !m.Push(i) {
+						runtime.Gosched()
+					}
+				}
+				atomic.AddUint64(&sink, acc)
+				return
+			}
+			buf := make([]int, batch)
+			for i := 0; i < iters; {
+				n := batch
+				if iters-i < n {
+					n = iters - i
+				}
+				for j := 0; j < n; j++ {
+					acc += producerWork(work, uint64(p*iters+i+j))
+					buf[j] = i + j
+				}
+				sent := 0
+				for sent < n {
+					k := m.PushBatch(buf[sent:n])
+					if k == 0 {
+						runtime.Gosched()
+					}
+					sent += k
+				}
+				i += n
+			}
+			atomic.AddUint64(&sink, acc)
+		}(p, iters)
+	}
+	dst := make([]int, 256)
+	for got := 0; got < ops; {
+		n := m.PopBatch(dst)
+		if n == 0 {
+			runtime.Gosched()
+			continue
+		}
+		got += n
+	}
+	wg.Wait()
+	return float64(time.Since(start).Nanoseconds()) / float64(ops)
+}
+
+// runCell reports the median of trials runs of fn. Median, not minimum:
+// producer/consumer convoying under preemption is cost the rings must
+// absorb, not noise to filter out.
+func runCell(trials int, fn func() float64) float64 {
+	ns := make([]float64, trials)
+	for t := range ns {
+		ns[t] = fn()
+	}
+	sort.Float64s(ns)
+	return ns[trials/2]
+}
+
+type cellResult struct {
+	Ring      string  `json:"ring"` // "spsc" | "mpsc"
+	Producers int     `json:"producers"`
+	Batch     int     `json:"batch"`
+	ItemNsOp  float64 `json:"item_ns_op"`  // per-item Push/Pop path
+	BatchNsOp float64 `json:"batch_ns_op"` // PushBatch/PopBatch path
+	Speedup   float64 `json:"speedup_batch_vs_item"`
+	MItemsSec float64 `json:"batched_mitems_per_sec"`
+}
+
+type report struct {
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	OpsPerCell int    `json:"ops_per_cell"`
+	Trials     int    `json:"trials_per_cell"`
+	Capacity   int    `json:"ring_capacity"`
+	// MPSCScaling4P is batched 4-producer throughput over batched
+	// 1-producer throughput on the MPSC ring with a packet-encap worth of
+	// per-item production work — the fan-in win the shared organization
+	// (paper §V-C) banks on. Measured with work because an empty push loop
+	// is bound by the shared tail cache line on any ring design.
+	MPSCScaling4P float64 `json:"mpsc_scaling_4p"`
+	// ScalingWorkIters is the per-item producer work (xorshift iterations)
+	// used for that measurement.
+	ScalingWorkIters int `json:"scaling_work_iters"`
+	// ScalingNote is set when the host cannot exhibit fan-in scaling: 4
+	// producers + 1 consumer need at least 5 schedulable cores, otherwise
+	// goroutines time-slice one another and the ratio measures the OS
+	// scheduler, not the ring.
+	ScalingNote string       `json:"scaling_note,omitempty"`
+	Cells       []cellResult `json:"cells"`
+}
+
+func measureCell(ring string, producers, batch, ops, trials, capacity int) cellResult {
+	var item, batched float64
+	switch ring {
+	case "spsc":
+		item = runCell(trials, func() float64 { return spscTrial(ops, capacity, 1) })
+		batched = runCell(trials, func() float64 { return spscTrial(ops, capacity, batch) })
+	case "mpsc":
+		item = runCell(trials, func() float64 { return mpscTrial(ops, capacity, producers, 1, 0) })
+		batched = runCell(trials, func() float64 { return mpscTrial(ops, capacity, producers, batch, 0) })
+	default:
+		log.Fatalf("unknown ring kind %q", ring)
+	}
+	c := cellResult{
+		Ring:      ring,
+		Producers: producers,
+		Batch:     batch,
+		ItemNsOp:  item,
+		BatchNsOp: batched,
+		Speedup:   item / batched,
+		MItemsSec: 1e3 / batched,
+	}
+	fmt.Fprintf(os.Stderr, "%s p%d b%d: item %.1f ns/op, batch %.1f ns/op (%.2fx, %.1f Mitems/s)\n",
+		ring, producers, batch, item, batched, c.Speedup, c.MItemsSec)
+	return c
+}
+
+// grid returns the cells to measure. SPSC sweeps batch sizes; MPSC sweeps
+// producer fan-in at the default burst.
+func grid(smoke bool) [][3]interface{} {
+	type cell = [3]interface{} // ring, producers, batch
+	if smoke {
+		return []cell{{"spsc", 1, 16}, {"mpsc", 4, 16}}
+	}
+	return []cell{
+		{"spsc", 1, 4}, {"spsc", 1, 16}, {"spsc", 1, 64},
+		{"mpsc", 1, 16}, {"mpsc", 2, 16}, {"mpsc", 4, 16}, {"mpsc", 8, 16},
+	}
+}
+
+// scalingWork is the per-item production cost (xorshift iterations) used
+// for the fan-in scaling measurement — roughly a packet-encap worth of
+// producer-side work, enough that one producer cannot saturate the ring.
+const scalingWork = 60
+
+func measureScaling(ops, trials, capacity int) float64 {
+	one := runCell(trials, func() float64 { return mpscTrial(ops, capacity, 1, 16, scalingWork) })
+	four := runCell(trials, func() float64 { return mpscTrial(ops, capacity, 4, 16, scalingWork) })
+	return one / four // ns/op ratio = throughput ratio
+}
+
+// checkAgainst re-measures every cell in a stored report and fails if any
+// batched-over-per-item speedup drops more than tolerance below the
+// recorded value.
+func checkAgainst(path string, tolerance float64, ops, trials, capacity int) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		log.Fatalf("parse %s: %v", path, err)
+	}
+	if len(base.Cells) == 0 {
+		log.Fatalf("%s has no cells", path)
+	}
+	spscTrial(ops/10+1, capacity, 16) // warm up
+	mpscTrial(ops/10+1, capacity, 4, 16, 0)
+	failed := 0
+	for _, bc := range base.Cells {
+		c := measureCell(bc.Ring, bc.Producers, bc.Batch, ops, trials, capacity)
+		floor := bc.Speedup * (1 - tolerance)
+		status := "ok"
+		if c.Speedup < floor {
+			status = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("%s p%d b%d: speedup %.2fx, baseline %.2fx, floor %.2fx — %s\n",
+			bc.Ring, bc.Producers, bc.Batch, c.Speedup, bc.Speedup, floor, status)
+	}
+	if failed > 0 {
+		log.Fatalf("%d of %d cells regressed beyond %.0f%% of %s",
+			failed, len(base.Cells), tolerance*100, path)
+	}
+	fmt.Printf("all %d cells within %.0f%% of %s\n", len(base.Cells), tolerance*100, path)
+}
+
+func main() {
+	ops := flag.Int("ops", 4_000_000, "items per trial")
+	trials := flag.Int("trials", 5, "trials per cell; median reported")
+	capacity := flag.Int("cap", 1024, "ring capacity (power of two)")
+	out := flag.String("out", "", "output JSON path (default stdout)")
+	check := flag.String("check", "", "guard mode: baseline report to re-measure against")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional speedup regression in -check mode")
+	smoke := flag.Bool("smoke", false, "tiny grid + op count: verify the harness and that batching wins")
+	flag.Parse()
+
+	if *smoke {
+		*ops = 200_000
+		*trials = 3
+	}
+	if *check != "" {
+		checkAgainst(*check, *tolerance, *ops, *trials, *capacity)
+		return
+	}
+
+	rep := report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		OpsPerCell: *ops,
+		Trials:     *trials,
+		Capacity:   *capacity,
+	}
+	spscTrial(*ops/10+1, *capacity, 16) // warm up scheduler and code paths
+	mpscTrial(*ops/10+1, *capacity, 4, 16, 0)
+	for _, g := range grid(*smoke) {
+		rep.Cells = append(rep.Cells,
+			measureCell(g[0].(string), g[1].(int), g[2].(int), *ops, *trials, *capacity))
+	}
+	rep.MPSCScaling4P = measureScaling(*ops, *trials, *capacity)
+	rep.ScalingWorkIters = scalingWork
+	fmt.Fprintf(os.Stderr, "mpsc batched 4-producer scaling: %.2fx over 1 producer\n", rep.MPSCScaling4P)
+	parallel := runtime.GOMAXPROCS(0) >= 5 // 4 producers + 1 consumer
+	if !parallel {
+		rep.ScalingNote = fmt.Sprintf(
+			"GOMAXPROCS=%d: host cannot run 4 producers + 1 consumer in parallel; scaling ratio reflects time-slicing, not ring fan-in",
+			runtime.GOMAXPROCS(0))
+		fmt.Fprintln(os.Stderr, "note:", rep.ScalingNote)
+	}
+
+	if *smoke {
+		// The smoke gate: batching must beat per-item on both rings, and —
+		// when the host has the cores to show it — 4-producer fan-in must
+		// scale on the shared ring.
+		for _, c := range rep.Cells {
+			if c.Speedup < 1.0 {
+				log.Fatalf("smoke: %s p%d b%d batched path slower than per-item (%.2fx)",
+					c.Ring, c.Producers, c.Batch, c.Speedup)
+			}
+		}
+		if parallel && rep.MPSCScaling4P < 1.5 {
+			log.Fatalf("smoke: mpsc 4-producer scaling %.2fx < 1.5x with %d cores available",
+				rep.MPSCScaling4P, runtime.GOMAXPROCS(0))
+		}
+		fmt.Println("smoke ok: batched path wins on every cell")
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

@@ -267,7 +267,11 @@ func TestChaosWorkerCrashStorm(t *testing.T) {
 			}
 		}(tn)
 	}
-	for i := 0; i < 10; i++ {
+	// Keep triggering until five restarts actually happened: a Store on a
+	// still-pending crashNext coalesces with it, so a fixed trigger count
+	// can under-deliver when the scheduler stalls the workers.
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; p.Stats().Restarts < 5 && time.Now().Before(deadline); i++ {
 		p.workers[i%2].crashNext.Store(true)
 		time.Sleep(2 * time.Millisecond)
 	}

@@ -41,6 +41,17 @@ import (
 // returns the payload to deliver tenant-side; a nil result drops the item.
 type Handler func(tenant int, payload []byte) ([]byte, error)
 
+// BatchHandler performs transport processing on a whole drained batch in
+// one call, replacing each payloads[i] in place with the result to
+// deliver (nil drops that item). Returning an error — or panicking —
+// rejects the batch attempt as a whole: the plane then replays the batch
+// item by item through Handler, so only the poisoned item is dropped and
+// error/panic/quarantine accounting stays identical to per-item dispatch.
+// A BatchHandler must therefore leave items it did not successfully
+// process intact, and should agree semantically with the configured
+// Handler (its per-item fallback).
+type BatchHandler func(tenant int, payloads [][]byte) error
+
 // Mode selects the notification mechanism of the data plane workers.
 type Mode uint8
 
@@ -122,6 +133,21 @@ type Config struct {
 	Policy hyperplane.Policy
 	// Handler is the transport-processing function; nil defaults to echo.
 	Handler Handler
+	// BatchHandler, if set, processes each drained batch in one call
+	// instead of invoking Handler per item; Handler remains the per-item
+	// fallback used to replay a failed batch. See the BatchHandler type.
+	BatchHandler BatchHandler
+	// MaxBatch bounds how many items a worker drains from one tenant
+	// queue per service turn (one PopBatch, one doorbell decrement, one
+	// policy charge). 0 defaults to 32; 1 retains per-item dispatch — the
+	// benchmarked baseline. StrictPriority always services per item so the
+	// lowest ready QID is re-evaluated between items.
+	MaxBatch int
+	// SharedIngress backs the device-side queues with multi-producer
+	// (MPSC) rings, so any number of goroutines may Ingress the same
+	// tenant concurrently — the paper's shared-queue organization. The
+	// default SPSC rings admit one producer per tenant.
+	SharedIngress bool
 	// Delivery selects the tenant-side full-ring policy (default Block).
 	Delivery DeliveryPolicy
 	// DeliveryTimeout bounds Block per item; 0 waits until the plane
@@ -173,8 +199,8 @@ type tenantState struct {
 type Plane struct {
 	cfg Config
 
-	devRings []*queue.Ring[[]byte] // per tenant, device side
-	outRings []*queue.Ring[[]byte] // per tenant, tenant side
+	devRings []queue.Buffer[[]byte] // per tenant, device side (SPSC or MPSC)
+	outRings []*queue.Ring[[]byte]  // per tenant, tenant side
 	// outMu serializes the two tenant-side consumers that exist under
 	// DropOldest (the tenant and the evicting worker); unused otherwise.
 	outMu []sync.Mutex
@@ -216,6 +242,12 @@ type worker struct {
 	// pending is the unprocessed remainder of the current notify batch;
 	// the supervisor re-offers it after a crash so no tenant is stranded.
 	pending []hyperplane.QID
+	// scratch is the reusable drain buffer one PopBatch fills per service
+	// turn; outs collects the non-nil batch-handler results for bulk
+	// delivery. Both live for the worker's lifetime, so the dispatch loop
+	// allocates nothing per item.
+	scratch [][]byte
+	outs    [][]byte
 	// crashNext induces a worker-loop panic: a test hook for the
 	// supervisor (handler panics are recovered in handle and never reach
 	// it).
@@ -251,6 +283,15 @@ func New(cfg Config) (*Plane, error) {
 	if cfg.Delivery > DropOldest {
 		return nil, fmt.Errorf("dataplane: unknown delivery policy %d", cfg.Delivery)
 	}
+	if cfg.MaxBatch < 0 {
+		return nil, fmt.Errorf("dataplane: MaxBatch must be >= 0, got %d", cfg.MaxBatch)
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 32
+	}
+	if cfg.MaxBatch > cfg.RingCapacity {
+		cfg.MaxBatch = cfg.RingCapacity
+	}
 	if cfg.Quarantine.Threshold < 0 {
 		return nil, fmt.Errorf("dataplane: Quarantine.Threshold must be >= 0, got %d", cfg.Quarantine.Threshold)
 	}
@@ -282,7 +323,13 @@ func New(cfg Config) (*Plane, error) {
 	}
 
 	for t := 0; t < cfg.Tenants; t++ {
-		dr, err := queue.NewRing[[]byte](cfg.RingCapacity)
+		var dr queue.Buffer[[]byte]
+		var err error
+		if cfg.SharedIngress {
+			dr, err = queue.NewMPSC[[]byte](cfg.RingCapacity)
+		} else {
+			dr, err = queue.NewRing[[]byte](cfg.RingCapacity)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -311,7 +358,11 @@ func New(cfg Config) (*Plane, error) {
 	// Partition tenants across workers round-robin; in Notify mode each
 	// worker gets its own notifier over its partition.
 	for w := 0; w < cfg.Workers; w++ {
-		wk := &worker{id: w}
+		wk := &worker{
+			id:      w,
+			scratch: make([][]byte, cfg.MaxBatch),
+			outs:    make([][]byte, 0, cfg.MaxBatch),
+		}
 		for t := w; t < cfg.Tenants; t += cfg.Workers {
 			wk.tenants = append(wk.tenants, t)
 		}
@@ -359,7 +410,8 @@ func (p *Plane) Start() {
 }
 
 // Stop terminates the workers promptly and closes the notifiers: items
-// being handled finish, queued backlog is abandoned. Use StopContext to
+// being handled finish (including the remainder of a batch a worker has
+// already drained from a device ring), queued backlog is abandoned. Use StopContext to
 // bound a drain of queued work first. Stop is idempotent, and once it
 // returns, Ingress and IngressBatch deterministically reject.
 func (p *Plane) Stop() error {
@@ -459,6 +511,12 @@ type IngressItem struct {
 	Payload []byte
 }
 
+// runPool recycles IngressBatch's bulk-push staging buffers. The buffer
+// escapes through the Buffer interface call, so a plain local would
+// allocate per call; pooling keeps batched ingress allocation-free at
+// steady state even with many concurrent producers.
+var runPool = sync.Pool{New: func() any { return new([64][]byte) }}
+
 // IngressBatch places a burst of work items in one call (the emulated
 // device's batched DMA + coalesced doorbells): payloads are pushed first
 // and each worker's doorbells are rung once via NotifyBatch, amortizing
@@ -478,18 +536,55 @@ func (p *Plane) IngressBatch(items []IngressItem) int {
 		perWorker = make([][]hyperplane.QID, len(p.workers))
 	}
 	accepted := 0
-	for _, it := range items {
-		if it.Tenant < 0 || it.Tenant >= p.cfg.Tenants {
+	run := runPool.Get().(*[64][]byte)
+	defer func() {
+		clear(run[:]) // release payload references before pooling
+		runPool.Put(run)
+	}()
+	for i := 0; i < len(items); {
+		tenant := items[i].Tenant
+		j := i + 1
+		for j < len(items) && items[j].Tenant == tenant {
+			j++
+		}
+		if tenant < 0 || tenant >= p.cfg.Tenants {
+			i = j
 			continue
 		}
-		if !p.devRings[it.Tenant].Push(it.Payload) {
-			continue
+		pushed := 0
+		if j-i == 1 {
+			if p.devRings[tenant].Push(items[i].Payload) {
+				pushed = 1
+			}
+		} else {
+			// Same-tenant run: bulk-push in chunks, paying one cursor
+			// publish and one doorbell increment per chunk instead of per
+			// item. A short PushBatch means the ring is full; the rest of
+			// the run is dropped like per-item Ingress would drop it.
+			for off := i; off < j; {
+				c := j - off
+				if c > len(run) {
+					c = len(run)
+				}
+				for k := 0; k < c; k++ {
+					run[k] = items[off+k].Payload
+				}
+				got := p.devRings[tenant].PushBatch(run[:c])
+				pushed += got
+				off += got
+				if got < c {
+					break
+				}
+			}
 		}
-		accepted++
-		if perWorker != nil {
-			w := it.Tenant % p.cfg.Workers
-			perWorker[w] = append(perWorker[w], p.workers[w].qidByTenant[it.Tenant])
+		accepted += pushed
+		if pushed > 0 && perWorker != nil {
+			// One entry per run suffices: NotifyBatch activations coalesce
+			// duplicates of the same QID anyway.
+			w := tenant % p.cfg.Workers
+			perWorker[w] = append(perWorker[w], p.workers[w].qidByTenant[tenant])
 		}
+		i = j
 	}
 	if accepted != len(items) {
 		p.ingressed.Add(int64(accepted - len(items)))
@@ -527,6 +622,27 @@ func (p *Plane) Egress(tenant int) ([]byte, bool) {
 		p.tenantNotifiers[tenant].Reconsider(p.tenantQIDs[tenant])
 	}
 	return v, ok
+}
+
+// EgressBatch pops up to len(dst) processed items from a tenant's
+// delivery queue without blocking — one doorbell decrement and one
+// notifier round-trip for the whole batch. It returns the number popped.
+func (p *Plane) EgressBatch(tenant int, dst [][]byte) int {
+	if tenant < 0 || tenant >= p.cfg.Tenants || len(dst) == 0 {
+		return 0
+	}
+	var n int
+	if p.cfg.Delivery == DropOldest {
+		p.outMu[tenant].Lock()
+		n = p.outRings[tenant].PopBatch(dst)
+		p.outMu[tenant].Unlock()
+	} else {
+		n = p.outRings[tenant].PopBatch(dst)
+	}
+	if n > 0 {
+		p.tenantNotifiers[tenant].Reconsider(p.tenantQIDs[tenant])
+	}
+	return n
 }
 
 // EgressWait blocks until an item is available for the tenant (the tenant
@@ -594,15 +710,20 @@ func (p *Plane) runWorker(wk *worker) (clean bool) {
 	return true
 }
 
-// runNotify is the QWAIT worker loop (Algorithm 1 of the paper), batched:
-// WaitBatch drains several ready queues per wakeup and Consume collapses
-// the Verify/Reconsider pair to one ready-set acquisition per item.
+// runNotify is the QWAIT worker loop (Algorithm 1 of the paper), batched
+// end to end: WaitBatch drains several ready queues per wakeup, each ready
+// queue is drained with one PopBatch into the worker's reusable scratch
+// buffer (one doorbell decrement, zero allocations), and ConsumeN bills
+// the policy the real batch size before re-arming.
 func (p *Plane) runNotify(wk *worker) {
 	// Strict priority must re-evaluate the lowest ready QID after every
-	// item, so it gets a batch of one (see Notifier.WaitBatch docs).
+	// item, so it gets a wait batch of one (see Notifier.WaitBatch docs)
+	// and a drain of one item per turn.
 	size := 32
+	drain := p.cfg.MaxBatch
 	if p.cfg.Policy.Kind == hyperplane.StrictPriority.Kind {
 		size = 1
+		drain = 1
 	}
 	batch := make([]hyperplane.QID, size)
 	for {
@@ -618,10 +739,19 @@ func (p *Plane) runNotify(wk *worker) {
 			qid := wk.pending[0]
 			wk.pending = wk.pending[1:]
 			tenant := wk.tenantOf[qid]
-			payload, got := p.devRings[tenant].Pop()
-			wk.n.Consume(qid)
-			if got {
-				p.handle(tenant, payload)
+			if drain == 1 {
+				payload, got := p.devRings[tenant].Pop()
+				wk.n.Consume(qid)
+				if got {
+					p.handle(tenant, payload)
+				}
+				continue
+			}
+			n := p.devRings[tenant].PopBatch(wk.scratch[:p.drainBound(tenant, drain)])
+			wk.n.ConsumeN(qid, n)
+			if n > 0 {
+				p.handleBatch(wk, tenant, wk.scratch[:n])
+				clear(wk.scratch[:n]) // release payload references
 			}
 		}
 	}
@@ -640,12 +770,22 @@ func (p *Plane) runSpin(wk *worker) {
 			if p.cfg.Quarantine.Threshold > 0 && p.tstate[tenant].state.Load() == tsQuarantined {
 				continue
 			}
-			payload, got := p.devRings[tenant].Pop()
-			if !got {
+			if p.cfg.MaxBatch == 1 {
+				payload, got := p.devRings[tenant].Pop()
+				if !got {
+					continue
+				}
+				found = true
+				p.handle(tenant, payload)
+				continue
+			}
+			n := p.devRings[tenant].PopBatch(wk.scratch[:p.drainBound(tenant, p.cfg.MaxBatch)])
+			if n == 0 {
 				continue
 			}
 			found = true
-			p.handle(tenant, payload)
+			p.handleBatch(wk, tenant, wk.scratch[:n])
+			clear(wk.scratch[:n])
 		}
 		if !found {
 			idle++
@@ -658,6 +798,66 @@ func (p *Plane) runSpin(wk *worker) {
 			idle = 0
 		}
 	}
+}
+
+// drainBound caps a service turn's batch for unhealthy tenants: a tenant
+// under quarantine (or being probed) gets exactly one item, so a single
+// handler outcome decides recovery vs re-quarantine — identical to
+// per-item dispatch, where QWAIT-DISABLE fires before a second item can
+// be popped. Healthy tenants drain the full configured batch.
+func (p *Plane) drainBound(tenant, drain int) int {
+	if p.cfg.Quarantine.Threshold > 0 && p.tstate[tenant].state.Load() != tsHealthy {
+		return 1
+	}
+	return drain
+}
+
+// handleBatch services one drained batch. Without a BatchHandler (or for
+// a batch of one) it runs the per-item path for every element, preserving
+// per-item semantics exactly — the batch still won its single PopBatch,
+// doorbell decrement, and policy charge. With a BatchHandler, a clean
+// batch is accounted and delivered wholesale; a failed batch attempt
+// (error or panic) is not counted at all and instead replays item by item
+// through handle, so only the poisoned item is dropped and every counter
+// (Processed, Errors, Panics, Dropped, quarantine streaks) lands exactly
+// where per-item dispatch would put it.
+func (p *Plane) handleBatch(wk *worker, tenant int, payloads [][]byte) {
+	if p.cfg.BatchHandler == nil || len(payloads) == 1 {
+		for _, pl := range payloads {
+			p.handle(tenant, pl)
+		}
+		return
+	}
+	if !p.runBatchHandler(tenant, payloads) {
+		for _, pl := range payloads {
+			p.handle(tenant, pl)
+		}
+		return
+	}
+	p.processed.Add(int64(len(payloads)))
+	p.noteSuccess(tenant)
+	outs := wk.outs[:0]
+	for _, out := range payloads {
+		if out != nil {
+			outs = append(outs, out)
+		}
+	}
+	p.deliverBatch(tenant, outs)
+	clear(outs)
+	p.completed.Add(int64(len(payloads)))
+}
+
+// runBatchHandler runs the BatchHandler with panic isolation, reporting
+// whether the batch attempt succeeded. Failures are not counted here: the
+// per-item replay that follows attributes errors and panics to the exact
+// items that cause them.
+func (p *Plane) runBatchHandler(tenant int, payloads [][]byte) (committed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			committed = false
+		}
+	}()
+	return p.cfg.BatchHandler(tenant, payloads) == nil
 }
 
 // handle runs transport processing and delivers to the tenant side.
@@ -740,6 +940,26 @@ func (p *Plane) deliver(tenant int, out []byte) {
 	}
 	p.delivered.Add(1)
 	p.tenantNotifiers[tenant].Notify(p.tenantQIDs[tenant])
+}
+
+// deliverBatch pushes a batch of processed items to the tenant-side ring:
+// whatever fits lands via one bulk copy, one doorbell increment, and one
+// notify; the remainder goes through the per-item delivery policy. The
+// bulk push is safe under every policy — the worker is the ring's only
+// producer, and DropOldest's competing consumers serialize on the
+// tenant's mutex against each other, not against the producer.
+func (p *Plane) deliverBatch(tenant int, outs [][]byte) {
+	if len(outs) == 0 {
+		return
+	}
+	n := p.outRings[tenant].PushBatch(outs)
+	if n > 0 {
+		p.delivered.Add(int64(n))
+		p.tenantNotifiers[tenant].Notify(p.tenantQIDs[tenant])
+	}
+	for _, out := range outs[n:] {
+		p.deliver(tenant, out) // full ring: apply the delivery policy
+	}
 }
 
 // noteSuccess resets the tenant's failure streak and, if the success came

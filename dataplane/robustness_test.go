@@ -315,13 +315,24 @@ func TestDrainStoppedWithBacklog(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.Start()
-	for i := 0; i < 8; i++ {
+	// Exceed one drain batch: the worker takes MaxBatch items in flight
+	// (Stop lets those finish) and the rest stays queued, so the stopped
+	// plane genuinely has abandoned backlog.
+	for i := 0; i < 64; i++ {
 		p.Ingress(0, []byte{byte(i)})
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
-	// Stop waits for the in-flight handler, so release it once the drain
-	// deadline has certainly expired.
-	go func() { time.Sleep(30 * time.Millisecond); close(block) }()
+	// Stop waits for the in-flight handler, so it must be released — but
+	// only once the stopped flag is set, or a scheduling stall could let
+	// the whole backlog drain first. Ingress returning false is the
+	// observable edge of that flag, so probe it instead of a wall clock.
+	go func() {
+		<-ctx.Done()
+		for p.Ingress(0, []byte{99}) {
+			time.Sleep(200 * time.Microsecond)
+		}
+		close(block)
+	}()
 	err = p.StopContext(ctx) // cannot drain: handler is blocked
 	cancel()
 	if !errors.Is(err, context.DeadlineExceeded) {

@@ -126,6 +126,20 @@ func (b *Bank) SelectMany(dst []int) int {
 	return i
 }
 
+// Charge bills cost extra service units to qid's policy state — the bank
+// half of Notifier.ConsumeN. Selection already charged one unit, so batch
+// consumers pass items-1. For DRR this draws the queue's deficit down by
+// the real batch size (debt-carry absorbs any overdraw); for EWMA it
+// decays the service-rate estimate once per item.
+func (b *Bank) Charge(qid, cost int) {
+	if cost <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.rs.Charge(b.local(qid), cost)
+	b.mu.Unlock()
+}
+
 // SetEnabled flips the QWAIT-ENABLE/DISABLE mask bit and reports whether
 // the queue is ready and enabled afterwards (so the caller knows to wake
 // a waiter on Enable).

@@ -1,0 +1,333 @@
+package queue
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// buffers returns one instance of each ring implementation behind the
+// shared Buffer surface, so batch-semantics tests run against both.
+func buffers(t *testing.T, capacity int) map[string]Buffer[int] {
+	t.Helper()
+	r, err := NewRing[int](capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMPSC[int](capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Buffer[int]{"spsc": r, "mpsc": m}
+}
+
+func TestPushPopBatchBasics(t *testing.T) {
+	for name, b := range buffers(t, 8) {
+		t.Run(name, func(t *testing.T) {
+			if n := b.PushBatch(nil); n != 0 {
+				t.Fatalf("PushBatch(nil) = %d", n)
+			}
+			if n := b.PushBatch([]int{1, 2, 3}); n != 3 {
+				t.Fatalf("PushBatch = %d", n)
+			}
+			if b.Len() != 3 {
+				t.Fatalf("Len = %d", b.Len())
+			}
+			// Overfill: only the free space is taken.
+			if n := b.PushBatch([]int{4, 5, 6, 7, 8, 9, 10, 11}); n != 5 {
+				t.Fatalf("PushBatch into 5 free = %d", n)
+			}
+			if n := b.PushBatch([]int{99}); n != 0 {
+				t.Fatalf("PushBatch into full = %d", n)
+			}
+			dst := make([]int, 3)
+			if n := b.PopBatch(dst); n != 3 || dst[0] != 1 || dst[2] != 3 {
+				t.Fatalf("PopBatch = %d %v", n, dst)
+			}
+			big := make([]int, 16)
+			if n := b.PopBatch(big); n != 5 || big[0] != 4 || big[4] != 8 {
+				t.Fatalf("PopBatch rest = %d %v", n, big[:n])
+			}
+			if n := b.PopBatch(big); n != 0 {
+				t.Fatalf("PopBatch from empty = %d", n)
+			}
+			if b.Len() != 0 {
+				t.Fatalf("doorbell = %d after drain", b.Len())
+			}
+		})
+	}
+}
+
+// Batch operations must handle the wraparound seam: a batch whose copy
+// splits into two contiguous segments around the end of the backing
+// array, for every possible cursor offset.
+func TestBatchWraparoundBoundaries(t *testing.T) {
+	const capacity = 8
+	for name := range buffers(t, capacity) {
+		t.Run(name, func(t *testing.T) {
+			for off := 0; off < 2*capacity; off++ {
+				b := buffers(t, capacity)[name]
+				// Advance both cursors to the offset under test.
+				for i := 0; i < off; i++ {
+					if !b.Push(-1) {
+						t.Fatal("prefill push failed")
+					}
+					if _, ok := b.Pop(); !ok {
+						t.Fatal("prefill pop failed")
+					}
+				}
+				// A batch that spans the seam for most offsets.
+				in := []int{10, 11, 12, 13, 14, 15}
+				if n := b.PushBatch(in); n != len(in) {
+					t.Fatalf("off %d: PushBatch = %d", off, n)
+				}
+				if b.Len() != len(in) {
+					t.Fatalf("off %d: Len = %d", off, b.Len())
+				}
+				dst := make([]int, len(in))
+				// Split the pop so one of the two PopBatch calls crosses
+				// the seam as well.
+				if n := b.PopBatch(dst[:4]); n != 4 {
+					t.Fatalf("off %d: PopBatch = %d", off, n)
+				}
+				if n := b.PopBatch(dst[4:]); n != 2 {
+					t.Fatalf("off %d: PopBatch tail = %d", off, n)
+				}
+				for i, v := range dst {
+					if v != 10+i {
+						t.Fatalf("off %d: dst = %v", off, dst)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The hot-path operations of both rings must not allocate: the batched
+// data path's zero-allocation claim starts here.
+func TestRingOpsZeroAllocs(t *testing.T) {
+	for name, b := range buffers(t, 64) {
+		t.Run(name, func(t *testing.T) {
+			vs := make([]int, 16)
+			dst := make([]int, 16)
+			if a := testing.AllocsPerRun(200, func() {
+				if !b.Push(1) {
+					t.Fatal("push failed")
+				}
+				if _, ok := b.Pop(); !ok {
+					t.Fatal("pop failed")
+				}
+				if b.PushBatch(vs) != len(vs) {
+					t.Fatal("push batch failed")
+				}
+				if b.PopBatch(dst) != len(dst) {
+					t.Fatal("pop batch failed")
+				}
+			}); a != 0 {
+				t.Errorf("allocs/op = %v, want 0", a)
+			}
+		})
+	}
+}
+
+func TestMPSCSizeValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 100} {
+		if _, err := NewMPSC[int](n); err == nil {
+			t.Errorf("capacity %d accepted", n)
+		}
+	}
+}
+
+// item encodes producer identity and per-producer sequence so the
+// consumer can check per-producer FIFO order.
+func mkItem(producer, seq int) uint64 { return uint64(producer)<<32 | uint64(seq) }
+
+// TestMPSCRacingProducers hammers one MPSC ring with producers mixing
+// Push and PushBatch while a single consumer drains with PopBatch; run
+// under -race this is the memory-model stress for the CAS-reserve /
+// seq-publish protocol.
+func TestMPSCRacingProducers(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 20000
+	)
+	m, err := NewMPSC[uint64](256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			batch := make([]uint64, 0, 7)
+			seq := 0
+			flush := func() {
+				for len(batch) > 0 {
+					n := m.PushBatch(batch)
+					batch = batch[:copy(batch, batch[n:])]
+					if n == 0 {
+						runtime.Gosched()
+					}
+				}
+			}
+			for seq < perProd {
+				if (seq+p)%3 == 0 {
+					for !m.Push(mkItem(p, seq)) {
+						runtime.Gosched()
+					}
+					seq++
+					continue
+				}
+				for len(batch) < cap(batch) && seq < perProd {
+					batch = append(batch, mkItem(p, seq))
+					seq++
+				}
+				flush()
+			}
+			flush()
+		}(p)
+	}
+
+	nextSeq := make([]int, producers)
+	total := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		dst := make([]uint64, 64)
+		for total < producers*perProd {
+			n := m.PopBatch(dst)
+			if n == 0 {
+				runtime.Gosched()
+				continue
+			}
+			for _, v := range dst[:n] {
+				p, seq := int(v>>32), int(v&0xffffffff)
+				if seq != nextSeq[p] {
+					t.Errorf("producer %d: got seq %d, want %d", p, seq, nextSeq[p])
+					return
+				}
+				nextSeq[p]++
+			}
+			total += n
+		}
+	}()
+	wg.Wait()
+	<-done
+	if total != producers*perProd {
+		t.Fatalf("consumed %d of %d", total, producers*perProd)
+	}
+	if m.Len() != 0 {
+		t.Errorf("doorbell = %d after drain", m.Len())
+	}
+}
+
+// FuzzMPSCAgainstOracle differences the MPSC ring against a mutex-guarded
+// oracle: whatever interleaving the schedule produces, the consumed
+// multiset must equal the multiset of accepted pushes, and each
+// producer's items must come out in its push order.
+func FuzzMPSCAgainstOracle(f *testing.F) {
+	f.Add(uint8(3), uint8(4), uint16(500), uint64(1))
+	f.Add(uint8(1), uint8(2), uint16(100), uint64(42))
+	f.Add(uint8(7), uint8(6), uint16(1000), uint64(0xdead))
+	f.Fuzz(func(t *testing.T, prodRaw, capExp uint8, opsRaw uint16, seed uint64) {
+		producers := int(prodRaw%8) + 1
+		capacity := 1 << (int(capExp%7) + 1) // 2..128
+		perProd := int(opsRaw%1000) + 1
+
+		m, err := NewMPSC[uint64](capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Oracle: mutex-guarded record of every accepted item.
+		var oracleMu sync.Mutex
+		accepted := make(map[uint64]bool)
+
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				rng := seed ^ uint64(p)*0x9e3779b97f4a7c15
+				buf := make([]uint64, 0, 16)
+				for seq := 0; seq < perProd; {
+					rng ^= rng << 13
+					rng ^= rng >> 7
+					rng ^= rng << 17
+					if rng%2 == 0 {
+						if m.Push(mkItem(p, seq)) {
+							oracleMu.Lock()
+							accepted[mkItem(p, seq)] = true
+							oracleMu.Unlock()
+							seq++
+						} else {
+							runtime.Gosched()
+						}
+						continue
+					}
+					k := int(rng/2%8) + 1
+					buf = buf[:0]
+					for j := 0; j < k && seq+j < perProd; j++ {
+						buf = append(buf, mkItem(p, seq+j))
+					}
+					n := m.PushBatch(buf)
+					oracleMu.Lock()
+					for _, v := range buf[:n] {
+						accepted[v] = true
+					}
+					oracleMu.Unlock()
+					seq += n
+					if n == 0 {
+						runtime.Gosched()
+					}
+				}
+			}(p)
+		}
+
+		prodDone := make(chan struct{})
+		go func() { wg.Wait(); close(prodDone) }()
+
+		consumed := make(map[uint64]bool)
+		nextSeq := make([]int, producers)
+		dst := make([]uint64, 32)
+		drained := false
+		for {
+			n := m.PopBatch(dst)
+			if n == 0 {
+				if drained {
+					break
+				}
+				select {
+				case <-prodDone:
+					// One more pass: items published before Wait returned
+					// may still be in the ring.
+					drained = true
+				default:
+					runtime.Gosched()
+				}
+				continue
+			}
+			drained = false
+			for _, v := range dst[:n] {
+				p, seq := int(v>>32), int(v&0xffffffff)
+				if p >= producers || seq != nextSeq[p] {
+					t.Fatalf("per-producer FIFO violated: producer %d seq %d, want %d", p, seq, nextSeq[p])
+				}
+				nextSeq[p]++
+				if consumed[v] {
+					t.Fatalf("item %x consumed twice", v)
+				}
+				consumed[v] = true
+			}
+		}
+
+		if len(consumed) != len(accepted) {
+			t.Fatalf("consumed %d items, oracle accepted %d", len(consumed), len(accepted))
+		}
+		for v := range accepted {
+			if !consumed[v] {
+				t.Fatalf("accepted item %x never consumed", v)
+			}
+		}
+	})
+}

@@ -1,0 +1,34 @@
+package queue
+
+import "sync/atomic"
+
+// Buffer is the ring surface shared by the SPSC Ring and the
+// multi-producer MPSC ring: doorbell-counted push/pop with batch
+// variants that publish cursors and ring the doorbell once per batch.
+// The runtime Queue and the dataplane accept either implementation, so a
+// queue can be flipped from per-tenant SPSC to shared MPSC without
+// touching the consumer side.
+type Buffer[T any] interface {
+	// Push enqueues one element, returning false when full.
+	Push(v T) bool
+	// PushBatch enqueues as many of vs as fit, ringing the doorbell once;
+	// it returns the number enqueued.
+	PushBatch(vs []T) int
+	// Pop dequeues the oldest element, returning false when empty.
+	Pop() (T, bool)
+	// PopBatch dequeues up to len(dst) elements into dst, ringing the
+	// doorbell once; it returns the number dequeued.
+	PopBatch(dst []T) int
+	// Len returns the doorbell counter.
+	Len() int
+	// Cap returns the ring capacity.
+	Cap() int
+	// Doorbell exposes the element counter for notifier registration.
+	Doorbell() *atomic.Int64
+}
+
+// Compile-time checks: both rings satisfy Buffer.
+var (
+	_ Buffer[int] = (*Ring[int])(nil)
+	_ Buffer[int] = (*MPSC[int])(nil)
+)

@@ -1,0 +1,168 @@
+package queue
+
+import "sync/atomic"
+
+// MPSC is a bounded lock-free multi-producer single-consumer ring — the
+// shared-queue variant of Ring for the paper's scale-up organization,
+// where many tenant (or device) producers feed one queue that a data
+// plane core drains. Producers reserve tail slots with a CAS and publish
+// each slot through its own sequence number (Vyukov's bounded-queue
+// scheme restricted to one consumer); the consumer side stays SPSC and
+// wait-free. The element counter doubles as the doorbell, exactly like
+// Ring: producers increment it after publishing, the consumer decrements
+// it when dequeuing, and batch operations ring it once per batch.
+//
+// A producer that reserves slots and is descheduled before publishing
+// them briefly hides later items from the consumer (slots publish in
+// reservation order); the consumer simply observes an empty prefix and
+// retries, which the notifier's re-arm protocol already tolerates as a
+// spurious wake-up.
+type MPSC[T any] struct {
+	buf  []mpscSlot[T]
+	mask uint64
+	// head is the consumer cursor; tail is the producers' reservation
+	// cursor. Padding keeps the hot words on distinct cache lines.
+	head atomic.Uint64
+	_    [7]uint64
+	tail atomic.Uint64
+	_    [7]uint64
+	// count is the doorbell: number of published, unconsumed elements.
+	count atomic.Int64
+}
+
+// mpscSlot pairs an element with its publication sequence: seq == pos
+// means free for the producer that reserves position pos; seq == pos+1
+// means published; seq == pos+capacity means free for the next lap.
+type mpscSlot[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// NewMPSC creates a multi-producer ring with the given power-of-two
+// capacity.
+func NewMPSC[T any](capacity int) (*MPSC[T], error) {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		return nil, ErrRingSize
+	}
+	m := &MPSC[T]{buf: make([]mpscSlot[T], capacity), mask: uint64(capacity - 1)}
+	for i := range m.buf {
+		m.buf[i].seq.Store(uint64(i))
+	}
+	return m, nil
+}
+
+// Push enqueues v, returning false if the ring is full. Safe for any
+// number of concurrent producer goroutines.
+func (m *MPSC[T]) Push(v T) bool {
+	for {
+		tail := m.tail.Load()
+		s := &m.buf[tail&m.mask]
+		switch seq := s.seq.Load(); {
+		case seq == tail: // slot free for this position
+			if m.tail.CompareAndSwap(tail, tail+1) {
+				s.val = v
+				s.seq.Store(tail + 1) // publish the slot
+				m.count.Add(1)        // ring the doorbell
+				return true
+			}
+		case seq < tail: // occupied since one lap ago: full
+			return false
+		default: // another producer took the slot; reload tail
+		}
+	}
+}
+
+// PushBatch reserves up to len(vs) contiguous slots with a single CAS,
+// fills them, publishes each slot's sequence, and rings the doorbell once
+// for the whole batch. It returns the number enqueued (0 when full).
+// Safe for any number of concurrent producer goroutines; each producer's
+// batch occupies contiguous positions, so per-producer FIFO order holds.
+func (m *MPSC[T]) PushBatch(vs []T) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	var tail uint64
+	var n int
+	for {
+		tail = m.tail.Load()
+		// The head snapshot may be stale, but head only advances, so the
+		// computed free space is an underestimate — never a reservation of
+		// slots the consumer has not recycled.
+		free := len(m.buf) - int(tail-m.head.Load())
+		n = len(vs)
+		if n > free {
+			n = free
+		}
+		if n <= 0 {
+			return 0
+		}
+		if m.tail.CompareAndSwap(tail, tail+uint64(n)) {
+			break
+		}
+	}
+	for j := 0; j < n; j++ {
+		s := &m.buf[(tail+uint64(j))&m.mask]
+		s.val = vs[j]
+		s.seq.Store(tail + uint64(j) + 1)
+	}
+	m.count.Add(int64(n)) // ring the doorbell once
+	return n
+}
+
+// Pop dequeues the oldest published element, returning false if none is
+// published. Safe for a single consumer goroutine.
+func (m *MPSC[T]) Pop() (T, bool) {
+	var zero T
+	head := m.head.Load()
+	s := &m.buf[head&m.mask]
+	if s.seq.Load() != head+1 {
+		return zero, false // empty, or the reserving producer has not published yet
+	}
+	m.count.Add(-1)
+	v := s.val
+	s.val = zero
+	s.seq.Store(head + uint64(len(m.buf))) // recycle for the next lap
+	m.head.Store(head + 1)
+	return v, true
+}
+
+// PopBatch dequeues up to len(dst) published elements into dst,
+// decrementing the doorbell and publishing the consumer cursor once per
+// batch. It stops at the first unpublished slot, so items never reorder.
+// Safe for a single consumer goroutine.
+func (m *MPSC[T]) PopBatch(dst []T) int {
+	var zero T
+	head := m.head.Load()
+	n := 0
+	for n < len(dst) {
+		s := &m.buf[(head+uint64(n))&m.mask]
+		if s.seq.Load() != head+uint64(n)+1 {
+			break
+		}
+		dst[n] = s.val
+		s.val = zero
+		s.seq.Store(head + uint64(n) + uint64(len(m.buf)))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	m.count.Add(-int64(n))
+	m.head.Store(head + uint64(n))
+	return n
+}
+
+// Len returns the doorbell counter.
+func (m *MPSC[T]) Len() int {
+	n := m.count.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Cap returns the ring capacity.
+func (m *MPSC[T]) Cap() int { return len(m.buf) }
+
+// Doorbell exposes the counter for notification integration.
+func (m *MPSC[T]) Doorbell() *atomic.Int64 { return &m.count }

@@ -54,6 +54,21 @@ func (q *Queue) Enqueue(it Item) bool {
 	return true
 }
 
+// EnqueueBatch appends items, returning the number accepted before
+// MaxDepth overflow. The data plane code that calls it models a single
+// coalesced doorbell write for the whole batch — the simulated analogue
+// of the runtime rings' PushBatch.
+func (q *Queue) EnqueueBatch(items []Item) int {
+	for i, it := range items {
+		if !q.Enqueue(it) {
+			// Count the rest of the batch as dropped too.
+			q.drops += int64(len(items) - i - 1)
+			return i
+		}
+	}
+	return len(items)
+}
+
 // Dequeue removes and returns the item at the head.
 func (q *Queue) Dequeue() (Item, bool) {
 	if q.Empty() {

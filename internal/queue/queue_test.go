@@ -50,6 +50,28 @@ func TestQueueMaxDepth(t *testing.T) {
 	}
 }
 
+func TestEnqueueBatch(t *testing.T) {
+	q := &Queue{MaxDepth: 5}
+	items := make([]Item, 4)
+	for i := range items {
+		items[i] = Item{Seq: uint64(i)}
+	}
+	if got := q.EnqueueBatch(items); got != 4 {
+		t.Fatalf("EnqueueBatch = %d, want 4", got)
+	}
+	// Only one slot left: the batch is cut short and the remainder counts
+	// as dropped, like a device overflowing its queue mid-burst.
+	if got := q.EnqueueBatch(items); got != 1 {
+		t.Fatalf("EnqueueBatch into nearly-full = %d, want 1", got)
+	}
+	if q.Drops() != 3 || q.Enqueued() != 5 {
+		t.Errorf("drops=%d enqueued=%d", q.Drops(), q.Enqueued())
+	}
+	if it, ok := q.Dequeue(); !ok || it.Seq != 0 {
+		t.Errorf("head after batches = %+v, %v", it, ok)
+	}
+}
+
 func TestDequeueBatch(t *testing.T) {
 	q := &Queue{}
 	for i := 0; i < 10; i++ {

@@ -64,6 +64,53 @@ func (r *Ring[T]) Pop() (T, bool) {
 	return v, true
 }
 
+// PushBatch enqueues as many of vs as fit, copying them in at most two
+// contiguous segments, publishing the producer cursor once, and ringing
+// the doorbell once for the whole batch — the producer pays two
+// sequentially-consistent atomics per *batch* instead of per element. It
+// returns the number enqueued. Safe for a single producer goroutine.
+func (r *Ring[T]) PushBatch(vs []T) int {
+	tail := r.tail.Load()
+	free := len(r.buf) - int(tail-r.head.Load())
+	n := len(vs)
+	if n > free {
+		n = free
+	}
+	if n == 0 {
+		return 0
+	}
+	i := int(tail & r.mask)
+	c := copy(r.buf[i:], vs[:n])
+	copy(r.buf, vs[c:n])
+	r.tail.Store(tail + uint64(n)) // publish the whole segment
+	r.count.Add(int64(n))          // ring the doorbell once
+	return n
+}
+
+// PopBatch dequeues up to len(dst) elements into dst, copying out in at
+// most two contiguous segments, decrementing the doorbell once and
+// publishing the consumer cursor once per batch. It returns the number
+// dequeued. Safe for a single consumer goroutine.
+func (r *Ring[T]) PopBatch(dst []T) int {
+	head := r.head.Load()
+	avail := int(r.tail.Load() - head)
+	n := len(dst)
+	if n > avail {
+		n = avail
+	}
+	if n == 0 {
+		return 0
+	}
+	r.count.Add(-int64(n)) // doorbell first (paper §III-A semantics)
+	i := int(head & r.mask)
+	c := copy(dst[:n], r.buf[i:])
+	copy(dst[c:n], r.buf)
+	clear(r.buf[i : i+c]) // release references
+	clear(r.buf[:n-c])
+	r.head.Store(head + uint64(n))
+	return n
+}
+
 // Len returns the doorbell counter.
 func (r *Ring[T]) Len() int {
 	n := r.count.Load()

@@ -379,3 +379,71 @@ func TestConstructorValidation(t *testing.T) {
 		NewBitVec(0)
 	}()
 }
+
+// TestChargeBatchDRRWorkShares checks that post-selection Charge keeps
+// deficit round-robin work-aware when one queue drains batches: with
+// equal weights, a queue consuming 4 items per selection should receive
+// one quarter of the selections, so *items* stay balanced.
+func TestChargeBatchDRRWorkShares(t *testing.T) {
+	for name, rs := range map[string]Set{
+		"hardware": hw(2, policy.DeficitRoundRobin, []int{8, 8}),
+		"software": sw(2, policy.DeficitRoundRobin, []int{8, 8}),
+	} {
+		t.Run(name, func(t *testing.T) {
+			rs.Activate(0)
+			rs.Activate(1)
+			items := [2]int{}
+			for i := 0; i < 4000; i++ {
+				qid, ok, _ := rs.Select()
+				if !ok {
+					t.Fatal("nothing ready")
+				}
+				if qid == 0 {
+					// Batch consumer: 4 items per selection; Select charged
+					// 1, bill the other 3.
+					rs.Charge(0, 3)
+					items[0] += 4
+				} else {
+					items[1]++
+				}
+				rs.Activate(qid)
+			}
+			total := items[0] + items[1]
+			share := float64(items[0]) / float64(total)
+			if share < 0.45 || share > 0.55 {
+				t.Errorf("batched queue got %.0f%% of items (%v), want ~50%%", share*100, items)
+			}
+		})
+	}
+}
+
+// TestChargeNonPositiveIgnored: Charge with cost <= 0 must be a no-op so
+// ConsumeN(qid, 1) matches Consume(qid) exactly.
+func TestChargeNonPositiveIgnored(t *testing.T) {
+	a := hw(2, policy.DeficitRoundRobin, []int{4, 4})
+	b := hw(2, policy.DeficitRoundRobin, []int{4, 4})
+	order := func(rs *Hardware, chargeZero bool) []int {
+		rs.Activate(0)
+		rs.Activate(1)
+		var got []int
+		for i := 0; i < 16; i++ {
+			qid, ok, _ := rs.Select()
+			if !ok {
+				break
+			}
+			if chargeZero {
+				rs.Charge(qid, 0)
+				rs.Charge(qid, -3)
+			}
+			got = append(got, qid)
+			rs.Activate(qid)
+		}
+		return got
+	}
+	oa, ob := order(a, false), order(b, true)
+	for i := range oa {
+		if oa[i] != ob[i] {
+			t.Fatalf("zero-cost Charge changed order: %v vs %v", oa, ob)
+		}
+	}
+}

@@ -16,6 +16,11 @@ type Set interface {
 	Deactivate(qid int)
 	// Select returns the next QID per the policy, clearing its ready state.
 	Select() (qid int, ok bool, lat sim.Time)
+	// Charge bills extra service cost to a previously selected queue.
+	// Select already charges one unit at selection time; batch consumers
+	// that then drain k items call Charge(qid, k-1) so work-aware policies
+	// (DRR deficits, EWMA service rates) account the whole batch.
+	Charge(qid, cost int)
 	// Peek reports whether any (unmasked) queue is ready without selecting.
 	Peek() bool
 	// SetEnabled implements QWAIT-ENABLE/QWAIT-DISABLE mask bits.
@@ -72,6 +77,12 @@ func (c *core) selectOne() (int, bool) {
 	c.ready.Clear(qid)
 	c.pol.Charge(qid, 1)
 	return qid, true
+}
+
+func (c *core) charge(qid, cost int) {
+	if cost > 0 {
+		c.pol.Charge(qid, cost)
+	}
 }
 
 func (c *core) setEnabled(qid int, enabled bool) {
@@ -141,6 +152,9 @@ func (h *Hardware) Select() (int, bool, sim.Time) {
 	return qid, ok, h.latency
 }
 
+// Charge implements Set: bills cost extra service units to qid.
+func (h *Hardware) Charge(qid, cost int) { h.c.charge(qid, cost) }
+
 // Software models the paper's software ready-set alternative (§III-B,
 // §V-E): QWAIT's selection runs as code that scans the ready queues to
 // find the next one per the policy, so its cost grows with the number of
@@ -201,3 +215,6 @@ func (s *Software) Select() (int, bool, sim.Time) {
 	qid, ok := s.c.selectOne()
 	return qid, ok, lat
 }
+
+// Charge implements Set: bills cost extra service units to qid.
+func (s *Software) Charge(qid, cost int) { s.c.charge(qid, cost) }

@@ -130,6 +130,16 @@ type Config struct {
 	// BatchSize bounds items dequeued per notification (default 1).
 	BatchSize int
 
+	// ProducerBatch models device-side doorbell coalescing (default 1 =
+	// one doorbell write per item, the classic model): the emulated device
+	// rings a queue's doorbell once per up-to-ProducerBatch back-to-back
+	// items for that queue, cutting doorbell-line write traffic — and
+	// monitoring-set snoop work — by the batch factor. Applies to the
+	// OpenLoop arrival process (a run flushes early when arrivals switch
+	// queues, bounding added notification delay to one inter-arrival) and
+	// to the HyperPlane plane's Saturate refill path.
+	ProducerBatch int
+
 	// Trace, when non-nil, receives every notification-protocol event
 	// (arrivals, activations, QWAIT returns, completions, halts/wakes).
 	Trace func(TraceEvent)
@@ -181,6 +191,12 @@ func (c *Config) Validate() error {
 	}
 	if c.BatchSize < 0 {
 		return fmt.Errorf("sdp: BatchSize must be positive")
+	}
+	if c.ProducerBatch == 0 {
+		c.ProducerBatch = 1
+	}
+	if c.ProducerBatch < 0 {
+		return fmt.Errorf("sdp: ProducerBatch must be positive")
 	}
 	if err := c.PolicySpec().Validate(c.Queues); err != nil {
 		return fmt.Errorf("sdp: %w", err)

@@ -72,9 +72,13 @@ func (s *Sim) hpCore(p *sim.Proc, cs *coreState) {
 		s.trace(TraceDequeue, cs.id, qid)
 		batch := q.DequeueBatch(s.cfg.BatchSize)
 		dlat, _ := s.sys.Write(cs.id, q.Doorbell) // decrement counter
-		for range batch {
-			s.refill(qid)
+		if len(batch) > 1 {
+			// Select charged one service unit; bill the rest of the batch
+			// to the queue's home ready set so work-aware policies (DRR
+			// deficits, EWMA rates) account what was actually dequeued.
+			s.rsets[s.clusterOfQueue[qid]].Charge(qid, len(batch)-1)
 		}
+		s.refillN(qid, len(batch))
 
 		head := vlat + dlat + dequeueOverhead
 		if s.cfg.InOrder {

@@ -46,6 +46,7 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.Duration = 0 },
 		func(c *Config) { c.Warmup = -1 },
 		func(c *Config) { c.BatchSize = -1 },
+		func(c *Config) { c.ProducerBatch = -1 },
 		func(c *Config) { c.Policy = policy.Spec{Kind: policy.WeightedRoundRobin, Weights: []int{1}} }, // short weights
 	}
 	for i, mutate := range bad {
@@ -59,8 +60,57 @@ func TestConfigValidation(t *testing.T) {
 	if err := good.Validate(); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
 	}
-	if good.BatchSize != 1 || good.ClusterSize != 1 {
+	if good.BatchSize != 1 || good.ClusterSize != 1 || good.ProducerBatch != 1 {
 		t.Error("defaults not applied")
+	}
+}
+
+func TestProducerBatchCoalescesDoorbells(t *testing.T) {
+	// Device-side doorbell coalescing: with ProducerBatch=8 the refill path
+	// rings one doorbell per 8 items, so the monitoring set sees far fewer
+	// snoops for the same completed work — and the run still makes
+	// comparable progress.
+	through := func(pb int) (Result, float64) {
+		cfg := base()
+		cfg.Plane = HyperPlane
+		cfg.BatchSize = 8 // refill happens in dequeue-batch-sized chunks
+		cfg.ProducerBatch = pb
+		r := run(t, cfg)
+		return r, float64(r.Monitor.Snoops) / float64(r.Completed)
+	}
+	r1, snoops1 := through(1)
+	r8, snoops8 := through(8)
+	if r8.Completed == 0 {
+		t.Fatal("no completions with ProducerBatch=8")
+	}
+	// Consumer-side doorbell decrements snoop too, and dequeue batches can
+	// run short of BatchSize, so expect a solid cut rather than a full 8x.
+	if snoops8 > snoops1*0.67 {
+		t.Errorf("snoops/completion %0.3f -> %0.3f: coalescing did not cut doorbell traffic",
+			snoops1, snoops8)
+	}
+	if r8.ThroughputMTasks < r1.ThroughputMTasks*0.8 {
+		t.Errorf("throughput regressed under coalescing: %0.3f -> %0.3f",
+			r1.ThroughputMTasks, r8.ThroughputMTasks)
+	}
+}
+
+func TestProducerBatchOpenLoop(t *testing.T) {
+	// OpenLoop arrivals flush a pending run as soon as the next arrival
+	// targets a different queue, so coalescing must not strand items: the
+	// run completes with healthy sample counts on every plane.
+	for _, plane := range []PlaneKind{Spinning, HyperPlane} {
+		cfg := base()
+		cfg.Plane = plane
+		cfg.Mode = OpenLoop
+		cfg.Load = 0.3
+		cfg.ProducerBatch = 4
+		cfg.Duration = 10 * sim.Millisecond
+		cfg.Warmup = sim.Millisecond
+		r := run(t, cfg)
+		if r.Completed < 100 {
+			t.Errorf("%v: only %d completions under coalesced arrivals", plane, r.Completed)
+		}
 	}
 }
 

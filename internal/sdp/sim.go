@@ -334,9 +334,22 @@ func (s *Sim) prime() {
 // enqueue adds one item to queue q and rings its doorbell from the device
 // side (DMA write), which the monitoring set snoops.
 func (s *Sim) enqueue(q int) {
+	s.enqueueQuiet(q)
+	s.ringDoorbell(q)
+}
+
+// enqueueQuiet stamps and enqueues one item without ringing the doorbell —
+// the DMA half of an arrival whose doorbell write the device is coalescing
+// (ProducerBatch > 1).
+func (s *Sim) enqueueQuiet(q int) {
 	s.seq++
 	s.queues[q].Enqueue(queue.Item{Enqueued: s.eng.Now(), Seq: s.seq})
 	s.trace(TraceArrival, -1, q)
+}
+
+// ringDoorbell issues the device-side doorbell write the monitoring set
+// snoops, covering every item enqueued for q since the last ring.
+func (s *Sim) ringDoorbell(q int) {
 	s.sys.DeviceWrite(s.queues[q].Doorbell)
 	if s.cfg.Plane == MWait {
 		// The doorbell write hits the MWAIT range monitor of the cluster
@@ -350,6 +363,30 @@ func (s *Sim) enqueue(q int) {
 func (s *Sim) refill(q int) {
 	if s.cfg.Mode == Saturate && s.hot[q] {
 		s.enqueue(q)
+	}
+}
+
+// refillN refills n items after a batch dequeue in Saturate mode, ringing
+// the doorbell once per ProducerBatch chunk (one coalesced device write
+// per chunk). With ProducerBatch 1 it degenerates to n refill calls.
+func (s *Sim) refillN(q, n int) {
+	if s.cfg.Mode != Saturate || !s.hot[q] {
+		return
+	}
+	pb := s.cfg.ProducerBatch
+	if pb < 1 {
+		pb = 1
+	}
+	for n > 0 {
+		c := pb
+		if c > n {
+			c = n
+		}
+		for i := 0; i < c; i++ {
+			s.enqueueQuiet(q)
+		}
+		s.ringDoorbell(q)
+		n -= c
 	}
 }
 
@@ -368,10 +405,32 @@ func (s *Sim) producer(p *sim.Proc) {
 		pois := traffic.NewPoisson(s.cfg.Shape, s.cfg.Queues, rate, s.arrRNG)
 		next = pois.Next
 	}
+	if s.cfg.ProducerBatch <= 1 {
+		for {
+			d, q := next()
+			p.Sleep(d)
+			s.enqueue(q)
+		}
+	}
+	// Device-side doorbell coalescing: back-to-back arrivals to the same
+	// queue share one doorbell write. A run flushes when it reaches
+	// ProducerBatch or when the next arrival targets a different queue, so
+	// a pending item waits at most one inter-arrival for its notification.
+	pendingQ, pendingN := -1, 0
 	for {
 		d, q := next()
 		p.Sleep(d)
-		s.enqueue(q)
+		if pendingQ >= 0 && q != pendingQ {
+			s.ringDoorbell(pendingQ)
+			pendingN = 0
+		}
+		pendingQ = q
+		s.enqueueQuiet(q)
+		pendingN++
+		if pendingN >= s.cfg.ProducerBatch {
+			s.ringDoorbell(q)
+			pendingQ, pendingN = -1, 0
+		}
 	}
 }
 

@@ -580,6 +580,21 @@ func (n *Notifier) Consume(qid QID) bool {
 	return n.consume(qid)
 }
 
+// ConsumeN is Consume for batch consumers: call it after draining items
+// elements from the queue in one PopBatch. Selection charged the queue one
+// service unit when Wait returned it, so ConsumeN bills the remaining
+// items-1 to the queue's bank policy before re-arming or re-activating —
+// keeping work-aware disciplines (DRR deficits, EWMA rates) accurate when
+// each selection services a whole batch. When the queue's service turn has
+// already ended, DRR carries the overdraw as debt into its next quantum
+// grant, so long-run shares stay proportional to weights.
+func (n *Notifier) ConsumeN(qid QID, items int) bool {
+	if qid >= 0 && int(qid) < len(n.states) && items > 1 {
+		n.bankOf(qid).Charge(int(qid), items-1)
+	}
+	return n.consume(qid)
+}
+
 func (n *Notifier) consume(qid QID) bool {
 	if qid < 0 || int(qid) >= len(n.states) {
 		return false

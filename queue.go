@@ -4,31 +4,51 @@ import (
 	"hyperplane/internal/queue"
 )
 
-// Queue pairs a lock-free single-producer/single-consumer ring buffer with
-// a Notifier registration: Push rings the doorbell and notifies, Pop
-// decrements it — the tenant-side shared-memory queue of the paper's SDP
-// architecture, ready to use.
+// Queue pairs a lock-free ring buffer with a Notifier registration: Push
+// rings the doorbell and notifies, Pop decrements it — the tenant-side
+// shared-memory queue of the paper's SDP architecture, ready to use.
 //
-// One goroutine may Push concurrently with one goroutine Popping; the
-// notification side is fully concurrent.
+// NewQueue builds a single-producer queue (one goroutine may Push
+// concurrently with one goroutine Popping); NewSharedQueue builds a
+// multi-producer queue any number of goroutines may Push into (the paper's
+// shared-queue scale-up organization). The notification side is fully
+// concurrent either way.
 type Queue[T any] struct {
-	ring *queue.Ring[T]
+	ring queue.Buffer[T]
 	n    *Notifier
 	qid  QID
 }
 
-// NewQueue creates a ring of the given power-of-two capacity and registers
-// it with the notifier.
+// NewQueue creates an SPSC ring of the given power-of-two capacity and
+// registers it with the notifier.
 func NewQueue[T any](n *Notifier, capacity int) (*Queue[T], error) {
 	r, err := queue.NewRing[T](capacity)
 	if err != nil {
 		return nil, err
 	}
-	qid, err := n.Register(r.Doorbell())
+	return wrapQueue[T](n, r)
+}
+
+// NewSharedQueue creates a multi-producer (MPSC) ring of the given
+// power-of-two capacity and registers it with the notifier: any number of
+// goroutines may Push or PushBatch concurrently, while one consumer Pops.
+// This is the shared-queue organization the paper scales up with — many
+// tenants feeding one queue serviced under a single policy arbitration
+// slot — at the cost of one CAS per producer push (or per producer batch).
+func NewSharedQueue[T any](n *Notifier, capacity int) (*Queue[T], error) {
+	m, err := queue.NewMPSC[T](capacity)
 	if err != nil {
 		return nil, err
 	}
-	return &Queue[T]{ring: r, n: n, qid: qid}, nil
+	return wrapQueue[T](n, m)
+}
+
+func wrapQueue[T any](n *Notifier, b queue.Buffer[T]) (*Queue[T], error) {
+	qid, err := n.Register(b.Doorbell())
+	if err != nil {
+		return nil, err
+	}
+	return &Queue[T]{ring: b, n: n, qid: qid}, nil
 }
 
 // QID returns the queue's notifier ID.
@@ -44,18 +64,12 @@ func (q *Queue[T]) Push(v T) bool {
 	return true
 }
 
-// PushBatch enqueues as many of vs as fit and rings the doorbell once at
-// the end — the batched producer fast path (notifies on a queue that is
-// already activated coalesce anyway; this skips even the per-item atomic
-// load). It returns the number enqueued.
+// PushBatch enqueues as many of vs as fit using the ring's bulk copy —
+// the elements land in at most two contiguous segment copies, the cursor
+// publishes once, the doorbell rings once, and one Notify covers the whole
+// batch. It returns the number enqueued.
 func (q *Queue[T]) PushBatch(vs []T) int {
-	pushed := 0
-	for _, v := range vs {
-		if !q.ring.Push(v) {
-			break
-		}
-		pushed++
-	}
+	pushed := q.ring.PushBatch(vs)
 	if pushed > 0 {
 		q.n.Notify(q.qid)
 	}
@@ -67,6 +81,14 @@ func (q *Queue[T]) PushBatch(vs []T) int {
 // this for you.
 func (q *Queue[T]) Pop() (T, bool) {
 	return q.ring.Pop()
+}
+
+// PopBatch dequeues up to len(dst) elements into dst with one doorbell
+// decrement and one cursor publish. Callers following the QWAIT protocol
+// invoke ConsumeN(qid, n) afterwards so work-aware policies see the true
+// batch cost.
+func (q *Queue[T]) PopBatch(dst []T) int {
+	return q.ring.PopBatch(dst)
 }
 
 // Len returns the doorbell counter.

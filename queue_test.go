@@ -141,3 +141,105 @@ func TestMuxServeStopsOnClose(t *testing.T) {
 		t.Fatal("Serve did not stop on close")
 	}
 }
+
+func TestQueuePushBatchPopBatch(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 4})
+	defer n.Close()
+	q, err := NewQueue[int](n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.PushBatch([]int{1, 2, 3, 4, 5}); got != 5 {
+		t.Fatalf("PushBatch = %d", got)
+	}
+	// One batch, one activation.
+	qid, ok := n.TryWait()
+	if !ok || qid != q.QID() {
+		t.Fatalf("TryWait = %v, %v", qid, ok)
+	}
+	dst := make([]int, 8)
+	got := q.PopBatch(dst)
+	if got != 5 {
+		t.Fatalf("PopBatch = %d", got)
+	}
+	for i := 0; i < got; i++ {
+		if dst[i] != i+1 {
+			t.Fatalf("dst = %v", dst[:got])
+		}
+	}
+	// ConsumeN re-arms the drained queue; nothing should be ready.
+	if n.ConsumeN(qid, got) {
+		t.Fatal("ConsumeN reported backlog on a drained queue")
+	}
+	if _, ok := n.TryWait(); ok {
+		t.Fatal("drained queue still ready")
+	}
+	// A fresh push must reactivate it (the re-arm worked).
+	if !q.Push(9) {
+		t.Fatal("push failed")
+	}
+	if qid, ok := n.TryWait(); !ok || qid != q.QID() {
+		t.Fatal("queue did not reactivate after re-arm")
+	}
+	// Overfill: only the free space is accepted.
+	q2, _ := NewQueue[int](n, 4)
+	if got := q2.PushBatch([]int{1, 2, 3, 4, 5, 6}); got != 4 {
+		t.Fatalf("overfill PushBatch = %d", got)
+	}
+}
+
+func TestSharedQueueManyProducers(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 2})
+	defer n.Close()
+	q, err := NewSharedQueue[[2]int](n, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		producers = 6
+		perProd   = 5000
+	)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			batch := make([][2]int, 0, 8)
+			for seq := 0; seq < perProd; {
+				batch = batch[:0]
+				for len(batch) < cap(batch) && seq+len(batch) < perProd {
+					batch = append(batch, [2]int{p, seq + len(batch)})
+				}
+				pushed := q.PushBatch(batch)
+				seq += pushed
+				if pushed == 0 {
+					time.Sleep(time.Microsecond)
+				}
+			}
+		}(p)
+	}
+
+	nextSeq := make([]int, producers)
+	total := 0
+	dst := make([][2]int, 32)
+	for total < producers*perProd {
+		qid, ok := n.WaitTimeout(5 * time.Second)
+		if !ok {
+			t.Fatalf("timed out with %d/%d consumed", total, producers*perProd)
+		}
+		got := q.PopBatch(dst)
+		n.ConsumeN(qid, got)
+		for _, v := range dst[:got] {
+			p, seq := v[0], v[1]
+			if seq != nextSeq[p] {
+				t.Fatalf("producer %d: got seq %d, want %d", p, seq, nextSeq[p])
+			}
+			nextSeq[p]++
+		}
+		total += got
+	}
+	wg.Wait()
+	if q.Len() != 0 {
+		t.Errorf("Len = %d after drain", q.Len())
+	}
+}
