@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-guard chaos clean
+.PHONY: all build test race vet lint bench bench-guard chaos telemetry-smoke clean
 
 all: build vet test
 
@@ -42,10 +42,20 @@ bench-ring:
 
 # Regression guards: re-measure each recorded grid and fail if any cell's
 # speedup ratio drops more than 10% below the stored numbers (ratios of
-# two fresh measurements, so machine speed cancels out).
+# two fresh measurements, so machine speed cancels out). The telemetry
+# guard compares the banked notifier with and without a telemetry plane
+# (default 1/64 sampling) and fails if enabling it costs more than 5% on
+# the Notify path — observability must stay a branch, not a lock.
 bench-guard:
 	$(GO) run ./cmd/notifierbench -check BENCH_notifier.json -tolerance 0.10 -ops 300000 -trials 3
 	$(GO) run ./cmd/ringbench -check BENCH_ring.json -tolerance 0.15 -ops 400000 -trials 5
+	$(GO) run ./cmd/notifierbench -telemetry-check -telemetry-tolerance 0.05
+
+# Telemetry smoke: run the observed-plane example briefly, self-scrape
+# /metrics, /debug/tenants and /debug/trace, and fail if any expected
+# series or span is missing.
+telemetry-smoke:
+	$(GO) run ./examples/observed-plane -smoke
 
 clean:
 	$(GO) clean ./...

@@ -20,6 +20,12 @@
 // hosts, unlike absolute ns/op:
 //
 //	go run ./cmd/notifierbench -check BENCH_notifier.json -tolerance 0.10
+//
+// A second guard compares the banked engine with and without a telemetry
+// plane attached (default 1/64 sampling) and fails if enabling telemetry
+// costs more than -telemetry-tolerance on the Notify path:
+//
+//	go run ./cmd/notifierbench -telemetry-check -telemetry-tolerance 0.05
 package main
 
 import (
@@ -38,8 +44,10 @@ import (
 	"time"
 
 	"hyperplane"
+	"hyperplane/internal/benchmeta"
 	"hyperplane/internal/policy"
 	"hyperplane/internal/ready"
+	"hyperplane/internal/telemetry"
 )
 
 // engine is the slice of the Notifier surface the harness exercises.
@@ -210,6 +218,60 @@ func (e *bankedEngine) Wait() (int, bool) {
 func (e *bankedEngine) Consume(qid int) bool { return e.n.Consume(hyperplane.QID(qid)) }
 func (e *bankedEngine) Close()               { e.n.Close() }
 
+// --- telemetry-enabled banked engine ------------------------------------
+//
+// The same Notifier with a telemetry plane attached at the default 1/64
+// sampling: producers pay the sampling branch in Notify, the consumer
+// closes sampled spans at dispatch (TakeStamp + RecordNotify) exactly
+// like a dataplane worker does. The -telemetry-check guard compares this
+// engine against the plain banked one.
+
+type telemetryEngine struct {
+	n   *hyperplane.Notifier
+	tel *telemetry.T
+}
+
+func newTelemetryEngine(maxQueues int) *telemetryEngine {
+	tel, err := telemetry.New(telemetry.Config{Tenants: maxQueues, Workers: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := hyperplane.NewNotifier(hyperplane.NotifierConfig{
+		MaxQueues: maxQueues,
+		Telemetry: tel,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &telemetryEngine{n: n, tel: tel}
+}
+
+func (e *telemetryEngine) Register(db *atomic.Int64) int {
+	qid, err := e.n.Register(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return int(qid)
+}
+
+func (e *telemetryEngine) Notify(qid int) { e.n.Notify(hyperplane.QID(qid)) }
+
+func (e *telemetryEngine) NotifyBatch(qids []hyperplane.QID) { e.n.NotifyBatch(qids) }
+
+func (e *telemetryEngine) Wait() (int, bool) {
+	qid, ok := e.n.Wait()
+	return int(qid), ok
+}
+
+func (e *telemetryEngine) Consume(qid int) bool {
+	if ts := e.n.TakeStamp(hyperplane.QID(qid)); ts != 0 {
+		e.tel.RecordNotify(0, qid, qid, ts, time.Now().UnixNano())
+	}
+	return e.n.Consume(hyperplane.QID(qid))
+}
+
+func (e *telemetryEngine) Close() { e.n.Close() }
+
 // --- harness -------------------------------------------------------------
 
 // runCell repeats runTrial and reports the median trial. The median (not
@@ -320,9 +382,7 @@ type cellResult struct {
 }
 
 type report struct {
-	Generated  string       `json:"generated"`
-	GoVersion  string       `json:"go_version"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
+	benchmeta.Host
 	OpsPerCell int          `json:"ops_per_cell"`
 	Trials     int          `json:"trials_per_cell"`
 	Cells      []cellResult `json:"cells"`
@@ -340,8 +400,9 @@ func parseList(s string) []int {
 	return out
 }
 
-func mutexMk(q int) engine  { return newMutexEngine(q) }
-func bankedMk(q int) engine { return newBankedEngine(q) }
+func mutexMk(q int) engine     { return newMutexEngine(q) }
+func bankedMk(q int) engine    { return newBankedEngine(q) }
+func telemetryMk(q int) engine { return newTelemetryEngine(q) }
 
 // measureCell runs both engines' per-item and batched paths for one grid
 // cell and fills in the derived speedups.
@@ -401,6 +462,37 @@ func checkAgainst(path string, tolerance float64, ops, trials, batch int) {
 	fmt.Printf("all %d cells within %.0f%% of %s\n", len(base.Cells), tolerance*100, path)
 }
 
+// telemetryCheck measures the banked engine with and without a telemetry
+// plane attached on the same grid, both freshly measured on this machine,
+// and fails (exit 1) if the enabled engine's per-item Notify path is more
+// than tolerance slower in any cell. This pins the acceptance criterion
+// that sampling at the default 1/64 rate costs a branch, not a lock.
+func telemetryCheck(producerList, queueList []int, tolerance float64, ops, trials int) {
+	warmup(ops)
+	runTrial(telemetryMk, 4, 16, ops/10+1, 1)
+	failed := 0
+	cells := 0
+	for _, p := range producerList {
+		for _, q := range queueList {
+			cells++
+			disabled, _ := runCell(bankedMk, p, q, ops, trials, 1)
+			enabled, _ := runCell(telemetryMk, p, q, ops, trials, 1)
+			overhead := enabled/disabled - 1
+			status := "ok"
+			if overhead > tolerance {
+				status = "OVERHEAD"
+				failed++
+			}
+			fmt.Printf("p%d_q%d: disabled %.1f ns/op, telemetry %.1f ns/op (%+.1f%%) — %s\n",
+				p, q, disabled, enabled, overhead*100, status)
+		}
+	}
+	if failed > 0 {
+		log.Fatalf("%d of %d cells exceed %.0f%% telemetry overhead", failed, cells, tolerance*100)
+	}
+	fmt.Printf("all %d cells within %.0f%% telemetry overhead\n", cells, tolerance*100)
+}
+
 func main() {
 	producers := flag.String("producers", "1,8,64", "comma-separated producer counts")
 	queues := flag.String("queues", "16,256,1024", "comma-separated queue counts")
@@ -410,17 +502,23 @@ func main() {
 	out := flag.String("out", "", "output JSON path (default stdout)")
 	check := flag.String("check", "", "guard mode: baseline report to re-measure and compare against")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional speedup regression in -check mode")
+	telCheck := flag.Bool("telemetry-check", false,
+		"guard mode: fail if telemetry-enabled Notify exceeds disabled by -telemetry-tolerance")
+	telTolerance := flag.Float64("telemetry-tolerance", 0.05,
+		"allowed fractional overhead of the telemetry-enabled engine in -telemetry-check mode")
 	flag.Parse()
 
+	if *telCheck {
+		telemetryCheck(parseList(*producers), parseList(*queues), *telTolerance, *ops, *trials)
+		return
+	}
 	if *check != "" {
 		checkAgainst(*check, *tolerance, *ops, *trials, *batch)
 		return
 	}
 
 	rep := report{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Host:       benchmeta.Collect(),
 		OpsPerCell: *ops,
 		Trials:     *trials,
 	}

@@ -22,14 +22,22 @@
 // the batched-over-per-item speedup per tenants x mode point:
 //
 //	planebench -tenants 8,64 -batch 1,16 -producers 4 -out BENCH_dataplane.json
+//
+// -metrics-addr attaches a telemetry plane to every measured cell and
+// serves the live cell's export endpoint (/metrics, /debug/tenants,
+// /debug/pprof) for the duration of the sweep, so a long run can be
+// watched from a browser or scraped by Prometheus:
+//
+//	planebench -tenants 256 -duration 60s -metrics-addr :9090
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
-	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -39,7 +47,9 @@ import (
 
 	"hyperplane"
 	"hyperplane/dataplane"
+	"hyperplane/internal/benchmeta"
 	"hyperplane/internal/fault"
+	"hyperplane/internal/telemetry"
 )
 
 type benchConfig struct {
@@ -63,6 +73,27 @@ type benchConfig struct {
 	spikeEvery int
 	spike      time.Duration
 	stall      bool
+
+	// non-nil when -metrics-addr is set: each cell attaches a telemetry
+	// plane and publishes it here while it measures
+	metrics *metricsProxy
+}
+
+// metricsProxy serves the telemetry plane of whichever grid cell is
+// currently measuring. Each measure() call builds a fresh dataplane (and
+// with it a fresh telemetry plane), so a fixed -metrics-addr endpoint
+// forwards to the live one and answers 503 between cells.
+type metricsProxy struct {
+	cur atomic.Pointer[telemetry.T]
+}
+
+func (mp *metricsProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	t := mp.cur.Load()
+	if t == nil {
+		http.Error(w, "no cell measuring", http.StatusServiceUnavailable)
+		return
+	}
+	t.Handler().ServeHTTP(w, r)
 }
 
 func main() {
@@ -90,6 +121,9 @@ func main() {
 		producers = flag.Int("producers", 1, "ingress goroutines per tenant (>1 switches to shared MPSC ingress rings)")
 		trials    = flag.Int("trials", 1, "runs per cell; the median by items/s is reported")
 		outFlag   = flag.String("out", "", "write the measured grid as JSON (BENCH_dataplane.json) to this path")
+
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve the measuring cell's telemetry plane (/metrics, /debug/tenants, pprof) on this address")
 	)
 	flag.Parse()
 
@@ -147,6 +181,17 @@ func main() {
 
 	cfg.producers = *producers
 
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "planebench: -metrics-addr: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.metrics = &metricsProxy{}
+		go func() { _ = http.Serve(ln, cfg.metrics) }()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics\n", ln.Addr())
+	}
+
 	injecting := cfg.faultFrac > 0
 	if injecting {
 		fmt.Printf("%8s %10s %6s %14s %14s %12s %12s  %s\n",
@@ -155,9 +200,7 @@ func main() {
 		fmt.Printf("%8s %10s %6s %14s %12s %12s\n", "tenants", "mode", "batch", "items/s", "p50", "p99")
 	}
 	rep := benchReport{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Host:       benchmeta.Collect(),
 		DurationMS: cfg.duration.Milliseconds(),
 		Workers:    cfg.workers,
 		Producers:  cfg.producers,
@@ -228,9 +271,7 @@ type benchCell struct {
 }
 
 type benchReport struct {
-	Generated  string      `json:"generated"`
-	GoVersion  string      `json:"go_version"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
+	benchmeta.Host
 	DurationMS int64       `json:"duration_ms_per_cell"`
 	Workers    int         `json:"workers"`
 	Producers  int         `json:"producers_per_tenant"`
@@ -308,6 +349,14 @@ func measure(tenants int, cfg benchConfig) (result, error) {
 		// the point, so leave it unset.
 		batchHandler = func(int, [][]byte) error { return nil }
 	}
+	var tel *telemetry.T
+	if cfg.metrics != nil {
+		var err error
+		tel, err = telemetry.New(telemetry.Config{Tenants: tenants, Workers: cfg.workers})
+		if err != nil {
+			return result{}, err
+		}
+	}
 	p, err := dataplane.New(dataplane.Config{
 		Tenants:         tenants,
 		Workers:         cfg.workers,
@@ -321,12 +370,17 @@ func measure(tenants int, cfg benchConfig) (result, error) {
 		Delivery:        cfg.delivery,
 		DeliveryTimeout: cfg.deliverTO,
 		Quarantine:      dataplane.QuarantineConfig{Threshold: cfg.quarantine},
+		Telemetry:       tel,
 	})
 	if err != nil {
 		return result{}, err
 	}
 	p.Start()
 	defer p.Stop()
+	if cfg.metrics != nil {
+		cfg.metrics.cur.Store(tel)
+		defer cfg.metrics.cur.CompareAndSwap(tel, nil)
+	}
 
 	var stop atomic.Bool
 	var healthyConsumed, faultyConsumed atomic.Int64

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hyperplane/internal/benchmeta"
 	"hyperplane/internal/queue"
 )
 
@@ -212,12 +213,10 @@ type cellResult struct {
 }
 
 type report struct {
-	Generated  string `json:"generated"`
-	GoVersion  string `json:"go_version"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	OpsPerCell int    `json:"ops_per_cell"`
-	Trials     int    `json:"trials_per_cell"`
-	Capacity   int    `json:"ring_capacity"`
+	benchmeta.Host
+	OpsPerCell int `json:"ops_per_cell"`
+	Trials     int `json:"trials_per_cell"`
+	Capacity   int `json:"ring_capacity"`
 	// MPSCScaling4P is batched 4-producer throughput over batched
 	// 1-producer throughput on the MPSC ring with a packet-encap worth of
 	// per-item production work — the fan-in win the shared organization
@@ -341,9 +340,7 @@ func main() {
 	}
 
 	rep := report{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Host:       benchmeta.Collect(),
 		OpsPerCell: *ops,
 		Trials:     *trials,
 		Capacity:   *capacity,

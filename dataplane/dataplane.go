@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,7 @@ import (
 
 	"hyperplane"
 	"hyperplane/internal/queue"
+	"hyperplane/internal/telemetry"
 )
 
 // Handler performs transport processing on one work item (step 2b). It
@@ -161,6 +163,14 @@ type Config struct {
 	// to RestartBackoffMax (default 250ms).
 	RestartBackoff    time.Duration
 	RestartBackoffMax time.Duration
+	// Telemetry, when non-nil, attaches the plane to a telemetry plane:
+	// per-tenant counters and ready-set/bank state become scrapeable, the
+	// worker notifiers trace sampled notification latency (closed at
+	// handler dispatch), and /debug/tenants shows quarantine and backlog
+	// state. The telemetry plane must be sized for at least Tenants
+	// tenants. Nil disables export and tracing; the plane still keeps its
+	// striped counters for Stats().
+	Telemetry *telemetry.T
 }
 
 // Stats is a snapshot of plane activity.
@@ -211,13 +221,19 @@ type Plane struct {
 	tenantNotifiers []*hyperplane.Notifier // one per tenant (delivery side)
 	tenantQIDs      []hyperplane.QID
 
+	// m holds the plane's activity counters as per-tenant, per-worker
+	// striped grids (telemetry.Metrics); Stats() and the export plane both
+	// read it merge-on-read. Unlike the old global atomics, every series
+	// counts only completed effects (an item is Ingressed once its push
+	// succeeded), so each counter is monotone under concurrent snapshots.
+	m   *telemetry.Metrics
+	tel *telemetry.T // nil = export/tracing disabled
+
+	// ingressed/completed are Drain's bookkeeping pair: ingressed is
+	// pre-counted before the push (and undone on backpressure) so Drain
+	// never observes a pushed-but-uncounted item. They are internal —
+	// Stats() reports the monotone grid counters instead.
 	ingressed  atomic.Int64
-	processed  atomic.Int64
-	delivered  atomic.Int64
-	errors     atomic.Int64
-	panics     atomic.Int64
-	dropped    atomic.Int64
-	restarts   atomic.Int64
 	completed  atomic.Int64 // items fully through handle (any outcome)
 	inQuar     atomic.Int64 // currently quarantined tenants
 	ingressing atomic.Int64 // in-flight Ingress/IngressBatch calls
@@ -315,11 +331,17 @@ func New(cfg Config) (*Plane, error) {
 	if cfg.RestartBackoffMax < cfg.RestartBackoff {
 		cfg.RestartBackoffMax = cfg.RestartBackoff
 	}
+	if cfg.Telemetry != nil && cfg.Telemetry.Tenants() < cfg.Tenants {
+		return nil, fmt.Errorf("dataplane: telemetry plane sized for %d tenants, plane has %d",
+			cfg.Telemetry.Tenants(), cfg.Tenants)
+	}
 	p := &Plane{
 		cfg:    cfg,
 		tstate: make([]tenantState, cfg.Tenants),
 		outMu:  make([]sync.Mutex, cfg.Tenants),
 		stopCh: make(chan struct{}),
+		m:      telemetry.NewMetrics(cfg.Tenants, cfg.Workers),
+		tel:    cfg.Telemetry,
 	}
 
 	for t := 0; t < cfg.Tenants; t++ {
@@ -370,6 +392,7 @@ func New(cfg Config) (*Plane, error) {
 			n, err := hyperplane.NewNotifier(hyperplane.NotifierConfig{
 				MaxQueues: len(wk.tenants),
 				Policy:    cfg.Policy,
+				Telemetry: cfg.Telemetry,
 			})
 			if err != nil {
 				return nil, err
@@ -390,6 +413,11 @@ func New(cfg Config) (*Plane, error) {
 			wk.n = n
 		}
 		p.workers = append(p.workers, wk)
+	}
+	if p.tel != nil {
+		p.tel.AttachMetrics(p.m)
+		p.tel.SetDebug(func() any { return p.DebugSnapshot() })
+		p.tel.AttachCollector(p.writeRuntimeMetrics)
 	}
 	return p, nil
 }
@@ -498,6 +526,7 @@ func (p *Plane) Ingress(tenant int, payload []byte) bool {
 		p.ingressed.Add(-1)
 		return false
 	}
+	p.m.Ingressed.Add(p.m.IngressStripe(), tenant, 1)
 	if p.cfg.Mode == Notify {
 		w := p.workers[tenant%p.cfg.Workers]
 		w.n.Notify(w.qidByTenant[tenant])
@@ -578,6 +607,9 @@ func (p *Plane) IngressBatch(items []IngressItem) int {
 			}
 		}
 		accepted += pushed
+		if pushed > 0 {
+			p.m.Ingressed.Add(p.m.IngressStripe(), tenant, int64(pushed))
+		}
 		if pushed > 0 && perWorker != nil {
 			// One entry per run suffices: NotifyBatch activations coalesce
 			// duplicates of the same QID anyway.
@@ -676,7 +708,7 @@ func (p *Plane) supervise(wk *worker) {
 		if p.runWorker(wk) {
 			return // clean exit (plane stopping)
 		}
-		p.restarts.Add(1)
+		p.m.Restarts.Add(1)
 		select {
 		case <-p.stopCh:
 			return
@@ -739,11 +771,17 @@ func (p *Plane) runNotify(wk *worker) {
 			qid := wk.pending[0]
 			wk.pending = wk.pending[1:]
 			tenant := wk.tenantOf[qid]
+			// Handler dispatch: close the sampled notification span opened
+			// at Notify time. TakeStamp is a constant 0 (one nil check)
+			// when telemetry is disabled.
+			if ts := wk.n.TakeStamp(qid); ts != 0 {
+				p.tel.RecordNotify(wk.id, tenant, int(qid), ts, time.Now().UnixNano())
+			}
 			if drain == 1 {
 				payload, got := p.devRings[tenant].Pop()
 				wk.n.Consume(qid)
 				if got {
-					p.handle(tenant, payload)
+					p.handle(wk, tenant, payload)
 				}
 				continue
 			}
@@ -776,7 +814,7 @@ func (p *Plane) runSpin(wk *worker) {
 					continue
 				}
 				found = true
-				p.handle(tenant, payload)
+				p.handle(wk, tenant, payload)
 				continue
 			}
 			n := p.devRings[tenant].PopBatch(wk.scratch[:p.drainBound(tenant, p.cfg.MaxBatch)])
@@ -824,17 +862,17 @@ func (p *Plane) drainBound(tenant, drain int) int {
 func (p *Plane) handleBatch(wk *worker, tenant int, payloads [][]byte) {
 	if p.cfg.BatchHandler == nil || len(payloads) == 1 {
 		for _, pl := range payloads {
-			p.handle(tenant, pl)
+			p.handle(wk, tenant, pl)
 		}
 		return
 	}
 	if !p.runBatchHandler(tenant, payloads) {
 		for _, pl := range payloads {
-			p.handle(tenant, pl)
+			p.handle(wk, tenant, pl)
 		}
 		return
 	}
-	p.processed.Add(int64(len(payloads)))
+	p.m.Processed.Add(wk.id, tenant, int64(len(payloads)))
 	p.noteSuccess(tenant)
 	outs := wk.outs[:0]
 	for _, out := range payloads {
@@ -842,7 +880,7 @@ func (p *Plane) handleBatch(wk *worker, tenant int, payloads [][]byte) {
 			outs = append(outs, out)
 		}
 	}
-	p.deliverBatch(tenant, outs)
+	p.deliverBatch(wk, tenant, outs)
 	clear(outs)
 	p.completed.Add(int64(len(payloads)))
 }
@@ -861,16 +899,17 @@ func (p *Plane) runBatchHandler(tenant int, payloads [][]byte) (committed bool) 
 }
 
 // handle runs transport processing and delivers to the tenant side.
-func (p *Plane) handle(tenant int, payload []byte) {
-	p.processed.Add(1)
+func (p *Plane) handle(wk *worker, tenant int, payload []byte) {
+	p.m.Processed.Add(wk.id, tenant, 1)
 	defer p.completed.Add(1)
 	out, err, panicked := p.runHandler(tenant, payload)
 	if panicked {
+		p.m.Panics.Add(wk.id, tenant, 1)
 		p.noteFailure(tenant)
 		return
 	}
 	if err != nil {
-		p.errors.Add(1)
+		p.m.Errors.Add(wk.id, tenant, 1)
 		p.noteFailure(tenant)
 		return
 	}
@@ -878,7 +917,7 @@ func (p *Plane) handle(tenant int, payload []byte) {
 	if out == nil {
 		return
 	}
-	p.deliver(tenant, out)
+	p.deliver(wk, tenant, out)
 }
 
 // runHandler isolates a handler panic to the item that caused it: the
@@ -887,7 +926,6 @@ func (p *Plane) handle(tenant int, payload []byte) {
 func (p *Plane) runHandler(tenant int, payload []byte) (out []byte, err error, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			p.panics.Add(1)
 			out, err, panicked = nil, nil, true
 		}
 	}()
@@ -897,25 +935,25 @@ func (p *Plane) runHandler(tenant int, payload []byte) (out []byte, err error, p
 
 // deliver pushes a processed item to the tenant-side ring under the
 // configured delivery policy and rings the tenant's doorbell.
-func (p *Plane) deliver(tenant int, out []byte) {
+func (p *Plane) deliver(wk *worker, tenant int, out []byte) {
 	r := p.outRings[tenant]
 	if !r.Push(out) {
 		switch p.cfg.Delivery {
 		case DropNewest:
-			p.dropped.Add(1)
+			p.m.Dropped.Add(wk.id, tenant, 1)
 			return
 		case DropOldest:
 			mu := &p.outMu[tenant]
 			mu.Lock()
 			if !r.Push(out) {
 				if _, ok := r.Pop(); ok {
-					p.dropped.Add(1)
+					p.m.Dropped.Add(wk.id, tenant, 1)
 				}
 				if !r.Push(out) {
 					// Cannot happen with capacity >= 2 and a single
 					// producer, but never wedge the worker over it.
 					mu.Unlock()
-					p.dropped.Add(1)
+					p.m.Dropped.Add(wk.id, tenant, 1)
 					return
 				}
 			}
@@ -927,18 +965,18 @@ func (p *Plane) deliver(tenant int, out []byte) {
 			}
 			for !r.Push(out) {
 				if p.stopped.Load() {
-					p.dropped.Add(1)
+					p.m.Dropped.Add(wk.id, tenant, 1)
 					return
 				}
 				if !deadline.IsZero() && time.Now().After(deadline) {
-					p.dropped.Add(1)
+					p.m.Dropped.Add(wk.id, tenant, 1)
 					return
 				}
 				runtime.Gosched() // tenant-side backpressure
 			}
 		}
 	}
-	p.delivered.Add(1)
+	p.m.Delivered.Add(wk.id, tenant, 1)
 	p.tenantNotifiers[tenant].Notify(p.tenantQIDs[tenant])
 }
 
@@ -948,17 +986,17 @@ func (p *Plane) deliver(tenant int, out []byte) {
 // bulk push is safe under every policy — the worker is the ring's only
 // producer, and DropOldest's competing consumers serialize on the
 // tenant's mutex against each other, not against the producer.
-func (p *Plane) deliverBatch(tenant int, outs [][]byte) {
+func (p *Plane) deliverBatch(wk *worker, tenant int, outs [][]byte) {
 	if len(outs) == 0 {
 		return
 	}
 	n := p.outRings[tenant].PushBatch(outs)
 	if n > 0 {
-		p.delivered.Add(int64(n))
+		p.m.Delivered.Add(wk.id, tenant, int64(n))
 		p.tenantNotifiers[tenant].Notify(p.tenantQIDs[tenant])
 	}
 	for _, out := range outs[n:] {
-		p.deliver(tenant, out) // full ring: apply the delivery policy
+		p.deliver(wk, tenant, out) // full ring: apply the delivery policy
 	}
 }
 
@@ -1084,7 +1122,10 @@ func (p *Plane) quarantineLoop() {
 	}
 }
 
-// Stats returns a snapshot of plane counters.
+// Stats returns a snapshot of plane counters, merged on read from the
+// per-tenant, per-worker telemetry grids. Every counter field is
+// monotone non-decreasing across concurrent snapshots (Ingressed counts
+// an item only once its ring push succeeded).
 func (p *Plane) Stats() Stats {
 	backlog := 0
 	for _, r := range p.devRings {
@@ -1094,17 +1135,160 @@ func (p *Plane) Stats() Stats {
 	for _, r := range p.outRings {
 		outBacklog += r.Len()
 	}
+	snap := p.m.Snapshot()
 	return Stats{
-		Ingressed:   p.ingressed.Load(),
-		Processed:   p.processed.Load(),
-		Delivered:   p.delivered.Load(),
-		Errors:      p.errors.Load(),
-		Panics:      p.panics.Load(),
-		Dropped:     p.dropped.Load(),
-		Restarts:    p.restarts.Load(),
+		Ingressed:   snap.Totals.Ingressed,
+		Processed:   snap.Totals.Processed,
+		Delivered:   snap.Totals.Delivered,
+		Errors:      snap.Totals.Errors,
+		Panics:      snap.Totals.Panics,
+		Dropped:     snap.Totals.Dropped,
+		Restarts:    snap.Restarts,
 		Backlog:     backlog,
 		OutBacklog:  outBacklog,
 		Quarantined: int(p.inQuar.Load()),
+	}
+}
+
+// TenantStats returns one tenant's counter snapshot (merged on read).
+func (p *Plane) TenantStats(tenant int) telemetry.TenantCounts {
+	if tenant < 0 || tenant >= p.cfg.Tenants {
+		return telemetry.TenantCounts{}
+	}
+	return p.m.TenantCounts(tenant)
+}
+
+// Telemetry returns the telemetry plane the Plane was configured with
+// (nil when export/tracing is disabled).
+func (p *Plane) Telemetry() *telemetry.T { return p.tel }
+
+// tenantStateName renders a tenant's quarantine state for /debug/tenants.
+func (p *Plane) tenantStateName(tenant int) string {
+	if p.cfg.Quarantine.Threshold <= 0 {
+		return "healthy"
+	}
+	switch p.tstate[tenant].state.Load() {
+	case tsQuarantined:
+		return "quarantined"
+	case tsProbing:
+		return "probing"
+	}
+	return "healthy"
+}
+
+// DebugSnapshot builds the /debug/tenants payload: per-tenant runtime
+// state (quarantine, ring occupancy, counters, latency) and per-worker
+// notifier internals (bank occupancy, park/wake counters, arbitration
+// state via the policy.Inspect hook). In the worker sections, vector
+// entries of the policy state are mapped through each bank's QIDs back
+// to tenant ids.
+func (p *Plane) DebugSnapshot() telemetry.DebugSnapshot {
+	snap := telemetry.DebugSnapshot{
+		Tenants: make([]telemetry.TenantDebug, p.cfg.Tenants),
+	}
+	for t := 0; t < p.cfg.Tenants; t++ {
+		snap.Tenants[t] = telemetry.TenantDebug{
+			Tenant:     t,
+			State:      p.tenantStateName(t),
+			Backlog:    p.devRings[t].Len(),
+			OutBacklog: p.outRings[t].Len(),
+			Counts:     p.m.TenantCounts(t),
+			Latency:    p.tel.TenantLatency(t).Summary(),
+		}
+	}
+	if p.cfg.Mode != Notify {
+		return snap
+	}
+	for _, wk := range p.workers {
+		banks := wk.n.BankStats()
+		insps := wk.n.InspectPolicy()
+		wd := telemetry.WorkerDebug{Worker: wk.id, Banks: make([]telemetry.BankDebug, len(banks))}
+		for i, b := range banks {
+			pd := telemetry.PolicyDebug{}
+			if i < len(insps) {
+				in := insps[i]
+				tenants := make([]int, len(in.QIDs))
+				for j, q := range in.QIDs {
+					tenants[j] = wk.tenantOf[q]
+				}
+				pd = telemetry.PolicyDebug{
+					Kind: in.Kind, Rotor: in.Rotor, Counter: in.Counter,
+					Weights: in.Weights, Deficit: in.Deficit,
+					Score: in.Score, Round: in.Round, QIDs: tenants,
+				}
+			}
+			wd.Banks[i] = telemetry.BankDebug{
+				Bank:        b.Bank,
+				Ready:       b.Ready,
+				Selects:     b.Selects,
+				Activations: b.Activations,
+				Parks:       b.Parks,
+				Wakes:       b.Wakes,
+				Policy:      pd,
+			}
+		}
+		snap.Workers = append(snap.Workers, wd)
+	}
+	return snap
+}
+
+// writeRuntimeMetrics is the collector the plane registers on its
+// telemetry plane: ring-occupancy gauges per tenant and, in Notify mode,
+// per-worker QWAIT and bank activity series.
+func (p *Plane) writeRuntimeMetrics(w io.Writer) {
+	fmt.Fprintf(w, "# HELP hyperplane_backlog Items queued device-side per tenant.\n")
+	fmt.Fprintf(w, "# TYPE hyperplane_backlog gauge\n")
+	for t := range p.devRings {
+		fmt.Fprintf(w, "hyperplane_backlog{tenant=\"%d\"} %d\n", t, p.devRings[t].Len())
+	}
+	fmt.Fprintf(w, "# HELP hyperplane_out_backlog Items queued tenant-side per tenant.\n")
+	fmt.Fprintf(w, "# TYPE hyperplane_out_backlog gauge\n")
+	for t := range p.outRings {
+		fmt.Fprintf(w, "hyperplane_out_backlog{tenant=\"%d\"} %d\n", t, p.outRings[t].Len())
+	}
+	fmt.Fprintf(w, "# HELP hyperplane_quarantined_tenants Tenants currently quarantined (incl. probing).\n")
+	fmt.Fprintf(w, "# TYPE hyperplane_quarantined_tenants gauge\n")
+	fmt.Fprintf(w, "hyperplane_quarantined_tenants %d\n", p.inQuar.Load())
+	if p.cfg.Mode != Notify {
+		return
+	}
+	fmt.Fprintf(w, "# HELP hyperplane_qwait_notifies_total Doorbell notifications per worker notifier.\n")
+	fmt.Fprintf(w, "# TYPE hyperplane_qwait_notifies_total counter\n")
+	for _, wk := range p.workers {
+		s := wk.n.Stats()
+		fmt.Fprintf(w, "hyperplane_qwait_notifies_total{worker=\"%d\"} %d\n", wk.id, s.Notifies)
+	}
+	fmt.Fprintf(w, "# HELP hyperplane_bank_ready Enabled ready queues per notifier bank.\n")
+	fmt.Fprintf(w, "# TYPE hyperplane_bank_ready gauge\n")
+	type bankSeries struct {
+		name, help string
+		get        func(hyperplane.BankStats) int64
+	}
+	counters := []bankSeries{
+		{"hyperplane_bank_selects_total", "Selections served per bank.",
+			func(b hyperplane.BankStats) int64 { return b.Selects }},
+		{"hyperplane_bank_activations_total", "Activations inserted per bank.",
+			func(b hyperplane.BankStats) int64 { return b.Activations }},
+		{"hyperplane_bank_parks_total", "Waiters parked per bank stripe.",
+			func(b hyperplane.BankStats) int64 { return b.Parks }},
+		{"hyperplane_bank_wakes_total", "Wakeups delivered per bank stripe.",
+			func(b hyperplane.BankStats) int64 { return b.Wakes }},
+	}
+	all := make([][]hyperplane.BankStats, len(p.workers))
+	for i, wk := range p.workers {
+		all[i] = wk.n.BankStats()
+		for _, b := range all[i] {
+			fmt.Fprintf(w, "hyperplane_bank_ready{worker=\"%d\",bank=\"%d\"} %d\n", wk.id, b.Bank, b.Ready)
+		}
+	}
+	for _, cs := range counters {
+		fmt.Fprintf(w, "# HELP %s %s\n", cs.name, cs.help)
+		fmt.Fprintf(w, "# TYPE %s counter\n", cs.name)
+		for i, wk := range p.workers {
+			for _, b := range all[i] {
+				fmt.Fprintf(w, "%s{worker=\"%d\",bank=\"%d\"} %d\n", cs.name, wk.id, b.Bank, cs.get(b))
+			}
+		}
 	}
 }
 

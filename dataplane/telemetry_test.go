@@ -1,0 +1,164 @@
+package dataplane
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"hyperplane/internal/telemetry"
+)
+
+// TestPlaneTelemetry runs a plane with a telemetry plane attached and
+// checks the full export path: sampled notification latency lands in
+// the per-tenant histograms and trace ring, the counter grids feed both
+// Stats() and /metrics, and DebugSnapshot reports quarantine state and
+// arbitration internals.
+func TestPlaneTelemetry(t *testing.T) {
+	tel, err := telemetry.New(telemetry.Config{
+		Tenants:     4,
+		Workers:     2,
+		SampleEvery: 1, // trace every notification so counts are deterministic targets
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{
+		Tenants:   4,
+		Workers:   2,
+		Mode:      Notify,
+		Telemetry: tel,
+		Quarantine: QuarantineConfig{
+			Threshold: 2,
+			Backoff:   time.Hour, // keep the quarantined tenant down for the assertion
+		},
+		Handler: func(tenant int, payload []byte) ([]byte, error) {
+			if tenant == 3 {
+				return nil, errors.New("always fails")
+			}
+			return payload, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Stop()
+
+	const perTenant = 200
+	for i := 0; i < perTenant; i++ {
+		for tn := 0; tn < 4; tn++ {
+			for !p.Ingress(tn, []byte{byte(i)}) {
+				time.Sleep(10 * time.Microsecond)
+			}
+			if tn != 3 {
+				if _, ok := p.EgressWait(tn); !ok {
+					t.Fatalf("EgressWait(%d) failed", tn)
+				}
+			}
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = p.Drain(ctx) // tenant 3 is quarantined with backlog; just settle the others
+
+	// Sampled spans closed at dispatch land in tenant histograms.
+	lat := tel.TenantLatency(0)
+	if lat.Count == 0 {
+		t.Error("tenant 0 recorded no notification spans")
+	}
+	if s := lat.Summary(); s.P50 <= 0 || s.P50 > s.P999 {
+		t.Errorf("implausible latency summary: %+v", s)
+	}
+	if tel.Trace().Len() == 0 {
+		t.Error("trace ring is empty")
+	}
+
+	// The counter grids back Stats() and per-tenant counts agree.
+	st := p.Stats()
+	if st.Processed == 0 || st.Delivered == 0 {
+		t.Fatalf("no work recorded: %+v", st)
+	}
+	tc := p.TenantStats(0)
+	if tc.Processed != perTenant || tc.Delivered != perTenant {
+		t.Errorf("tenant 0 counts = %+v, want %d processed+delivered", tc, perTenant)
+	}
+	if errs := p.TenantStats(3).Errors; errs == 0 {
+		t.Error("failing tenant shows no errors")
+	}
+
+	// DebugSnapshot: quarantine state, backlog, and arbitration internals.
+	snap := p.DebugSnapshot()
+	if len(snap.Tenants) != 4 {
+		t.Fatalf("debug tenants = %d", len(snap.Tenants))
+	}
+	if snap.Tenants[3].State != "quarantined" {
+		t.Errorf("tenant 3 state = %q, want quarantined", snap.Tenants[3].State)
+	}
+	if snap.Tenants[3].Backlog == 0 {
+		t.Error("quarantined tenant shows no backlog")
+	}
+	if snap.Tenants[0].Counts.Processed != perTenant {
+		t.Errorf("tenant 0 debug counts = %+v", snap.Tenants[0].Counts)
+	}
+	if len(snap.Workers) != 2 {
+		t.Fatalf("debug workers = %d", len(snap.Workers))
+	}
+	for _, wd := range snap.Workers {
+		if len(wd.Banks) == 0 {
+			t.Errorf("worker %d has no bank debug", wd.Worker)
+		}
+		for _, b := range wd.Banks {
+			if b.Policy.Kind == "" {
+				t.Errorf("worker %d bank %d missing policy inspection", wd.Worker, b.Bank)
+			}
+			if b.Activations == 0 {
+				t.Errorf("worker %d bank %d saw no activations", wd.Worker, b.Bank)
+			}
+		}
+	}
+
+	// /metrics carries the per-tenant latency summary, the counter grids,
+	// and the plane's collector series.
+	var sb strings.Builder
+	tel.WriteMetrics(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		`hyperplane_notify_latency_seconds{tenant="0",quantile="0.99"}`,
+		`hyperplane_processed_total{tenant="0"} 200`,
+		`hyperplane_handler_errors_total{tenant="3"}`,
+		`hyperplane_backlog{tenant="3"}`,
+		`hyperplane_quarantined_tenants 1`,
+		`hyperplane_bank_selects_total{worker="0",bank="0"}`,
+		`hyperplane_qwait_notifies_total{worker="1"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestPlaneTelemetryDisabled pins the zero-cost contract: without a
+// telemetry plane the notify path must not allocate, and Stats() still
+// works off the internal grids.
+func TestPlaneTelemetryDisabled(t *testing.T) {
+	p, err := New(Config{Tenants: 1, Workers: 1, Mode: Notify})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Telemetry() != nil {
+		t.Fatal("telemetry unexpectedly attached")
+	}
+	p.Start()
+	defer p.Stop()
+	if !p.Ingress(0, []byte{1}) {
+		t.Fatal("ingress failed")
+	}
+	if _, ok := p.EgressWait(0); !ok {
+		t.Fatal("egress failed")
+	}
+	if s := p.Stats(); s.Processed != 1 || s.Delivered != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

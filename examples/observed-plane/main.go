@@ -1,0 +1,216 @@
+// Observed plane: the telemetry plane end to end — a running dataplane
+// with live /metrics, /debug/tenants, and /debug/trace endpoints.
+//
+// Eight tenants flood a two-worker plane while one tenant's handler fails
+// every item until it is quarantined. A telemetry plane samples
+// notification latency (doorbell ring to handler dispatch) into
+// per-tenant histograms and a trace ring, and telemetry.Serve exports
+// everything over HTTP:
+//
+//	go run ./examples/observed-plane -addr :9090 -duration 60s
+//	curl localhost:9090/metrics          # Prometheus text exposition
+//	curl localhost:9090/debug/tenants    # JSON: quarantine, backlogs, policy state
+//	curl localhost:9090/debug/trace      # binary span ring (telemetry.ReadTrace)
+//	go tool pprof localhost:9090/debug/pprof/profile
+//
+// -smoke runs the same plane briefly, scrapes its own endpoints, and
+// exits nonzero if any expected series or span is missing — the CI check
+// that the export plane actually exports.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperplane/dataplane"
+	"hyperplane/internal/telemetry"
+)
+
+const (
+	tenants = 8
+	workers = 2
+	badOne  = 7 // this tenant's handler always fails -> quarantined
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9090", "telemetry listen address")
+	duration := flag.Duration("duration", 10*time.Second, "how long to run the plane")
+	smoke := flag.Bool("smoke", false, "CI mode: run briefly, self-scrape the endpoints, verify, exit")
+	flag.Parse()
+	if *smoke {
+		*addr = "127.0.0.1:0" // don't collide with anything in CI
+		*duration = 2 * time.Second
+	}
+
+	tel, err := telemetry.New(telemetry.Config{
+		Tenants:     tenants,
+		Workers:     workers,
+		SampleEvery: 16, // denser than the 1/64 default so short runs show spans
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := dataplane.New(dataplane.Config{
+		Tenants:   tenants,
+		Workers:   workers,
+		Mode:      dataplane.Notify,
+		Delivery:  dataplane.DropNewest,
+		Telemetry: tel,
+		Quarantine: dataplane.QuarantineConfig{
+			Threshold: 3,
+			Backoff:   time.Hour, // stays visibly quarantined for the whole run
+		},
+		Handler: func(tenant int, payload []byte) ([]byte, error) {
+			if tenant == badOne {
+				return nil, errors.New("misbehaving tenant")
+			}
+			return payload, nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := telemetry.Serve(*addr, tel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("telemetry: http://%s/metrics\n", srv.Addr())
+
+	p.Start()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for tn := 0; tn < tenants; tn++ {
+		wg.Add(1)
+		go func(tn int) { // producer
+			defer wg.Done()
+			payload := []byte{byte(tn)}
+			for !stop.Load() {
+				if !p.Ingress(tn, payload) {
+					time.Sleep(10 * time.Microsecond)
+				}
+			}
+		}(tn)
+		wg.Add(1)
+		go func(tn int) { // tenant-side consumer
+			defer wg.Done()
+			for !stop.Load() {
+				if _, ok := p.Egress(tn); !ok {
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+		}(tn)
+	}
+
+	if *smoke {
+		time.Sleep(*duration)
+		err := verify(srv.Addr())
+		stop.Store(true)
+		p.Stop()
+		wg.Wait()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smoke: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("smoke: ok")
+		return
+	}
+
+	// Interactive run: print a one-line summary every second.
+	for end := time.Now().Add(*duration); time.Now().Before(end); {
+		time.Sleep(time.Second)
+		st := p.Stats()
+		lat := tel.TenantLatency(0).Summary()
+		fmt.Printf("processed=%d errors=%d quarantined=%d  tenant0 notify p50=%s p99=%s (%d spans)\n",
+			st.Processed, st.Errors, st.Quarantined,
+			time.Duration(lat.P50), time.Duration(lat.P99), lat.Count)
+	}
+	stop.Store(true)
+	p.Stop()
+	wg.Wait()
+}
+
+// verify scrapes the export plane the way CI does and checks that every
+// advertised surface is live: the Prometheus series, the JSON debug
+// snapshot (with the quarantined tenant visible), and the binary trace.
+func verify(addr string) error {
+	get := func(path string) ([]byte, error) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: status %s", path, resp.Status)
+		}
+		return io.ReadAll(resp.Body)
+	}
+
+	metrics, err := get("/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		`hyperplane_notify_latency_seconds{tenant="0",quantile="0.5"}`,
+		`hyperplane_notify_latency_seconds{tenant="0",quantile="0.99"}`,
+		`hyperplane_notify_latency_seconds{tenant="0",quantile="0.999"}`,
+		`hyperplane_processed_total{tenant="0"}`,
+		fmt.Sprintf(`hyperplane_handler_errors_total{tenant="%d"}`, badOne),
+		"hyperplane_quarantined_tenants 1",
+		`hyperplane_bank_selects_total{worker="0",bank="0"}`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			return fmt.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	raw, err := get("/debug/tenants")
+	if err != nil {
+		return err
+	}
+	var snap telemetry.DebugSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("/debug/tenants: %v", err)
+	}
+	if len(snap.Tenants) != tenants {
+		return fmt.Errorf("/debug/tenants has %d tenants, want %d", len(snap.Tenants), tenants)
+	}
+	if got := snap.Tenants[badOne].State; got != "quarantined" {
+		return fmt.Errorf("tenant %d state = %q, want quarantined", badOne, got)
+	}
+	if snap.Tenants[0].Latency.Count == 0 {
+		return errors.New("tenant 0 recorded no notification spans")
+	}
+
+	trace, err := get("/debug/trace")
+	if err != nil {
+		return err
+	}
+	spans, err := telemetry.ReadTrace(bytes.NewReader(trace))
+	if err != nil {
+		return fmt.Errorf("/debug/trace: %v", err)
+	}
+	if len(spans) == 0 {
+		return errors.New("/debug/trace returned no spans")
+	}
+	for _, s := range spans {
+		if s.Latency < 0 || s.Tenant < 0 || int(s.Tenant) >= tenants {
+			return fmt.Errorf("implausible span %+v", s)
+		}
+	}
+	fmt.Printf("smoke: %d metrics bytes, %d debug tenants, %d trace spans\n",
+		len(metrics), len(snap.Tenants), len(spans))
+	return nil
+}

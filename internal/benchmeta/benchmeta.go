@@ -1,0 +1,33 @@
+// Package benchmeta records uniform host metadata in benchmark reports
+// (BENCH_*.json), so numbers can be compared across machines and over
+// time: two reports with different NumCPU or Go versions are different
+// experiments, and the guard tools should be read accordingly.
+package benchmeta
+
+import (
+	"runtime"
+	"time"
+)
+
+// Host identifies the machine and toolchain a report was measured on.
+// Embed it in a report struct; the fields inline into the JSON object.
+type Host struct {
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+}
+
+// Collect captures the current host metadata.
+func Collect() Host {
+	return Host{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+	}
+}

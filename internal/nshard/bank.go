@@ -34,7 +34,45 @@ type Bank struct {
 	offset  int
 	summary *atomic.Uint64
 	bit     uint64
+
+	// Telemetry counters, atomics so the export plane reads them without
+	// the bank lock. Selects counts consumed selections (Select and each
+	// SelectMany fill), activations counts Activate calls.
+	selects     atomic.Int64
+	activations atomic.Int64
 }
+
+// Counts is a point-in-time copy of the bank's activity counters plus its
+// current ready occupancy, the bank-level series the telemetry plane
+// exports.
+type Counts struct {
+	Ready       int   // ready queues right now
+	Selects     int64 // selections consumed from this bank
+	Activations int64 // activations inserted into this bank
+}
+
+// Counts snapshots the bank's counters and occupancy.
+func (b *Bank) Counts() Counts {
+	return Counts{
+		Ready:       b.ReadyCount(),
+		Selects:     b.selects.Load(),
+		Activations: b.activations.Load(),
+	}
+}
+
+// Inspect snapshots the bank's arbitration state (policy.Inspect) under
+// the bank lock. Vector fields are indexed by the bank's local queue
+// index; the caller maps local index l to global QID l*stride+offset.
+func (b *Bank) Inspect() policy.Inspection {
+	b.mu.Lock()
+	insp := b.rs.Inspect()
+	b.mu.Unlock()
+	return insp
+}
+
+// Geometry returns the bank's shard stride and offset (for mapping
+// Inspect's local indices back to global QIDs).
+func (b *Bank) Geometry() (stride, offset int) { return b.stride, b.offset }
 
 // NewBank builds the bank owning QIDs {offset, offset+stride, ...} below
 // total, arbitrated by spec (whose Weights, if any, are the full global
@@ -81,6 +119,7 @@ func (b *Bank) syncSummaryLocked() {
 
 // Activate marks qid ready.
 func (b *Bank) Activate(qid int) {
+	b.activations.Add(1)
 	b.mu.Lock()
 	b.rs.Activate(b.local(qid))
 	b.syncSummaryLocked()
@@ -105,6 +144,7 @@ func (b *Bank) Select() (int, bool) {
 	if !ok {
 		return 0, false
 	}
+	b.selects.Add(1)
 	return b.global(l), true
 }
 
@@ -123,6 +163,7 @@ func (b *Bank) SelectMany(dst []int) int {
 	}
 	b.syncSummaryLocked()
 	b.mu.Unlock()
+	b.selects.Add(int64(i))
 	return i
 }
 

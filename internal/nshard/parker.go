@@ -53,6 +53,28 @@ type Parker struct {
 type stripe struct {
 	mu sync.Mutex
 	ws []*Waiter
+
+	// Telemetry counters: parks counts Enqueue calls (a consumer giving up
+	// its timeslice — the paper's halted core), wakes counts delivered
+	// wakeups. Read lock-free by the export plane.
+	parks atomic.Int64
+	wakes atomic.Int64
+}
+
+// StripeCounts is a point-in-time copy of one stripe's park/wake
+// counters, the per-bank wake/park series the telemetry plane exports.
+type StripeCounts struct {
+	Parks int64 // waiters enqueued on the stripe
+	Wakes int64 // wakeups delivered from the stripe
+}
+
+// Stripes returns the stripe count.
+func (p *Parker) Stripes() int { return len(p.stripes) }
+
+// StripeCounts snapshots stripe s's counters.
+func (p *Parker) StripeCounts(s int) StripeCounts {
+	st := &p.stripes[s%len(p.stripes)]
+	return StripeCounts{Parks: st.parks.Load(), Wakes: st.wakes.Load()}
 }
 
 // NewParker builds a parker with n stripes.
@@ -67,6 +89,7 @@ func NewParker(n int) *Parker {
 func (p *Parker) Enqueue(s int, w *Waiter) {
 	p.parked.Add(1)
 	st := &p.stripes[s%len(p.stripes)]
+	st.parks.Add(1)
 	st.mu.Lock()
 	st.ws = append(st.ws, w)
 	st.mu.Unlock()
@@ -106,6 +129,7 @@ func (p *Parker) WakeOne(from int) bool {
 			}
 			if w.trySignal() {
 				p.parked.Add(-1)
+				st.wakes.Add(1)
 				st.mu.Unlock()
 				return true
 			}
@@ -135,6 +159,7 @@ func (p *Parker) WakeAll() {
 		for _, w := range ws {
 			if w.trySignal() {
 				p.parked.Add(-1)
+				st.wakes.Add(1)
 			}
 		}
 	}

@@ -1,0 +1,78 @@
+package policy
+
+// Inspection is a point-in-time copy of a policy instance's internal
+// arbitration state, the observability hook behind the telemetry plane's
+// /debug/tenants endpoint: operators can see *why* the arbiter is
+// servicing what it services — DRR debt, EWMA pressure scores, the WRR
+// budget — without any way to mutate it. All slices are fresh copies
+// indexed by the policy's local queue index; callers over a sharded ready
+// set scatter them back to global QIDs (Notifier.InspectPolicy).
+//
+// Vector fields are nil when the discipline has no such state.
+type Inspection struct {
+	// Kind is the discipline.
+	Kind Kind
+	// Rotor is the current-priority position the next selection scans
+	// from (all disciplines except strict priority).
+	Rotor int
+	// Counter is WRR's remaining consecutive-service budget for the
+	// favored queue.
+	Counter int
+	// Weights are the static per-queue service weights (WRR) or per-round
+	// quanta (DRR).
+	Weights []int
+	// Deficit is DRR's remaining per-queue work credit (negative =
+	// carried debt).
+	Deficit []int64
+	// Score is EWMAAdaptive's per-queue arrival-pressure estimate.
+	Score []float64
+	// Round is EWMAAdaptive's service-round counter.
+	Round int64
+}
+
+// Inspector is implemented by policies that expose internal state to the
+// telemetry plane.
+type Inspector interface {
+	// Inspect returns a copy of the policy's current state. Like every
+	// other Policy method it must be called under the owner's lock.
+	Inspect() Inspection
+}
+
+// Inspect returns a snapshot of p's arbitration state. ok is false when p
+// does not implement Inspector (the snapshot then carries only the Kind).
+func Inspect(p Policy) (Inspection, bool) {
+	if i, ok := p.(Inspector); ok {
+		return i.Inspect(), true
+	}
+	return Inspection{Kind: p.Kind()}, false
+}
+
+func (p *rrPolicy) Inspect() Inspection {
+	return Inspection{Kind: RoundRobin, Rotor: p.prio}
+}
+
+func (p *wrrPolicy) Inspect() Inspection {
+	w := make([]int, len(p.weights))
+	copy(w, p.weights)
+	return Inspection{Kind: WeightedRoundRobin, Rotor: p.prio, Counter: p.counter, Weights: w}
+}
+
+func (strictPolicy) Inspect() Inspection {
+	return Inspection{Kind: StrictPriority}
+}
+
+func (p *drrPolicy) Inspect() Inspection {
+	w := make([]int, p.n)
+	d := make([]int64, p.n)
+	for i := 0; i < p.n; i++ {
+		w[i] = int(p.quantum[i])
+		d[i] = p.deficit[i]
+	}
+	return Inspection{Kind: DeficitRoundRobin, Rotor: p.prio, Weights: w, Deficit: d}
+}
+
+func (p *ewmaPolicy) Inspect() Inspection {
+	s := make([]float64, p.n)
+	copy(s, p.score)
+	return Inspection{Kind: EWMAAdaptive, Rotor: p.prio, Score: s, Round: p.round}
+}

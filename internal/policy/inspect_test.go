@@ -1,0 +1,86 @@
+package policy
+
+import "testing"
+
+// mustPolicy builds a policy instance or fails the test.
+func mustPolicy(t *testing.T, s Spec, n int) Policy {
+	t.Helper()
+	p, err := s.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestInspectAllKinds(t *testing.T) {
+	for _, kind := range Kinds() {
+		p := mustPolicy(t, Spec{Kind: kind}, 4)
+		insp, ok := Inspect(p)
+		if !ok {
+			t.Errorf("%v: no Inspector", kind)
+		}
+		if insp.Kind != kind {
+			t.Errorf("%v: Inspect kind = %v", kind, insp.Kind)
+		}
+	}
+}
+
+func TestInspectDRRDeficit(t *testing.T) {
+	p := mustPolicy(t, Spec{Kind: DeficitRoundRobin, Weights: []int{4, 1}}, 2)
+	v := newView(2)
+	v.set(0)
+	v.set(1)
+	qid, ok := p.Next(v)
+	if !ok || qid != 0 {
+		t.Fatalf("Next = %d, %v", qid, ok)
+	}
+	p.Charge(0, 1) // grants quantum 4, spends 1 → deficit 3
+	insp, _ := Inspect(p)
+	if len(insp.Deficit) != 2 || len(insp.Weights) != 2 {
+		t.Fatalf("vector lengths: %+v", insp)
+	}
+	if insp.Deficit[0] != 3 {
+		t.Errorf("deficit[0] = %d, want 3", insp.Deficit[0])
+	}
+	if insp.Weights[0] != 4 || insp.Weights[1] != 1 {
+		t.Errorf("weights = %v", insp.Weights)
+	}
+	// The snapshot is a copy: mutating it must not corrupt the policy.
+	insp.Deficit[0] = -999
+	insp2, _ := Inspect(p)
+	if insp2.Deficit[0] != 3 {
+		t.Error("Inspect returned a live slice, not a copy")
+	}
+}
+
+func TestInspectEWMAScore(t *testing.T) {
+	p := mustPolicy(t, Spec{Kind: EWMAAdaptive, Alpha: 0.5}, 3)
+	p.Observe(2)
+	p.Observe(2)
+	insp, _ := Inspect(p)
+	if len(insp.Score) != 3 {
+		t.Fatalf("score length %d", len(insp.Score))
+	}
+	if insp.Score[2] <= insp.Score[0] {
+		t.Errorf("observed queue score %v not above idle %v", insp.Score[2], insp.Score[0])
+	}
+	// 0.5 + 0.5*0.5 = 0.75 after two observations at alpha 0.5.
+	if insp.Score[2] < 0.74 || insp.Score[2] > 0.76 {
+		t.Errorf("score[2] = %v, want 0.75", insp.Score[2])
+	}
+}
+
+func TestInspectWRRBudget(t *testing.T) {
+	p := mustPolicy(t, Spec{Kind: WeightedRoundRobin, Weights: []int{3, 1}}, 2)
+	v := newView(2)
+	v.set(0)
+	qid, _ := p.Next(v)
+	p.Charge(qid, 1)
+	insp, _ := Inspect(p)
+	if insp.Counter != 2 {
+		t.Errorf("counter = %d, want 2 remaining of weight 3", insp.Counter)
+	}
+	if insp.Rotor != 0 {
+		t.Errorf("rotor = %d, want favored queue 0", insp.Rotor)
+	}
+}

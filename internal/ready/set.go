@@ -128,6 +128,12 @@ func NewHardware(n int, spec policy.Spec) (*Hardware, error) {
 // Policy reports the configured discipline.
 func (h *Hardware) Policy() policy.Kind { return h.c.pol.Kind() }
 
+// Inspect snapshots the arbiter's internal state (policy.Inspect).
+func (h *Hardware) Inspect() policy.Inspection {
+	insp, _ := policy.Inspect(h.c.pol)
+	return insp
+}
+
 // Activate implements Set.
 func (h *Hardware) Activate(qid int) { h.c.activate(qid) }
 
@@ -190,6 +196,12 @@ func NewSoftware(n int, spec policy.Spec) (*Software, error) {
 
 // Policy reports the configured discipline.
 func (s *Software) Policy() policy.Kind { return s.c.pol.Kind() }
+
+// Inspect snapshots the arbiter's internal state (policy.Inspect).
+func (s *Software) Inspect() policy.Inspection {
+	insp, _ := policy.Inspect(s.c.pol)
+	return insp
+}
 
 // Activate implements Set.
 func (s *Software) Activate(qid int) { s.c.activate(qid) }

@@ -6,16 +6,84 @@ import (
 	"strings"
 )
 
-// Histogram is a log-bucketed (HDR-style) histogram for long simulation
-// runs where retaining raw samples would be too costly. Buckets grow
-// geometrically, giving a bounded relative error on percentile queries
-// while using constant memory.
+// BucketSpec is the log-bucketed (HDR-style) bucket geometry shared by
+// Histogram and the concurrent latency histogram in internal/telemetry:
+// buckets grow geometrically from Min, giving a bounded relative error on
+// percentile queries in constant memory. Keeping the math in one place
+// means the offline simulation histograms and the runtime telemetry
+// histograms bucket identically, so their percentiles are comparable.
+type BucketSpec struct {
+	Min    float64 // lower bound of bucket 0
+	Growth float64 // bucket width ratio (1 + precision)
+	logG   float64
+	n      int // bucket count
+}
+
+// NewBucketSpec builds the geometry covering [min, max] with the given
+// relative precision (e.g. 0.05 for 5% bucket growth).
+func NewBucketSpec(min, max, precision float64) (BucketSpec, error) {
+	if !(min > 0) || !(max > min) || math.IsInf(max, 1) {
+		return BucketSpec{}, fmt.Errorf("stats: histogram bounds must satisfy 0 < min < max < +Inf, got [%v, %v]", min, max)
+	}
+	if !(precision > 0) || precision >= 1 {
+		return BucketSpec{}, fmt.Errorf("stats: histogram precision must be in (0,1), got %v", precision)
+	}
+	growth := 1 + precision
+	n := int(math.Ceil(math.Log(max/min)/math.Log(growth))) + 1
+	return BucketSpec{Min: min, Growth: growth, logG: math.Log(growth), n: n}, nil
+}
+
+// Buckets returns the bucket count.
+func (s BucketSpec) Buckets() int { return s.n }
+
+// Index maps an observation to its bucket, clamped to [0, Buckets()-1).
+// It is defined for every float64: NaN, +/-Inf, zero, negative and
+// sub-Min values all land in bucket 0 rather than feeding math.Log
+// undefined territory (callers that distinguish under-range or invalid
+// observations should test with Valid/under-range checks before calling).
+func (s BucketSpec) Index(x float64) int {
+	if !(x > s.Min) { // catches x <= Min, x <= 0, NaN
+		return 0
+	}
+	if math.IsInf(x, 1) {
+		return s.n - 1
+	}
+	i := int(math.Log(x/s.Min) / s.logG)
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		i = s.n - 1
+	}
+	return i
+}
+
+// Lower returns bucket i's lower bound.
+func (s BucketSpec) Lower(i int) float64 { return s.Min * math.Pow(s.Growth, float64(i)) }
+
+// Mid returns bucket i's geometric midpoint — the value percentile
+// queries report for ranks landing in the bucket.
+func (s BucketSpec) Mid(i int) float64 { return s.Lower(i) * math.Sqrt(s.Growth) }
+
+// Compatible reports whether two specs bucket identically (merge safety).
+func (s BucketSpec) Compatible(o BucketSpec) bool {
+	return s.Min == o.Min && s.Growth == o.Growth && s.n == o.n
+}
+
+// Histogram is a log-bucketed histogram for long simulation runs where
+// retaining raw samples would be too costly. Buckets grow geometrically,
+// giving a bounded relative error on percentile queries while using
+// constant memory.
+//
+// Observations are sanitized: non-finite values (NaN, +/-Inf) are counted
+// in Invalid and otherwise ignored — they never reach the bucket math and
+// never poison the mean or max — and finite values below Min (including
+// zero and negatives) are tallied in the under-range bucket.
 type Histogram struct {
-	min     float64 // lower bound of bucket 0
-	growth  float64 // bucket width ratio
-	logG    float64
+	spec    BucketSpec
 	buckets []int64
-	under   int64 // observations below min
+	under   int64 // observations below Min (incl. <= 0)
+	invalid int64 // non-finite observations, excluded from count/sum
 	count   int64
 	sum     float64
 	maxSeen float64
@@ -24,49 +92,45 @@ type Histogram struct {
 // NewHistogram builds a histogram covering [min, max] with the given
 // relative precision (e.g. 0.05 for 5% bucket growth).
 func NewHistogram(min, max, precision float64) *Histogram {
-	if min <= 0 || max <= min {
-		panic(fmt.Sprintf("stats: histogram bounds must satisfy 0 < min < max, got [%v, %v]", min, max))
+	spec, err := NewBucketSpec(min, max, precision)
+	if err != nil {
+		panic(err.Error())
 	}
-	if precision <= 0 || precision >= 1 {
-		panic(fmt.Sprintf("stats: histogram precision must be in (0,1), got %v", precision))
-	}
-	growth := 1 + precision
-	n := int(math.Ceil(math.Log(max/min)/math.Log(growth))) + 1
 	return &Histogram{
-		min:     min,
-		growth:  growth,
-		logG:    math.Log(growth),
-		buckets: make([]int64, n),
+		spec:    spec,
+		buckets: make([]int64, spec.Buckets()),
 	}
 }
 
-// bucketOf maps a value to its bucket index (clamped to the last bucket).
-func (h *Histogram) bucketOf(x float64) int {
-	i := int(math.Log(x/h.min) / h.logG)
-	if i >= len(h.buckets) {
-		i = len(h.buckets) - 1
-	}
-	return i
-}
+// Spec returns the histogram's bucket geometry.
+func (h *Histogram) Spec() BucketSpec { return h.spec }
 
-// Add records an observation.
+// Add records an observation. Non-finite observations are counted in
+// Invalid and otherwise ignored.
 func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		h.invalid++
+		return
+	}
 	h.count++
 	h.sum += x
 	if x > h.maxSeen {
 		h.maxSeen = x
 	}
-	if x < h.min {
+	if x < h.spec.Min {
 		h.under++
 		return
 	}
-	h.buckets[h.bucketOf(x)]++
+	h.buckets[h.spec.Index(x)]++
 }
 
-// Count returns the number of observations.
+// Count returns the number of (finite) observations.
 func (h *Histogram) Count() int64 { return h.count }
 
-// Mean returns the exact mean of all observations.
+// Invalid returns the number of rejected non-finite observations.
+func (h *Histogram) Invalid() int64 { return h.invalid }
+
+// Mean returns the exact mean of all finite observations.
 func (h *Histogram) Mean() float64 {
 	if h.count == 0 {
 		return 0
@@ -74,7 +138,7 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
-// Max returns the exact maximum observation.
+// Max returns the exact maximum finite observation.
 func (h *Histogram) Max() float64 { return h.maxSeen }
 
 // Percentile returns the p-th percentile (0-100) with the histogram's
@@ -84,19 +148,18 @@ func (h *Histogram) Percentile(p float64) float64 {
 	if h.count == 0 {
 		return 0
 	}
-	if p < 0 || p > 100 {
+	if math.IsNaN(p) || p < 0 || p > 100 {
 		panic(fmt.Sprintf("stats: percentile %v out of range", p))
 	}
 	rank := int64(math.Ceil(p / 100 * float64(h.count)))
 	if rank <= h.under {
-		return h.min / 2 // below-range bucket midpoint approximation
+		return h.spec.Min / 2 // below-range bucket midpoint approximation
 	}
 	seen := h.under
 	for i, c := range h.buckets {
 		seen += c
 		if seen >= rank {
-			lo := h.min * math.Pow(h.growth, float64(i))
-			return lo * math.Sqrt(h.growth) // geometric bucket midpoint
+			return h.spec.Mid(i)
 		}
 	}
 	return h.maxSeen
@@ -104,13 +167,14 @@ func (h *Histogram) Percentile(p float64) float64 {
 
 // Merge folds other (which must share bounds and precision) into h.
 func (h *Histogram) Merge(other *Histogram) error {
-	if other.min != h.min || other.growth != h.growth || len(other.buckets) != len(h.buckets) {
+	if !h.spec.Compatible(other.spec) {
 		return fmt.Errorf("stats: merging incompatible histograms")
 	}
 	for i, c := range other.buckets {
 		h.buckets[i] += c
 	}
 	h.under += other.under
+	h.invalid += other.invalid
 	h.count += other.count
 	h.sum += other.sum
 	if other.maxSeen > h.maxSeen {
@@ -124,7 +188,7 @@ func (h *Histogram) Reset() {
 	for i := range h.buckets {
 		h.buckets[i] = 0
 	}
-	h.under, h.count = 0, 0
+	h.under, h.count, h.invalid = 0, 0, 0
 	h.sum, h.maxSeen = 0, 0
 }
 

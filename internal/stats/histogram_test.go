@@ -127,6 +127,101 @@ func TestHistogramString(t *testing.T) {
 	}
 }
 
+// The satellite hardening: NaN/Inf/<=0 must never reach math.Log. Before
+// the BucketSpec extraction, Add(NaN) corrupted count/sum and Add(+Inf)
+// produced an out-of-range bucket index.
+func TestHistogramNonFiniteAndNonPositive(t *testing.T) {
+	h := NewHistogram(1, 1e4, 0.05)
+	h.Add(math.NaN())
+	h.Add(math.Inf(1))
+	h.Add(math.Inf(-1))
+	if h.Count() != 0 {
+		t.Fatalf("non-finite observations leaked into count: %d", h.Count())
+	}
+	if h.Invalid() != 3 {
+		t.Fatalf("invalid = %d, want 3", h.Invalid())
+	}
+	if h.Mean() != 0 || h.Max() != 0 {
+		t.Fatalf("non-finite observations poisoned mean=%v max=%v", h.Mean(), h.Max())
+	}
+	// Non-positive observations are real (finite) data below range: they
+	// count, land in the under-range bucket, and never hit the log.
+	h.Add(0)
+	h.Add(-12.5)
+	h.Add(50)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if got := h.Percentile(10); got >= 1 {
+		t.Errorf("under-range percentile = %v, want < min", got)
+	}
+	if got := h.Percentile(99); got < 40 || got > 60 {
+		t.Errorf("P99 = %v, want ~50", got)
+	}
+	// Percentile(NaN) must panic like other out-of-range arguments.
+	defer func() {
+		if recover() == nil {
+			t.Error("Percentile(NaN) did not panic")
+		}
+	}()
+	h.Percentile(math.NaN())
+}
+
+func TestBucketSpecIndexTotal(t *testing.T) {
+	spec, err := NewBucketSpec(1e2, 1e10, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index is total: defined (and in range) for every float64.
+	for _, x := range []float64{
+		math.NaN(), math.Inf(1), math.Inf(-1), -1, 0, 1e-300, 99.999,
+		100, 101, 1e5, 1e10, 1e300, math.MaxFloat64,
+	} {
+		i := spec.Index(x)
+		if i < 0 || i >= spec.Buckets() {
+			t.Fatalf("Index(%v) = %d out of [0,%d)", x, i, spec.Buckets())
+		}
+	}
+	if spec.Index(math.Inf(1)) != spec.Buckets()-1 {
+		t.Error("+Inf must clamp to the last bucket")
+	}
+	if spec.Index(math.NaN()) != 0 || spec.Index(-5) != 0 {
+		t.Error("NaN and negatives must clamp to bucket 0")
+	}
+	// Midpoints sit inside their bucket, monotonically increasing.
+	for i := 1; i < spec.Buckets(); i++ {
+		if !(spec.Mid(i) > spec.Mid(i-1)) {
+			t.Fatalf("Mid not monotonic at %d", i)
+		}
+		if !(spec.Mid(i) > spec.Lower(i)) {
+			t.Fatalf("Mid(%d) below Lower", i)
+		}
+	}
+}
+
+func TestBucketSpecValidation(t *testing.T) {
+	bad := [][3]float64{
+		{0, 10, 0.1}, {10, 10, 0.1}, {1, 10, 0}, {1, 10, 1},
+		{math.NaN(), 10, 0.1}, {1, math.Inf(1), 0.1}, {1, 10, math.NaN()},
+	}
+	for i, c := range bad {
+		if _, err := NewBucketSpec(c[0], c[1], c[2]); err == nil {
+			t.Errorf("case %d accepted invalid spec %v", i, c)
+		}
+	}
+	spec, err := NewBucketSpec(1, 1e3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _ := NewBucketSpec(2, 1e3, 0.05)
+	if spec.Compatible(other) {
+		t.Error("different Min reported compatible")
+	}
+	if !spec.Compatible(spec) {
+		t.Error("self not compatible")
+	}
+}
+
 // Property: histogram percentiles agree with exact sample percentiles
 // within the configured relative precision.
 func TestHistogramVsExactProperty(t *testing.T) {

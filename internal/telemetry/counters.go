@@ -1,0 +1,209 @@
+package telemetry
+
+import "sync/atomic"
+
+// Grid is a stripes x tenants matrix of counters: each writer increments
+// in its own stripe row (no cross-worker cache-line contention), readers
+// merge rows at snapshot time. The record path is one atomic add; there
+// is no lock anywhere.
+type Grid struct {
+	tenants int
+	rows    [][]atomic.Int64 // [stripe][tenant]
+}
+
+// NewGrid builds a tenants x stripes counter grid.
+func NewGrid(tenants, stripes int) *Grid {
+	if tenants < 1 {
+		tenants = 1
+	}
+	if stripes < 1 {
+		stripes = 1
+	}
+	g := &Grid{tenants: tenants, rows: make([][]atomic.Int64, stripes)}
+	for s := range g.rows {
+		g.rows[s] = make([]atomic.Int64, tenants)
+	}
+	return g
+}
+
+// Add adds delta to the tenant's counter in the given stripe (clamped
+// into range, so a worker id can be passed straight through).
+func (g *Grid) Add(stripe, tenant int, delta int64) {
+	if tenant < 0 || tenant >= g.tenants {
+		return
+	}
+	if stripe < 0 {
+		stripe = 0
+	}
+	g.rows[stripe%len(g.rows)][tenant].Add(delta)
+}
+
+// Tenant returns the merged count for one tenant.
+func (g *Grid) Tenant(tenant int) int64 {
+	if tenant < 0 || tenant >= g.tenants {
+		return 0
+	}
+	var sum int64
+	for s := range g.rows {
+		sum += g.rows[s][tenant].Load()
+	}
+	return sum
+}
+
+// Total returns the merged count across all tenants.
+func (g *Grid) Total() int64 {
+	var sum int64
+	for s := range g.rows {
+		row := g.rows[s]
+		for t := range row {
+			sum += row[t].Load()
+		}
+	}
+	return sum
+}
+
+// SumInto adds each tenant's merged count into dst[tenant] and returns
+// the grand total (dst may be nil for total-only reads).
+func (g *Grid) SumInto(dst []int64) int64 {
+	var sum int64
+	for s := range g.rows {
+		row := g.rows[s]
+		for t := range row {
+			v := row[t].Load()
+			sum += v
+			if t < len(dst) {
+				dst[t] += v
+			}
+		}
+	}
+	return sum
+}
+
+// TenantCounts is one tenant's (or the whole plane's) counter snapshot.
+type TenantCounts struct {
+	Ingressed int64 `json:"ingressed"`
+	Processed int64 `json:"processed"`
+	Delivered int64 `json:"delivered"`
+	Errors    int64 `json:"errors"`
+	Panics    int64 `json:"panics"`
+	Dropped   int64 `json:"dropped"`
+}
+
+func (c TenantCounts) sub(o TenantCounts) TenantCounts {
+	return TenantCounts{
+		Ingressed: c.Ingressed - o.Ingressed,
+		Processed: c.Processed - o.Processed,
+		Delivered: c.Delivered - o.Delivered,
+		Errors:    c.Errors - o.Errors,
+		Panics:    c.Panics - o.Panics,
+		Dropped:   c.Dropped - o.Dropped,
+	}
+}
+
+// Metrics is the dataplane's counter set: one Grid per series, striped by
+// worker (plus one extra stripe for the ingress side, which runs on
+// arbitrary producer goroutines). It replaces the plane's former global
+// atomics — per-tenant resolution for the export plane, and the global
+// Stats() totals become merge-on-read sums.
+type Metrics struct {
+	tenants int
+	ingress int // the ingress-side stripe index
+
+	Ingressed *Grid
+	Processed *Grid
+	Delivered *Grid
+	Errors    *Grid
+	Panics    *Grid
+	Dropped   *Grid
+	Restarts  atomic.Int64 // per-plane (supervisor), not per-tenant
+}
+
+// NewMetrics builds the counter set for tenants served by workers worker
+// goroutines (stripe w belongs to worker w; stripe IngressStripe() to
+// producers).
+func NewMetrics(tenants, workers int) *Metrics {
+	if workers < 1 {
+		workers = 1
+	}
+	stripes := workers + 1
+	return &Metrics{
+		tenants:   tenants,
+		ingress:   workers,
+		Ingressed: NewGrid(tenants, stripes),
+		Processed: NewGrid(tenants, stripes),
+		Delivered: NewGrid(tenants, stripes),
+		Errors:    NewGrid(tenants, stripes),
+		Panics:    NewGrid(tenants, stripes),
+		Dropped:   NewGrid(tenants, stripes),
+	}
+}
+
+// Tenants returns the tenant count.
+func (m *Metrics) Tenants() int { return m.tenants }
+
+// IngressStripe is the stripe index producer-side increments use.
+func (m *Metrics) IngressStripe() int { return m.ingress }
+
+// TenantCounts merges one tenant's counters.
+func (m *Metrics) TenantCounts(tenant int) TenantCounts {
+	return TenantCounts{
+		Ingressed: m.Ingressed.Tenant(tenant),
+		Processed: m.Processed.Tenant(tenant),
+		Delivered: m.Delivered.Tenant(tenant),
+		Errors:    m.Errors.Tenant(tenant),
+		Panics:    m.Panics.Tenant(tenant),
+		Dropped:   m.Dropped.Tenant(tenant),
+	}
+}
+
+// MetricsSnapshot is a merge-on-read snapshot of a Metrics set.
+type MetricsSnapshot struct {
+	Totals    TenantCounts   `json:"totals"`
+	Restarts  int64          `json:"restarts"`
+	PerTenant []TenantCounts `json:"per_tenant"`
+}
+
+// Snapshot merges every stripe into per-tenant and total counts.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		PerTenant: make([]TenantCounts, m.tenants),
+		Restarts:  m.Restarts.Load(),
+	}
+	ing := make([]int64, m.tenants)
+	s.Totals.Ingressed = m.Ingressed.SumInto(ing)
+	pro := make([]int64, m.tenants)
+	s.Totals.Processed = m.Processed.SumInto(pro)
+	del := make([]int64, m.tenants)
+	s.Totals.Delivered = m.Delivered.SumInto(del)
+	errs := make([]int64, m.tenants)
+	s.Totals.Errors = m.Errors.SumInto(errs)
+	pan := make([]int64, m.tenants)
+	s.Totals.Panics = m.Panics.SumInto(pan)
+	drp := make([]int64, m.tenants)
+	s.Totals.Dropped = m.Dropped.SumInto(drp)
+	for t := 0; t < m.tenants; t++ {
+		s.PerTenant[t] = TenantCounts{
+			Ingressed: ing[t], Processed: pro[t], Delivered: del[t],
+			Errors: errs[t], Panics: pan[t], Dropped: drp[t],
+		}
+	}
+	return s
+}
+
+// Delta returns s - prev (per tenant and total), for rate computation
+// between two scrapes.
+func (s MetricsSnapshot) Delta(prev MetricsSnapshot) MetricsSnapshot {
+	out := MetricsSnapshot{
+		Totals:    s.Totals.sub(prev.Totals),
+		Restarts:  s.Restarts - prev.Restarts,
+		PerTenant: make([]TenantCounts, len(s.PerTenant)),
+	}
+	for i := range s.PerTenant {
+		var p TenantCounts
+		if i < len(prev.PerTenant) {
+			p = prev.PerTenant[i]
+		}
+		out.PerTenant[i] = s.PerTenant[i].sub(p)
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"sync/atomic"
+
+	"hyperplane/internal/stats"
+)
+
+// LatencyHist is a concurrent log-bucketed latency histogram. It reuses
+// the bucket math of internal/stats.BucketSpec but replaces the plain
+// int64 bucket array with per-stripe atomic arrays: each recording
+// worker increments only its own stripe, so the record path is a handful
+// of uncontended atomic adds with no lock. Readers merge the stripes
+// into a HistSnapshot.
+type LatencyHist struct {
+	spec    stats.BucketSpec
+	stripes []*histStripe // separate allocations keep stripes on separate cache lines
+}
+
+type histStripe struct {
+	count   atomic.Int64
+	under   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets []atomic.Int64
+}
+
+// NewLatencyHist builds a histogram with the given bucket spec and one
+// stripe per recording worker (minimum 1).
+func NewLatencyHist(spec stats.BucketSpec, stripes int) *LatencyHist {
+	if stripes < 1 {
+		stripes = 1
+	}
+	h := &LatencyHist{spec: spec, stripes: make([]*histStripe, stripes)}
+	for i := range h.stripes {
+		h.stripes[i] = &histStripe{buckets: make([]atomic.Int64, spec.Buckets())}
+	}
+	return h
+}
+
+// Spec returns the bucket spec.
+func (h *LatencyHist) Spec() stats.BucketSpec { return h.spec }
+
+// Record adds one latency observation (nanoseconds) in the caller's
+// stripe. Negative values clamp to zero. Lock- and allocation-free.
+func (h *LatencyHist) Record(stripe int, ns int64) {
+	if stripe < 0 {
+		stripe = 0
+	}
+	st := h.stripes[stripe%len(h.stripes)]
+	if ns < 0 {
+		ns = 0
+	}
+	st.count.Add(1)
+	st.sum.Add(ns)
+	for {
+		old := st.max.Load()
+		if ns <= old || st.max.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	x := float64(ns)
+	if x < h.spec.Min {
+		st.under.Add(1)
+		return
+	}
+	st.buckets[h.spec.Index(x)].Add(1)
+}
+
+// Snapshot merges all stripes into a consistent-enough point-in-time
+// view. Individual loads are atomic; the merge is not a global snapshot
+// (counts recorded mid-merge may or may not appear), which is fine for
+// monitoring.
+func (h *LatencyHist) Snapshot() HistSnapshot {
+	s := HistSnapshot{spec: h.spec, Buckets: make([]int64, h.spec.Buckets())}
+	for _, st := range h.stripes {
+		s.Count += st.count.Load()
+		s.Under += st.under.Load()
+		s.SumNs += st.sum.Load()
+		if m := st.max.Load(); m > s.MaxNs {
+			s.MaxNs = m
+		}
+		for i := range s.Buckets {
+			s.Buckets[i] += st.buckets[i].Load()
+		}
+	}
+	return s
+}
+
+// HistSnapshot is a merged, immutable view of a LatencyHist.
+type HistSnapshot struct {
+	Buckets []int64 `json:"-"`
+	Count   int64   `json:"count"`
+	Under   int64   `json:"under"`
+	SumNs   int64   `json:"sum_ns"`
+	MaxNs   int64   `json:"max_ns"`
+
+	spec stats.BucketSpec
+}
+
+// Spec returns the snapshot's bucket spec.
+func (s HistSnapshot) Spec() stats.BucketSpec { return s.spec }
+
+// Percentile returns the approximate p-th percentile latency in
+// nanoseconds (p in [0,100]). Under-range observations resolve to
+// Min/2; empty snapshots to 0.
+func (s HistSnapshot) Percentile(p float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := int64(p / 100 * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	if rank < s.Under {
+		return int64(s.spec.Min / 2)
+	}
+	cum := s.Under
+	for i, c := range s.Buckets {
+		cum += c
+		if rank < cum {
+			mid := int64(s.spec.Mid(i))
+			if mid > s.MaxNs && s.MaxNs > 0 {
+				return s.MaxNs
+			}
+			return mid
+		}
+	}
+	return s.MaxNs
+}
+
+// Delta returns s - prev, for per-interval latency distributions.
+func (s HistSnapshot) Delta(prev HistSnapshot) HistSnapshot {
+	out := HistSnapshot{
+		spec:    s.spec,
+		Buckets: make([]int64, len(s.Buckets)),
+		Count:   s.Count - prev.Count,
+		Under:   s.Under - prev.Under,
+		SumNs:   s.SumNs - prev.SumNs,
+		MaxNs:   s.MaxNs, // max is cumulative; the interval max is unknowable
+	}
+	for i := range s.Buckets {
+		d := s.Buckets[i]
+		if i < len(prev.Buckets) {
+			d -= prev.Buckets[i]
+		}
+		out.Buckets[i] = d
+	}
+	return out
+}
+
+// LatencySummary is the fixed percentile set the export plane publishes
+// per tenant (the paper's Fig. 5 tail-latency view).
+type LatencySummary struct {
+	Count int64 `json:"count"`
+	SumNs int64 `json:"sum_ns"`
+	P50   int64 `json:"p50_ns"`
+	P99   int64 `json:"p99_ns"`
+	P999  int64 `json:"p999_ns"`
+	MaxNs int64 `json:"max_ns"`
+}
+
+// Summary computes the export percentile set.
+func (s HistSnapshot) Summary() LatencySummary {
+	return LatencySummary{
+		Count: s.Count,
+		SumNs: s.SumNs,
+		P50:   s.Percentile(50),
+		P99:   s.Percentile(99),
+		P999:  s.Percentile(99.9),
+		MaxNs: s.MaxNs,
+	}
+}

@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugSnapshot is the /debug/tenants payload the dataplane installs via
+// SetDebug: per-tenant runtime state (quarantine, backlog, counters,
+// latency) plus per-worker arbitration internals (bank occupancy,
+// park/wake counters, policy state via policy.Inspect).
+type DebugSnapshot struct {
+	Tenants []TenantDebug `json:"tenants"`
+	Workers []WorkerDebug `json:"workers,omitempty"`
+}
+
+// TenantDebug is one tenant's runtime view.
+type TenantDebug struct {
+	Tenant     int            `json:"tenant"`
+	State      string         `json:"state"` // healthy | quarantined | probing
+	Backlog    int            `json:"backlog"`
+	OutBacklog int            `json:"out_backlog"`
+	Counts     TenantCounts   `json:"counts"`
+	Latency    LatencySummary `json:"latency"`
+}
+
+// WorkerDebug is one worker's notifier internals.
+type WorkerDebug struct {
+	Worker int         `json:"worker"`
+	Banks  []BankDebug `json:"banks"`
+}
+
+// BankDebug is one notifier bank's occupancy, activity counters, and
+// arbitration state.
+type BankDebug struct {
+	Bank        int         `json:"bank"`
+	Ready       int         `json:"ready"`
+	Selects     int64       `json:"selects"`
+	Activations int64       `json:"activations"`
+	Parks       int64       `json:"parks"`
+	Wakes       int64       `json:"wakes"`
+	Policy      PolicyDebug `json:"policy"`
+}
+
+// PolicyDebug mirrors policy.Inspection with plain JSON-friendly fields
+// (telemetry does not import internal/policy; the runtime converts).
+type PolicyDebug struct {
+	Kind    string    `json:"kind"`
+	Rotor   int       `json:"rotor"`
+	Counter int       `json:"counter,omitempty"`
+	Weights []int     `json:"weights,omitempty"`
+	Deficit []int64   `json:"deficit,omitempty"`
+	Score   []float64 `json:"score,omitempty"`
+	Round   int64     `json:"round,omitempty"`
+	QIDs    []int     `json:"qids,omitempty"` // global QID per local vector index
+}
+
+// Handler returns the export mux: /metrics (Prometheus text format),
+// /debug/tenants (JSON), /debug/trace (binary span dump), and
+// /debug/pprof/*.
+func (t *T) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", t.serveMetrics)
+	mux.HandleFunc("/debug/tenants", t.serveTenants)
+	mux.HandleFunc("/debug/trace", t.serveTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "hyperplane telemetry\n\n/metrics\n/debug/tenants\n/debug/trace\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+func (t *T) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	t.WriteMetrics(w)
+}
+
+// WriteMetrics writes the full Prometheus text-format exposition: the
+// per-tenant latency summaries, the attached counter set, uptime, and
+// every registered collector section.
+func (t *T) WriteMetrics(w io.Writer) {
+	metrics, _, collectors := t.snapshotSources()
+
+	fmt.Fprintf(w, "# HELP hyperplane_uptime_seconds Seconds since the telemetry plane started.\n")
+	fmt.Fprintf(w, "# TYPE hyperplane_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "hyperplane_uptime_seconds %g\n", time.Since(t.started).Seconds())
+
+	fmt.Fprintf(w, "# HELP hyperplane_notify_latency_seconds Sampled doorbell-to-dispatch notification latency.\n")
+	fmt.Fprintf(w, "# TYPE hyperplane_notify_latency_seconds summary\n")
+	for tenant := 0; tenant < t.tenants; tenant++ {
+		sum := t.TenantLatency(tenant).Summary()
+		fmt.Fprintf(w, "hyperplane_notify_latency_seconds{tenant=\"%d\",quantile=\"0.5\"} %g\n", tenant, secs(sum.P50))
+		fmt.Fprintf(w, "hyperplane_notify_latency_seconds{tenant=\"%d\",quantile=\"0.99\"} %g\n", tenant, secs(sum.P99))
+		fmt.Fprintf(w, "hyperplane_notify_latency_seconds{tenant=\"%d\",quantile=\"0.999\"} %g\n", tenant, secs(sum.P999))
+		fmt.Fprintf(w, "hyperplane_notify_latency_seconds_sum{tenant=\"%d\"} %g\n", tenant, secs(sum.SumNs))
+		fmt.Fprintf(w, "hyperplane_notify_latency_seconds_count{tenant=\"%d\"} %d\n", tenant, sum.Count)
+	}
+
+	if metrics != nil {
+		snap := metrics.Snapshot()
+		counter := func(name, help string, get func(TenantCounts) int64) {
+			fmt.Fprintf(w, "# HELP hyperplane_%s_total %s\n", name, help)
+			fmt.Fprintf(w, "# TYPE hyperplane_%s_total counter\n", name)
+			for tenant, c := range snap.PerTenant {
+				fmt.Fprintf(w, "hyperplane_%s_total{tenant=\"%d\"} %d\n", name, tenant, get(c))
+			}
+		}
+		counter("ingressed", "Items accepted into device rings.", func(c TenantCounts) int64 { return c.Ingressed })
+		counter("processed", "Items consumed by handlers.", func(c TenantCounts) int64 { return c.Processed })
+		counter("delivered", "Results delivered to output rings.", func(c TenantCounts) int64 { return c.Delivered })
+		counter("handler_errors", "Handler invocations that returned an error.", func(c TenantCounts) int64 { return c.Errors })
+		counter("handler_panics", "Handler invocations that panicked.", func(c TenantCounts) int64 { return c.Panics })
+		counter("dropped", "Items dropped by the fault policy.", func(c TenantCounts) int64 { return c.Dropped })
+		fmt.Fprintf(w, "# HELP hyperplane_worker_restarts_total Worker goroutines restarted by the supervisor.\n")
+		fmt.Fprintf(w, "# TYPE hyperplane_worker_restarts_total counter\n")
+		fmt.Fprintf(w, "hyperplane_worker_restarts_total %d\n", snap.Restarts)
+	}
+
+	for _, fn := range collectors {
+		fn(w)
+	}
+}
+
+func secs(ns int64) float64 { return float64(ns) / 1e9 }
+
+func (t *T) serveTenants(w http.ResponseWriter, _ *http.Request) {
+	_, debug, _ := t.snapshotSources()
+	var payload any
+	if debug != nil {
+		payload = debug()
+	} else {
+		// No runtime installed a debug source: fall back to the
+		// latency-only view telemetry can build on its own.
+		snap := DebugSnapshot{Tenants: make([]TenantDebug, t.tenants)}
+		for i := range snap.Tenants {
+			snap.Tenants[i] = TenantDebug{
+				Tenant:  i,
+				Latency: t.TenantLatency(i).Summary(),
+			}
+		}
+		payload = snap
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(payload); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (t *T) serveTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", "attachment; filename=hyperplane.trace")
+	_, _ = t.trace.WriteTo(w)
+}
+
+// Server is a running telemetry HTTP endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the export endpoint on addr (e.g. ":9090" or
+// "127.0.0.1:0") and returns once the listener is bound.
+func Serve(addr string, t *T) (*Server, error) {
+	if t == nil {
+		return nil, fmt.Errorf("telemetry: Serve requires a non-nil telemetry plane")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: t.Handler()}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

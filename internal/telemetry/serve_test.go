@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestPlane(t *testing.T) *T {
+	t.Helper()
+	tp := mustT(t, Config{Tenants: 2, Workers: 2, SampleEvery: 1})
+	m := NewMetrics(2, 2)
+	m.Ingressed.Add(m.IngressStripe(), 0, 100)
+	m.Processed.Add(0, 0, 90)
+	m.Dropped.Add(1, 1, 3)
+	m.Restarts.Add(2)
+	tp.AttachMetrics(m)
+	for i := 0; i < 100; i++ {
+		tp.RecordNotify(0, 0, 0, int64(i), int64(i+1000+i*10))
+	}
+	return tp
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestServeMetrics(t *testing.T) {
+	tp := newTestPlane(t)
+	srv := httptest.NewServer(tp.Handler())
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	text := string(body)
+	wants := []string{
+		`hyperplane_notify_latency_seconds{tenant="0",quantile="0.5"}`,
+		`hyperplane_notify_latency_seconds{tenant="0",quantile="0.99"}`,
+		`hyperplane_notify_latency_seconds{tenant="1",quantile="0.999"}`,
+		`hyperplane_notify_latency_seconds_count{tenant="0"} 100`,
+		`hyperplane_ingressed_total{tenant="0"} 100`,
+		`hyperplane_processed_total{tenant="0"} 90`,
+		`hyperplane_dropped_total{tenant="1"} 3`,
+		`hyperplane_worker_restarts_total 2`,
+		`hyperplane_uptime_seconds`,
+	}
+	for _, want := range wants {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestServeMetricsCollector(t *testing.T) {
+	tp := newTestPlane(t)
+	tp.AttachCollector(func(w io.Writer) {
+		fmt.Fprintf(w, "hyperplane_bank_ready{bank=\"0\"} 7\n")
+	})
+	srv := httptest.NewServer(tp.Handler())
+	defer srv.Close()
+	_, body := get(t, srv, "/metrics")
+	if !strings.Contains(string(body), `hyperplane_bank_ready{bank="0"} 7`) {
+		t.Error("collector output missing from /metrics")
+	}
+}
+
+func TestServeTenantsFallback(t *testing.T) {
+	tp := newTestPlane(t)
+	srv := httptest.NewServer(tp.Handler())
+	defer srv.Close()
+	code, body := get(t, srv, "/debug/tenants")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var snap DebugSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(snap.Tenants) != 2 {
+		t.Fatalf("tenants = %d", len(snap.Tenants))
+	}
+	if snap.Tenants[0].Latency.Count != 100 {
+		t.Errorf("tenant 0 latency count = %d", snap.Tenants[0].Latency.Count)
+	}
+}
+
+func TestServeTenantsCustomDebug(t *testing.T) {
+	tp := newTestPlane(t)
+	tp.SetDebug(func() any {
+		return DebugSnapshot{Tenants: []TenantDebug{{Tenant: 0, State: "quarantined", Backlog: 42}}}
+	})
+	srv := httptest.NewServer(tp.Handler())
+	defer srv.Close()
+	_, body := get(t, srv, "/debug/tenants")
+	var snap DebugSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Tenants[0].State != "quarantined" || snap.Tenants[0].Backlog != 42 {
+		t.Errorf("debug payload = %+v", snap.Tenants[0])
+	}
+}
+
+func TestServeTraceDump(t *testing.T) {
+	tp := newTestPlane(t)
+	srv := httptest.NewServer(tp.Handler())
+	defer srv.Close()
+	code, body := get(t, srv, "/debug/trace")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	spans, err := ReadTrace(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 100 {
+		t.Errorf("trace spans = %d, want 100", len(spans))
+	}
+}
+
+func TestServePprofIndex(t *testing.T) {
+	tp := newTestPlane(t)
+	srv := httptest.NewServer(tp.Handler())
+	defer srv.Close()
+	code, body := get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Error("pprof index missing profiles")
+	}
+}
+
+func TestServeListener(t *testing.T) {
+	tp := newTestPlane(t)
+	s, err := Serve("127.0.0.1:0", tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if _, err := Serve("127.0.0.1:0", nil); err == nil {
+		t.Error("Serve(nil) accepted")
+	}
+}

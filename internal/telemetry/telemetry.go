@@ -1,0 +1,246 @@
+// Package telemetry is the runtime observability plane for the HyperPlane
+// runtime: per-tenant sharded counters, concurrent log-bucketed latency
+// histograms, sampled notification-latency tracing, and an HTTP export
+// surface (Prometheus /metrics, JSON /debug/tenants, a binary trace dump,
+// and net/http/pprof).
+//
+// The paper's headline claims are measurements — 16.4x tail latency and
+// work proportionality of IPC/power with load — so the runtime must be
+// able to report doorbell-to-handler latency percentiles per tenant
+// without perturbing the hot path it measures. The package is built
+// around that constraint:
+//
+//   - Nothing on the record path takes a lock or allocates: counters are
+//     striped atomics (one stripe per worker, merge-on-read), histograms
+//     bucket with the same BucketSpec math as internal/stats into striped
+//     atomic bucket arrays, and the trace ring publishes fixed-size spans
+//     through per-slot seqlocks.
+//   - Notification spans are sampled (default 1 in 64): the Notifier
+//     stamps a timestamp on the sampled doorbell write and the dataplane
+//     closes the span at handler dispatch, so the common path pays one
+//     branch and the sampled path one time.Now plus one CAS.
+//   - When telemetry is disabled (a nil *T everywhere), every hook
+//     compiles down to a nil check: zero allocations, no atomics beyond
+//     the counters the runtime already kept.
+//
+// Export is pull-based: /metrics and /debug/tenants merge the stripes at
+// scrape time, so the record path never pays for aggregation.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"hyperplane/internal/stats"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultSampleEvery = 64
+	DefaultTraceCap    = 4096
+	DefaultLatencyMin  = 100 * time.Nanosecond
+	DefaultLatencyMax  = 10 * time.Second
+	DefaultPrecision   = 0.05
+)
+
+// Config describes a telemetry plane.
+type Config struct {
+	// Tenants is the number of per-tenant latency series.
+	Tenants int
+	// Workers is the stripe count for histograms (one per recording
+	// worker avoids false sharing). 0 defaults to 1.
+	Workers int
+	// SampleEvery samples 1 in N notifications for latency tracing; it
+	// must be a power of two. 0 defaults to DefaultSampleEvery (64);
+	// 1 traces every notification.
+	SampleEvery int
+	// TraceCap is the trace ring capacity (rounded up to a power of two).
+	// 0 defaults to DefaultTraceCap.
+	TraceCap int
+	// LatencyMin/LatencyMax bound the latency histograms; observations
+	// below Min land in the under-range bucket, above Max in the last
+	// bucket. Zero values default to 100ns and 10s.
+	LatencyMin, LatencyMax time.Duration
+	// LatencyPrecision is the histogram bucket growth (relative error);
+	// 0 defaults to 0.05.
+	LatencyPrecision float64
+}
+
+// T is a telemetry plane: the sink for sampled notification spans and the
+// registry the export endpoints read from. All record-path methods are
+// safe for concurrent use and lock-free; a nil *T is inert (Record*
+// methods no-op) so callers gate with a single nil check.
+type T struct {
+	tenants     int
+	stripes     int
+	sampleEvery int
+	sampleMask  uint64
+	spec        stats.BucketSpec
+
+	hists []*LatencyHist // per tenant, doorbell-to-dispatch latency
+	trace *TraceRing
+
+	mu         sync.Mutex
+	metrics    *Metrics
+	debug      func() any
+	collectors []func(io.Writer)
+	started    time.Time
+}
+
+// New builds a telemetry plane.
+func New(cfg Config) (*T, error) {
+	if cfg.Tenants < 1 {
+		return nil, fmt.Errorf("telemetry: Tenants must be positive, got %d", cfg.Tenants)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("telemetry: Workers must be >= 0, got %d", cfg.Workers)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = DefaultSampleEvery
+	}
+	if cfg.SampleEvery < 1 || cfg.SampleEvery&(cfg.SampleEvery-1) != 0 {
+		return nil, fmt.Errorf("telemetry: SampleEvery must be a power of two, got %d", cfg.SampleEvery)
+	}
+	if cfg.TraceCap == 0 {
+		cfg.TraceCap = DefaultTraceCap
+	}
+	if cfg.TraceCap < 1 {
+		return nil, fmt.Errorf("telemetry: TraceCap must be positive, got %d", cfg.TraceCap)
+	}
+	if cfg.LatencyMin <= 0 {
+		cfg.LatencyMin = DefaultLatencyMin
+	}
+	if cfg.LatencyMax <= cfg.LatencyMin {
+		cfg.LatencyMax = DefaultLatencyMax
+	}
+	if cfg.LatencyPrecision == 0 {
+		cfg.LatencyPrecision = DefaultPrecision
+	}
+	spec, err := stats.NewBucketSpec(
+		float64(cfg.LatencyMin.Nanoseconds()),
+		float64(cfg.LatencyMax.Nanoseconds()),
+		cfg.LatencyPrecision,
+	)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	t := &T{
+		tenants:     cfg.Tenants,
+		stripes:     cfg.Workers,
+		sampleEvery: cfg.SampleEvery,
+		sampleMask:  uint64(cfg.SampleEvery - 1),
+		spec:        spec,
+		trace:       NewTraceRing(cfg.TraceCap),
+		started:     time.Now(),
+	}
+	t.hists = make([]*LatencyHist, cfg.Tenants)
+	for i := range t.hists {
+		t.hists[i] = NewLatencyHist(spec, cfg.Workers)
+	}
+	return t, nil
+}
+
+// Tenants returns the configured tenant-series count.
+func (t *T) Tenants() int { return t.tenants }
+
+// SampleEvery returns the sampling period (1 = every notification).
+func (t *T) SampleEvery() int { return t.sampleEvery }
+
+// SampleMask returns sampleEvery-1: producers stamp when their running
+// notification counter ANDed with the mask is zero, so the sampling
+// decision costs one AND on a counter the hot path already maintains.
+func (t *T) SampleMask() uint64 { return t.sampleMask }
+
+// RecordNotify closes one sampled notification span: start and end are
+// UnixNano stamps taken at doorbell/Notify time and at handler dispatch.
+// The latency lands in the tenant's histogram (striped by worker) and the
+// span in the trace ring. Lock- and allocation-free; safe on a nil *T.
+func (t *T) RecordNotify(worker, tenant, qid int, start, end int64) {
+	if t == nil {
+		return
+	}
+	lat := end - start
+	if lat < 0 {
+		lat = 0
+	}
+	if tenant >= 0 && tenant < t.tenants {
+		t.hists[tenant].Record(worker, lat)
+	}
+	t.trace.Append(tenant, worker, qid, start, lat)
+}
+
+// TenantLatency snapshots the tenant's doorbell-to-dispatch latency
+// histogram (zero snapshot for out-of-range tenants or a nil *T).
+func (t *T) TenantLatency(tenant int) HistSnapshot {
+	if t == nil || tenant < 0 || tenant >= t.tenants {
+		return HistSnapshot{}
+	}
+	return t.hists[tenant].Snapshot()
+}
+
+// Trace returns the span ring (nil on a nil *T).
+func (t *T) Trace() *TraceRing {
+	if t == nil {
+		return nil
+	}
+	return t.trace
+}
+
+// AttachMetrics registers a counter set for /metrics export. The runtime
+// that owns the counters keeps writing them; the export plane reads.
+func (t *T) AttachMetrics(m *Metrics) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.metrics = m
+	t.mu.Unlock()
+}
+
+// Metrics returns the attached counter set (nil when none).
+func (t *T) Metrics() *Metrics {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.metrics
+}
+
+// SetDebug registers the /debug/tenants payload source; the function is
+// called per scrape and its result JSON-encoded. dataplane.Plane installs
+// a DebugSnapshot builder here.
+func (t *T) SetDebug(fn func() any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.debug = fn
+	t.mu.Unlock()
+}
+
+// AttachCollector registers an extra /metrics section: fn is called per
+// scrape and writes Prometheus text-format lines. The runtime uses it for
+// series whose state it owns (notifier bank counters, ring occupancy).
+func (t *T) AttachCollector(fn func(io.Writer)) {
+	if t == nil || fn == nil {
+		return
+	}
+	t.mu.Lock()
+	t.collectors = append(t.collectors, fn)
+	t.mu.Unlock()
+}
+
+// snapshotSources copies the registered export sources under the lock.
+func (t *T) snapshotSources() (m *Metrics, debug func() any, collectors []func(io.Writer)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cs := make([]func(io.Writer), len(t.collectors))
+	copy(cs, t.collectors)
+	return t.metrics, t.debug, cs
+}

@@ -1,0 +1,294 @@
+package telemetry
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"hyperplane/internal/stats"
+)
+
+func mustT(t *testing.T, cfg Config) *T {
+	t.Helper()
+	tp, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestGridStripedAdds(t *testing.T) {
+	g := NewGrid(3, 4)
+	g.Add(0, 1, 5)
+	g.Add(3, 1, 7)
+	g.Add(2, 0, 1)
+	g.Add(9, 2, 2) // stripe wraps in range
+	g.Add(0, -1, 9)
+	g.Add(0, 3, 9) // out-of-range tenant ignored
+	if got := g.Tenant(1); got != 12 {
+		t.Errorf("Tenant(1) = %d, want 12", got)
+	}
+	if got := g.Total(); got != 15 {
+		t.Errorf("Total = %d, want 15", got)
+	}
+	dst := make([]int64, 3)
+	if got := g.SumInto(dst); got != 15 {
+		t.Errorf("SumInto total = %d, want 15", got)
+	}
+	if dst[0] != 1 || dst[1] != 12 || dst[2] != 2 {
+		t.Errorf("SumInto dst = %v", dst)
+	}
+}
+
+func TestMetricsSnapshotDelta(t *testing.T) {
+	m := NewMetrics(2, 2)
+	m.Ingressed.Add(m.IngressStripe(), 0, 10)
+	m.Processed.Add(0, 0, 4)
+	m.Processed.Add(1, 0, 3)
+	m.Errors.Add(1, 1, 2)
+	m.Restarts.Add(1)
+	s1 := m.Snapshot()
+	if s1.Totals.Ingressed != 10 || s1.Totals.Processed != 7 || s1.Totals.Errors != 2 {
+		t.Errorf("totals = %+v", s1.Totals)
+	}
+	if s1.PerTenant[0].Processed != 7 || s1.PerTenant[1].Errors != 2 {
+		t.Errorf("per-tenant = %+v", s1.PerTenant)
+	}
+	if s1.Restarts != 1 {
+		t.Errorf("restarts = %d", s1.Restarts)
+	}
+	m.Processed.Add(0, 0, 5)
+	d := m.Snapshot().Delta(s1)
+	if d.Totals.Processed != 5 || d.Totals.Ingressed != 0 {
+		t.Errorf("delta totals = %+v", d.Totals)
+	}
+	if d.PerTenant[0].Processed != 5 {
+		t.Errorf("delta per-tenant = %+v", d.PerTenant)
+	}
+}
+
+func TestLatencyHistConcurrentRecord(t *testing.T) {
+	spec, err := stats.NewBucketSpec(100, 1e9, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewLatencyHist(spec, 4)
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Record(w, int64(1000+i)) // 1.0–1.01 microseconds
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 4*perWorker {
+		t.Fatalf("count = %d, want %d", s.Count, 4*perWorker)
+	}
+	p50 := s.Percentile(50)
+	if p50 < 800 || p50 > 12000 {
+		t.Errorf("p50 = %dns, want ~1000-11000ns", p50)
+	}
+	if s.MaxNs != 1000+perWorker-1 {
+		t.Errorf("max = %d", s.MaxNs)
+	}
+	sum := s.Summary()
+	if sum.P50 > sum.P99 || sum.P99 > sum.MaxNs {
+		t.Errorf("percentiles not ordered: %+v", sum)
+	}
+}
+
+func TestLatencyHistUnderAndNegative(t *testing.T) {
+	spec, err := stats.NewBucketSpec(1000, 1e9, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewLatencyHist(spec, 1)
+	h.Record(0, -5) // clamps to 0 → under
+	h.Record(0, 10) // under Min
+	h.Record(0, 5000)
+	s := h.Snapshot()
+	if s.Count != 3 || s.Under != 2 {
+		t.Fatalf("count=%d under=%d", s.Count, s.Under)
+	}
+	if p := s.Percentile(10); p != 500 { // Min/2 for under-range
+		t.Errorf("under-range percentile = %d, want 500", p)
+	}
+}
+
+func TestTraceRingWraparound(t *testing.T) {
+	r := NewTraceRing(4)
+	if r.Cap() != 4 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		r.Append(i, i%2, i*3, int64(100+i), int64(i))
+	}
+	spans := r.Dump()
+	if len(spans) != 4 {
+		t.Fatalf("dump len = %d, want 4", len(spans))
+	}
+	// Oldest surviving span is ticket 7 (tenant 6).
+	for i, sp := range spans {
+		want := int32(6 + i)
+		if sp.Tenant != want {
+			t.Errorf("span[%d].Tenant = %d, want %d", i, sp.Tenant, want)
+		}
+		if sp.Latency != int64(sp.Tenant) {
+			t.Errorf("span[%d] latency/tenant mismatch: %+v", i, sp)
+		}
+	}
+}
+
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Latency mirrors start so readers can check consistency.
+				r.Append(w, w, i, int64(i), int64(i))
+				i++
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(50 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for _, sp := range r.Dump() {
+			if sp.Start != sp.Latency {
+				t.Errorf("torn span leaked: %+v", sp)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestTraceBinaryRoundTrip(t *testing.T) {
+	r := NewTraceRing(8)
+	r.Append(1, 2, 3, 1000, 50)
+	r.Append(4, 5, 6, 2000, 75)
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes()[:4]; string(got) != "HPT1" {
+		t.Fatalf("magic = %q", got)
+	}
+	spans, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("len = %d", len(spans))
+	}
+	if spans[0] != (Span{Start: 1000, Latency: 50, Tenant: 1, Worker: 2, QID: 3}) {
+		t.Errorf("span[0] = %+v", spans[0])
+	}
+	if spans[1] != (Span{Start: 2000, Latency: 75, Tenant: 4, Worker: 5, QID: 6}) {
+		t.Errorf("span[1] = %+v", spans[1])
+	}
+}
+
+func TestRecordNotify(t *testing.T) {
+	tp := mustT(t, Config{Tenants: 2, Workers: 2, SampleEvery: 1})
+	tp.RecordNotify(0, 1, 7, 1000, 3000)
+	tp.RecordNotify(1, 1, 7, 1000, 500) // negative latency clamps to 0
+	s := tp.TenantLatency(1)
+	if s.Count != 2 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if tp.Trace().Len() != 2 {
+		t.Errorf("trace len = %d", tp.Trace().Len())
+	}
+	if got := tp.TenantLatency(5); got.Count != 0 {
+		t.Errorf("out-of-range tenant snapshot: %+v", got)
+	}
+}
+
+func TestNilTelemetryIsInert(t *testing.T) {
+	var tp *T
+	tp.RecordNotify(0, 0, 0, 1, 2)
+	if tp.Trace() != nil {
+		t.Error("nil T Trace() != nil")
+	}
+	if s := tp.TenantLatency(0); s.Count != 0 {
+		t.Error("nil T latency non-zero")
+	}
+	tp.AttachMetrics(nil)
+	tp.SetDebug(nil)
+	tp.AttachCollector(nil)
+	var r *TraceRing
+	r.Append(0, 0, 0, 0, 0)
+	if r.Dump() != nil || r.Len() != 0 {
+		t.Error("nil ring not inert")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Tenants: 0}); err == nil {
+		t.Error("Tenants=0 accepted")
+	}
+	if _, err := New(Config{Tenants: 1, SampleEvery: 3}); err == nil {
+		t.Error("non-power-of-two SampleEvery accepted")
+	}
+	tp := mustT(t, Config{Tenants: 1})
+	if tp.SampleEvery() != DefaultSampleEvery {
+		t.Errorf("default SampleEvery = %d", tp.SampleEvery())
+	}
+	if tp.SampleMask() != DefaultSampleEvery-1 {
+		t.Errorf("mask = %d", tp.SampleMask())
+	}
+	one := mustT(t, Config{Tenants: 1, SampleEvery: 1})
+	if one.SampleMask() != 0 {
+		t.Errorf("SampleEvery=1 mask = %d", one.SampleMask())
+	}
+}
+
+func TestRecordNotifyZeroAlloc(t *testing.T) {
+	tp := mustT(t, Config{Tenants: 2, Workers: 2, SampleEvery: 1})
+	if n := testing.AllocsPerRun(1000, func() {
+		tp.RecordNotify(0, 1, 3, 100, 200)
+	}); n != 0 {
+		t.Errorf("RecordNotify allocates %v per run, want 0", n)
+	}
+	var nilT *T
+	if n := testing.AllocsPerRun(1000, func() {
+		nilT.RecordNotify(0, 1, 3, 100, 200)
+	}); n != 0 {
+		t.Errorf("nil RecordNotify allocates %v per run, want 0", n)
+	}
+}
+
+func TestHistRecordZeroAlloc(t *testing.T) {
+	spec, _ := stats.NewBucketSpec(100, 1e9, 0.05)
+	h := NewLatencyHist(spec, 2)
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Record(1, 12345)
+	}); n != 0 {
+		t.Errorf("Record allocates %v per run, want 0", n)
+	}
+}
+
+func TestGridAddZeroAlloc(t *testing.T) {
+	g := NewGrid(4, 4)
+	if n := testing.AllocsPerRun(1000, func() {
+		g.Add(2, 3, 1)
+	}); n != 0 {
+		t.Errorf("Grid.Add allocates %v per run, want 0", n)
+	}
+}

@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"io"
+	"sync/atomic"
+)
+
+// Span is one sampled notification: stamped at doorbell/Notify time,
+// closed at handler dispatch.
+type Span struct {
+	Start   int64 // UnixNano at Notify
+	Latency int64 // dispatch - notify, nanoseconds
+	Tenant  int32
+	Worker  int32
+	QID     int32
+}
+
+// TraceRing is a fixed-size lock-free ring of sampled spans. Writers
+// claim a monotonically increasing ticket and publish into slot
+// ticket&mask through a per-slot seqlock: the slot's seq is zeroed,
+// fields stored, then seq set to the ticket. Readers validate seq ==
+// expected ticket before and after loading the fields and skip torn
+// slots. Every field is individually atomic so the race detector sees
+// no unsynchronized access; the seqlock supplies the logical
+// consistency the detector cannot check.
+type TraceRing struct {
+	mask  uint64
+	next  atomic.Uint64 // tickets issued (1-based; slot = (ticket-1)&mask)
+	slots []traceSlot
+}
+
+type traceSlot struct {
+	seq     atomic.Uint64 // 0 = being written; else the publishing ticket
+	start   atomic.Int64
+	latency atomic.Int64
+	tenant  atomic.Int32
+	worker  atomic.Int32
+	qid     atomic.Int32
+}
+
+// NewTraceRing builds a ring holding the last capacity spans (rounded up
+// to a power of two, minimum 1).
+func NewTraceRing(capacity int) *TraceRing {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &TraceRing{mask: uint64(n - 1), slots: make([]traceSlot, n)}
+}
+
+// Cap returns the ring capacity.
+func (r *TraceRing) Cap() int { return len(r.slots) }
+
+// Len returns the number of spans currently available (≤ Cap).
+func (r *TraceRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := r.next.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Append publishes one span. Lock- and allocation-free; safe on a nil
+// ring (no-op).
+func (r *TraceRing) Append(tenant, worker, qid int, start, latency int64) {
+	if r == nil {
+		return
+	}
+	ticket := r.next.Add(1)
+	s := &r.slots[(ticket-1)&r.mask]
+	s.seq.Store(0)
+	s.start.Store(start)
+	s.latency.Store(latency)
+	s.tenant.Store(int32(tenant))
+	s.worker.Store(int32(worker))
+	s.qid.Store(int32(qid))
+	s.seq.Store(ticket)
+}
+
+// Dump copies the currently readable spans, oldest first, skipping slots
+// a concurrent writer tore mid-read.
+func (r *TraceRing) Dump() []Span {
+	if r == nil {
+		return nil
+	}
+	end := r.next.Load()
+	span := uint64(len(r.slots))
+	begin := uint64(1)
+	if end > span {
+		begin = end - span + 1
+	}
+	out := make([]Span, 0, end-begin+1)
+	for t := begin; t <= end; t++ {
+		s := &r.slots[(t-1)&r.mask]
+		if s.seq.Load() != t {
+			continue // overwritten or mid-write
+		}
+		sp := Span{
+			Start:   s.start.Load(),
+			Latency: s.latency.Load(),
+			Tenant:  s.tenant.Load(),
+			Worker:  s.worker.Load(),
+			QID:     s.qid.Load(),
+		}
+		if s.seq.Load() != t {
+			continue // torn while we read
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// Trace dump binary framing: magic, version, record count, then
+// fixed-width little-endian records.
+const (
+	traceMagic   = "HPT1"
+	traceVersion = uint32(1)
+	traceRecSize = 28 // 8+8+4+4+4 bytes per span
+)
+
+// WriteTo dumps the ring in the binary trace format:
+//
+//	[4]byte  magic "HPT1"
+//	uint32   version (1)
+//	uint32   record count
+//	records: int64 start, int64 latency, int32 tenant, int32 worker,
+//	         int32 qid — all little-endian.
+func (r *TraceRing) WriteTo(w io.Writer) (int64, error) {
+	spans := r.Dump()
+	hdr := make([]byte, 12)
+	copy(hdr, traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], traceVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(spans)))
+	var written int64
+	n, err := w.Write(hdr)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	rec := make([]byte, traceRecSize)
+	for _, sp := range spans {
+		binary.LittleEndian.PutUint64(rec[0:], uint64(sp.Start))
+		binary.LittleEndian.PutUint64(rec[8:], uint64(sp.Latency))
+		binary.LittleEndian.PutUint32(rec[16:], uint32(sp.Tenant))
+		binary.LittleEndian.PutUint32(rec[20:], uint32(sp.Worker))
+		binary.LittleEndian.PutUint32(rec[24:], uint32(sp.QID))
+		n, err = w.Write(rec)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// ReadTrace parses a binary trace dump (the inverse of WriteTo), for
+// offline analysis tooling and tests.
+func ReadTrace(rd io.Reader) ([]Span, error) {
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(rd, hdr); err != nil {
+		return nil, err
+	}
+	if string(hdr[:4]) != traceMagic {
+		return nil, io.ErrUnexpectedEOF
+	}
+	count := binary.LittleEndian.Uint32(hdr[8:])
+	out := make([]Span, 0, count)
+	rec := make([]byte, traceRecSize)
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(rd, rec); err != nil {
+			return nil, err
+		}
+		out = append(out, Span{
+			Start:   int64(binary.LittleEndian.Uint64(rec[0:])),
+			Latency: int64(binary.LittleEndian.Uint64(rec[8:])),
+			Tenant:  int32(binary.LittleEndian.Uint32(rec[16:])),
+			Worker:  int32(binary.LittleEndian.Uint32(rec[20:])),
+			QID:     int32(binary.LittleEndian.Uint32(rec[24:])),
+		})
+	}
+	return out, nil
+}

@@ -29,6 +29,7 @@ import (
 
 	"hyperplane/internal/nshard"
 	"hyperplane/internal/policy"
+	"hyperplane/internal/telemetry"
 )
 
 // QID identifies a registered queue within a Notifier.
@@ -69,6 +70,12 @@ type NotifierConfig struct {
 	// with rotor sweeping between banks). Service-policy semantics are
 	// exact within a bank; across banks, see Wait's fairness bound.
 	Shards int
+	// Telemetry, when non-nil, enables sampled notification-latency
+	// tracing: 1 in Telemetry.SampleEvery() notifies stamps a timestamp
+	// that the consumer closes with TakeStamp at dispatch and records via
+	// telemetry.RecordNotify. When nil (the default), the notify path pays
+	// a single nil check and nothing else.
+	Telemetry *telemetry.T
 }
 
 // Notifier is the software realization of the HyperPlane programming model,
@@ -122,6 +129,14 @@ type Notifier struct {
 	spurious  atomic.Int64
 	waits     atomic.Int64
 	halts     atomic.Int64 // Waits that actually blocked
+
+	// Sampled notification tracing (nil stamps = telemetry disabled; the
+	// notify path then pays only the nil check). stamps[qid] holds the
+	// UnixNano of the oldest un-dispatched sampled notify, claimed by
+	// CAS-from-zero at Notify and drained by Swap-to-zero in TakeStamp.
+	tel        *telemetry.T
+	sampleMask uint64
+	stamps     []atomic.Int64
 }
 
 // NewNotifier creates a Notifier.
@@ -160,6 +175,11 @@ func NewNotifier(cfg NotifierConfig) (*Notifier, error) {
 		parker: nshard.NewParker(shards),
 		states: make([]nshard.QState, cfg.MaxQueues),
 		kind:   spec.Kind,
+	}
+	if cfg.Telemetry != nil {
+		n.tel = cfg.Telemetry
+		n.sampleMask = cfg.Telemetry.SampleMask()
+		n.stamps = make([]atomic.Int64, cfg.MaxQueues)
 	}
 	for s := 0; s < shards; s++ {
 		b, err := nshard.NewBank(cfg.MaxQueues, shards, s, spec, &n.bankSummary, uint(s))
@@ -245,9 +265,20 @@ func (n *Notifier) activate(qid QID) {
 // re-arm coalesce, exactly like disarmed monitoring-set entries. The
 // coalescing case is a single atomic load — no locks on the producer path.
 func (n *Notifier) Notify(qid QID) {
-	n.notifies.Add(1)
+	c := n.notifies.Add(1)
 	if qid < 0 || int(qid) >= len(n.states) {
 		return
+	}
+	if n.stamps != nil && uint64(c)&n.sampleMask == 0 {
+		// Sampled: open a latency span. The stamp is written before the
+		// activation so a consumer dispatching this notification cannot
+		// observe an empty slot. Keep-oldest semantics: the plain load
+		// skips the clock read and the RMW when a span is already open,
+		// and the CAS-from-zero closes the load→CAS race in favor of
+		// whichever sampled notify stamped first.
+		if s := &n.stamps[qid]; s.Load() == 0 {
+			s.CompareAndSwap(0, time.Now().UnixNano())
+		}
 	}
 	if n.states[qid].TryActivate() {
 		n.activate(qid)
@@ -259,12 +290,17 @@ func (n *Notifier) Notify(qid QID) {
 // that many waiters are woken at the end. Duplicate or already-activated
 // QIDs coalesce exactly as with Notify.
 func (n *Notifier) NotifyBatch(qids []QID) {
-	n.notifies.Add(int64(len(qids)))
+	base := n.notifies.Add(int64(len(qids))) - int64(len(qids))
 	activated := 0
 	firstBank := 0
-	for _, qid := range qids {
+	for i, qid := range qids {
 		if qid < 0 || int(qid) >= len(n.states) {
 			continue
+		}
+		if n.stamps != nil && uint64(base+int64(i)+1)&n.sampleMask == 0 {
+			if s := &n.stamps[qid]; s.Load() == 0 {
+				s.CompareAndSwap(0, time.Now().UnixNano())
+			}
 		}
 		if n.states[qid].TryActivate() {
 			s := int(qid) % len(n.banks)
@@ -675,4 +711,104 @@ func (n *Notifier) Stats() NotifierStats {
 		Spurious:    n.spurious.Load(),
 		Registered:  registered,
 	}
+}
+
+// Telemetry returns the telemetry plane the Notifier was configured with
+// (nil when tracing is disabled).
+func (n *Notifier) Telemetry() *telemetry.T { return n.tel }
+
+// TakeStamp drains and returns the queue's pending sampled-notify
+// timestamp (UnixNano), or 0 when no sampled span is open. Consumers
+// call it at handler-dispatch time and close the span with
+// telemetry.RecordNotify. Lock- and allocation-free; always 0 when
+// telemetry is disabled.
+func (n *Notifier) TakeStamp(qid QID) int64 {
+	if n.stamps == nil || qid < 0 || int(qid) >= len(n.stamps) {
+		return 0
+	}
+	// Most dispatches find no open span (1/SampleEvery do); the plain
+	// load keeps that common case a shared cache read instead of an RMW
+	// that would bounce the line between workers and sampling producers.
+	s := &n.stamps[qid]
+	if s.Load() == 0 {
+		return 0
+	}
+	return s.Swap(0)
+}
+
+// BankStats is one ready-set bank's activity view: current occupancy,
+// selection/activation counters, and the park/wake counters of the
+// parker stripe paired with the bank — the software analogue of the
+// paper's per-bank monitoring-set activity (halted cores parked on a
+// bank, doorbell activations into it).
+type BankStats struct {
+	Bank        int   // bank index
+	Ready       int   // enabled ready queues right now
+	Selects     int64 // selections served from this bank
+	Activations int64 // activations inserted into this bank
+	Parks       int64 // waiters parked on this bank's stripe
+	Wakes       int64 // wakeups delivered from this bank's stripe
+}
+
+// BankStats snapshots every bank's counters.
+func (n *Notifier) BankStats() []BankStats {
+	out := make([]BankStats, len(n.banks))
+	for s, b := range n.banks {
+		c := b.Counts()
+		p := n.parker.StripeCounts(s)
+		out[s] = BankStats{
+			Bank:        s,
+			Ready:       c.Ready,
+			Selects:     c.Selects,
+			Activations: c.Activations,
+			Parks:       p.Parks,
+			Wakes:       p.Wakes,
+		}
+	}
+	return out
+}
+
+// PolicyInspection is a read-only snapshot of one bank's arbitration
+// state (the policy.Inspect hook surfaced through the public API).
+// Vector fields are indexed by the bank's local queue order; QIDs maps
+// each local index back to the global queue ID.
+type PolicyInspection struct {
+	Bank    int       // bank index
+	Kind    string    // discipline name
+	Rotor   int       // next-selection scan origin
+	Counter int       // WRR remaining budget for the favored queue
+	Weights []int     // static weights / DRR quanta (nil if unused)
+	Deficit []int64   // DRR per-queue credit (negative = carried debt)
+	Score   []float64 // EWMA arrival-pressure estimates
+	Round   int64     // EWMA service round
+	QIDs    []QID     // global QID for each local index
+}
+
+// InspectPolicy snapshots the arbitration state of every bank. Each
+// bank's snapshot is internally consistent (taken under that bank's
+// lock); the slice as a whole is not a global atomic snapshot.
+func (n *Notifier) InspectPolicy() []PolicyInspection {
+	out := make([]PolicyInspection, len(n.banks))
+	total := len(n.states)
+	for s, b := range n.banks {
+		insp := b.Inspect()
+		stride, offset := b.Geometry()
+		localN := (total - offset + stride - 1) / stride
+		qids := make([]QID, localN)
+		for l := range qids {
+			qids[l] = QID(l*stride + offset)
+		}
+		out[s] = PolicyInspection{
+			Bank:    s,
+			Kind:    insp.Kind.String(),
+			Rotor:   insp.Rotor,
+			Counter: insp.Counter,
+			Weights: insp.Weights,
+			Deficit: insp.Deficit,
+			Score:   insp.Score,
+			Round:   insp.Round,
+			QIDs:    qids,
+		}
+	}
+	return out
 }

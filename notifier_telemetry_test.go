@@ -1,0 +1,208 @@
+package hyperplane
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hyperplane/internal/telemetry"
+)
+
+func newTelemetryNotifier(t *testing.T, sampleEvery int) (*Notifier, *telemetry.T) {
+	t.Helper()
+	tel, err := telemetry.New(telemetry.Config{Tenants: 4, Workers: 1, SampleEvery: sampleEvery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNotifier(NotifierConfig{MaxQueues: 4, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, tel
+}
+
+func TestNotifySamplingStampsAndTakeStamp(t *testing.T) {
+	n, _ := newTelemetryNotifier(t, 1) // sample every notify
+	var db atomic.Int64
+	qid, err := n.Register(&db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Add(1)
+	n.Notify(qid)
+	ts := n.TakeStamp(qid)
+	if ts == 0 {
+		t.Fatal("sampled Notify left no stamp")
+	}
+	if again := n.TakeStamp(qid); again != 0 {
+		t.Errorf("TakeStamp did not drain: %d", again)
+	}
+	// CAS-from-zero keeps the oldest stamp across notify bursts.
+	n.Notify(qid)
+	first := n.stamps[qid].Load()
+	n.Notify(qid)
+	if n.stamps[qid].Load() != first {
+		t.Error("second Notify overwrote the open span's stamp")
+	}
+	n.Close()
+}
+
+func TestNotifySamplingPeriod(t *testing.T) {
+	n, _ := newTelemetryNotifier(t, 4)
+	var db atomic.Int64
+	qid, err := n.Register(&db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamped := 0
+	for i := 0; i < 64; i++ {
+		db.Add(1)
+		n.Notify(qid)
+		if ts := n.TakeStamp(qid); ts != 0 {
+			stamped++
+		}
+	}
+	if stamped != 16 {
+		t.Errorf("stamped %d of 64 notifies, want 16 at SampleEvery=4", stamped)
+	}
+	n.Close()
+}
+
+func TestTakeStampDisabled(t *testing.T) {
+	n, err := NewNotifier(NotifierConfig{MaxQueues: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var db atomic.Int64
+	qid, _ := n.Register(&db)
+	db.Add(1)
+	n.Notify(qid)
+	if ts := n.TakeStamp(qid); ts != 0 {
+		t.Errorf("disabled notifier produced stamp %d", ts)
+	}
+	if n.Telemetry() != nil {
+		t.Error("Telemetry() non-nil without config")
+	}
+	n.Close()
+}
+
+// TestNotifyZeroAllocDisabled pins the acceptance criterion: with
+// telemetry disabled the record path (Notify + TakeStamp) allocates
+// nothing.
+func TestNotifyZeroAllocDisabled(t *testing.T) {
+	n, err := NewNotifier(NotifierConfig{MaxQueues: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	var db atomic.Int64
+	qid, _ := n.Register(&db)
+	if a := testing.AllocsPerRun(1000, func() {
+		db.Add(1)
+		n.Notify(qid)
+		n.TakeStamp(qid)
+		if q, ok := n.TryWait(); ok {
+			db.Add(-1)
+			n.Consume(q)
+		}
+	}); a != 0 {
+		t.Errorf("disabled notify path allocates %v per run, want 0", a)
+	}
+}
+
+// TestNotifyZeroAllocEnabled pins the sampled path too: stamping is a
+// time.Now + CAS, never an allocation.
+func TestNotifyZeroAllocEnabled(t *testing.T) {
+	n, _ := newTelemetryNotifier(t, 1)
+	defer n.Close()
+	var db atomic.Int64
+	qid, _ := n.Register(&db)
+	if a := testing.AllocsPerRun(1000, func() {
+		db.Add(1)
+		n.Notify(qid)
+		n.TakeStamp(qid)
+		if q, ok := n.TryWait(); ok {
+			db.Add(-1)
+			n.Consume(q)
+		}
+	}); a != 0 {
+		t.Errorf("sampled notify path allocates %v per run, want 0", a)
+	}
+}
+
+func TestBankStatsAndInspectPolicy(t *testing.T) {
+	n, err := NewNotifier(NotifierConfig{
+		MaxQueues: 8,
+		Shards:    2,
+		Policy:    Policy{Kind: DeficitRoundRobin.Kind, Weights: []int{8, 1, 8, 1, 8, 1, 8, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	dbs := make([]atomic.Int64, 8)
+	qids := make([]QID, 8)
+	for i := range qids {
+		qid, err := n.Register(&dbs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		qids[i] = qid
+	}
+	for _, qid := range qids {
+		dbs[qid].Add(1)
+		n.Notify(qid)
+	}
+	served := 0
+	for {
+		q, ok := n.TryWait()
+		if !ok {
+			break
+		}
+		dbs[q].Add(-1)
+		n.Consume(q)
+		served++
+	}
+	if served != 8 {
+		t.Fatalf("served %d of 8", served)
+	}
+
+	bs := n.BankStats()
+	if len(bs) != 2 {
+		t.Fatalf("banks = %d", len(bs))
+	}
+	var selects, acts int64
+	for _, b := range bs {
+		selects += b.Selects
+		acts += b.Activations
+	}
+	if selects != 8 || acts != 8 {
+		t.Errorf("selects=%d activations=%d, want 8/8", selects, acts)
+	}
+
+	insp := n.InspectPolicy()
+	if len(insp) != 2 {
+		t.Fatalf("inspections = %d", len(insp))
+	}
+	for _, in := range insp {
+		if in.Kind != "deficit-round-robin" && in.Kind != DeficitRoundRobin.Kind.String() {
+			t.Errorf("bank %d kind = %q", in.Bank, in.Kind)
+		}
+		if len(in.Weights) != 4 || len(in.Deficit) != 4 || len(in.QIDs) != 4 {
+			t.Fatalf("bank %d vectors: %+v", in.Bank, in)
+		}
+		// QIDs map local indices back to the interleaved global ids, and
+		// the weights follow each queue into its bank.
+		for l, q := range in.QIDs {
+			if int(q)%2 != in.Bank || int(q)/2 != l {
+				t.Errorf("bank %d local %d maps to qid %d", in.Bank, l, q)
+			}
+			want := 8
+			if int(q)%2 == 1 {
+				want = 1
+			}
+			if in.Weights[l] != want {
+				t.Errorf("qid %d weight = %d, want %d", q, in.Weights[l], want)
+			}
+		}
+	}
+}
