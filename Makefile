@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-guard chaos telemetry-smoke clean
+.PHONY: all build test race vet lint bench bench-guard bench-steal chaos telemetry-smoke clean
 
 all: build vet test
 
@@ -36,9 +36,19 @@ chaos:
 bench: bench-ring
 	$(GO) run ./cmd/notifierbench -out BENCH_notifier.json
 	$(GO) run ./cmd/planebench -tenants 8,64 -duration 1s -trials 3 -batch 1,16 -out BENCH_dataplane.json
+	$(GO) run ./cmd/planebench -skew 1.1 -seed 1 -tenants 16 -workers 4 -batch 16 \
+		-duration 1s -trials 3 -out BENCH_dataplane.json -merge
 
 bench-ring:
 	$(GO) run ./cmd/ringbench -out BENCH_ring.json
+
+# Skewed-load steal smoke: Zipf(1.1) tenant load, each point measured with
+# work stealing off and on. On multi-core hosts stealing must at least
+# match the no-steal throughput (-steal-check 1.0); single-core hosts
+# record a scaling note and skip the ratio check.
+bench-steal:
+	$(GO) run ./cmd/planebench -skew 1.1 -seed 1 -tenants 16 -workers 4 -batch 16 \
+		-smoke -steal-check 1.0
 
 # Regression guards: re-measure each recorded grid and fail if any cell's
 # speedup ratio drops more than 10% below the stored numbers (ratios of
@@ -50,6 +60,8 @@ bench-guard:
 	$(GO) run ./cmd/notifierbench -check BENCH_notifier.json -tolerance 0.10 -ops 300000 -trials 3
 	$(GO) run ./cmd/ringbench -check BENCH_ring.json -tolerance 0.15 -ops 400000 -trials 5
 	$(GO) run ./cmd/notifierbench -telemetry-check -telemetry-tolerance 0.05
+	$(GO) run ./cmd/planebench -skew 1.1 -seed 1 -tenants 16 -workers 4 -batch 16 \
+		-smoke -steal-check 1.0
 
 # Telemetry smoke: run the observed-plane example briefly, self-scrape
 # /metrics, /debug/tenants and /debug/trace, and fail if any expected

@@ -29,15 +29,30 @@
 // watched from a browser or scraped by Prometheus:
 //
 //	planebench -tenants 256 -duration 60s -metrics-addr :9090
+//
+// -skew switches to the skewed tenant-load mode: instead of one flood
+// per tenant, a shared pool of -producers goroutines samples a tenant
+// per item from a Zipf(s) distribution (seeded by -seed, so runs are
+// reproducible), and each Notify point is measured twice — work stealing
+// off and on — recording the steal speedup per cell. -steal-check fails
+// the run when stealing does not reach the given fraction of the
+// no-steal throughput on a multi-core host (single-core hosts record a
+// scaling note instead); -merge appends the skew grid to an existing
+// -out report instead of overwriting it:
+//
+//	planebench -skew 1.1 -seed 1 -tenants 16 -workers 4 -batch 16 \
+//	           -out BENCH_dataplane.json -merge -steal-check 1.0
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -64,6 +79,14 @@ type benchConfig struct {
 	quarantine int
 	maxBatch   int // MaxBatch for the plane; 1 pins the per-item path
 	producers  int // ingress goroutines per tenant; >1 => SharedIngress
+
+	// skewed tenant-load mode (-skew): producers becomes a shared pool
+	// whose goroutines sample a tenant per item from Zipf(skew), seeded
+	// by zipfSeed for reproducibility; steal toggles the dataplane's
+	// cross-bank work-stealing consumer path.
+	skew     float64
+	zipfSeed int64
+	steal    bool
 
 	// fault plan (nil faultCfg = no injection)
 	faultFrac  float64
@@ -118,9 +141,15 @@ func main() {
 		stall      = flag.Bool("stall", false, "stall faulty tenants' consumers (dead delivery rings)")
 
 		batchFlag = flag.String("batch", "1,16", "comma-separated MaxBatch values to sweep (1 = per-item baseline)")
-		producers = flag.Int("producers", 1, "ingress goroutines per tenant (>1 switches to shared MPSC ingress rings)")
+		producers = flag.Int("producers", 1, "ingress goroutines per tenant (>1 switches to shared MPSC ingress rings); with -skew, the total shared producer pool")
 		trials    = flag.Int("trials", 1, "runs per cell; the median by items/s is reported")
 		outFlag   = flag.String("out", "", "write the measured grid as JSON (BENCH_dataplane.json) to this path")
+
+		skew       = flag.Float64("skew", 0, "Zipf skew s (> 1) for the skewed tenant-load mode; 0 = uniform per-tenant flood")
+		zipfSeed   = flag.Int64("seed", 1, "Zipf sampling seed for reproducible -skew runs")
+		stealCheck = flag.Float64("steal-check", 0, "guard: fail unless steal-on items/s >= this fraction of steal-off on every -skew point (multi-core hosts only)")
+		smoke      = flag.Bool("smoke", false, "shrink the measurement window and trials for CI smoke runs")
+		merge      = flag.Bool("merge", false, "append this sweep's cells to an existing -out report instead of overwriting it")
 
 		metricsAddr = flag.String("metrics-addr", "",
 			"serve the measuring cell's telemetry plane (/metrics, /debug/tenants, pprof) on this address")
@@ -141,6 +170,19 @@ func main() {
 	}
 	counts := parseInts("-tenants", *tenantsFlag)
 	batches := parseInts("-batch", *batchFlag)
+
+	if *smoke {
+		*duration = 250 * time.Millisecond
+		*trials = 1
+	}
+	if *skew != 0 && *skew <= 1 {
+		fmt.Fprintln(os.Stderr, "planebench: -skew must be > 1 (Zipf s) or 0")
+		os.Exit(2)
+	}
+	if *stealCheck > 0 && *skew == 0 {
+		fmt.Fprintln(os.Stderr, "planebench: -steal-check requires -skew")
+		os.Exit(2)
+	}
 
 	pol, err := hyperplane.ParsePolicy(*policyFlag)
 	if err != nil {
@@ -180,6 +222,8 @@ func main() {
 	}
 
 	cfg.producers = *producers
+	cfg.skew = *skew
+	cfg.zipfSeed = *zipfSeed
 
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
@@ -193,10 +237,14 @@ func main() {
 	}
 
 	injecting := cfg.faultFrac > 0
-	if injecting {
+	skewing := cfg.skew > 0
+	switch {
+	case injecting:
 		fmt.Printf("%8s %10s %6s %14s %14s %12s %12s  %s\n",
 			"tenants", "mode", "batch", "healthy/s", "faulty/s", "p50", "p99", "plane stats")
-	} else {
+	case skewing:
+		fmt.Printf("%8s %10s %6s %6s %14s %12s %12s\n", "tenants", "mode", "batch", "steal", "items/s", "p50", "p99")
+	default:
 		fmt.Printf("%8s %10s %6s %14s %12s %12s\n", "tenants", "mode", "batch", "items/s", "p50", "p99")
 	}
 	rep := benchReport{
@@ -205,44 +253,106 @@ func main() {
 		Workers:    cfg.workers,
 		Producers:  cfg.producers,
 	}
-	// items/s of the batch=1 cell per tenants x mode point, for speedups.
+	// Skewed-load mode measures Notify only (Spin has no notifier to
+	// steal through), each point twice: stealing off, then on.
+	modes := []dataplane.Mode{dataplane.Notify, dataplane.Spin}
+	stealSweep := []bool{false}
+	if skewing {
+		modes = []dataplane.Mode{dataplane.Notify}
+		stealSweep = []bool{false, true}
+		if runtime.GOMAXPROCS(0) < 2 {
+			rep.ScalingNote = fmt.Sprintf(
+				"GOMAXPROCS=%d: single schedulable core; steal-on vs steal-off reflects time-slicing, not cross-bank stealing",
+				runtime.GOMAXPROCS(0))
+			fmt.Fprintln(os.Stderr, "note:", rep.ScalingNote)
+		}
+	}
+	// items/s of the batch=1 cell per tenants x mode point, for speedups,
+	// and of the steal-off cell per tenants x batch point.
 	baseline := map[string]float64{}
+	stealBase := map[string]float64{}
+	stealWorst := -1.0
 	for _, tenants := range counts {
-		for _, mode := range []dataplane.Mode{dataplane.Notify, dataplane.Spin} {
+		for _, mode := range modes {
 			for _, batch := range batches {
-				cfg.mode = mode
-				cfg.maxBatch = batch
-				r, err := measureMedian(tenants, cfg, *trials)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "planebench:", err)
-					os.Exit(1)
+				for _, steal := range stealSweep {
+					cfg.mode = mode
+					cfg.maxBatch = batch
+					cfg.steal = steal
+					r, err := measureMedian(tenants, cfg, *trials)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "planebench:", err)
+						os.Exit(1)
+					}
+					switch {
+					case injecting:
+						fmt.Printf("%8d %10s %6d %14.0f %14.0f %12v %12v  panics=%d errors=%d dropped=%d quarantined=%d restarts=%d\n",
+							tenants, mode, batch, r.healthyThr, r.faultyThr, r.p50, r.p99,
+							r.stats.Panics, r.stats.Errors, r.stats.Dropped, r.stats.Quarantined, r.stats.Restarts)
+					case skewing:
+						fmt.Printf("%8d %10s %6d %6v %14.0f %12v %12v\n", tenants, mode, batch, steal, r.healthyThr, r.p50, r.p99)
+					default:
+						fmt.Printf("%8d %10s %6d %14.0f %12v %12v\n", tenants, mode, batch, r.healthyThr, r.p50, r.p99)
+					}
+					cell := benchCell{
+						Tenants:     tenants,
+						Mode:        mode.String(),
+						MaxBatch:    batch,
+						ItemsPerSec: r.healthyThr + r.faultyThr,
+						P50Ns:       r.p50.Nanoseconds(),
+						P99Ns:       r.p99.Nanoseconds(),
+					}
+					if skewing {
+						cell.Workers = cfg.workers
+						cell.Skew = cfg.skew
+						cell.Seed = cfg.zipfSeed
+						cell.Steal = steal
+					}
+					key := fmt.Sprintf("%d/%s/%v", tenants, mode, steal)
+					if batch == 1 {
+						baseline[key] = cell.ItemsPerSec
+					} else if base := baseline[key]; base > 0 {
+						cell.SpeedupVsItem = cell.ItemsPerSec / base
+					}
+					pointKey := fmt.Sprintf("%d/%d", tenants, batch)
+					if !steal {
+						stealBase[pointKey] = cell.ItemsPerSec
+					} else if off := stealBase[pointKey]; off > 0 {
+						cell.SpeedupSteal = cell.ItemsPerSec / off
+						if stealWorst < 0 || cell.SpeedupSteal < stealWorst {
+							stealWorst = cell.SpeedupSteal
+						}
+						fmt.Fprintf(os.Stderr, "steal speedup %s: %.2fx\n", pointKey, cell.SpeedupSteal)
+					}
+					rep.Cells = append(rep.Cells, cell)
 				}
-				if injecting {
-					fmt.Printf("%8d %10s %6d %14.0f %14.0f %12v %12v  panics=%d errors=%d dropped=%d quarantined=%d restarts=%d\n",
-						tenants, mode, batch, r.healthyThr, r.faultyThr, r.p50, r.p99,
-						r.stats.Panics, r.stats.Errors, r.stats.Dropped, r.stats.Quarantined, r.stats.Restarts)
-				} else {
-					fmt.Printf("%8d %10s %6d %14.0f %12v %12v\n", tenants, mode, batch, r.healthyThr, r.p50, r.p99)
-				}
-				cell := benchCell{
-					Tenants:     tenants,
-					Mode:        mode.String(),
-					MaxBatch:    batch,
-					ItemsPerSec: r.healthyThr + r.faultyThr,
-					P50Ns:       r.p50.Nanoseconds(),
-					P99Ns:       r.p99.Nanoseconds(),
-				}
-				key := fmt.Sprintf("%d/%s", tenants, mode)
-				if batch == 1 {
-					baseline[key] = cell.ItemsPerSec
-				} else if base := baseline[key]; base > 0 {
-					cell.SpeedupVsItem = cell.ItemsPerSec / base
-				}
-				rep.Cells = append(rep.Cells, cell)
 			}
 		}
 	}
+	if *stealCheck > 0 {
+		switch {
+		case rep.ScalingNote != "":
+			fmt.Fprintln(os.Stderr, "steal-check skipped:", rep.ScalingNote)
+		case stealWorst < *stealCheck:
+			fmt.Fprintf(os.Stderr, "planebench: steal-check failed: worst steal-on/steal-off ratio %.2fx < %.2fx\n",
+				stealWorst, *stealCheck)
+			os.Exit(1)
+		default:
+			fmt.Fprintf(os.Stderr, "steal-check ok: worst ratio %.2fx >= %.2fx\n", stealWorst, *stealCheck)
+		}
+	}
 	if *outFlag != "" {
+		if *merge {
+			if raw, err := os.ReadFile(*outFlag); err == nil {
+				var old benchReport
+				if err := json.Unmarshal(raw, &old); err == nil {
+					rep.Cells = append(old.Cells, rep.Cells...)
+					if rep.ScalingNote == "" {
+						rep.ScalingNote = old.ScalingNote
+					}
+				}
+			}
+		}
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "planebench:", err)
@@ -268,14 +378,28 @@ type benchCell struct {
 	P50Ns         int64   `json:"p50_ns"`
 	P99Ns         int64   `json:"p99_ns"`
 	SpeedupVsItem float64 `json:"speedup_vs_item,omitempty"`
+	// Skewed-load cells (-skew) additionally record the sweep parameters
+	// that produced them — the Zipf exponent and sampling seed make the
+	// run reproducible — plus the worker count, whether the cross-bank
+	// steal path was on, and the steal-on over steal-off throughput ratio
+	// of the same tenants x batch point.
+	Workers      int     `json:"workers,omitempty"`
+	Skew         float64 `json:"skew,omitempty"`
+	Seed         int64   `json:"seed,omitempty"`
+	Steal        bool    `json:"steal,omitempty"`
+	SpeedupSteal float64 `json:"speedup_steal_vs_nosteal,omitempty"`
 }
 
 type benchReport struct {
 	benchmeta.Host
-	DurationMS int64       `json:"duration_ms_per_cell"`
-	Workers    int         `json:"workers"`
-	Producers  int         `json:"producers_per_tenant"`
-	Cells      []benchCell `json:"cells"`
+	DurationMS int64 `json:"duration_ms_per_cell"`
+	Workers    int   `json:"workers"`
+	Producers  int   `json:"producers_per_tenant"`
+	// ScalingNote is set when the host cannot exhibit the steal speedup
+	// (-skew on a single schedulable core): the on/off ratio then measures
+	// OS time-slicing, not cross-bank stealing.
+	ScalingNote string      `json:"scaling_note,omitempty"`
+	Cells       []benchCell `json:"cells"`
 }
 
 type result struct {
@@ -367,6 +491,7 @@ func measure(tenants int, cfg benchConfig) (result, error) {
 		BatchHandler:    batchHandler,
 		MaxBatch:        cfg.maxBatch,
 		SharedIngress:   cfg.producers > 1,
+		Steal:           cfg.steal,
 		Delivery:        cfg.delivery,
 		DeliveryTimeout: cfg.deliverTO,
 		Quarantine:      dataplane.QuarantineConfig{Threshold: cfg.quarantine},
@@ -392,13 +517,40 @@ func measure(tenants int, cfg benchConfig) (result, error) {
 		nProducers = 1
 	}
 	var wg sync.WaitGroup
-	// nProducers producers + one tenant consumer per tenant.
+	if cfg.skew > 0 {
+		// Skewed tenant load: a shared pool of nProducers goroutines, each
+		// with its own deterministic Zipf stream (seed + pool index), picks
+		// the target tenant per item. Backpressure on a hot tenant's ring
+		// resamples instead of spinning on it — a blocked producer should
+		// offer load to the rest of the distribution, the way a NIC keeps
+		// delivering other flows while one queue is full. -rate is ignored
+		// (skew mode measures saturation).
+		for pi := 0; pi < nProducers; pi++ {
+			wg.Add(1)
+			go func(pi int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.zipfSeed + int64(pi)))
+				zipf := rand.NewZipf(rng, cfg.skew, 1, uint64(tenants-1))
+				for !stop.Load() {
+					if !p.Ingress(int(zipf.Uint64()), stampedPayload()) {
+						runtime.Gosched()
+					}
+				}
+			}(pi)
+		}
+	}
+	// nProducers producers + one tenant consumer per tenant (skew mode:
+	// pool producers above, consumers only here).
 	for tn := 0; tn < tenants; tn++ {
 		var pace time.Duration
 		if cfg.rate > 0 {
 			pace = time.Duration(float64(time.Second) / cfg.rate * float64(nProducers))
 		}
-		for pr := 0; pr < nProducers; pr++ {
+		perTenantProducers := nProducers
+		if cfg.skew > 0 {
+			perTenantProducers = 0
+		}
+		for pr := 0; pr < perTenantProducers; pr++ {
 			wg.Add(1)
 			go func(tn int) {
 				defer wg.Done()

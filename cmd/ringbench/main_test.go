@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScalingNoteGuardConsistency pins the satellite contract: wherever
+// the report emits a scaling note, guard mode skips the multi-producer
+// scaling assertions — the two sides can never disagree about whether a
+// host is capable of the measurement.
+func TestScalingNoteGuardConsistency(t *testing.T) {
+	for procs := 1; procs <= 16; procs++ {
+		note := scalingNote(procs)
+		for _, producers := range []int{1, 2, 4, 8} {
+			skip := skipScalingCheck(note, procs, producers)
+			if producers == 1 {
+				if skip {
+					t.Errorf("procs=%d: single-producer cell skipped", procs)
+				}
+				continue
+			}
+			if note != "" && !skip {
+				t.Errorf("procs=%d producers=%d: note emitted (%q) but guard would still assert",
+					procs, producers, note)
+			}
+			if note == "" && producers == 4 && skip {
+				t.Errorf("procs=%d: host can scale 4 producers but guard skips", procs)
+			}
+		}
+	}
+}
+
+// TestSkipScalingCheckBaselineNote: a baseline recorded on a single-core
+// host exempts its multi-producer cells even when the checking host has
+// plenty of cores — the recorded speedup is not a parallel measurement.
+func TestSkipScalingCheckBaselineNote(t *testing.T) {
+	note := scalingNote(1)
+	if note == "" {
+		t.Fatal("single-core host emitted no scaling note")
+	}
+	if !strings.Contains(note, "GOMAXPROCS=1") {
+		t.Errorf("note does not name the core count: %q", note)
+	}
+	if !skipScalingCheck(note, 64, 4) {
+		t.Error("baseline note ignored on a many-core checker")
+	}
+	if skipScalingCheck("", 64, 4) {
+		t.Error("skipped with no note and ample cores")
+	}
+	if !skipScalingCheck("", 2, 4) {
+		t.Error("asserted a 4-producer cell on a 2-core checker")
+	}
+}
+
+// TestScalingParallel pins the core-count rule: producers + 1 consumer.
+func TestScalingParallel(t *testing.T) {
+	cases := []struct {
+		procs, producers int
+		want             bool
+	}{
+		{1, 4, false}, {4, 4, false}, {5, 4, true},
+		{2, 1, true}, {1, 1, false}, {3, 2, true},
+	}
+	for _, c := range cases {
+		if got := scalingParallel(c.procs, c.producers); got != c.want {
+			t.Errorf("scalingParallel(%d, %d) = %v, want %v", c.procs, c.producers, got, c.want)
+		}
+	}
+}

@@ -150,6 +150,20 @@ type Config struct {
 	// tenant concurrently — the paper's shared-queue organization. The
 	// default SPSC rings admit one producer per tenant.
 	SharedIngress bool
+	// Steal enables the scale-up shared-consumer organization in Notify
+	// mode: all workers share ONE banked notifier (one ready-set bank per
+	// worker, home bank = worker id), device-side rings become
+	// multi-consumer (MPMC) so any worker may drain any tenant, and a
+	// worker whose home bank is empty claims ready tenants from sibling
+	// banks before parking (hyperplane.StealConfig semantics) — so idle
+	// workers absorb a hot tenant's backlog instead of parking next to
+	// it. Tenant-side delivery rings become multi-producer for the same
+	// reason. Spin mode ignores it (the spin loop already owns its
+	// partition outright).
+	Steal bool
+	// StealQuantum bounds how many tenant QIDs one steal claims from a
+	// victim bank (default 8; see hyperplane.StealConfig.Quantum).
+	StealQuantum int
 	// Delivery selects the tenant-side full-ring policy (default Block).
 	Delivery DeliveryPolicy
 	// DeliveryTimeout bounds Block per item; 0 waits until the plane
@@ -209,8 +223,11 @@ type tenantState struct {
 type Plane struct {
 	cfg Config
 
-	devRings []queue.Buffer[[]byte] // per tenant, device side (SPSC or MPSC)
-	outRings []*queue.Ring[[]byte]  // per tenant, tenant side
+	devRings []queue.Buffer[[]byte] // per tenant, device side (SPSC/MPSC/MPMC)
+	outRings []queue.Buffer[[]byte] // per tenant, tenant side (SPSC; MPSC under Steal)
+	// steal is the resolved steal mode: Config.Steal in Notify mode. The
+	// workers then share one banked notifier and drain via WaitHomeBatch.
+	steal bool
 	// outMu serializes the two tenant-side consumers that exist under
 	// DropOldest (the tenant and the evicting worker); unused otherwise.
 	outMu []sync.Mutex
@@ -252,6 +269,7 @@ type worker struct {
 	id          int
 	tenants     []int // tenant ids served by this worker
 	n           *hyperplane.Notifier
+	home        int              // home bank on the shared notifier (steal mode)
 	tenantOf    []int            // notifier QID -> tenant id
 	qidByTenant []hyperplane.QID // tenant id -> notifier QID (-1 = not ours)
 	stop        atomic.Bool
@@ -335,6 +353,9 @@ func New(cfg Config) (*Plane, error) {
 		return nil, fmt.Errorf("dataplane: telemetry plane sized for %d tenants, plane has %d",
 			cfg.Telemetry.Tenants(), cfg.Tenants)
 	}
+	if cfg.StealQuantum < 0 {
+		return nil, fmt.Errorf("dataplane: StealQuantum must be >= 0, got %d", cfg.StealQuantum)
+	}
 	p := &Plane{
 		cfg:    cfg,
 		tstate: make([]tenantState, cfg.Tenants),
@@ -342,20 +363,35 @@ func New(cfg Config) (*Plane, error) {
 		stopCh: make(chan struct{}),
 		m:      telemetry.NewMetrics(cfg.Tenants, cfg.Workers),
 		tel:    cfg.Telemetry,
+		steal:  cfg.Steal && cfg.Mode == Notify,
 	}
 
 	for t := 0; t < cfg.Tenants; t++ {
-		var dr queue.Buffer[[]byte]
+		var dr, or queue.Buffer[[]byte]
 		var err error
-		if cfg.SharedIngress {
+		switch {
+		case p.steal:
+			// Any worker may drain any tenant: the device ring needs
+			// multiple concurrent consumers (and SharedIngress producers
+			// come for free with it).
+			dr, err = queue.NewMPMC[[]byte](cfg.RingCapacity)
+		case cfg.SharedIngress:
 			dr, err = queue.NewMPSC[[]byte](cfg.RingCapacity)
-		} else {
+		default:
 			dr, err = queue.NewRing[[]byte](cfg.RingCapacity)
 		}
 		if err != nil {
 			return nil, err
 		}
-		or, err := queue.NewRing[[]byte](cfg.RingCapacity)
+		if p.steal {
+			// Any worker may deliver to any tenant: the delivery ring needs
+			// multiple producers. Its consumers (the tenant, plus the
+			// evicting worker under DropOldest) serialize on outMu exactly
+			// like the SPSC ring's DropOldest consumers do.
+			or, err = queue.NewMPSC[[]byte](cfg.RingCapacity)
+		} else {
+			or, err = queue.NewRing[[]byte](cfg.RingCapacity)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -377,8 +413,41 @@ func New(cfg Config) (*Plane, error) {
 		p.tenantQIDs = append(p.tenantQIDs, qid)
 	}
 
+	// Steal mode: one shared banked notifier for the whole pool, one bank
+	// per worker (capped at MaxShards). Tenants register in order, so
+	// QID == tenant and bank-of-tenant == tenant mod shards — the same
+	// interleave the per-worker partition uses, which makes each worker's
+	// home bank hold exactly its own partition's tenants.
+	var shared *hyperplane.Notifier
+	var sharedTenantOf []int
+	var sharedQIDs []hyperplane.QID
+	if p.steal {
+		sn, err := hyperplane.NewNotifier(hyperplane.NotifierConfig{
+			MaxQueues: cfg.Tenants,
+			Policy:    cfg.Policy,
+			Shards:    cfg.Workers,
+			Telemetry: cfg.Telemetry,
+			Steal:     hyperplane.StealConfig{Enable: true, Quantum: cfg.StealQuantum},
+		})
+		if err != nil {
+			return nil, err
+		}
+		sharedTenantOf = make([]int, cfg.Tenants)
+		sharedQIDs = make([]hyperplane.QID, cfg.Tenants)
+		for t := 0; t < cfg.Tenants; t++ {
+			qid, err := sn.Register(p.devRings[t].Doorbell())
+			if err != nil {
+				return nil, err
+			}
+			sharedTenantOf[qid] = t
+			sharedQIDs[t] = qid
+		}
+		shared = sn
+	}
+
 	// Partition tenants across workers round-robin; in Notify mode each
-	// worker gets its own notifier over its partition.
+	// worker gets its own notifier over its partition (or, in steal mode,
+	// a home bank on the shared one).
 	for w := 0; w < cfg.Workers; w++ {
 		wk := &worker{
 			id:      w,
@@ -388,7 +457,13 @@ func New(cfg Config) (*Plane, error) {
 		for t := w; t < cfg.Tenants; t += cfg.Workers {
 			wk.tenants = append(wk.tenants, t)
 		}
-		if cfg.Mode == Notify {
+		switch {
+		case p.steal:
+			wk.n = shared
+			wk.home = w % shared.Shards()
+			wk.tenantOf = sharedTenantOf
+			wk.qidByTenant = sharedQIDs
+		case cfg.Mode == Notify:
 			n, err := hyperplane.NewNotifier(hyperplane.NotifierConfig{
 				MaxQueues: len(wk.tenants),
 				Policy:    cfg.Policy,
@@ -762,7 +837,15 @@ func (p *Plane) runNotify(wk *worker) {
 		if wk.crashNext.CompareAndSwap(true, false) {
 			panic("dataplane: induced worker crash")
 		}
-		c := wk.n.WaitBatch(batch)
+		var c int
+		if p.steal {
+			// Home bank first, then steal from a hot sibling before
+			// parking. ConsumeN routes a stolen tenant's batch charge back
+			// to its victim bank automatically.
+			c = wk.n.WaitHomeBatch(wk.home, batch)
+		} else {
+			c = wk.n.WaitBatch(batch)
+		}
 		if c == 0 {
 			return // notifier closed by Stop
 		}
@@ -984,8 +1067,10 @@ func (p *Plane) deliver(wk *worker, tenant int, out []byte) {
 // whatever fits lands via one bulk copy, one doorbell increment, and one
 // notify; the remainder goes through the per-item delivery policy. The
 // bulk push is safe under every policy — the worker is the ring's only
-// producer, and DropOldest's competing consumers serialize on the
-// tenant's mutex against each other, not against the producer.
+// producer (in steal mode the ring is MPSC, so several stealing workers
+// may produce concurrently), and DropOldest's competing consumers
+// serialize on the tenant's mutex against each other, not against the
+// producers.
 func (p *Plane) deliverBatch(wk *worker, tenant int, outs [][]byte) {
 	if len(outs) == 0 {
 		return
@@ -1199,7 +1284,7 @@ func (p *Plane) DebugSnapshot() telemetry.DebugSnapshot {
 	if p.cfg.Mode != Notify {
 		return snap
 	}
-	for _, wk := range p.workers {
+	for _, wk := range p.notifierWorkers() {
 		banks := wk.n.BankStats()
 		insps := wk.n.InspectPolicy()
 		wd := telemetry.WorkerDebug{Worker: wk.id, Banks: make([]telemetry.BankDebug, len(banks))}
@@ -1222,6 +1307,7 @@ func (p *Plane) DebugSnapshot() telemetry.DebugSnapshot {
 				Ready:       b.Ready,
 				Selects:     b.Selects,
 				Activations: b.Activations,
+				Steals:      b.Steals,
 				Parks:       b.Parks,
 				Wakes:       b.Wakes,
 				Policy:      pd,
@@ -1230,6 +1316,17 @@ func (p *Plane) DebugSnapshot() telemetry.DebugSnapshot {
 		snap.Workers = append(snap.Workers, wd)
 	}
 	return snap
+}
+
+// notifierWorkers returns the workers whose notifiers should be reported:
+// all of them normally, only the first in steal mode — the pool shares
+// one notifier there, and repeating it per worker would multiply-count
+// every series.
+func (p *Plane) notifierWorkers() []*worker {
+	if p.steal && len(p.workers) > 1 {
+		return p.workers[:1]
+	}
+	return p.workers
 }
 
 // writeRuntimeMetrics is the collector the plane registers on its
@@ -1254,7 +1351,7 @@ func (p *Plane) writeRuntimeMetrics(w io.Writer) {
 	}
 	fmt.Fprintf(w, "# HELP hyperplane_qwait_notifies_total Doorbell notifications per worker notifier.\n")
 	fmt.Fprintf(w, "# TYPE hyperplane_qwait_notifies_total counter\n")
-	for _, wk := range p.workers {
+	for _, wk := range p.notifierWorkers() {
 		s := wk.n.Stats()
 		fmt.Fprintf(w, "hyperplane_qwait_notifies_total{worker=\"%d\"} %d\n", wk.id, s.Notifies)
 	}
@@ -1269,13 +1366,16 @@ func (p *Plane) writeRuntimeMetrics(w io.Writer) {
 			func(b hyperplane.BankStats) int64 { return b.Selects }},
 		{"hyperplane_bank_activations_total", "Activations inserted per bank.",
 			func(b hyperplane.BankStats) int64 { return b.Activations }},
+		{"hyperplane_bank_steals_total", "QIDs stolen from each bank by sibling consumers.",
+			func(b hyperplane.BankStats) int64 { return b.Steals }},
 		{"hyperplane_bank_parks_total", "Waiters parked per bank stripe.",
 			func(b hyperplane.BankStats) int64 { return b.Parks }},
 		{"hyperplane_bank_wakes_total", "Wakeups delivered per bank stripe.",
 			func(b hyperplane.BankStats) int64 { return b.Wakes }},
 	}
-	all := make([][]hyperplane.BankStats, len(p.workers))
-	for i, wk := range p.workers {
+	wks := p.notifierWorkers()
+	all := make([][]hyperplane.BankStats, len(wks))
+	for i, wk := range wks {
 		all[i] = wk.n.BankStats()
 		for _, b := range all[i] {
 			fmt.Fprintf(w, "hyperplane_bank_ready{worker=\"%d\",bank=\"%d\"} %d\n", wk.id, b.Bank, b.Ready)
@@ -1284,7 +1384,7 @@ func (p *Plane) writeRuntimeMetrics(w io.Writer) {
 	for _, cs := range counters {
 		fmt.Fprintf(w, "# HELP %s %s\n", cs.name, cs.help)
 		fmt.Fprintf(w, "# TYPE %s counter\n", cs.name)
-		for i, wk := range p.workers {
+		for i, wk := range wks {
 			for _, b := range all[i] {
 				fmt.Fprintf(w, "%s{worker=\"%d\",bank=\"%d\"} %d\n", cs.name, wk.id, b.Bank, cs.get(b))
 			}

@@ -37,9 +37,11 @@ type Bank struct {
 
 	// Telemetry counters, atomics so the export plane reads them without
 	// the bank lock. Selects counts consumed selections (Select and each
-	// SelectMany fill), activations counts Activate calls.
+	// SelectMany fill), activations counts Activate calls, steals counts
+	// QIDs claimed FROM this bank by stealing consumers (StealMany fills).
 	selects     atomic.Int64
 	activations atomic.Int64
+	steals      atomic.Int64
 }
 
 // Counts is a point-in-time copy of the bank's activity counters plus its
@@ -49,6 +51,7 @@ type Counts struct {
 	Ready       int   // ready queues right now
 	Selects     int64 // selections consumed from this bank
 	Activations int64 // activations inserted into this bank
+	Steals      int64 // QIDs stolen from this bank by sibling consumers
 }
 
 // Counts snapshots the bank's counters and occupancy.
@@ -57,6 +60,7 @@ func (b *Bank) Counts() Counts {
 		Ready:       b.ReadyCount(),
 		Selects:     b.selects.Load(),
 		Activations: b.activations.Load(),
+		Steals:      b.steals.Load(),
 	}
 }
 
@@ -167,6 +171,28 @@ func (b *Bank) SelectMany(dst []int) int {
 	return i
 }
 
+// StealMany fills dst with ready QIDs claimed through the policy's steal
+// path — the bank half of a cross-bank steal. Each claim takes the queue
+// the bank's discipline would service last and charges it one unit via
+// ChargeSteal, so the rotor (and with it the order of the queues left
+// behind for the bank's home consumers) is untouched. Returns the count.
+func (b *Bank) StealMany(dst []int) int {
+	b.mu.Lock()
+	i := 0
+	for i < len(dst) {
+		l, ok := b.rs.Steal()
+		if !ok {
+			break
+		}
+		dst[i] = b.global(l)
+		i++
+	}
+	b.syncSummaryLocked()
+	b.mu.Unlock()
+	b.steals.Add(int64(i))
+	return i
+}
+
 // Charge bills cost extra service units to qid's policy state — the bank
 // half of Notifier.ConsumeN. Selection already charged one unit, so batch
 // consumers pass items-1. For DRR this draws the queue's deficit down by
@@ -178,6 +204,20 @@ func (b *Bank) Charge(qid, cost int) {
 	}
 	b.mu.Lock()
 	b.rs.Charge(b.local(qid), cost)
+	b.mu.Unlock()
+}
+
+// ChargeSteal bills cost extra service units to a stolen qid through the
+// policy's steal accounting: DRR deficits and EWMA scores move exactly as
+// under Charge, but the rotor stays put — the batch was drained by a
+// stealing consumer, not by this bank's service order (the steal half of
+// Notifier.ConsumeN).
+func (b *Bank) ChargeSteal(qid, cost int) {
+	if cost <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.rs.ChargeSteal(b.local(qid), cost)
 	b.mu.Unlock()
 }
 

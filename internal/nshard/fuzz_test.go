@@ -53,7 +53,7 @@ func FuzzDifferentialServiceOrder(f *testing.F) {
 				enabled[i] = true
 			}
 			for i := 0; i+1 < len(data); i += 2 {
-				op, qid := data[i]%5, int(data[i+1])%fuzzQueues
+				op, qid := data[i]%6, int(data[i+1])%fuzzQueues
 				switch op {
 				case 0: // arrival
 					hw.Activate(qid)
@@ -88,6 +88,16 @@ func FuzzDifferentialServiceOrder(f *testing.F) {
 						hw.Activate(hq)
 						sw.Activate(sq)
 						bk.Activate(bq)
+					}
+				case 5: // cross-bank steal claim
+					hq, hok := hw.Steal()
+					sq, sok := sw.Steal()
+					var one [1]int
+					bok := bk.StealMany(one[:]) == 1
+					bq := one[0]
+					if hok != sok || hok != bok || (hok && (hq != sq || hq != bq)) {
+						t.Fatalf("%v op %d steal: hw=(%d,%v) sw=(%d,%v) bank=(%d,%v)",
+							kind, i/2, hq, hok, sq, sok, bq, bok)
 					}
 				}
 				if hw.ReadyCount() != sw.ReadyCount() || hw.ReadyCount() != bk.ReadyCount() {

@@ -57,3 +57,17 @@ func (p *drrPolicy) Charge(qid, cost int) {
 		p.cur = -1
 	}
 }
+
+// Steal hands out the queue the rotor would reach last. That may be the
+// in-credit current queue when it is the only ready one — its remaining
+// turn is then simply spent through ChargeSteal debt.
+func (p *drrPolicy) Steal(v View) (int, bool) { return SelectLast(v, p.prio) }
+
+// ChargeSteal draws the stolen work against the queue's credit without
+// touching the rotor or the current turn: overdraw carries as debt into
+// the queue's next quantum grant, exactly like a home-consumer overdraw,
+// so long-run service share stays proportional to the configured quantum
+// no matter how much of a queue's work is stolen.
+func (p *drrPolicy) ChargeSteal(qid, cost int) {
+	p.deficit[qid] -= int64(cost)
+}

@@ -86,3 +86,41 @@ func (p *ewmaPolicy) Next(v View) (int, bool) {
 	}
 	return best, true
 }
+
+// Steal is Next inverted: the stealing worker takes the LOWEST-pressure
+// ready queue — the one the home consumer would reach last — so the hot
+// queues the adaptive discipline is prioritizing stay with their home
+// bank. Ties break toward the largest rotor distance (served last).
+func (p *ewmaPolicy) Steal(v View) (int, bool) {
+	best, bestDist := -1, 0
+	var bestRank float64
+	nw := (p.n + 63) >> 6
+	for w := 0; w < nw; w++ {
+		word := v.Word(w)
+		for word != 0 {
+			qid := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			r, d := p.rank(qid), p.circDist(qid)
+			if best < 0 || r < bestRank-rankEpsilon ||
+				(r < bestRank+rankEpsilon && d > bestDist) {
+				best, bestRank, bestDist = qid, r, d
+			}
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// ChargeSteal applies the service decay without a service round: the
+// stolen work lowers the queue's pressure estimate just like home
+// service, but the rotor and round counter belong to the home consumer's
+// order and stay put. The wait-age reset uses the current round so the
+// just-drained queue does not keep an unearned aging bonus.
+func (p *ewmaPolicy) ChargeSteal(qid, cost int) {
+	for i := 0; i < cost; i++ {
+		p.score[qid] *= 1 - p.alpha
+	}
+	p.last[qid] = p.round
+}

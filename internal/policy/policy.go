@@ -113,6 +113,18 @@ type Policy interface {
 	// ready). Adaptive disciplines use it to track backlog pressure;
 	// static ones ignore it.
 	Observe(qid int)
+	// Steal returns the QID a work-stealing consumer should claim among
+	// the asserted bits of v: the queue the discipline would service
+	// *last*, so removing it least disturbs the pending home service
+	// order. Like Next it commits nothing; a successful steal is followed
+	// by ChargeSteal, not Charge.
+	Steal(v View) (qid int, ok bool)
+	// ChargeSteal commits a steal of qid with the given work cost: it
+	// bills the work to the queue's fairness accounting (DRR deficit,
+	// EWMA score) WITHOUT advancing the priority rotor or the current
+	// service turn, so the home consumer's service order is exactly what
+	// it would have been had the stolen queue simply drained on its own.
+	ChargeSteal(qid, cost int)
 	// Kind reports the discipline.
 	Kind() Kind
 }

@@ -50,6 +50,64 @@ func SelectFrom(v View, prio int) (int, bool) {
 	return 0, false
 }
 
+// SelectLast returns the asserted bit of v that is *last* in circular
+// order starting at prio — the queue the discipline would reach last, and
+// therefore the victim whose removal least disturbs the pending service
+// order. It is the selection primitive of the steal path (Policy.Steal):
+// a stealing worker takes from the back of the victim bank's service
+// order, mirroring the deque discipline of classic work stealing. It is
+// SelectFrom run in the opposite direction: highest asserted bit of the
+// wrapped segment [0, prio) first, else highest asserted bit of
+// [prio, n).
+func SelectLast(v View, prio int) (int, bool) {
+	n := v.Len()
+	nw := (n + 63) >> 6
+	startWord := prio >> 6
+	startBit := uint(prio & 63)
+
+	// Wrapped segment [0, prio): its highest asserted bit is the last
+	// queue the rotor would reach.
+	for i := startWord; i >= 0; i-- {
+		if i >= nw {
+			continue
+		}
+		w := v.Word(i)
+		if i == startWord {
+			w &= (1 << startBit) - 1
+		}
+		if w != 0 {
+			return i<<6 + 63 - bits.LeadingZeros64(w), true
+		}
+	}
+	// Segment [prio, n): highest asserted bit.
+	for i := nw - 1; i >= startWord; i-- {
+		w := v.Word(i)
+		if i == startWord {
+			w &^= (1 << startBit) - 1
+		}
+		if w != 0 {
+			return i<<6 + 63 - bits.LeadingZeros64(w), true
+		}
+	}
+	return 0, false
+}
+
+// RippleSelectLast is the O(n) reference for SelectLast: walk the circular
+// order backwards from the position just before prio. Tests cross-check
+// the word-parallel implementation against it.
+func RippleSelectLast(readyMasked func(int) bool, n, prio int) (int, bool) {
+	for k := 1; k <= n; k++ {
+		i := prio - k
+		if i < 0 {
+			i += n // wrap-around connection, reversed
+		}
+		if readyMasked(i) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 // RippleSelect walks bit positions one at a time starting at prio,
 // propagating priority exactly like the Pin/Pout ripple chain. It is the
 // reference model tests cross-check SelectFrom (and the gate-level

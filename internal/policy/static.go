@@ -23,6 +23,13 @@ func (p *rrPolicy) Charge(qid, _ int) {
 	}
 }
 
+// Steal hands out the queue the rotor would reach last.
+func (p *rrPolicy) Steal(v View) (int, bool) { return SelectLast(v, p.prio) }
+
+// ChargeSteal is a no-op: round-robin accounts no work, and the rotor
+// stays put so the home service order is unchanged.
+func (p *rrPolicy) ChargeSteal(int, int) {}
+
 // wrrPolicy keeps the current-priority position parked on a favored queue
 // until its weight budget is spent, then rotates.
 type wrrPolicy struct {
@@ -57,6 +64,28 @@ func (p *wrrPolicy) Charge(qid, cost int) {
 	}
 }
 
+// Steal hands out the queue the rotor would reach last.
+func (p *wrrPolicy) Steal(v View) (int, bool) { return SelectLast(v, p.prio) }
+
+// ChargeSteal draws down the favored queue's remaining budget when the
+// stolen queue happens to be the favored one (its weight is cross-call
+// state); any other queue carries no state between turns, so stealing it
+// costs nothing. The rotor is never re-parked: the home consumer's order
+// is what it would have been had the stolen queue drained on its own.
+func (p *wrrPolicy) ChargeSteal(qid, cost int) {
+	if qid != p.prio {
+		return
+	}
+	p.counter -= cost
+	if p.counter <= 0 {
+		p.prio = qid + 1
+		if p.prio == p.n {
+			p.prio = 0
+		}
+		p.counter = p.weights[p.prio]
+	}
+}
+
 // strictPolicy fixes the current-priority vector at "10...0": the lowest
 // ready QID always wins, starving high QIDs by design.
 type strictPolicy struct{}
@@ -65,3 +94,10 @@ func (strictPolicy) Kind() Kind              { return StrictPriority }
 func (strictPolicy) Observe(int)             {}
 func (strictPolicy) Charge(int, int)         {}
 func (strictPolicy) Next(v View) (int, bool) { return SelectFrom(v, 0) }
+
+// Steal hands out the highest-numbered ready QID — the one strict
+// priority would starve longest.
+func (strictPolicy) Steal(v View) (int, bool) { return SelectLast(v, 0) }
+
+// ChargeSteal is a no-op: strict priority carries no state at all.
+func (strictPolicy) ChargeSteal(int, int) {}

@@ -1,0 +1,232 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSelectLastAgainstRipple property-checks the word-parallel
+// SelectLast against the O(n) reversed ripple reference across random
+// views, sizes, and rotor positions — the same contract SelectFrom has
+// with RippleSelect.
+func TestSelectLastAgainstRipple(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5000; trial++ {
+		n := 1 + rng.Intn(200)
+		v := newView(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				v.set(i)
+			}
+		}
+		prio := rng.Intn(n)
+		got, gok := SelectLast(v, prio)
+		want, wok := RippleSelectLast(func(i int) bool {
+			return v.words[i>>6]&(1<<uint(i&63)) != 0
+		}, n, prio)
+		if gok != wok || (gok && got != want) {
+			t.Fatalf("n=%d prio=%d words=%x: SelectLast=(%d,%v) ripple=(%d,%v)",
+				n, prio, v.words, got, gok, want, wok)
+		}
+	}
+}
+
+// TestSelectLastOrder pins the semantics: the steal victim is the queue
+// Next would reach last, i.e. repeatedly stealing from a static view
+// yields exactly the reverse of repeatedly selecting from it.
+func TestSelectLastOrder(t *testing.T) {
+	const n = 70
+	v := newView(n)
+	for _, q := range []int{2, 5, 63, 64, 69} {
+		v.set(q)
+	}
+	for _, prio := range []int{0, 3, 5, 64, 69} {
+		var forward, backward []int
+		fv := *v
+		fw := &testView{words: append([]uint64(nil), fv.words...), n: n}
+		for {
+			q, ok := SelectFrom(fw, prio)
+			if !ok {
+				break
+			}
+			forward = append(forward, q)
+			fw.clear(q)
+		}
+		bw := &testView{words: append([]uint64(nil), v.words...), n: n}
+		for {
+			q, ok := SelectLast(bw, prio)
+			if !ok {
+				break
+			}
+			backward = append(backward, q)
+			bw.clear(q)
+		}
+		if len(forward) != len(backward) {
+			t.Fatalf("prio %d: %d vs %d selections", prio, len(forward), len(backward))
+		}
+		for i := range forward {
+			if forward[i] != backward[len(backward)-1-i] {
+				t.Fatalf("prio %d: forward %v is not reverse of backward %v", prio, forward, backward)
+			}
+		}
+	}
+}
+
+// stealKindCase drives one discipline's Steal+ChargeSteal and asserts the
+// rotor-relevant inspection fields stay where home consumers left them.
+func inspect(t *testing.T, p Policy) Inspection {
+	t.Helper()
+	insp, ok := Inspect(p)
+	if !ok {
+		t.Fatalf("%v: policy not inspectable", p.Kind())
+	}
+	return insp
+}
+
+// TestChargeStealPreservesRR: stealing never moves the RR rotor.
+func TestChargeStealPreservesRR(t *testing.T) {
+	p := mustNew(t, Spec{Kind: RoundRobin}, 8)
+	v := fullView(8)
+	q, _ := p.Next(v)
+	p.Charge(q, 1) // rotor now q+1
+	rotor := inspect(t, p).Rotor
+	sq, ok := p.Steal(v)
+	if !ok {
+		t.Fatal("steal ran dry on a full view")
+	}
+	if want := rotor - 1 + 8; sq != want%8 {
+		t.Fatalf("steal picked %d, want last-in-order %d", sq, want%8)
+	}
+	p.ChargeSteal(sq, 100)
+	if got := inspect(t, p).Rotor; got != rotor {
+		t.Fatalf("rotor moved %d -> %d on ChargeSteal", rotor, got)
+	}
+}
+
+// TestChargeStealWRR: stealing a non-favored queue is free; stealing the
+// favored queue spends its budget (and rotates only on exhaustion),
+// mirroring what home service of that queue would have consumed.
+func TestChargeStealWRR(t *testing.T) {
+	weights := []int{3, 1, 1, 1}
+	p := mustNew(t, Spec{Kind: WeightedRoundRobin, Weights: weights}, 4)
+	v := fullView(4)
+	q, _ := p.Next(v)
+	p.Charge(q, 1) // favored queue 0, counter 2
+	before := inspect(t, p)
+	if before.Rotor != 0 || before.Counter != 2 {
+		t.Fatalf("setup: rotor=%d counter=%d", before.Rotor, before.Counter)
+	}
+	// Non-favored steal: no state moves.
+	p.ChargeSteal(2, 50)
+	if got := inspect(t, p); got.Rotor != 0 || got.Counter != 2 {
+		t.Fatalf("non-favored steal moved state: rotor=%d counter=%d", got.Rotor, got.Counter)
+	}
+	// Favored steal: budget spends without rotating.
+	p.ChargeSteal(0, 1)
+	if got := inspect(t, p); got.Rotor != 0 || got.Counter != 1 {
+		t.Fatalf("favored steal: rotor=%d counter=%d, want 0/1", got.Rotor, got.Counter)
+	}
+	// Exhaustion rotates, exactly like home service would.
+	p.ChargeSteal(0, 1)
+	if got := inspect(t, p); got.Rotor != 1 || got.Counter != weights[1] {
+		t.Fatalf("exhausting steal: rotor=%d counter=%d, want 1/%d", got.Rotor, got.Counter, weights[1])
+	}
+}
+
+// TestChargeStealDRR: stolen work lands as deficit debt; rotor and the
+// current turn stay put.
+func TestChargeStealDRR(t *testing.T) {
+	weights := []int{4, 4, 4, 4}
+	p := mustNew(t, Spec{Kind: DeficitRoundRobin, Weights: weights}, 4)
+	v := fullView(4)
+	q, _ := p.Next(v)
+	p.Charge(q, 1)
+	before := inspect(t, p)
+	p.ChargeSteal(2, 7)
+	after := inspect(t, p)
+	if after.Rotor != before.Rotor {
+		t.Fatalf("rotor moved %d -> %d", before.Rotor, after.Rotor)
+	}
+	if want := before.Deficit[2] - 7; after.Deficit[2] != want {
+		t.Fatalf("deficit[2] = %d, want %d", after.Deficit[2], want)
+	}
+	// Debt carries: the rotor's next visit grants one quantum on top of
+	// the negative balance, shortening the burst rather than erasing it.
+	if after.Deficit[2] >= 0 {
+		t.Fatalf("expected carried debt, got %d", after.Deficit[2])
+	}
+}
+
+// TestChargeStealEWMA: stolen work decays the score like service does,
+// but the round counter and rotor (the home service order) stay put.
+func TestChargeStealEWMA(t *testing.T) {
+	p := mustNew(t, Spec{Kind: EWMAAdaptive, Alpha: 0.5}, 4)
+	v := fullView(4)
+	p.Observe(2)
+	p.Observe(2)
+	q, _ := p.Next(v)
+	if q != 2 {
+		t.Fatalf("setup: hot queue not selected, got %d", q)
+	}
+	p.Charge(q, 1)
+	before := inspect(t, p)
+	p.ChargeSteal(3, 2)
+	after := inspect(t, p)
+	if after.Round != before.Round || after.Rotor != before.Rotor {
+		t.Fatalf("home order state moved: round %d->%d rotor %d->%d",
+			before.Round, after.Round, before.Rotor, after.Rotor)
+	}
+	if after.Score[3] > before.Score[3] {
+		t.Fatalf("score[3] rose on steal: %v -> %v", before.Score[3], after.Score[3])
+	}
+}
+
+// TestEWMAStealTakesColdest: the steal path returns the lowest-pressure
+// ready queue, leaving the hot queue for its home consumer.
+func TestEWMAStealTakesColdest(t *testing.T) {
+	p := mustNew(t, Spec{Kind: EWMAAdaptive, Alpha: 0.5}, 4)
+	v := fullView(4)
+	p.Observe(1)
+	p.Observe(1)
+	p.Observe(3)
+	hot, _ := p.Next(v)
+	if hot != 1 {
+		t.Fatalf("Next should take the hottest queue, got %d", hot)
+	}
+	cold, ok := p.Steal(v)
+	if !ok || cold == 1 || cold == 3 {
+		t.Fatalf("Steal took a scored queue: (%d, %v)", cold, ok)
+	}
+}
+
+// TestStealVictimIsServedLast: for the rotor disciplines, the steal
+// victim is exactly the queue a full home sweep would reach last.
+func TestStealVictimIsServedLast(t *testing.T) {
+	for _, kind := range []Kind{RoundRobin, WeightedRoundRobin, StrictPriority, DeficitRoundRobin} {
+		spec := Spec{Kind: kind}
+		if kind.UsesWeights() {
+			spec.Weights = []int{1, 1, 1, 1, 1, 1, 1, 1}
+		}
+		victim := mustNew(t, spec, 8)
+		home := mustNew(t, spec, 8)
+		v := newView(8)
+		for _, q := range []int{1, 3, 6} {
+			v.set(q)
+		}
+		sq, sok := victim.Steal(v)
+		var last int
+		vv := &testView{words: append([]uint64(nil), v.words...), n: 8}
+		for {
+			q, ok := home.Next(vv)
+			if !ok {
+				break
+			}
+			last = q
+			vv.clear(q)
+			home.Charge(q, 1)
+		}
+		if !sok || sq != last {
+			t.Fatalf("%v: steal=(%d,%v), home sweep ends at %d", kind, sq, sok, last)
+		}
+	}
+}

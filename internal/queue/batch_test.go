@@ -18,7 +18,11 @@ func buffers(t *testing.T, capacity int) map[string]Buffer[int] {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return map[string]Buffer[int]{"spsc": r, "mpsc": m}
+	mm, err := NewMPMC[int](capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Buffer[int]{"spsc": r, "mpsc": m, "mpmc": mm}
 }
 
 func TestPushPopBatchBasics(t *testing.T) {

@@ -27,8 +27,9 @@ type Buffer[T any] interface {
 	Doorbell() *atomic.Int64
 }
 
-// Compile-time checks: both rings satisfy Buffer.
+// Compile-time checks: all three rings satisfy Buffer.
 var (
 	_ Buffer[int] = (*Ring[int])(nil)
 	_ Buffer[int] = (*MPSC[int])(nil)
+	_ Buffer[int] = (*MPMC[int])(nil)
 )

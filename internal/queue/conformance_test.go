@@ -1,0 +1,173 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bufferFactories enumerates every Buffer implementation by
+// constructor, so the conformance suite instantiates fresh instances
+// per case instead of sharing one ring across subtests.
+func bufferFactories() map[string]func(capacity int) (Buffer[int], error) {
+	return map[string]func(capacity int) (Buffer[int], error){
+		"spsc": func(c int) (Buffer[int], error) { return NewRing[int](c) },
+		"mpsc": func(c int) (Buffer[int], error) { return NewMPSC[int](c) },
+		"mpmc": func(c int) (Buffer[int], error) { return NewMPMC[int](c) },
+	}
+}
+
+// TestBufferConformanceFIFO: driven single-threaded, every Buffer is a
+// strict FIFO regardless of how pushes and pops are batched.
+func TestBufferConformanceFIFO(t *testing.T) {
+	for name, mk := range bufferFactories() {
+		t.Run(name, func(t *testing.T) {
+			b, err := mk(16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			next, expect := 0, 0
+			dst := make([]int, 8)
+			for step := 0; step < 10000; step++ {
+				if rng.Intn(2) == 0 {
+					k := rng.Intn(len(dst)) + 1
+					vs := make([]int, k)
+					for i := range vs {
+						vs[i] = next + i
+					}
+					next += b.PushBatch(vs)
+				} else {
+					for _, v := range dst[:b.PopBatch(dst[:rng.Intn(len(dst))+1])] {
+						if v != expect {
+							t.Fatalf("step %d: popped %d, want %d", step, v, expect)
+						}
+						expect++
+					}
+				}
+				if got, want := b.Len(), next-expect; got != want {
+					t.Fatalf("step %d: Len = %d, want %d", step, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestBufferConformanceFullEmpty: edge returns at the boundaries are
+// identical across implementations — full rejects with false/0, empty
+// returns false/0, and neither corrupts the cursors.
+func TestBufferConformanceFullEmpty(t *testing.T) {
+	for name, mk := range bufferFactories() {
+		t.Run(name, func(t *testing.T) {
+			const capacity = 8
+			b, err := mk(capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := b.Pop(); ok {
+				t.Fatal("Pop from empty succeeded")
+			}
+			if n := b.PopBatch(make([]int, 4)); n != 0 {
+				t.Fatalf("PopBatch from empty = %d", n)
+			}
+			for i := 0; i < capacity; i++ {
+				if !b.Push(i) {
+					t.Fatalf("Push %d into non-full failed", i)
+				}
+			}
+			if b.Push(99) {
+				t.Fatal("Push into full succeeded")
+			}
+			if n := b.PushBatch([]int{99, 98}); n != 0 {
+				t.Fatalf("PushBatch into full = %d", n)
+			}
+			if b.Len() != capacity || b.Cap() != capacity {
+				t.Fatalf("Len/Cap = %d/%d", b.Len(), b.Cap())
+			}
+			// Drain: everything comes back intact after the rejections.
+			for i := 0; i < capacity; i++ {
+				v, ok := b.Pop()
+				if !ok || v != i {
+					t.Fatalf("Pop %d = (%d, %v)", i, v, ok)
+				}
+			}
+			if _, ok := b.Pop(); ok {
+				t.Fatal("Pop after drain succeeded")
+			}
+		})
+	}
+}
+
+// TestBufferConformanceWraparound: cursors crossing the capacity
+// boundary many laps over preserve contents for every implementation.
+func TestBufferConformanceWraparound(t *testing.T) {
+	for name, mk := range bufferFactories() {
+		t.Run(name, func(t *testing.T) {
+			const capacity = 4
+			b, err := mk(capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 10 laps of a ring kept at partial occupancy forces every
+			// slot through repeated recycles at every cursor phase.
+			next, expect := 0, 0
+			for lap := 0; lap < 10*capacity; lap++ {
+				for b.Len() < capacity-1 {
+					if !b.Push(next) {
+						t.Fatalf("lap %d: push rejected below capacity", lap)
+					}
+					next++
+				}
+				v, ok := b.Pop()
+				if !ok || v != expect {
+					t.Fatalf("lap %d: Pop = (%d, %v), want %d", lap, v, ok, expect)
+				}
+				expect++
+			}
+		})
+	}
+}
+
+// TestBufferConformanceBatchOneEquivalence drives two fresh instances of
+// the same implementation with one deterministic op sequence — one using
+// single-element ops, the other batch ops of size 1 — and requires
+// identical accept/reject results, values, and Len at every step:
+// batch-size-1 must be indistinguishable from the single-op API.
+func TestBufferConformanceBatchOneEquivalence(t *testing.T) {
+	for name, mk := range bufferFactories() {
+		t.Run(name, func(t *testing.T) {
+			single, err := mk(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := mk(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(23))
+			one := make([]int, 1)
+			for step := 0; step < 5000; step++ {
+				if rng.Intn(2) == 0 {
+					v := step
+					ok := single.Push(v)
+					one[0] = v
+					bn := batched.PushBatch(one)
+					if ok != (bn == 1) {
+						t.Fatalf("step %d: Push=%v PushBatch=%d", step, ok, bn)
+					}
+				} else {
+					v, ok := single.Pop()
+					bn := batched.PopBatch(one)
+					if ok != (bn == 1) {
+						t.Fatalf("step %d: Pop ok=%v PopBatch=%d", step, ok, bn)
+					}
+					if ok && v != one[0] {
+						t.Fatalf("step %d: Pop=%d PopBatch=%d", step, v, one[0])
+					}
+				}
+				if single.Len() != batched.Len() {
+					t.Fatalf("step %d: Len %d vs %d", step, single.Len(), batched.Len())
+				}
+			}
+		})
+	}
+}

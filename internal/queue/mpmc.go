@@ -1,0 +1,214 @@
+package queue
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// MPMC is a bounded lock-free multi-producer multi-consumer ring — the
+// fully shared-queue organization of the paper's scale-up path, where any
+// data plane worker may drain any tenant's queue. The producer side is
+// MPSC's: a single CAS reserves a whole batch of tail slots and each slot
+// publishes through its own sequence number. The consumer side
+// generalizes the same discipline to many workers: ClaimBatch scans the
+// contiguous published prefix at the head and claims all of it with a
+// single CAS on the head cursor — the lock-free analog of
+// `SELECT ... FOR UPDATE SKIP LOCKED` — so one hot queue can feed several
+// stealing workers without a lock and without double delivery. The
+// element counter doubles as the doorbell, exactly like Ring and MPSC.
+//
+// Two blocking caveats, both bounded and both tolerated by the notifier's
+// re-arm protocol as spurious wake-ups:
+//
+//   - A producer descheduled between reservation and publication briefly
+//     hides later items (slots publish in reservation order), as on MPSC.
+//   - A consumer descheduled between its head CAS and the slot recycles
+//     briefly holds producers out of those slots when the ring is nearly
+//     full: unlike MPSC, the head cursor advances before the slots are
+//     recycled, so a producer that batch-reserved them waits for each
+//     slot's recycle before writing (the wait is one load in the common
+//     case).
+type MPMC[T any] struct {
+	buf  []mpscSlot[T]
+	mask uint64
+	// head is the consumers' claim cursor; tail is the producers'
+	// reservation cursor. Padding keeps the hot words on distinct cache
+	// lines.
+	head atomic.Uint64
+	_    [7]uint64
+	tail atomic.Uint64
+	_    [7]uint64
+	// count is the doorbell: number of published, unconsumed elements.
+	count atomic.Int64
+}
+
+// NewMPMC creates a multi-producer multi-consumer ring with the given
+// power-of-two capacity.
+func NewMPMC[T any](capacity int) (*MPMC[T], error) {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		return nil, ErrRingSize
+	}
+	m := &MPMC[T]{buf: make([]mpscSlot[T], capacity), mask: uint64(capacity - 1)}
+	for i := range m.buf {
+		m.buf[i].seq.Store(uint64(i))
+	}
+	return m, nil
+}
+
+// Push enqueues v, returning false if the ring is full. Safe for any
+// number of concurrent producer goroutines.
+func (m *MPMC[T]) Push(v T) bool {
+	for {
+		tail := m.tail.Load()
+		s := &m.buf[tail&m.mask]
+		switch seq := s.seq.Load(); {
+		case seq == tail: // slot free for this position
+			if m.tail.CompareAndSwap(tail, tail+1) {
+				s.val = v
+				s.seq.Store(tail + 1) // publish the slot
+				m.count.Add(1)        // ring the doorbell
+				return true
+			}
+		case seq < tail: // occupied (or claimed, not yet recycled): full
+			return false
+		default: // another producer took the slot; reload tail
+		}
+	}
+}
+
+// PushBatch reserves up to len(vs) contiguous slots with a single CAS,
+// fills them, publishes each slot's sequence, and rings the doorbell once
+// for the whole batch. It returns the number enqueued (0 when full).
+// Safe for any number of concurrent producer goroutines; each producer's
+// batch occupies contiguous positions, so per-producer FIFO order holds.
+func (m *MPMC[T]) PushBatch(vs []T) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	var tail uint64
+	var n int
+	for {
+		tail = m.tail.Load()
+		// The head snapshot may be stale, but head only advances, so the
+		// computed free space is an underestimate of the claimed-or-free
+		// span. Unlike MPSC, a claimed slot may not be recycled yet (the
+		// claiming consumer advances head before copying out), so each
+		// reserved slot is re-checked below before the write.
+		free := len(m.buf) - int(tail-m.head.Load())
+		n = len(vs)
+		if n > free {
+			n = free
+		}
+		if n <= 0 {
+			return 0
+		}
+		if m.tail.CompareAndSwap(tail, tail+uint64(n)) {
+			break
+		}
+	}
+	for j := 0; j < n; j++ {
+		pos := tail + uint64(j)
+		s := &m.buf[pos&m.mask]
+		// Wait out a claiming consumer that has moved head past this
+		// slot's previous lap but not recycled it yet. One load in the
+		// common case; the consumer recycles unconditionally after its
+		// claim CAS, so the wait is bounded by its copy-out.
+		for s.seq.Load() != pos {
+			runtime.Gosched()
+		}
+		s.val = vs[j]
+		s.seq.Store(pos + 1)
+	}
+	m.count.Add(int64(n)) // ring the doorbell once
+	return n
+}
+
+// Pop dequeues the oldest published element, returning false if none is
+// published. Safe for any number of concurrent consumer goroutines: the
+// claim is a CAS on the head cursor.
+func (m *MPMC[T]) Pop() (T, bool) {
+	var zero T
+	for {
+		head := m.head.Load()
+		s := &m.buf[head&m.mask]
+		if s.seq.Load() != head+1 {
+			if m.head.Load() != head {
+				continue // lost a claim race; re-read the cursor
+			}
+			return zero, false // empty, or the head slot is not published yet
+		}
+		if m.head.CompareAndSwap(head, head+1) {
+			m.count.Add(-1)
+			v := s.val
+			s.val = zero
+			s.seq.Store(head + uint64(len(m.buf))) // recycle for the next lap
+			return v, true
+		}
+	}
+}
+
+// ClaimBatch claims up to len(dst) published elements for this consumer
+// with a single CAS on the head cursor: the contiguous published prefix
+// is scanned, claimed whole, then copied out and recycled. Between the
+// scan and the CAS no other consumer can touch the scanned slots without
+// advancing head — which makes the CAS fail — so a successful claim owns
+// every slot it covers exclusively: items are delivered exactly once,
+// with no locks and no skips. Returns the number claimed (0 when empty).
+// Safe for any number of concurrent consumers and producers.
+func (m *MPMC[T]) ClaimBatch(dst []T) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	var zero T
+	for {
+		head := m.head.Load()
+		n := 0
+		for n < len(dst) {
+			pos := head + uint64(n)
+			if m.buf[pos&m.mask].seq.Load() != pos+1 {
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			if m.head.Load() != head {
+				continue // another consumer claimed under us; rescan
+			}
+			return 0
+		}
+		if !m.head.CompareAndSwap(head, head+uint64(n)) {
+			continue
+		}
+		// Claimed: doorbell decrement before the copy (paper §III-A),
+		// once for the whole batch.
+		m.count.Add(-int64(n))
+		for j := 0; j < n; j++ {
+			pos := head + uint64(j)
+			s := &m.buf[pos&m.mask]
+			dst[j] = s.val
+			s.val = zero
+			s.seq.Store(pos + uint64(len(m.buf)))
+		}
+		return n
+	}
+}
+
+// PopBatch dequeues up to len(dst) published elements into dst. It is
+// ClaimBatch under the Buffer interface name; safe for any number of
+// concurrent consumers.
+func (m *MPMC[T]) PopBatch(dst []T) int { return m.ClaimBatch(dst) }
+
+// Len returns the doorbell counter.
+func (m *MPMC[T]) Len() int {
+	n := m.count.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Cap returns the ring capacity.
+func (m *MPMC[T]) Cap() int { return len(m.buf) }
+
+// Doorbell exposes the counter for notification integration.
+func (m *MPMC[T]) Doorbell() *atomic.Int64 { return &m.count }

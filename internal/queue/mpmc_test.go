@@ -1,0 +1,289 @@
+package queue
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestMPMCSizeValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 100} {
+		if _, err := NewMPMC[int](n); err == nil {
+			t.Errorf("capacity %d accepted", n)
+		}
+	}
+}
+
+// TestMPMCRacingProducersConsumers hammers one MPMC ring from both ends:
+// producers mixing Push and PushBatch, consumers mixing Pop and
+// ClaimBatch. Under -race this is the memory-model stress for the
+// double-CAS protocol. Checks: exactly-once delivery (no duplicates, no
+// losses) and per-producer FIFO within each consumer's stream — the
+// strongest order a shared queue with batch claims can promise.
+func TestMPMCRacingProducersConsumers(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+		perProd   = 20000
+	)
+	m, err := NewMPMC[uint64](128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			batch := make([]uint64, 0, 7)
+			seq := 0
+			flush := func() {
+				for len(batch) > 0 {
+					n := m.PushBatch(batch)
+					batch = batch[:copy(batch, batch[n:])]
+					if n == 0 {
+						runtime.Gosched()
+					}
+				}
+			}
+			for seq < perProd {
+				if (seq+p)%3 == 0 {
+					for !m.Push(mkItem(p, seq)) {
+						runtime.Gosched()
+					}
+					seq++
+					continue
+				}
+				for len(batch) < cap(batch) && seq < perProd {
+					batch = append(batch, mkItem(p, seq))
+					seq++
+				}
+				flush()
+			}
+			flush()
+		}(p)
+	}
+
+	var (
+		seenMu sync.Mutex
+		seen   = make(map[uint64]int) // item -> consumer that claimed it
+		total  int
+	)
+	prodDone := make(chan struct{})
+	go func() { pwg.Wait(); close(prodDone) }()
+
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func(c int) {
+			defer cwg.Done()
+			// Within this consumer's stream, each producer's sequence
+			// numbers must be strictly increasing: batch claims take
+			// contiguous ring spans, so interleaving cannot reorder one
+			// producer's items inside a single consumer.
+			lastSeq := [producers]int{}
+			for i := range lastSeq {
+				lastSeq[i] = -1
+			}
+			dst := make([]uint64, 48)
+			drained := false
+			for {
+				var n int
+				if c%2 == 0 {
+					n = m.ClaimBatch(dst)
+				} else if v, ok := m.Pop(); ok {
+					dst[0], n = v, 1
+				}
+				if n == 0 {
+					seenMu.Lock()
+					done := total == producers*perProd
+					seenMu.Unlock()
+					if done {
+						return
+					}
+					select {
+					case <-prodDone:
+						if drained {
+							// One extra empty pass after producers exit:
+							// whatever remains belongs to other consumers'
+							// in-flight claims.
+							return
+						}
+						drained = true
+					default:
+						runtime.Gosched()
+					}
+					continue
+				}
+				drained = false
+				seenMu.Lock()
+				for _, v := range dst[:n] {
+					if prev, dup := seen[v]; dup {
+						seenMu.Unlock()
+						t.Errorf("item %x delivered to consumers %d and %d", v, prev, c)
+						return
+					}
+					seen[v] = c
+				}
+				total += n
+				seenMu.Unlock()
+				for _, v := range dst[:n] {
+					p, seq := int(v>>32), int(v&0xffffffff)
+					if seq <= lastSeq[p] {
+						t.Errorf("consumer %d: producer %d seq %d after %d", c, p, seq, lastSeq[p])
+						return
+					}
+					lastSeq[p] = seq
+				}
+			}
+		}(c)
+	}
+	cwg.Wait()
+	if total != producers*perProd {
+		t.Fatalf("consumed %d of %d", total, producers*perProd)
+	}
+	if m.Len() != 0 {
+		t.Errorf("doorbell = %d after drain", m.Len())
+	}
+}
+
+// TestMPMCClaimBatchZeroAllocs pins the steal path's zero-allocation
+// claim: a steady-state PushBatch/ClaimBatch cycle must not allocate.
+func TestMPMCClaimBatchZeroAllocs(t *testing.T) {
+	m, err := NewMPMC[int](64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := make([]int, 16)
+	dst := make([]int, 16)
+	if a := testing.AllocsPerRun(200, func() {
+		if m.PushBatch(vs) != len(vs) {
+			t.Fatal("push batch failed")
+		}
+		if m.ClaimBatch(dst) != len(dst) {
+			t.Fatal("claim batch failed")
+		}
+	}); a != 0 {
+		t.Errorf("allocs/op = %v, want 0", a)
+	}
+}
+
+// FuzzMPMCAgainstOracle differences the MPMC ring against a mutex-guarded
+// oracle with multiple concurrent consumers: the union of all consumers'
+// claims must equal the set of accepted pushes, and no item may be
+// delivered to more than one consumer — the lock-free SKIP LOCKED
+// contract under whatever interleaving the schedule produces.
+func FuzzMPMCAgainstOracle(f *testing.F) {
+	f.Add(uint8(3), uint8(2), uint8(4), uint16(500), uint64(1))
+	f.Add(uint8(1), uint8(4), uint8(2), uint16(100), uint64(42))
+	f.Add(uint8(7), uint8(3), uint8(6), uint16(1000), uint64(0xdead))
+	f.Fuzz(func(t *testing.T, prodRaw, consRaw, capExp uint8, opsRaw uint16, seed uint64) {
+		producers := int(prodRaw%8) + 1
+		consumers := int(consRaw%8) + 1
+		capacity := 1 << (int(capExp%7) + 1) // 2..128
+		perProd := int(opsRaw%1000) + 1
+
+		m, err := NewMPMC[uint64](capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var oracleMu sync.Mutex
+		accepted := make(map[uint64]bool)
+
+		var pwg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			pwg.Add(1)
+			go func(p int) {
+				defer pwg.Done()
+				rng := seed ^ uint64(p)*0x9e3779b97f4a7c15
+				buf := make([]uint64, 0, 16)
+				for seq := 0; seq < perProd; {
+					rng ^= rng << 13
+					rng ^= rng >> 7
+					rng ^= rng << 17
+					if rng%2 == 0 {
+						if m.Push(mkItem(p, seq)) {
+							oracleMu.Lock()
+							accepted[mkItem(p, seq)] = true
+							oracleMu.Unlock()
+							seq++
+						} else {
+							runtime.Gosched()
+						}
+						continue
+					}
+					k := int(rng/2%8) + 1
+					buf = buf[:0]
+					for j := 0; j < k && seq+j < perProd; j++ {
+						buf = append(buf, mkItem(p, seq+j))
+					}
+					n := m.PushBatch(buf)
+					oracleMu.Lock()
+					for _, v := range buf[:n] {
+						accepted[v] = true
+					}
+					oracleMu.Unlock()
+					seq += n
+					if n == 0 {
+						runtime.Gosched()
+					}
+				}
+			}(p)
+		}
+		prodDone := make(chan struct{})
+		go func() { pwg.Wait(); close(prodDone) }()
+
+		var (
+			consumedMu sync.Mutex
+			consumed   = make(map[uint64]int)
+			dupItem    uint64
+			dupPair    [2]int
+			dup        bool
+		)
+		var cwg sync.WaitGroup
+		for c := 0; c < consumers; c++ {
+			cwg.Add(1)
+			go func(c int) {
+				defer cwg.Done()
+				dst := make([]uint64, 32)
+				drained := false
+				for {
+					n := m.ClaimBatch(dst)
+					if n == 0 {
+						select {
+						case <-prodDone:
+							if drained {
+								return
+							}
+							drained = true
+						default:
+							runtime.Gosched()
+						}
+						continue
+					}
+					drained = false
+					consumedMu.Lock()
+					for _, v := range dst[:n] {
+						if prev, ok := consumed[v]; ok && !dup {
+							dup, dupItem, dupPair = true, v, [2]int{prev, c}
+						}
+						consumed[v] = c
+					}
+					consumedMu.Unlock()
+				}
+			}(c)
+		}
+		cwg.Wait()
+		if dup {
+			t.Fatalf("item %x delivered to consumers %d and %d", dupItem, dupPair[0], dupPair[1])
+		}
+		if len(consumed) != len(accepted) {
+			t.Fatalf("consumed %d items, oracle accepted %d", len(consumed), len(accepted))
+		}
+		for v := range accepted {
+			if _, ok := consumed[v]; !ok {
+				t.Fatalf("accepted item %x never consumed", v)
+			}
+		}
+	})
+}

@@ -79,9 +79,25 @@ func (c *core) selectOne() (int, bool) {
 	return qid, true
 }
 
+func (c *core) stealOne() (int, bool) {
+	qid, ok := c.pol.Steal(c)
+	if !ok {
+		return 0, false
+	}
+	c.ready.Clear(qid)
+	c.pol.ChargeSteal(qid, 1)
+	return qid, true
+}
+
 func (c *core) charge(qid, cost int) {
 	if cost > 0 {
 		c.pol.Charge(qid, cost)
+	}
+}
+
+func (c *core) chargeSteal(qid, cost int) {
+	if cost > 0 {
+		c.pol.ChargeSteal(qid, cost)
 	}
 }
 
@@ -161,6 +177,17 @@ func (h *Hardware) Select() (int, bool, sim.Time) {
 // Charge implements Set: bills cost extra service units to qid.
 func (h *Hardware) Charge(qid, cost int) { h.c.charge(qid, cost) }
 
+// Steal selects for a work-stealing consumer: the policy's steal victim —
+// the queue the discipline would otherwise service last — is removed from
+// the ready set and charged one unit through ChargeSteal, which leaves
+// the rotor state (and with it the home consumer's service order)
+// untouched.
+func (h *Hardware) Steal() (int, bool) { return h.c.stealOne() }
+
+// ChargeSteal bills cost extra service units to a stolen qid without
+// advancing the policy rotor (see Steal).
+func (h *Hardware) ChargeSteal(qid, cost int) { h.c.chargeSteal(qid, cost) }
+
 // Software models the paper's software ready-set alternative (§III-B,
 // §V-E): QWAIT's selection runs as code that scans the ready queues to
 // find the next one per the policy, so its cost grows with the number of
@@ -230,3 +257,11 @@ func (s *Software) Select() (int, bool, sim.Time) {
 
 // Charge implements Set: bills cost extra service units to qid.
 func (s *Software) Charge(qid, cost int) { s.c.charge(qid, cost) }
+
+// Steal selects for a work-stealing consumer (see Hardware.Steal);
+// semantics are identical to the hardware model's by construction.
+func (s *Software) Steal() (int, bool) { return s.c.stealOne() }
+
+// ChargeSteal bills cost extra service units to a stolen qid without
+// advancing the policy rotor.
+func (s *Software) ChargeSteal(qid, cost int) { s.c.chargeSteal(qid, cost) }

@@ -42,6 +42,7 @@ type BankDebug struct {
 	Ready       int         `json:"ready"`
 	Selects     int64       `json:"selects"`
 	Activations int64       `json:"activations"`
+	Steals      int64       `json:"steals,omitempty"`
 	Parks       int64       `json:"parks"`
 	Wakes       int64       `json:"wakes"`
 	Policy      PolicyDebug `json:"policy"`

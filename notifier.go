@@ -76,7 +76,33 @@ type NotifierConfig struct {
 	// telemetry.RecordNotify. When nil (the default), the notify path pays
 	// a single nil check and nothing else.
 	Telemetry *telemetry.T
+	// Steal configures cross-bank work stealing for home-affine waiters
+	// (WaitHomeBatch) — the paper's scale-up shared-queue organization,
+	// where an idle core absorbs ready queues from a hot sibling bank.
+	Steal StealConfig
 }
+
+// StealConfig parameterizes cross-bank work stealing. With Enable false
+// (the default) WaitHomeBatch never touches sibling banks and behaves
+// like WaitBatch with a fixed sweep origin.
+type StealConfig struct {
+	// Enable turns stealing on.
+	Enable bool
+	// Quantum bounds how many QIDs one steal claims from the victim bank
+	// (<= 64). 0 defaults to 8: enough to amortize the victim's bank lock,
+	// small enough that a mistaken steal cannot strip a bank bare.
+	Quantum int
+	// Probes is how many random sibling banks one steal attempt compares
+	// by ready occupancy before claiming from the fullest (randomized
+	// two-choice victim selection). 0 defaults to 2.
+	Probes int
+}
+
+// Steal defaults.
+const (
+	DefaultStealQuantum = 8
+	DefaultStealProbes  = 2
+)
 
 // Notifier is the software realization of the HyperPlane programming model,
 // banked like the paper's monitoring set so producers do not serialize:
@@ -123,12 +149,23 @@ type Notifier struct {
 	regMu sync.Mutex
 	free  []QID
 
+	// Cross-bank stealing (WaitHomeBatch). stolen[qid] is set when a
+	// waiter claims qid from a sibling bank and swapped clear by the
+	// Consume that closes the claim, routing the batch charge through the
+	// victim bank's ChargeSteal instead of Charge. The holder protocol
+	// (at most one worker holds a QID between selection and Consume) makes
+	// the flag race-free. stealSeed drives the splitmix64 victim probes.
+	steal     StealConfig
+	stolen    []atomic.Uint32
+	stealSeed atomic.Uint64
+
 	// statistics
 	notifies  atomic.Int64
 	activates atomic.Int64
 	spurious  atomic.Int64
 	waits     atomic.Int64
 	halts     atomic.Int64 // Waits that actually blocked
+	steals    atomic.Int64 // QIDs claimed from sibling banks
 
 	// Sampled notification tracing (nil stamps = telemetry disabled; the
 	// notify path then pays only the nil check). stamps[qid] holds the
@@ -171,10 +208,26 @@ func NewNotifier(cfg NotifierConfig) (*Notifier, error) {
 	if shards > MaxShards {
 		shards = MaxShards
 	}
+	if cfg.Steal.Quantum < 0 || cfg.Steal.Quantum > 64 {
+		return nil, fmt.Errorf("hyperplane: Steal.Quantum must be in [0, 64], got %d", cfg.Steal.Quantum)
+	}
+	if cfg.Steal.Probes < 0 {
+		return nil, fmt.Errorf("hyperplane: Steal.Probes must be >= 0, got %d", cfg.Steal.Probes)
+	}
 	n := &Notifier{
 		parker: nshard.NewParker(shards),
 		states: make([]nshard.QState, cfg.MaxQueues),
 		kind:   spec.Kind,
+		steal:  cfg.Steal,
+	}
+	if n.steal.Enable {
+		if n.steal.Quantum == 0 {
+			n.steal.Quantum = DefaultStealQuantum
+		}
+		if n.steal.Probes == 0 {
+			n.steal.Probes = DefaultStealProbes
+		}
+		n.stolen = make([]atomic.Uint32, cfg.MaxQueues)
 	}
 	if cfg.Telemetry != nil {
 		n.tel = cfg.Telemetry
@@ -469,6 +522,173 @@ func (n *Notifier) WaitBatch(dst []QID) int {
 	}
 }
 
+// WaitHomeBatch is WaitBatch for a home-affine consumer in the scale-up
+// shared-queue organization: the caller names its home bank, drains that
+// bank first, and — when the home bank is empty and stealing is enabled
+// (NotifierConfig.Steal) — claims up to the steal quantum of ready QIDs
+// from a sibling bank before parking on the home bank's stripe. Victims
+// are picked by randomized two-choice: Probes random siblings with a set
+// summary bit are compared by ready occupancy and the fullest is claimed
+// from through the policy's steal path, which hands out the queues the
+// victim's discipline would service last. With stealing disabled it is
+// exactly WaitBatch with a fixed sweep origin of home.
+//
+// Stolen QIDs carry full QWAIT semantics: the caller owes each returned
+// QID its Verify/Reconsider or Consume, and the batch charge of a stolen
+// QID's ConsumeN routes to the victim bank (QIDs are bank-static,
+// qid mod Shards) through the policy's ChargeSteal path — so DRR
+// deficits and EWMA scores account the stolen work while the victim's
+// rotor, and with it its home consumers' service order, stays exactly as
+// if the stolen queue had drained on its own.
+func (n *Notifier) WaitHomeBatch(home int, dst []QID) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	if S := len(n.banks); home < 0 || home >= S {
+		home %= S
+		if home < 0 {
+			home += S
+		}
+	}
+	n.waits.Add(1)
+	blocked := false
+	for {
+		if n.closed.Load() {
+			return 0
+		}
+		if c := n.homeSweep(home, dst); c > 0 {
+			if blocked {
+				n.halts.Add(1)
+			}
+			return c
+		}
+		w := nshard.NewWaiter()
+		n.parker.Enqueue(home, w)
+		if c := n.homeSweep(home, dst); c > 0 {
+			n.parker.Cancel(w, home)
+			if blocked {
+				n.halts.Add(1)
+			}
+			return c
+		}
+		if n.closed.Load() {
+			n.parker.Cancel(w, home)
+			return 0
+		}
+		blocked = true
+		<-w.C()
+	}
+}
+
+// homeSweep is WaitHomeBatch's selection pass: home bank, then a
+// two-choice steal probe, then — before giving up, and therefore before
+// the caller parks — an exhaustive scan of every bank. The backstop
+// matters for liveness: a wake token consumed by a waiter whose probes
+// happened to miss the only non-empty bank must still find that work, or
+// the system could park every worker while queues are ready.
+func (n *Notifier) homeSweep(home int, dst []QID) int {
+	var buf [64]int
+	if n.bankSummary.Load()&(1<<uint(home)) != 0 {
+		lim := len(dst)
+		if lim > len(buf) {
+			lim = len(buf)
+		}
+		if got := n.banks[home].SelectMany(buf[:lim]); got > 0 {
+			for j := 0; j < got; j++ {
+				dst[j] = QID(buf[j])
+			}
+			return got
+		}
+	}
+	if !n.steal.Enable {
+		// Home-affine waiting without stealing: fall back to the plain
+		// full sweep so no work is stranded in other banks.
+		return n.sweepBatch(home, dst)
+	}
+	S := len(n.banks)
+	if S == 1 {
+		return 0
+	}
+	lim := n.steal.Quantum
+	if lim > len(dst) {
+		lim = len(dst)
+	}
+	if lim > len(buf) {
+		lim = len(buf)
+	}
+	// Randomized two-choice victim selection among non-empty siblings.
+	sum := n.bankSummary.Load()
+	victim, best := -1, 0
+	for p := 0; p < n.steal.Probes; p++ {
+		b := int(n.stealRand() % uint64(S))
+		if b == home || sum&(1<<uint(b)) == 0 {
+			continue
+		}
+		if rc := n.banks[b].ReadyCount(); rc > best {
+			victim, best = b, rc
+		}
+	}
+	if victim >= 0 {
+		if got := n.stealFrom(victim, buf[:lim], dst); got > 0 {
+			return got
+		}
+	}
+	// Backstop: exhaustive scan in rotor order, home bank re-checked
+	// last (work may have arrived there while we probed).
+	if n.bankSummary.Load() != 0 {
+		for i := 1; i < S; i++ {
+			b := home + i
+			if b >= S {
+				b -= S
+			}
+			if n.bankSummary.Load()&(1<<uint(b)) == 0 {
+				continue
+			}
+			if got := n.stealFrom(b, buf[:lim], dst); got > 0 {
+				return got
+			}
+		}
+		if n.bankSummary.Load()&(1<<uint(home)) != 0 {
+			lim2 := len(dst)
+			if lim2 > len(buf) {
+				lim2 = len(buf)
+			}
+			if got := n.banks[home].SelectMany(buf[:lim2]); got > 0 {
+				for j := 0; j < got; j++ {
+					dst[j] = QID(buf[j])
+				}
+				return got
+			}
+		}
+	}
+	return 0
+}
+
+// stealFrom claims up to len(buf) QIDs from the victim bank's steal path
+// and marks each stolen so its closing Consume routes the batch charge
+// back to the victim (see WaitHomeBatch).
+func (n *Notifier) stealFrom(victim int, buf []int, dst []QID) int {
+	got := n.banks[victim].StealMany(buf)
+	for j := 0; j < got; j++ {
+		n.stolen[buf[j]].Store(1)
+		dst[j] = QID(buf[j])
+	}
+	if got > 0 {
+		n.steals.Add(int64(got))
+	}
+	return got
+}
+
+// stealRand is an allocation-free splitmix64 step over a shared seed;
+// concurrent callers may interleave but every value is well mixed, which
+// is all victim probing needs.
+func (n *Notifier) stealRand() uint64 {
+	z := n.stealSeed.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // TryWait is the paper's non-blocking QWAIT variant: it returns the next
 // ready QID or ok=false immediately.
 func (n *Notifier) TryWait() (qid QID, ok bool) {
@@ -625,8 +845,21 @@ func (n *Notifier) Consume(qid QID) bool {
 // already ended, DRR carries the overdraw as debt into its next quantum
 // grant, so long-run shares stay proportional to weights.
 func (n *Notifier) ConsumeN(qid QID, items int) bool {
-	if qid >= 0 && int(qid) < len(n.states) && items > 1 {
-		n.bankOf(qid).Charge(int(qid), items-1)
+	if qid >= 0 && int(qid) < len(n.states) {
+		// A stolen QID's batch charge routes to the victim bank's steal
+		// accounting: work is billed (DRR debt, EWMA decay) but the
+		// victim's rotor is not advanced — its home consumers' order must
+		// be what it would have been had the queue drained on its own.
+		// Swap-clear before consume(): the flag must be gone before
+		// activate() can hand the QID to another worker.
+		stolen := n.stolen != nil && n.stolen[qid].Swap(0) == 1
+		if items > 1 {
+			if stolen {
+				n.bankOf(qid).ChargeSteal(int(qid), items-1)
+			} else {
+				n.bankOf(qid).Charge(int(qid), items-1)
+			}
+		}
 	}
 	return n.consume(qid)
 }
@@ -634,6 +867,12 @@ func (n *Notifier) ConsumeN(qid QID, items int) bool {
 func (n *Notifier) consume(qid QID) bool {
 	if qid < 0 || int(qid) >= len(n.states) {
 		return false
+	}
+	if n.stolen != nil {
+		// Single-item consumers (Consume/Reconsider) close a steal claim
+		// here; the flag must clear before the re-activation below can
+		// hand the QID to another worker.
+		n.stolen[qid].Store(0)
 	}
 	st := &n.states[qid]
 	if !st.Registered() {
@@ -695,6 +934,7 @@ type NotifierStats struct {
 	Waits       int64 // Wait/TryWait calls
 	Blocked     int64 // Waits that had to block (halted "core")
 	Spurious    int64 // Verify calls that found an empty queue
+	Steals      int64 // QIDs claimed from sibling banks (WaitHomeBatch)
 	Registered  int   // currently registered queues
 }
 
@@ -709,6 +949,7 @@ func (n *Notifier) Stats() NotifierStats {
 		Waits:       n.waits.Load(),
 		Blocked:     n.halts.Load(),
 		Spurious:    n.spurious.Load(),
+		Steals:      n.steals.Load(),
 		Registered:  registered,
 	}
 }
@@ -746,6 +987,7 @@ type BankStats struct {
 	Ready       int   // enabled ready queues right now
 	Selects     int64 // selections served from this bank
 	Activations int64 // activations inserted into this bank
+	Steals      int64 // QIDs stolen from this bank by sibling consumers
 	Parks       int64 // waiters parked on this bank's stripe
 	Wakes       int64 // wakeups delivered from this bank's stripe
 }
@@ -761,6 +1003,7 @@ func (n *Notifier) BankStats() []BankStats {
 			Ready:       c.Ready,
 			Selects:     c.Selects,
 			Activations: c.Activations,
+			Steals:      c.Steals,
 			Parks:       p.Parks,
 			Wakes:       p.Wakes,
 		}

@@ -1,0 +1,214 @@
+package hyperplane
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestStealConfigValidation(t *testing.T) {
+	bad := []StealConfig{
+		{Enable: true, Quantum: -1},
+		{Enable: true, Quantum: 65},
+		{Enable: true, Probes: -1},
+	}
+	for _, sc := range bad {
+		if _, err := NewNotifier(NotifierConfig{MaxQueues: 8, Steal: sc}); err == nil {
+			t.Errorf("StealConfig %+v accepted", sc)
+		}
+	}
+	n := newN(t, NotifierConfig{MaxQueues: 8, Shards: 2, Steal: StealConfig{Enable: true}})
+	defer n.Close()
+	if n.steal.Quantum != DefaultStealQuantum || n.steal.Probes != DefaultStealProbes {
+		t.Errorf("defaults = quantum %d probes %d", n.steal.Quantum, n.steal.Probes)
+	}
+}
+
+// stealFixture builds a 2-bank notifier with stealing on and qids 0..7
+// registered in order, so qid mod 2 is the bank (even -> bank 0, odd ->
+// bank 1).
+func stealFixture(t *testing.T, cfg NotifierConfig) (*Notifier, []QID, []atomic.Int64) {
+	t.Helper()
+	if cfg.MaxQueues == 0 {
+		cfg.MaxQueues = 8
+	}
+	cfg.Shards = 2
+	if !cfg.Steal.Enable {
+		cfg.Steal = StealConfig{Enable: true}
+	}
+	n := newN(t, cfg)
+	dbs := make([]atomic.Int64, cfg.MaxQueues)
+	qids := make([]QID, cfg.MaxQueues)
+	for i := range qids {
+		q, err := n.Register(&dbs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(q) != i {
+			t.Fatalf("registration order broken: got qid %v for slot %d", q, i)
+		}
+		qids[i] = q
+	}
+	return n, qids, dbs
+}
+
+// TestWaitHomeBatchPrefersHome: when the home bank has ready queues, a
+// home-affine waiter drains only those, leaving sibling banks for their
+// own consumers.
+func TestWaitHomeBatchPrefersHome(t *testing.T) {
+	n, qids, dbs := stealFixture(t, NotifierConfig{})
+	defer n.Close()
+	for _, i := range []int{0, 1, 2, 3} {
+		dbs[i].Add(1)
+		n.Notify(qids[i])
+	}
+	dst := make([]QID, 8)
+	c := n.WaitHomeBatch(0, dst)
+	if c == 0 {
+		t.Fatal("WaitHomeBatch returned nothing")
+	}
+	for _, q := range dst[:c] {
+		if int(q)%2 != 0 {
+			t.Fatalf("home-affine wait returned sibling-bank qid %v while home bank was ready", q)
+		}
+		dbs[q].Add(-1)
+		n.ConsumeN(q, 1)
+	}
+	if s := n.Stats().Steals; s != 0 {
+		t.Fatalf("steals = %d with a ready home bank", s)
+	}
+}
+
+// TestWaitHomeBatchStealsFromSibling: with the home bank empty, the
+// waiter claims from the sibling bank, bounded by the steal quantum, and
+// both the notifier and victim-bank steal counters record it.
+func TestWaitHomeBatchStealsFromSibling(t *testing.T) {
+	n, qids, dbs := stealFixture(t, NotifierConfig{Steal: StealConfig{Enable: true, Quantum: 2}})
+	defer n.Close()
+	// Five ready queues, all on bank 1.
+	ready := 0
+	for i := 1; i < 8; i += 2 {
+		dbs[i].Add(1)
+		n.Notify(qids[i])
+		ready++
+	}
+	dst := make([]QID, 8)
+	c := n.WaitHomeBatch(0, dst)
+	if c == 0 || c > 2 {
+		t.Fatalf("stole %d qids, want 1..quantum(2)", c)
+	}
+	for _, q := range dst[:c] {
+		if int(q)%2 != 1 {
+			t.Fatalf("stole qid %v not from the sibling bank", q)
+		}
+		dbs[q].Add(-1)
+		n.ConsumeN(q, 1)
+	}
+	if s := n.Stats().Steals; s != int64(c) {
+		t.Fatalf("Stats().Steals = %d, want %d", s, c)
+	}
+	bs := n.BankStats()
+	if bs[1].Steals != int64(c) || bs[0].Steals != 0 {
+		t.Fatalf("bank steals = [%d %d], want [0 %d]", bs[0].Steals, bs[1].Steals, c)
+	}
+	// The rest of the sibling's backlog is still claimable.
+	rest := 0
+	for rest < ready-c {
+		got := n.WaitHomeBatch(0, dst)
+		if got == 0 {
+			t.Fatalf("remaining backlog not reachable: got %d of %d", rest, ready-c)
+		}
+		for _, q := range dst[:got] {
+			dbs[q].Add(-1)
+			n.ConsumeN(q, 1)
+		}
+		rest += got
+	}
+}
+
+// TestStealChargeRoutesToVictimBank: the defining accounting property of
+// the steal path — a stolen queue's work lands in the victim bank's DRR
+// deficit as carried debt, while the victim's rotor stays untouched, so
+// the victim's own consumers see exactly the service order they would
+// have seen had the queue drained at home.
+func TestStealChargeRoutesToVictimBank(t *testing.T) {
+	weights := make([]int, 8)
+	for i := range weights {
+		weights[i] = 4
+	}
+	n, qids, dbs := stealFixture(t, NotifierConfig{Policy: DeficitRoundRobin, Weights: weights})
+	defer n.Close()
+	before := n.InspectPolicy()[1]
+
+	// qid 1 lives on bank 1 (the victim); batch of 3 items.
+	dbs[1].Add(3)
+	n.Notify(qids[1])
+	dst := make([]QID, 4)
+	c := n.WaitHomeBatch(0, dst)
+	if c != 1 || dst[0] != qids[1] {
+		t.Fatalf("WaitHomeBatch = %d %v, want qid 1", c, dst[:c])
+	}
+	dbs[1].Add(-3)
+	n.ConsumeN(dst[0], 3)
+
+	after := n.InspectPolicy()[1]
+	if after.Rotor != before.Rotor {
+		t.Fatalf("victim rotor moved %d -> %d on steal", before.Rotor, after.Rotor)
+	}
+	// qid 1 is bank 1's local index 0 (qid = local*stride + offset). The
+	// steal's selection charge (1) plus ConsumeN's batch charge (2) must
+	// both land as deficit debt.
+	if want := before.Deficit[0] - 3; after.Deficit[0] != want {
+		t.Fatalf("victim deficit[0] = %d, want %d (charge did not route to victim)", after.Deficit[0], want)
+	}
+	if n.Stats().Steals != 1 {
+		t.Fatalf("Steals = %d", n.Stats().Steals)
+	}
+}
+
+// TestWaitHomeBatchStealDisabled: with stealing off, WaitHomeBatch still
+// finds work in sibling banks via the plain full sweep (no stranded
+// work), and nothing is accounted as stolen.
+func TestWaitHomeBatchStealDisabled(t *testing.T) {
+	n := newN(t, NotifierConfig{MaxQueues: 8, Shards: 2})
+	defer n.Close()
+	dbs := make([]atomic.Int64, 8)
+	qids := make([]QID, 8)
+	for i := range qids {
+		qids[i], _ = n.Register(&dbs[i])
+	}
+	dbs[3].Add(1)
+	n.Notify(qids[3])
+	dst := make([]QID, 4)
+	c := n.WaitHomeBatch(0, dst)
+	if c != 1 || dst[0] != qids[3] {
+		t.Fatalf("WaitHomeBatch = %d %v, want qid 3 via fallback sweep", c, dst[:c])
+	}
+	dbs[3].Add(-1)
+	n.ConsumeN(dst[0], 1)
+	if s := n.Stats().Steals; s != 0 {
+		t.Fatalf("steals = %d with stealing disabled", s)
+	}
+}
+
+// TestWaitHomeBatchZeroAllocs pins the ready-work fast path: a waiter
+// that finds work — at home or by stealing — must not allocate.
+func TestWaitHomeBatchZeroAllocs(t *testing.T) {
+	n, qids, dbs := stealFixture(t, NotifierConfig{})
+	defer n.Close()
+	dst := make([]QID, 4)
+	for name, victim := range map[string]int{"home": 0, "steal": 1} {
+		v := victim
+		if a := testing.AllocsPerRun(200, func() {
+			dbs[v].Add(1)
+			n.Notify(qids[v])
+			c := n.WaitHomeBatch(0, dst)
+			if c != 1 {
+				t.Fatalf("WaitHomeBatch = %d", c)
+			}
+			dbs[v].Add(-1)
+			n.ConsumeN(dst[0], 1)
+		}); a != 0 {
+			t.Errorf("%s path: allocs/op = %v, want 0", name, a)
+		}
+	}
+}
