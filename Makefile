@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-guard bench-steal chaos telemetry-smoke clean
+.PHONY: all build test race vet lint bench bench-guard bench-steal chaos chaos-durable telemetry-smoke clean
 
 all: build vet test
 
@@ -29,6 +29,15 @@ lint: vet
 chaos:
 	$(GO) test -race -run Chaos -count=3 ./...
 
+# Durability chaos: the kill -9 harness (child process flooded with
+# identified messages is SIGKILLed mid-burst; recovery must replay every
+# durable item exactly once and keep the dedup window) repeated under the
+# race detector, plus a short WAL decoder fuzz smoke (torn tails and bit
+# flips must stop recovery cleanly, never panic or invent records).
+chaos-durable:
+	$(GO) test -race -run ChaosDurable -count=3 ./dataplane
+	$(GO) test -run FuzzWALRecover -fuzz FuzzWALRecover -fuzztime 10s ./internal/wal
+
 # Regenerate the benchmark reports: BENCH_notifier.json (banked notifier
 # vs the retired mutex engine), BENCH_ring.json (batched vs per-item ring
 # ops, SPSC and MPSC), and BENCH_dataplane.json (end-to-end planebench
@@ -38,6 +47,8 @@ bench: bench-ring
 	$(GO) run ./cmd/planebench -tenants 8,64 -duration 1s -trials 3 -batch 1,16 -out BENCH_dataplane.json
 	$(GO) run ./cmd/planebench -skew 1.1 -seed 1 -tenants 16 -workers 4 -batch 16 \
 		-duration 1s -trials 3 -out BENCH_dataplane.json -merge
+	$(GO) run ./cmd/planebench -durable -tenants 8 -batch 1,64 \
+		-duration 1s -trials 3 -out BENCH_dataplane.json -merge -durable-check 0.5
 
 bench-ring:
 	$(GO) run ./cmd/ringbench -out BENCH_ring.json

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"hyperplane"
+	"hyperplane/internal/benchmeta"
 )
 
 func main() {
@@ -80,7 +81,7 @@ func main() {
 					name = fmt.Sprintf("%s_%d", f.ID, i)
 				}
 				path := filepath.Join(*out, name+".csv")
-				if err := os.WriteFile(path, []byte(f.CSV), 0o644); err != nil {
+				if err := benchmeta.WriteFileAtomic(path, []byte(f.CSV), 0o644); err != nil {
 					fatal(err)
 				}
 			}

@@ -537,7 +537,7 @@ func main() {
 		os.Stdout.Write(buf)
 		return
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	if err := benchmeta.WriteFileAtomic(*out, buf, 0o644); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)

@@ -88,6 +88,11 @@ type benchConfig struct {
 	zipfSeed int64
 	steal    bool
 
+	// durable mode (-durable): the cell runs with a WAL-backed durable
+	// tier in a throwaway temp dir, so the grid records the durability
+	// tax against the matching in-memory cell.
+	durable bool
+
 	// fault plan (nil faultCfg = no injection)
 	faultFrac  float64
 	seed       int64
@@ -145,6 +150,9 @@ func main() {
 		trials    = flag.Int("trials", 1, "runs per cell; the median by items/s is reported")
 		outFlag   = flag.String("out", "", "write the measured grid as JSON (BENCH_dataplane.json) to this path")
 
+		durable      = flag.Bool("durable", false, "measure every point twice — in-memory and WAL-durable (temp dir) — recording the durability tax per cell")
+		durableCheck = flag.Float64("durable-check", 0, "guard: fail unless durable items/s >= this fraction of in-memory on every MaxBatch>=64 point (multi-core hosts only)")
+
 		skew       = flag.Float64("skew", 0, "Zipf skew s (> 1) for the skewed tenant-load mode; 0 = uniform per-tenant flood")
 		zipfSeed   = flag.Int64("seed", 1, "Zipf sampling seed for reproducible -skew runs")
 		stealCheck = flag.Float64("steal-check", 0, "guard: fail unless steal-on items/s >= this fraction of steal-off on every -skew point (multi-core hosts only)")
@@ -181,6 +189,14 @@ func main() {
 	}
 	if *stealCheck > 0 && *skew == 0 {
 		fmt.Fprintln(os.Stderr, "planebench: -steal-check requires -skew")
+		os.Exit(2)
+	}
+	if *durableCheck > 0 && !*durable {
+		fmt.Fprintln(os.Stderr, "planebench: -durable-check requires -durable")
+		os.Exit(2)
+	}
+	if *durable && *skew != 0 {
+		fmt.Fprintln(os.Stderr, "planebench: -durable and -skew are separate sweeps; run them as two -merge passes")
 		os.Exit(2)
 	}
 
@@ -244,6 +260,8 @@ func main() {
 			"tenants", "mode", "batch", "healthy/s", "faulty/s", "p50", "p99", "plane stats")
 	case skewing:
 		fmt.Printf("%8s %10s %6s %6s %14s %12s %12s\n", "tenants", "mode", "batch", "steal", "items/s", "p50", "p99")
+	case *durable:
+		fmt.Printf("%8s %10s %6s %8s %14s %12s %12s\n", "tenants", "mode", "batch", "durable", "items/s", "p50", "p99")
 	default:
 		fmt.Printf("%8s %10s %6s %14s %12s %12s\n", "tenants", "mode", "batch", "items/s", "p50", "p99")
 	}
@@ -257,6 +275,16 @@ func main() {
 	// steal through), each point twice: stealing off, then on.
 	modes := []dataplane.Mode{dataplane.Notify, dataplane.Spin}
 	stealSweep := []bool{false}
+	durSweep := []bool{false}
+	if *durable {
+		durSweep = []bool{false, true}
+		if runtime.GOMAXPROCS(0) < 2 {
+			rep.DurableNote = fmt.Sprintf(
+				"GOMAXPROCS=%d: single schedulable core; the fsync goroutine time-slices with the workers, so the durable/in-memory ratio overstates the tax a multi-core host pays",
+				runtime.GOMAXPROCS(0))
+			fmt.Fprintln(os.Stderr, "note:", rep.DurableNote)
+		}
+	}
 	if skewing {
 		modes = []dataplane.Mode{dataplane.Notify}
 		stealSweep = []bool{false, true}
@@ -271,60 +299,80 @@ func main() {
 	// and of the steal-off cell per tenants x batch point.
 	baseline := map[string]float64{}
 	stealBase := map[string]float64{}
+	durBase := map[string]float64{}
 	stealWorst := -1.0
+	durWorst := -1.0
 	for _, tenants := range counts {
 		for _, mode := range modes {
 			for _, batch := range batches {
 				for _, steal := range stealSweep {
-					cfg.mode = mode
-					cfg.maxBatch = batch
-					cfg.steal = steal
-					r, err := measureMedian(tenants, cfg, *trials)
-					if err != nil {
-						fmt.Fprintln(os.Stderr, "planebench:", err)
-						os.Exit(1)
-					}
-					switch {
-					case injecting:
-						fmt.Printf("%8d %10s %6d %14.0f %14.0f %12v %12v  panics=%d errors=%d dropped=%d quarantined=%d restarts=%d\n",
-							tenants, mode, batch, r.healthyThr, r.faultyThr, r.p50, r.p99,
-							r.stats.Panics, r.stats.Errors, r.stats.Dropped, r.stats.Quarantined, r.stats.Restarts)
-					case skewing:
-						fmt.Printf("%8d %10s %6d %6v %14.0f %12v %12v\n", tenants, mode, batch, steal, r.healthyThr, r.p50, r.p99)
-					default:
-						fmt.Printf("%8d %10s %6d %14.0f %12v %12v\n", tenants, mode, batch, r.healthyThr, r.p50, r.p99)
-					}
-					cell := benchCell{
-						Tenants:     tenants,
-						Mode:        mode.String(),
-						MaxBatch:    batch,
-						ItemsPerSec: r.healthyThr + r.faultyThr,
-						P50Ns:       r.p50.Nanoseconds(),
-						P99Ns:       r.p99.Nanoseconds(),
-					}
-					if skewing {
-						cell.Workers = cfg.workers
-						cell.Skew = cfg.skew
-						cell.Seed = cfg.zipfSeed
-						cell.Steal = steal
-					}
-					key := fmt.Sprintf("%d/%s/%v", tenants, mode, steal)
-					if batch == 1 {
-						baseline[key] = cell.ItemsPerSec
-					} else if base := baseline[key]; base > 0 {
-						cell.SpeedupVsItem = cell.ItemsPerSec / base
-					}
-					pointKey := fmt.Sprintf("%d/%d", tenants, batch)
-					if !steal {
-						stealBase[pointKey] = cell.ItemsPerSec
-					} else if off := stealBase[pointKey]; off > 0 {
-						cell.SpeedupSteal = cell.ItemsPerSec / off
-						if stealWorst < 0 || cell.SpeedupSteal < stealWorst {
-							stealWorst = cell.SpeedupSteal
+					for _, dur := range durSweep {
+						cfg.mode = mode
+						cfg.maxBatch = batch
+						cfg.steal = steal
+						cfg.durable = dur
+						r, err := measureMedian(tenants, cfg, *trials)
+						if err != nil {
+							fmt.Fprintln(os.Stderr, "planebench:", err)
+							os.Exit(1)
 						}
-						fmt.Fprintf(os.Stderr, "steal speedup %s: %.2fx\n", pointKey, cell.SpeedupSteal)
+						switch {
+						case injecting:
+							fmt.Printf("%8d %10s %6d %14.0f %14.0f %12v %12v  panics=%d errors=%d dropped=%d quarantined=%d restarts=%d\n",
+								tenants, mode, batch, r.healthyThr, r.faultyThr, r.p50, r.p99,
+								r.stats.Panics, r.stats.Errors, r.stats.Dropped, r.stats.Quarantined, r.stats.Restarts)
+						case skewing:
+							fmt.Printf("%8d %10s %6d %6v %14.0f %12v %12v\n", tenants, mode, batch, steal, r.healthyThr, r.p50, r.p99)
+						case *durable:
+							fmt.Printf("%8d %10s %6d %8v %14.0f %12v %12v\n", tenants, mode, batch, dur, r.healthyThr, r.p50, r.p99)
+						default:
+							fmt.Printf("%8d %10s %6d %14.0f %12v %12v\n", tenants, mode, batch, r.healthyThr, r.p50, r.p99)
+						}
+						cell := benchCell{
+							Tenants:     tenants,
+							Mode:        mode.String(),
+							MaxBatch:    batch,
+							ItemsPerSec: r.healthyThr + r.faultyThr,
+							P50Ns:       r.p50.Nanoseconds(),
+							P99Ns:       r.p99.Nanoseconds(),
+						}
+						if skewing {
+							cell.Workers = cfg.workers
+							cell.Skew = cfg.skew
+							cell.Seed = cfg.zipfSeed
+							cell.Steal = steal
+						}
+						key := fmt.Sprintf("%d/%s/%v/%v", tenants, mode, steal, dur)
+						if batch == 1 {
+							baseline[key] = cell.ItemsPerSec
+						} else if base := baseline[key]; base > 0 {
+							cell.SpeedupVsItem = cell.ItemsPerSec / base
+						}
+						pointKey := fmt.Sprintf("%d/%d", tenants, batch)
+						if !steal {
+							stealBase[pointKey] = cell.ItemsPerSec
+						} else if off := stealBase[pointKey]; off > 0 {
+							cell.SpeedupSteal = cell.ItemsPerSec / off
+							if stealWorst < 0 || cell.SpeedupSteal < stealWorst {
+								stealWorst = cell.SpeedupSteal
+							}
+							fmt.Fprintf(os.Stderr, "steal speedup %s: %.2fx\n", pointKey, cell.SpeedupSteal)
+						}
+						durKey := fmt.Sprintf("%d/%s/%d", tenants, mode, batch)
+						if !dur {
+							durBase[durKey] = cell.ItemsPerSec
+						} else {
+							cell.Durable = true
+							if mem := durBase[durKey]; mem > 0 {
+								cell.DurableVsMemory = cell.ItemsPerSec / mem
+								if batch >= 64 && (durWorst < 0 || cell.DurableVsMemory < durWorst) {
+									durWorst = cell.DurableVsMemory
+								}
+								fmt.Fprintf(os.Stderr, "durability tax %s: %.2fx of in-memory\n", durKey, cell.DurableVsMemory)
+							}
+						}
+						rep.Cells = append(rep.Cells, cell)
 					}
-					rep.Cells = append(rep.Cells, cell)
 				}
 			}
 		}
@@ -341,6 +389,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "steal-check ok: worst ratio %.2fx >= %.2fx\n", stealWorst, *stealCheck)
 		}
 	}
+	if *durableCheck > 0 {
+		switch {
+		case rep.DurableNote != "":
+			fmt.Fprintln(os.Stderr, "durable-check skipped:", rep.DurableNote)
+		case durWorst < 0:
+			fmt.Fprintln(os.Stderr, "durable-check skipped: no MaxBatch>=64 durable cell in the sweep")
+		case durWorst < *durableCheck:
+			fmt.Fprintf(os.Stderr, "planebench: durable-check failed: worst durable/in-memory ratio %.2fx < %.2fx\n",
+				durWorst, *durableCheck)
+			os.Exit(1)
+		default:
+			fmt.Fprintf(os.Stderr, "durable-check ok: worst ratio %.2fx >= %.2fx\n", durWorst, *durableCheck)
+		}
+	}
 	if *outFlag != "" {
 		if *merge {
 			if raw, err := os.ReadFile(*outFlag); err == nil {
@@ -349,6 +411,9 @@ func main() {
 					rep.Cells = append(old.Cells, rep.Cells...)
 					if rep.ScalingNote == "" {
 						rep.ScalingNote = old.ScalingNote
+					}
+					if rep.DurableNote == "" {
+						rep.DurableNote = old.DurableNote
 					}
 				}
 			}
@@ -359,7 +424,7 @@ func main() {
 			os.Exit(1)
 		}
 		buf = append(buf, '\n')
-		if err := os.WriteFile(*outFlag, buf, 0o644); err != nil {
+		if err := benchmeta.WriteFileAtomic(*outFlag, buf, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "planebench:", err)
 			os.Exit(1)
 		}
@@ -388,6 +453,12 @@ type benchCell struct {
 	Seed         int64   `json:"seed,omitempty"`
 	Steal        bool    `json:"steal,omitempty"`
 	SpeedupSteal float64 `json:"speedup_steal_vs_nosteal,omitempty"`
+	// Durable cells (-durable) record the durability tax: the cell's
+	// items/s as a fraction of the matching in-memory cell's (group
+	// commit amortizes the fsync cost, so the ratio should rise with
+	// MaxBatch).
+	Durable         bool    `json:"durable,omitempty"`
+	DurableVsMemory float64 `json:"durable_vs_memory,omitempty"`
 }
 
 type benchReport struct {
@@ -398,7 +469,11 @@ type benchReport struct {
 	// ScalingNote is set when the host cannot exhibit the steal speedup
 	// (-skew on a single schedulable core): the on/off ratio then measures
 	// OS time-slicing, not cross-bank stealing.
-	ScalingNote string      `json:"scaling_note,omitempty"`
+	ScalingNote string `json:"scaling_note,omitempty"`
+	// DurableNote is the same caveat for the -durable sweep: on one
+	// schedulable core the WAL's fsync goroutine steals worker time, so
+	// the measured tax is an upper bound.
+	DurableNote string      `json:"durable_scaling_note,omitempty"`
 	Cells       []benchCell `json:"cells"`
 }
 
@@ -481,6 +556,15 @@ func measure(tenants int, cfg benchConfig) (result, error) {
 			return result{}, err
 		}
 	}
+	var durDir string
+	if cfg.durable {
+		var err error
+		durDir, err = os.MkdirTemp("", "planebench-wal-")
+		if err != nil {
+			return result{}, err
+		}
+		defer os.RemoveAll(durDir)
+	}
 	p, err := dataplane.New(dataplane.Config{
 		Tenants:         tenants,
 		Workers:         cfg.workers,
@@ -496,6 +580,7 @@ func measure(tenants int, cfg benchConfig) (result, error) {
 		DeliveryTimeout: cfg.deliverTO,
 		Quarantine:      dataplane.QuarantineConfig{Threshold: cfg.quarantine},
 		Telemetry:       tel,
+		Durable:         dataplane.DurableConfig{Dir: durDir},
 	})
 	if err != nil {
 		return result{}, err

@@ -1,0 +1,283 @@
+package dataplane
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The kill -9 experiment re-execs the test binary as a producer/consumer
+// child sharing a WAL dir with the parent, SIGKILLs it mid-burst, then
+// recovers in-process and audits the durability contract:
+//
+//  1. zero acked-item loss: every id the child reported durable is
+//     consumed exactly once across the two lives (pre-crash or replay);
+//  2. replay never double-delivers: no duplicate ids in the recovery run;
+//  3. the dedup window survives the crash: producer retries of replayed
+//     ids are rejected.
+//
+// Ids consumed pre-crash whose ack fsync did not complete legitimately
+// replay (at-least-once) — the child's report protocol orders every
+// CONSUMED line before the only WALSync that can persist its ack, so a
+// durable ack always implies a report the parent saw, and "lost" ids
+// cannot be false positives.
+const chaosChildEnv = "HYPERPLANE_CHAOS_WAL_DIR"
+
+func chaosDurableConfig(dir string) Config {
+	return Config{
+		Tenants:      2,
+		Workers:      1,
+		RingCapacity: 4096,
+		Durable: DurableConfig{
+			Dir: dir,
+			// Commits happen only at explicit WALSync: the child's
+			// control loop owns the consumed-report / ack-persist
+			// ordering, so no background fsync may sneak an ack to
+			// disk before its CONSUMED line is on the pipe.
+			FsyncEvery:  time.Hour,
+			DedupWindow: 1 << 16,
+		},
+	}
+}
+
+// TestChaosDurableKill9Child is the re-exec helper: flood both tenants
+// with sequential message ids, consume, and report durability watermarks
+// over stdout until the parent kills the process.
+func TestChaosDurableKill9Child(t *testing.T) {
+	dir := os.Getenv(chaosChildEnv)
+	if dir == "" {
+		t.Skip("helper process for TestChaosDurableKill9")
+	}
+	p, err := New(chaosDurableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+
+	// Producers: one per tenant (ingress is single-producer per tenant),
+	// sequential ids from 1, retry on backpressure. nextID[tn] is read by
+	// the control loop only through the data race-free rule "admitted
+	// before incremented": a snapshot taken before WALSync is a sound
+	// lower bound for what that sync makes durable.
+	var admitted [2]atomic.Uint64
+	for tn := 0; tn < 2; tn++ {
+		go func(tn int) {
+			for id := uint64(1); ; id++ {
+				payload := make([]byte, 8)
+				binary.LittleEndian.PutUint64(payload, id)
+				for p.IngressID(tn, id, payload) != IngressAccepted {
+					time.Sleep(10 * time.Microsecond)
+				}
+				admitted[tn].Store(id)
+			}
+		}(tn)
+	}
+
+	// Control loop: pop a bounded batch, report each consumed id, then
+	// WALSync (persisting both the new appends and those acks), then
+	// report the durable watermarks. Stdout writes are line-buffered and
+	// flushed before the sync so a post-sync kill cannot orphan a
+	// durable ack without its CONSUMED line.
+	w := bufio.NewWriter(os.Stdout)
+	for {
+		for tn := 0; tn < 2; tn++ {
+			for i := 0; i < 64; i++ {
+				out, ok := p.Egress(tn)
+				if !ok {
+					break
+				}
+				fmt.Fprintf(w, "CONSUMED %d %d\n", tn, binary.LittleEndian.Uint64(out))
+			}
+		}
+		snap := [2]uint64{admitted[0].Load(), admitted[1].Load()}
+		if err := w.Flush(); err != nil {
+			os.Exit(3)
+		}
+		if err := p.WALSync(); err != nil {
+			fmt.Fprintf(os.Stderr, "child WALSync: %v\n", err)
+			os.Exit(3)
+		}
+		for tn := 0; tn < 2; tn++ {
+			fmt.Fprintf(w, "DURABLE %d %d\n", tn, snap[tn])
+		}
+		if err := w.Flush(); err != nil {
+			os.Exit(3)
+		}
+	}
+}
+
+func TestChaosDurableKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos experiment")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=TestChaosDurableKill9Child$")
+	cmd.Env = append(os.Environ(), chaosChildEnv+"="+dir)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream the child's report until both tenants have a non-zero
+	// durable watermark and a few sync rounds have landed, then SIGKILL
+	// mid-burst. A torn final line (killed mid-write) is ignored by the
+	// scanner's framing.
+	durable := [2]uint64{}
+	pre := [2]map[uint64]int{{}, {}}
+	lines := make(chan string, 1024)
+	scanErr := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+		scanErr <- sc.Err()
+	}()
+	rounds := 0
+	deadline := time.After(30 * time.Second)
+collect:
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("child exited before being killed (scan err %v)", <-scanErr)
+			}
+			var tn int
+			var id uint64
+			if n, _ := fmt.Sscanf(line, "DURABLE %d %d", &tn, &id); n == 2 {
+				if id > durable[tn] {
+					durable[tn] = id
+				}
+				if tn == 1 {
+					rounds++
+				}
+				if rounds >= 5 && durable[0] > 0 && durable[1] > 0 {
+					break collect
+				}
+			} else if n, _ := fmt.Sscanf(line, "CONSUMED %d %d", &tn, &id); n == 2 {
+				pre[tn][id]++
+			}
+		case <-deadline:
+			t.Fatal("child produced no durable watermark within 30s")
+		}
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	for line := range lines { // drain reports already in flight
+		var tn int
+		var id uint64
+		if n, _ := fmt.Sscanf(line, "CONSUMED %d %d", &tn, &id); n == 2 {
+			pre[tn][id]++
+		}
+		// Post-kill DURABLE lines are ignored: the kill races the sync,
+		// so they are not a sound bound.
+	}
+	_ = cmd.Wait()
+	t.Logf("killed child: durable watermarks=%v pre-crash consumed=[%d %d]",
+		durable, len(pre[0]), len(pre[1]))
+
+	// Phase 2: recover in-process and consume everything that replays.
+	p, err := New(chaosDurableConfig(dir))
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	p.Start()
+	defer p.Stop()
+
+	post := [2]map[uint64]int{{}, {}}
+	var mu sync.Mutex
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for tn := 0; tn < 2; tn++ {
+		wg.Add(1)
+		go func(tn int) {
+			defer wg.Done()
+			for {
+				out, ok := p.Egress(tn)
+				if !ok {
+					select {
+					case <-stop:
+						return
+					default:
+						time.Sleep(100 * time.Microsecond)
+						continue
+					}
+				}
+				id := binary.LittleEndian.Uint64(out)
+				mu.Lock()
+				post[tn][id]++
+				mu.Unlock()
+			}
+		}(tn)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	err = p.Drain(ctx)
+	cancel()
+	if err != nil {
+		t.Fatalf("recovery drain: %v", err)
+	}
+	waitFor(t, 30*time.Second, func() bool { return p.Stats().OutBacklog == 0 })
+	close(stop)
+	wg.Wait()
+
+	st := p.Stats()
+	t.Logf("recovery: replayed=%d post-crash consumed=[%d %d]",
+		st.Replayed, len(post[0]), len(post[1]))
+
+	for tn := 0; tn < 2; tn++ {
+		// (1) zero acked-item loss: every durable id was delivered in
+		// one of the two lives.
+		var lost, dupPost int
+		for id := uint64(1); id <= durable[tn]; id++ {
+			if pre[tn][id] == 0 && post[tn][id] == 0 {
+				lost++
+				if lost <= 5 {
+					t.Errorf("tenant %d: durable id %d lost (never consumed)", tn, id)
+				}
+			}
+		}
+		// (2) the recovery run never double-delivers, and never invents
+		// ids (pre-crash delivery may legitimately repeat in post only
+		// when its ack fsync did not complete — at-least-once).
+		for id, n := range post[tn] {
+			if n > 1 {
+				dupPost++
+				if dupPost <= 5 {
+					t.Errorf("tenant %d: id %d delivered %d times during recovery", tn, id, n)
+				}
+			}
+			if id == 0 {
+				t.Errorf("tenant %d: invented id 0 in recovery", tn)
+			}
+		}
+		if lost > 0 || dupPost > 0 {
+			t.Fatalf("tenant %d: %d lost, %d duplicated of %d durable", tn, lost, dupPost, durable[tn])
+		}
+		// (3) the dedup window survived the crash: a producer retry of a
+		// replayed id is rejected.
+		for id := range post[tn] {
+			payload := make([]byte, 8)
+			binary.LittleEndian.PutUint64(payload, id)
+			if got := p.IngressID(tn, id, payload); got != IngressDuplicate {
+				t.Fatalf("tenant %d: retry of replayed id %d = %v, want duplicate", tn, id, got)
+			}
+			break
+		}
+		if len(post[tn]) == 0 && durable[tn] > uint64(len(pre[tn])) {
+			t.Errorf("tenant %d: expected a replay backlog (durable=%d pre=%d)", tn, durable[tn], len(pre[tn]))
+		}
+	}
+}

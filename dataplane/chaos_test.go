@@ -133,6 +133,9 @@ func TestChaosFaultyTenantIsolation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Surface the fault plan seeds up front so a -race failure in CI logs
+	// is reproducible without rerunning under a debugger.
+	t.Logf("fault seeds: panic injector=%d stall injector=%d", inj2.Seed(), inj.Seed())
 	p, err := New(chaosPlaneConfig(Handler(inj2.Wrap(func(tenant int, payload []byte) ([]byte, error) {
 		return payload, nil
 	}))))

@@ -39,6 +39,17 @@ import (
 	"hyperplane/internal/telemetry"
 )
 
+// item is what actually travels the rings: the payload plus the durable
+// tier's per-tenant sequence number and the producer's message id. On
+// in-memory planes seq and msgID are 0 and the wrapper costs nothing but
+// the struct copy; on durable planes seq keys the WAL ack at egress and
+// msgID keys the dedup window.
+type item struct {
+	seq     uint64
+	msgID   uint64
+	payload []byte
+}
+
 // Handler performs transport processing on one work item (step 2b). It
 // returns the payload to deliver tenant-side; a nil result drops the item.
 type Handler func(tenant int, payload []byte) ([]byte, error)
@@ -177,6 +188,13 @@ type Config struct {
 	// to RestartBackoffMax (default 250ms).
 	RestartBackoff    time.Duration
 	RestartBackoffMax time.Duration
+	// Durable enables the opt-in per-tenant durability tier when its Dir
+	// is non-empty: ingress appends to a group-committed WAL, egress acks
+	// truncate it, recovery replays un-acked items through normal
+	// ingress, IngressID deduplicates producer retries, and items the
+	// plane would otherwise lose land in a per-tenant dead-letter queue.
+	// See DESIGN.md §12.
+	Durable DurableConfig
 	// Telemetry, when non-nil, attaches the plane to a telemetry plane:
 	// per-tenant counters and ready-set/bank state become scrapeable, the
 	// worker notifiers trace sampled notification latency (closed at
@@ -187,18 +205,25 @@ type Config struct {
 	Telemetry *telemetry.T
 }
 
-// Stats is a snapshot of plane activity.
+// Stats is a snapshot of plane activity. The durable-tier fields
+// (Replayed, Deduped, DeadLettered, DLQDepth) stay zero on in-memory
+// planes; Dropped includes the persisted pre-crash base on durable
+// planes, so it is monotone across crash and recovery.
 type Stats struct {
-	Ingressed   int64 // items accepted by Ingress
-	Processed   int64 // items run through the Handler
-	Delivered   int64 // items placed on tenant-side queues
-	Errors      int64 // handler errors (item dropped)
-	Panics      int64 // handler panics recovered (item dropped)
-	Dropped     int64 // items dropped by the delivery policy
-	Restarts    int64 // worker restarts by the supervisor
-	Backlog     int   // items currently queued device-side
-	OutBacklog  int   // items currently queued tenant-side
-	Quarantined int   // tenants currently quarantined (incl. probing)
+	Ingressed    int64 // items accepted by Ingress (incl. replayed)
+	Processed    int64 // items run through the Handler
+	Delivered    int64 // items placed on tenant-side queues
+	Errors       int64 // handler errors (item dropped)
+	Panics       int64 // handler panics recovered (item dropped)
+	Dropped      int64 // items dropped by the delivery policy
+	Replayed     int64 // WAL records re-admitted after recovery
+	Deduped      int64 // duplicate message ids rejected by IngressID
+	DeadLettered int64 // items captured by the dead-letter queue
+	Restarts     int64 // worker restarts by the supervisor
+	Backlog      int   // items currently queued device-side
+	OutBacklog   int   // items currently queued tenant-side
+	Quarantined  int   // tenants currently quarantined (incl. probing)
+	DLQDepth     int   // items currently parked in dead-letter queues
 }
 
 // Tenant quarantine states.
@@ -223,8 +248,15 @@ type tenantState struct {
 type Plane struct {
 	cfg Config
 
-	devRings []queue.Buffer[[]byte] // per tenant, device side (SPSC/MPSC/MPMC)
-	outRings []queue.Buffer[[]byte] // per tenant, tenant side (SPSC; MPSC under Steal)
+	devRings []queue.Buffer[item] // per tenant, device side (SPSC/MPSC/MPMC)
+	outRings []queue.Buffer[item] // per tenant, tenant side (SPSC; MPSC under Steal)
+	// egressScratch is each tenant's reusable EgressBatch pop buffer. The
+	// delivery rings admit one consumer per tenant (outMu serializes the
+	// DropOldest evictor separately), so the single-consumer contract that
+	// protects the ring protects this buffer too.
+	egressScratch [][]item
+	// dur is the durable tier (nil on in-memory planes). See durable.go.
+	dur *durable
 	// steal is the resolved steal mode: Config.Steal in Notify mode. The
 	// workers then share one banked notifier and drain via WaitHomeBatch.
 	steal bool
@@ -277,11 +309,13 @@ type worker struct {
 	// the supervisor re-offers it after a crash so no tenant is stranded.
 	pending []hyperplane.QID
 	// scratch is the reusable drain buffer one PopBatch fills per service
-	// turn; outs collects the non-nil batch-handler results for bulk
-	// delivery. Both live for the worker's lifetime, so the dispatch loop
-	// allocates nothing per item.
-	scratch [][]byte
-	outs    [][]byte
+	// turn; payloads is the []byte view of it handed to the BatchHandler;
+	// outs collects the non-nil batch-handler results for bulk delivery.
+	// All live for the worker's lifetime, so the dispatch loop allocates
+	// nothing per item.
+	scratch  []item
+	payloads [][]byte
+	outs     []item
 	// crashNext induces a worker-loop panic: a test hook for the
 	// supervisor (handler panics are recovered in handle and never reach
 	// it).
@@ -357,28 +391,29 @@ func New(cfg Config) (*Plane, error) {
 		return nil, fmt.Errorf("dataplane: StealQuantum must be >= 0, got %d", cfg.StealQuantum)
 	}
 	p := &Plane{
-		cfg:    cfg,
-		tstate: make([]tenantState, cfg.Tenants),
-		outMu:  make([]sync.Mutex, cfg.Tenants),
-		stopCh: make(chan struct{}),
-		m:      telemetry.NewMetrics(cfg.Tenants, cfg.Workers),
-		tel:    cfg.Telemetry,
-		steal:  cfg.Steal && cfg.Mode == Notify,
+		cfg:           cfg,
+		tstate:        make([]tenantState, cfg.Tenants),
+		outMu:         make([]sync.Mutex, cfg.Tenants),
+		egressScratch: make([][]item, cfg.Tenants),
+		stopCh:        make(chan struct{}),
+		m:             telemetry.NewMetrics(cfg.Tenants, cfg.Workers),
+		tel:           cfg.Telemetry,
+		steal:         cfg.Steal && cfg.Mode == Notify,
 	}
 
 	for t := 0; t < cfg.Tenants; t++ {
-		var dr, or queue.Buffer[[]byte]
+		var dr, or queue.Buffer[item]
 		var err error
 		switch {
 		case p.steal:
 			// Any worker may drain any tenant: the device ring needs
 			// multiple concurrent consumers (and SharedIngress producers
 			// come for free with it).
-			dr, err = queue.NewMPMC[[]byte](cfg.RingCapacity)
+			dr, err = queue.NewMPMC[item](cfg.RingCapacity)
 		case cfg.SharedIngress:
-			dr, err = queue.NewMPSC[[]byte](cfg.RingCapacity)
+			dr, err = queue.NewMPSC[item](cfg.RingCapacity)
 		default:
-			dr, err = queue.NewRing[[]byte](cfg.RingCapacity)
+			dr, err = queue.NewRing[item](cfg.RingCapacity)
 		}
 		if err != nil {
 			return nil, err
@@ -388,9 +423,9 @@ func New(cfg Config) (*Plane, error) {
 			// multiple producers. Its consumers (the tenant, plus the
 			// evicting worker under DropOldest) serialize on outMu exactly
 			// like the SPSC ring's DropOldest consumers do.
-			or, err = queue.NewMPSC[[]byte](cfg.RingCapacity)
+			or, err = queue.NewMPSC[item](cfg.RingCapacity)
 		} else {
-			or, err = queue.NewRing[[]byte](cfg.RingCapacity)
+			or, err = queue.NewRing[item](cfg.RingCapacity)
 		}
 		if err != nil {
 			return nil, err
@@ -450,9 +485,10 @@ func New(cfg Config) (*Plane, error) {
 	// a home bank on the shared one).
 	for w := 0; w < cfg.Workers; w++ {
 		wk := &worker{
-			id:      w,
-			scratch: make([][]byte, cfg.MaxBatch),
-			outs:    make([][]byte, 0, cfg.MaxBatch),
+			id:       w,
+			scratch:  make([]item, cfg.MaxBatch),
+			payloads: make([][]byte, 0, cfg.MaxBatch),
+			outs:     make([]item, 0, cfg.MaxBatch),
 		}
 		for t := w; t < cfg.Tenants; t += cfg.Workers {
 			wk.tenants = append(wk.tenants, t)
@@ -489,6 +525,23 @@ func New(cfg Config) (*Plane, error) {
 		}
 		p.workers = append(p.workers, wk)
 	}
+	// Durable tier last: wal.Open starts the group committer, so nothing
+	// that can still fail may follow it.
+	if cfg.Durable.Dir != "" {
+		dur, err := newDurable(cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.dur = dur
+		// Seed the drop series with the persisted pre-crash bases so
+		// Stats.Dropped (and every export surface over the grid) stays
+		// monotone across crash and recovery.
+		for t := range dur.tenants {
+			if base := dur.tenants[t].dropped.Load(); base > 0 {
+				p.m.Dropped.Add(p.m.IngressStripe(), t, int64(base))
+			}
+		}
+	}
 	if p.tel != nil {
 		p.tel.AttachMetrics(p.m)
 		p.tel.SetDebug(func() any { return p.DebugSnapshot() })
@@ -509,6 +562,12 @@ func (p *Plane) Start() {
 	if p.cfg.Quarantine.Threshold > 0 {
 		p.wg.Add(1)
 		go p.quarantineLoop()
+	}
+	if p.dur != nil && len(p.dur.replay) > 0 {
+		// Re-admit the recovery set through normal ingress, concurrently
+		// with new traffic — the workers drain it like any other burst.
+		p.wg.Add(1)
+		go p.replayLoop()
 	}
 }
 
@@ -540,6 +599,11 @@ func (p *Plane) Stop() error {
 	for _, tn := range p.tenantNotifiers {
 		tn.Close()
 	}
+	if p.dur != nil {
+		// Final group commit: every ack taken before Stop is persisted, so
+		// a clean shutdown replays nothing that was consumed.
+		return p.dur.log.Close()
+	}
 	return nil
 }
 
@@ -566,8 +630,10 @@ func (p *Plane) Drain(ctx context.Context) error {
 	for {
 		// ingressed is incremented before an item becomes visible to
 		// workers (and decremented on push failure), so equality with
-		// completed means no hidden in-flight work.
-		if p.ingressing.Load() == 0 && p.completed.Load() == p.ingressed.Load() {
+		// completed means no hidden in-flight work. Recovery replay counts
+		// as pending until every record is re-admitted.
+		if p.ingressing.Load() == 0 && p.completed.Load() == p.ingressed.Load() &&
+			(p.dur == nil || p.dur.replayPending.Load() == 0) {
 			return nil
 		}
 		if p.stopped.Load() {
@@ -589,6 +655,11 @@ func (p *Plane) Ingress(tenant int, payload []byte) bool {
 	if tenant < 0 || tenant >= p.cfg.Tenants {
 		return false
 	}
+	if p.dur != nil {
+		// Durable planes route every admission through the WAL path;
+		// plain Ingress items are anonymous (no dedup).
+		return p.ingressDurable(tenant, 0, payload) == IngressAccepted
+	}
 	p.ingressing.Add(1)
 	defer p.ingressing.Add(-1)
 	if p.stopped.Load() {
@@ -597,7 +668,7 @@ func (p *Plane) Ingress(tenant int, payload []byte) bool {
 	// Count before the push so Drain never sees a pushed-but-uncounted
 	// item; undo on backpressure.
 	p.ingressed.Add(1)
-	if !p.devRings[tenant].Push(payload) {
+	if !p.devRings[tenant].Push(item{payload: payload}) {
 		p.ingressed.Add(-1)
 		return false
 	}
@@ -619,7 +690,7 @@ type IngressItem struct {
 // escapes through the Buffer interface call, so a plain local would
 // allocate per call; pooling keeps batched ingress allocation-free at
 // steady state even with many concurrent producers.
-var runPool = sync.Pool{New: func() any { return new([64][]byte) }}
+var runPool = sync.Pool{New: func() any { return new([64]item) }}
 
 // IngressBatch places a burst of work items in one call (the emulated
 // device's batched DMA + coalesced doorbells): payloads are pushed first
@@ -640,7 +711,7 @@ func (p *Plane) IngressBatch(items []IngressItem) int {
 		perWorker = make([][]hyperplane.QID, len(p.workers))
 	}
 	accepted := 0
-	run := runPool.Get().(*[64][]byte)
+	run := runPool.Get().(*[64]item)
 	defer func() {
 		clear(run[:]) // release payload references before pooling
 		runPool.Put(run)
@@ -656,11 +727,16 @@ func (p *Plane) IngressBatch(items []IngressItem) int {
 			continue
 		}
 		pushed := 0
-		if j-i == 1 {
-			if p.devRings[tenant].Push(items[i].Payload) {
+		switch {
+		case p.dur != nil:
+			// Durable runs assign seqs and append WAL records under one
+			// admission-mutex hold per run — the durable bulk path.
+			pushed = p.ingressBatchDurable(tenant, items[i:j], run)
+		case j-i == 1:
+			if p.devRings[tenant].Push(item{payload: items[i].Payload}) {
 				pushed = 1
 			}
-		} else {
+		default:
 			// Same-tenant run: bulk-push in chunks, paying one cursor
 			// publish and one doorbell increment per chunk instead of per
 			// item. A short PushBatch means the ring is full; the rest of
@@ -671,7 +747,7 @@ func (p *Plane) IngressBatch(items []IngressItem) int {
 					c = len(run)
 				}
 				for k := 0; k < c; k++ {
-					run[k] = items[off+k].Payload
+					run[k] = item{payload: items[off+k].Payload}
 				}
 				got := p.devRings[tenant].PushBatch(run[:c])
 				pushed += got
@@ -708,7 +784,7 @@ func (p *Plane) IngressBatch(items []IngressItem) int {
 // two competing consumers (the tenant and the evicting worker), so pops
 // serialize on the tenant's mutex; every other policy keeps the lock-free
 // SPSC fast path.
-func (p *Plane) popOut(tenant int) ([]byte, bool) {
+func (p *Plane) popOut(tenant int) (item, bool) {
 	if p.cfg.Delivery == DropOldest {
 		p.outMu[tenant].Lock()
 		v, ok := p.outRings[tenant].Pop()
@@ -719,33 +795,47 @@ func (p *Plane) popOut(tenant int) ([]byte, bool) {
 }
 
 // Egress pops one processed item from a tenant's delivery queue without
-// blocking.
+// blocking. On a durable plane the pop acks the item's WAL record — the
+// consumption watermark persists at the next group commit.
 func (p *Plane) Egress(tenant int) ([]byte, bool) {
 	if tenant < 0 || tenant >= p.cfg.Tenants {
 		return nil, false
 	}
 	v, ok := p.popOut(tenant)
 	if ok {
+		p.ackItem(tenant, v)
 		p.tenantNotifiers[tenant].Reconsider(p.tenantQIDs[tenant])
 	}
-	return v, ok
+	return v.payload, ok
 }
 
 // EgressBatch pops up to len(dst) processed items from a tenant's
 // delivery queue without blocking — one doorbell decrement and one
 // notifier round-trip for the whole batch. It returns the number popped.
+// On a durable plane each popped item's WAL record is acked.
 func (p *Plane) EgressBatch(tenant int, dst [][]byte) int {
 	if tenant < 0 || tenant >= p.cfg.Tenants || len(dst) == 0 {
 		return 0
 	}
+	sc := p.egressScratch[tenant]
+	if cap(sc) < len(dst) {
+		sc = make([]item, len(dst))
+		p.egressScratch[tenant] = sc
+	}
+	sc = sc[:len(dst)]
 	var n int
 	if p.cfg.Delivery == DropOldest {
 		p.outMu[tenant].Lock()
-		n = p.outRings[tenant].PopBatch(dst)
+		n = p.outRings[tenant].PopBatch(sc)
 		p.outMu[tenant].Unlock()
 	} else {
-		n = p.outRings[tenant].PopBatch(dst)
+		n = p.outRings[tenant].PopBatch(sc)
 	}
+	for i := 0; i < n; i++ {
+		dst[i] = sc[i].payload
+		p.ackItem(tenant, sc[i])
+	}
+	clear(sc[:n]) // release payload references
 	if n > 0 {
 		p.tenantNotifiers[tenant].Reconsider(p.tenantQIDs[tenant])
 	}
@@ -763,12 +853,17 @@ func (p *Plane) EgressWait(tenant int) ([]byte, bool) {
 	for {
 		if _, ok := tn.Wait(); !ok {
 			// Closed: drain any remaining item without blocking.
-			return p.popOut(tenant)
+			v, got := p.popOut(tenant)
+			if got {
+				p.ackItem(tenant, v)
+			}
+			return v.payload, got
 		}
 		v, ok := p.popOut(tenant)
 		tn.Consume(qid)
 		if ok {
-			return v, true
+			p.ackItem(tenant, v)
+			return v.payload, true
 		}
 	}
 }
@@ -861,10 +956,10 @@ func (p *Plane) runNotify(wk *worker) {
 				p.tel.RecordNotify(wk.id, tenant, int(qid), ts, time.Now().UnixNano())
 			}
 			if drain == 1 {
-				payload, got := p.devRings[tenant].Pop()
+				it, got := p.devRings[tenant].Pop()
 				wk.n.Consume(qid)
 				if got {
-					p.handle(wk, tenant, payload)
+					p.handle(wk, tenant, it)
 				}
 				continue
 			}
@@ -892,12 +987,12 @@ func (p *Plane) runSpin(wk *worker) {
 				continue
 			}
 			if p.cfg.MaxBatch == 1 {
-				payload, got := p.devRings[tenant].Pop()
+				it, got := p.devRings[tenant].Pop()
 				if !got {
 					continue
 				}
 				found = true
-				p.handle(wk, tenant, payload)
+				p.handle(wk, tenant, it)
 				continue
 			}
 			n := p.devRings[tenant].PopBatch(wk.scratch[:p.drainBound(tenant, p.cfg.MaxBatch)])
@@ -942,30 +1037,47 @@ func (p *Plane) drainBound(tenant, drain int) int {
 // through handle, so only the poisoned item is dropped and every counter
 // (Processed, Errors, Panics, Dropped, quarantine streaks) lands exactly
 // where per-item dispatch would put it.
-func (p *Plane) handleBatch(wk *worker, tenant int, payloads [][]byte) {
-	if p.cfg.BatchHandler == nil || len(payloads) == 1 {
-		for _, pl := range payloads {
-			p.handle(wk, tenant, pl)
+func (p *Plane) handleBatch(wk *worker, tenant int, batch []item) {
+	if p.cfg.BatchHandler == nil || len(batch) == 1 {
+		for i := range batch {
+			p.handle(wk, tenant, batch[i])
 		}
 		return
+	}
+	// The BatchHandler sees the payload view; seqs and message ids stay
+	// with the items, so results rejoin their WAL identity below.
+	payloads := wk.payloads[:0]
+	for i := range batch {
+		payloads = append(payloads, batch[i].payload)
 	}
 	if !p.runBatchHandler(tenant, payloads) {
-		for _, pl := range payloads {
-			p.handle(wk, tenant, pl)
+		// Replay from the view slice: a failed attempt may have replaced
+		// some entries in place (its contract allows it for items it DID
+		// process), and those results must not be re-processed.
+		for i := range batch {
+			it := batch[i]
+			it.payload = payloads[i]
+			p.handle(wk, tenant, it)
 		}
+		clear(payloads)
 		return
 	}
-	p.m.Processed.Add(wk.id, tenant, int64(len(payloads)))
+	p.m.Processed.Add(wk.id, tenant, int64(len(batch)))
 	p.noteSuccess(tenant)
 	outs := wk.outs[:0]
-	for _, out := range payloads {
-		if out != nil {
-			outs = append(outs, out)
+	for i := range batch {
+		if payloads[i] != nil {
+			outs = append(outs, item{seq: batch[i].seq, msgID: batch[i].msgID, payload: payloads[i]})
+		} else {
+			// The handler consumed the item without output: that is a
+			// completed consumption, so the WAL record is acked.
+			p.ackItem(tenant, batch[i])
 		}
 	}
 	p.deliverBatch(wk, tenant, outs)
 	clear(outs)
-	p.completed.Add(int64(len(payloads)))
+	clear(payloads)
+	p.completed.Add(int64(len(batch)))
 }
 
 // runBatchHandler runs the BatchHandler with panic isolation, reporting
@@ -982,25 +1094,32 @@ func (p *Plane) runBatchHandler(tenant int, payloads [][]byte) (committed bool) 
 }
 
 // handle runs transport processing and delivers to the tenant side.
-func (p *Plane) handle(wk *worker, tenant int, payload []byte) {
+// Failed items (error or panic) are dead-lettered on durable planes —
+// including the failures that exhaust a quarantine streak — instead of
+// vanishing; a nil handler result is a completed consumption and acks.
+func (p *Plane) handle(wk *worker, tenant int, it item) {
 	p.m.Processed.Add(wk.id, tenant, 1)
 	defer p.completed.Add(1)
-	out, err, panicked := p.runHandler(tenant, payload)
+	out, err, panicked := p.runHandler(tenant, it.payload)
 	if panicked {
 		p.m.Panics.Add(wk.id, tenant, 1)
 		p.noteFailure(tenant)
+		p.deadLetter(wk.id, tenant, it, ReasonHandlerPanic)
 		return
 	}
 	if err != nil {
 		p.m.Errors.Add(wk.id, tenant, 1)
 		p.noteFailure(tenant)
+		p.deadLetter(wk.id, tenant, it, ReasonHandlerError)
 		return
 	}
 	p.noteSuccess(tenant)
 	if out == nil {
+		p.ackItem(tenant, it)
 		return
 	}
-	p.deliver(wk, tenant, out)
+	it.payload = out
+	p.deliver(wk, tenant, it)
 }
 
 // runHandler isolates a handler panic to the item that caused it: the
@@ -1017,30 +1136,38 @@ func (p *Plane) runHandler(tenant int, payload []byte) (out []byte, err error, p
 }
 
 // deliver pushes a processed item to the tenant-side ring under the
-// configured delivery policy and rings the tenant's doorbell.
-func (p *Plane) deliver(wk *worker, tenant int, out []byte) {
+// configured delivery policy and rings the tenant's doorbell. Every
+// drop path routes through dropItem, so drop-policy victims are charged
+// once and, on durable planes, dead-lettered exactly once.
+func (p *Plane) deliver(wk *worker, tenant int, out item) {
 	r := p.outRings[tenant]
 	if !r.Push(out) {
 		switch p.cfg.Delivery {
 		case DropNewest:
-			p.m.Dropped.Add(wk.id, tenant, 1)
+			p.dropItem(wk.id, tenant, out, ReasonDropNewest)
 			return
 		case DropOldest:
 			mu := &p.outMu[tenant]
 			mu.Lock()
+			var victim item
+			var evicted bool
 			if !r.Push(out) {
-				if _, ok := r.Pop(); ok {
-					p.m.Dropped.Add(wk.id, tenant, 1)
-				}
+				victim, evicted = r.Pop()
 				if !r.Push(out) {
 					// Cannot happen with capacity >= 2 and a single
 					// producer, but never wedge the worker over it.
 					mu.Unlock()
-					p.m.Dropped.Add(wk.id, tenant, 1)
+					if evicted {
+						p.dropItem(wk.id, tenant, victim, ReasonDropOldest)
+					}
+					p.dropItem(wk.id, tenant, out, ReasonDropOldest)
 					return
 				}
 			}
 			mu.Unlock()
+			if evicted {
+				p.dropItem(wk.id, tenant, victim, ReasonDropOldest)
+			}
 		default: // Block
 			var deadline time.Time
 			if p.cfg.DeliveryTimeout > 0 {
@@ -1048,11 +1175,11 @@ func (p *Plane) deliver(wk *worker, tenant int, out []byte) {
 			}
 			for !r.Push(out) {
 				if p.stopped.Load() {
-					p.m.Dropped.Add(wk.id, tenant, 1)
+					p.dropItem(wk.id, tenant, out, ReasonStopDrop)
 					return
 				}
 				if !deadline.IsZero() && time.Now().After(deadline) {
-					p.m.Dropped.Add(wk.id, tenant, 1)
+					p.dropItem(wk.id, tenant, out, ReasonDeliveryTimeout)
 					return
 				}
 				runtime.Gosched() // tenant-side backpressure
@@ -1071,7 +1198,7 @@ func (p *Plane) deliver(wk *worker, tenant int, out []byte) {
 // may produce concurrently), and DropOldest's competing consumers
 // serialize on the tenant's mutex against each other, not against the
 // producers.
-func (p *Plane) deliverBatch(wk *worker, tenant int, outs [][]byte) {
+func (p *Plane) deliverBatch(wk *worker, tenant int, outs []item) {
 	if len(outs) == 0 {
 		return
 	}
@@ -1220,18 +1347,28 @@ func (p *Plane) Stats() Stats {
 	for _, r := range p.outRings {
 		outBacklog += r.Len()
 	}
+	dlqDepth := 0
+	if p.dur != nil {
+		for t := range p.dur.tenants {
+			dlqDepth += p.DLQDepth(t)
+		}
+	}
 	snap := p.m.Snapshot()
 	return Stats{
-		Ingressed:   snap.Totals.Ingressed,
-		Processed:   snap.Totals.Processed,
-		Delivered:   snap.Totals.Delivered,
-		Errors:      snap.Totals.Errors,
-		Panics:      snap.Totals.Panics,
-		Dropped:     snap.Totals.Dropped,
-		Restarts:    snap.Restarts,
-		Backlog:     backlog,
-		OutBacklog:  outBacklog,
-		Quarantined: int(p.inQuar.Load()),
+		Ingressed:    snap.Totals.Ingressed,
+		Processed:    snap.Totals.Processed,
+		Delivered:    snap.Totals.Delivered,
+		Errors:       snap.Totals.Errors,
+		Panics:       snap.Totals.Panics,
+		Dropped:      snap.Totals.Dropped,
+		Replayed:     snap.Totals.Replayed,
+		Deduped:      snap.Totals.Deduped,
+		DeadLettered: snap.Totals.DeadLettered,
+		Restarts:     snap.Restarts,
+		Backlog:      backlog,
+		OutBacklog:   outBacklog,
+		Quarantined:  int(p.inQuar.Load()),
+		DLQDepth:     dlqDepth,
 	}
 }
 
@@ -1279,6 +1416,11 @@ func (p *Plane) DebugSnapshot() telemetry.DebugSnapshot {
 			OutBacklog: p.outRings[t].Len(),
 			Counts:     p.m.TenantCounts(t),
 			Latency:    p.tel.TenantLatency(t).Summary(),
+		}
+		if p.dur != nil {
+			snap.Tenants[t].DLQDepth = p.DLQDepth(t)
+			snap.Tenants[t].AckedSeq = p.AckedSeq(t)
+			snap.Tenants[t].DurableSeq = p.DurableSeq(t)
 		}
 	}
 	if p.cfg.Mode != Notify {
@@ -1346,6 +1488,23 @@ func (p *Plane) writeRuntimeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP hyperplane_quarantined_tenants Tenants currently quarantined (incl. probing).\n")
 	fmt.Fprintf(w, "# TYPE hyperplane_quarantined_tenants gauge\n")
 	fmt.Fprintf(w, "hyperplane_quarantined_tenants %d\n", p.inQuar.Load())
+	if p.dur != nil {
+		ws := p.dur.log.Stats()
+		fmt.Fprintf(w, "# HELP hyperplane_wal_fsyncs_total WAL group commits that reached the disk.\n")
+		fmt.Fprintf(w, "# TYPE hyperplane_wal_fsyncs_total counter\n")
+		fmt.Fprintf(w, "hyperplane_wal_fsyncs_total %d\n", ws.Fsyncs)
+		fmt.Fprintf(w, "# HELP hyperplane_wal_bytes_total Bytes appended to WAL segments.\n")
+		fmt.Fprintf(w, "# TYPE hyperplane_wal_bytes_total counter\n")
+		fmt.Fprintf(w, "hyperplane_wal_bytes_total %d\n", ws.AppendedBytes)
+		fmt.Fprintf(w, "# HELP hyperplane_wal_segments WAL segments currently on disk.\n")
+		fmt.Fprintf(w, "# TYPE hyperplane_wal_segments gauge\n")
+		fmt.Fprintf(w, "hyperplane_wal_segments %d\n", ws.Segments)
+		fmt.Fprintf(w, "# HELP hyperplane_dlq_depth Items parked in the dead-letter queue per tenant.\n")
+		fmt.Fprintf(w, "# TYPE hyperplane_dlq_depth gauge\n")
+		for t := range p.dur.tenants {
+			fmt.Fprintf(w, "hyperplane_dlq_depth{tenant=\"%d\"} %d\n", t, p.DLQDepth(t))
+		}
+	}
 	if p.cfg.Mode != Notify {
 		return
 	}

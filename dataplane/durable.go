@@ -1,0 +1,491 @@
+// Durable tier: opt-in per-tenant durability for the data plane
+// (Config.Durable). The lifecycle is persist → enqueue → ack → truncate
+// (DESIGN.md §12):
+//
+//   - Ingress assigns the tenant's next monotone sequence number, places
+//     the item on the device ring, and appends a WAL record — all under
+//     one short per-tenant mutex, so seqs enter the ring in order even
+//     with SharedIngress producers. The append is an in-memory batch
+//     encode (zero allocations); the WAL's group committer makes it
+//     durable at the next fsync window, and producers gate on
+//     WALSync/DurableSeq exactly like the paper's doorbell producers
+//     gate on the notification watermark.
+//   - Egress acks the item's seq; acks advance a contiguous per-tenant
+//     watermark that the group committer persists, and fully-acked WAL
+//     segments are unlinked.
+//   - On restart, recovery replays every appended-but-unacked record
+//     through normal ingress (policy charging, quarantine, and telemetry
+//     all see replayed items as ordinary traffic), and re-seeds the
+//     dedup window so producer retries of already-admitted message ids
+//     are rejected — exactly-once admission per message id within the
+//     window, at-least-once delivery overall.
+//   - Items the plane would otherwise silently lose — handler errors,
+//     handler panics (including quarantine-exhausting streaks), drop
+//     policy victims, delivery timeouts — are captured by a bounded
+//     per-tenant dead-letter queue. DLQ entries stay un-acked, so they
+//     survive a crash and replay; draining them acks. A full DLQ evicts
+//     (and acks) its oldest entry so WAL retention stays bounded.
+package dataplane
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperplane/internal/wal"
+)
+
+// DurableConfig enables the durable tier when Dir is non-empty.
+type DurableConfig struct {
+	// Dir is the WAL segment directory (created if missing). Empty
+	// disables durability.
+	Dir string
+	// FsyncEvery is the group-commit window: items become durable at the
+	// next window tick or a forced WALSync (default 2ms).
+	FsyncEvery time.Duration
+	// SegmentBytes rotates WAL segments at this size (default 4 MiB).
+	SegmentBytes int
+	// DedupWindow bounds the per-tenant message-id history used for
+	// exactly-once admission (default 4096 ids).
+	DedupWindow int
+	// DLQCapacity bounds each tenant's dead-letter queue (default 1024);
+	// a full DLQ evicts and acks its oldest entry.
+	DLQCapacity int
+	// Hook, when non-nil, intercepts WAL writes and fsyncs — fault
+	// injection for chaos tests (see internal/fault.NewWAL).
+	Hook wal.Hook
+}
+
+// DLQEntry is one dead-lettered item.
+type DLQEntry struct {
+	Tenant  int    `json:"tenant"`
+	Seq     uint64 `json:"seq"`
+	MsgID   uint64 `json:"msg_id,omitempty"`
+	Payload []byte `json:"payload"`
+	Reason  string `json:"reason"`
+}
+
+// DLQ capture reasons.
+const (
+	ReasonHandlerError    = "handler-error"
+	ReasonHandlerPanic    = "handler-panic"
+	ReasonDropNewest      = "drop-newest"
+	ReasonDropOldest      = "drop-oldest"
+	ReasonDeliveryTimeout = "delivery-timeout"
+	ReasonStopDrop        = "stop-drop"
+)
+
+// IngressStatus is IngressID's admission verdict.
+type IngressStatus uint8
+
+// IngressID outcomes.
+const (
+	// IngressAccepted: the item was admitted (and, on a durable plane,
+	// appended to the WAL for the next group commit).
+	IngressAccepted IngressStatus = iota
+	// IngressDuplicate: the message id is inside the tenant's dedup
+	// window — a producer retry of an already-admitted item.
+	IngressDuplicate
+	// IngressBackpressure: the tenant's device ring is full; retry.
+	IngressBackpressure
+	// IngressRejected: invalid tenant or stopped plane.
+	IngressRejected
+)
+
+func (s IngressStatus) String() string {
+	switch s {
+	case IngressAccepted:
+		return "accepted"
+	case IngressDuplicate:
+		return "duplicate"
+	case IngressBackpressure:
+		return "backpressure"
+	}
+	return "rejected"
+}
+
+// durTenant is one tenant's durable state. mu serializes admission (seq
+// assignment + ring push + WAL append + dedup bookkeeping); the DLQ has
+// its own lock so drains never contend with the ingress path.
+type durTenant struct {
+	mu      sync.Mutex
+	nextSeq uint64
+	seen    map[uint64]struct{}
+	order   []uint64 // insertion-ordered id window backing seen
+	pos, n  int
+	dropped atomic.Uint64 // cumulative drops, persisted via NoteDropped
+
+	dlqMu sync.Mutex
+	dlq   []DLQEntry
+}
+
+func (d *durTenant) hasSeen(id uint64) bool {
+	_, ok := d.seen[id]
+	return ok
+}
+
+// remember inserts id into the bounded window, evicting the oldest
+// remembered id once full.
+func (d *durTenant) remember(id uint64) {
+	if d.hasSeen(id) {
+		return
+	}
+	if d.n == len(d.order) {
+		delete(d.seen, d.order[d.pos])
+	} else {
+		d.n++
+	}
+	d.order[d.pos] = id
+	d.seen[id] = struct{}{}
+	d.pos = (d.pos + 1) % len(d.order)
+}
+
+// durable is the plane's durable-tier runtime.
+type durable struct {
+	log     *wal.Log
+	tenants []durTenant
+	dlqCap  int
+
+	// replay is the recovery set Start feeds back through ingress;
+	// replayPending gates Drain until every record is re-admitted.
+	replay        []wal.Record
+	replayPending atomic.Int64
+
+	// recPool recycles IngressBatch's WAL-record staging buffers, mirroring
+	// runPool on the ring side.
+	recPool sync.Pool
+}
+
+// newDurable opens the WAL and builds the per-tenant durable state,
+// seeding seq counters, drop bases, and dedup windows from recovery.
+func newDurable(cfg Config) (*durable, error) {
+	dc := cfg.Durable
+	if dc.DedupWindow <= 0 {
+		dc.DedupWindow = wal.DefaultSeenWindow
+	}
+	if dc.DLQCapacity <= 0 {
+		dc.DLQCapacity = 1024
+	}
+	log, rec, err := wal.Open(wal.Config{
+		Dir:          dc.Dir,
+		Streams:      cfg.Tenants,
+		SegmentBytes: dc.SegmentBytes,
+		FsyncEvery:   dc.FsyncEvery,
+		SeenWindow:   dc.DedupWindow,
+		Hook:         dc.Hook,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dataplane: durable tier: %w", err)
+	}
+	d := &durable{
+		log:     log,
+		tenants: make([]durTenant, cfg.Tenants),
+		dlqCap:  dc.DLQCapacity,
+		replay:  rec.Records,
+		recPool: sync.Pool{New: func() any { return new([64]wal.Record) }},
+	}
+	d.replayPending.Store(int64(len(rec.Records)))
+	for t := range d.tenants {
+		dt := &d.tenants[t]
+		dt.nextSeq = rec.MaxSeq[t]
+		dt.dropped.Store(rec.DroppedBase[t])
+		dt.seen = make(map[uint64]struct{}, dc.DedupWindow)
+		dt.order = make([]uint64, dc.DedupWindow)
+		for _, id := range rec.SeenIDs[t] {
+			dt.remember(id)
+		}
+	}
+	return d, nil
+}
+
+// IngressID admits one work item under a producer-chosen message id:
+// retries with the same id inside the tenant's dedup window are rejected
+// as duplicates, giving exactly-once admission per id. Id 0 is
+// anonymous (never deduplicated, like plain Ingress). On an in-memory
+// plane IngressID degrades to Ingress semantics — no dedup, no
+// durability.
+func (p *Plane) IngressID(tenant int, msgID uint64, payload []byte) IngressStatus {
+	if tenant < 0 || tenant >= p.cfg.Tenants {
+		return IngressRejected
+	}
+	if p.dur == nil {
+		if p.Ingress(tenant, payload) {
+			return IngressAccepted
+		}
+		if p.stopped.Load() {
+			return IngressRejected
+		}
+		return IngressBackpressure
+	}
+	return p.ingressDurable(tenant, msgID, payload)
+}
+
+// ingressDurable is the durable admission path: dedup check, seq
+// assignment, ring push, and WAL append under the tenant's admission
+// mutex, then the doorbell. The push happens before the append so a
+// backpressure rejection changes nothing (no seq burned, no dedup entry,
+// nothing logged) and the producer can retry the same message id; the
+// durability promise is unaffected because acceptance never implies
+// durability — only a WALSync (or the group-commit tick) does.
+func (p *Plane) ingressDurable(tenant int, msgID uint64, payload []byte) IngressStatus {
+	p.ingressing.Add(1)
+	defer p.ingressing.Add(-1)
+	if p.stopped.Load() {
+		return IngressRejected
+	}
+	d := &p.dur.tenants[tenant]
+	d.mu.Lock()
+	if msgID != 0 && d.hasSeen(msgID) {
+		d.mu.Unlock()
+		p.m.Deduped.Add(p.m.IngressStripe(), tenant, 1)
+		return IngressDuplicate
+	}
+	p.ingressed.Add(1)
+	seq := d.nextSeq + 1
+	if !p.devRings[tenant].Push(item{seq: seq, msgID: msgID, payload: payload}) {
+		p.ingressed.Add(-1)
+		d.mu.Unlock()
+		return IngressBackpressure
+	}
+	d.nextSeq = seq
+	// A sticky WAL failure (disk gone) does not retract the admitted
+	// item — it flows at-least-once — but WALSync and the group
+	// committer surface the error, so durability-gated producers stop.
+	_ = p.dur.log.Append(wal.Record{Tenant: tenant, Seq: seq, MsgID: msgID, Payload: payload})
+	if msgID != 0 {
+		d.remember(msgID)
+	}
+	d.mu.Unlock()
+	p.m.Ingressed.Add(p.m.IngressStripe(), tenant, 1)
+	if p.cfg.Mode == Notify {
+		w := p.workers[tenant%p.cfg.Workers]
+		w.n.Notify(w.qidByTenant[tenant])
+	}
+	return IngressAccepted
+}
+
+// ingressBatchDurable bulk-admits one same-tenant run under a single
+// mutex hold: one PushBatch, one AppendBatch, one doorbell — the durable
+// analogue of IngressBatch's bulk-push fast path. Returns the number
+// admitted. Batch items are anonymous (no message ids), so there is no
+// dedup check to pay.
+func (p *Plane) ingressBatchDurable(tenant int, payloads []IngressItem, run *[64]item) int {
+	d := &p.dur.tenants[tenant]
+	recs := p.dur.recPool.Get().(*[64]wal.Record)
+	pushed := 0
+	d.mu.Lock()
+	for off := 0; off < len(payloads); {
+		c := len(payloads) - off
+		if c > len(run) {
+			c = len(run)
+		}
+		for k := 0; k < c; k++ {
+			run[k] = item{seq: d.nextSeq + uint64(k) + 1, payload: payloads[off+k].Payload}
+		}
+		got := p.devRings[tenant].PushBatch(run[:c])
+		for k := 0; k < got; k++ {
+			recs[k] = wal.Record{Tenant: tenant, Seq: run[k].seq, Payload: run[k].payload}
+		}
+		d.nextSeq += uint64(got)
+		if got > 0 {
+			_ = p.dur.log.AppendBatch(recs[:got])
+		}
+		pushed += got
+		off += got
+		if got < c {
+			break // ring full: drop the rest of the run like Ingress would
+		}
+	}
+	d.mu.Unlock()
+	clear(recs[:])
+	p.dur.recPool.Put(recs)
+	return pushed
+}
+
+// ackItem marks a durable item consumed; the WAL persists the watermark
+// at the next group commit. No-op for in-memory planes and pre-durable
+// items (seq 0).
+func (p *Plane) ackItem(tenant int, it item) {
+	if p.dur != nil && it.seq != 0 {
+		p.dur.log.Ack(tenant, it.seq)
+	}
+}
+
+// dropItem charges a delivery-policy drop and, on a durable plane,
+// advances the persisted drop count and captures the victim in the DLQ —
+// a dropped item is never silently lost under durability.
+func (p *Plane) dropItem(stripe, tenant int, it item, reason string) {
+	p.m.Dropped.Add(stripe, tenant, 1)
+	if p.dur == nil {
+		return
+	}
+	d := &p.dur.tenants[tenant]
+	p.dur.log.NoteDropped(tenant, d.dropped.Add(1))
+	p.deadLetter(stripe, tenant, it, reason)
+}
+
+// deadLetter captures an item the plane is about to lose. The entry
+// keeps its WAL seq un-acked, so an un-drained DLQ entry replays after a
+// crash; a full DLQ evicts and acks its oldest entry so the WAL's
+// retention stays bounded by DLQCapacity per tenant.
+func (p *Plane) deadLetter(stripe, tenant int, it item, reason string) {
+	if p.dur == nil {
+		return
+	}
+	d := &p.dur.tenants[tenant]
+	var evicted DLQEntry
+	var overflow bool
+	d.dlqMu.Lock()
+	if len(d.dlq) >= p.dur.dlqCap {
+		evicted, overflow = d.dlq[0], true
+		copy(d.dlq, d.dlq[1:])
+		d.dlq = d.dlq[:len(d.dlq)-1]
+	}
+	d.dlq = append(d.dlq, DLQEntry{
+		Tenant: tenant, Seq: it.seq, MsgID: it.msgID,
+		Payload: it.payload, Reason: reason,
+	})
+	d.dlqMu.Unlock()
+	if overflow && evicted.Seq != 0 {
+		p.dur.log.Ack(tenant, evicted.Seq)
+	}
+	p.m.DeadLettered.Add(stripe, tenant, 1)
+}
+
+// DLQDepth returns the tenant's current dead-letter queue depth (0 on
+// in-memory planes).
+func (p *Plane) DLQDepth(tenant int) int {
+	if p.dur == nil || tenant < 0 || tenant >= p.cfg.Tenants {
+		return 0
+	}
+	d := &p.dur.tenants[tenant]
+	d.dlqMu.Lock()
+	n := len(d.dlq)
+	d.dlqMu.Unlock()
+	return n
+}
+
+// DrainDLQ removes and returns up to max dead-lettered entries for the
+// tenant (all of them when max <= 0), oldest first, acking each removed
+// entry's WAL record — draining is the operator's statement that the
+// item has been dispositioned and must not replay.
+func (p *Plane) DrainDLQ(tenant, max int) []DLQEntry {
+	if p.dur == nil || tenant < 0 || tenant >= p.cfg.Tenants {
+		return nil
+	}
+	d := &p.dur.tenants[tenant]
+	d.dlqMu.Lock()
+	n := len(d.dlq)
+	if max > 0 && max < n {
+		n = max
+	}
+	if n == 0 {
+		d.dlqMu.Unlock()
+		return nil
+	}
+	out := make([]DLQEntry, n)
+	copy(out, d.dlq[:n])
+	rest := copy(d.dlq, d.dlq[n:])
+	clear(d.dlq[rest:])
+	d.dlq = d.dlq[:rest]
+	d.dlqMu.Unlock()
+	for _, e := range out {
+		if e.Seq != 0 {
+			p.dur.log.Ack(tenant, e.Seq)
+		}
+	}
+	return out
+}
+
+// WALSync forces a group commit and blocks until everything appended
+// before the call is durable — the producer-side durability barrier.
+// Nil (and a no-op) on in-memory planes.
+func (p *Plane) WALSync() error {
+	if p.dur == nil {
+		return nil
+	}
+	return p.dur.log.Sync()
+}
+
+// WALStats returns the WAL activity counters (zero value on in-memory
+// planes).
+func (p *Plane) WALStats() wal.Stats {
+	if p.dur == nil {
+		return wal.Stats{}
+	}
+	return p.dur.log.Stats()
+}
+
+// DurableEnabled reports whether the plane runs the durable tier.
+func (p *Plane) DurableEnabled() bool { return p.dur != nil }
+
+// DurableSeq returns the tenant's fsynced durability watermark: every
+// admitted seq at or below it survives a crash.
+func (p *Plane) DurableSeq(tenant int) uint64 {
+	if p.dur == nil || tenant < 0 || tenant >= p.cfg.Tenants {
+		return 0
+	}
+	return p.dur.log.Durable(tenant)
+}
+
+// AckedSeq returns the tenant's contiguous consumption watermark.
+func (p *Plane) AckedSeq(tenant int) uint64 {
+	if p.dur == nil || tenant < 0 || tenant >= p.cfg.Tenants {
+		return 0
+	}
+	return p.dur.log.Acked(tenant)
+}
+
+// Replaying reports how many recovered records still await re-admission.
+func (p *Plane) Replaying() int64 {
+	if p.dur == nil {
+		return 0
+	}
+	return p.dur.replayPending.Load()
+}
+
+// replayLoop re-admits the recovery set through normal ingress: each
+// record keeps its original seq (so its eventual ack lands on the same
+// watermark) and message id, skips the dedup check (it was admitted
+// once already — the seeded window exists to reject producer retries,
+// not the replay itself), and is not re-appended to the WAL. Full rings
+// back off and retry, so a replay set larger than the ring capacity
+// drains through the workers like ordinary traffic.
+func (p *Plane) replayLoop() {
+	defer p.wg.Done()
+	for _, r := range p.dur.replay {
+		for !p.replayOne(r) {
+			if p.stopped.Load() {
+				return
+			}
+			runtime.Gosched()
+		}
+		p.dur.replayPending.Add(-1)
+	}
+	p.dur.replay = nil
+}
+
+// replayOne pushes one recovered record, reporting false on ring
+// backpressure (or a stopping plane).
+func (p *Plane) replayOne(r wal.Record) bool {
+	p.ingressing.Add(1)
+	defer p.ingressing.Add(-1)
+	if p.stopped.Load() {
+		return true // abandon: the record stays un-acked and replays next start
+	}
+	tenant := r.Tenant
+	p.ingressed.Add(1)
+	if !p.devRings[tenant].Push(item{seq: r.Seq, msgID: r.MsgID, payload: r.Payload}) {
+		p.ingressed.Add(-1)
+		return false
+	}
+	p.m.Ingressed.Add(p.m.IngressStripe(), tenant, 1)
+	p.m.Replayed.Add(p.m.IngressStripe(), tenant, 1)
+	if p.cfg.Mode == Notify {
+		w := p.workers[tenant%p.cfg.Workers]
+		w.n.Notify(w.qidByTenant[tenant])
+	}
+	return true
+}

@@ -5,6 +5,8 @@
 package benchmeta
 
 import (
+	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 )
@@ -30,4 +32,29 @@ func Collect() Host {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 	}
+}
+
+// WriteFileAtomic writes data to path via a temp file in the same
+// directory plus rename, so a reader (or a crashed writer) never sees a
+// half-written report — BENCH_*.json files are inputs to the regression
+// guards, and a torn JSON file would fail them confusingly.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

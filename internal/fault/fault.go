@@ -139,6 +139,10 @@ func (in *Injector) Wrap(h Handler) Handler {
 	}
 }
 
+// Seed returns the seed the fault plan was derived from, so chaos tests
+// can surface it in failure messages for reproduction.
+func (in *Injector) Seed() int64 { return in.cfg.Seed }
+
 // Faulty reports whether the tenant is in the fault plan.
 func (in *Injector) Faulty(tenant int) bool {
 	return tenant >= 0 && tenant < len(in.faulty) && in.faulty[tenant]

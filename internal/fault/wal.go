@@ -1,0 +1,115 @@
+// WAL fault injection: a seeded hook implementing the wal.Hook surface
+// (Write/Fsync interception) without importing internal/wal, so the WAL
+// package stays dependency-free. Three storage failure modes are
+// modeled, all deterministic under a seed:
+//
+//   - torn write: a chosen commit is cut short mid-buffer and the log is
+//     sticky-crashed, emulating power loss during a segment write;
+//   - short fsync: fsync is skipped (data sits in the page cache) for a
+//     window of commits, emulating firmware that lies about flushes;
+//   - failing fsync: fsync returns an error after N successes, emulating
+//     a dying disk — the log must sticky-fail, never silently continue.
+package fault
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// WALConfig describes a deterministic WAL fault plan. Zero values disable
+// each mode; commit counting starts at 1.
+type WALConfig struct {
+	// Seed scrambles the torn-write cut point. Same seed, same tear.
+	Seed int64
+	// TearAtCommit cuts commit number N short (keeping a seed-derived
+	// prefix) and returns ErrInjectedCrash, sticky-failing the log.
+	TearAtCommit int64
+	// SkipFsyncAfter skips (not fails) every fsync after the Nth,
+	// emulating a device that acknowledges flushes it never performed.
+	SkipFsyncAfter int64
+	// FailFsyncAfter fails every fsync after the Nth with
+	// ErrInjectedFsync.
+	FailFsyncAfter int64
+}
+
+// ErrInjectedCrash is returned by a torn write — the simulated power cut.
+var ErrInjectedCrash = fmt.Errorf("fault: injected torn-write crash")
+
+// ErrInjectedFsync is returned by an injected fsync failure.
+var ErrInjectedFsync = fmt.Errorf("fault: injected fsync failure")
+
+// WAL implements the wal.Hook Write/Fsync surface with the configured
+// fault plan. Safe for the single committer goroutine plus concurrent
+// Stats readers.
+type WAL struct {
+	cfg     WALConfig
+	writes  atomic.Int64
+	fsyncs  atomic.Int64
+	torn    atomic.Bool
+	skipped atomic.Int64
+	failed  atomic.Int64
+}
+
+// NewWAL builds a WAL hook from the plan.
+func NewWAL(cfg WALConfig) *WAL { return &WAL{cfg: cfg} }
+
+// Seed returns the plan's seed for failure-message reproduction.
+func (w *WAL) Seed() int64 { return w.cfg.Seed }
+
+// Describe summarizes the plan for test logs.
+func (w *WAL) Describe() string {
+	return fmt.Sprintf("wal fault plan: seed=%d tear@%d skip-fsync>%d fail-fsync>%d",
+		w.cfg.Seed, w.cfg.TearAtCommit, w.cfg.SkipFsyncAfter, w.cfg.FailFsyncAfter)
+}
+
+// Write intercepts a commit buffer. On the torn commit it returns a
+// seed-derived prefix of the buffer plus ErrInjectedCrash; the WAL
+// writes the prefix (the torn tail on disk) and sticky-fails.
+func (w *WAL) Write(b []byte) ([]byte, error) {
+	n := w.writes.Add(1)
+	if w.cfg.TearAtCommit > 0 && n == w.cfg.TearAtCommit {
+		w.torn.Store(true)
+		cut := 0
+		if len(b) > 1 {
+			// Cut strictly inside the buffer so a tail is actually torn.
+			cut = 1 + int(splitmix64(uint64(w.cfg.Seed)^uint64(n))%uint64(len(b)-1))
+		}
+		return b[:cut], ErrInjectedCrash
+	}
+	return b, nil
+}
+
+// Fsync intercepts the flush: skipped after SkipFsyncAfter, failing
+// after FailFsyncAfter, otherwise delegated to the real fsync.
+func (w *WAL) Fsync(do func() error) error {
+	n := w.fsyncs.Add(1)
+	if w.cfg.SkipFsyncAfter > 0 && n > w.cfg.SkipFsyncAfter {
+		w.skipped.Add(1)
+		return nil
+	}
+	if w.cfg.FailFsyncAfter > 0 && n > w.cfg.FailFsyncAfter {
+		w.failed.Add(1)
+		return ErrInjectedFsync
+	}
+	return do()
+}
+
+// WALStats counts intercepted operations.
+type WALStats struct {
+	Writes      int64
+	Fsyncs      int64
+	Torn        bool
+	SkippedSync int64
+	FailedSync  int64
+}
+
+// Stats returns the interception counts.
+func (w *WAL) Stats() WALStats {
+	return WALStats{
+		Writes:      w.writes.Load(),
+		Fsyncs:      w.fsyncs.Load(),
+		Torn:        w.torn.Load(),
+		SkippedSync: w.skipped.Load(),
+		FailedSync:  w.failed.Load(),
+	}
+}

@@ -80,23 +80,31 @@ func (g *Grid) SumInto(dst []int64) int64 {
 }
 
 // TenantCounts is one tenant's (or the whole plane's) counter snapshot.
+// Replayed/Deduped/DeadLettered are zero unless the plane runs the
+// durable tier.
 type TenantCounts struct {
-	Ingressed int64 `json:"ingressed"`
-	Processed int64 `json:"processed"`
-	Delivered int64 `json:"delivered"`
-	Errors    int64 `json:"errors"`
-	Panics    int64 `json:"panics"`
-	Dropped   int64 `json:"dropped"`
+	Ingressed    int64 `json:"ingressed"`
+	Processed    int64 `json:"processed"`
+	Delivered    int64 `json:"delivered"`
+	Errors       int64 `json:"errors"`
+	Panics       int64 `json:"panics"`
+	Dropped      int64 `json:"dropped"`
+	Replayed     int64 `json:"replayed,omitempty"`
+	Deduped      int64 `json:"deduped,omitempty"`
+	DeadLettered int64 `json:"dead_lettered,omitempty"`
 }
 
 func (c TenantCounts) sub(o TenantCounts) TenantCounts {
 	return TenantCounts{
-		Ingressed: c.Ingressed - o.Ingressed,
-		Processed: c.Processed - o.Processed,
-		Delivered: c.Delivered - o.Delivered,
-		Errors:    c.Errors - o.Errors,
-		Panics:    c.Panics - o.Panics,
-		Dropped:   c.Dropped - o.Dropped,
+		Ingressed:    c.Ingressed - o.Ingressed,
+		Processed:    c.Processed - o.Processed,
+		Delivered:    c.Delivered - o.Delivered,
+		Errors:       c.Errors - o.Errors,
+		Panics:       c.Panics - o.Panics,
+		Dropped:      c.Dropped - o.Dropped,
+		Replayed:     c.Replayed - o.Replayed,
+		Deduped:      c.Deduped - o.Deduped,
+		DeadLettered: c.DeadLettered - o.DeadLettered,
 	}
 }
 
@@ -115,7 +123,13 @@ type Metrics struct {
 	Errors    *Grid
 	Panics    *Grid
 	Dropped   *Grid
-	Restarts  atomic.Int64 // per-plane (supervisor), not per-tenant
+	// Durable-tier series (stay zero on in-memory planes): WAL records
+	// replayed through ingress after recovery, duplicate message ids
+	// rejected by the dedup window, and items captured by the DLQ.
+	Replayed     *Grid
+	Deduped      *Grid
+	DeadLettered *Grid
+	Restarts     atomic.Int64 // per-plane (supervisor), not per-tenant
 }
 
 // NewMetrics builds the counter set for tenants served by workers worker
@@ -127,14 +141,17 @@ func NewMetrics(tenants, workers int) *Metrics {
 	}
 	stripes := workers + 1
 	return &Metrics{
-		tenants:   tenants,
-		ingress:   workers,
-		Ingressed: NewGrid(tenants, stripes),
-		Processed: NewGrid(tenants, stripes),
-		Delivered: NewGrid(tenants, stripes),
-		Errors:    NewGrid(tenants, stripes),
-		Panics:    NewGrid(tenants, stripes),
-		Dropped:   NewGrid(tenants, stripes),
+		tenants:      tenants,
+		ingress:      workers,
+		Ingressed:    NewGrid(tenants, stripes),
+		Processed:    NewGrid(tenants, stripes),
+		Delivered:    NewGrid(tenants, stripes),
+		Errors:       NewGrid(tenants, stripes),
+		Panics:       NewGrid(tenants, stripes),
+		Dropped:      NewGrid(tenants, stripes),
+		Replayed:     NewGrid(tenants, stripes),
+		Deduped:      NewGrid(tenants, stripes),
+		DeadLettered: NewGrid(tenants, stripes),
 	}
 }
 
@@ -147,12 +164,15 @@ func (m *Metrics) IngressStripe() int { return m.ingress }
 // TenantCounts merges one tenant's counters.
 func (m *Metrics) TenantCounts(tenant int) TenantCounts {
 	return TenantCounts{
-		Ingressed: m.Ingressed.Tenant(tenant),
-		Processed: m.Processed.Tenant(tenant),
-		Delivered: m.Delivered.Tenant(tenant),
-		Errors:    m.Errors.Tenant(tenant),
-		Panics:    m.Panics.Tenant(tenant),
-		Dropped:   m.Dropped.Tenant(tenant),
+		Ingressed:    m.Ingressed.Tenant(tenant),
+		Processed:    m.Processed.Tenant(tenant),
+		Delivered:    m.Delivered.Tenant(tenant),
+		Errors:       m.Errors.Tenant(tenant),
+		Panics:       m.Panics.Tenant(tenant),
+		Dropped:      m.Dropped.Tenant(tenant),
+		Replayed:     m.Replayed.Tenant(tenant),
+		Deduped:      m.Deduped.Tenant(tenant),
+		DeadLettered: m.DeadLettered.Tenant(tenant),
 	}
 }
 
@@ -181,10 +201,17 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	s.Totals.Panics = m.Panics.SumInto(pan)
 	drp := make([]int64, m.tenants)
 	s.Totals.Dropped = m.Dropped.SumInto(drp)
+	rep := make([]int64, m.tenants)
+	s.Totals.Replayed = m.Replayed.SumInto(rep)
+	ddp := make([]int64, m.tenants)
+	s.Totals.Deduped = m.Deduped.SumInto(ddp)
+	dlq := make([]int64, m.tenants)
+	s.Totals.DeadLettered = m.DeadLettered.SumInto(dlq)
 	for t := 0; t < m.tenants; t++ {
 		s.PerTenant[t] = TenantCounts{
 			Ingressed: ing[t], Processed: pro[t], Delivered: del[t],
 			Errors: errs[t], Panics: pan[t], Dropped: drp[t],
+			Replayed: rep[t], Deduped: ddp[t], DeadLettered: dlq[t],
 		}
 	}
 	return s

@@ -19,12 +19,16 @@ type DebugSnapshot struct {
 	Workers []WorkerDebug `json:"workers,omitempty"`
 }
 
-// TenantDebug is one tenant's runtime view.
+// TenantDebug is one tenant's runtime view. DLQDepth/AckedSeq/DurableSeq
+// are populated only on durable planes.
 type TenantDebug struct {
 	Tenant     int            `json:"tenant"`
 	State      string         `json:"state"` // healthy | quarantined | probing
 	Backlog    int            `json:"backlog"`
 	OutBacklog int            `json:"out_backlog"`
+	DLQDepth   int            `json:"dlq_depth,omitempty"`
+	AckedSeq   uint64         `json:"acked_seq,omitempty"`
+	DurableSeq uint64         `json:"durable_seq,omitempty"`
 	Counts     TenantCounts   `json:"counts"`
 	Latency    LatencySummary `json:"latency"`
 }
@@ -125,6 +129,9 @@ func (t *T) WriteMetrics(w io.Writer) {
 		counter("handler_errors", "Handler invocations that returned an error.", func(c TenantCounts) int64 { return c.Errors })
 		counter("handler_panics", "Handler invocations that panicked.", func(c TenantCounts) int64 { return c.Panics })
 		counter("dropped", "Items dropped by the fault policy.", func(c TenantCounts) int64 { return c.Dropped })
+		counter("replayed", "WAL records replayed through ingress after recovery.", func(c TenantCounts) int64 { return c.Replayed })
+		counter("deduped", "Duplicate message ids rejected by the dedup window.", func(c TenantCounts) int64 { return c.Deduped })
+		counter("dead_lettered", "Items captured by the dead-letter queue.", func(c TenantCounts) int64 { return c.DeadLettered })
 		fmt.Fprintf(w, "# HELP hyperplane_worker_restarts_total Worker goroutines restarted by the supervisor.\n")
 		fmt.Fprintf(w, "# TYPE hyperplane_worker_restarts_total counter\n")
 		fmt.Fprintf(w, "hyperplane_worker_restarts_total %d\n", snap.Restarts)

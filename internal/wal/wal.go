@@ -1,0 +1,825 @@
+// Package wal is the durable tier's write-ahead log: a single segmented,
+// group-committed log shared by every tenant stream of a data plane.
+//
+// The design rides the same batch-append shape as the runtime rings
+// (queue.PushBatch): producers encode whole record batches into an
+// in-memory commit buffer under one short mutex hold — no allocation, no
+// file I/O on the append path — and a background committer flushes and
+// fsyncs the accumulated buffer once per group-commit window
+// (Config.FsyncEvery). Durability is therefore batched exactly like the
+// paper's doorbell coalescing: one fsync amortizes across every record
+// appended in the window, and Durable/Sync expose the watermark producers
+// gate their acks on.
+//
+// Consumption is acknowledged per tenant stream as a contiguous watermark
+// (Ack); watermarks are persisted as ack records piggybacked on the next
+// group commit, and whole segments are unlinked once every stream's
+// records in them sit below the durably persisted watermark — the
+// ack-then-truncate half of the persist→enqueue→ack→truncate lifecycle
+// (DESIGN.md §12).
+//
+// Recovery (Open on a non-empty directory) scans segments in order,
+// verifies each record's CRC, and stops cleanly at the first invalid
+// record — a torn tail from a crash mid-write never panics and never
+// replays garbage. It returns the un-acked records in append order for
+// the plane to replay through normal ingress, plus the per-stream seq,
+// watermark, and dedup-seed state the runtime continues from.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Record kinds.
+const (
+	kindData = 1 // Aux = message id, Payload = item bytes
+	kindAck  = 2 // Seq = acked watermark, Aux = cumulative dropped count
+)
+
+// Record layout (little endian):
+//
+//	[0:4)   crc32c over bytes [4:29+len)
+//	[4:8)   payload length (u32)
+//	[8:9)   kind (u8)
+//	[9:13)  tenant (u32)
+//	[13:21) seq (u64)
+//	[21:29) aux (u64; msg id for data, dropped count for ack)
+//	[29:..) payload
+const headerSize = 29
+
+// maxPayload bounds a single record; anything larger in a scanned segment
+// is treated as corruption (recovery stops there).
+const maxPayload = 1 << 28
+
+// Defaults for Config zero values.
+const (
+	DefaultSegmentBytes = 4 << 20
+	DefaultFsyncEvery   = 2 * time.Millisecond
+	DefaultSeenWindow   = 4096
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors.
+var (
+	// ErrClosed is returned by operations on a closed log.
+	ErrClosed = errors.New("wal: log closed")
+)
+
+// Hook intercepts the committer's file operations for fault injection
+// (internal/fault.WAL implements it). Write may shorten the buffer (a
+// torn write) and/or return an error (a simulated crash); Fsync wraps the
+// real fsync and may skip or fail it. A nil Hook is the production path.
+type Hook interface {
+	// Write is given the bytes about to be written and returns the bytes
+	// to actually write (a prefix simulates a torn write) and an error to
+	// sticky-fail the log (a simulated crash).
+	Write(b []byte) ([]byte, error)
+	// Fsync wraps the real fsync call.
+	Fsync(do func() error) error
+}
+
+// Config describes a log.
+type Config struct {
+	// Dir is the segment directory (created if missing).
+	Dir string
+	// Streams is the number of tenant streams (records carry a stream id
+	// in [0, Streams)).
+	Streams int
+	// SegmentBytes rotates the current segment once it exceeds this size
+	// (default 4 MiB).
+	SegmentBytes int
+	// FsyncEvery is the group-commit window: appended records become
+	// durable at the next window tick (or a forced Sync). Default 2ms.
+	FsyncEvery time.Duration
+	// SeenWindow bounds the per-stream message-id history recovery
+	// returns for dedup seeding (default 4096).
+	SeenWindow int
+	// Hook, when non-nil, intercepts file writes and fsyncs (fault
+	// injection in tests).
+	Hook Hook
+}
+
+// Record is one logical log entry: a payload appended for a tenant
+// stream under a stream-monotone sequence number, tagged with the
+// producer's message id (0 = anonymous, exempt from dedup).
+type Record struct {
+	Tenant  int
+	Seq     uint64
+	MsgID   uint64
+	Payload []byte
+}
+
+// Stats counts log activity.
+type Stats struct {
+	Appends       int64 // data records appended
+	Acks          int64 // Ack calls that advanced state
+	Fsyncs        int64 // group commits that reached the disk
+	AppendedBytes int64 // bytes written to segment files
+	Rotations     int64 // segment rotations
+	Truncated     int64 // segments unlinked after full acknowledgment
+	Segments      int   // segments currently on disk (incl. current)
+}
+
+// Recovery is the state Open reconstructs from an existing directory.
+type Recovery struct {
+	// Records holds every record appended but not durably acked, in
+	// append order across streams — the replay set.
+	Records []Record
+	// MaxSeq is the highest seq seen per stream (0 = none); new appends
+	// must continue above it.
+	MaxSeq []uint64
+	// Acked is the durably persisted ack watermark per stream.
+	Acked []uint64
+	// DroppedBase is the persisted cumulative dropped count per stream.
+	DroppedBase []uint64
+	// SeenIDs is the trailing window of non-zero message ids per stream
+	// in append order (acked or not) — the dedup window seed.
+	SeenIDs [][]uint64
+	// Corrupt reports that the scan stopped at an invalid record before
+	// the end of the newest segment (data after it was not replayed). A
+	// torn tail in the newest segment is normal crash damage and does
+	// not set it.
+	Corrupt bool
+}
+
+// stream is one tenant's log state. appended/acked/pending/dropped/dirty
+// are guarded by Log.mu; durable is published by the committer.
+type stream struct {
+	appended uint64              // last appended seq
+	acked    uint64              // contiguous ack watermark
+	pending  map[uint64]struct{} // acks above the watermark
+	dropped  uint64              // cumulative dropped count to persist
+	dirty    bool                // ack/dropped changed since last persisted
+	durable  atomic.Uint64       // highest seq covered by a completed fsync
+}
+
+// segment is one closed on-disk segment.
+type segment struct {
+	path    string
+	lastSeq []uint64 // per stream: no record in this or an earlier segment exceeds it
+}
+
+// Log is a running write-ahead log. Append/Ack/Durable/Sync are safe for
+// concurrent use; one background goroutine owns all file I/O.
+type Log struct {
+	cfg Config
+
+	mu      sync.Mutex
+	buf     []byte // records encoded since the last commit
+	spare   []byte // double buffer the committer swaps in
+	streams []stream
+	err     error // sticky failure: all writes since are refused
+	closed  bool
+
+	// committer-owned (no lock needed beyond the handoff above)
+	cur        *os.File
+	curIdx     uint64
+	curSize    int64
+	closedSegs []segment
+	flushedSeq []uint64 // per stream: last seq written to a segment file
+	persisted  []uint64 // per stream: ack watermark durably on disk
+	dirtyList  []int    // scratch: streams whose ack record went into this commit
+	ackSnap    []uint64 // scratch: the watermark each dirty stream persisted
+	appendSnap []uint64 // scratch: appended seqs covered by this commit
+
+	stopCh chan struct{}
+	doneCh chan struct{}
+	syncCh chan chan error
+
+	appends   atomic.Int64
+	acks      atomic.Int64
+	fsyncs    atomic.Int64
+	bytes     atomic.Int64
+	rotations atomic.Int64
+	truncated atomic.Int64
+	segCount  atomic.Int64
+}
+
+// Open opens (or creates) the log in cfg.Dir, scans any existing
+// segments, and starts the group committer. The returned Recovery holds
+// the replay set and per-stream state; on a fresh directory it is empty.
+func Open(cfg Config) (*Log, *Recovery, error) {
+	if cfg.Streams < 1 {
+		return nil, nil, fmt.Errorf("wal: Streams must be positive, got %d", cfg.Streams)
+	}
+	if cfg.Dir == "" {
+		return nil, nil, fmt.Errorf("wal: Dir must be set")
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = DefaultSegmentBytes
+	}
+	if cfg.FsyncEvery <= 0 {
+		cfg.FsyncEvery = DefaultFsyncEvery
+	}
+	if cfg.SeenWindow <= 0 {
+		cfg.SeenWindow = DefaultSeenWindow
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+
+	rec, segs, lastIdx, err := scanDir(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	l := &Log{
+		cfg:        cfg,
+		streams:    make([]stream, cfg.Streams),
+		closedSegs: segs,
+		flushedSeq: make([]uint64, cfg.Streams),
+		persisted:  make([]uint64, cfg.Streams),
+		ackSnap:    make([]uint64, cfg.Streams),
+		appendSnap: make([]uint64, cfg.Streams),
+		stopCh:     make(chan struct{}),
+		doneCh:     make(chan struct{}),
+		syncCh:     make(chan chan error),
+	}
+	for t := range l.streams {
+		s := &l.streams[t]
+		s.appended = rec.MaxSeq[t]
+		s.acked = rec.Acked[t]
+		s.dropped = rec.DroppedBase[t]
+		s.pending = make(map[uint64]struct{})
+		s.durable.Store(rec.MaxSeq[t]) // scanned segments are on disk
+		l.flushedSeq[t] = rec.MaxSeq[t]
+		l.persisted[t] = rec.Acked[t]
+	}
+	// Never append to an existing segment: its tail may be torn, and
+	// records behind a torn tail would be unreachable to recovery. A
+	// fresh segment starts clean.
+	l.curIdx = lastIdx + 1
+	if err := l.openSegment(); err != nil {
+		return nil, nil, err
+	}
+	l.segCount.Store(int64(len(l.closedSegs) + 1))
+	go l.run()
+	return l, rec, nil
+}
+
+// segPath names segment files so lexical order is scan order.
+func segPath(dir string, idx uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%016d.wal", idx))
+}
+
+// openSegment creates the current segment file and fsyncs the directory
+// so the file name survives a crash.
+func (l *Log) openSegment() error {
+	f, err := os.OpenFile(segPath(l.cfg.Dir, l.curIdx), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.cur = f
+	l.curSize = 0
+	syncDir(l.cfg.Dir)
+	return nil
+}
+
+// syncDir fsyncs a directory (best effort: some filesystems refuse).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// appendRecord encodes one record into buf and returns the extended
+// buffer. Allocation-free once buf has warmed to the working-set size.
+func appendRecord(buf []byte, kind byte, tenant uint32, seq, aux uint64, payload []byte) []byte {
+	var hdr [headerSize]byte
+	off := len(buf)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	b := buf[off:]
+	binary.LittleEndian.PutUint32(b[4:8], uint32(len(payload)))
+	b[8] = kind
+	binary.LittleEndian.PutUint32(b[9:13], tenant)
+	binary.LittleEndian.PutUint64(b[13:21], seq)
+	binary.LittleEndian.PutUint64(b[21:29], aux)
+	binary.LittleEndian.PutUint32(b[0:4], crc32.Checksum(b[4:], crcTable))
+	return buf
+}
+
+// Append appends one data record. The record is durable once a group
+// commit covering it completes (Durable(tenant) >= seq, or after Sync).
+// Seqs must be monotone per stream; the caller owns assignment (the
+// dataplane continues from Recovery.MaxSeq).
+func (l *Log) Append(r Record) error {
+	l.mu.Lock()
+	if err := l.appendLocked(r); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Unlock()
+	l.appends.Add(1)
+	return nil
+}
+
+// AppendBatch appends a batch of data records under one lock hold — the
+// group-commit analogue of queue.PushBatch. Allocation-free at steady
+// state.
+func (l *Log) AppendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	for i := range recs {
+		if err := l.appendLocked(recs[i]); err != nil {
+			l.mu.Unlock()
+			return err
+		}
+	}
+	l.mu.Unlock()
+	l.appends.Add(int64(len(recs)))
+	return nil
+}
+
+func (l *Log) appendLocked(r Record) error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if r.Tenant < 0 || r.Tenant >= len(l.streams) {
+		return fmt.Errorf("wal: tenant %d out of range [0,%d)", r.Tenant, len(l.streams))
+	}
+	if len(r.Payload) > maxPayload {
+		return fmt.Errorf("wal: payload %d exceeds max %d", len(r.Payload), maxPayload)
+	}
+	l.buf = appendRecord(l.buf, kindData, uint32(r.Tenant), r.Seq, r.MsgID, r.Payload)
+	if s := &l.streams[r.Tenant]; r.Seq > s.appended {
+		s.appended = r.Seq
+	}
+	return nil
+}
+
+// Ack marks one record consumed. Acks advance a contiguous per-stream
+// watermark: out-of-order acks are held until the gap below them closes.
+// The watermark is persisted by the next group commit; records at or
+// below a persisted watermark are never replayed, and segments whose
+// records all sit below it are unlinked.
+func (l *Log) Ack(tenant int, seq uint64) {
+	if tenant < 0 || tenant >= len(l.streams) || seq == 0 {
+		return
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	s := &l.streams[tenant]
+	switch {
+	case seq <= s.acked:
+		l.mu.Unlock()
+		return
+	case seq == s.acked+1:
+		s.acked = seq
+		for {
+			if _, ok := s.pending[s.acked+1]; !ok {
+				break
+			}
+			delete(s.pending, s.acked+1)
+			s.acked++
+		}
+	default:
+		s.pending[seq] = struct{}{}
+	}
+	s.dirty = true
+	l.mu.Unlock()
+	l.acks.Add(1)
+}
+
+// NoteDropped records the stream's cumulative dropped-item count for
+// persistence alongside the ack watermark, so drop accounting stays
+// monotone across crash and recovery.
+func (l *Log) NoteDropped(tenant int, total uint64) {
+	if tenant < 0 || tenant >= len(l.streams) {
+		return
+	}
+	l.mu.Lock()
+	if s := &l.streams[tenant]; !l.closed && total > s.dropped {
+		s.dropped = total
+		s.dirty = true
+	}
+	l.mu.Unlock()
+}
+
+// Durable returns the highest seq of the stream covered by a completed
+// group commit — the producer-side durability watermark.
+func (l *Log) Durable(tenant int) uint64 {
+	if tenant < 0 || tenant >= len(l.streams) {
+		return 0
+	}
+	return l.streams[tenant].durable.Load()
+}
+
+// Acked returns the stream's in-memory contiguous ack watermark.
+func (l *Log) Acked(tenant int) uint64 {
+	if tenant < 0 || tenant >= len(l.streams) {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.streams[tenant].acked
+}
+
+// Appended returns the stream's last appended seq.
+func (l *Log) Appended(tenant int) uint64 {
+	if tenant < 0 || tenant >= len(l.streams) {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.streams[tenant].appended
+}
+
+// Sync forces a group commit now and blocks until everything appended
+// before the call is durable (or the log has failed).
+func (l *Log) Sync() error {
+	ch := make(chan error, 1)
+	select {
+	case l.syncCh <- ch:
+		return <-ch
+	case <-l.doneCh:
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if l.err != nil {
+			return l.err
+		}
+		return ErrClosed
+	}
+}
+
+// Close performs a final commit and releases the segment files. It is
+// idempotent; Append/Ack after Close are refused/ignored.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.doneCh
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.stopCh)
+	<-l.doneCh
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Stats returns a snapshot of log activity counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Appends:       l.appends.Load(),
+		Acks:          l.acks.Load(),
+		Fsyncs:        l.fsyncs.Load(),
+		AppendedBytes: l.bytes.Load(),
+		Rotations:     l.rotations.Load(),
+		Truncated:     l.truncated.Load(),
+		Segments:      int(l.segCount.Load()),
+	}
+}
+
+// run is the group committer: one commit per FsyncEvery tick, plus
+// forced commits for Sync callers, plus a final commit at Close.
+func (l *Log) run() {
+	defer close(l.doneCh)
+	t := time.NewTicker(l.cfg.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopCh:
+			l.commit(nil)
+			_ = l.cur.Close()
+			return
+		case <-t.C:
+			l.commit(nil)
+		case ch := <-l.syncCh:
+			l.commit(ch)
+		}
+	}
+}
+
+// commit flushes the append buffer (plus ack records for dirty streams)
+// to the current segment, fsyncs, publishes the durable watermarks, and
+// truncates fully-acked segments. reply (a Sync caller) is answered once
+// the commit's outcome is known.
+func (l *Log) commit(reply chan error) {
+	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		if reply != nil {
+			reply <- err
+		}
+		return
+	}
+	l.dirtyList = l.dirtyList[:0]
+	for t := range l.streams {
+		s := &l.streams[t]
+		if s.dirty {
+			l.buf = appendRecord(l.buf, kindAck, uint32(t), s.acked, s.dropped, nil)
+			s.dirty = false
+			l.dirtyList = append(l.dirtyList, t)
+			l.ackSnap[t] = s.acked
+		}
+		l.appendSnap[t] = s.appended
+	}
+	take := l.buf
+	l.buf = l.spare[:0]
+	l.mu.Unlock()
+
+	if len(take) == 0 {
+		// Nothing appended or acked since the last commit: the previous
+		// fsync already covers everything.
+		if reply != nil {
+			reply <- nil
+		}
+		return
+	}
+
+	err := l.writeOut(take)
+	if err == nil {
+		err = l.fsync()
+	}
+	if err != nil {
+		l.mu.Lock()
+		l.err = err
+		l.mu.Unlock()
+		if reply != nil {
+			reply <- err
+		}
+		return
+	}
+	l.fsyncs.Add(1)
+	for t := range l.streams {
+		l.streams[t].durable.Store(l.appendSnap[t])
+		l.flushedSeq[t] = l.appendSnap[t]
+	}
+	for _, t := range l.dirtyList {
+		l.persisted[t] = l.ackSnap[t]
+	}
+	l.mu.Lock()
+	l.spare = take[:0]
+	l.mu.Unlock()
+	l.truncate()
+	if reply != nil {
+		reply <- nil
+	}
+}
+
+// writeOut writes the commit buffer to the current segment, rotating
+// first when the segment is full.
+func (l *Log) writeOut(b []byte) error {
+	if l.curSize > 0 && l.curSize+int64(len(b)) > int64(l.cfg.SegmentBytes) {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	if l.cfg.Hook != nil {
+		var err error
+		b2, err := l.cfg.Hook.Write(b)
+		if len(b2) > 0 {
+			n, werr := l.cur.Write(b2)
+			l.curSize += int64(n)
+			l.bytes.Add(int64(n))
+			if err == nil {
+				err = werr
+			}
+		}
+		return err
+	}
+	n, err := l.cur.Write(b)
+	l.curSize += int64(n)
+	l.bytes.Add(int64(n))
+	return err
+}
+
+func (l *Log) fsync() error {
+	if l.cfg.Hook != nil {
+		return l.cfg.Hook.Fsync(l.cur.Sync)
+	}
+	return l.cur.Sync()
+}
+
+// rotate closes the current segment — snapshotting the per-stream upper
+// seq bound that truncation checks against — and opens the next one.
+func (l *Log) rotate() error {
+	if err := l.cur.Sync(); err != nil {
+		return err
+	}
+	if err := l.cur.Close(); err != nil {
+		return err
+	}
+	last := make([]uint64, len(l.flushedSeq))
+	copy(last, l.flushedSeq)
+	l.closedSegs = append(l.closedSegs, segment{
+		path:    segPath(l.cfg.Dir, l.curIdx),
+		lastSeq: last,
+	})
+	l.curIdx++
+	if err := l.openSegment(); err != nil {
+		return err
+	}
+	l.rotations.Add(1)
+	l.segCount.Store(int64(len(l.closedSegs) + 1))
+	return nil
+}
+
+// truncate unlinks leading closed segments whose records are all covered
+// by durably persisted ack watermarks. The watermark records proving the
+// coverage live in newer segments (the committer writes them before this
+// runs), so a crash between unlink and anything else recovers correctly.
+func (l *Log) truncate() {
+	removed := 0
+	for _, seg := range l.closedSegs {
+		covered := true
+		for t, last := range seg.lastSeq {
+			if last > l.persisted[t] {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			break
+		}
+		if err := os.Remove(seg.path); err != nil {
+			break
+		}
+		removed++
+	}
+	if removed > 0 {
+		l.closedSegs = l.closedSegs[removed:]
+		syncDir(l.cfg.Dir)
+		l.truncated.Add(int64(removed))
+		l.segCount.Store(int64(len(l.closedSegs) + 1))
+	}
+}
+
+// scanDir recovers state from an existing directory: segments in index
+// order, each scanned to its first invalid record.
+func scanDir(cfg Config) (*Recovery, []segment, uint64, error) {
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".wal") {
+			paths = append(paths, name)
+		}
+	}
+	sort.Strings(paths)
+
+	rec := &Recovery{
+		MaxSeq:      make([]uint64, cfg.Streams),
+		Acked:       make([]uint64, cfg.Streams),
+		DroppedBase: make([]uint64, cfg.Streams),
+		SeenIDs:     make([][]uint64, cfg.Streams),
+	}
+	seen := make([]*seenRing, cfg.Streams)
+	for t := range seen {
+		seen[t] = newSeenRing(cfg.SeenWindow)
+	}
+
+	var segs []segment
+	var lastIdx uint64
+	var all []Record
+	stopped := false
+	for pi, name := range paths {
+		var idx uint64
+		if _, err := fmt.Sscanf(name, "seg-%d.wal", &idx); err == nil && idx > lastIdx {
+			lastIdx = idx
+		}
+		path := filepath.Join(cfg.Dir, name)
+		if stopped {
+			// An invalid record in an older segment poisons everything
+			// after it: never replay records from beyond the damage.
+			_ = os.Remove(path)
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("wal: %w", err)
+		}
+		valid := scanSegment(data, cfg.Streams, func(kind byte, tenant int, seq, aux uint64, payload []byte) {
+			switch kind {
+			case kindData:
+				p := make([]byte, len(payload))
+				copy(p, payload)
+				all = append(all, Record{Tenant: tenant, Seq: seq, MsgID: aux, Payload: p})
+				if seq > rec.MaxSeq[tenant] {
+					rec.MaxSeq[tenant] = seq
+				}
+				if aux != 0 {
+					seen[tenant].add(aux)
+				}
+			case kindAck:
+				if seq > rec.Acked[tenant] {
+					rec.Acked[tenant] = seq
+				}
+				if aux > rec.DroppedBase[tenant] {
+					rec.DroppedBase[tenant] = aux
+				}
+			}
+		})
+		if !valid {
+			stopped = true
+			if pi < len(paths)-1 {
+				rec.Corrupt = true
+			}
+		}
+		last := make([]uint64, cfg.Streams)
+		copy(last, rec.MaxSeq)
+		segs = append(segs, segment{path: path, lastSeq: last})
+	}
+
+	// Replay set: records above each stream's persisted ack watermark.
+	for _, r := range all {
+		if r.Seq > rec.Acked[r.Tenant] {
+			rec.Records = append(rec.Records, r)
+		}
+	}
+	for t := range seen {
+		rec.SeenIDs[t] = seen[t].ordered()
+	}
+	return rec, segs, lastIdx, nil
+}
+
+// scanSegment decodes records until the data runs out or a record fails
+// validation; it reports whether the whole segment decoded cleanly.
+func scanSegment(data []byte, streams int, visit func(kind byte, tenant int, seq, aux uint64, payload []byte)) bool {
+	off := 0
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return true
+		}
+		if len(rest) < headerSize {
+			return false // torn header
+		}
+		size := int(binary.LittleEndian.Uint32(rest[4:8]))
+		if size > maxPayload || headerSize+size > len(rest) {
+			return false // torn or garbage length
+		}
+		recBytes := rest[:headerSize+size]
+		if crc32.Checksum(recBytes[4:], crcTable) != binary.LittleEndian.Uint32(recBytes[0:4]) {
+			return false // bit flip or torn payload
+		}
+		kind := recBytes[8]
+		tenant := int(binary.LittleEndian.Uint32(recBytes[9:13]))
+		if (kind != kindData && kind != kindAck) || tenant < 0 || tenant >= streams {
+			return false
+		}
+		visit(kind, tenant,
+			binary.LittleEndian.Uint64(recBytes[13:21]),
+			binary.LittleEndian.Uint64(recBytes[21:29]),
+			recBytes[headerSize:])
+		off += headerSize + size
+	}
+}
+
+// seenRing keeps the trailing window of message ids in insertion order.
+type seenRing struct {
+	buf []uint64
+	pos int
+	n   int
+}
+
+func newSeenRing(capacity int) *seenRing {
+	return &seenRing{buf: make([]uint64, capacity)}
+}
+
+func (r *seenRing) add(id uint64) {
+	r.buf[r.pos] = id
+	r.pos = (r.pos + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+func (r *seenRing) ordered() []uint64 {
+	if r.n == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, r.n)
+	start := (r.pos - r.n + len(r.buf)) % len(r.buf)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}

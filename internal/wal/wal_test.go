@@ -1,0 +1,421 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, dir string, cfg Config) (*Log, *Recovery) {
+	t.Helper()
+	cfg.Dir = dir
+	if cfg.Streams == 0 {
+		cfg.Streams = 4
+	}
+	l, rec, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, rec
+}
+
+func payload(i int) []byte { return []byte(fmt.Sprintf("payload-%04d", i)) }
+
+// TestRoundtrip appends across streams, closes, reopens, and checks the
+// replay set is exactly the un-acked records in append order.
+func TestRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := openT(t, dir, Config{})
+	if len(rec.Records) != 0 || rec.Corrupt {
+		t.Fatalf("fresh dir recovery not empty: %+v", rec)
+	}
+	for i := 1; i <= 20; i++ {
+		tenant := i % 4
+		if err := l.Append(Record{Tenant: tenant, Seq: uint64((i + 3) / 4), MsgID: uint64(i), Payload: payload(i)}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	// Ack stream 0 fully (seqs 1..5), stream 1 partially (seq 1 only).
+	for s := uint64(1); s <= 5; s++ {
+		l.Ack(0, s)
+	}
+	l.Ack(1, 1)
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rec2 := openT(t, dir, Config{})
+	defer l2.Close()
+	if rec2.Corrupt {
+		t.Fatalf("unexpected Corrupt")
+	}
+	for _, r := range rec2.Records {
+		if r.Tenant == 0 {
+			t.Fatalf("stream 0 fully acked but record %+v replayed", r)
+		}
+		if r.Tenant == 1 && r.Seq <= 1 {
+			t.Fatalf("stream 1 acked through 1 but record %+v replayed", r)
+		}
+	}
+	// Streams 2 and 3 contributed 5 records each, stream 1 has 4 left.
+	want := 5 + 5 + 4
+	if len(rec2.Records) != want {
+		t.Fatalf("replay set: got %d records, want %d", len(rec2.Records), want)
+	}
+	// Append order preserved per stream.
+	lastSeq := map[int]uint64{}
+	for _, r := range rec2.Records {
+		if r.Seq <= lastSeq[r.Tenant] {
+			t.Fatalf("replay out of order for tenant %d: %d after %d", r.Tenant, r.Seq, lastSeq[r.Tenant])
+		}
+		lastSeq[r.Tenant] = r.Seq
+	}
+	if got := rec2.MaxSeq[2]; got != 5 {
+		t.Fatalf("MaxSeq[2] = %d, want 5", got)
+	}
+	if got := rec2.Acked[0]; got != 5 {
+		t.Fatalf("Acked[0] = %d, want 5", got)
+	}
+	// New appends continue above MaxSeq without clashing.
+	if err := l2.Append(Record{Tenant: 2, Seq: rec2.MaxSeq[2] + 1, Payload: []byte("next")}); err != nil {
+		t.Fatalf("post-recovery Append: %v", err)
+	}
+}
+
+// TestDurableWatermark checks Durable advances only after a commit.
+func TestDurableWatermark(t *testing.T) {
+	l, _ := openT(t, t.TempDir(), Config{FsyncEvery: time.Hour}) // no background ticks
+	defer l.Close()
+	if err := l.Append(Record{Tenant: 0, Seq: 1, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Durable(0); got != 0 {
+		t.Fatalf("Durable before Sync = %d, want 0", got)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Durable(0); got != 1 {
+		t.Fatalf("Durable after Sync = %d, want 1", got)
+	}
+}
+
+// TestOutOfOrderAck holds acks above a gap until it closes.
+func TestOutOfOrderAck(t *testing.T) {
+	l, _ := openT(t, t.TempDir(), Config{})
+	defer l.Close()
+	for s := uint64(1); s <= 4; s++ {
+		if err := l.Append(Record{Tenant: 0, Seq: s, Payload: payload(int(s))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Ack(0, 3)
+	l.Ack(0, 2)
+	if got := l.Acked(0); got != 0 {
+		t.Fatalf("Acked = %d before gap closes, want 0", got)
+	}
+	l.Ack(0, 1)
+	if got := l.Acked(0); got != 3 {
+		t.Fatalf("Acked = %d after gap closes, want 3", got)
+	}
+	l.Ack(0, 4)
+	if got := l.Acked(0); got != 4 {
+		t.Fatalf("Acked = %d, want 4", got)
+	}
+}
+
+// TestRotationTruncation drives rotation with small segments and checks
+// fully-acked segments are unlinked.
+func TestRotationTruncation(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Config{Streams: 1, SegmentBytes: 512, FsyncEvery: time.Hour})
+	big := make([]byte, 200)
+	for s := uint64(1); s <= 12; s++ {
+		if err := l.Append(Record{Tenant: 0, Seq: s, MsgID: s, Payload: big}); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Rotations == 0 {
+		t.Fatalf("expected rotations, got %+v", st)
+	}
+	for s := uint64(1); s <= 12; s++ {
+		l.Ack(0, s)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// One more commit cycle so truncation (which runs after the ack
+	// records are durably persisted) can unlink old segments.
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Truncated == 0 {
+		t.Fatalf("expected truncated segments, got %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After full ack nothing replays.
+	l2, rec := openT(t, dir, Config{Streams: 1})
+	defer l2.Close()
+	if len(rec.Records) != 0 {
+		t.Fatalf("replayed %d records after full ack", len(rec.Records))
+	}
+	if rec.MaxSeq[0] < 12 && rec.Acked[0] != 12 {
+		t.Fatalf("watermark lost: %+v", rec)
+	}
+}
+
+// TestDroppedBasePersists checks NoteDropped survives reopen.
+func TestDroppedBasePersists(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Config{Streams: 2})
+	l.NoteDropped(1, 7)
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := openT(t, dir, Config{Streams: 2})
+	defer l2.Close()
+	if rec.DroppedBase[1] != 7 {
+		t.Fatalf("DroppedBase[1] = %d, want 7", rec.DroppedBase[1])
+	}
+}
+
+// TestTornTail truncates the newest segment mid-record: recovery must
+// stop at the last valid record without flagging corruption.
+func TestTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Config{Streams: 1})
+	for s := uint64(1); s <= 5; s++ {
+		if err := l.Append(Record{Tenant: 0, Seq: s, Payload: payload(int(s))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the newest non-empty segment mid-way through the last record.
+	path := newestSegment(t, dir)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := openT(t, dir, Config{Streams: 1})
+	defer l2.Close()
+	if rec.Corrupt {
+		t.Fatalf("torn tail in newest segment must not flag Corrupt")
+	}
+	if len(rec.Records) != 4 {
+		t.Fatalf("got %d records after torn tail, want 4", len(rec.Records))
+	}
+	if rec.MaxSeq[0] != 4 {
+		t.Fatalf("MaxSeq = %d, want 4", rec.MaxSeq[0])
+	}
+}
+
+// TestBitFlip corrupts a byte inside a middle record: recovery stops
+// before it and keeps the earlier records.
+func TestBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Config{Streams: 1})
+	for s := uint64(1); s <= 5; s++ {
+		if err := l.Append(Record{Tenant: 0, Seq: s, Payload: payload(int(s))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := newestSegment(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLen := headerSize + len(payload(1))
+	data[2*recLen+headerSize] ^= 0x40 // flip a payload byte of record 3
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := openT(t, dir, Config{Streams: 1})
+	defer l2.Close()
+	if len(rec.Records) != 2 {
+		t.Fatalf("got %d records after bit flip, want 2", len(rec.Records))
+	}
+}
+
+// TestSeenIDs returns the trailing message-id window per stream.
+func TestSeenIDs(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Config{Streams: 1, SeenWindow: 3})
+	for s := uint64(1); s <= 5; s++ {
+		if err := l.Append(Record{Tenant: 0, Seq: s, MsgID: 100 + s, Payload: []byte("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := openT(t, dir, Config{Streams: 1, SeenWindow: 3})
+	defer l2.Close()
+	want := []uint64{103, 104, 105}
+	if len(rec.SeenIDs[0]) != len(want) {
+		t.Fatalf("SeenIDs = %v, want %v", rec.SeenIDs[0], want)
+	}
+	for i, id := range want {
+		if rec.SeenIDs[0][i] != id {
+			t.Fatalf("SeenIDs = %v, want %v", rec.SeenIDs[0], want)
+		}
+	}
+}
+
+// TestStickyError: a failing fsync poisons the log; later appends and
+// syncs surface the error instead of pretending durability.
+func TestStickyError(t *testing.T) {
+	hook := &failFsync{}
+	l, _ := openT(t, t.TempDir(), Config{Streams: 1, FsyncEvery: time.Hour, Hook: hook})
+	defer l.Close()
+	if err := l.Append(Record{Tenant: 0, Seq: 1, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err == nil {
+		t.Fatalf("Sync with failing fsync must error")
+	}
+	if err := l.Append(Record{Tenant: 0, Seq: 2, Payload: []byte("x")}); err == nil {
+		t.Fatalf("Append after sticky error must fail")
+	}
+	if got := l.Durable(0); got != 0 {
+		t.Fatalf("Durable advanced past failed fsync: %d", got)
+	}
+}
+
+type failFsync struct{}
+
+func (failFsync) Write(b []byte) ([]byte, error) { return b, nil }
+func (failFsync) Fsync(func() error) error       { return fmt.Errorf("injected fsync failure") }
+
+// TestAppendAllocs pins the zero-allocation durable append hot path: once
+// the commit buffer has warmed to the working-set size, Append and
+// AppendBatch allocate nothing.
+func TestAppendAllocs(t *testing.T) {
+	l, _ := openT(t, t.TempDir(), Config{Streams: 1, FsyncEvery: time.Hour})
+	defer l.Close()
+	p := make([]byte, 64)
+	recs := make([]Record, 16)
+	for i := range recs {
+		recs[i] = Record{Tenant: 0, Payload: p}
+	}
+	seq := uint64(0)
+	warm := func() {
+		for i := range recs {
+			seq++
+			recs[i].Seq = seq
+			recs[i].MsgID = seq
+		}
+		if err := l.AppendBatch(recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the buffer, drain it through a commit, then measure against
+	// the recycled (spare) buffer — the steady state.
+	for i := 0; i < 64; i++ {
+		warm()
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(50, warm); avg != 0 {
+		t.Fatalf("AppendBatch allocates %.1f/op at steady state, want 0", avg)
+	}
+	single := func() {
+		seq++
+		if err := l.Append(Record{Tenant: 0, Seq: seq, MsgID: seq, Payload: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(50, single); avg != 0 {
+		t.Fatalf("Append allocates %.1f/op at steady state, want 0", avg)
+	}
+}
+
+// TestRecordEncodeDecode round-trips the wire format directly.
+func TestRecordEncodeDecode(t *testing.T) {
+	buf := appendRecord(nil, kindData, 3, 42, 99, []byte("hello"))
+	buf = appendRecord(buf, kindAck, 1, 7, 13, nil)
+	var got []struct {
+		kind     byte
+		tenant   int
+		seq, aux uint64
+		payload  string
+	}
+	ok := scanSegment(buf, 8, func(kind byte, tenant int, seq, aux uint64, payload []byte) {
+		got = append(got, struct {
+			kind     byte
+			tenant   int
+			seq, aux uint64
+			payload  string
+		}{kind, tenant, seq, aux, string(payload)})
+	})
+	if !ok || len(got) != 2 {
+		t.Fatalf("scan: ok=%v n=%d", ok, len(got))
+	}
+	if got[0].kind != kindData || got[0].tenant != 3 || got[0].seq != 42 || got[0].aux != 99 || got[0].payload != "hello" {
+		t.Fatalf("data record mismatch: %+v", got[0])
+	}
+	if got[1].kind != kindAck || got[1].tenant != 1 || got[1].seq != 7 || got[1].aux != 13 {
+		t.Fatalf("ack record mismatch: %+v", got[1])
+	}
+	// Garbage length field stops the scan without panic.
+	bad := append([]byte(nil), buf...)
+	binary.LittleEndian.PutUint32(bad[4:8], 1<<30)
+	n := 0
+	if scanSegment(bad, 8, func(byte, int, uint64, uint64, []byte) { n++ }) || n != 0 {
+		t.Fatalf("garbage length accepted: n=%d", n)
+	}
+}
+
+func newestSegment(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no segments in %s: %v", dir, err)
+	}
+	sort.Strings(matches)
+	// Newest non-empty (Close leaves a fresh empty segment behind the
+	// data-bearing one only when reopened; pick the last with size > 0).
+	for i := len(matches) - 1; i >= 0; i-- {
+		if info, err := os.Stat(matches[i]); err == nil && info.Size() > 0 {
+			return matches[i]
+		}
+	}
+	t.Fatalf("all segments empty in %s", dir)
+	return ""
+}
