@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-guard bench-steal chaos chaos-durable telemetry-smoke clean
+.PHONY: all build test race vet lint bench bench-guard bench-steal chaos chaos-durable telemetry-smoke governor-smoke clean
 
 all: build vet test
 
@@ -49,6 +49,8 @@ bench: bench-ring
 		-duration 1s -trials 3 -out BENCH_dataplane.json -merge
 	$(GO) run ./cmd/planebench -durable -tenants 8 -batch 1,64 \
 		-duration 1s -trials 3 -out BENCH_dataplane.json -merge -durable-check 0.5
+	$(GO) run ./cmd/planebench -loadsweep 5,10,25,50,100 -tenants 8 -workers 4 -batch 16 \
+		-duration 1s -trials 3 -out BENCH_dataplane.json -merge
 
 bench-ring:
 	$(GO) run ./cmd/ringbench -out BENCH_ring.json
@@ -73,12 +75,21 @@ bench-guard:
 	$(GO) run ./cmd/notifierbench -telemetry-check -telemetry-tolerance 0.05
 	$(GO) run ./cmd/planebench -skew 1.1 -seed 1 -tenants 16 -workers 4 -batch 16 \
 		-smoke -steal-check 1.0
+	$(GO) run ./cmd/planebench -loadsweep 10,100 -tenants 8 -workers 4 -batch 16 \
+		-smoke -prop-check 0.4
 
 # Telemetry smoke: run the observed-plane example briefly, self-scrape
 # /metrics, /debug/tenants and /debug/trace, and fail if any expected
 # series or span is missing.
 telemetry-smoke:
 	$(GO) run ./examples/observed-plane -smoke
+
+# Elastic control-plane smoke: run the elastic-plane example briefly and
+# fail unless the governor shrinks the active set at trickle load and
+# grows it back on a burst (single-core hosts report, but do not fail,
+# the elastic assertions — there is no parallelism to take away).
+governor-smoke:
+	$(GO) run ./examples/elastic-plane -smoke
 
 clean:
 	$(GO) clean ./...

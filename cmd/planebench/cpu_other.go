@@ -1,0 +1,7 @@
+//go:build !unix
+
+package main
+
+// processCPUSeconds is unavailable off unix: -loadsweep cells record no
+// cpu_seconds and the proportionality guard is skipped.
+func processCPUSeconds() (float64, bool) { return 0, false }

@@ -1,0 +1,18 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// processCPUSeconds returns the process's cumulative user+system CPU
+// time. The diff across a measurement window is a cell's cpu_seconds —
+// what the -loadsweep proportionality sweep compares between the spin
+// baseline and the governed plane.
+func processCPUSeconds() (float64, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	sec := func(tv syscall.Timeval) float64 { return float64(tv.Sec) + float64(tv.Usec)/1e6 }
+	return sec(ru.Utime) + sec(ru.Stime), true
+}

@@ -42,6 +42,18 @@
 //
 //	planebench -skew 1.1 -seed 1 -tenants 16 -workers 4 -batch 16 \
 //	           -out BENCH_dataplane.json -merge -steal-check 1.0
+//
+// -loadsweep measures the power-proportionality curve (the runtime analog
+// of the paper's Figs. 11/12): a flood probe establishes the plane's
+// capacity, then each listed percentage of that capacity is offered as a
+// paced rate to two planes — spin workers (the always-burning baseline)
+// and a Balanced-governed Notify plane — recording CPU-seconds per cell.
+// -prop-check fails the run when the governed plane burns more than the
+// given fraction of the spin baseline's CPU at the lowest load point
+// (single-core hosts record a scaling note instead):
+//
+//	planebench -loadsweep 5,10,25,50,100 -tenants 8 -workers 4 -batch 16 \
+//	           -out BENCH_dataplane.json -merge -prop-check 0.4
 package main
 
 import (
@@ -87,6 +99,11 @@ type benchConfig struct {
 	skew     float64
 	zipfSeed int64
 	steal    bool
+
+	// proportionality mode (-loadsweep): governed runs the plane under
+	// the elastic governor (Balanced: hybrid wait + elastic active set)
+	// so its CPU burn can be compared against the spin baseline's.
+	governed bool
 
 	// durable mode (-durable): the cell runs with a WAL-backed durable
 	// tier in a throwaway temp dir, so the grid records the durability
@@ -153,6 +170,11 @@ func main() {
 		durable      = flag.Bool("durable", false, "measure every point twice — in-memory and WAL-durable (temp dir) — recording the durability tax per cell")
 		durableCheck = flag.Float64("durable-check", 0, "guard: fail unless durable items/s >= this fraction of in-memory on every MaxBatch>=64 point (multi-core hosts only)")
 
+		loadsweep = flag.String("loadsweep", "",
+			"comma-separated load percentages of measured flood capacity; each point is measured as a paced spin baseline and a paced Balanced-governed Notify plane, recording cpu_seconds per cell")
+		propCheck = flag.Float64("prop-check", 0,
+			"guard: fail unless governed cpu_seconds <= this fraction of the spin baseline's at the lowest -loadsweep point (multi-core hosts only)")
+
 		skew       = flag.Float64("skew", 0, "Zipf skew s (> 1) for the skewed tenant-load mode; 0 = uniform per-tenant flood")
 		zipfSeed   = flag.Int64("seed", 1, "Zipf sampling seed for reproducible -skew runs")
 		stealCheck = flag.Float64("steal-check", 0, "guard: fail unless steal-on items/s >= this fraction of steal-off on every -skew point (multi-core hosts only)")
@@ -197,6 +219,14 @@ func main() {
 	}
 	if *durable && *skew != 0 {
 		fmt.Fprintln(os.Stderr, "planebench: -durable and -skew are separate sweeps; run them as two -merge passes")
+		os.Exit(2)
+	}
+	if *propCheck > 0 && *loadsweep == "" {
+		fmt.Fprintln(os.Stderr, "planebench: -prop-check requires -loadsweep")
+		os.Exit(2)
+	}
+	if *loadsweep != "" && (*skew != 0 || *durable || *faultFrac > 0) {
+		fmt.Fprintln(os.Stderr, "planebench: -loadsweep is its own sweep; run -skew/-durable/-faulty as separate -merge passes")
 		os.Exit(2)
 	}
 
@@ -250,6 +280,20 @@ func main() {
 		cfg.metrics = &metricsProxy{}
 		go func() { _ = http.Serve(ln, cfg.metrics) }()
 		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics\n", ln.Addr())
+	}
+
+	if *loadsweep != "" {
+		pcts := parseInts("-loadsweep", *loadsweep)
+		// The governor tunes MaxBatch up to the configured ceiling, so the
+		// sweep uses the largest -batch entry.
+		batch := batches[0]
+		for _, b := range batches {
+			if b > batch {
+				batch = b
+			}
+		}
+		runLoadSweep(cfg, counts[0], batch, pcts, *propCheck, *trials, *outFlag, *merge)
+		return
 	}
 
 	injecting := cfg.faultFrac > 0
@@ -403,33 +447,163 @@ func main() {
 			fmt.Fprintf(os.Stderr, "durable-check ok: worst ratio %.2fx >= %.2fx\n", durWorst, *durableCheck)
 		}
 	}
-	if *outFlag != "" {
-		if *merge {
-			if raw, err := os.ReadFile(*outFlag); err == nil {
-				var old benchReport
-				if err := json.Unmarshal(raw, &old); err == nil {
-					rep.Cells = append(old.Cells, rep.Cells...)
-					if rep.ScalingNote == "" {
-						rep.ScalingNote = old.ScalingNote
-					}
-					if rep.DurableNote == "" {
-						rep.DurableNote = old.DurableNote
-					}
+	writeOut(rep, *outFlag, *merge)
+}
+
+// writeOut serializes the report to path; with merge it appends this
+// sweep's cells to an existing report's, keeping whichever scaling notes
+// are set on either side.
+func writeOut(rep benchReport, path string, merge bool) {
+	if path == "" {
+		return
+	}
+	if merge {
+		if raw, err := os.ReadFile(path); err == nil {
+			var old benchReport
+			if err := json.Unmarshal(raw, &old); err == nil {
+				rep.Cells = append(old.Cells, rep.Cells...)
+				if rep.ScalingNote == "" {
+					rep.ScalingNote = old.ScalingNote
+				}
+				if rep.DurableNote == "" {
+					rep.DurableNote = old.DurableNote
+				}
+				if rep.ProportionalityNote == "" {
+					rep.ProportionalityNote = old.ProportionalityNote
 				}
 			}
 		}
-		buf, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "planebench:", err)
-			os.Exit(1)
-		}
-		buf = append(buf, '\n')
-		if err := benchmeta.WriteFileAtomic(*outFlag, buf, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "planebench:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *outFlag)
 	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "planebench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := benchmeta.WriteFileAtomic(path, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "planebench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+// runLoadSweep measures the power-proportionality curve (the runtime
+// analog of the paper's Figs. 11/12). A flood probe on an ungoverned
+// Notify plane establishes capacity and the latency reference; each
+// listed percentage of that capacity is then offered as a paced rate to
+// a spin plane (the always-burning baseline) and a Balanced-governed
+// Notify plane, and the CPU-seconds each burns over the window is the
+// cell's power proxy. On a proportional plane the governed/spin CPU
+// ratio falls with load; a spin plane burns the same CPU at 5% as at
+// 100%.
+func runLoadSweep(cfg benchConfig, tenants, batch int, pcts []int, propCheck float64, trials int, out string, merge bool) {
+	rep := benchReport{
+		Host:       benchmeta.Collect(),
+		DurationMS: cfg.duration.Milliseconds(),
+		Workers:    cfg.workers,
+		Producers:  cfg.producers,
+	}
+	if runtime.GOMAXPROCS(0) < 2 {
+		rep.ProportionalityNote = fmt.Sprintf(
+			"GOMAXPROCS=%d: single schedulable core; producers and workers time-slice one CPU, so cpu_vs_spin reflects scheduler arbitration, not halted cores",
+			runtime.GOMAXPROCS(0))
+		fmt.Fprintln(os.Stderr, "note:", rep.ProportionalityNote)
+	} else if _, ok := processCPUSeconds(); !ok {
+		rep.ProportionalityNote = "process CPU time unavailable on this platform; cpu_seconds not recorded"
+		fmt.Fprintln(os.Stderr, "note:", rep.ProportionalityNote)
+	}
+
+	probe := cfg
+	probe.mode = dataplane.Notify
+	probe.maxBatch = batch
+	probe.rate = 0
+	r, err := measureMedian(tenants, probe, trials)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "planebench:", err)
+		os.Exit(1)
+	}
+	capacity := r.healthyThr + r.faultyThr
+	p99Notify := r.p99
+	fmt.Printf("capacity probe: %.0f items/s (ungoverned notify flood, p99 %v)\n", capacity, p99Notify)
+	fmt.Printf("%5s %-30s %14s %10s %12s %12s %7s\n",
+		"load", "mode", "items/s", "cpu_s", "p99", "cpu_vs_spin", "active")
+
+	minPct := pcts[0]
+	for _, pc := range pcts {
+		if pc < minPct {
+			minPct = pc
+		}
+	}
+	worstRatio := -1.0
+	for _, pct := range pcts {
+		rate := capacity * float64(pct) / 100 / float64(tenants)
+		if rate < 1 {
+			rate = 1
+		}
+		runCell := func(c benchConfig) (result, benchCell) {
+			r, err := measureMedian(tenants, c, trials)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "planebench:", err)
+				os.Exit(1)
+			}
+			return r, benchCell{
+				Tenants:       tenants,
+				Mode:          r.modeLabel,
+				MaxBatch:      batch,
+				Workers:       cfg.workers,
+				ItemsPerSec:   r.healthyThr + r.faultyThr,
+				P50Ns:         r.p50.Nanoseconds(),
+				P99Ns:         r.p99.Nanoseconds(),
+				LoadPct:       pct,
+				RatePerTenant: rate,
+				CPUSeconds:    r.cpuSec,
+			}
+		}
+		sc := cfg
+		sc.mode = dataplane.Spin
+		sc.maxBatch = batch
+		sc.rate = rate
+		rs, cellS := runCell(sc)
+		gc := cfg
+		gc.mode = dataplane.Notify
+		gc.maxBatch = batch
+		gc.rate = rate
+		gc.governed = true
+		rg, cellG := runCell(gc)
+		cellG.Governor = rg.govMode
+		cellG.Wait = rg.govWait
+		cellG.ActiveWorkers = rg.activeWorkers
+		if rs.cpuSec > 0 && rg.cpuSec > 0 {
+			cellG.CPUVsSpin = rg.cpuSec / rs.cpuSec
+			if pct == minPct {
+				worstRatio = cellG.CPUVsSpin
+			}
+		}
+		if pct == 100 && p99Notify > 0 {
+			cellG.P99VsNotify = float64(rg.p99) / float64(p99Notify)
+		}
+		fmt.Printf("%4d%% %-30s %14.0f %10.3f %12v %12s %7d\n",
+			pct, cellS.Mode, cellS.ItemsPerSec, cellS.CPUSeconds, rs.p99, "", cfg.workers)
+		fmt.Printf("%4d%% %-30s %14.0f %10.3f %12v %12.2f %7d\n",
+			pct, cellG.Mode, cellG.ItemsPerSec, cellG.CPUSeconds, rg.p99, cellG.CPUVsSpin, rg.activeWorkers)
+		rep.Cells = append(rep.Cells, cellS, cellG)
+	}
+	if propCheck > 0 {
+		switch {
+		case rep.ProportionalityNote != "":
+			fmt.Fprintln(os.Stderr, "prop-check skipped:", rep.ProportionalityNote)
+		case worstRatio < 0:
+			fmt.Fprintln(os.Stderr, "prop-check skipped: no cpu_seconds measured at the lowest load point")
+		case worstRatio > propCheck:
+			fmt.Fprintf(os.Stderr, "planebench: prop-check failed: governed cpu %.2fx of spin at %d%% load > %.2fx\n",
+				worstRatio, minPct, propCheck)
+			os.Exit(1)
+		default:
+			fmt.Fprintf(os.Stderr, "prop-check ok: governed cpu %.2fx of spin at %d%% load <= %.2fx\n",
+				worstRatio, minPct, propCheck)
+		}
+	}
+	writeOut(rep, out, merge)
 }
 
 // benchCell is one measured grid point. SpeedupVsItem compares the cell's
@@ -459,6 +633,22 @@ type benchCell struct {
 	// MaxBatch).
 	Durable         bool    `json:"durable,omitempty"`
 	DurableVsMemory float64 `json:"durable_vs_memory,omitempty"`
+	// Proportionality cells (-loadsweep) record the offered load as a
+	// percentage of measured flood capacity, the paced per-tenant rate
+	// that realizes it, and the CPU-seconds the whole process burned over
+	// the window. Governed cells additionally record the governor mode,
+	// the live wait strategy, the active worker count at window end, their
+	// CPU burn as a fraction of the spin baseline's at the same load, and
+	// (at 100% load) their p99 as a fraction of the ungoverned Notify
+	// probe's.
+	LoadPct       int     `json:"load_pct,omitempty"`
+	RatePerTenant float64 `json:"rate_per_tenant,omitempty"`
+	CPUSeconds    float64 `json:"cpu_seconds,omitempty"`
+	CPUVsSpin     float64 `json:"cpu_vs_spin,omitempty"`
+	P99VsNotify   float64 `json:"p99_vs_notify,omitempty"`
+	Governor      string  `json:"governor,omitempty"`
+	Wait          string  `json:"wait,omitempty"`
+	ActiveWorkers int     `json:"active_workers,omitempty"`
 }
 
 type benchReport struct {
@@ -473,8 +663,11 @@ type benchReport struct {
 	// DurableNote is the same caveat for the -durable sweep: on one
 	// schedulable core the WAL's fsync goroutine steals worker time, so
 	// the measured tax is an upper bound.
-	DurableNote string      `json:"durable_scaling_note,omitempty"`
-	Cells       []benchCell `json:"cells"`
+	DurableNote string `json:"durable_scaling_note,omitempty"`
+	// ProportionalityNote is the -loadsweep caveat: on one schedulable
+	// core (or without rusage) cpu_vs_spin does not measure halted cores.
+	ProportionalityNote string      `json:"proportionality_note,omitempty"`
+	Cells               []benchCell `json:"cells"`
 }
 
 type result struct {
@@ -482,6 +675,16 @@ type result struct {
 	faultyThr  float64 // items/s delivered to faulty tenants
 	p50, p99   time.Duration
 	stats      dataplane.Stats
+
+	// Proportionality-sweep observations: process CPU burned over the
+	// window, the plane's operating-point label, and — on governed
+	// planes — the governor mode, live wait strategy, and active worker
+	// count at window end.
+	cpuSec        float64
+	modeLabel     string
+	govMode       string
+	govWait       string
+	activeWorkers int
 }
 
 // measureMedian repeats measure and returns the trial with the median
@@ -581,6 +784,7 @@ func measure(tenants int, cfg benchConfig) (result, error) {
 		Quarantine:      dataplane.QuarantineConfig{Threshold: cfg.quarantine},
 		Telemetry:       tel,
 		Durable:         dataplane.DurableConfig{Dir: durDir},
+		Governor:        dataplane.GovernorConfig{Enable: cfg.governed},
 	})
 	if err != nil {
 		return result{}, err
@@ -746,7 +950,15 @@ func measure(tenants int, cfg benchConfig) (result, error) {
 	}
 
 	start := time.Now()
+	cpu0, cpuOK := processCPUSeconds()
 	time.Sleep(cfg.duration)
+	cpu1, _ := processCPUSeconds()
+	modeLabel := p.ModeString()
+	active := p.ActiveWorkers()
+	var govMode, govWait string
+	if gs, ok := p.GovernorStatus(); ok {
+		govMode, govWait = gs.Mode.String(), gs.Wait.String()
+	}
 	stop.Store(true)
 	elapsed := time.Since(start)
 	st := p.Stats()
@@ -762,13 +974,21 @@ func measure(tenants int, cfg benchConfig) (result, error) {
 		}
 		return lats[int(q*float64(len(lats)-1))]
 	}
-	return result{
-		healthyThr: float64(healthyConsumed.Load()) / elapsed.Seconds(),
-		faultyThr:  float64(faultyConsumed.Load()) / elapsed.Seconds(),
-		p50:        pct(0.50),
-		p99:        pct(0.99),
-		stats:      st,
-	}, nil
+	res := result{
+		healthyThr:    float64(healthyConsumed.Load()) / elapsed.Seconds(),
+		faultyThr:     float64(faultyConsumed.Load()) / elapsed.Seconds(),
+		p50:           pct(0.50),
+		p99:           pct(0.99),
+		stats:         st,
+		modeLabel:     modeLabel,
+		govMode:       govMode,
+		govWait:       govWait,
+		activeWorkers: active,
+	}
+	if cpuOK {
+		res.cpuSec = cpu1 - cpu0
+	}
+	return res, nil
 }
 
 // stampedPayload returns a fresh 8-byte payload carrying time.Now, the

@@ -71,18 +71,42 @@ type Mode uint8
 // Notification modes.
 const (
 	// Notify blocks workers in QWAIT (hyperplane.Notifier) — the
-	// HyperPlane model.
+	// HyperPlane model. Workers park as soon as a sweep comes up empty.
 	Notify Mode = iota
 	// Spin makes workers iterate over their queues at full tilt — the
 	// software-only baseline.
 	Spin
+	// Hybrid is Notify with the spin-then-park wait strategy: workers
+	// dwell in a bounded spin (the paper's C0) before parking (C1),
+	// paying a little idle CPU to dodge the wake cost when traffic is
+	// about to arrive. The spin budget is hyperplane.DefaultSpinBudget
+	// unless Config.Governor.SpinBudget overrides it.
+	Hybrid
 )
 
 func (m Mode) String() string {
-	if m == Spin {
+	switch m {
+	case Notify:
+		return "notify"
+	case Spin:
 		return "spin"
+	case Hybrid:
+		return "hybrid"
 	}
-	return "notify"
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// ParseMode maps a CLI-friendly name to its Mode.
+func ParseMode(name string) (Mode, error) {
+	switch name {
+	case "notify":
+		return Notify, nil
+	case "spin":
+		return Spin, nil
+	case "hybrid":
+		return Hybrid, nil
+	}
+	return 0, fmt.Errorf("dataplane: unknown mode %q (want notify, spin or hybrid)", name)
 }
 
 // DeliveryPolicy selects what a worker does when a tenant-side ring is full
@@ -175,6 +199,15 @@ type Config struct {
 	// StealQuantum bounds how many tenant QIDs one steal claims from a
 	// victim bank (default 8; see hyperplane.StealConfig.Quantum).
 	StealQuantum int
+	// Governor enables the elastic worker control plane: a telemetry-fed
+	// loop that halts surplus workers (parking them on the striped
+	// parker, the runtime analog of C1 core halting), re-grows the set on
+	// backlog spikes, and autotunes MaxBatch and the EWMA policy alpha
+	// from observed arrival rates. Requires a notification mode (Notify
+	// or Hybrid); like Steal, it shares one banked notifier across the
+	// pool so a halted worker's tenants are drained by the remaining
+	// active workers. See GovernorConfig.
+	Governor GovernorConfig
 	// Delivery selects the tenant-side full-ring policy (default Block).
 	Delivery DeliveryPolicy
 	// DeliveryTimeout bounds Block per item; 0 waits until the plane
@@ -257,9 +290,21 @@ type Plane struct {
 	egressScratch [][]item
 	// dur is the durable tier (nil on in-memory planes). See durable.go.
 	dur *durable
-	// steal is the resolved steal mode: Config.Steal in Notify mode. The
-	// workers then share one banked notifier and drain via WaitHomeBatch.
-	steal bool
+	// shared is the resolved pool organization: Steal or Governor in a
+	// notification mode. The workers then share one banked notifier (one
+	// bank per worker) over MPMC device rings and drain via
+	// WaitHomeBatch, so any worker can service any tenant — which is what
+	// lets a halted or busy worker's tenants be picked up by the rest of
+	// the pool. steal additionally enables cross-bank claiming on that
+	// shared notifier.
+	shared bool
+	steal  bool
+	// maxBatch is the live per-dispatch batch cap, MaxBatch at rest; the
+	// governor retunes it from observed arrival rates.
+	maxBatch atomic.Int32
+	// gov is the elastic worker control plane (nil when disabled). See
+	// governor.go.
+	gov *govRuntime
 	// outMu serializes the two tenant-side consumers that exist under
 	// DropOldest (the tenant and the evicting worker); unused otherwise.
 	outMu []sync.Mutex
@@ -348,6 +393,9 @@ func New(cfg Config) (*Plane, error) {
 	if cfg.Handler == nil {
 		cfg.Handler = func(_ int, payload []byte) ([]byte, error) { return payload, nil }
 	}
+	if cfg.Mode > Hybrid {
+		return nil, fmt.Errorf("dataplane: unknown mode %d", cfg.Mode)
+	}
 	if cfg.Delivery > DropOldest {
 		return nil, fmt.Errorf("dataplane: unknown delivery policy %d", cfg.Delivery)
 	}
@@ -390,6 +438,9 @@ func New(cfg Config) (*Plane, error) {
 	if cfg.StealQuantum < 0 {
 		return nil, fmt.Errorf("dataplane: StealQuantum must be >= 0, got %d", cfg.StealQuantum)
 	}
+	if err := cfg.Governor.validate(cfg); err != nil {
+		return nil, err
+	}
 	p := &Plane{
 		cfg:           cfg,
 		tstate:        make([]tenantState, cfg.Tenants),
@@ -398,14 +449,16 @@ func New(cfg Config) (*Plane, error) {
 		stopCh:        make(chan struct{}),
 		m:             telemetry.NewMetrics(cfg.Tenants, cfg.Workers),
 		tel:           cfg.Telemetry,
-		steal:         cfg.Steal && cfg.Mode == Notify,
+		steal:         cfg.Steal && cfg.Mode != Spin,
+		shared:        (cfg.Steal || cfg.Governor.Enable) && cfg.Mode != Spin,
 	}
+	p.maxBatch.Store(int32(cfg.MaxBatch))
 
 	for t := 0; t < cfg.Tenants; t++ {
 		var dr, or queue.Buffer[item]
 		var err error
 		switch {
-		case p.steal:
+		case p.shared:
 			// Any worker may drain any tenant: the device ring needs
 			// multiple concurrent consumers (and SharedIngress producers
 			// come for free with it).
@@ -418,7 +471,7 @@ func New(cfg Config) (*Plane, error) {
 		if err != nil {
 			return nil, err
 		}
-		if p.steal {
+		if p.shared {
 			// Any worker may deliver to any tenant: the delivery ring needs
 			// multiple producers. Its consumers (the tenant, plus the
 			// evicting worker under DropOldest) serialize on outMu exactly
@@ -448,21 +501,26 @@ func New(cfg Config) (*Plane, error) {
 		p.tenantQIDs = append(p.tenantQIDs, qid)
 	}
 
-	// Steal mode: one shared banked notifier for the whole pool, one bank
-	// per worker (capped at MaxShards). Tenants register in order, so
-	// QID == tenant and bank-of-tenant == tenant mod shards — the same
-	// interleave the per-worker partition uses, which makes each worker's
-	// home bank hold exactly its own partition's tenants.
+	// Shared-pool organization (steal and/or governor): one banked
+	// notifier for the whole pool, one bank per worker (capped at
+	// MaxShards). Tenants register in order, so QID == tenant and
+	// bank-of-tenant == tenant mod shards — the same interleave the
+	// per-worker partition uses, which makes each worker's home bank hold
+	// exactly its own partition's tenants. With stealing disabled (a
+	// governor-only plane), WaitHomeBatch's no-steal path falls back to a
+	// full sweep across every bank, so a halted worker's tenants are
+	// still drained — the governor's liveness backstop.
 	var shared *hyperplane.Notifier
 	var sharedTenantOf []int
 	var sharedQIDs []hyperplane.QID
-	if p.steal {
+	if p.shared {
 		sn, err := hyperplane.NewNotifier(hyperplane.NotifierConfig{
 			MaxQueues: cfg.Tenants,
 			Policy:    cfg.Policy,
 			Shards:    cfg.Workers,
 			Telemetry: cfg.Telemetry,
-			Steal:     hyperplane.StealConfig{Enable: true, Quantum: cfg.StealQuantum},
+			Steal:     hyperplane.StealConfig{Enable: p.steal, Quantum: cfg.StealQuantum},
+			Wait:      p.initialWaitConfig(),
 		})
 		if err != nil {
 			return nil, err
@@ -494,16 +552,17 @@ func New(cfg Config) (*Plane, error) {
 			wk.tenants = append(wk.tenants, t)
 		}
 		switch {
-		case p.steal:
+		case p.shared:
 			wk.n = shared
 			wk.home = w % shared.Shards()
 			wk.tenantOf = sharedTenantOf
 			wk.qidByTenant = sharedQIDs
-		case cfg.Mode == Notify:
+		case cfg.Mode != Spin:
 			n, err := hyperplane.NewNotifier(hyperplane.NotifierConfig{
 				MaxQueues: len(wk.tenants),
 				Policy:    cfg.Policy,
 				Telemetry: cfg.Telemetry,
+				Wait:      p.initialWaitConfig(),
 			})
 			if err != nil {
 				return nil, err
@@ -524,6 +583,13 @@ func New(cfg Config) (*Plane, error) {
 			wk.n = n
 		}
 		p.workers = append(p.workers, wk)
+	}
+	if cfg.Governor.Enable {
+		gov, err := newGovRuntime(cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.gov = gov
 	}
 	// Durable tier last: wal.Open starts the group committer, so nothing
 	// that can still fail may follow it.
@@ -558,6 +624,10 @@ func (p *Plane) Start() {
 	for _, wk := range p.workers {
 		p.wg.Add(1)
 		go p.supervise(wk)
+	}
+	if p.gov != nil {
+		p.wg.Add(1)
+		go p.governLoop()
 	}
 	if p.cfg.Quarantine.Threshold > 0 {
 		p.wg.Add(1)
@@ -673,7 +743,7 @@ func (p *Plane) Ingress(tenant int, payload []byte) bool {
 		return false
 	}
 	p.m.Ingressed.Add(p.m.IngressStripe(), tenant, 1)
-	if p.cfg.Mode == Notify {
+	if p.cfg.Mode != Spin {
 		w := p.workers[tenant%p.cfg.Workers]
 		w.n.Notify(w.qidByTenant[tenant])
 	}
@@ -707,7 +777,7 @@ func (p *Plane) IngressBatch(items []IngressItem) int {
 	// Over-count up front (see Ingress) and settle after the loop.
 	p.ingressed.Add(int64(len(items)))
 	var perWorker [][]hyperplane.QID
-	if p.cfg.Mode == Notify {
+	if p.cfg.Mode != Spin {
 		perWorker = make([][]hyperplane.QID, len(p.workers))
 	}
 	accepted := 0
@@ -904,7 +974,7 @@ func (p *Plane) runWorker(wk *worker) (clean bool) {
 			wk.pending = nil
 		}
 	}()
-	if p.cfg.Mode == Notify {
+	if p.cfg.Mode != Spin {
 		p.runNotify(wk)
 	} else {
 		p.runSpin(wk)
@@ -922,21 +992,33 @@ func (p *Plane) runNotify(wk *worker) {
 	// item, so it gets a wait batch of one (see Notifier.WaitBatch docs)
 	// and a drain of one item per turn.
 	size := 32
-	drain := p.cfg.MaxBatch
-	if p.cfg.Policy.Kind == hyperplane.StrictPriority.Kind {
+	strict := p.cfg.Policy.Kind == hyperplane.StrictPriority.Kind
+	if strict {
 		size = 1
-		drain = 1
 	}
 	batch := make([]hyperplane.QID, size)
 	for {
+		if p.gov != nil {
+			// Halt gate: a worker shrunk out of the active set blocks here
+			// (the C1 drop) until the governor re-admits it or the plane
+			// stops. Its tenants keep flowing through the shared notifier.
+			p.gov.gate(p, wk)
+		}
 		if wk.crashNext.CompareAndSwap(true, false) {
 			panic("dataplane: induced worker crash")
 		}
+		// The drain bound is re-read per turn: the governor retunes it live
+		// from the observed arrival rate.
+		drain := 1
+		if !strict {
+			drain = int(p.maxBatch.Load())
+		}
 		var c int
-		if p.steal {
-			// Home bank first, then steal from a hot sibling before
-			// parking. ConsumeN routes a stolen tenant's batch charge back
-			// to its victim bank automatically.
+		if p.shared {
+			// Home bank first; then, with stealing on, claim from a hot
+			// sibling before parking (ConsumeN routes a stolen tenant's
+			// batch charge back to its victim bank automatically), or, with
+			// stealing off, fall back to a full sweep across every bank.
 			c = wk.n.WaitHomeBatch(wk.home, batch)
 		} else {
 			c = wk.n.WaitBatch(batch)
@@ -1284,7 +1366,7 @@ func (p *Plane) noteFailure(tenant int) {
 // directly). Readiness keeps accruing while disabled, so re-enabling a
 // backlogged tenant immediately reoffers it to QWAIT.
 func (p *Plane) setTenantEnabled(tenant int, enabled bool) {
-	if p.cfg.Mode != Notify {
+	if p.cfg.Mode == Spin {
 		return
 	}
 	wk := p.workers[tenant%p.cfg.Workers]
@@ -1406,6 +1488,7 @@ func (p *Plane) tenantStateName(tenant int) string {
 // to tenant ids.
 func (p *Plane) DebugSnapshot() telemetry.DebugSnapshot {
 	snap := telemetry.DebugSnapshot{
+		Mode:    p.ModeString(),
 		Tenants: make([]telemetry.TenantDebug, p.cfg.Tenants),
 	}
 	for t := 0; t < p.cfg.Tenants; t++ {
@@ -1423,49 +1506,77 @@ func (p *Plane) DebugSnapshot() telemetry.DebugSnapshot {
 			snap.Tenants[t].DurableSeq = p.DurableSeq(t)
 		}
 	}
-	if p.cfg.Mode != Notify {
+	if p.cfg.Mode == Spin {
 		return snap
 	}
-	for _, wk := range p.notifierWorkers() {
-		banks := wk.n.BankStats()
-		insps := wk.n.InspectPolicy()
-		wd := telemetry.WorkerDebug{Worker: wk.id, Banks: make([]telemetry.BankDebug, len(banks))}
-		for i, b := range banks {
-			pd := telemetry.PolicyDebug{}
-			if i < len(insps) {
-				in := insps[i]
-				tenants := make([]int, len(in.QIDs))
-				for j, q := range in.QIDs {
-					tenants[j] = wk.tenantOf[q]
+	park := p.workerParkSeconds()
+	active := int32(len(p.workers))
+	if p.gov != nil {
+		active = p.gov.active.Load()
+	}
+	for _, wk := range p.workers {
+		wd := telemetry.WorkerDebug{
+			Worker:      wk.id,
+			Active:      int32(wk.id) < active,
+			ParkSeconds: park[wk.id],
+		}
+		// Bank sections come only from the reporting set (worker 0 alone
+		// in the shared organization — its notifier holds every bank).
+		if !p.shared || wk.id == 0 {
+			banks := wk.n.BankStats()
+			insps := wk.n.InspectPolicy()
+			wd.Banks = make([]telemetry.BankDebug, len(banks))
+			for i, b := range banks {
+				pd := telemetry.PolicyDebug{}
+				if i < len(insps) {
+					in := insps[i]
+					tenants := make([]int, len(in.QIDs))
+					for j, q := range in.QIDs {
+						tenants[j] = wk.tenantOf[q]
+					}
+					pd = telemetry.PolicyDebug{
+						Kind: in.Kind, Rotor: in.Rotor, Counter: in.Counter,
+						Weights: in.Weights, Deficit: in.Deficit,
+						Score: in.Score, Round: in.Round, QIDs: tenants,
+					}
 				}
-				pd = telemetry.PolicyDebug{
-					Kind: in.Kind, Rotor: in.Rotor, Counter: in.Counter,
-					Weights: in.Weights, Deficit: in.Deficit,
-					Score: in.Score, Round: in.Round, QIDs: tenants,
+				wd.Banks[i] = telemetry.BankDebug{
+					Bank:        b.Bank,
+					Ready:       b.Ready,
+					Selects:     b.Selects,
+					Activations: b.Activations,
+					Steals:      b.Steals,
+					Parks:       b.Parks,
+					Wakes:       b.Wakes,
+					BlockedNs:   b.BlockedNs,
+					Policy:      pd,
 				}
-			}
-			wd.Banks[i] = telemetry.BankDebug{
-				Bank:        b.Bank,
-				Ready:       b.Ready,
-				Selects:     b.Selects,
-				Activations: b.Activations,
-				Steals:      b.Steals,
-				Parks:       b.Parks,
-				Wakes:       b.Wakes,
-				Policy:      pd,
 			}
 		}
 		snap.Workers = append(snap.Workers, wd)
 	}
+	if st, ok := p.GovernorStatus(); ok {
+		snap.Governor = &telemetry.GovernorDebug{
+			Mode:          st.Mode.String(),
+			Wait:          st.Wait.String(),
+			ActiveWorkers: st.ActiveWorkers,
+			Workers:       st.Workers,
+			MaxBatch:      st.MaxBatch,
+			Alpha:         st.Alpha,
+			Transitions:   st.Transitions,
+			Reason:        st.Reason,
+		}
+	}
 	return snap
 }
 
-// notifierWorkers returns the workers whose notifiers should be reported:
-// all of them normally, only the first in steal mode — the pool shares
-// one notifier there, and repeating it per worker would multiply-count
-// every series.
+// notifierWorkers returns the workers whose notifiers should be reported
+// (or reconfigured): all of them normally, only the first in the
+// shared-pool organization — the pool shares one notifier there, and
+// repeating it per worker would multiply-count every series (or
+// redundantly re-apply every SetWaitConfig).
 func (p *Plane) notifierWorkers() []*worker {
-	if p.steal && len(p.workers) > 1 {
+	if p.shared && len(p.workers) > 1 {
 		return p.workers[:1]
 	}
 	return p.workers
@@ -1505,8 +1616,27 @@ func (p *Plane) writeRuntimeMetrics(w io.Writer) {
 			fmt.Fprintf(w, "hyperplane_dlq_depth{tenant=\"%d\"} %d\n", t, p.DLQDepth(t))
 		}
 	}
-	if p.cfg.Mode != Notify {
+	if p.cfg.Mode == Spin {
 		return
+	}
+	fmt.Fprintf(w, "# HELP hyperplane_worker_active Workers currently admitted to run by the governor (all of them without one).\n")
+	fmt.Fprintf(w, "# TYPE hyperplane_worker_active gauge\n")
+	fmt.Fprintf(w, "hyperplane_worker_active %d\n", p.ActiveWorkers())
+	fmt.Fprintf(w, "# HELP hyperplane_worker_park_seconds Cumulative C1-analog residency per worker: time parked on its notifier stripe plus time halted by the governor.\n")
+	fmt.Fprintf(w, "# TYPE hyperplane_worker_park_seconds counter\n")
+	for i, s := range p.workerParkSeconds() {
+		fmt.Fprintf(w, "hyperplane_worker_park_seconds{worker=\"%d\"} %g\n", i, s)
+	}
+	if st, ok := p.GovernorStatus(); ok {
+		fmt.Fprintf(w, "# HELP hyperplane_governor_transitions_total Active-worker-set changes made by the governor.\n")
+		fmt.Fprintf(w, "# TYPE hyperplane_governor_transitions_total counter\n")
+		fmt.Fprintf(w, "hyperplane_governor_transitions_total %d\n", st.Transitions)
+		fmt.Fprintf(w, "# HELP hyperplane_governor_max_batch Live autotuned per-dispatch batch cap.\n")
+		fmt.Fprintf(w, "# TYPE hyperplane_governor_max_batch gauge\n")
+		fmt.Fprintf(w, "hyperplane_governor_max_batch %d\n", st.MaxBatch)
+		fmt.Fprintf(w, "# HELP hyperplane_governor_alpha Live autotuned EWMA smoothing factor.\n")
+		fmt.Fprintf(w, "# TYPE hyperplane_governor_alpha gauge\n")
+		fmt.Fprintf(w, "hyperplane_governor_alpha %g\n", st.Alpha)
 	}
 	fmt.Fprintf(w, "# HELP hyperplane_qwait_notifies_total Doorbell notifications per worker notifier.\n")
 	fmt.Fprintf(w, "# TYPE hyperplane_qwait_notifies_total counter\n")

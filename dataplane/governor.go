@@ -1,0 +1,409 @@
+// Elastic worker control plane: the dataplane half of the governor. The
+// pure control law lives in internal/governor; this file owns everything
+// that touches plane state — sampling the telemetry grids, halting and
+// resuming worker goroutines, and applying the batch/alpha autotunes to
+// the live notifiers.
+//
+// A "halted" worker is the runtime analog of a C1-parked core in the
+// paper's power model (Figs. 11–12): it blocks on its resume channel at
+// the top of its dispatch loop, consuming no CPU, while the pool's shared
+// banked notifier lets the remaining active workers drain its tenants
+// (WaitHomeBatch's full-sweep fallback, or stealing when enabled). Waking
+// it back up is one non-blocking channel send — the software version of
+// the paper's ~0.5 µs C1 exit.
+package dataplane
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperplane"
+	"hyperplane/internal/governor"
+)
+
+// GovernorConfig configures the elastic worker control plane
+// (Config.Governor). The zero value disables it.
+type GovernorConfig struct {
+	// Enable turns the governor on. Requires a notification mode (Notify
+	// or Hybrid): the governor halts workers, and only the shared banked
+	// notifier lets the rest of the pool drain a halted worker's tenants.
+	Enable bool
+	// Mode is the initial latency-vs-power operating point (see
+	// governor.Mode); switchable live via SetGovernorMode. It also picks
+	// the pool's wait strategy: LowLatency spins, Balanced spins then
+	// parks, Efficient parks eagerly.
+	Mode governor.Mode
+	// Interval is the control-loop sampling period (default 2ms).
+	Interval time.Duration
+	// MinWorkers is the floor of the active set (default 1). The ceiling
+	// is always Config.Workers.
+	MinWorkers int
+	// SpinBudget is the hybrid strategy's pre-park poll budget (default
+	// hyperplane.DefaultSpinBudget). Also honored by Mode Hybrid planes
+	// that do not enable the governor.
+	SpinBudget int
+	// BatchHorizon, GrowBacklog and ShrinkAfter tune the control law; zero
+	// picks the governor package defaults.
+	BatchHorizon time.Duration
+	GrowBacklog  int
+	ShrinkAfter  int
+	// DisableBatchTune pins the live batch cap at Config.MaxBatch instead
+	// of following the arrival rate.
+	DisableBatchTune bool
+	// DisableAlphaTune leaves the EWMA policy's alpha alone instead of
+	// stiffening it under bursty arrivals. Moot for non-EWMA policies.
+	DisableAlphaTune bool
+}
+
+// validate checks the governor block against the resolved plane config
+// (called from New after Workers/MaxBatch defaults are applied).
+func (g GovernorConfig) validate(cfg Config) error {
+	if g.SpinBudget < 0 {
+		return fmt.Errorf("dataplane: Governor.SpinBudget must be >= 0, got %d", g.SpinBudget)
+	}
+	if !g.Enable {
+		return nil
+	}
+	if cfg.Mode == Spin {
+		return errors.New("dataplane: Governor requires a notification mode (Notify or Hybrid): spin workers cannot be halted without stranding their partitions")
+	}
+	if g.Mode > governor.Efficient {
+		return fmt.Errorf("dataplane: unknown governor mode %d", g.Mode)
+	}
+	if g.Interval < 0 {
+		return fmt.Errorf("dataplane: Governor.Interval must be >= 0, got %v", g.Interval)
+	}
+	if g.MinWorkers < 0 || g.MinWorkers > cfg.Workers {
+		return fmt.Errorf("dataplane: Governor.MinWorkers must be in [0, Workers=%d], got %d", cfg.Workers, g.MinWorkers)
+	}
+	return nil
+}
+
+// govRuntime is the per-plane governor state. The controller is guarded
+// by mu (the govern loop ticks it, SetGovernorMode and GovernorStatus
+// poke it from outside); everything the worker hot path reads is an
+// atomic.
+type govRuntime struct {
+	cfg      GovernorConfig
+	interval time.Duration
+
+	mu  sync.Mutex
+	ctl *governor.Controller
+
+	// active is the live active-worker target: workers with id >= active
+	// halt at the gate. transitions counts every change of the target.
+	active      atomic.Int32
+	transitions atomic.Int64
+
+	// resume[i] wakes worker i out of its halt gate (cap 1: a send is a
+	// level, not an edge, so grow never blocks the govern loop).
+	resume []chan struct{}
+	// haltNs[i] accumulates worker i's completed halt residency;
+	// haltedAt[i] holds the UnixNano a live halt began (0 = not halted),
+	// so exports can include the in-progress halt.
+	haltNs   []atomic.Int64
+	haltedAt []atomic.Int64
+
+	// lastAlpha is the last alpha pushed to the notifiers; govern-loop
+	// private.
+	lastAlpha float64
+}
+
+// newGovRuntime builds the runtime and its controller; cfg has all plane
+// defaults resolved.
+func newGovRuntime(cfg Config) (*govRuntime, error) {
+	gc := cfg.Governor
+	interval := gc.Interval
+	if interval == 0 {
+		interval = 2 * time.Millisecond
+	}
+	ctl, err := governor.New(governor.Config{
+		Mode:         gc.Mode,
+		MinWorkers:   gc.MinWorkers,
+		MaxWorkers:   cfg.Workers,
+		MaxBatch:     cfg.MaxBatch,
+		BatchHorizon: gc.BatchHorizon,
+		GrowBacklog:  gc.GrowBacklog,
+		ShrinkAfter:  gc.ShrinkAfter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g := &govRuntime{
+		cfg:      gc,
+		interval: interval,
+		ctl:      ctl,
+		resume:   make([]chan struct{}, cfg.Workers),
+		haltNs:   make([]atomic.Int64, cfg.Workers),
+		haltedAt: make([]atomic.Int64, cfg.Workers),
+	}
+	for i := range g.resume {
+		g.resume[i] = make(chan struct{}, 1)
+	}
+	g.active.Store(int32(cfg.Workers))
+	return g, nil
+}
+
+// waitStrategyFor maps a governor mode to the pool's wait strategy: the
+// C0-dwell policy that matches the mode's latency-vs-power point.
+func waitStrategyFor(m governor.Mode) hyperplane.WaitStrategy {
+	switch m {
+	case governor.LowLatency:
+		return hyperplane.WaitSpin
+	case governor.Efficient:
+		return hyperplane.WaitPark
+	}
+	return hyperplane.WaitHybrid
+}
+
+// initialWaitConfig resolves the wait strategy the plane's notifiers
+// start with: the governor's mode when it runs, hybrid for Mode Hybrid,
+// park (the classic QWAIT discipline) otherwise.
+func (p *Plane) initialWaitConfig() hyperplane.WaitConfig {
+	wc := hyperplane.WaitConfig{Strategy: hyperplane.WaitPark, SpinBudget: p.cfg.Governor.SpinBudget}
+	switch {
+	case p.cfg.Governor.Enable:
+		wc.Strategy = waitStrategyFor(p.cfg.Governor.Mode)
+	case p.cfg.Mode == Hybrid:
+		wc.Strategy = hyperplane.WaitHybrid
+	}
+	return wc
+}
+
+// gate halts the worker while its id is outside the active set. Called at
+// the top of every dispatch-loop iteration, before the worker commits to
+// a wait — so a freshly-shrunk worker finishes its in-flight batch and
+// then drops out cleanly, with no pending QIDs to strand.
+func (g *govRuntime) gate(p *Plane, wk *worker) {
+	if int32(wk.id) < g.active.Load() || p.stopped.Load() {
+		return
+	}
+	t0 := time.Now()
+	g.haltedAt[wk.id].Store(t0.UnixNano())
+	for int32(wk.id) >= g.active.Load() && !p.stopped.Load() {
+		select {
+		case <-g.resume[wk.id]:
+		case <-p.stopCh:
+		}
+	}
+	g.haltedAt[wk.id].Store(0)
+	g.haltNs[wk.id].Add(time.Since(t0).Nanoseconds())
+}
+
+// setActive publishes a new active-worker target and wakes every worker
+// the change re-admits. Shrinks need no signal: surplus workers observe
+// the target at their next gate check (a worker blocked in QWAIT is
+// already parked, which is exactly where the shrink wants it).
+func (g *govRuntime) setActive(target int32) {
+	old := g.active.Swap(target)
+	if target == old {
+		return
+	}
+	g.transitions.Add(1)
+	for i := old; i < target; i++ {
+		select {
+		case g.resume[i] <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// governLoop is the plane's control loop: sample, tick the controller,
+// apply. One goroutine per plane, started by Start, stopped by Stop.
+func (p *Plane) governLoop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.gov.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		case now := <-t.C:
+			p.governTick(now)
+		}
+	}
+}
+
+// governTick folds one observation window into the controller and applies
+// its decision to the live plane.
+func (p *Plane) governTick(now time.Time) {
+	g := p.gov
+	backlog := 0
+	for _, r := range p.devRings {
+		backlog += r.Len()
+	}
+	s := governor.Sample{
+		Ingressed: p.m.Ingressed.Total(),
+		Processed: p.m.Processed.Total(),
+		Backlog:   backlog,
+		Active:    int(g.active.Load()),
+	}
+	g.mu.Lock()
+	d := g.ctl.Tick(now, s)
+	g.mu.Unlock()
+
+	g.setActive(int32(d.Active))
+	if !g.cfg.DisableBatchTune {
+		if nb := int32(d.MaxBatch); nb != p.maxBatch.Load() {
+			p.maxBatch.Store(nb)
+		}
+	}
+	if !g.cfg.DisableAlphaTune && p.cfg.Policy.Kind == hyperplane.EWMAAdaptive.Kind &&
+		math.Abs(d.Alpha-g.lastAlpha) > 1e-3 {
+		g.lastAlpha = d.Alpha
+		for _, wk := range p.notifierWorkers() {
+			wk.n.SetEWMAAlpha(d.Alpha)
+		}
+	}
+}
+
+// ActiveWorkers returns the number of workers currently admitted to run.
+// Without a governor every worker is always active.
+func (p *Plane) ActiveWorkers() int {
+	if p.gov == nil {
+		return len(p.workers)
+	}
+	return int(p.gov.active.Load())
+}
+
+// SetGovernorMode switches the governor's operating point live: the
+// control law changes immediately, the pool's wait strategy follows the
+// new mode, and the active set adjusts on the next control tick. Returns
+// an error when the plane runs without a governor.
+func (p *Plane) SetGovernorMode(m governor.Mode) error {
+	if p.gov == nil {
+		return errors.New("dataplane: governor not enabled")
+	}
+	if m > governor.Efficient {
+		return fmt.Errorf("dataplane: unknown governor mode %d", m)
+	}
+	p.gov.mu.Lock()
+	p.gov.ctl.SetMode(m)
+	p.gov.mu.Unlock()
+	return p.SetWaitConfig(hyperplane.WaitConfig{
+		Strategy:   waitStrategyFor(m),
+		SpinBudget: p.cfg.Governor.SpinBudget,
+	})
+}
+
+// SetWaitConfig switches the wait discipline of every worker notifier
+// live (no restart): parked waiters adopt it on their next wakeup,
+// spinning waiters within one recheck period. Spin-mode planes have no
+// notifiers to configure and reject the call.
+func (p *Plane) SetWaitConfig(wc hyperplane.WaitConfig) error {
+	if p.cfg.Mode == Spin {
+		return errors.New("dataplane: spin planes have no wait strategy")
+	}
+	for _, wk := range p.notifierWorkers() {
+		if err := wk.n.SetWaitConfig(wc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WaitConfig returns the live wait discipline (zero value on spin
+// planes).
+func (p *Plane) WaitConfig() hyperplane.WaitConfig {
+	if p.cfg.Mode == Spin {
+		return hyperplane.WaitConfig{}
+	}
+	return p.workers[0].n.WaitConfig()
+}
+
+// GovernorStatus is a snapshot of the governor's live state.
+type GovernorStatus struct {
+	Mode          governor.Mode         // current operating point
+	Wait          hyperplane.WaitConfig // live wait strategy
+	ActiveWorkers int                   // workers currently admitted
+	Workers       int                   // configured ceiling
+	MaxBatch      int                   // live tuned batch cap
+	Alpha         float64               // live tuned EWMA alpha
+	ArrivalRate   float64               // smoothed arrival estimate, items/s
+	Transitions   int64                 // active-set changes so far
+	Reason        string                // last transition's trigger
+}
+
+// GovernorStatus reports the governor's live state; ok is false when the
+// plane runs without one.
+func (p *Plane) GovernorStatus() (GovernorStatus, bool) {
+	g := p.gov
+	if g == nil {
+		return GovernorStatus{}, false
+	}
+	g.mu.Lock()
+	mode := g.ctl.Mode()
+	d := g.ctl.Decision()
+	rate := g.ctl.ArrivalRate()
+	g.mu.Unlock()
+	return GovernorStatus{
+		Mode:          mode,
+		Wait:          p.WaitConfig(),
+		ActiveWorkers: int(g.active.Load()),
+		Workers:       len(p.workers),
+		MaxBatch:      int(p.maxBatch.Load()),
+		Alpha:         d.Alpha,
+		ArrivalRate:   rate,
+		Transitions:   g.transitions.Load(),
+		Reason:        d.Reason,
+	}, true
+}
+
+// ModeString renders the plane's live operating point for humans and
+// labels: the notification mode alone ("notify", "spin", "hybrid"), or,
+// under a governor, mode/governor-mode/wait — e.g.
+// "notify/balanced/hybrid(4096)".
+func (p *Plane) ModeString() string {
+	s := p.cfg.Mode.String()
+	if st, ok := p.GovernorStatus(); ok {
+		s += "/" + st.Mode.String() + "/" + st.Wait.String()
+	}
+	return s
+}
+
+// workerParkSeconds returns each worker's cumulative C1-analog residency
+// in seconds: wall time blocked on its notifier stripe plus wall time
+// halted by the governor (including a live in-progress halt). In the
+// shared-pool organization stripe residency is attributed by home stripe,
+// so workers sharing a stripe (Workers > MaxShards) see the stripe's
+// aggregate.
+func (p *Plane) workerParkSeconds() []float64 {
+	out := make([]float64, len(p.workers))
+	if p.cfg.Mode == Spin {
+		return out
+	}
+	if p.shared {
+		banks := p.workers[0].n.BankStats()
+		for i, wk := range p.workers {
+			if wk.home < len(banks) {
+				out[i] = float64(banks[wk.home].BlockedNs)
+			}
+		}
+	} else {
+		for i, wk := range p.workers {
+			var ns int64
+			for _, b := range wk.n.BankStats() {
+				ns += b.BlockedNs
+			}
+			out[i] = float64(ns)
+		}
+	}
+	if p.gov != nil {
+		now := time.Now().UnixNano()
+		for i := range out {
+			ns := p.gov.haltNs[i].Load()
+			if at := p.gov.haltedAt[i].Load(); at != 0 && now > at {
+				ns += now - at
+			}
+			out[i] += float64(ns)
+		}
+	}
+	for i := range out {
+		out[i] /= 1e9
+	}
+	return out
+}

@@ -1,0 +1,344 @@
+package dataplane
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"hyperplane"
+	"hyperplane/internal/governor"
+)
+
+func TestGovernorConfigValidation(t *testing.T) {
+	base := Config{Tenants: 4, Workers: 2, Mode: Notify}
+	bad := []GovernorConfig{
+		{Enable: true, MinWorkers: 3}, // > Workers
+		{SpinBudget: -1},              // checked even when disabled (Hybrid uses it)
+		{Enable: true, Interval: -time.Second},
+		{Enable: true, Mode: governor.Mode(9)},
+	}
+	for _, gc := range bad {
+		cfg := base
+		cfg.Governor = gc
+		if _, err := New(cfg); err == nil {
+			t.Errorf("GovernorConfig %+v accepted", gc)
+		}
+	}
+	// A governed spin plane is a contradiction: halting a spin worker
+	// strands its partitions.
+	spin := base
+	spin.Mode = Spin
+	spin.Governor = GovernorConfig{Enable: true}
+	if _, err := New(spin); err == nil {
+		t.Error("governor accepted on a Spin plane")
+	}
+	cfg := base
+	cfg.Mode = Hybrid
+	cfg.Governor = GovernorConfig{Enable: true}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ActiveWorkers(); got != 2 {
+		t.Errorf("fresh plane ActiveWorkers = %d, want 2", got)
+	}
+}
+
+// governedPlane builds and starts a governed Notify plane with a fast
+// control loop, registering cleanup.
+func governedPlane(t *testing.T, cfg Config) *Plane {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	t.Cleanup(func() { _ = p.Stop() })
+	return p
+}
+
+// waitActive polls ActiveWorkers until pred holds or the deadline lapses.
+func waitActive(t *testing.T, p *Plane, d time.Duration, pred func(int) bool, what string) int {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for {
+		a := p.ActiveWorkers()
+		if pred(a) {
+			return a
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: ActiveWorkers stuck at %d", what, a)
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+// TestGovernorShrinksIdleAndGrowsOnBurst is the elastic round trip: an
+// idle plane releases workers down to the floor, a backlog burst grows
+// the set back, and every item still flows.
+func TestGovernorShrinksIdleAndGrowsOnBurst(t *testing.T) {
+	const tenants, workers = 8, 4
+	slow := func(_ int, payload []byte) ([]byte, error) {
+		time.Sleep(50 * time.Microsecond)
+		return payload, nil
+	}
+	p := governedPlane(t, Config{
+		Tenants:  tenants,
+		Workers:  workers,
+		Mode:     Notify,
+		Handler:  slow,
+		MaxBatch: 8,
+		Governor: GovernorConfig{
+			Enable:      true,
+			Interval:    200 * time.Microsecond,
+			ShrinkAfter: 2,
+		},
+	})
+
+	// Idle: the set must shrink to the floor.
+	low := waitActive(t, p, 5*time.Second, func(a int) bool { return a == 1 },
+		"idle shrink")
+
+	// Burst: flood enough backlog past GrowBacklog (4*8=32) per active
+	// worker to trigger the doubling response while the slow handler keeps
+	// the backlog visible.
+	for i := 0; i < 2000; i++ {
+		for !p.Ingress(i%tenants, []byte{byte(i)}) {
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+	grown := waitActive(t, p, 5*time.Second, func(a int) bool { return a > low },
+		"burst grow")
+	if grown <= low {
+		t.Fatalf("burst did not grow the set: %d -> %d", low, grown)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Drain(ctx); err != nil {
+		t.Fatalf("Drain after burst: %v", err)
+	}
+	if st := p.Stats(); st.Processed != 2000 {
+		t.Fatalf("Processed = %d, want 2000", st.Processed)
+	}
+	if st, ok := p.GovernorStatus(); !ok || st.Transitions == 0 {
+		t.Errorf("GovernorStatus = %+v, %v; want transitions > 0", st, ok)
+	}
+}
+
+// TestGovernorDoesNotStrandTenants is the liveness backstop: with the
+// active set shrunk to one worker (Efficient mode, no stealing), a
+// trickle to EVERY tenant — including those whose home worker is halted —
+// must drain completely.
+func TestGovernorDoesNotStrandTenants(t *testing.T) {
+	const tenants, workers = 12, 4
+	p := governedPlane(t, Config{
+		Tenants: tenants,
+		Workers: workers,
+		Mode:    Notify,
+		Governor: GovernorConfig{
+			Enable:      true,
+			Mode:        governor.Efficient,
+			Interval:    200 * time.Microsecond,
+			ShrinkAfter: 2,
+		},
+	})
+	waitActive(t, p, 5*time.Second, func(a int) bool { return a == 1 },
+		"efficient shrink")
+
+	const perTenant = 50
+	for k := 0; k < perTenant; k++ {
+		for tn := 0; tn < tenants; tn++ {
+			if !p.Ingress(tn, []byte{byte(k)}) {
+				t.Fatalf("ingress rejected tenant %d item %d", tn, k)
+			}
+		}
+		// Paced: stay under the grow threshold so the set stays shrunk and
+		// the surviving worker alone must reach every bank.
+		time.Sleep(100 * time.Microsecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.Drain(ctx); err != nil {
+		t.Fatalf("stranded tenants: %v (stats %+v, active %d)", err, p.Stats(), p.ActiveWorkers())
+	}
+	for tn := 0; tn < tenants; tn++ {
+		got := 0
+		dst := make([][]byte, perTenant)
+		for got < perTenant {
+			n := p.EgressBatch(tn, dst)
+			if n == 0 {
+				t.Fatalf("tenant %d delivered %d of %d", tn, got, perTenant)
+			}
+			got += n
+		}
+	}
+}
+
+// TestSetGovernorModeLive switches operating points on a running plane:
+// the wait strategy follows the mode and LowLatency re-pins the full set.
+func TestSetGovernorModeLive(t *testing.T) {
+	p := governedPlane(t, Config{
+		Tenants: 4,
+		Workers: 4,
+		Mode:    Notify,
+		Governor: GovernorConfig{
+			Enable:      true,
+			Interval:    200 * time.Microsecond,
+			ShrinkAfter: 2,
+		},
+	})
+	if wc := p.WaitConfig(); wc.Strategy != hyperplane.WaitHybrid {
+		t.Fatalf("Balanced governor wait = %v, want hybrid", wc)
+	}
+	waitActive(t, p, 5*time.Second, func(a int) bool { return a == 1 }, "idle shrink")
+
+	if err := p.SetGovernorMode(governor.LowLatency); err != nil {
+		t.Fatal(err)
+	}
+	if wc := p.WaitConfig(); wc.Strategy != hyperplane.WaitSpin {
+		t.Fatalf("LowLatency wait = %v, want spin", wc)
+	}
+	waitActive(t, p, 5*time.Second, func(a int) bool { return a == 4 }, "low-latency re-pin")
+
+	if err := p.SetGovernorMode(governor.Efficient); err != nil {
+		t.Fatal(err)
+	}
+	if wc := p.WaitConfig(); wc.Strategy != hyperplane.WaitPark {
+		t.Fatalf("Efficient wait = %v, want park", wc)
+	}
+	waitActive(t, p, 5*time.Second, func(a int) bool { return a == 1 }, "efficient shrink")
+
+	if err := p.SetGovernorMode(governor.Mode(9)); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if got := p.ModeString(); got != "notify/efficient/park" {
+		t.Errorf("ModeString = %q", got)
+	}
+
+	// Work must still flow in the shrunk Efficient state.
+	for i := 0; i < 100; i++ {
+		if !p.Ingress(i%4, []byte{1}) {
+			t.Fatalf("ingress rejected at %d", i)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := p.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGovernorAPIDisabled: the governor surface degrades cleanly on an
+// ungoverned plane.
+func TestGovernorAPIDisabled(t *testing.T) {
+	p, err := New(Config{Tenants: 2, Workers: 2, Mode: Notify})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Stop()
+	if got := p.ActiveWorkers(); got != 2 {
+		t.Errorf("ActiveWorkers = %d, want 2", got)
+	}
+	if _, ok := p.GovernorStatus(); ok {
+		t.Error("GovernorStatus ok on ungoverned plane")
+	}
+	if err := p.SetGovernorMode(governor.Balanced); err == nil {
+		t.Error("SetGovernorMode should fail without a governor")
+	}
+	if got := p.ModeString(); got != "notify" {
+		t.Errorf("ModeString = %q, want notify", got)
+	}
+	// Wait strategy is still switchable without a governor.
+	if err := p.SetWaitConfig(hyperplane.WaitConfig{Strategy: hyperplane.WaitHybrid, SpinBudget: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if wc := p.WaitConfig(); wc.Strategy != hyperplane.WaitHybrid || wc.SpinBudget != 64 {
+		t.Errorf("live WaitConfig = %+v", wc)
+	}
+}
+
+// TestHybridModeEndToEnd: Mode Hybrid is Notify organization plus the
+// spin-then-park strategy; items round-trip and the mode renders
+// correctly everywhere.
+func TestHybridModeEndToEnd(t *testing.T) {
+	p, err := New(Config{Tenants: 4, Workers: 2, Mode: Hybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Stop()
+	if wc := p.WaitConfig(); wc.Strategy != hyperplane.WaitHybrid {
+		t.Fatalf("Hybrid plane wait = %v", wc)
+	}
+	if got := p.Mode().String(); got != "hybrid" {
+		t.Errorf("Mode.String() = %q", got)
+	}
+	for i := 0; i < 200; i++ {
+		tn := i % 4
+		if !p.Ingress(tn, []byte(fmt.Sprintf("m%d", i))) {
+			t.Fatalf("ingress rejected at %d", i)
+		}
+	}
+	got := 0
+	for tn := 0; tn < 4; tn++ {
+		for k := 0; k < 50; k++ {
+			if _, ok := p.EgressWait(tn); !ok {
+				t.Fatalf("EgressWait closed early (tenant %d)", tn)
+			}
+			got++
+		}
+	}
+	if got != 200 {
+		t.Fatalf("delivered %d of 200", got)
+	}
+	if m, err := ParseMode("hybrid"); err != nil || m != Hybrid {
+		t.Errorf("ParseMode(hybrid) = %v, %v", m, err)
+	}
+}
+
+// TestGovernorDebugSnapshot: the export surfaces carry the governor
+// state — mode string, governor section, per-worker active flags.
+func TestGovernorDebugSnapshot(t *testing.T) {
+	p := governedPlane(t, Config{
+		Tenants: 4,
+		Workers: 2,
+		Mode:    Notify,
+		Governor: GovernorConfig{
+			Enable:      true,
+			Interval:    200 * time.Microsecond,
+			ShrinkAfter: 2,
+		},
+	})
+	waitActive(t, p, 5*time.Second, func(a int) bool { return a == 1 }, "idle shrink")
+	snap := p.DebugSnapshot()
+	if snap.Mode != "notify/balanced/hybrid(4096)" {
+		t.Errorf("snapshot mode = %q", snap.Mode)
+	}
+	if snap.Governor == nil {
+		t.Fatal("snapshot missing governor section")
+	}
+	if snap.Governor.ActiveWorkers != 1 || snap.Governor.Workers != 2 {
+		t.Errorf("governor section = %+v", snap.Governor)
+	}
+	if len(snap.Workers) != 2 {
+		t.Fatalf("want 2 worker rows, got %d", len(snap.Workers))
+	}
+	if !snap.Workers[0].Active || snap.Workers[1].Active {
+		t.Errorf("active flags = %v/%v, want true/false",
+			snap.Workers[0].Active, snap.Workers[1].Active)
+	}
+	// The halted worker accrues park residency.
+	time.Sleep(5 * time.Millisecond)
+	snap = p.DebugSnapshot()
+	if snap.Workers[1].ParkSeconds <= 0 {
+		t.Errorf("halted worker ParkSeconds = %g, want > 0", snap.Workers[1].ParkSeconds)
+	}
+	// Shared pool: bank sections live on worker 0 only.
+	if len(snap.Workers[0].Banks) == 0 || len(snap.Workers[1].Banks) != 0 {
+		t.Errorf("bank placement: worker0=%d worker1=%d banks",
+			len(snap.Workers[0].Banks), len(snap.Workers[1].Banks))
+	}
+}

@@ -1,0 +1,371 @@
+// Package governor is the elastic control loop that closes the path from
+// the telemetry plane back into the dataplane — the runtime analog of the
+// paper's work-proportionality result (Figs. 11–12), where IPC and core
+// power track offered load because idle cores drop from C0 to C1.
+//
+// The Controller is pure decision logic: the dataplane feeds it periodic
+// Samples (cumulative ingress/processed counters, instantaneous backlog,
+// the live active-worker count) and applies the returned Decision (active
+// worker target, MaxBatch, EWMA alpha). Keeping it free of goroutines,
+// clocks it owns, and dataplane types makes every control response unit
+// testable with synthetic load traces.
+//
+// Control law:
+//
+//   - Grow fast. A backlog spike beyond GrowBacklog items per active
+//     worker doubles the active set immediately (latency is on the line;
+//     the paper's wake cost is half a microsecond, so over-waking is
+//     cheap).
+//   - Shrink slow. Only after ShrinkAfter consecutive drained ticks, and
+//     only one worker at a time (Efficient mode releases down to the
+//     estimated need in one step), does the controller halt a worker —
+//     hysteresis so a breathing workload does not flap the worker set.
+//   - Batch follows arrival mass: MaxBatch is the items one worker is
+//     expected to accumulate per BatchHorizon, clamped to [1, MaxBatch
+//     ceiling] — per-item dispatch at trickle load, full batches at
+//     saturation.
+//   - Alpha follows burstiness: the EWMA-adaptive policy's smoothing
+//     factor stiffens (toward AlphaMax) when the arrival rate is
+//     volatile and relaxes (toward AlphaMin) when it is steady.
+package governor
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Mode is the latency-vs-power operating point. The zero value is
+// Balanced.
+type Mode uint8
+
+const (
+	// Balanced pairs the hybrid spin-then-park wait strategy with
+	// moderate shrink hysteresis: near-spin latency while traffic flows,
+	// parked workers when it does not.
+	Balanced Mode = iota
+	// LowLatency pins the full worker set active (spin wait strategy at
+	// the dataplane level): the C0-always extreme, minimum latency,
+	// maximum CPU.
+	LowLatency
+	// Efficient parks eagerly: pure park waits and an aggressive shrink
+	// that releases straight down to the estimated need.
+	Efficient
+)
+
+// String names the mode; unknown values render as "governor(N)".
+func (m Mode) String() string {
+	switch m {
+	case Balanced:
+		return "balanced"
+	case LowLatency:
+		return "low-latency"
+	case Efficient:
+		return "efficient"
+	}
+	return fmt.Sprintf("governor(%d)", uint8(m))
+}
+
+// ParseMode maps a CLI-friendly name to its Mode.
+func ParseMode(name string) (Mode, error) {
+	switch name {
+	case "balanced":
+		return Balanced, nil
+	case "low-latency", "lowlatency":
+		return LowLatency, nil
+	case "efficient":
+		return Efficient, nil
+	}
+	return 0, fmt.Errorf("governor: unknown mode %q (want balanced, low-latency or efficient)", name)
+}
+
+// Config parameterizes a Controller. The zero value of every tuning
+// field picks the documented default.
+type Config struct {
+	// Mode is the initial operating point (switchable via SetMode).
+	Mode Mode
+	// MinWorkers/MaxWorkers bound the active set. MaxWorkers is
+	// required (>= 1); MinWorkers defaults to 1.
+	MinWorkers int
+	MaxWorkers int
+	// MaxBatch is the autotune ceiling for the batch-size decision
+	// (>= 1; defaults to 1, which disables batch growth).
+	MaxBatch int
+	// BatchHorizon is the arrival mass one batch should cover: the
+	// tuned batch is arrivalRate-per-worker x BatchHorizon. Defaults to
+	// 100 µs.
+	BatchHorizon time.Duration
+	// GrowBacklog is the backlog per active worker that triggers the
+	// doubling response. Defaults to 4 x MaxBatch.
+	GrowBacklog int
+	// ShrinkAfter is how many consecutive drained ticks precede a
+	// one-worker release. Defaults to 4.
+	ShrinkAfter int
+	// AlphaMin/AlphaMax bound the EWMA-alpha autotune. Defaults 0.05
+	// and 0.5; both must stay in (0, 1].
+	AlphaMin float64
+	AlphaMax float64
+}
+
+func (c *Config) defaults() error {
+	if c.MaxWorkers < 1 {
+		return fmt.Errorf("governor: MaxWorkers must be >= 1, got %d", c.MaxWorkers)
+	}
+	if c.MinWorkers == 0 {
+		c.MinWorkers = 1
+	}
+	if c.MinWorkers < 1 || c.MinWorkers > c.MaxWorkers {
+		return fmt.Errorf("governor: MinWorkers must be in [1, MaxWorkers=%d], got %d", c.MaxWorkers, c.MinWorkers)
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 1
+	}
+	if c.MaxBatch < 1 {
+		return fmt.Errorf("governor: MaxBatch must be >= 1, got %d", c.MaxBatch)
+	}
+	if c.BatchHorizon == 0 {
+		c.BatchHorizon = 100 * time.Microsecond
+	}
+	if c.BatchHorizon < 0 {
+		return fmt.Errorf("governor: BatchHorizon must be > 0, got %v", c.BatchHorizon)
+	}
+	if c.GrowBacklog == 0 {
+		c.GrowBacklog = 4 * c.MaxBatch
+	}
+	if c.GrowBacklog < 1 {
+		return fmt.Errorf("governor: GrowBacklog must be >= 1, got %d", c.GrowBacklog)
+	}
+	if c.ShrinkAfter == 0 {
+		c.ShrinkAfter = 4
+	}
+	if c.ShrinkAfter < 1 {
+		return fmt.Errorf("governor: ShrinkAfter must be >= 1, got %d", c.ShrinkAfter)
+	}
+	if c.AlphaMin == 0 {
+		c.AlphaMin = 0.05
+	}
+	if c.AlphaMax == 0 {
+		c.AlphaMax = 0.5
+	}
+	if c.AlphaMin <= 0 || c.AlphaMin > 1 || c.AlphaMax <= 0 || c.AlphaMax > 1 || c.AlphaMin > c.AlphaMax {
+		return fmt.Errorf("governor: alpha bounds must satisfy 0 < AlphaMin <= AlphaMax <= 1, got [%v, %v]", c.AlphaMin, c.AlphaMax)
+	}
+	return nil
+}
+
+// Sample is one observation window handed to Tick. Counter fields are
+// cumulative (the controller differences consecutive samples itself).
+type Sample struct {
+	// Ingressed is the cumulative count of items admitted to the plane.
+	Ingressed int64
+	// Processed is the cumulative count of items handled.
+	Processed int64
+	// Backlog is the instantaneous queued-item count across all device
+	// rings.
+	Backlog int
+	// Active is the live active-worker count the dataplane is running
+	// with (feedback; normally the previous Decision's Active).
+	Active int
+}
+
+// Decision is the control output of one Tick.
+type Decision struct {
+	// Active is the target active-worker count, in [MinWorkers,
+	// MaxWorkers]. Workers at index >= Active halt.
+	Active int
+	// MaxBatch is the tuned per-dispatch batch cap, in [1, cfg.MaxBatch].
+	MaxBatch int
+	// Alpha is the tuned EWMA smoothing factor, in [AlphaMin, AlphaMax].
+	Alpha float64
+	// Reason describes the most recent active-set transition (for
+	// DebugSnapshot; unchanged while the set holds steady).
+	Reason string
+}
+
+// smoothing gain for the controller's internal rate estimates.
+const gain = 0.3
+
+// utilization headroom targeted when estimating how many workers the
+// observed arrival rate needs.
+func headroom(m Mode) float64 {
+	if m == Efficient {
+		return 0.9
+	}
+	return 0.7
+}
+
+// Controller is the pure elastic-control state machine. Not safe for
+// concurrent use: one goroutine (the dataplane's governor loop) owns it.
+type Controller struct {
+	cfg  Config
+	mode Mode
+
+	init     bool
+	lastTime time.Time
+	lastIng  int64
+	lastProc int64
+
+	arrRate float64 // EWMA arrival rate, items/s
+	burst   float64 // EWMA relative arrival-rate change, [0, 1]
+	svcRate float64 // EWMA per-worker service rate learned while backlogged
+	quiet   int     // consecutive drained ticks
+
+	active int
+	batch  int
+	alpha  float64
+	reason string
+}
+
+// New builds a Controller starting with the full worker set active.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:    cfg,
+		mode:   cfg.Mode,
+		active: cfg.MaxWorkers,
+		batch:  cfg.MaxBatch,
+		alpha:  cfg.AlphaMin,
+		reason: "start: full worker set",
+	}
+	return c, nil
+}
+
+// Mode returns the current operating mode.
+func (c *Controller) Mode() Mode { return c.mode }
+
+// SetMode switches the operating point live. Shrink hysteresis resets so
+// the new mode's law starts from a clean window; the active set adjusts
+// on the next Tick.
+func (c *Controller) SetMode(m Mode) {
+	c.mode = m
+	c.quiet = 0
+}
+
+// ArrivalRate returns the smoothed arrival-rate estimate (items/s).
+func (c *Controller) ArrivalRate() float64 { return c.arrRate }
+
+// Decision returns the current control output without advancing the
+// controller.
+func (c *Controller) Decision() Decision {
+	return Decision{Active: c.active, MaxBatch: c.batch, Alpha: c.alpha, Reason: c.reason}
+}
+
+// Tick folds one observation window into the rate estimates and returns
+// the (possibly unchanged) control decision.
+func (c *Controller) Tick(now time.Time, s Sample) Decision {
+	if !c.init {
+		c.init = true
+		c.lastTime, c.lastIng, c.lastProc = now, s.Ingressed, s.Processed
+		return c.Decision()
+	}
+	dt := now.Sub(c.lastTime).Seconds()
+	if dt <= 0 {
+		return c.Decision()
+	}
+	arr := float64(s.Ingressed-c.lastIng) / dt
+	proc := float64(s.Processed-c.lastProc) / dt
+	c.lastTime, c.lastIng, c.lastProc = now, s.Ingressed, s.Processed
+
+	prev := c.arrRate
+	c.arrRate += gain * (arr - c.arrRate)
+	rel := math.Abs(arr-prev) / math.Max(c.arrRate, 1)
+	if rel > 1 {
+		rel = 1
+	}
+	c.burst += gain * (rel - c.burst)
+
+	active := s.Active
+	if active < 1 {
+		active = 1
+	}
+	// Per-worker capacity is only observable while workers are saturated
+	// (backlog present); an idle plane reveals arrival, not capacity.
+	if s.Backlog > 0 {
+		if pw := proc / float64(active); pw > 0 {
+			if c.svcRate == 0 {
+				c.svcRate = pw
+			} else {
+				c.svcRate += gain * (pw - c.svcRate)
+			}
+		}
+	}
+
+	c.retarget(s, active)
+
+	// Batch covers the arrival mass one worker sees per horizon.
+	b := int(math.Ceil(c.arrRate / float64(c.active) * c.cfg.BatchHorizon.Seconds()))
+	c.batch = clamp(b, 1, c.cfg.MaxBatch)
+
+	// Alpha stiffens with arrival volatility.
+	c.alpha = c.cfg.AlphaMin + (c.cfg.AlphaMax-c.cfg.AlphaMin)*c.burst
+
+	return c.Decision()
+}
+
+// retarget applies the grow/shrink law to the active-worker target.
+func (c *Controller) retarget(s Sample, active int) {
+	if c.mode == LowLatency {
+		if c.active != c.cfg.MaxWorkers {
+			c.reason = fmt.Sprintf("low-latency: pin %d workers active", c.cfg.MaxWorkers)
+		}
+		c.active = c.cfg.MaxWorkers
+		c.quiet = 0
+		return
+	}
+	// Grow fast: a backlog spike beyond the per-worker threshold doubles
+	// the active set.
+	if s.Backlog > c.cfg.GrowBacklog*active {
+		c.quiet = 0
+		target := clamp(active*2, c.cfg.MinWorkers, c.cfg.MaxWorkers)
+		if target > c.active {
+			c.reason = fmt.Sprintf("backlog %d > %d/worker: grow %d -> %d",
+				s.Backlog, c.cfg.GrowBacklog, c.active, target)
+			c.active = target
+		}
+		return
+	}
+	// Shrink slow: require ShrinkAfter consecutive drained ticks, then
+	// release one worker (Balanced) or drop to the estimated need
+	// (Efficient).
+	if s.Backlog > active {
+		c.quiet = 0
+		c.active = clamp(c.active, c.cfg.MinWorkers, c.cfg.MaxWorkers)
+		return
+	}
+	need := c.cfg.MinWorkers
+	if c.svcRate > 0 {
+		need = clamp(int(math.Ceil(c.arrRate/(c.svcRate*headroom(c.mode)))),
+			c.cfg.MinWorkers, c.cfg.MaxWorkers)
+	}
+	if need >= c.active {
+		c.quiet = 0
+		return
+	}
+	c.quiet++
+	if c.quiet < c.cfg.ShrinkAfter {
+		return
+	}
+	c.quiet = 0
+	target := c.active - 1
+	if c.mode == Efficient {
+		target = need
+	}
+	target = clamp(target, c.cfg.MinWorkers, c.cfg.MaxWorkers)
+	if target < c.active {
+		c.reason = fmt.Sprintf("drained x%d (arrival ~%.0f/s): shrink %d -> %d",
+			c.cfg.ShrinkAfter, c.arrRate, c.active, target)
+		c.active = target
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

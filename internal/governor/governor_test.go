@@ -1,0 +1,233 @@
+package governor
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tick advances a synthetic clock by step and feeds the controller a
+// window with the given arrival/service totals.
+type trace struct {
+	t    *testing.T
+	c    *Controller
+	now  time.Time
+	ing  int64
+	proc int64
+}
+
+func newTrace(t *testing.T, cfg Config) *trace {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return &trace{t: t, c: c, now: time.Unix(0, 0)}
+}
+
+func (tr *trace) tick(arrived, processed int64, backlog int) Decision {
+	tr.now = tr.now.Add(time.Millisecond)
+	tr.ing += arrived
+	tr.proc += processed
+	return tr.c.Tick(tr.now, Sample{
+		Ingressed: tr.ing,
+		Processed: tr.proc,
+		Backlog:   backlog,
+		Active:    tr.c.Decision().Active,
+	})
+}
+
+func TestModeStrings(t *testing.T) {
+	cases := map[Mode]string{Balanced: "balanced", LowLatency: "low-latency", Efficient: "efficient", Mode(9): "governor(9)"}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", m, got, want)
+		}
+	}
+	for _, name := range []string{"balanced", "low-latency", "efficient"} {
+		m, err := ParseMode(name)
+		if err != nil {
+			t.Fatalf("ParseMode(%q): %v", name, err)
+		}
+		if m.String() != name {
+			t.Errorf("round trip %q -> %v", name, m)
+		}
+	}
+	if _, err := ParseMode("turbo"); err == nil {
+		t.Error("ParseMode(turbo) should fail")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("MaxWorkers=0 should be rejected")
+	}
+	if _, err := New(Config{MaxWorkers: 2, MinWorkers: 3}); err == nil {
+		t.Error("MinWorkers > MaxWorkers should be rejected")
+	}
+	if _, err := New(Config{MaxWorkers: 2, AlphaMin: 0.9, AlphaMax: 0.1}); err == nil {
+		t.Error("AlphaMin > AlphaMax should be rejected")
+	}
+	c, err := New(Config{MaxWorkers: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if d := c.Decision(); d.Active != 4 || d.MaxBatch != 1 || d.Alpha != 0.05 {
+		t.Errorf("defaults: got %+v", d)
+	}
+}
+
+func TestShrinkOnDrainedLoad(t *testing.T) {
+	tr := newTrace(t, Config{MaxWorkers: 4, MaxBatch: 16, ShrinkAfter: 3})
+	// Trickle load, always drained: the controller should step down one
+	// worker per ShrinkAfter window until the floor.
+	var d Decision
+	for i := 0; i < 40; i++ {
+		d = tr.tick(2, 2, 0)
+	}
+	if d.Active != 1 {
+		t.Fatalf("drained trickle should shrink to MinWorkers=1, got %d (reason %q)", d.Active, d.Reason)
+	}
+	if !strings.Contains(d.Reason, "shrink") {
+		t.Errorf("reason should describe the shrink, got %q", d.Reason)
+	}
+}
+
+func TestGrowOnBacklogSpike(t *testing.T) {
+	tr := newTrace(t, Config{MaxWorkers: 8, MaxBatch: 4, GrowBacklog: 8})
+	var d Decision
+	for i := 0; i < 40; i++ {
+		d = tr.tick(2, 2, 0)
+	}
+	if d.Active != 1 {
+		t.Fatalf("setup: want 1 active, got %d", d.Active)
+	}
+	// Burst: backlog way past GrowBacklog*active doubles per tick back
+	// to the ceiling.
+	d = tr.tick(5000, 100, 1000)
+	if d.Active != 2 {
+		t.Fatalf("first spike tick should double 1 -> 2, got %d", d.Active)
+	}
+	for i := 0; i < 3; i++ {
+		d = tr.tick(5000, 100, 1000)
+	}
+	if d.Active != 8 {
+		t.Fatalf("sustained spike should reach MaxWorkers=8, got %d", d.Active)
+	}
+	if !strings.Contains(d.Reason, "grow") {
+		t.Errorf("reason should describe the growth, got %q", d.Reason)
+	}
+}
+
+func TestShrinkHoldsAtEstimatedNeed(t *testing.T) {
+	tr := newTrace(t, Config{MaxWorkers: 8, MaxBatch: 16, ShrinkAfter: 2})
+	// Teach it per-worker capacity: 8 workers, backlogged, processing
+	// 8000/s total => ~1000/s per worker.
+	var d Decision
+	for i := 0; i < 20; i++ {
+		d = tr.tick(9, 8, 200)
+	}
+	if d.Active != 8 {
+		t.Fatalf("backlogged plane must keep all workers, got %d", d.Active)
+	}
+	// Arrival settles at ~2000/s with no backlog: need ~= 2000/(1000*0.7)
+	// = 3 workers; shrink should stop there, not at the floor.
+	for i := 0; i < 60; i++ {
+		d = tr.tick(2, 2, 0)
+	}
+	if d.Active < 2 || d.Active > 4 {
+		t.Fatalf("shrink should hold near the estimated need (~3), got %d", d.Active)
+	}
+}
+
+func TestEfficientShrinksInOneStep(t *testing.T) {
+	cfg := Config{MaxWorkers: 8, MaxBatch: 16, ShrinkAfter: 2, Mode: Efficient}
+	tr := newTrace(t, cfg)
+	var d Decision
+	// No capacity estimate (never backlogged): Efficient drops straight
+	// to the floor after one quiet window.
+	d = tr.tick(1, 1, 0)
+	d = tr.tick(1, 1, 0)
+	d = tr.tick(1, 1, 0)
+	if d.Active != 1 {
+		t.Fatalf("Efficient should release to MinWorkers in one step, got %d", d.Active)
+	}
+}
+
+func TestLowLatencyPinsFullSet(t *testing.T) {
+	tr := newTrace(t, Config{MaxWorkers: 4, Mode: LowLatency})
+	var d Decision
+	for i := 0; i < 30; i++ {
+		d = tr.tick(0, 0, 0)
+	}
+	if d.Active != 4 {
+		t.Fatalf("LowLatency must pin MaxWorkers active, got %d", d.Active)
+	}
+	// Live switch to Efficient: the set may now shrink.
+	tr.c.SetMode(Efficient)
+	for i := 0; i < 10; i++ {
+		d = tr.tick(0, 0, 0)
+	}
+	if d.Active != 1 {
+		t.Fatalf("after SetMode(Efficient) idle plane should shrink to 1, got %d", d.Active)
+	}
+	if tr.c.Mode() != Efficient {
+		t.Errorf("Mode() = %v, want Efficient", tr.c.Mode())
+	}
+}
+
+func TestBatchTracksArrivalRate(t *testing.T) {
+	tr := newTrace(t, Config{MaxWorkers: 1, MaxBatch: 64, BatchHorizon: time.Millisecond})
+	var d Decision
+	for i := 0; i < 30; i++ {
+		d = tr.tick(1, 1, 0) // 1000/s => ~1 item per 1ms horizon
+	}
+	if d.MaxBatch > 2 {
+		t.Errorf("trickle load should tune batch near 1, got %d", d.MaxBatch)
+	}
+	for i := 0; i < 30; i++ {
+		d = tr.tick(1000, 1000, 10) // 1M/s => horizon mass >> ceiling
+	}
+	if d.MaxBatch != 64 {
+		t.Errorf("flood should tune batch to the ceiling, got %d", d.MaxBatch)
+	}
+}
+
+func TestAlphaTracksBurstiness(t *testing.T) {
+	tr := newTrace(t, Config{MaxWorkers: 2, AlphaMin: 0.1, AlphaMax: 0.9})
+	var steady Decision
+	for i := 0; i < 50; i++ {
+		steady = tr.tick(100, 100, 0)
+	}
+	var bursty Decision
+	for i := 0; i < 50; i++ {
+		arr := int64(0)
+		if i%2 == 0 {
+			arr = 1000
+		}
+		bursty = tr.tick(arr, arr, 0)
+	}
+	if !(bursty.Alpha > steady.Alpha) {
+		t.Errorf("alpha should stiffen under bursty arrivals: steady %.3f, bursty %.3f",
+			steady.Alpha, bursty.Alpha)
+	}
+	for _, d := range []Decision{steady, bursty} {
+		if d.Alpha < 0.1 || d.Alpha > 0.9 {
+			t.Errorf("alpha %.3f outside configured bounds", d.Alpha)
+		}
+	}
+}
+
+func TestTickIgnoresClockGoingBackwards(t *testing.T) {
+	c, err := New(Config{MaxWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(10, 0)
+	c.Tick(now, Sample{Active: 2})
+	before := c.Decision()
+	got := c.Tick(now.Add(-time.Second), Sample{Ingressed: 1 << 40, Active: 2})
+	if got != before {
+		t.Errorf("non-advancing clock must not change the decision: %+v vs %+v", got, before)
+	}
+}

@@ -78,6 +78,15 @@ func (b *Bank) Inspect() policy.Inspection {
 // Inspect's local indices back to global QIDs).
 func (b *Bank) Geometry() (stride, offset int) { return b.stride, b.offset }
 
+// SetAlpha retunes the bank policy's EWMA smoothing factor live under
+// the bank lock, reporting whether the discipline accepted it.
+func (b *Bank) SetAlpha(alpha float64) bool {
+	b.mu.Lock()
+	ok := b.rs.SetAlpha(alpha)
+	b.mu.Unlock()
+	return ok
+}
+
 // NewBank builds the bank owning QIDs {offset, offset+stride, ...} below
 // total, arbitrated by spec (whose Weights, if any, are the full global
 // slice; the bank extracts its own entries via Spec.Sub).

@@ -3,6 +3,7 @@ package nshard
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Waiter states.
@@ -18,6 +19,11 @@ const (
 type Waiter struct {
 	state atomic.Uint32
 	ch    chan struct{}
+
+	// Residency bookkeeping, written by Enqueue and read by whichever
+	// side settles the waiter (the state CAS winner).
+	stripe int32
+	t0     int64 // park timestamp, ns since parkEpoch
 }
 
 // NewWaiter allocates a parking token. Allocation happens only on the
@@ -40,6 +46,12 @@ func (w *Waiter) trySignal() bool {
 	return false
 }
 
+// parkEpoch anchors residency timestamps to the monotonic clock so
+// wall-clock jumps cannot corrupt the blocked-time series.
+var parkEpoch = time.Now()
+
+func sinceEpoch() int64 { return int64(time.Since(parkEpoch)) }
+
 // Parker is the shard-striped wakeup list: parked waiters are spread over
 // stripes (one per bank) so producers in different banks do not contend
 // on a single wait-queue lock, the way a global sync.Cond would make
@@ -59,22 +71,39 @@ type stripe struct {
 	// wakeups. Read lock-free by the export plane.
 	parks atomic.Int64
 	wakes atomic.Int64
+
+	// Blocked-residency accounting (the C1 analog of Fig. 11/12). Settled
+	// intervals accumulate in blockedNs; liveCount/liveStart carry the
+	// in-progress parks so StripeCounts can report residency that is still
+	// accruing — a worker parked for minutes at low load must not read as
+	// zero until its next wake. All three are guarded by mu; each waiter is
+	// settled exactly once, by whichever side wins its state CAS.
+	blockedNs int64
+	liveCount int64
+	liveStart int64 // sum of live waiters' t0 stamps
 }
 
 // StripeCounts is a point-in-time copy of one stripe's park/wake
 // counters, the per-bank wake/park series the telemetry plane exports.
 type StripeCounts struct {
-	Parks int64 // waiters enqueued on the stripe
-	Wakes int64 // wakeups delivered from the stripe
+	Parks     int64 // waiters enqueued on the stripe
+	Wakes     int64 // wakeups delivered from the stripe
+	BlockedNs int64 // cumulative ns waiters spent blocked (C1 residency), including in-progress parks
 }
 
 // Stripes returns the stripe count.
 func (p *Parker) Stripes() int { return len(p.stripes) }
 
-// StripeCounts snapshots stripe s's counters.
+// StripeCounts snapshots stripe s's counters. BlockedNs includes the
+// still-open intervals of currently-parked waiters.
 func (p *Parker) StripeCounts(s int) StripeCounts {
 	st := &p.stripes[s%len(p.stripes)]
-	return StripeCounts{Parks: st.parks.Load(), Wakes: st.wakes.Load()}
+	st.mu.Lock()
+	// The stamp is taken under mu: every t0 in liveStart was recorded
+	// before its Enqueue critical section, so it cannot exceed now.
+	blocked := st.blockedNs + st.liveCount*sinceEpoch() - st.liveStart
+	st.mu.Unlock()
+	return StripeCounts{Parks: st.parks.Load(), Wakes: st.wakes.Load(), BlockedNs: blocked}
 }
 
 // NewParker builds a parker with n stripes.
@@ -88,11 +117,24 @@ func NewParker(n int) *Parker {
 // makes lost wakeups impossible.
 func (p *Parker) Enqueue(s int, w *Waiter) {
 	p.parked.Add(1)
-	st := &p.stripes[s%len(p.stripes)]
+	i := s % len(p.stripes)
+	st := &p.stripes[i]
 	st.parks.Add(1)
+	w.stripe = int32(i)
+	w.t0 = sinceEpoch()
 	st.mu.Lock()
 	st.ws = append(st.ws, w)
+	st.liveCount++
+	st.liveStart += w.t0
 	st.mu.Unlock()
+}
+
+// settleLocked closes w's residency interval. Caller holds st.mu, where
+// st is w's enqueue stripe.
+func (st *stripe) settleLocked(w *Waiter) {
+	st.liveCount--
+	st.liveStart -= w.t0
+	st.blockedNs += sinceEpoch() - w.t0
 }
 
 // Cancel retracts a parked waiter that found work on its own (or is
@@ -102,6 +144,10 @@ func (p *Parker) Enqueue(s int, w *Waiter) {
 func (p *Parker) Cancel(w *Waiter, from int) {
 	if w.state.CompareAndSwap(wWaiting, wCancelled) {
 		p.parked.Add(-1)
+		st := &p.stripes[w.stripe]
+		st.mu.Lock()
+		st.settleLocked(w)
+		st.mu.Unlock()
 		return
 	}
 	// Already signaled: hand the token to someone else.
@@ -130,6 +176,7 @@ func (p *Parker) WakeOne(from int) bool {
 			if w.trySignal() {
 				p.parked.Add(-1)
 				st.wakes.Add(1)
+				st.settleLocked(w) // scan only visits enqueue stripes, so st is w's
 				st.mu.Unlock()
 				return true
 			}
@@ -153,15 +200,15 @@ func (p *Parker) WakeAll() {
 	for i := range p.stripes {
 		st := &p.stripes[i]
 		st.mu.Lock()
-		ws := st.ws
-		st.ws = nil
-		st.mu.Unlock()
-		for _, w := range ws {
+		for _, w := range st.ws {
 			if w.trySignal() {
 				p.parked.Add(-1)
 				st.wakes.Add(1)
+				st.settleLocked(w)
 			}
 		}
+		st.ws = nil
+		st.mu.Unlock()
 	}
 }
 

@@ -124,3 +124,9 @@ func (p *ewmaPolicy) ChargeSteal(qid, cost int) {
 	}
 	p.last[qid] = p.round
 }
+
+// SetAlpha retunes the smoothing factor live (AlphaSetter). Scores keep
+// their current values; only future Observe/Charge steps use the new
+// alpha — a governor can stiffen or relax adaptation without resetting
+// learned pressure.
+func (p *ewmaPolicy) SetAlpha(alpha float64) { p.alpha = alpha }

@@ -295,3 +295,23 @@ func Parse(name string) (Spec, error) {
 	}
 	return Spec{}, fmt.Errorf("policy: unknown policy %q", name)
 }
+
+// AlphaSetter is implemented by disciplines whose smoothing factor can
+// be retuned while running (EWMAAdaptive). Callers must hold whatever
+// lock serializes the policy's other methods.
+type AlphaSetter interface {
+	SetAlpha(alpha float64)
+}
+
+// SetAlpha retunes p's smoothing factor if its discipline has one,
+// reporting whether it applied. Alpha outside (0, 1] never applies.
+func SetAlpha(p Policy, alpha float64) bool {
+	if p == nil || alpha <= 0 || alpha > 1 {
+		return false
+	}
+	s, ok := p.(AlphaSetter)
+	if ok {
+		s.SetAlpha(alpha)
+	}
+	return ok
+}

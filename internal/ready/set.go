@@ -177,6 +177,11 @@ func (h *Hardware) Select() (int, bool, sim.Time) {
 // Charge implements Set: bills cost extra service units to qid.
 func (h *Hardware) Charge(qid, cost int) { h.c.charge(qid, cost) }
 
+// SetAlpha retunes the discipline's EWMA smoothing factor live,
+// reporting whether it applied (no-op for disciplines without one).
+// Callers serialize with other mutating calls.
+func (h *Hardware) SetAlpha(alpha float64) bool { return policy.SetAlpha(h.c.pol, alpha) }
+
 // Steal selects for a work-stealing consumer: the policy's steal victim —
 // the queue the discipline would otherwise service last — is removed from
 // the ready set and charged one unit through ChargeSteal, which leaves
@@ -257,6 +262,10 @@ func (s *Software) Select() (int, bool, sim.Time) {
 
 // Charge implements Set: bills cost extra service units to qid.
 func (s *Software) Charge(qid, cost int) { s.c.charge(qid, cost) }
+
+// SetAlpha retunes the discipline's EWMA smoothing factor live (see
+// Hardware.SetAlpha).
+func (s *Software) SetAlpha(alpha float64) bool { return policy.SetAlpha(s.c.pol, alpha) }
 
 // Steal selects for a work-stealing consumer (see Hardware.Steal);
 // semantics are identical to the hardware model's by construction.

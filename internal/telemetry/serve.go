@@ -15,8 +15,26 @@ import (
 // latency) plus per-worker arbitration internals (bank occupancy,
 // park/wake counters, policy state via policy.Inspect).
 type DebugSnapshot struct {
-	Tenants []TenantDebug `json:"tenants"`
-	Workers []WorkerDebug `json:"workers,omitempty"`
+	// Mode is the plane's operating point rendered for humans: the
+	// notification mode plus, when the governor runs, its mode and the
+	// live wait strategy (e.g. "notify/balanced/hybrid(4096)").
+	Mode     string         `json:"mode,omitempty"`
+	Tenants  []TenantDebug  `json:"tenants"`
+	Workers  []WorkerDebug  `json:"workers,omitempty"`
+	Governor *GovernorDebug `json:"governor,omitempty"`
+}
+
+// GovernorDebug is the elastic control plane's live state: the operating
+// mode, the active worker set, and the most recent autotune decisions.
+type GovernorDebug struct {
+	Mode          string  `json:"mode"`           // balanced | low-latency | efficient
+	Wait          string  `json:"wait"`           // live wait strategy, e.g. "hybrid(4096)"
+	ActiveWorkers int     `json:"active_workers"` // workers currently un-halted
+	Workers       int     `json:"workers"`        // configured ceiling
+	MaxBatch      int     `json:"max_batch"`      // tuned per-dispatch batch cap
+	Alpha         float64 `json:"alpha"`          // tuned EWMA smoothing factor
+	Transitions   int64   `json:"transitions"`    // active-set changes so far
+	Reason        string  `json:"reason"`         // last transition's trigger
 }
 
 // TenantDebug is one tenant's runtime view. DLQDepth/AckedSeq/DurableSeq
@@ -33,10 +51,14 @@ type TenantDebug struct {
 	Latency    LatencySummary `json:"latency"`
 }
 
-// WorkerDebug is one worker's notifier internals.
+// WorkerDebug is one worker's notifier internals. ParkSeconds is the
+// worker's cumulative C1-analog residency: time spent parked on its
+// notifier stripe plus time halted by the governor.
 type WorkerDebug struct {
-	Worker int         `json:"worker"`
-	Banks  []BankDebug `json:"banks"`
+	Worker      int         `json:"worker"`
+	Active      bool        `json:"active"`
+	ParkSeconds float64     `json:"park_seconds"`
+	Banks       []BankDebug `json:"banks"`
 }
 
 // BankDebug is one notifier bank's occupancy, activity counters, and
@@ -49,6 +71,7 @@ type BankDebug struct {
 	Steals      int64       `json:"steals,omitempty"`
 	Parks       int64       `json:"parks"`
 	Wakes       int64       `json:"wakes"`
+	BlockedNs   int64       `json:"blocked_ns,omitempty"`
 	Policy      PolicyDebug `json:"policy"`
 }
 

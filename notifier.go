@@ -80,6 +80,10 @@ type NotifierConfig struct {
 	// (WaitHomeBatch) — the paper's scale-up shared-queue organization,
 	// where an idle core absorbs ready queues from a hot sibling bank.
 	Steal StealConfig
+	// Wait is the initial wait discipline (park / spin / hybrid
+	// spin-then-park). The zero value is WaitPark, the seed behavior.
+	// Runtime-switchable afterwards via SetWaitConfig.
+	Wait WaitConfig
 }
 
 // StealConfig parameterizes cross-bank work stealing. With Enable false
@@ -159,12 +163,18 @@ type Notifier struct {
 	stolen    []atomic.Uint32
 	stealSeed atomic.Uint64
 
+	// waitCfg is the live wait discipline (WaitConfig packed into one
+	// word): read once per slow-path entry, stored by SetWaitConfig, so
+	// strategy switches take effect without restarting waiters.
+	waitCfg atomic.Uint64
+
 	// statistics
 	notifies  atomic.Int64
 	activates atomic.Int64
 	spurious  atomic.Int64
 	waits     atomic.Int64
 	halts     atomic.Int64 // Waits that actually blocked
+	spinHits  atomic.Int64 // sweeps satisfied during a spin dwell (C0 hit)
 	steals    atomic.Int64 // QIDs claimed from sibling banks
 
 	// Sampled notification tracing (nil stamps = telemetry disabled; the
@@ -214,12 +224,16 @@ func NewNotifier(cfg NotifierConfig) (*Notifier, error) {
 	if cfg.Steal.Probes < 0 {
 		return nil, fmt.Errorf("hyperplane: Steal.Probes must be >= 0, got %d", cfg.Steal.Probes)
 	}
+	if err := cfg.Wait.validate(); err != nil {
+		return nil, err
+	}
 	n := &Notifier{
 		parker: nshard.NewParker(shards),
 		states: make([]nshard.QState, cfg.MaxQueues),
 		kind:   spec.Kind,
 		steal:  cfg.Steal,
 	}
+	n.waitCfg.Store(cfg.Wait.pack())
 	if n.steal.Enable {
 		if n.steal.Quantum == 0 {
 			n.steal.Quantum = DefaultStealQuantum
@@ -431,6 +445,88 @@ func (n *Notifier) sweepBatch(start int, dst []QID) int {
 	return c
 }
 
+// SetWaitConfig switches the live wait discipline (park / spin / hybrid)
+// without restarting the Notifier. Waiters already parked stay parked
+// until their next wakeup; spinning waiters adopt the new discipline
+// within one recheck period; every wait entered afterwards follows it
+// immediately.
+func (n *Notifier) SetWaitConfig(cfg WaitConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	n.waitCfg.Store(cfg.pack())
+	return nil
+}
+
+// WaitConfig returns the live wait discipline.
+func (n *Notifier) WaitConfig() WaitConfig { return unpackWaitConfig(n.waitCfg.Load()) }
+
+// SetEWMAAlpha retunes the EWMA-adaptive policy's smoothing factor on
+// every bank, live, reporting whether the discipline accepted it (false
+// for non-EWMA policies or alpha outside (0, 1]). Learned per-queue
+// pressure is kept; only future updates use the new alpha — the
+// governor's arrival-rate autotune rides this.
+func (n *Notifier) SetEWMAAlpha(alpha float64) bool {
+	applied := false
+	for _, b := range n.banks {
+		if b.SetAlpha(alpha) {
+			applied = true
+		}
+	}
+	return applied
+}
+
+// spinRecheckMask: a pure-spin waiter re-reads the live wait config every
+// this-many+1 polls so SetWaitConfig can demote it without a notify.
+const spinRecheckMask = 1023
+
+// spinner drives the pre-park phase of one wait per the live strategy:
+// the C0 dwell before the C1 drop. It lives on the waiter's stack — the
+// wait slow path stays allocation-free except for the parking token.
+type spinner struct {
+	n      *Notifier
+	budget int // remaining polls; -1 = unbounded (pure spin)
+	polls  int
+}
+
+// newSpinner reads the live wait config once. WaitPark yields a spinner
+// whose more() is immediately false, so parking waiters pay one atomic
+// load and nothing else.
+func (n *Notifier) newSpinner() spinner {
+	cfg := unpackWaitConfig(n.waitCfg.Load())
+	switch cfg.Strategy {
+	case WaitSpin:
+		return spinner{n: n, budget: -1}
+	case WaitHybrid:
+		return spinner{n: n, budget: cfg.spinBudget()}
+	}
+	return spinner{}
+}
+
+// more reports whether the caller should sweep the banks again before
+// parking, yielding the processor between polls.
+func (sp *spinner) more() bool {
+	if sp.budget == 0 {
+		return false
+	}
+	if sp.budget > 0 {
+		sp.budget--
+	} else if sp.polls&spinRecheckMask == 0 {
+		cfg := unpackWaitConfig(sp.n.waitCfg.Load())
+		switch cfg.Strategy {
+		case WaitSpin:
+			// still unbounded
+		case WaitHybrid:
+			sp.budget = cfg.spinBudget()
+		default:
+			return false
+		}
+	}
+	sp.polls++
+	runtime.Gosched()
+	return true
+}
+
 // Wait blocks until a queue is ready and returns its QID per the service
 // policy (the QWAIT instruction). ok is false if the Notifier is closed.
 //
@@ -456,9 +552,22 @@ func (n *Notifier) Wait() (qid QID, ok bool) {
 			}
 			return q, true
 		}
-		// Park. The enqueue-then-resweep order pairs with producers'
-		// activate-then-wake order: either the producer sees us parked,
-		// or our re-sweep sees its activation.
+		// C0 dwell: spin per the live wait strategy before parking.
+		for sp := n.newSpinner(); sp.more(); {
+			if n.closed.Load() {
+				return 0, false
+			}
+			if q, ok := n.sweep(start); ok {
+				n.spinHits.Add(1)
+				if blocked {
+					n.halts.Add(1)
+				}
+				return q, true
+			}
+		}
+		// Park (the C1 drop). The enqueue-then-resweep order pairs with
+		// producers' activate-then-wake order: either the producer sees
+		// us parked, or our re-sweep sees its activation.
 		w := nshard.NewWaiter()
 		n.parker.Enqueue(start, w)
 		if q, ok := n.sweep(start); ok {
@@ -503,6 +612,18 @@ func (n *Notifier) WaitBatch(dst []QID) int {
 				n.halts.Add(1)
 			}
 			return c
+		}
+		for sp := n.newSpinner(); sp.more(); {
+			if n.closed.Load() {
+				return 0
+			}
+			if c := n.sweepBatch(start, dst); c > 0 {
+				n.spinHits.Add(1)
+				if blocked {
+					n.halts.Add(1)
+				}
+				return c
+			}
 		}
 		w := nshard.NewWaiter()
 		n.parker.Enqueue(start, w)
@@ -561,6 +682,18 @@ func (n *Notifier) WaitHomeBatch(home int, dst []QID) int {
 				n.halts.Add(1)
 			}
 			return c
+		}
+		for sp := n.newSpinner(); sp.more(); {
+			if n.closed.Load() {
+				return 0
+			}
+			if c := n.homeSweep(home, dst); c > 0 {
+				n.spinHits.Add(1)
+				if blocked {
+					n.halts.Add(1)
+				}
+				return c
+			}
 		}
 		w := nshard.NewWaiter()
 		n.parker.Enqueue(home, w)
@@ -718,6 +851,15 @@ func (n *Notifier) WaitTimeout(d time.Duration) (qid QID, ok bool) {
 		if q, ok := n.sweep(start); ok {
 			return q, true
 		}
+		for sp := n.newSpinner(); sp.more(); {
+			if n.closed.Load() || time.Until(deadline) <= 0 {
+				return 0, false
+			}
+			if q, ok := n.sweep(start); ok {
+				n.spinHits.Add(1)
+				return q, true
+			}
+		}
 		remain := time.Until(deadline)
 		if remain <= 0 {
 			return 0, false
@@ -768,6 +910,15 @@ func (n *Notifier) WaitContext(ctx context.Context) (qid QID, ok bool) {
 		}
 		if q, ok := n.sweep(start); ok {
 			return q, true
+		}
+		for sp := n.newSpinner(); sp.more(); {
+			if n.closed.Load() || ctx.Err() != nil {
+				return 0, false
+			}
+			if q, ok := n.sweep(start); ok {
+				n.spinHits.Add(1)
+				return q, true
+			}
 		}
 		w := nshard.NewWaiter()
 		n.parker.Enqueue(start, w)
@@ -933,6 +1084,7 @@ type NotifierStats struct {
 	Activations int64 // notifies that activated an armed queue
 	Waits       int64 // Wait/TryWait calls
 	Blocked     int64 // Waits that had to block (halted "core")
+	SpinHits    int64 // sweeps satisfied during a spin dwell (work found in C0)
 	Spurious    int64 // Verify calls that found an empty queue
 	Steals      int64 // QIDs claimed from sibling banks (WaitHomeBatch)
 	Registered  int   // currently registered queues
@@ -948,6 +1100,7 @@ func (n *Notifier) Stats() NotifierStats {
 		Activations: n.activates.Load(),
 		Waits:       n.waits.Load(),
 		Blocked:     n.halts.Load(),
+		SpinHits:    n.spinHits.Load(),
 		Spurious:    n.spurious.Load(),
 		Steals:      n.steals.Load(),
 		Registered:  registered,
@@ -990,6 +1143,7 @@ type BankStats struct {
 	Steals      int64 // QIDs stolen from this bank by sibling consumers
 	Parks       int64 // waiters parked on this bank's stripe
 	Wakes       int64 // wakeups delivered from this bank's stripe
+	BlockedNs   int64 // cumulative ns waiters spent parked on the stripe (C1 residency)
 }
 
 // BankStats snapshots every bank's counters.
@@ -1006,6 +1160,7 @@ func (n *Notifier) BankStats() []BankStats {
 			Steals:      c.Steals,
 			Parks:       p.Parks,
 			Wakes:       p.Wakes,
+			BlockedNs:   p.BlockedNs,
 		}
 	}
 	return out

@@ -1,0 +1,121 @@
+package hyperplane
+
+import "fmt"
+
+// WaitStrategy selects how a consumer waits for readiness when a sweep
+// finds no ready queue — the software analog of the paper's C-state
+// ladder (Fig. 11/12): a spinning waiter is a C0 core burning cycles for
+// minimum wake latency, a parked waiter is a C1-halted core that pays the
+// ~0.5 µs wake cost (internal/power.C1WakeLatency) but draws no CPU, and
+// the hybrid strategy dwells in C0 for a bounded spin budget before
+// dropping to C1 — trading a little idle CPU for doorbell-to-dispatch
+// latency exactly when traffic is likely to arrive soon.
+//
+// The strategy applies to the slow path only: a Wait whose first sweep
+// finds work never consults it.
+type WaitStrategy uint8
+
+const (
+	// WaitPark parks immediately on the striped parker when a sweep comes
+	// up empty (the seed behavior; lowest CPU, pays the wake cost on
+	// every idle→busy transition).
+	WaitPark WaitStrategy = iota
+	// WaitSpin never parks: the waiter re-sweeps (yielding the processor
+	// between polls) until work or close. Lowest latency, one busy
+	// "core" per waiter.
+	WaitSpin
+	// WaitHybrid spins for the configured budget of polls, then parks —
+	// the C0→C1 transition with a tunable dwell.
+	WaitHybrid
+)
+
+// String names the strategy; unknown values render as "wait(N)" rather
+// than falling through to a default name.
+func (s WaitStrategy) String() string {
+	switch s {
+	case WaitPark:
+		return "park"
+	case WaitSpin:
+		return "spin"
+	case WaitHybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("wait(%d)", uint8(s))
+}
+
+// ParseWaitStrategy maps a CLI-friendly name to its strategy.
+func ParseWaitStrategy(name string) (WaitStrategy, error) {
+	switch name {
+	case "park", "notify":
+		return WaitPark, nil
+	case "spin":
+		return WaitSpin, nil
+	case "hybrid":
+		return WaitHybrid, nil
+	}
+	return 0, fmt.Errorf("hyperplane: unknown wait strategy %q (want park, spin or hybrid)", name)
+}
+
+// DefaultSpinBudget is the hybrid pre-park dwell in polls. Each poll is
+// one bank sweep plus a Gosched, so at sub-µs sweep cost the default
+// dwell is in the tens of µs — long enough to absorb inter-arrival gaps
+// of a busy tenant, short enough that a genuinely idle worker halts.
+const DefaultSpinBudget = 4096
+
+// maxSpinBudget bounds the packed budget field (56 bits is far beyond
+// any sane dwell; the cap just keeps the packing honest).
+const maxSpinBudget = 1<<32 - 1
+
+// WaitConfig is a Notifier's live wait discipline: the strategy plus the
+// hybrid spin budget. It is runtime-switchable via SetWaitConfig —
+// waiters that are already parked stay parked until their next wake, but
+// every subsequent wait (and every pure-spin waiter, which re-reads the
+// config periodically) follows the new discipline.
+type WaitConfig struct {
+	// Strategy is the park/spin/hybrid discipline. The zero value is
+	// WaitPark, the seed behavior.
+	Strategy WaitStrategy
+	// SpinBudget is the hybrid pre-park dwell in polls; 0 means
+	// DefaultSpinBudget. Ignored by WaitPark and WaitSpin.
+	SpinBudget int
+}
+
+func (c WaitConfig) validate() error {
+	if c.Strategy > WaitHybrid {
+		return fmt.Errorf("hyperplane: unknown wait strategy %d", c.Strategy)
+	}
+	if c.SpinBudget < 0 || c.SpinBudget > maxSpinBudget {
+		return fmt.Errorf("hyperplane: SpinBudget must be in [0, %d], got %d", maxSpinBudget, c.SpinBudget)
+	}
+	return nil
+}
+
+// spinBudget is the effective hybrid dwell with the default applied.
+func (c WaitConfig) spinBudget() int {
+	if c.SpinBudget == 0 {
+		return DefaultSpinBudget
+	}
+	return c.SpinBudget
+}
+
+// pack/unpack squeeze the config into one atomic word so waiters read it
+// with a single load: strategy in the low 8 bits, budget above.
+func (c WaitConfig) pack() uint64 {
+	return uint64(c.Strategy) | uint64(c.SpinBudget)<<8
+}
+
+func unpackWaitConfig(v uint64) WaitConfig {
+	return WaitConfig{Strategy: WaitStrategy(v & 0xff), SpinBudget: int(v >> 8)}
+}
+
+// String renders "park", "spin", or "hybrid(budget)".
+func (c WaitConfig) String() string {
+	if c.Strategy == WaitHybrid {
+		b := c.SpinBudget
+		if b == 0 {
+			b = DefaultSpinBudget
+		}
+		return fmt.Sprintf("hybrid(%d)", b)
+	}
+	return c.Strategy.String()
+}
