@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-guard bench-steal chaos chaos-durable telemetry-smoke governor-smoke clean
+.PHONY: all build test race vet lint bench bench-edge bench-guard bench-steal chaos chaos-durable telemetry-smoke governor-smoke edge-smoke clean
 
 all: build vet test
 
@@ -55,6 +55,13 @@ bench: bench-ring
 bench-ring:
 	$(GO) run ./cmd/ringbench -out BENCH_ring.json
 
+# Network-edge benchmark: batched vs per-request ingest staging, then a
+# paced open-loop ingest against the SSE subscriber-count grid (10k+
+# concurrent connections on multi-core hosts; the grid self-caps against
+# RLIMIT_NOFILE with an fd_note).
+bench-edge:
+	$(GO) run ./cmd/edgebench -subs 100,1000,10000 -duration 2s -out BENCH_edge.json
+
 # Skewed-load steal smoke: Zipf(1.1) tenant load, each point measured with
 # work stealing off and on. On multi-core hosts stealing must at least
 # match the no-steal throughput (-steal-check 1.0); single-core hosts
@@ -77,6 +84,7 @@ bench-guard:
 		-smoke -steal-check 1.0
 	$(GO) run ./cmd/planebench -loadsweep 10,100 -tenants 8 -workers 4 -batch 16 \
 		-smoke -prop-check 0.4
+	$(GO) run ./cmd/edgebench -smoke -batch-check 2.0
 
 # Telemetry smoke: run the observed-plane example briefly, self-scrape
 # /metrics, /debug/tenants and /debug/trace, and fail if any expected
@@ -90,6 +98,14 @@ telemetry-smoke:
 # the elastic assertions — there is no parallelism to take away).
 governor-smoke:
 	$(GO) run ./examples/elastic-plane -smoke
+
+# Network-edge smoke: race-enabled edgebench self-test — batched vs
+# per-request ingest cells, a small SSE fan-out grid, and the HTTP
+# self-checks (every subscriber delivered to, idempotency dedup,
+# rate-limit 429). The >=2x batch guard only applies on multi-core
+# hosts; single-core hosts record a scaling note and skip it.
+edge-smoke:
+	$(GO) run -race ./cmd/edgebench -smoke -batch-check 2.0
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,611 @@
+// Command edgebench drives the network edge the way the paper drives
+// the notifier: a paced open-loop ingest load against N concurrent
+// subscriber connections, measuring sustained throughput, end-to-end
+// p50/p99 (ingest POST to SSE delivery, stamped payloads), and how
+// fan-out scales with subscriber count. It also measures the core
+// amortization claim head-on: batched staging (FlushBatch=64, one MPSC
+// cursor publish + one doorbell per batch) against per-request
+// enqueueing (FlushBatch=1), the edge-layer analogue of PushBatch vs
+// Push.
+//
+// Results land in BENCH_edge.json (via -out) with host metadata and the
+// repo's scaling_note convention: guard checks that compare concurrent
+// behavior are skipped, with a note, when GOMAXPROCS < 2.
+//
+//	edgebench -subs 100,1000,10000 -duration 3s -out BENCH_edge.json
+//	edgebench -smoke -batch-check 2.0   # CI self-test
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperplane/dataplane"
+	"hyperplane/internal/benchmeta"
+	"hyperplane/internal/edge"
+)
+
+type edgeCell struct {
+	Kind                string  `json:"kind"` // ingest_core | fanout
+	Tenants             int     `json:"tenants"`
+	FlushBatch          int     `json:"flush_batch,omitempty"`
+	Producers           int     `json:"producers,omitempty"`
+	ItemsPerSec         float64 `json:"items_per_sec,omitempty"`
+	SpeedupVsPerRequest float64 `json:"speedup_vs_per_request,omitempty"`
+	Subscribers         int     `json:"subscribers,omitempty"`
+	IngestPerSec        float64 `json:"ingest_per_sec,omitempty"`
+	DeliveriesPerSec    float64 `json:"deliveries_per_sec,omitempty"`
+	P50Ns               int64   `json:"p50_ns,omitempty"`
+	P99Ns               int64   `json:"p99_ns,omitempty"`
+	SubDropped          int64   `json:"sub_dropped,omitempty"`
+	FramesPerWrite      float64 `json:"frames_per_write,omitempty"`
+}
+
+type edgeReport struct {
+	benchmeta.Host
+	DurationMS   int64      `json:"duration_ms_per_cell"`
+	PayloadBytes int        `json:"payload_bytes"`
+	ScalingNote  string     `json:"scaling_note,omitempty"`
+	FDNote       string     `json:"fd_note,omitempty"`
+	Cells        []edgeCell `json:"cells"`
+}
+
+type benchCfg struct {
+	duration  time.Duration
+	trials    int
+	payload   int
+	tenants   int
+	workers   int
+	producers int
+	rate      float64
+	smoke     bool
+}
+
+func main() {
+	var (
+		subsFlag   = flag.String("subs", "100,1000,10000", "subscriber-count grid (comma-separated)")
+		duration   = flag.Duration("duration", 3*time.Second, "measured window per cell")
+		trials     = flag.Int("trials", 3, "trials per cell (median reported)")
+		payload    = flag.Int("payload", 128, "ingest payload bytes (>= 24 for the latency stamp)")
+		tenants    = flag.Int("tenants", 8, "tenant count")
+		workers    = flag.Int("workers", 0, "plane workers (0 = GOMAXPROCS)")
+		producers  = flag.Int("producers", 8, "concurrent ingest producers")
+		rate       = flag.Float64("rate", 100000, "paced open-loop ingest msgs/sec across producers (0 = closed loop)")
+		outFlag    = flag.String("out", "", "write the JSON report here via benchmeta (e.g. BENCH_edge.json)")
+		smoke      = flag.Bool("smoke", false, "shrink every knob for a fast self-test and run edge self-checks")
+		batchCheck = flag.Float64("batch-check", 0,
+			"guard: fail unless batched ingest (FlushBatch=64) >= this multiple of per-request enqueue (FlushBatch=1); skipped with a scaling_note on single-core hosts")
+	)
+	flag.Parse()
+
+	cfg := benchCfg{
+		duration:  *duration,
+		trials:    *trials,
+		payload:   *payload,
+		tenants:   *tenants,
+		workers:   *workers,
+		producers: *producers,
+		rate:      *rate,
+		smoke:     *smoke,
+	}
+	subCounts := parseGrid(*subsFlag)
+	if *smoke {
+		cfg.duration = 300 * time.Millisecond
+		cfg.trials = 1
+		cfg.payload = 64
+		cfg.tenants = 4
+		cfg.producers = 2
+		cfg.rate = 5000
+		subCounts = []int{50}
+	}
+	if cfg.payload < 24 {
+		cfg.payload = 24
+	}
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+
+	rep := edgeReport{
+		Host:         benchmeta.Collect(),
+		DurationMS:   cfg.duration.Milliseconds(),
+		PayloadBytes: cfg.payload,
+	}
+	singleCore := runtime.GOMAXPROCS(0) < 2
+	if singleCore {
+		rep.ScalingNote = fmt.Sprintf(
+			"GOMAXPROCS=%d: single schedulable core; producers, workers and subscriber writers time-slice, so batched-vs-per-request and subscriber-scaling ratios understate multi-core gains (batch-check guard skipped)",
+			runtime.GOMAXPROCS(0))
+		fmt.Fprintln(os.Stderr, "note:", rep.ScalingNote)
+	}
+
+	// Descriptor budget: each in-process subscriber costs two fds.
+	fdLimit := raiseFDLimit()
+	maxSubs := int(fdLimit)/2 - 256
+	capped := false
+	for i, n := range subCounts {
+		if n > maxSubs {
+			subCounts[i] = maxSubs
+			capped = true
+		}
+	}
+	if capped {
+		rep.FDNote = fmt.Sprintf(
+			"RLIMIT_NOFILE=%d: subscriber grid capped at %d (2 fds per in-process connection)", fdLimit, maxSubs)
+		fmt.Fprintln(os.Stderr, "note:", rep.FDNote)
+	}
+
+	// ---- ingest_core: batched staging vs per-request enqueue ----
+	fmt.Printf("%-12s %8s %11s %8s %14s %10s\n", "kind", "tenants", "flush_batch", "subs", "items/s", "speedup")
+	perReq := medianTrials(cfg.trials, func() float64 { return runIngestCore(cfg, 1) })
+	rep.Cells = append(rep.Cells, edgeCell{
+		Kind: "ingest_core", Tenants: cfg.tenants, FlushBatch: 1,
+		Producers: cfg.producers, ItemsPerSec: perReq,
+	})
+	fmt.Printf("%-12s %8d %11d %8s %14.0f %10s\n", "ingest_core", cfg.tenants, 1, "-", perReq, "-")
+	batched := medianTrials(cfg.trials, func() float64 { return runIngestCore(cfg, 64) })
+	speedup := 0.0
+	if perReq > 0 {
+		speedup = batched / perReq
+	}
+	rep.Cells = append(rep.Cells, edgeCell{
+		Kind: "ingest_core", Tenants: cfg.tenants, FlushBatch: 64,
+		Producers: cfg.producers, ItemsPerSec: batched, SpeedupVsPerRequest: speedup,
+	})
+	fmt.Printf("%-12s %8d %11d %8s %14.0f %9.2fx\n", "ingest_core", cfg.tenants, 64, "-", batched, speedup)
+
+	// ---- fanout: paced ingest against N SSE subscribers ----
+	for _, subs := range subCounts {
+		cell := runFanout(cfg, subs)
+		rep.Cells = append(rep.Cells, cell)
+		fmt.Printf("%-12s %8d %11d %8d %14.0f  p50=%s p99=%s dropped=%d frames/write=%.1f\n",
+			"fanout", cell.Tenants, 64, cell.Subscribers, cell.DeliveriesPerSec,
+			time.Duration(cell.P50Ns), time.Duration(cell.P99Ns), cell.SubDropped, cell.FramesPerWrite)
+	}
+
+	if cfg.smoke {
+		if err := runSelfChecks(); err != nil {
+			fmt.Fprintln(os.Stderr, "smoke self-check failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println("smoke self-checks passed: subscriber delivery, idempotency dedup, rate-limit 429")
+	}
+
+	if *batchCheck > 0 {
+		if singleCore {
+			fmt.Fprintf(os.Stderr, "batch-check %.2fx skipped: %s\n", *batchCheck, rep.ScalingNote)
+		} else if speedup < *batchCheck {
+			fmt.Fprintf(os.Stderr, "batch-check failed: batched ingest %.2fx per-request, want >= %.2fx\n", speedup, *batchCheck)
+			os.Exit(1)
+		} else {
+			fmt.Printf("batch-check ok: %.2fx >= %.2fx\n", speedup, *batchCheck)
+		}
+	}
+
+	if *outFlag != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := benchmeta.WriteFileAtomic(*outFlag, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *outFlag)
+	}
+}
+
+func parseGrid(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad -subs entry %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func medianTrials(trials int, run func() float64) float64 {
+	vals := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		vals = append(vals, run())
+	}
+	sort.Float64s(vals)
+	return vals[len(vals)/2]
+}
+
+func newEdge(cfg benchCfg, flushBatch int) *edge.Server {
+	s, err := edge.New(edge.Config{
+		Plane: dataplane.Config{
+			Tenants:      cfg.tenants,
+			Workers:      cfg.workers,
+			RingCapacity: 1 << 14,
+		},
+		FlushBatch:    flushBatch,
+		FlushInterval: 200 * time.Microsecond,
+		SubBuffer:     256 << 10,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	s.Start()
+	return s
+}
+
+func shutdownEdge(s *edge.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s.Shutdown(ctx, nil)
+}
+
+// runIngestCore measures the staging + IngressBatch path alone (no
+// network): producers submit closed-loop for the window; the cell value
+// is accepted items/sec. flushBatch=1 is the per-request-enqueue
+// baseline — every request pays its own cursor publish and doorbell.
+func runIngestCore(cfg benchCfg, flushBatch int) float64 {
+	s := newEdge(cfg, flushBatch)
+	defer shutdownEdge(s)
+	payload := bytes.Repeat([]byte{'x'}, cfg.payload)
+	var stop atomic.Bool
+	var accepted int64
+	var wg sync.WaitGroup
+	for p := 0; p < cfg.producers; p++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tenant := id % cfg.tenants
+			var local int64
+			for !stop.Load() {
+				if _, st := s.Submit(tenant, payload, 0); st == edge.SubmitAccepted {
+					local++
+				}
+			}
+			atomic.AddInt64(&accepted, local)
+		}(p)
+	}
+	start := time.Now()
+	time.Sleep(cfg.duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	return float64(atomic.LoadInt64(&accepted)) / elapsed.Seconds()
+}
+
+// subscriber is one raw-TCP SSE connection; it parses "data:" lines,
+// recovers the UnixNano stamp at the front of each payload, and keeps a
+// bounded latency sample.
+type subscriber struct {
+	received atomic.Int64
+	samples  []int64
+	mu       sync.Mutex
+}
+
+func (s *subscriber) run(addr string, tenant int, ready func(), done <-chan struct{}) error {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		ready()
+		return err
+	}
+	go func() {
+		<-done
+		conn.Close()
+	}()
+	req := "GET /v1/subscribe?tenant=" + strconv.Itoa(tenant) + " HTTP/1.1\r\nHost: edgebench\r\n\r\n"
+	if _, err := io.WriteString(conn, req); err != nil {
+		ready()
+		return err
+	}
+	br := bufio.NewReaderSize(conn, 2048)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			ready()
+			return err
+		}
+		if line == "\r\n" {
+			break
+		}
+	}
+	ready()
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil // connection closed at teardown
+		}
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue
+		}
+		n := s.received.Add(1)
+		if n&0x3f != 1 { // sample 1/64 for latency, starting at the first frame
+			continue
+		}
+		if stamp, e := strconv.ParseInt(strings.TrimRight(firstField(data), "\n"), 10, 64); e == nil {
+			lat := time.Now().UnixNano() - stamp
+			s.mu.Lock()
+			if len(s.samples) < 4096 {
+				s.samples = append(s.samples, lat)
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+func firstField(s string) string {
+	if i := strings.IndexByte(s, ' '); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// producer posts stamped payloads over one keep-alive HTTP/1.1
+// connection, paced to its share of the open-loop rate.
+func producer(addr string, tenant, payloadLen int, per time.Duration, stop *atomic.Bool, sent *int64) error {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 2048)
+	body := make([]byte, payloadLen)
+	for i := range body {
+		body[i] = 'p'
+	}
+	head := "POST /v1/ingest?tenant=" + strconv.Itoa(tenant) + " HTTP/1.1\r\nHost: edgebench\r\nContent-Length: " +
+		strconv.Itoa(payloadLen) + "\r\nContent-Type: application/octet-stream\r\n\r\n"
+	next := time.Now()
+	var local int64
+	for !stop.Load() {
+		// Stamp send time at the front of the body (space-padded).
+		stamp := strconv.AppendInt(body[:0], time.Now().UnixNano(), 10)
+		for i := len(stamp); i < payloadLen; i++ {
+			body[i] = ' '
+		}
+		body = body[:payloadLen]
+		if _, err := io.WriteString(conn, head); err != nil {
+			break
+		}
+		if _, err := conn.Write(body); err != nil {
+			break
+		}
+		if err := readHTTPResponse(br); err != nil {
+			break
+		}
+		local++
+		if per > 0 {
+			next = next.Add(per)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			} else if d < -100*time.Millisecond {
+				next = time.Now() // lost the pace; don't burst to catch up
+			}
+		}
+	}
+	atomic.AddInt64(sent, local)
+	return nil
+}
+
+// readHTTPResponse consumes one response (status, headers,
+// Content-Length-delimited body) from a keep-alive stream.
+func readHTTPResponse(br *bufio.Reader) error {
+	if _, err := br.ReadString('\n'); err != nil {
+		return err
+	}
+	contentLen := 0
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if line == "\r\n" {
+			break
+		}
+		if v, ok := strings.CutPrefix(line, "Content-Length: "); ok {
+			contentLen, _ = strconv.Atoi(strings.TrimSpace(v))
+		}
+	}
+	if contentLen > 0 {
+		if _, err := io.CopyN(io.Discard, br, int64(contentLen)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFanout is the end-to-end cell: an edge server on a loopback
+// listener, subs SSE subscribers spread across tenants (<=256 per
+// tenant), paced HTTP producers, measured for the window.
+func runFanout(cfg benchCfg, subs int) edgeCell {
+	tenantsUsed := (subs + 255) / 256
+	if tenantsUsed < 1 {
+		tenantsUsed = 1
+	}
+	if tenantsUsed > cfg.tenants {
+		tenantsUsed = cfg.tenants
+	}
+	fcfg := cfg
+	s := newEdge(fcfg, 64)
+	defer shutdownEdge(s)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	addr := ln.Addr().String()
+
+	// Bring up subscribers with bounded setup concurrency. The slot is
+	// released at readiness (headers parsed or setup failed), not at
+	// connection teardown — run() blocks for the whole measurement, so
+	// releasing on return would cap the grid at the semaphore size.
+	subsArr := make([]*subscriber, subs)
+	done := make(chan struct{})
+	var ready sync.WaitGroup
+	ready.Add(subs)
+	sem := make(chan struct{}, 256)
+	for i := 0; i < subs; i++ {
+		subsArr[i] = &subscriber{}
+		sem <- struct{}{}
+		go func(i int) {
+			var once sync.Once
+			subsArr[i].run(addr, i%tenantsUsed, func() {
+				once.Do(func() { ready.Done(); <-sem })
+			}, done)
+		}(i)
+	}
+	ready.Wait()
+
+	// Producers: paced open loop across the same tenants.
+	var stop atomic.Bool
+	var sent int64
+	var pwg sync.WaitGroup
+	per := time.Duration(0)
+	if cfg.rate > 0 {
+		per = time.Duration(float64(time.Second) * float64(cfg.producers) / cfg.rate)
+	}
+	preStats := s.Stats()
+	start := time.Now()
+	for p := 0; p < cfg.producers; p++ {
+		pwg.Add(1)
+		go func(id int) {
+			defer pwg.Done()
+			producer(addr, id%tenantsUsed, cfg.payload, per, &stop, &sent)
+		}(p)
+	}
+	time.Sleep(cfg.duration)
+	stop.Store(true)
+	pwg.Wait()
+	// Let in-flight fan-out land before reading counters.
+	time.Sleep(100 * time.Millisecond)
+	elapsed := time.Since(start)
+	st := s.Stats()
+	close(done)
+
+	var received int64
+	var samples []int64
+	minPerSub := int64(1 << 62)
+	for _, sub := range subsArr {
+		n := sub.received.Load()
+		received += n
+		if n < minPerSub {
+			minPerSub = n
+		}
+		sub.mu.Lock()
+		samples = append(samples, sub.samples...)
+		sub.mu.Unlock()
+	}
+	if cfg.smoke && minPerSub < 1 {
+		fmt.Fprintln(os.Stderr, "smoke self-check failed: a subscriber received zero messages")
+		os.Exit(1)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var p50, p99 int64
+	if len(samples) > 0 {
+		p50 = samples[len(samples)*50/100]
+		p99 = samples[min(len(samples)*99/100, len(samples)-1)]
+	}
+	framesPerWrite := 0.0
+	if w := st.CoalescedWrites - preStats.CoalescedWrites; w > 0 {
+		framesPerWrite = float64(st.FanoutMsgs-preStats.FanoutMsgs) / float64(w)
+	}
+	return edgeCell{
+		Kind:             "fanout",
+		Tenants:          tenantsUsed,
+		FlushBatch:       64,
+		Producers:        cfg.producers,
+		Subscribers:      subs,
+		IngestPerSec:     float64(st.Accepted-preStats.Accepted) / elapsed.Seconds(),
+		DeliveriesPerSec: float64(received) / elapsed.Seconds(),
+		P50Ns:            p50,
+		P99Ns:            p99,
+		SubDropped:       st.SubDropped - preStats.SubDropped,
+		FramesPerWrite:   framesPerWrite,
+	}
+}
+
+// runSelfChecks exercises the ingest contract end to end: idempotency
+// dedup and rate limiting, over real HTTP.
+func runSelfChecks() error {
+	s, err := edge.New(edge.Config{
+		Plane:      dataplane.Config{Tenants: 1, Workers: 1},
+		FlushBatch: 1,
+		Rate:       0.0001, // one token every ~3h: burst only
+		Burst:      3,
+	})
+	if err != nil {
+		return err
+	}
+	s.Start()
+	defer shutdownEdge(s)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	post := func(key string) (*http.Response, string, error) {
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/ingest?tenant=0", strings.NewReader("self-check"))
+		if err != nil {
+			return nil, "", err
+		}
+		if key != "" {
+			req.Header.Set("Idempotency-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, "", err
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp, string(body), nil
+	}
+	resp, body1, err := post("edgebench-check")
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("first keyed post: status %d", resp.StatusCode)
+	}
+	resp, body2, err := post("edgebench-check")
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusAccepted || !strings.Contains(body2, `"duplicate":true`) {
+		return fmt.Errorf("idempotent retry not deduplicated: status %d body %q (first %q)", resp.StatusCode, body2, body1)
+	}
+	// Burst is 3; the two keyed posts consumed 2 tokens. One more
+	// passes, then the limiter must say 429.
+	if resp, _, err = post(""); err != nil || resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("third post inside burst: %v status %d", err, resp.StatusCode)
+	}
+	if resp, _, err = post(""); err != nil || resp.StatusCode != http.StatusTooManyRequests {
+		return fmt.Errorf("rate limit never tripped: %v status %d", err, resp.StatusCode)
+	}
+	return nil
+}

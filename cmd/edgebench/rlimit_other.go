@@ -1,0 +1,7 @@
+//go:build !unix
+
+package main
+
+// raiseFDLimit is a no-op where RLIMIT_NOFILE does not exist; assume a
+// generous descriptor budget.
+func raiseFDLimit() uint64 { return 1 << 20 }

@@ -1,0 +1,23 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// raiseFDLimit lifts RLIMIT_NOFILE to its hard cap and returns the
+// resulting soft limit; the subscriber grid sizes itself against it
+// (each in-process subscriber burns two descriptors: the client socket
+// and the server's accepted side).
+func raiseFDLimit() uint64 {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return 1024
+	}
+	if lim.Cur < lim.Max {
+		lim.Cur = lim.Max
+		if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim); err == nil {
+			syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim)
+		}
+	}
+	return uint64(lim.Cur)
+}

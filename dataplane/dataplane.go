@@ -48,6 +48,10 @@ type item struct {
 	seq     uint64
 	msgID   uint64
 	payload []byte
+	// tag is the producer's opaque per-item cookie (IngressItem.Tag),
+	// handed back on the egress hook like a NIC completion cookie. Zero
+	// for untagged items; meaningless without Config.OnDeliver.
+	tag uint64
 }
 
 // Handler performs transport processing on one work item (step 2b). It
@@ -228,6 +232,20 @@ type Config struct {
 	// plane would otherwise lose land in a per-tenant dead-letter queue.
 	// See DESIGN.md §12.
 	Durable DurableConfig
+	// OnDeliver, when non-nil, replaces the tenant-side delivery rings
+	// with a synchronous egress hook: workers invoke it in-line for every
+	// item that completes transport processing, and the Egress* surfaces
+	// stay empty. A non-nil payload is a delivered result (the hook owns
+	// fanning it out; the payload must not be retained after the call on
+	// planes whose producers recycle buffers). A nil payload retires an
+	// item that produced no output — handler consumed it, handler error,
+	// or handler panic — so a producer attaching per-item resources via
+	// IngressItem.Tag can release them exactly once per admitted item.
+	// The hook runs on worker goroutines and must not block: tenant-side
+	// backpressure is the hook owner's problem (the network edge applies
+	// per-connection drop policies), so Delivery/DeliveryTimeout are
+	// ignored. On durable planes the hook call acks the item's WAL record.
+	OnDeliver func(tenant int, payload []byte, tag uint64)
 	// Telemetry, when non-nil, attaches the plane to a telemetry plane:
 	// per-tenant counters and ready-set/bank state become scrapeable, the
 	// worker notifiers trace sampled notification latency (closed at
@@ -308,6 +326,10 @@ type Plane struct {
 	// outMu serializes the two tenant-side consumers that exist under
 	// DropOldest (the tenant and the evicting worker); unused otherwise.
 	outMu []sync.Mutex
+	// planPool recycles IngressBatch's per-call NotifyBatch staging (one
+	// QID run per worker), keeping batched ingress allocation-free at
+	// steady state even with many concurrent producers.
+	planPool sync.Pool
 
 	workers []*worker
 	tstate  []tenantState
@@ -454,6 +476,12 @@ func New(cfg Config) (*Plane, error) {
 	}
 	p.maxBatch.Store(int32(cfg.MaxBatch))
 
+	// Egress-hook planes never touch the tenant-side rings; keep them at
+	// the minimum capacity so a large RingCapacity is not paid twice.
+	outCap := cfg.RingCapacity
+	if cfg.OnDeliver != nil {
+		outCap = 2
+	}
 	for t := 0; t < cfg.Tenants; t++ {
 		var dr, or queue.Buffer[item]
 		var err error
@@ -476,9 +504,9 @@ func New(cfg Config) (*Plane, error) {
 			// multiple producers. Its consumers (the tenant, plus the
 			// evicting worker under DropOldest) serialize on outMu exactly
 			// like the SPSC ring's DropOldest consumers do.
-			or, err = queue.NewMPSC[item](cfg.RingCapacity)
+			or, err = queue.NewMPSC[item](outCap)
 		} else {
-			or, err = queue.NewRing[item](cfg.RingCapacity)
+			or, err = queue.NewRing[item](outCap)
 		}
 		if err != nil {
 			return nil, err
@@ -584,6 +612,10 @@ func New(cfg Config) (*Plane, error) {
 		}
 		p.workers = append(p.workers, wk)
 	}
+	nWorkers := len(p.workers)
+	p.planPool = sync.Pool{New: func() any {
+		return &notifyPlan{perWorker: make([][]hyperplane.QID, nWorkers)}
+	}}
 	if cfg.Governor.Enable {
 		gov, err := newGovRuntime(cfg)
 		if err != nil {
@@ -677,6 +709,11 @@ func (p *Plane) Stop() error {
 	return nil
 }
 
+// Stopped reports whether Stop has begun: once true, Ingress and
+// IngressBatch deterministically reject, so producers retrying on
+// backpressure can tell a full ring from a dead plane.
+func (p *Plane) Stopped() bool { return p.stopped.Load() }
+
 // StopContext drains queued work until ctx expires, then stops the plane
 // regardless. It returns the drain error (nil when the plane emptied in
 // time) — the plane is stopped either way.
@@ -750,10 +787,21 @@ func (p *Plane) Ingress(tenant int, payload []byte) bool {
 	return true
 }
 
-// IngressItem pairs a tenant with a payload for batch ingress.
+// IngressItem pairs a tenant with a payload for batch ingress. Tag is an
+// opaque per-item cookie handed back to Config.OnDeliver when the item
+// is delivered or retired (0 = untagged); planes without an egress hook
+// ignore it.
 type IngressItem struct {
 	Tenant  int
 	Payload []byte
+	Tag     uint64
+}
+
+// notifyPlan is IngressBatch's reusable NotifyBatch staging: the QIDs to
+// ring per worker, pooled via planPool so the batch path allocates
+// nothing at steady state.
+type notifyPlan struct {
+	perWorker [][]hyperplane.QID
 }
 
 // runPool recycles IngressBatch's bulk-push staging buffers. The buffer
@@ -776,9 +824,11 @@ func (p *Plane) IngressBatch(items []IngressItem) int {
 	}
 	// Over-count up front (see Ingress) and settle after the loop.
 	p.ingressed.Add(int64(len(items)))
+	var plan *notifyPlan
 	var perWorker [][]hyperplane.QID
 	if p.cfg.Mode != Spin {
-		perWorker = make([][]hyperplane.QID, len(p.workers))
+		plan = p.planPool.Get().(*notifyPlan)
+		perWorker = plan.perWorker
 	}
 	accepted := 0
 	run := runPool.Get().(*[64]item)
@@ -803,7 +853,7 @@ func (p *Plane) IngressBatch(items []IngressItem) int {
 			// admission-mutex hold per run — the durable bulk path.
 			pushed = p.ingressBatchDurable(tenant, items[i:j], run)
 		case j-i == 1:
-			if p.devRings[tenant].Push(item{payload: items[i].Payload}) {
+			if p.devRings[tenant].Push(item{payload: items[i].Payload, tag: items[i].Tag}) {
 				pushed = 1
 			}
 		default:
@@ -817,7 +867,7 @@ func (p *Plane) IngressBatch(items []IngressItem) int {
 					c = len(run)
 				}
 				for k := 0; k < c; k++ {
-					run[k] = item{payload: items[off+k].Payload}
+					run[k] = item{payload: items[off+k].Payload, tag: items[off+k].Tag}
 				}
 				got := p.devRings[tenant].PushBatch(run[:c])
 				pushed += got
@@ -846,6 +896,12 @@ func (p *Plane) IngressBatch(items []IngressItem) int {
 		if len(qids) > 0 {
 			p.workers[w].n.NotifyBatch(qids)
 		}
+	}
+	if plan != nil {
+		for w := range perWorker {
+			perWorker[w] = perWorker[w][:0]
+		}
+		p.planPool.Put(plan)
 	}
 	return accepted
 }
@@ -1149,11 +1205,12 @@ func (p *Plane) handleBatch(wk *worker, tenant int, batch []item) {
 	outs := wk.outs[:0]
 	for i := range batch {
 		if payloads[i] != nil {
-			outs = append(outs, item{seq: batch[i].seq, msgID: batch[i].msgID, payload: payloads[i]})
+			outs = append(outs, item{seq: batch[i].seq, msgID: batch[i].msgID, payload: payloads[i], tag: batch[i].tag})
 		} else {
 			// The handler consumed the item without output: that is a
 			// completed consumption, so the WAL record is acked.
 			p.ackItem(tenant, batch[i])
+			p.retire(tenant, batch[i])
 		}
 	}
 	p.deliverBatch(wk, tenant, outs)
@@ -1187,21 +1244,34 @@ func (p *Plane) handle(wk *worker, tenant int, it item) {
 		p.m.Panics.Add(wk.id, tenant, 1)
 		p.noteFailure(tenant)
 		p.deadLetter(wk.id, tenant, it, ReasonHandlerPanic)
+		p.retire(tenant, it)
 		return
 	}
 	if err != nil {
 		p.m.Errors.Add(wk.id, tenant, 1)
 		p.noteFailure(tenant)
 		p.deadLetter(wk.id, tenant, it, ReasonHandlerError)
+		p.retire(tenant, it)
 		return
 	}
 	p.noteSuccess(tenant)
 	if out == nil {
 		p.ackItem(tenant, it)
+		p.retire(tenant, it)
 		return
 	}
 	it.payload = out
 	p.deliver(wk, tenant, it)
+}
+
+// retire reports an item that completed without delivery to the egress
+// hook (nil payload), so hook owners can release per-item resources
+// attached via IngressItem.Tag exactly once per admitted item. No-op
+// without a hook.
+func (p *Plane) retire(tenant int, it item) {
+	if p.cfg.OnDeliver != nil {
+		p.cfg.OnDeliver(tenant, nil, it.tag)
+	}
 }
 
 // runHandler isolates a handler panic to the item that caused it: the
@@ -1220,8 +1290,16 @@ func (p *Plane) runHandler(tenant int, payload []byte) (out []byte, err error, p
 // deliver pushes a processed item to the tenant-side ring under the
 // configured delivery policy and rings the tenant's doorbell. Every
 // drop path routes through dropItem, so drop-policy victims are charged
-// once and, on durable planes, dead-lettered exactly once.
+// once and, on durable planes, dead-lettered exactly once. With an
+// egress hook the ring is bypassed entirely: the hook is invoked
+// in-line (it owns tenant-side backpressure) and the item is acked.
 func (p *Plane) deliver(wk *worker, tenant int, out item) {
+	if p.cfg.OnDeliver != nil {
+		p.cfg.OnDeliver(tenant, out.payload, out.tag)
+		p.m.Delivered.Add(wk.id, tenant, 1)
+		p.ackItem(tenant, out)
+		return
+	}
 	r := p.outRings[tenant]
 	if !r.Push(out) {
 		switch p.cfg.Delivery {
@@ -1282,6 +1360,14 @@ func (p *Plane) deliver(wk *worker, tenant int, out item) {
 // producers.
 func (p *Plane) deliverBatch(wk *worker, tenant int, outs []item) {
 	if len(outs) == 0 {
+		return
+	}
+	if p.cfg.OnDeliver != nil {
+		for i := range outs {
+			p.cfg.OnDeliver(tenant, outs[i].payload, outs[i].tag)
+			p.ackItem(tenant, outs[i])
+		}
+		p.m.Delivered.Add(wk.id, tenant, int64(len(outs)))
 		return
 	}
 	n := p.outRings[tenant].PushBatch(outs)

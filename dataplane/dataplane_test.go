@@ -365,7 +365,9 @@ func TestIngressBatchBackpressureAndStop(t *testing.T) {
 	p, _ := New(Config{Tenants: 1, RingCapacity: 2})
 	// No Start: the ring fills after two items, the rest drop.
 	batch := []IngressItem{
-		{0, []byte("a")}, {0, []byte("b")}, {0, []byte("c")},
+		{Tenant: 0, Payload: []byte("a")},
+		{Tenant: 0, Payload: []byte("b")},
+		{Tenant: 0, Payload: []byte("c")},
 	}
 	if got := p.IngressBatch(batch); got != 2 {
 		t.Fatalf("accepted %d with capacity 2, want 2", got)

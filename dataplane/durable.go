@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hyperplane/internal/dedup"
 	"hyperplane/internal/wal"
 )
 
@@ -108,38 +109,17 @@ func (s IngressStatus) String() string {
 
 // durTenant is one tenant's durable state. mu serializes admission (seq
 // assignment + ring push + WAL append + dedup bookkeeping); the DLQ has
-// its own lock so drains never contend with the ingress path.
+// its own lock so drains never contend with the ingress path. The seen
+// window is the shared internal/dedup machinery the network edge's
+// idempotency keys ride too.
 type durTenant struct {
 	mu      sync.Mutex
 	nextSeq uint64
-	seen    map[uint64]struct{}
-	order   []uint64 // insertion-ordered id window backing seen
-	pos, n  int
+	seen    *dedup.Window
 	dropped atomic.Uint64 // cumulative drops, persisted via NoteDropped
 
 	dlqMu sync.Mutex
 	dlq   []DLQEntry
-}
-
-func (d *durTenant) hasSeen(id uint64) bool {
-	_, ok := d.seen[id]
-	return ok
-}
-
-// remember inserts id into the bounded window, evicting the oldest
-// remembered id once full.
-func (d *durTenant) remember(id uint64) {
-	if d.hasSeen(id) {
-		return
-	}
-	if d.n == len(d.order) {
-		delete(d.seen, d.order[d.pos])
-	} else {
-		d.n++
-	}
-	d.order[d.pos] = id
-	d.seen[id] = struct{}{}
-	d.pos = (d.pos + 1) % len(d.order)
 }
 
 // durable is the plane's durable-tier runtime.
@@ -191,10 +171,9 @@ func newDurable(cfg Config) (*durable, error) {
 		dt := &d.tenants[t]
 		dt.nextSeq = rec.MaxSeq[t]
 		dt.dropped.Store(rec.DroppedBase[t])
-		dt.seen = make(map[uint64]struct{}, dc.DedupWindow)
-		dt.order = make([]uint64, dc.DedupWindow)
+		dt.seen = dedup.NewWindow(dc.DedupWindow)
 		for _, id := range rec.SeenIDs[t] {
-			dt.remember(id)
+			dt.seen.Remember(id, 0)
 		}
 	}
 	return d, nil
@@ -237,7 +216,7 @@ func (p *Plane) ingressDurable(tenant int, msgID uint64, payload []byte) Ingress
 	}
 	d := &p.dur.tenants[tenant]
 	d.mu.Lock()
-	if msgID != 0 && d.hasSeen(msgID) {
+	if msgID != 0 && d.seen.Seen(msgID) {
 		d.mu.Unlock()
 		p.m.Deduped.Add(p.m.IngressStripe(), tenant, 1)
 		return IngressDuplicate
@@ -255,7 +234,7 @@ func (p *Plane) ingressDurable(tenant int, msgID uint64, payload []byte) Ingress
 	// committer surface the error, so durability-gated producers stop.
 	_ = p.dur.log.Append(wal.Record{Tenant: tenant, Seq: seq, MsgID: msgID, Payload: payload})
 	if msgID != 0 {
-		d.remember(msgID)
+		d.seen.Remember(msgID, 0)
 	}
 	d.mu.Unlock()
 	p.m.Ingressed.Add(p.m.IngressStripe(), tenant, 1)
@@ -282,7 +261,7 @@ func (p *Plane) ingressBatchDurable(tenant int, payloads []IngressItem, run *[64
 			c = len(run)
 		}
 		for k := 0; k < c; k++ {
-			run[k] = item{seq: d.nextSeq + uint64(k) + 1, payload: payloads[off+k].Payload}
+			run[k] = item{seq: d.nextSeq + uint64(k) + 1, payload: payloads[off+k].Payload, tag: payloads[off+k].Tag}
 		}
 		got := p.devRings[tenant].PushBatch(run[:c])
 		for k := 0; k < got; k++ {
@@ -335,6 +314,12 @@ func (p *Plane) deadLetter(stripe, tenant int, it item, reason string) {
 		return
 	}
 	d := &p.dur.tenants[tenant]
+	payload := it.payload
+	if p.cfg.OnDeliver != nil && payload != nil {
+		// With an egress hook the producer's buffer (an edge slab) is
+		// recycled as soon as the item retires; the DLQ must own a copy.
+		payload = append([]byte(nil), payload...)
+	}
 	var evicted DLQEntry
 	var overflow bool
 	d.dlqMu.Lock()
@@ -345,7 +330,7 @@ func (p *Plane) deadLetter(stripe, tenant int, it item, reason string) {
 	}
 	d.dlq = append(d.dlq, DLQEntry{
 		Tenant: tenant, Seq: it.seq, MsgID: it.msgID,
-		Payload: it.payload, Reason: reason,
+		Payload: payload, Reason: reason,
 	})
 	d.dlqMu.Unlock()
 	if overflow && evicted.Seq != 0 {

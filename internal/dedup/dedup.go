@@ -1,0 +1,72 @@
+// Package dedup is the bounded message-id window shared by the durable
+// tier's exactly-once admission and the network edge's idempotency keys.
+// A Window remembers the last N distinct 64-bit ids (insertion order,
+// oldest evicted first) and an optional 64-bit value per id — the durable
+// tier stores nothing, the edge stores the sequence number of the
+// original accept so a retried request can be answered identically
+// without re-enqueueing.
+//
+// A Window is not safe for concurrent use; callers serialize on the
+// per-tenant admission lock they already hold (the durable tier's
+// admission mutex, the edge's stager mutex). Lookup and Remember do not
+// allocate once the window has warmed: the map is pre-sized to the
+// window bound and never grows past it, and the eviction ring is a fixed
+// slice.
+package dedup
+
+// Window is a bounded id -> value history with FIFO eviction.
+type Window struct {
+	vals  map[uint64]uint64
+	order []uint64 // insertion-ordered ids backing vals
+	pos   int      // next eviction/insertion slot in order
+	n     int      // remembered ids (<= len(order))
+}
+
+// NewWindow builds a window remembering up to size ids; size < 1 is
+// clamped to 1.
+func NewWindow(size int) *Window {
+	if size < 1 {
+		size = 1
+	}
+	return &Window{
+		vals:  make(map[uint64]uint64, size),
+		order: make([]uint64, size),
+	}
+}
+
+// Size returns the window bound.
+func (w *Window) Size() int { return len(w.order) }
+
+// Len returns the number of ids currently remembered.
+func (w *Window) Len() int { return w.n }
+
+// Seen reports whether id is inside the window.
+func (w *Window) Seen(id uint64) bool {
+	_, ok := w.vals[id]
+	return ok
+}
+
+// Lookup returns the value remembered for id and whether id is inside
+// the window.
+func (w *Window) Lookup(id uint64) (uint64, bool) {
+	v, ok := w.vals[id]
+	return v, ok
+}
+
+// Remember inserts id with the given value, evicting the oldest
+// remembered id once the window is full. Re-remembering an id already in
+// the window updates its value but not its eviction order.
+func (w *Window) Remember(id, val uint64) {
+	if _, ok := w.vals[id]; ok {
+		w.vals[id] = val
+		return
+	}
+	if w.n == len(w.order) {
+		delete(w.vals, w.order[w.pos])
+	} else {
+		w.n++
+	}
+	w.order[w.pos] = id
+	w.vals[id] = val
+	w.pos = (w.pos + 1) % len(w.order)
+}

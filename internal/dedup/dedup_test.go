@@ -1,0 +1,88 @@
+package dedup
+
+import "testing"
+
+func TestWindowRememberLookup(t *testing.T) {
+	w := NewWindow(4)
+	if w.Seen(1) {
+		t.Fatal("empty window claims to have seen id 1")
+	}
+	w.Remember(1, 100)
+	v, ok := w.Lookup(1)
+	if !ok || v != 100 {
+		t.Fatalf("Lookup(1) = %d,%v, want 100,true", v, ok)
+	}
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", w.Len())
+	}
+}
+
+func TestWindowEvictsOldest(t *testing.T) {
+	w := NewWindow(3)
+	for id := uint64(1); id <= 3; id++ {
+		w.Remember(id, id*10)
+	}
+	w.Remember(4, 40) // evicts 1
+	if w.Seen(1) {
+		t.Fatal("id 1 should have been evicted")
+	}
+	for id := uint64(2); id <= 4; id++ {
+		if v, ok := w.Lookup(id); !ok || v != id*10 {
+			t.Fatalf("Lookup(%d) = %d,%v, want %d,true", id, v, ok, id*10)
+		}
+	}
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+}
+
+func TestWindowReRememberUpdatesValue(t *testing.T) {
+	w := NewWindow(2)
+	w.Remember(7, 1)
+	w.Remember(7, 2)
+	if v, _ := w.Lookup(7); v != 2 {
+		t.Fatalf("value = %d, want 2", v)
+	}
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (re-remember must not duplicate)", w.Len())
+	}
+	// The duplicate insert must not have burned an eviction slot.
+	w.Remember(8, 3)
+	if !w.Seen(7) || !w.Seen(8) {
+		t.Fatal("window of 2 should hold both ids")
+	}
+}
+
+func TestWindowSizeClamp(t *testing.T) {
+	w := NewWindow(0)
+	if w.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", w.Size())
+	}
+	w.Remember(1, 0)
+	w.Remember(2, 0)
+	if w.Seen(1) || !w.Seen(2) {
+		t.Fatal("window of 1 should only hold the newest id")
+	}
+}
+
+// TestWindowZeroAllocWarm pins the no-allocation claim for a warmed
+// window: steady-state Lookup+Remember over a rotating id set must not
+// allocate (the edge calls this under its per-tenant stager lock on the
+// ingest hot path).
+func TestWindowZeroAllocWarm(t *testing.T) {
+	const size = 64
+	w := NewWindow(size)
+	id := uint64(0)
+	warm := func() {
+		for i := 0; i < 4*size; i++ {
+			id++
+			if _, ok := w.Lookup(id); !ok {
+				w.Remember(id, id)
+			}
+		}
+	}
+	warm()
+	if avg := testing.AllocsPerRun(100, warm); avg != 0 {
+		t.Errorf("allocs per warmed window cycle = %v, want 0", avg)
+	}
+}

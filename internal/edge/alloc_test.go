@@ -1,0 +1,110 @@
+package edge
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hyperplane/dataplane"
+)
+
+// TestSubmitZeroAllocs pins the tentpole claim: the steady-state ingest
+// hot path — rate-limit check, idempotency lookup, slab copy, batch
+// staging, and the inline IngressBatch flush every FlushBatch requests —
+// performs no per-request allocation. Payloads land in pooled slabs, the
+// staged batch reuses its preallocated buffer, and the flush rides the
+// plane's pooled notify plan.
+func TestSubmitZeroAllocs(t *testing.T) {
+	s, err := New(Config{
+		Plane: dataplane.Config{
+			Tenants:      1,
+			Workers:      1,
+			Mode:         dataplane.Spin,
+			RingCapacity: 1 << 14,
+		},
+		FlushBatch:    64,
+		FlushInterval: time.Hour, // background flusher out of the picture
+		IdemWindow:    256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx, nil)
+	}()
+
+	payload := []byte("edge-zero-alloc-payload-0123456789abcdef")
+	var failed atomic.Int64
+	burst := func() {
+		for i := 0; i < 64; i++ {
+			if _, st := s.Submit(0, payload, 0); st != SubmitAccepted {
+				failed.Add(1)
+			}
+		}
+	}
+	// Warm: fault in the slab pool, batch buffers, and the plane's
+	// ingress pools before measuring.
+	for i := 0; i < 8; i++ {
+		burst()
+	}
+	avg := testing.AllocsPerRun(50, burst)
+	if failed.Load() != 0 {
+		t.Fatalf("%d submits failed during measurement", failed.Load())
+	}
+	// One burst is 64 requests and one flush; anything >= 1 allocation
+	// per burst means a per-request (or per-flush) allocation crept in.
+	if avg >= 1 {
+		t.Errorf("allocations per 64-submit burst = %v, want < 1", avg)
+	}
+}
+
+// TestSubmitZeroAllocsIdempotent pins the same property for keyed
+// requests: a warmed dedup window makes Lookup+Remember allocation-free.
+func TestSubmitZeroAllocsIdempotent(t *testing.T) {
+	s, err := New(Config{
+		Plane: dataplane.Config{
+			Tenants:      1,
+			Workers:      1,
+			Mode:         dataplane.Spin,
+			RingCapacity: 1 << 14,
+		},
+		FlushBatch:    64,
+		FlushInterval: time.Hour,
+		IdemWindow:    256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx, nil)
+	}()
+
+	payload := []byte("keyed-payload")
+	var failed atomic.Int64
+	key := uint64(0)
+	burst := func() {
+		for i := 0; i < 64; i++ {
+			key++
+			if _, st := s.Submit(0, payload, key); st != SubmitAccepted {
+				failed.Add(1)
+			}
+		}
+	}
+	for i := 0; i < 8; i++ {
+		burst()
+	}
+	avg := testing.AllocsPerRun(50, burst)
+	if failed.Load() != 0 {
+		t.Fatalf("%d submits failed during measurement", failed.Load())
+	}
+	if avg >= 1 {
+		t.Errorf("allocations per keyed 64-submit burst = %v, want < 1", avg)
+	}
+}

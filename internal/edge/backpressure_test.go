@@ -1,0 +1,258 @@
+package edge
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hyperplane/dataplane"
+	"hyperplane/internal/telemetry"
+)
+
+func TestConnRingDropOldest(t *testing.T) {
+	msg := []byte("0123456789") // SSE frame: 6 + 10 + 2 = 18 bytes
+	c := newConn(formatSSE, 3*18, dataplane.DropOldest, nil)
+	for i := 0; i < 3; i++ {
+		if !c.push(msg) {
+			t.Fatalf("push %d rejected with room available", i)
+		}
+	}
+	// Ring full: the next push evicts from the front (down to half the
+	// ring) and stages the newcomer.
+	if !c.push(msg) {
+		t.Fatal("DropOldest push rejected")
+	}
+	if c.dropped.Load() == 0 {
+		t.Fatal("eviction not counted")
+	}
+	buf := c.claim()
+	if len(buf)%18 != 0 || len(buf) == 0 {
+		t.Fatalf("claimed %d bytes, want a whole number of frames", len(buf))
+	}
+	if !bytes.HasSuffix(buf, []byte("data: 0123456789\n\n")) {
+		t.Fatalf("newest frame missing from claim: %q", buf)
+	}
+}
+
+func TestConnRingDropNewest(t *testing.T) {
+	msg := []byte("0123456789")
+	c := newConn(formatSSE, 3*18, dataplane.DropNewest, nil)
+	for i := 0; i < 3; i++ {
+		c.push(msg)
+	}
+	if c.push([]byte("newcomer")) {
+		t.Fatal("DropNewest staged into a full ring")
+	}
+	if got := c.dropped.Load(); got != 1 {
+		t.Fatalf("dropped = %d, want 1", got)
+	}
+	// The original three frames survive intact.
+	if buf := c.claim(); bytes.Count(buf, []byte("data: ")) != 3 {
+		t.Fatalf("claim lost surviving frames: %q", buf)
+	}
+}
+
+func TestConnRingOversizedFrame(t *testing.T) {
+	c := newConn(formatSSE, 32, dataplane.DropOldest, nil)
+	if c.push(make([]byte, 1024)) {
+		t.Fatal("frame larger than the ring must drop, not wedge")
+	}
+	if c.dropped.Load() != 1 {
+		t.Fatal("oversized drop not counted")
+	}
+}
+
+// TestSlowSubscriberRingLevel is the deterministic half of the
+// slow-subscriber story: one subscriber's writer consumes, the other
+// never claims (a fully stalled peer). The stalled ring must absorb
+// drops without the fan-out path blocking, and the consumer must see
+// every message.
+func TestSlowSubscriberRingLevel(t *testing.T) {
+	em := &telemetry.EdgeMetrics{}
+	b := newBroadcaster(1, em)
+	fast := newConn(formatSSE, 1<<20, dataplane.DropOldest, em)
+	stalled := newConn(formatSSE, 256, dataplane.DropOldest, em)
+	b.register(0, fast)
+	b.register(0, stalled)
+
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range fast.wake {
+			if buf := fast.claim(); buf != nil {
+				got.Write(buf)
+			}
+			if fast.isClosed() {
+				return
+			}
+		}
+	}()
+
+	const n = 500
+	for i := 0; i < n; i++ {
+		b.fanout(0, []byte(fmt.Sprintf("msg-%04d", i)))
+	}
+	b.unregister(0, fast)
+	select {
+	case fast.wake <- struct{}{}:
+	default:
+	}
+	<-done
+	if buf := fast.claim(); buf != nil { // writer may have exited before the last claim
+		got.Write(buf)
+	}
+
+	if c := bytes.Count(got.Bytes(), []byte("data: msg-")); c != n {
+		t.Fatalf("fast subscriber saw %d/%d messages", c, n)
+	}
+	if stalled.dropped.Load() == 0 {
+		t.Fatal("stalled subscriber ring never dropped")
+	}
+	if em.SubDropped.Load() == 0 {
+		t.Fatal("drops invisible in edge metrics")
+	}
+	if em.FanoutMsgs.Load() == 0 {
+		t.Fatal("fanout count missing")
+	}
+}
+
+// smallBufListener shrinks each accepted connection's kernel send
+// buffer so a stalled client stops absorbing bytes after a few KiB —
+// making slow-subscriber drops deterministic without megabytes of
+// traffic.
+type smallBufListener struct{ net.Listener }
+
+func (l smallBufListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetWriteBuffer(4096)
+		}
+	}
+	return c, err
+}
+
+// TestStalledSSEClientHTTP is the end-to-end half: a real SSE client
+// that stops reading must trigger the drop policy (visible in Stats and
+// /metrics) while a healthy subscriber on the same tenant keeps
+// receiving.
+func TestStalledSSEClientHTTP(t *testing.T) {
+	tel, err := telemetry.New(telemetry.Config{Tenants: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Plane:         dataplane.Config{Tenants: 1, Workers: 1, RingCapacity: 1 << 12},
+		FlushBatch:    1,
+		FlushInterval: 100 * time.Microsecond,
+		SubBuffer:     4096,
+		SubPolicy:     dataplane.DropOldest,
+		WriteTimeout:  2 * time.Second,
+		Telemetry:     tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	hs := httptest.NewUnstartedServer(s.Handler())
+	hs.Listener = smallBufListener{hs.Listener}
+	hs.Start()
+	defer hs.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx, nil)
+	}()
+
+	// Stalled subscriber: raw TCP, reads the response header, then stops.
+	raw, err := net.Dial("tcp", hs.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if tc, ok := raw.(*net.TCPConn); ok {
+		tc.SetReadBuffer(4096)
+	}
+	fmt.Fprintf(raw, "GET /v1/subscribe?tenant=0 HTTP/1.1\r\nHost: edge\r\n\r\n")
+	hdr := bufio.NewReader(raw)
+	for {
+		line, err := hdr.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stalled client handshake: %v", err)
+		}
+		if line == "\r\n" {
+			break
+		}
+	}
+
+	// Healthy subscriber via the normal client path.
+	events, stop := sseClient(t, hs.URL+"/v1/subscribe?tenant=0")
+	defer stop()
+	waitSubscribed(t, s, 2)
+
+	// Produce in paced waves until the stalled connection's drops show
+	// up; the healthy reader keeps pace on loopback.
+	payload := bytes.Repeat([]byte("p"), 1024)
+	deadline := time.Now().Add(20 * time.Second)
+	for s.Stats().SubDropped == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled subscriber never dropped; stats %+v", s.Stats())
+		}
+		for i := 0; i < 64; i++ {
+			s.Submit(0, payload, 0)
+		}
+		time.Sleep(2 * time.Millisecond)
+		// Drain whatever the healthy subscriber has received so far.
+		for drained := true; drained; {
+			select {
+			case <-events:
+			default:
+				drained = false
+			}
+		}
+	}
+
+	// Liveness: the healthy subscriber still receives new messages.
+	time.Sleep(10 * time.Millisecond)
+	for drained := true; drained; {
+		select {
+		case <-events:
+		default:
+			drained = false
+		}
+	}
+	if _, st := s.Submit(0, []byte("marker"), 0); st != SubmitAccepted {
+		t.Fatalf("marker submit status %v", st)
+	}
+	markerDeadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev := <-events:
+			if ev == "marker" {
+				goto verified
+			}
+		case <-markerDeadline:
+			t.Fatal("healthy subscriber stalled behind the slow one")
+		}
+	}
+verified:
+	var buf bytes.Buffer
+	tel.WriteMetrics(&buf)
+	if !strings.Contains(buf.String(), "hyperplane_edge_sub_dropped_total") {
+		t.Fatal("/metrics missing hyperplane_edge_sub_dropped_total")
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "hyperplane_edge_sub_dropped_total ") {
+			if strings.TrimPrefix(line, "hyperplane_edge_sub_dropped_total ") == "0" {
+				t.Fatalf("metrics report zero drops: %s", line)
+			}
+		}
+	}
+}

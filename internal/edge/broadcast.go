@@ -1,0 +1,266 @@
+package edge
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hyperplane/dataplane"
+	"hyperplane/internal/telemetry"
+)
+
+// frameFormat selects how a subscriber connection frames messages.
+type frameFormat uint8
+
+const (
+	formatSSE frameFormat = iota
+	formatWS
+)
+
+// conn is one subscriber connection's bounded staging ring: fan-out
+// frames messages directly into pend (no per-message buffer), and the
+// connection's writer goroutine claims the whole pending region in one
+// swap and pushes it with a single network write — write coalescing, one
+// syscall per wakeup rather than per message. cap(pend) is the bound; a
+// full ring applies the configured slow-subscriber drop policy instead
+// of ever blocking the fan-out path.
+type conn struct {
+	format frameFormat
+	policy dataplane.DeliveryPolicy
+	em     *telemetry.EdgeMetrics
+
+	mu     sync.Mutex
+	pend   []byte // staged frames; cap fixed at SubBuffer
+	frames []int  // per-frame lengths, for DropOldest eviction
+	spare  []byte // writer-owned swap buffer
+	closed bool
+
+	wake    chan struct{}
+	dropped atomic.Int64 // frames dropped on this connection
+}
+
+func newConn(format frameFormat, bufBytes int, policy dataplane.DeliveryPolicy, em *telemetry.EdgeMetrics) *conn {
+	if policy == dataplane.Block {
+		// Fan-out runs inside the plane's egress hook and must never
+		// block; Block degrades to DropOldest (latest-wins).
+		policy = dataplane.DropOldest
+	}
+	return &conn{
+		format: format,
+		policy: policy,
+		em:     em,
+		pend:   make([]byte, 0, bufBytes),
+		frames: make([]int, 0, 64),
+		spare:  make([]byte, 0, bufBytes),
+		wake:   make(chan struct{}, 1),
+	}
+}
+
+// frameLen returns the exact framed size of payload for this format.
+func (c *conn) frameLen(payload []byte) int {
+	switch c.format {
+	case formatWS:
+		return wsFrameLen(len(payload))
+	default:
+		return sseFrameLen(payload)
+	}
+}
+
+// push frames payload into the ring, applying the drop policy on
+// overflow, and wakes the writer. Reports whether the frame was staged.
+func (c *conn) push(payload []byte) bool {
+	need := c.frameLen(payload)
+	c.mu.Lock()
+	if c.closed || need > cap(c.pend) {
+		c.mu.Unlock()
+		c.noteDrop(1)
+		return false
+	}
+	if len(c.pend)+need > cap(c.pend) {
+		if c.policy == dataplane.DropNewest {
+			c.mu.Unlock()
+			c.noteDrop(1)
+			return false
+		}
+		// DropOldest: evict leading frames until at least half the ring
+		// (or the new frame, whichever is larger) fits, so a burst does
+		// not pay one memmove per message.
+		target := cap(c.pend) / 2
+		if need > target {
+			target = need
+		}
+		cut, nf := 0, 0
+		for nf < len(c.frames) && cap(c.pend)-(len(c.pend)-cut) < target {
+			cut += c.frames[nf]
+			nf++
+		}
+		c.pend = c.pend[:copy(c.pend, c.pend[cut:])]
+		c.frames = c.frames[:copy(c.frames, c.frames[nf:])]
+		c.noteDrop(nf)
+	}
+	switch c.format {
+	case formatWS:
+		c.pend = appendWSFrame(c.pend, payload)
+	default:
+		c.pend = appendSSEFrame(c.pend, payload)
+	}
+	c.frames = append(c.frames, need)
+	c.mu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+func (c *conn) noteDrop(n int) {
+	if n <= 0 {
+		return
+	}
+	c.dropped.Add(int64(n))
+	if c.em != nil {
+		c.em.SubDropped.Add(int64(n))
+	}
+}
+
+// claim swaps out the pending region for the writer: everything staged
+// so far comes back as one contiguous byte slice (owned by the writer
+// until the next claim), and fan-out keeps staging into the other
+// buffer without waiting for the network write. Returns nil when
+// nothing is pending.
+func (c *conn) claim() []byte {
+	c.mu.Lock()
+	if len(c.pend) == 0 {
+		c.mu.Unlock()
+		return nil
+	}
+	out := c.pend
+	c.pend = c.spare[:0]
+	c.spare = out
+	c.frames = c.frames[:0]
+	c.mu.Unlock()
+	return out
+}
+
+// close marks the connection dead so fan-out stops staging into it.
+func (c *conn) close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+}
+
+// isClosed reports whether close was called (server shutdown or
+// unregister); writers exit after a final claim.
+func (c *conn) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// sseFrameLen is the exact length appendSSEFrame will add: "data: " per
+// line plus the terminating blank line.
+func sseFrameLen(payload []byte) int {
+	lines := 1
+	for _, b := range payload {
+		if b == '\n' {
+			lines++
+		}
+	}
+	return len(payload) + 6*lines + 2
+}
+
+// appendSSEFrame appends payload as one SSE event: every payload line
+// becomes a "data: " field, the event ends with a blank line. Payload
+// newlines are preserved by the client's field-joining rule.
+func appendSSEFrame(dst, payload []byte) []byte {
+	dst = append(dst, "data: "...)
+	start := 0
+	for i, b := range payload {
+		if b == '\n' {
+			dst = append(dst, payload[start:i+1]...)
+			dst = append(dst, "data: "...)
+			start = i + 1
+		}
+	}
+	dst = append(dst, payload[start:]...)
+	return append(dst, '\n', '\n')
+}
+
+// tenantSubs is one tenant's subscriber set. RWMutex: fan-out takes the
+// read side (many deliveries), register/unregister the write side.
+type tenantSubs struct {
+	mu   sync.RWMutex
+	subs []*conn
+}
+
+// broadcaster fans delivered payloads out to every subscriber of the
+// tenant. It is the edge's half of the plane's egress hook.
+type broadcaster struct {
+	tenants []tenantSubs
+	em      *telemetry.EdgeMetrics
+}
+
+func newBroadcaster(tenants int, em *telemetry.EdgeMetrics) *broadcaster {
+	return &broadcaster{tenants: make([]tenantSubs, tenants), em: em}
+}
+
+func (b *broadcaster) register(tenant int, c *conn) {
+	ts := &b.tenants[tenant]
+	ts.mu.Lock()
+	ts.subs = append(ts.subs, c)
+	ts.mu.Unlock()
+	b.em.Connects.Add(1)
+	b.em.Connections.Add(1)
+}
+
+func (b *broadcaster) unregister(tenant int, c *conn) {
+	ts := &b.tenants[tenant]
+	ts.mu.Lock()
+	for i, sc := range ts.subs {
+		if sc == c {
+			last := len(ts.subs) - 1
+			ts.subs[i] = ts.subs[last]
+			ts.subs[last] = nil
+			ts.subs = ts.subs[:last]
+			break
+		}
+	}
+	ts.mu.Unlock()
+	c.close()
+	b.em.Disconnects.Add(1)
+	b.em.Connections.Add(-1)
+}
+
+// fanout stages payload on every subscriber ring. Called from the
+// plane's worker goroutines via the egress hook: it must not block and
+// must not retain payload — push copies the bytes into each ring.
+func (b *broadcaster) fanout(tenant int, payload []byte) {
+	ts := &b.tenants[tenant]
+	ts.mu.RLock()
+	staged := 0
+	for _, c := range ts.subs {
+		if c.push(payload) {
+			staged++
+		}
+	}
+	ts.mu.RUnlock()
+	if staged > 0 {
+		b.em.FanoutMsgs.Add(int64(staged))
+	}
+}
+
+// closeAll closes every subscriber ring and wakes every writer so
+// connection handlers observe shutdown and exit after a final flush.
+func (b *broadcaster) closeAll() {
+	for t := range b.tenants {
+		ts := &b.tenants[t]
+		ts.mu.Lock()
+		for _, c := range ts.subs {
+			c.close()
+			select {
+			case c.wake <- struct{}{}:
+			default:
+			}
+		}
+		ts.mu.Unlock()
+	}
+}

@@ -1,0 +1,484 @@
+// Package edge is the network front of the data plane: a multi-tenant
+// HTTP ingest API whose hot path stages requests into pooled per-tenant
+// batches and flushes them through the plane's batched MPSC ingress (one
+// cursor publish + one doorbell amortize many requests, exactly as
+// PushBatch amortizes ring operations), and an egress broadcaster that
+// fans completions out to SSE/WebSocket subscribers through bounded
+// per-connection rings with coalesced writes. It is the layer that makes
+// the accelerator's wins — batched ingress, banked notify, work stealing
+// — reachable by real clients.
+package edge
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperplane/dataplane"
+	"hyperplane/internal/dedup"
+	"hyperplane/internal/telemetry"
+)
+
+// Config configures an edge Server. The zero value of every field has a
+// usable default except Plane.Tenants, which must be positive.
+type Config struct {
+	// Plane configures the embedded data plane. The edge owns the
+	// plane's lifecycle and installs its own OnDeliver egress hook; a
+	// caller-set OnDeliver is rejected. Handler/BatchHandler and the
+	// durable tier work as usual.
+	Plane dataplane.Config
+
+	// Auth maps bearer tokens to tenant ids. nil runs the edge open:
+	// the tenant comes from the ?tenant= query parameter (default 0).
+	Auth map[string]int
+
+	// Rate limits each tenant to this many ingest requests/sec with
+	// Burst headroom (GCRA). 0 disables rate limiting.
+	Rate  float64
+	Burst int
+
+	// FlushBatch is the staging batch size: one IngressBatch flush per
+	// FlushBatch requests (default 64). 1 degenerates to one flush per
+	// request — the unamortized baseline edgebench compares against.
+	FlushBatch int
+	// FlushInterval bounds how long a partial batch waits for the
+	// background flusher (default 200µs).
+	FlushInterval time.Duration
+
+	// IdemWindow is the per-tenant idempotency-key history depth
+	// (default 4096).
+	IdemWindow int
+
+	// MaxPayload rejects larger ingest bodies with 413 (default
+	// SlabBytes). SlabBytes sizes the pooled staging slabs (default
+	// 64 KiB).
+	MaxPayload int
+	SlabBytes  int
+
+	// SubBuffer bounds each subscriber connection's pending-frame ring
+	// in bytes (default 256 KiB). SubPolicy picks the slow-subscriber
+	// policy: DropOldest (default; Block degrades to it — fan-out never
+	// blocks) or DropNewest.
+	SubBuffer int
+	SubPolicy dataplane.DeliveryPolicy
+
+	// WriteTimeout bounds each coalesced subscriber write (default 5s);
+	// a fully stalled connection is reaped when it expires. Heartbeat
+	// is the idle keep-alive interval (default 15s).
+	WriteTimeout time.Duration
+	Heartbeat    time.Duration
+
+	// Telemetry, when non-nil, gets the edge counter series attached as
+	// a /metrics collector (hyperplane_edge_*).
+	Telemetry *telemetry.T
+}
+
+// Server is the running edge: an embedded data plane, per-tenant ingest
+// stagers, and the subscriber broadcaster. Route its Handler into an
+// http.Server and wire SIGTERM to Shutdown.
+type Server struct {
+	cfg     Config
+	plane   *dataplane.Plane
+	slabs   *slabPool
+	stagers []stager
+	limiter *RateLimiter
+	bcast   *broadcaster
+	em      *telemetry.EdgeMetrics
+	mux     *http.ServeMux
+
+	bodyPool sync.Pool
+
+	draining    atomic.Bool
+	abortFlush  atomic.Bool
+	stopFlusher chan struct{}
+	flusherOnce sync.Once
+	closeOnce   sync.Once
+}
+
+// New builds an edge Server and its embedded plane (not yet started).
+func New(cfg Config) (*Server, error) {
+	if cfg.Plane.OnDeliver != nil {
+		return nil, errConfigOnDeliver
+	}
+	if cfg.FlushBatch < 1 {
+		cfg.FlushBatch = 64
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 200 * time.Microsecond
+	}
+	if cfg.IdemWindow < 1 {
+		cfg.IdemWindow = 4096
+	}
+	if cfg.SlabBytes < 1 {
+		cfg.SlabBytes = 64 << 10
+	}
+	if cfg.MaxPayload < 1 {
+		cfg.MaxPayload = cfg.SlabBytes
+	}
+	if cfg.SubBuffer < 1 {
+		cfg.SubBuffer = 256 << 10
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 5 * time.Second
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 15 * time.Second
+	}
+	s := &Server{
+		cfg:         cfg,
+		em:          &telemetry.EdgeMetrics{},
+		stopFlusher: make(chan struct{}),
+	}
+	s.cfg.Plane.OnDeliver = s.onDeliver
+	plane, err := dataplane.New(s.cfg.Plane)
+	if err != nil {
+		return nil, err
+	}
+	tenants := s.cfg.Plane.Tenants
+	s.plane = plane
+	s.slabs = newSlabPool(cfg.SlabBytes)
+	s.limiter = NewRateLimiter(tenants, cfg.Rate, cfg.Burst)
+	s.bcast = newBroadcaster(tenants, s.em)
+	s.stagers = make([]stager, tenants)
+	for i := range s.stagers {
+		s.stagers[i].items = make([]dataplane.IngressItem, 0, cfg.FlushBatch)
+		s.stagers[i].idem = dedup.NewWindow(cfg.IdemWindow)
+	}
+	s.bodyPool = sync.Pool{New: func() any {
+		b := make([]byte, s.cfg.MaxPayload+1)
+		return &b
+	}}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/subscribe", s.handleSSE)
+	s.mux.HandleFunc("GET /v1/ws", s.handleWS)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.AttachCollector(s.em.WriteProm)
+	}
+	return s, nil
+}
+
+var errConfigOnDeliver = &configError{"edge: Config.Plane.OnDeliver is owned by the edge"}
+
+type configError struct{ msg string }
+
+func (e *configError) Error() string { return e.msg }
+
+// Start launches the embedded plane's workers and the deadline flusher.
+func (s *Server) Start() {
+	s.plane.Start()
+	go s.flusher()
+}
+
+// Plane exposes the embedded data plane (stats, DLQ drains, WAL sync).
+func (s *Server) Plane() *dataplane.Plane { return s.plane }
+
+// Handler returns the edge's HTTP mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the edge counter set (always non-nil).
+func (s *Server) Metrics() *telemetry.EdgeMetrics { return s.em }
+
+// onDeliver is the plane's egress hook: delivered payloads fan out to
+// the tenant's subscribers, and every hook call — delivery or
+// retirement — releases the item's slab reference.
+func (s *Server) onDeliver(tenant int, payload []byte, tag uint64) {
+	if payload != nil {
+		s.bcast.fanout(tenant, payload)
+	}
+	if tag != 0 {
+		s.slabs.unref(tag)
+	}
+}
+
+// Stats is a point-in-time snapshot of the edge counters.
+type Stats struct {
+	Connections     int64
+	Accepted        int64
+	RateLimited     int64
+	Deduped         int64
+	Rejected        int64
+	Flushes         int64
+	FlushedItems    int64
+	SlabOverflow    int64
+	FanoutMsgs      int64
+	CoalescedWrites int64
+	SentBytes       int64
+	SubDropped      int64
+}
+
+// Stats snapshots the edge counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Connections:     s.em.Connections.Load(),
+		Accepted:        s.em.Accepted.Load(),
+		RateLimited:     s.em.RateLimited.Load(),
+		Deduped:         s.em.Deduped.Load(),
+		Rejected:        s.em.Rejected.Load(),
+		Flushes:         s.em.Flushes.Load(),
+		FlushedItems:    s.em.FlushedItems.Load(),
+		SlabOverflow:    s.em.SlabOverflow.Load(),
+		FanoutMsgs:      s.em.FanoutMsgs.Load(),
+		CoalescedWrites: s.em.CoalescedWrites.Load(),
+		SentBytes:       s.em.SentBytes.Load(),
+		SubDropped:      s.em.SubDropped.Load(),
+	}
+}
+
+// Shutdown drains the edge in dependency order so nothing the edge
+// 202'd is silently lost: new ingest starts rejecting, staged batches
+// flush into the plane, the plane drains bounded by ctx (StopContext
+// stops it regardless), subscribers get a final coalesced flush of
+// everything delivered, and only then does the HTTP listener shut down.
+// hs may be nil when the caller owns the listener separately.
+func (s *Server) Shutdown(ctx context.Context, hs *http.Server) error {
+	s.draining.Store(true)
+	s.flusherOnce.Do(func() { close(s.stopFlusher) })
+	// If ctx expires while a flush is stuck on plane backpressure, abort
+	// it — StopContext will stop the plane on the same deadline anyway.
+	stopAbort := context.AfterFunc(ctx, func() { s.abortFlush.Store(true) })
+	defer stopAbort()
+	s.flushAll()
+	err := s.plane.StopContext(ctx)
+	s.closeOnce.Do(func() { s.bcast.closeAll() })
+	if hs != nil {
+		if herr := hs.Shutdown(ctx); err == nil {
+			err = herr
+		}
+	}
+	return err
+}
+
+// ---- HTTP handlers ----
+
+// authTenant resolves the request's tenant: bearer-token lookup when
+// Auth is configured, else the ?tenant= query parameter (default 0).
+func (s *Server) authTenant(r *http.Request) (int, bool) {
+	if s.cfg.Auth != nil {
+		const prefix = "Bearer "
+		ah := r.Header.Get("Authorization")
+		if len(ah) > len(prefix) && ah[:len(prefix)] == prefix {
+			if t, ok := s.cfg.Auth[ah[len(prefix):]]; ok {
+				return t, true
+			}
+		}
+		return 0, false
+	}
+	q := r.URL.RawQuery
+	for len(q) > 0 {
+		kv := q
+		if i := strings.IndexByte(q, '&'); i >= 0 {
+			kv, q = q[:i], q[i+1:]
+		} else {
+			q = ""
+		}
+		if strings.HasPrefix(kv, "tenant=") {
+			t, err := strconv.Atoi(kv[len("tenant="):])
+			if err != nil || t < 0 || t >= len(s.stagers) {
+				return 0, false
+			}
+			return t, true
+		}
+	}
+	return 0, true
+}
+
+// readBody fills buf from r, returning the byte count; a full buf means
+// the body exceeded MaxPayload (buf is sized MaxPayload+1).
+func readBody(r io.Reader, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := r.Read(buf[n:])
+		n += m
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	tenant, ok := s.authTenant(r)
+	if !ok {
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
+		return
+	}
+	bp := s.bodyPool.Get().(*[]byte)
+	n, err := readBody(r.Body, *bp)
+	if err != nil {
+		s.bodyPool.Put(bp)
+		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	key := IdemKey(r.Header.Get("Idempotency-Key"))
+	seq, st := s.Submit(tenant, (*bp)[:n], key)
+	s.bodyPool.Put(bp)
+	switch st {
+	case SubmitAccepted, SubmitDuplicate:
+		var arr [64]byte
+		resp := append(arr[:0], `{"seq":`...)
+		resp = strconv.AppendUint(resp, seq, 10)
+		if st == SubmitDuplicate {
+			resp = append(resp, `,"duplicate":true`...)
+		}
+		resp = append(resp, '}', '\n')
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		w.Write(resp)
+	case SubmitRateLimited:
+		http.Error(w, "rate limited", http.StatusTooManyRequests)
+	case SubmitTooLarge:
+		http.Error(w, "payload too large", http.StatusRequestEntityTooLarge)
+	default:
+		http.Error(w, "rejected", http.StatusServiceUnavailable)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleSSE(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := s.authTenant(r)
+	if !ok {
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
+		return
+	}
+	rc := http.NewResponseController(w)
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	if err := rc.Flush(); err != nil {
+		return
+	}
+	c := newConn(formatSSE, s.cfg.SubBuffer, s.cfg.SubPolicy, s.em)
+	s.bcast.register(tenant, c)
+	defer s.bcast.unregister(tenant, c)
+
+	hb := time.NewTicker(s.cfg.Heartbeat)
+	defer hb.Stop()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-hb.C:
+			rc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			if _, err := io.WriteString(w, ": ping\n\n"); err != nil {
+				return
+			}
+			rc.Flush()
+		case <-c.wake:
+			buf := c.claim()
+			if buf == nil {
+				if c.isClosed() { // shutdown wakeup
+					return
+				}
+				continue
+			}
+			rc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			nw, err := w.Write(buf)
+			s.em.CoalescedWrites.Add(1)
+			s.em.SentBytes.Add(int64(nw))
+			if err != nil {
+				return
+			}
+			rc.Flush()
+			if c.isClosed() {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := s.authTenant(r)
+	if !ok {
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
+		return
+	}
+	if !strings.EqualFold(r.Header.Get("Upgrade"), "websocket") ||
+		r.Header.Get("Sec-WebSocket-Key") == "" {
+		http.Error(w, "websocket upgrade required", http.StatusBadRequest)
+		return
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "hijack unsupported", http.StatusInternalServerError)
+		return
+	}
+	netc, brw, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	defer netc.Close()
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\nConnection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + wsAcceptKey(r.Header.Get("Sec-WebSocket-Key")) + "\r\n\r\n"
+	if _, err := brw.WriteString(resp); err != nil {
+		return
+	}
+	if err := brw.Flush(); err != nil {
+		return
+	}
+	c := newConn(formatWS, s.cfg.SubBuffer, s.cfg.SubPolicy, s.em)
+	s.bcast.register(tenant, c)
+	defer s.bcast.unregister(tenant, c)
+
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		wsReadLoop(brw.Reader)
+	}()
+
+	hb := time.NewTicker(s.cfg.Heartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case <-readDone:
+			return
+		case <-hb.C:
+			netc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			if _, err := netc.Write(wsPingFrame); err != nil {
+				return
+			}
+		case <-c.wake:
+			buf := c.claim()
+			if buf == nil {
+				if c.isClosed() {
+					return
+				}
+				continue
+			}
+			netc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			nw, err := netc.Write(buf)
+			s.em.CoalescedWrites.Add(1)
+			s.em.SentBytes.Add(int64(nw))
+			if err != nil {
+				return
+			}
+			if c.isClosed() {
+				return
+			}
+		}
+	}
+}

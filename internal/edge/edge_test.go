@@ -1,0 +1,334 @@
+package edge
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hyperplane/dataplane"
+	"hyperplane/internal/telemetry"
+)
+
+// newTestServer builds a started edge over a small in-memory plane and
+// an httptest listener. FlushInterval is tightened so partial batches
+// flush promptly.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Plane.Tenants == 0 {
+		cfg.Plane.Tenants = 2
+	}
+	if cfg.FlushInterval == 0 {
+		cfg.FlushInterval = 100 * time.Microsecond
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx, nil)
+	})
+	return s, hs
+}
+
+type acceptResp struct {
+	Seq       uint64 `json:"seq"`
+	Duplicate bool   `json:"duplicate"`
+}
+
+func postIngest(t *testing.T, url, body string, hdr map[string]string) (*http.Response, acceptResp) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ar acceptResp
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+			t.Fatalf("decoding accept body: %v", err)
+		}
+	}
+	return resp, ar
+}
+
+// sseClient subscribes and forwards decoded event payloads on a channel.
+func sseClient(t *testing.T, url string) (<-chan string, func()) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	resp, err := http.DefaultClient.Do(req.WithContext(ctx))
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		cancel()
+		t.Fatalf("subscribe status %d", resp.StatusCode)
+	}
+	events := make(chan string, 1024)
+	go func() {
+		defer resp.Body.Close()
+		defer close(events)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if data, ok := strings.CutPrefix(line, "data: "); ok {
+				events <- data
+			}
+		}
+	}()
+	return events, cancel
+}
+
+func waitEvent(t *testing.T, events <-chan string) string {
+	t.Helper()
+	select {
+	case ev, ok := <-events:
+		if !ok {
+			t.Fatal("subscriber stream closed early")
+		}
+		return ev
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for event")
+	}
+	return ""
+}
+
+func TestIngestToSSERoundtrip(t *testing.T) {
+	s, hs := newTestServer(t, Config{})
+	events, stop := sseClient(t, hs.URL+"/v1/subscribe?tenant=0")
+	defer stop()
+	waitSubscribed(t, s, 1)
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		resp, ar := postIngest(t, hs.URL+"/v1/ingest?tenant=0", fmt.Sprintf("hello-%d", i), nil)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest %d: status %d", i, resp.StatusCode)
+		}
+		if ar.Seq != uint64(i+1) {
+			t.Fatalf("ingest %d: seq %d, want %d", i, ar.Seq, i+1)
+		}
+	}
+	got := make(map[string]bool, n)
+	for len(got) < n {
+		got[waitEvent(t, events)] = true
+	}
+	for i := 0; i < n; i++ {
+		if !got[fmt.Sprintf("hello-%d", i)] {
+			t.Fatalf("event hello-%d never arrived", i)
+		}
+	}
+}
+
+// waitSubscribed blocks until n subscriber connections are registered,
+// so a test's ingest cannot race ahead of its subscribe.
+func waitSubscribed(t *testing.T, s *Server, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.em.Connections.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("never reached %d subscriptions", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestMultilinePayloadSSEFraming(t *testing.T) {
+	s, hs := newTestServer(t, Config{})
+	events, stop := sseClient(t, hs.URL+"/v1/subscribe?tenant=0")
+	defer stop()
+	waitSubscribed(t, s, 1)
+	if resp, _ := postIngest(t, hs.URL+"/v1/ingest?tenant=0", "line1\nline2", nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// The SSE field-joining rule reassembles the two data lines.
+	if ev := waitEvent(t, events); ev != "line1" {
+		t.Fatalf("first data line %q, want %q", ev, "line1")
+	}
+	if ev := waitEvent(t, events); ev != "line2" {
+		t.Fatalf("second data line %q, want %q", ev, "line2")
+	}
+}
+
+func TestBearerAuth(t *testing.T) {
+	_, hs := newTestServer(t, Config{
+		Auth:  map[string]int{"tok-a": 0, "tok-b": 1},
+		Plane: dataplane.Config{Tenants: 2},
+	})
+	resp, _ := postIngest(t, hs.URL+"/v1/ingest", "x", nil)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("no token: status %d, want 401", resp.StatusCode)
+	}
+	resp, _ = postIngest(t, hs.URL+"/v1/ingest", "x", map[string]string{"Authorization": "Bearer wrong"})
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("bad token: status %d, want 401", resp.StatusCode)
+	}
+	resp, ar := postIngest(t, hs.URL+"/v1/ingest", "x", map[string]string{"Authorization": "Bearer tok-b"})
+	if resp.StatusCode != http.StatusAccepted || ar.Seq != 1 {
+		t.Fatalf("good token: status %d seq %d", resp.StatusCode, ar.Seq)
+	}
+	// Auth mode must ignore the open-mode tenant query escape hatch.
+	r, err := http.Get(hs.URL + "/v1/subscribe?tenant=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthorized subscribe: status %d, want 401", r.StatusCode)
+	}
+}
+
+func TestTenantQueryValidation(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	for _, q := range []string{"?tenant=99", "?tenant=-1", "?tenant=abc"} {
+		resp, _ := postIngest(t, hs.URL+"/v1/ingest"+q, "x", nil)
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("%s: status %d, want 401", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestIdempotencyKeyDedup(t *testing.T) {
+	s, hs := newTestServer(t, Config{})
+	events, stop := sseClient(t, hs.URL+"/v1/subscribe?tenant=0")
+	defer stop()
+	waitSubscribed(t, s, 1)
+
+	hdr := map[string]string{"Idempotency-Key": "order-42"}
+	resp, first := postIngest(t, hs.URL+"/v1/ingest?tenant=0", "pay-once", hdr)
+	if resp.StatusCode != http.StatusAccepted || first.Duplicate {
+		t.Fatalf("first: status %d dup %v", resp.StatusCode, first.Duplicate)
+	}
+	resp, second := postIngest(t, hs.URL+"/v1/ingest?tenant=0", "pay-once", hdr)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("retry: status %d", resp.StatusCode)
+	}
+	if !second.Duplicate || second.Seq != first.Seq {
+		t.Fatalf("retry: seq %d dup %v, want original seq %d dup true", second.Seq, second.Duplicate, first.Seq)
+	}
+	// Exactly one delivery: the follow-up message proves nothing else
+	// is in flight.
+	postIngest(t, hs.URL+"/v1/ingest?tenant=0", "after", nil)
+	if ev := waitEvent(t, events); ev != "pay-once" {
+		t.Fatalf("event %q, want pay-once", ev)
+	}
+	if ev := waitEvent(t, events); ev != "after" {
+		t.Fatalf("event %q, want after (duplicate must not re-enqueue)", ev)
+	}
+	if st := s.Stats(); st.Deduped != 1 || st.Accepted != 2 {
+		t.Fatalf("stats = %+v, want Deduped 1 Accepted 2", st)
+	}
+}
+
+func TestRateLimitHTTP(t *testing.T) {
+	s, hs := newTestServer(t, Config{Rate: 0.001, Burst: 3})
+	var codes []int
+	for i := 0; i < 5; i++ {
+		resp, _ := postIngest(t, hs.URL+"/v1/ingest?tenant=0", "x", nil)
+		codes = append(codes, resp.StatusCode)
+	}
+	for i, c := range codes {
+		want := http.StatusAccepted
+		if i >= 3 {
+			want = http.StatusTooManyRequests
+		}
+		if c != want {
+			t.Fatalf("request %d: status %d, want %d (all: %v)", i, c, want, codes)
+		}
+	}
+	if st := s.Stats(); st.RateLimited != 2 {
+		t.Fatalf("RateLimited = %d, want 2", st.RateLimited)
+	}
+}
+
+func TestPayloadTooLarge(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxPayload: 128})
+	resp, _ := postIngest(t, hs.URL+"/v1/ingest?tenant=0", strings.Repeat("x", 129), nil)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	resp, _ = postIngest(t, hs.URL+"/v1/ingest?tenant=0", strings.Repeat("x", 128), nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("at-limit status %d, want 202", resp.StatusCode)
+	}
+}
+
+func TestEdgeMetricsExported(t *testing.T) {
+	tel, err := telemetry.New(telemetry.Config{Tenants: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, hs := newTestServer(t, Config{Telemetry: tel})
+	for i := 0; i < 3; i++ {
+		postIngest(t, hs.URL+"/v1/ingest?tenant=0", "m", nil)
+	}
+	waitFlushed(t, s, 3)
+	var buf bytes.Buffer
+	tel.WriteMetrics(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"hyperplane_edge_accepted_total 3",
+		"hyperplane_edge_connections 0",
+		"hyperplane_edge_flushed_items_total 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/metrics missing %q\n%s", want, out)
+		}
+	}
+}
+
+// waitFlushed blocks until n items have been flushed into the plane.
+func waitFlushed(t *testing.T, s *Server, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.em.FlushedItems.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("never flushed %d items (have %d)", n, s.em.FlushedItems.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWebSocketSubscribe(t *testing.T) {
+	s, hs := newTestServer(t, Config{})
+	u := strings.TrimPrefix(hs.URL, "http://")
+	conn, err := dialWS(u, "/v1/ws?tenant=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	waitSubscribed(t, s, 1)
+	if resp, _ := postIngest(t, hs.URL+"/v1/ingest?tenant=0", "ws-msg", nil); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	payload, err := conn.readText(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != "ws-msg" {
+		t.Fatalf("ws payload %q, want ws-msg", payload)
+	}
+}

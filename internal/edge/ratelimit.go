@@ -1,0 +1,63 @@
+package edge
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// RateLimiter is a per-tenant GCRA ("leaky bucket as meter") admission
+// limiter: one atomic word per tenant (the theoretical arrival time),
+// one CAS per admitted request, no background refill goroutine and no
+// allocation on Allow. It is the token-bucket equivalent — rate tokens
+// per second with a burst-deep bucket — expressed as virtual scheduling,
+// which is what makes it a single CAS instead of a locked
+// tokens+timestamp pair.
+type RateLimiter struct {
+	interval int64 // emission interval: ns between sustained tokens
+	burstNs  int64 // tolerance: (burst-1)*interval
+	tats     []atomic.Int64
+}
+
+// NewRateLimiter builds a limiter admitting rate requests/sec with the
+// given burst per tenant. rate <= 0 returns nil, and a nil *RateLimiter
+// admits everything — "no limit" costs nothing on the hot path.
+func NewRateLimiter(tenants int, rate float64, burst int) *RateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	interval := int64(float64(time.Second) / rate)
+	if interval < 1 {
+		interval = 1
+	}
+	return &RateLimiter{
+		interval: interval,
+		burstNs:  int64(burst-1) * interval,
+		tats:     make([]atomic.Int64, tenants),
+	}
+}
+
+// Allow reports whether the tenant may admit one request at time now
+// (UnixNano). Concurrent callers race on the CAS; losers retry against
+// the fresh TAT, so admission stays exact under contention.
+func (l *RateLimiter) Allow(tenant int, now int64) bool {
+	if l == nil {
+		return true
+	}
+	tat := &l.tats[tenant]
+	for {
+		t := tat.Load()
+		if t-now > l.burstNs {
+			return false // bucket empty: arrival too far ahead of schedule
+		}
+		base := t
+		if now > base {
+			base = now
+		}
+		if tat.CompareAndSwap(t, base+l.interval) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package edge
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRateLimiterBurstThenDeny(t *testing.T) {
+	l := NewRateLimiter(1, 1000, 5) // 1ms interval, burst 5
+	now := time.Now().UnixNano()
+	for i := 0; i < 5; i++ {
+		if !l.Allow(0, now) {
+			t.Fatalf("request %d inside burst denied", i)
+		}
+	}
+	if l.Allow(0, now) {
+		t.Fatal("request 6 at the same instant should be denied")
+	}
+}
+
+func TestRateLimiterRefill(t *testing.T) {
+	l := NewRateLimiter(1, 1000, 2)
+	now := int64(1_000_000_000)
+	if !l.Allow(0, now) || !l.Allow(0, now) {
+		t.Fatal("burst of 2 denied")
+	}
+	if l.Allow(0, now) {
+		t.Fatal("drained bucket allowed")
+	}
+	// One emission interval later exactly one token has dripped in.
+	now += l.interval
+	if !l.Allow(0, now) {
+		t.Fatal("token after one interval denied")
+	}
+	if l.Allow(0, now) {
+		t.Fatal("second token after one interval allowed")
+	}
+}
+
+func TestRateLimiterSustainedRate(t *testing.T) {
+	l := NewRateLimiter(1, 1000, 1)
+	now := int64(1_000_000_000)
+	for i := 0; i < 100; i++ {
+		if !l.Allow(0, now) {
+			t.Fatalf("on-schedule request %d denied", i)
+		}
+		if l.Allow(0, now) {
+			t.Fatalf("off-schedule request %d allowed", i)
+		}
+		now += l.interval
+	}
+}
+
+func TestRateLimiterTenantIsolation(t *testing.T) {
+	l := NewRateLimiter(2, 1000, 1)
+	now := time.Now().UnixNano()
+	if !l.Allow(0, now) {
+		t.Fatal("tenant 0 denied")
+	}
+	if !l.Allow(1, now) {
+		t.Fatal("tenant 1 should have its own bucket")
+	}
+}
+
+func TestRateLimiterNilAllowsAll(t *testing.T) {
+	var l *RateLimiter
+	for i := 0; i < 1000; i++ {
+		if !l.Allow(0, int64(i)) {
+			t.Fatal("nil limiter denied")
+		}
+	}
+	if l := NewRateLimiter(1, 0, 10); l != nil {
+		t.Fatal("rate 0 should build a nil (unlimited) limiter")
+	}
+}
+
+// TestRateLimiterConcurrentExact hammers one frozen instant from many
+// goroutines: the CAS admission must hand out exactly burst tokens, no
+// more, no fewer — the property a locked tokens+timestamp pair gets for
+// free and GCRA must earn.
+func TestRateLimiterConcurrentExact(t *testing.T) {
+	const burst = 64
+	l := NewRateLimiter(1, 0.001, burst) // ~17min interval: no refill mid-test
+	now := time.Now().UnixNano()
+	var allowed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if l.Allow(0, now) {
+					allowed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := allowed.Load(); got != burst {
+		t.Fatalf("admitted %d, want exactly %d", got, burst)
+	}
+}
+
+func TestRateLimiterAllocFree(t *testing.T) {
+	l := NewRateLimiter(1, 1e9, 1<<30)
+	now := time.Now().UnixNano()
+	if avg := testing.AllocsPerRun(100, func() { l.Allow(0, now) }); avg != 0 {
+		t.Errorf("Allow allocates %v per call, want 0", avg)
+	}
+}

@@ -1,0 +1,160 @@
+package edge
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hyperplane/dataplane"
+)
+
+// TestShutdownDrainsAccepted is the no-dropped-but-202'd proof: every
+// request the edge accepted — including ones still sitting in a partial
+// staging batch when SIGTERM lands — must reach subscribers before
+// Shutdown returns. Shutdown flushes the stagers, runs the plane's
+// bounded drain, gives subscriber writers a final coalesced flush, and
+// only then stops.
+func TestShutdownDrainsAccepted(t *testing.T) {
+	s, err := New(Config{
+		Plane:         dataplane.Config{Tenants: 1, Workers: 1, RingCapacity: 1 << 12},
+		FlushBatch:    64,
+		FlushInterval: time.Hour, // no background flusher: staged items sit until Shutdown
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+
+	events, stop := sseClient(t, hs.URL+"/v1/subscribe?tenant=0")
+	defer stop()
+	waitSubscribed(t, s, 1)
+
+	// 100 accepts = one full flush of 64 + 36 stranded in the stager.
+	const n = 100
+	for i := 0; i < n; i++ {
+		if _, st := s.Submit(0, []byte(fmt.Sprintf("m-%03d", i)), 0); st != SubmitAccepted {
+			t.Fatalf("submit %d: %v", i, st)
+		}
+	}
+	if got := s.Stats().FlushedItems; got != 64 {
+		t.Fatalf("pre-shutdown flushed %d, want 64 (the rest must be staged)", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx, nil); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	got := make(map[string]bool, n)
+	for ev := range events { // stream closes when the writer exits
+		got[ev] = true
+	}
+	for i := 0; i < n; i++ {
+		if !got[fmt.Sprintf("m-%03d", i)] {
+			t.Fatalf("accepted message m-%03d lost across shutdown (%d received)", i, len(got))
+		}
+	}
+
+	// After shutdown the edge rejects truthfully.
+	if _, st := s.Submit(0, []byte("late"), 0); st != SubmitRejected {
+		t.Fatalf("post-shutdown submit = %v, want SubmitRejected", st)
+	}
+	resp, _ := postIngest(t, hs.URL+"/v1/ingest?tenant=0", "late", nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown ingest status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestShutdownWiresHTTPServer covers the hs != nil path: Shutdown must
+// stop the listener only after the drain, and report success.
+func TestShutdownWiresHTTPServer(t *testing.T) {
+	s, err := New(Config{
+		Plane:      dataplane.Config{Tenants: 1, Workers: 1},
+		FlushBatch: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	hsrv := &http.Server{Handler: s.Handler()}
+	hs := httptest.NewUnstartedServer(nil)
+	hs.Config = hsrv
+	hs.Start()
+
+	for i := 0; i < 20; i++ {
+		resp, _ := postIngest(t, hs.URL+"/v1/ingest?tenant=0", "x", nil)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest %d status %d", i, resp.StatusCode)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx, hsrv); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get(hs.URL + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+	if st := s.Stats(); st.FlushedItems != st.Accepted {
+		t.Fatalf("flushed %d of %d accepted", st.FlushedItems, st.Accepted)
+	}
+}
+
+// TestHealthzDraining: health flips to 503 the moment draining starts,
+// so load balancers stop routing before the listener closes.
+func TestHealthzDraining(t *testing.T) {
+	s, hs := newTestServer(t, Config{})
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy status %d", resp.StatusCode)
+	}
+	s.draining.Store(true)
+	defer s.draining.Store(false)
+	resp, err = http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestShutdownDurablePlane: the durable tier shuts down cleanly through
+// the edge (group commit on close), and staged items reach the WAL.
+func TestShutdownDurablePlane(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{
+		Plane: dataplane.Config{
+			Tenants: 1,
+			Workers: 1,
+			Durable: dataplane.DurableConfig{Dir: dir},
+		},
+		FlushBatch: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	for i := 0; i < 10; i++ {
+		if _, st := s.Submit(0, []byte(strings.Repeat("d", 32)), 0); st != SubmitAccepted {
+			t.Fatalf("submit %d: %v", i, st)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx, nil); err != nil {
+		t.Fatalf("durable shutdown: %v", err)
+	}
+}

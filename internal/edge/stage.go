@@ -1,0 +1,289 @@
+package edge
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperplane/dataplane"
+	"hyperplane/internal/dedup"
+)
+
+// maxSlabs bounds the slab pool: at 64 KiB per slab that is 64 MiB of
+// staged-payload memory before the pool overflows to plain allocations
+// (counted in SlabOverflow, never an error). The table is a fixed array
+// so unref can index it without taking the pool lock.
+const maxSlabs = 1024
+
+// slab is one pooled staging buffer shared by many in-flight payloads.
+// Payload bytes are copied in at admission and read by the egress hook
+// (fan-out) on the other side of the ring; refs counts the stager's hold
+// plus one per in-flight item, and the slab recycles when it hits zero.
+type slab struct {
+	buf  []byte
+	used int
+	refs atomic.Int32
+}
+
+// slabPool hands out slabs by 1-based tag (the IngressItem.Tag cookie
+// the dataplane carries through delivery). Tag 0 is reserved for
+// untracked payloads: pool overflow and items not staged by the edge
+// (e.g. WAL replay).
+type slabPool struct {
+	slabBytes int
+	mu        sync.Mutex
+	table     [maxSlabs]*slab
+	free      []int32
+	next      int32
+}
+
+func newSlabPool(slabBytes int) *slabPool {
+	return &slabPool{slabBytes: slabBytes, free: make([]int32, 0, maxSlabs)}
+}
+
+// get returns an empty slab holding one reference (the caller's hold)
+// and its tag, or (nil, 0) when the pool is exhausted.
+func (p *slabPool) get() (*slab, uint64) {
+	p.mu.Lock()
+	var idx int32
+	switch {
+	case len(p.free) > 0:
+		idx = p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+	case p.next < maxSlabs:
+		idx = p.next
+		p.table[idx] = &slab{buf: make([]byte, p.slabBytes)}
+		p.next++
+	default:
+		p.mu.Unlock()
+		return nil, 0
+	}
+	s := p.table[idx]
+	p.mu.Unlock()
+	s.used = 0
+	s.refs.Store(1)
+	return s, uint64(idx) + 1
+}
+
+// unref drops one reference from the slab behind tag, recycling it on
+// zero. Safe to call from the hook goroutines: the table entry was
+// published before the tag ever escaped the stager.
+func (p *slabPool) unref(tag uint64) {
+	s := p.table[tag-1]
+	if s.refs.Add(-1) == 0 {
+		p.mu.Lock()
+		p.free = append(p.free, int32(tag-1))
+		p.mu.Unlock()
+	}
+}
+
+// stager is one tenant's ingest staging state: requests accumulate in
+// items (payloads copied into the current slab) until FlushBatch of them
+// amortize one IngressBatch call — one MPSC cursor publish, one
+// doorbell. mu also serializes the idempotency window and the accept
+// sequence, mirroring the durable tier's per-tenant admission lock.
+type stager struct {
+	mu      sync.Mutex
+	items   []dataplane.IngressItem
+	slab    *slab
+	slabTag uint64
+	idem    *dedup.Window
+	seq     uint64
+}
+
+// SubmitStatus is the outcome of one ingest admission.
+type SubmitStatus uint8
+
+// Submit outcomes.
+const (
+	SubmitAccepted SubmitStatus = iota
+	SubmitDuplicate
+	SubmitRateLimited
+	SubmitTooLarge
+	SubmitRejected
+)
+
+// Submit admits one payload for tenant: rate-limit check, idempotency
+// lookup, copy into the staging slab, and — every FlushBatch requests or
+// when draining — a flush into the plane's batched ingress. It returns
+// the tenant-scoped accept sequence. The steady-state path allocates
+// nothing: the payload lands in a pooled slab, the staged item reuses
+// the preallocated batch buffer, and the flush rides IngressBatch's
+// pooled plan (see TestSubmitZeroAllocs).
+//
+// idemKey 0 means no idempotency key. A duplicate key inside the
+// tenant's window returns the original accept sequence with
+// SubmitDuplicate and does not re-enqueue.
+func (s *Server) Submit(tenant int, payload []byte, idemKey uint64) (uint64, SubmitStatus) {
+	if tenant < 0 || tenant >= len(s.stagers) {
+		return 0, SubmitRejected
+	}
+	if len(payload) > s.cfg.MaxPayload {
+		return 0, SubmitTooLarge
+	}
+	if !s.limiter.Allow(tenant, time.Now().UnixNano()) {
+		s.em.RateLimited.Add(1)
+		return 0, SubmitRateLimited
+	}
+	st := &s.stagers[tenant]
+	st.mu.Lock()
+	if idemKey != 0 {
+		if seq, ok := st.idem.Lookup(idemKey); ok {
+			st.mu.Unlock()
+			s.em.Deduped.Add(1)
+			return seq, SubmitDuplicate
+		}
+	}
+	buf, tag := s.stagePayload(st, payload)
+	st.seq++
+	seq := st.seq
+	st.items = append(st.items, dataplane.IngressItem{Tenant: tenant, Payload: buf, Tag: tag})
+	if s.draining.Load() {
+		// Drain window: flush batch-of-one synchronously so this item is
+		// either in the plane (and covered by the shutdown drain) or
+		// truthfully rejected — never stranded in a stager after the
+		// flusher has stopped.
+		want := len(st.items)
+		if s.flushLocked(st) < want {
+			st.mu.Unlock()
+			return 0, SubmitRejected
+		}
+	} else if len(st.items) >= s.cfg.FlushBatch {
+		s.flushLocked(st)
+	}
+	if idemKey != 0 {
+		st.idem.Remember(idemKey, seq)
+	}
+	st.mu.Unlock()
+	s.em.Accepted.Add(1)
+	return seq, SubmitAccepted
+}
+
+// stagePayload copies payload into the tenant's current slab (st.mu
+// held), returning the slab-backed view and its tag. Oversized payloads
+// and pool exhaustion fall back to a plain allocation with tag 0.
+func (s *Server) stagePayload(st *stager, payload []byte) ([]byte, uint64) {
+	if len(payload) > s.slabs.slabBytes {
+		s.em.SlabOverflow.Add(1)
+		return append([]byte(nil), payload...), 0
+	}
+	sl := st.slab
+	if sl == nil || sl.used+len(payload) > len(sl.buf) {
+		if sl != nil {
+			// Seal: drop the stager's hold; in-flight items keep it alive.
+			s.slabs.unref(st.slabTag)
+			st.slab, st.slabTag = nil, 0
+		}
+		nsl, tag := s.slabs.get()
+		if nsl == nil {
+			s.em.SlabOverflow.Add(1)
+			return append([]byte(nil), payload...), 0
+		}
+		st.slab, st.slabTag = nsl, tag
+		sl = nsl
+	}
+	dst := sl.buf[sl.used : sl.used+len(payload) : sl.used+len(payload)]
+	copy(dst, payload)
+	sl.used += len(payload)
+	sl.refs.Add(1)
+	return dst, st.slabTag
+}
+
+// flushLocked pushes the tenant's staged batch into the plane via
+// IngressBatch (st.mu held): one call covers the whole batch — single
+// cursor publish on the MPSC ring, one doorbell per worker. Backpressure
+// retries until the plane accepts, the plane stops, or a shutdown
+// deadline aborts; anything not accepted is released and counted
+// Rejected. Returns the number accepted.
+func (s *Server) flushLocked(st *stager) int {
+	total := len(st.items)
+	if total == 0 {
+		return 0
+	}
+	off := 0
+	for spins := 0; off < total; spins++ {
+		off += s.plane.IngressBatch(st.items[off:])
+		if off >= total || s.plane.Stopped() || s.abortFlush.Load() {
+			break
+		}
+		if spins < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	for i := off; i < total; i++ {
+		if st.items[i].Tag != 0 {
+			s.slabs.unref(st.items[i].Tag)
+		}
+	}
+	if dropped := total - off; dropped > 0 {
+		s.em.Rejected.Add(int64(dropped))
+	}
+	s.em.Flushes.Add(1)
+	s.em.FlushedItems.Add(int64(off))
+	st.items = st.items[:0]
+	return off
+}
+
+// flusher is the background deadline flusher: partial batches older than
+// FlushInterval go out even when traffic stops short of FlushBatch.
+// TryLock skips tenants mid-flush so one backpressured tenant never
+// stalls the others' deadline.
+func (s *Server) flusher() {
+	t := time.NewTicker(s.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopFlusher:
+			return
+		case <-t.C:
+		}
+		for i := range s.stagers {
+			st := &s.stagers[i]
+			if !st.mu.TryLock() {
+				continue
+			}
+			if len(st.items) > 0 {
+				s.flushLocked(st)
+			}
+			st.mu.Unlock()
+		}
+	}
+}
+
+// flushAll drains every stager once; used by Shutdown after the flusher
+// has stopped.
+func (s *Server) flushAll() {
+	for i := range s.stagers {
+		st := &s.stagers[i]
+		st.mu.Lock()
+		if len(st.items) > 0 {
+			s.flushLocked(st)
+		}
+		st.mu.Unlock()
+	}
+}
+
+// IdemKey hashes an Idempotency-Key header value to the 64-bit id space
+// of the dedup window (FNV-1a; the zero digest is folded to 1 so a real
+// key is never mistaken for "no key"). Empty keys return 0.
+func IdemKey(key string) uint64 {
+	if key == "" {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}

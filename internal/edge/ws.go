@@ -1,0 +1,98 @@
+package edge
+
+import (
+	"bufio"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+// Minimal RFC 6455 server side: enough to upgrade, stream unmasked
+// server->client text frames through the same coalescing ring as SSE,
+// answer pings, and notice a client close. No extensions, no
+// fragmentation on the write side.
+
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// wsAcceptKey computes the Sec-WebSocket-Accept handshake response value.
+func wsAcceptKey(key string) string {
+	h := sha1.Sum([]byte(key + wsGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// wsFrameLen is the on-wire size of an unmasked server frame carrying n
+// payload bytes.
+func wsFrameLen(n int) int {
+	switch {
+	case n < 126:
+		return 2 + n
+	case n < 1<<16:
+		return 4 + n
+	default:
+		return 10 + n
+	}
+}
+
+// appendWSFrame appends one FIN text frame (unmasked, server->client).
+func appendWSFrame(dst, payload []byte) []byte {
+	dst = append(dst, 0x81) // FIN | text
+	n := len(payload)
+	switch {
+	case n < 126:
+		dst = append(dst, byte(n))
+	case n < 1<<16:
+		dst = append(dst, 126)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(n))
+	default:
+		dst = append(dst, 127)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(n))
+	}
+	return append(dst, payload...)
+}
+
+// wsPingFrame is the heartbeat frame (empty ping).
+var wsPingFrame = []byte{0x89, 0x00}
+
+// errWSClosed reports a clean client close frame.
+var errWSClosed = errors.New("edge: websocket closed by client")
+
+// wsReadLoop consumes client frames, discarding payloads: data frames
+// are ignored (the subscribe socket is one-way), pongs are dropped, a
+// close frame or read error ends the loop. Its return unblocks the
+// handler via the done channel.
+func wsReadLoop(br *bufio.Reader) error {
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:2]); err != nil {
+			return err
+		}
+		opcode := hdr[0] & 0x0f
+		masked := hdr[1]&0x80 != 0
+		n := int64(hdr[1] & 0x7f)
+		switch n {
+		case 126:
+			if _, err := io.ReadFull(br, hdr[:2]); err != nil {
+				return err
+			}
+			n = int64(binary.BigEndian.Uint16(hdr[:2]))
+		case 127:
+			if _, err := io.ReadFull(br, hdr[:8]); err != nil {
+				return err
+			}
+			n = int64(binary.BigEndian.Uint64(hdr[:8]))
+		}
+		if masked {
+			if _, err := io.ReadFull(br, hdr[:4]); err != nil {
+				return err
+			}
+		}
+		if _, err := io.CopyN(io.Discard, br, n); err != nil {
+			return err
+		}
+		if opcode == 0x8 { // close
+			return errWSClosed
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package edge
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// wsTestConn is a minimal WebSocket client for tests: handshake over
+// raw TCP, read unmasked server frames.
+type wsTestConn struct {
+	c  net.Conn
+	br *bufio.Reader
+}
+
+func dialWS(addr, path string) (*wsTestConn, error) {
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	req := "GET " + path + " HTTP/1.1\r\n" +
+		"Host: " + addr + "\r\n" +
+		"Upgrade: websocket\r\nConnection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: dGhlIHNhbXBsZSBub25jZQ==\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := io.WriteString(c, req); err != nil {
+		c.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(c)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if !strings.Contains(status, "101") {
+		c.Close()
+		return nil, fmt.Errorf("handshake status %q", strings.TrimSpace(status))
+	}
+	sawAccept := false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if strings.HasPrefix(line, "Sec-WebSocket-Accept:") {
+			sawAccept = true
+		}
+		if line == "\r\n" {
+			break
+		}
+	}
+	if !sawAccept {
+		c.Close()
+		return nil, fmt.Errorf("handshake missing Sec-WebSocket-Accept")
+	}
+	return &wsTestConn{c: c, br: br}, nil
+}
+
+// readText returns the next text-frame payload, transparently skipping
+// control frames (pings).
+func (w *wsTestConn) readText(timeout time.Duration) ([]byte, error) {
+	w.c.SetReadDeadline(time.Now().Add(timeout))
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(w.br, hdr[:2]); err != nil {
+			return nil, err
+		}
+		opcode := hdr[0] & 0x0f
+		n := int64(hdr[1] & 0x7f)
+		switch n {
+		case 126:
+			if _, err := io.ReadFull(w.br, hdr[:2]); err != nil {
+				return nil, err
+			}
+			n = int64(binary.BigEndian.Uint16(hdr[:2]))
+		case 127:
+			if _, err := io.ReadFull(w.br, hdr[:8]); err != nil {
+				return nil, err
+			}
+			n = int64(binary.BigEndian.Uint64(hdr[:8]))
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(w.br, payload); err != nil {
+			return nil, err
+		}
+		if opcode == 0x1 {
+			return payload, nil
+		}
+		// control frame (ping/pong/close): skip and keep reading
+		if opcode == 0x8 {
+			return nil, fmt.Errorf("server sent close")
+		}
+	}
+}
+
+func (w *wsTestConn) Close() error { return w.c.Close() }
+
+func TestWSAcceptKey(t *testing.T) {
+	// RFC 6455 §1.3 worked example.
+	if got := wsAcceptKey("dGhlIHNhbXBsZSBub25jZQ=="); got != "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=" {
+		t.Fatalf("accept key = %q", got)
+	}
+}
+
+func TestWSFrameRoundtrip(t *testing.T) {
+	for _, n := range []int{0, 1, 125, 126, 400, 1 << 16} {
+		payload := make([]byte, n)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		frame := appendWSFrame(nil, payload)
+		if len(frame) != wsFrameLen(n) {
+			t.Fatalf("n=%d: frame len %d, want %d", n, len(frame), wsFrameLen(n))
+		}
+		if frame[0] != 0x81 {
+			t.Fatalf("n=%d: first byte %#x", n, frame[0])
+		}
+	}
+}

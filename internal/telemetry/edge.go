@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// EdgeMetrics is the network edge's counter set: ingest admission
+// outcomes, batch-flush amortization, subscriber population, and the
+// fan-out write path. All fields are plain atomics — the edge's HTTP
+// handlers and subscriber writers bump them lock-free on hot paths —
+// and the export plane reads them through WriteProm, registered via
+// T.AttachCollector so they ride the same /metrics scrape as the
+// dataplane series.
+type EdgeMetrics struct {
+	// Ingest admission outcomes.
+	Accepted    atomic.Int64 // requests admitted into a staging batch
+	RateLimited atomic.Int64 // requests refused by the token bucket (429)
+	Deduped     atomic.Int64 // idempotency-key replays answered from the window
+	Rejected    atomic.Int64 // requests refused by the plane (backpressure/stop)
+
+	// Batch-flush amortization: FlushedItems/Flushes is the realized
+	// ingest batch size (the doorbell amortization factor).
+	Flushes      atomic.Int64
+	FlushedItems atomic.Int64
+	SlabOverflow atomic.Int64 // payloads staged outside the slab pool
+
+	// Subscriber population and fan-out.
+	Connections     atomic.Int64 // current subscriber connections (gauge)
+	Connects        atomic.Int64 // subscriber connections accepted
+	Disconnects     atomic.Int64 // subscriber connections closed
+	FanoutMsgs      atomic.Int64 // messages enqueued to subscriber rings
+	CoalescedWrites atomic.Int64 // network writes (each flushing >=1 frame)
+	SentBytes       atomic.Int64 // bytes written to subscribers
+	SubDropped      atomic.Int64 // frames dropped by slow-subscriber policy
+}
+
+// WriteProm emits the edge series in Prometheus text format. Register
+// with T.AttachCollector.
+func (e *EdgeMetrics) WriteProm(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP hyperplane_edge_%s %s\n", name, help)
+		fmt.Fprintf(w, "# TYPE hyperplane_edge_%s counter\n", name)
+		fmt.Fprintf(w, "hyperplane_edge_%s %d\n", name, v)
+	}
+	fmt.Fprintf(w, "# HELP hyperplane_edge_connections Current subscriber connections.\n")
+	fmt.Fprintf(w, "# TYPE hyperplane_edge_connections gauge\n")
+	fmt.Fprintf(w, "hyperplane_edge_connections %d\n", e.Connections.Load())
+	counter("accepted_total", "Ingest requests admitted into a staging batch.", e.Accepted.Load())
+	counter("rate_limited_total", "Ingest requests refused by the token bucket.", e.RateLimited.Load())
+	counter("deduped_total", "Idempotency-key replays answered from the dedup window.", e.Deduped.Load())
+	counter("rejected_total", "Ingest requests refused by the plane.", e.Rejected.Load())
+	counter("flushes_total", "Staging-batch flushes into SharedIngress.", e.Flushes.Load())
+	counter("flushed_items_total", "Items flushed into SharedIngress.", e.FlushedItems.Load())
+	counter("slab_overflow_total", "Payloads staged outside the slab pool.", e.SlabOverflow.Load())
+	counter("connects_total", "Subscriber connections accepted.", e.Connects.Load())
+	counter("disconnects_total", "Subscriber connections closed.", e.Disconnects.Load())
+	counter("fanout_msgs_total", "Messages enqueued to subscriber rings.", e.FanoutMsgs.Load())
+	counter("coalesced_writes_total", "Network writes, each flushing one or more coalesced frames.", e.CoalescedWrites.Load())
+	counter("sent_bytes_total", "Bytes written to subscribers.", e.SentBytes.Load())
+	counter("sub_dropped_total", "Frames dropped by the slow-subscriber policy.", e.SubDropped.Load())
+}
