@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-edge bench-guard bench-steal chaos chaos-durable telemetry-smoke governor-smoke edge-smoke clean
+.PHONY: all build test race vet lint bench bench-edge bench-fed bench-guard bench-steal chaos chaos-durable chaos-fed telemetry-smoke governor-smoke edge-smoke fed-smoke clean
 
 all: build vet test
 
@@ -16,12 +16,18 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Static analysis: vet always; staticcheck when installed (CI installs it).
+# Static analysis: vet always; staticcheck and govulncheck when
+# installed (CI installs both).
 lint: vet
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
 # Chaos suite: fault-injected dataplane isolation/recovery tests and the
@@ -37,6 +43,29 @@ chaos:
 chaos-durable:
 	$(GO) test -race -run ChaosDurable -count=3 ./dataplane
 	$(GO) test -run FuzzWALRecover -fuzz FuzzWALRecover -fuzztime 10s ./internal/wal
+
+# Federation chaos: the partition drill (3 nodes, one killed mid-stream;
+# survivors must converge, re-home the dead node's tenants, and preserve
+# exactly-once on deliberately double-sent ids) and graceful handoff
+# under load, repeated under the race detector. The frame fuzz smoke
+# hammers the bridge decoder with corrupt frames — it must error, never
+# panic.
+chaos-fed:
+	$(GO) test -race -run ChaosFed -count=3 ./internal/cluster
+	$(GO) test -run FuzzDecode -fuzz FuzzDecode -fuzztime 10s ./internal/cluster/frame
+
+# Federation smoke: the federated-plane example end to end — three nodes
+# shard the tenants, one tenant migrates gracefully with its dedup
+# window, one node is killed mid-traffic, and the run fails unless the
+# survivors converge, re-home, and hold exactly-once across all phases.
+fed-smoke:
+	$(GO) run -race ./examples/federated-plane -smoke
+
+# Federation benchmark: local vs bridge-forwarded throughput and
+# graceful-handoff latency over loopback TCP (single-core hosts record a
+# scaling note on the forwarded:local ratio).
+bench-fed:
+	$(GO) run ./cmd/fedbench -duration 2s -handoffs 20 -out BENCH_federation.json
 
 # Regenerate the benchmark reports: BENCH_notifier.json (banked notifier
 # vs the retired mutex engine), BENCH_ring.json (batched vs per-item ring

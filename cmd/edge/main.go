@@ -8,6 +8,13 @@
 //	edge -listen :8080 -tenants 8 -rate 50000 -burst 1000
 //	curl -XPOST localhost:8080/v1/ingest?tenant=0 -d 'hello'
 //	curl -N localhost:8080/v1/subscribe?tenant=0
+//
+// With -node-id the edge joins a federation: tenants hash onto the
+// cluster ring and ingest for a tenant owned by a peer is forwarded
+// over the node bridge instead of being served locally.
+//
+//	edge -listen :8080 -node-id a -cluster-listen :9100 \
+//	     -peers b=host2:9100,c=host3:9100
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"time"
 
 	"hyperplane/dataplane"
+	"hyperplane/internal/cluster"
 	"hyperplane/internal/edge"
 	"hyperplane/internal/telemetry"
 )
@@ -48,6 +56,9 @@ func main() {
 		authSpec      = flag.String("auth", "", "comma-separated token=tenant pairs (empty = open mode, ?tenant=N)")
 		metricsAddr   = flag.String("metrics", "", "telemetry listen address for /metrics (empty = off)")
 		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "SIGTERM drain bound")
+		nodeID        = flag.String("node-id", "", "federation node id (empty = standalone edge)")
+		clusterListen = flag.String("cluster-listen", "", "node-to-node bridge listen address (default 127.0.0.1:0)")
+		peersSpec     = flag.String("peers", "", "comma-separated id=host:port federation peers")
 	)
 	flag.Parse()
 
@@ -119,11 +130,46 @@ func main() {
 		}()
 	}
 
+	var peers []cluster.PeerSpec
+	if *peersSpec != "" {
+		if *nodeID == "" {
+			log.Fatal("-peers requires -node-id")
+		}
+		for _, pair := range strings.Split(*peersSpec, ",") {
+			id, addr, ok := strings.Cut(pair, "=")
+			if !ok || id == "" || addr == "" {
+				log.Fatalf("bad -peers entry %q (want id=host:port)", pair)
+			}
+			peers = append(peers, cluster.PeerSpec{ID: id, Addr: addr})
+		}
+	}
+
 	s, err := edge.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	s.Start()
+
+	var node *cluster.Node
+	if *nodeID != "" {
+		node, err = cluster.NewNode(cluster.Config{
+			ID:         *nodeID,
+			ListenAddr: *clusterListen,
+			Peers:      peers,
+			Plane:      s.Plane(),
+			MaxPayload: cfg.MaxPayload,
+			Telemetry:  cfg.Telemetry,
+			Logf:       log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := node.Start(); err != nil {
+			log.Fatal(err)
+		}
+		s.SetRouter(node)
+		log.Printf("federation node %s on %s (%d peers)", *nodeID, node.Addr(), len(peers))
+	}
 	hs := &http.Server{Addr: *listen, Handler: s.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
@@ -138,6 +184,13 @@ func main() {
 	case <-ctx.Done():
 	}
 	log.Printf("draining (bound %s)", *drainTimeout)
+	if node != nil {
+		// Leave the federation first: stop accepting bridge traffic and
+		// flush the outboxes so peers re-home this node's tenants while
+		// the local plane drains what it already owns.
+		s.SetRouter(nil)
+		node.Stop()
+	}
 	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := s.Shutdown(sctx, hs); err != nil {

@@ -125,11 +125,10 @@ func main() {
 		DurationMS:   cfg.duration.Milliseconds(),
 		PayloadBytes: cfg.payload,
 	}
-	singleCore := runtime.GOMAXPROCS(0) < 2
+	rep.ScalingNote = benchmeta.ScalingNote(runtime.GOMAXPROCS(0), 2,
+		"producers, workers and subscriber writers time-slice, so batched-vs-per-request and subscriber-scaling ratios understate multi-core gains (batch-check guard skipped)")
+	singleCore := rep.ScalingNote != ""
 	if singleCore {
-		rep.ScalingNote = fmt.Sprintf(
-			"GOMAXPROCS=%d: single schedulable core; producers, workers and subscriber writers time-slice, so batched-vs-per-request and subscriber-scaling ratios understate multi-core gains (batch-check guard skipped)",
-			runtime.GOMAXPROCS(0))
 		fmt.Fprintln(os.Stderr, "note:", rep.ScalingNote)
 	}
 
@@ -144,8 +143,7 @@ func main() {
 		}
 	}
 	if capped {
-		rep.FDNote = fmt.Sprintf(
-			"RLIMIT_NOFILE=%d: subscriber grid capped at %d (2 fds per in-process connection)", fdLimit, maxSubs)
+		rep.FDNote = benchmeta.FDNote(fdLimit, maxSubs, 2)
 		fmt.Fprintln(os.Stderr, "note:", rep.FDNote)
 	}
 

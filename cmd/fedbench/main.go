@@ -1,0 +1,312 @@
+// Command fedbench measures the federation layer on real sockets: an
+// in-process cluster of dataplane nodes wired over loopback TCP, with
+// three experiments recorded to a BENCH report:
+//
+//   - local throughput: messages ingressed at the node that owns their
+//     tenant (no bridge hop) — the baseline every forwarded number is
+//     read against;
+//   - forwarded throughput: the same offered load ingressed at a
+//     non-owner, so every message rides the bridge (frame encode, TCP,
+//     CRC check, batched re-ingress with dedup) before delivery;
+//   - handoff latency: wall time of a graceful tenant handoff under a
+//     background trickle of traffic — the drain, the dedup-state
+//     transfer, and the ownership flip, end to end.
+//
+// The forwarded:local ratio is the cost of one bridge hop. On a host
+// that cannot schedule the producer and both planes on distinct cores
+// the ratio measures time-slicing instead, and the report carries the
+// standard scaling_note saying so (see internal/benchmeta).
+//
+//	fedbench -nodes 2 -tenants 32 -payload 128 -duration 2s \
+//	         -handoffs 20 -out BENCH_federation.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperplane/dataplane"
+	"hyperplane/internal/benchmeta"
+	"hyperplane/internal/cluster"
+)
+
+// Report is the JSON shape written to -out.
+type Report struct {
+	benchmeta.Host
+	Nodes        int    `json:"nodes"`
+	Tenants      int    `json:"tenants"`
+	PayloadBytes int    `json:"payload_bytes"`
+	Duration     string `json:"duration"`
+
+	LocalMsgsPerSec   float64 `json:"local_msgs_per_sec"`
+	ForwardMsgsPerSec float64 `json:"forward_msgs_per_sec"`
+	// ForwardRatio is forwarded/local throughput: the fraction of local
+	// admission rate that survives one bridge hop.
+	ForwardRatio float64 `json:"forward_ratio"`
+
+	Handoffs       int     `json:"handoffs"`
+	HandoffP50Ms   float64 `json:"handoff_p50_ms"`
+	HandoffP99Ms   float64 `json:"handoff_p99_ms"`
+	HandoffMaxMs   float64 `json:"handoff_max_ms"`
+	ForwardBatches int64   `json:"forward_batches"`
+	ForwardItems   int64   `json:"forward_items"`
+
+	ScalingNote string `json:"scaling_note,omitempty"`
+}
+
+// bnode is one benchmark cluster member: a plane whose handler counts
+// deliveries, fronted by a federation node.
+type bnode struct {
+	node      *cluster.Node
+	plane     *dataplane.Plane
+	delivered atomic.Int64
+}
+
+func buildCluster(n, tenants, ring int) ([]*bnode, error) {
+	nodes := make([]*bnode, n)
+	for i := range nodes {
+		bn := &bnode{}
+		plane, err := dataplane.New(dataplane.Config{
+			Tenants:      tenants,
+			Workers:      2,
+			RingCapacity: ring,
+			Mode:         dataplane.Notify,
+			// Consume every item at the handler (nil payload = completed
+			// consumption): the bench measures admission and the bridge,
+			// so nothing may pile up in unconsumed egress rings — under
+			// the default Block policy that would wedge the plane.
+			BatchHandler: func(tenant int, payloads [][]byte) error {
+				bn.delivered.Add(int64(len(payloads)))
+				for i := range payloads {
+					payloads[i] = nil
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		plane.Start()
+		node, err := cluster.NewNode(cluster.Config{
+			ID:            fmt.Sprintf("n%d", i),
+			Plane:         plane,
+			FlushBatch:    64,
+			FlushInterval: 100 * time.Microsecond,
+			ForwardBuffer: 1 << 12,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := node.Start(); err != nil {
+			return nil, err
+		}
+		bn.node, bn.plane = node, plane
+		nodes[i] = bn
+	}
+	for i, a := range nodes {
+		for j, b := range nodes {
+			if i == j {
+				continue
+			}
+			if err := a.node.AddPeer(cluster.PeerSpec{ID: b.node.ID(), Addr: b.node.Addr()}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return nodes, nil
+}
+
+// tenantsOwnedBy collects the tenants entry's ring assigns to owner.
+func tenantsOwnedBy(entry *bnode, owner string, tenants int) []int {
+	var out []int
+	for t := 0; t < tenants; t++ {
+		if entry.node.Owner(t) == owner {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// drive ingresses payloads for the listed tenants at entry for the
+// given duration, round-robin across tenants, retrying on backpressure.
+// Returns the number of messages accepted.
+func drive(entry *bnode, tenants []int, payload []byte, d time.Duration, idGen *atomic.Uint64) int64 {
+	deadline := time.Now().Add(d)
+	var accepted int64
+	i := 0
+	for time.Now().Before(deadline) {
+		t := tenants[i%len(tenants)]
+		i++
+		id := idGen.Add(1)
+		for !entry.node.Ingress(t, id, payload) {
+			if time.Now().After(deadline) {
+				return accepted
+			}
+			runtime.Gosched()
+		}
+		accepted++
+	}
+	return accepted
+}
+
+// settle waits until the cluster-wide delivered count stops moving.
+func settle(nodes []*bnode, want int64, timeout time.Duration) int64 {
+	deadline := time.Now().Add(timeout)
+	for {
+		var got int64
+		for _, bn := range nodes {
+			got += bn.delivered.Load()
+		}
+		if got >= want || time.Now().After(deadline) {
+			return got
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+func main() {
+	var (
+		nNodes   = flag.Int("nodes", 2, "cluster size")
+		tenants  = flag.Int("tenants", 32, "tenant queue pairs per plane")
+		ring     = flag.Int("ring", 1<<13, "ring capacity per tenant")
+		payload  = flag.Int("payload", 128, "payload bytes per message")
+		duration = flag.Duration("duration", 2*time.Second, "per-experiment measure window")
+		handoffs = flag.Int("handoffs", 20, "graceful handoffs to time")
+		out      = flag.String("out", "", "write the JSON report here (empty = stdout only)")
+	)
+	flag.Parse()
+	if *nNodes < 2 {
+		log.Fatal("fedbench needs at least 2 nodes")
+	}
+
+	nodes, err := buildCluster(*nNodes, *tenants, *ring)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		for _, bn := range nodes {
+			bn.node.Stop()
+			bn.plane.Stop()
+		}
+	}()
+
+	entry := nodes[0]
+	local := tenantsOwnedBy(entry, entry.node.ID(), *tenants)
+	remote := tenantsOwnedBy(entry, nodes[1].node.ID(), *tenants)
+	if len(local) == 0 || len(remote) == 0 {
+		log.Fatalf("degenerate ring: %d local / %d remote tenants at %s", len(local), len(remote), entry.node.ID())
+	}
+	body := make([]byte, *payload)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	var idGen atomic.Uint64
+
+	// Experiment 1: local admission — owner-entry, no bridge hop.
+	baseline := totalDelivered(nodes)
+	start := time.Now()
+	sent := drive(entry, local, body, *duration, &idGen)
+	settle(nodes, baseline+sent, 10*time.Second)
+	localRate := float64(sent) / time.Since(start).Seconds()
+	log.Printf("local: %d msgs, %.0f msgs/sec", sent, localRate)
+
+	// Experiment 2: forwarded admission — every message crosses the
+	// bridge to nodes[1] before delivery.
+	baseline = totalDelivered(nodes)
+	start = time.Now()
+	sent = drive(entry, remote, body, *duration, &idGen)
+	settle(nodes, baseline+sent, 10*time.Second)
+	fwdRate := float64(sent) / time.Since(start).Seconds()
+	log.Printf("forwarded: %d msgs, %.0f msgs/sec (%.2fx of local)", sent, fwdRate, fwdRate/localRate)
+
+	// Experiment 3: graceful handoff latency under a trickle of load.
+	// The tenant bounces a -> b -> a ... ; each Handoff is timed end to
+	// end (drain + state transfer + flip + tail flush).
+	ht := local[0]
+	stopTrickle := make(chan struct{})
+	var trickleWG sync.WaitGroup
+	trickleWG.Add(1)
+	go func() {
+		defer trickleWG.Done()
+		for {
+			select {
+			case <-stopTrickle:
+				return
+			default:
+			}
+			entry.node.Ingress(ht, idGen.Add(1), body)
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	lat := make([]float64, 0, *handoffs)
+	for i := 0; i < *handoffs; i++ {
+		from := nodes[i%2]
+		to := nodes[(i+1)%2]
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		t0 := time.Now()
+		err := from.node.Handoff(ctx, ht, to.node.ID())
+		cancel()
+		if err != nil {
+			log.Fatalf("handoff %d (%s -> %s): %v", i, from.node.ID(), to.node.ID(), err)
+		}
+		lat = append(lat, float64(time.Since(t0).Microseconds())/1e3)
+	}
+	close(stopTrickle)
+	trickleWG.Wait()
+	sort.Float64s(lat)
+	pct := func(p float64) float64 { return lat[min(len(lat)-1, int(p*float64(len(lat))))] }
+	log.Printf("handoff: n=%d p50=%.2fms p99=%.2fms max=%.2fms",
+		len(lat), pct(0.50), pct(0.99), lat[len(lat)-1])
+
+	var fb, fi int64
+	for _, bn := range nodes {
+		st := bn.node.Metrics()
+		fb += st.ForwardBatches.Load()
+		fi += st.Forwarded.Load()
+	}
+	rep := Report{
+		Host:              benchmeta.Collect(),
+		Nodes:             *nNodes,
+		Tenants:           *tenants,
+		PayloadBytes:      *payload,
+		Duration:          duration.String(),
+		LocalMsgsPerSec:   localRate,
+		ForwardMsgsPerSec: fwdRate,
+		ForwardRatio:      fwdRate / localRate,
+		Handoffs:          len(lat),
+		HandoffP50Ms:      pct(0.50),
+		HandoffP99Ms:      pct(0.99),
+		HandoffMaxMs:      lat[len(lat)-1],
+		ForwardBatches:    fb,
+		ForwardItems:      fi,
+		ScalingNote: benchmeta.ScalingNote(runtime.GOMAXPROCS(0), 2,
+			"forwarded:local ratio reflects time-slicing between the producer and both planes, not bridge overhead"),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(data))
+	if *out != "" {
+		if err := benchmeta.WriteFileAtomic(*out, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("report written to %s", *out)
+	}
+}
+
+func totalDelivered(nodes []*bnode) int64 {
+	var got int64
+	for _, bn := range nodes {
+		got += bn.delivered.Load()
+	}
+	return got
+}

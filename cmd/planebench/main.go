@@ -322,21 +322,19 @@ func main() {
 	durSweep := []bool{false}
 	if *durable {
 		durSweep = []bool{false, true}
-		if runtime.GOMAXPROCS(0) < 2 {
-			rep.DurableNote = fmt.Sprintf(
-				"GOMAXPROCS=%d: single schedulable core; the fsync goroutine time-slices with the workers, so the durable/in-memory ratio overstates the tax a multi-core host pays",
-				runtime.GOMAXPROCS(0))
-			fmt.Fprintln(os.Stderr, "note:", rep.DurableNote)
+		if note := benchmeta.ScalingNote(runtime.GOMAXPROCS(0), 2,
+			"the fsync goroutine time-slices with the workers, so the durable/in-memory ratio overstates the tax a multi-core host pays"); note != "" {
+			rep.DurableNote = note
+			fmt.Fprintln(os.Stderr, "note:", note)
 		}
 	}
 	if skewing {
 		modes = []dataplane.Mode{dataplane.Notify}
 		stealSweep = []bool{false, true}
-		if runtime.GOMAXPROCS(0) < 2 {
-			rep.ScalingNote = fmt.Sprintf(
-				"GOMAXPROCS=%d: single schedulable core; steal-on vs steal-off reflects time-slicing, not cross-bank stealing",
-				runtime.GOMAXPROCS(0))
-			fmt.Fprintln(os.Stderr, "note:", rep.ScalingNote)
+		if note := benchmeta.ScalingNote(runtime.GOMAXPROCS(0), 2,
+			"steal-on vs steal-off reflects time-slicing, not cross-bank stealing"); note != "" {
+			rep.ScalingNote = note
+			fmt.Fprintln(os.Stderr, "note:", note)
 		}
 	}
 	// items/s of the batch=1 cell per tenants x mode point, for speedups,
@@ -503,11 +501,10 @@ func runLoadSweep(cfg benchConfig, tenants, batch int, pcts []int, propCheck flo
 		Workers:    cfg.workers,
 		Producers:  cfg.producers,
 	}
-	if runtime.GOMAXPROCS(0) < 2 {
-		rep.ProportionalityNote = fmt.Sprintf(
-			"GOMAXPROCS=%d: single schedulable core; producers and workers time-slice one CPU, so cpu_vs_spin reflects scheduler arbitration, not halted cores",
-			runtime.GOMAXPROCS(0))
-		fmt.Fprintln(os.Stderr, "note:", rep.ProportionalityNote)
+	if note := benchmeta.ScalingNote(runtime.GOMAXPROCS(0), 2,
+		"producers and workers time-slice one CPU, so cpu_vs_spin reflects scheduler arbitration, not halted cores"); note != "" {
+		rep.ProportionalityNote = note
+		fmt.Fprintln(os.Stderr, "note:", note)
 	} else if _, ok := processCPUSeconds(); !ok {
 		rep.ProportionalityNote = "process CPU time unavailable on this platform; cpu_seconds not recorded"
 		fmt.Fprintln(os.Stderr, "note:", rep.ProportionalityNote)

@@ -288,19 +288,17 @@ func measureScaling(ops, trials, capacity int) float64 {
 // producers-way fan-in cell genuinely in parallel: the producers plus the
 // single consumer each need a core, otherwise the goroutines time-slice
 // one another and any ratio measures the OS scheduler, not the ring.
-func scalingParallel(procs, producers int) bool { return procs >= producers+1 }
+func scalingParallel(procs, producers int) bool {
+	return benchmeta.CanParallel(procs, producers+1)
+}
 
 // scalingNote returns the report annotation for hosts that cannot
-// exhibit 4-producer fan-in scaling, or "" when they can. This is the
-// single source of truth for the single-core escape hatch: wherever this
-// note is emitted, skipScalingCheck skips the matching assertions.
+// exhibit 4-producer fan-in scaling, or "" when they can (the shared
+// benchmeta.ScalingNote escape hatch): wherever this note is emitted,
+// skipScalingCheck skips the matching assertions.
 func scalingNote(procs int) string {
-	if scalingParallel(procs, 4) {
-		return ""
-	}
-	return fmt.Sprintf(
-		"GOMAXPROCS=%d: host cannot run 4 producers + 1 consumer in parallel; scaling ratio reflects time-slicing, not ring fan-in",
-		procs)
+	return benchmeta.ScalingNote(procs, 5,
+		"the 4-producer fan-in ratio reflects time-slicing, not ring scaling")
 }
 
 // skipScalingCheck reports whether guard mode must skip a cell's speedup

@@ -295,12 +295,34 @@ type tenantState struct {
 	reenableAt time.Time
 }
 
+// ForwardFunc receives the items Ingress/IngressBatch would otherwise
+// have pushed onto a tenant's local device ring while a per-tenant
+// forward is installed (SetTenantForward), and returns how many it
+// accepted. It is the plane-level half of cluster tenant handoff: once
+// installed, the tenant's new arrivals bypass the local rings entirely —
+// typically into a bridge that re-encodes them for the tenant's new
+// owner. The function runs on the producer's goroutine and must treat
+// the payloads as borrowed: copy anything it keeps before returning
+// (items staged by the network edge recycle their slab buffers as soon
+// as the plane retires the item's tag, which happens immediately after
+// the forward returns).
+type ForwardFunc func(items []IngressItem) int
+
 // Plane is a running software data plane.
 type Plane struct {
 	cfg Config
 
 	devRings []queue.Buffer[item] // per tenant, device side (SPSC/MPSC/MPMC)
 	outRings []queue.Buffer[item] // per tenant, tenant side (SPSC; MPSC under Steal)
+	// fwd holds each tenant's installed forward (nil = ingest locally).
+	// The local hot path pays one atomic load + nil check per
+	// Ingress/run.
+	fwd []atomic.Pointer[ForwardFunc]
+	// tenantInflight counts items a worker is actively handling per
+	// tenant (popped and inside handle/handleBatch). DrainTenant needs
+	// it because Processed is charged at handler entry: counters alone
+	// cannot distinguish "done" from "stuck in the handler".
+	tenantInflight []atomic.Int64
 	// egressScratch is each tenant's reusable EgressBatch pop buffer. The
 	// delivery rings admit one consumer per tenant (outMu serializes the
 	// DropOldest evictor separately), so the single-consumer contract that
@@ -464,15 +486,17 @@ func New(cfg Config) (*Plane, error) {
 		return nil, err
 	}
 	p := &Plane{
-		cfg:           cfg,
-		tstate:        make([]tenantState, cfg.Tenants),
-		outMu:         make([]sync.Mutex, cfg.Tenants),
-		egressScratch: make([][]item, cfg.Tenants),
-		stopCh:        make(chan struct{}),
-		m:             telemetry.NewMetrics(cfg.Tenants, cfg.Workers),
-		tel:           cfg.Telemetry,
-		steal:         cfg.Steal && cfg.Mode != Spin,
-		shared:        (cfg.Steal || cfg.Governor.Enable) && cfg.Mode != Spin,
+		cfg:            cfg,
+		fwd:            make([]atomic.Pointer[ForwardFunc], cfg.Tenants),
+		tenantInflight: make([]atomic.Int64, cfg.Tenants),
+		tstate:         make([]tenantState, cfg.Tenants),
+		outMu:          make([]sync.Mutex, cfg.Tenants),
+		egressScratch:  make([][]item, cfg.Tenants),
+		stopCh:         make(chan struct{}),
+		m:              telemetry.NewMetrics(cfg.Tenants, cfg.Workers),
+		tel:            cfg.Telemetry,
+		steal:          cfg.Steal && cfg.Mode != Spin,
+		shared:         (cfg.Steal || cfg.Governor.Enable) && cfg.Mode != Spin,
 	}
 	p.maxBatch.Store(int32(cfg.MaxBatch))
 
@@ -754,6 +778,95 @@ func (p *Plane) Drain(ctx context.Context) error {
 	}
 }
 
+// SetTenantForward installs (or, with nil, clears) a per-tenant forward:
+// while set, Ingress and IngressBatch hand the tenant's new arrivals to
+// fn instead of the local rings. Items already queued locally are not
+// affected — pair with DrainTenant to flush them before completing a
+// handoff. Concurrent producers may race the installation; an Ingress
+// call that loaded the pre-swap nil can still push locally immediately
+// after SetTenantForward returns, which DrainTenant's settling loop
+// absorbs.
+func (p *Plane) SetTenantForward(tenant int, fn ForwardFunc) error {
+	if tenant < 0 || tenant >= p.cfg.Tenants {
+		return fmt.Errorf("dataplane: tenant %d out of range [0,%d)", tenant, p.cfg.Tenants)
+	}
+	if fn == nil {
+		p.fwd[tenant].Store(nil)
+		return nil
+	}
+	p.fwd[tenant].Store(&fn)
+	return nil
+}
+
+// forwardRun hands a same-tenant run to an installed forward and retires
+// the accepted items' tags: the remote owner delivers the payloads, but
+// tag-attached resources (edge slab references) live on this node and
+// must be released here, exactly as if the item had been admitted and
+// dropped by policy. The forward copies synchronously, so the tags are
+// safe to release as soon as it returns. Unaccepted items keep their
+// tags — the producer still owns them, mirroring IngressBatch's
+// contract for dropped items.
+func (p *Plane) forwardRun(fn ForwardFunc, items []IngressItem) int {
+	pushed := fn(items)
+	if pushed > len(items) {
+		pushed = len(items)
+	}
+	for k := 0; k < pushed; k++ {
+		if items[k].Tag != 0 {
+			p.retire(items[k].Tenant, item{tag: items[k].Tag})
+		}
+	}
+	return pushed
+}
+
+// DrainTenant blocks until one tenant's ingress side looks settled —
+// device ring empty and the tenant's processed counter caught up with
+// its ingressed counter, observed stable across two consecutive polls —
+// or ctx is done. It is the per-tenant analogue of Drain's
+// counter-settling loop, used by cluster handoff: install the forward,
+// drain the tenant, then transfer ownership. Items already delivered to
+// the out ring stay available to Egress (handoff moves ingress
+// ownership, not unconsumed egress). The double poll bridges the window
+// where a worker has popped an item but not yet finished its handler;
+// like Drain, a quarantined tenant only settles once its probe
+// succeeds, so bound the call with ctx.
+func (p *Plane) DrainTenant(ctx context.Context, tenant int) error {
+	if tenant < 0 || tenant >= p.cfg.Tenants {
+		return fmt.Errorf("dataplane: tenant %d out of range [0,%d)", tenant, p.cfg.Tenants)
+	}
+	if !p.started.Load() {
+		return ErrNotStarted
+	}
+	settled := false
+	for {
+		if p.stopped.Load() {
+			return ErrStopped
+		}
+		c := p.m.TenantCounts(tenant)
+		idle := p.devRings[tenant].Len() == 0 &&
+			p.tenantInflight[tenant].Load() == 0 &&
+			c.Processed >= c.Ingressed
+		if idle && settled {
+			return nil
+		}
+		settled = idle
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+// TenantBacklog reports one tenant's current queue occupancy (device
+// ring, out ring) — the cluster layer polls it to size handoff waits.
+func (p *Plane) TenantBacklog(tenant int) (device, out int) {
+	if tenant < 0 || tenant >= p.cfg.Tenants {
+		return 0, 0
+	}
+	return p.devRings[tenant].Len(), p.outRings[tenant].Len()
+}
+
 // Ingress places a work item on a tenant's device-side queue (the emulated
 // NIC's DMA + doorbell). It returns false on backpressure (ring full),
 // invalid tenant, or a stopped plane; after Stop returns it always returns
@@ -761,6 +874,10 @@ func (p *Plane) Drain(ctx context.Context) error {
 func (p *Plane) Ingress(tenant int, payload []byte) bool {
 	if tenant < 0 || tenant >= p.cfg.Tenants {
 		return false
+	}
+	if fnp := p.fwd[tenant].Load(); fnp != nil {
+		one := [1]IngressItem{{Tenant: tenant, Payload: payload}}
+		return p.forwardRun(*fnp, one[:]) == 1
 	}
 	if p.dur != nil {
 		// Durable planes route every admission through the WAL path;
@@ -830,7 +947,8 @@ func (p *Plane) IngressBatch(items []IngressItem) int {
 		plan = p.planPool.Get().(*notifyPlan)
 		perWorker = plan.perWorker
 	}
-	accepted := 0
+	accepted := 0  // pushed onto local rings (counted in ingressed)
+	forwarded := 0 // handed to per-tenant forwards (owned remotely)
 	run := runPool.Get().(*[64]item)
 	defer func() {
 		clear(run[:]) // release payload references before pooling
@@ -843,6 +961,15 @@ func (p *Plane) IngressBatch(items []IngressItem) int {
 			j++
 		}
 		if tenant < 0 || tenant >= p.cfg.Tenants {
+			i = j
+			continue
+		}
+		if fnp := p.fwd[tenant].Load(); fnp != nil {
+			// Forwarded runs never touch the local rings or counters:
+			// the remote owner ingresses (and counts) them, so they are
+			// excluded from this plane's ingressed/completed balance —
+			// Drain must not wait for work that completes elsewhere.
+			forwarded += p.forwardRun(*fnp, items[i:j])
 			i = j
 			continue
 		}
@@ -903,7 +1030,7 @@ func (p *Plane) IngressBatch(items []IngressItem) int {
 		}
 		p.planPool.Put(plan)
 	}
-	return accepted
+	return accepted + forwarded
 }
 
 // popOut dequeues from a tenant-side ring. Under DropOldest the ring has
@@ -1097,7 +1224,9 @@ func (p *Plane) runNotify(wk *worker) {
 				it, got := p.devRings[tenant].Pop()
 				wk.n.Consume(qid)
 				if got {
+					p.tenantInflight[tenant].Add(1)
 					p.handle(wk, tenant, it)
+					p.tenantInflight[tenant].Add(-1)
 				}
 				continue
 			}
@@ -1130,7 +1259,9 @@ func (p *Plane) runSpin(wk *worker) {
 					continue
 				}
 				found = true
+				p.tenantInflight[tenant].Add(1)
 				p.handle(wk, tenant, it)
+				p.tenantInflight[tenant].Add(-1)
 				continue
 			}
 			n := p.devRings[tenant].PopBatch(wk.scratch[:p.drainBound(tenant, p.cfg.MaxBatch)])
@@ -1176,6 +1307,12 @@ func (p *Plane) drainBound(tenant, drain int) int {
 // (Processed, Errors, Panics, Dropped, quarantine streaks) lands exactly
 // where per-item dispatch would put it.
 func (p *Plane) handleBatch(wk *worker, tenant int, batch []item) {
+	// Held across the whole batch: one counter update per batch, not per
+	// item, and it covers the per-item and replay handle calls below
+	// (handle itself does not count — its direct dispatch-loop callers
+	// do).
+	p.tenantInflight[tenant].Add(int64(len(batch)))
+	defer p.tenantInflight[tenant].Add(-int64(len(batch)))
 	if p.cfg.BatchHandler == nil || len(batch) == 1 {
 		for i := range batch {
 			p.handle(wk, tenant, batch[i])

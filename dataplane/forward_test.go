@@ -1,0 +1,202 @@
+package dataplane
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTenantForwardDivertsIngress: with a forward installed, the
+// tenant's new arrivals go to the forward func instead of the local
+// rings, while other tenants keep ingesting locally.
+func TestTenantForwardDivertsIngress(t *testing.T) {
+	p, err := New(Config{Tenants: 2, Handler: func(_ int, b []byte) ([]byte, error) { return b, nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Stop()
+
+	var mu sync.Mutex
+	var got [][]byte
+	if err := p.SetTenantForward(0, func(items []IngressItem) int {
+		mu.Lock()
+		for _, it := range items {
+			got = append(got, append([]byte(nil), it.Payload...))
+		}
+		mu.Unlock()
+		return len(items)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if !p.Ingress(0, []byte("fwd-a")) {
+		t.Fatal("forwarded ingress reported rejection")
+	}
+	n := p.IngressBatch([]IngressItem{
+		{Tenant: 0, Payload: []byte("fwd-b")},
+		{Tenant: 1, Payload: []byte("local")},
+		{Tenant: 0, Payload: []byte("fwd-c")},
+	})
+	if n != 3 {
+		t.Fatalf("IngressBatch accepted %d, want 3", n)
+	}
+
+	mu.Lock()
+	forwarded := len(got)
+	mu.Unlock()
+	if forwarded != 3 {
+		t.Fatalf("forward saw %d items, want 3", forwarded)
+	}
+	// Forwarded items are owned remotely: they never enter this plane's
+	// ingressed/processed balance, so Drain settles on tenant 1 alone.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := p.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if c := p.TenantStats(0); c.Ingressed != 0 {
+		t.Fatalf("forwarded tenant counted %d local ingresses", c.Ingressed)
+	}
+	if c := p.TenantStats(1); c.Ingressed != 1 || c.Processed != 1 {
+		t.Fatalf("local tenant counts = %+v", c)
+	}
+
+	// Clearing the forward restores local ingest.
+	if err := p.SetTenantForward(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Ingress(0, []byte("back")) {
+		t.Fatal("local ingress rejected after clearing forward")
+	}
+	waitFor(t, 5*time.Second, func() bool { return p.TenantStats(0).Processed == 1 })
+}
+
+// TestTenantForwardPartialAccept: a forward that accepts only part of a
+// run propagates the shortfall to the caller, like a full ring would.
+func TestTenantForwardPartialAccept(t *testing.T) {
+	p, err := New(Config{Tenants: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Stop()
+
+	p.SetTenantForward(0, func(items []IngressItem) int { return 1 })
+	n := p.IngressBatch([]IngressItem{
+		{Tenant: 0, Payload: []byte("a")},
+		{Tenant: 0, Payload: []byte("b")},
+		{Tenant: 0, Payload: []byte("c")},
+	})
+	if n != 1 {
+		t.Fatalf("accepted %d, want 1", n)
+	}
+	p.SetTenantForward(0, func(items []IngressItem) int { return 0 })
+	if p.Ingress(0, []byte("x")) {
+		t.Fatal("Ingress reported acceptance for a rejecting forward")
+	}
+}
+
+// TestTenantForwardRetiresTags: tags on forwarded items are released
+// through the egress hook's retire path (nil payload) once the forward
+// accepts them — the remote owner delivers, but slab-style resources
+// are local. Rejected items keep their tags (the producer still owns
+// them).
+func TestTenantForwardRetiresTags(t *testing.T) {
+	var retired atomic.Int64
+	p, err := New(Config{
+		Tenants: 1,
+		OnDeliver: func(tenant int, payload []byte, tag uint64) {
+			if payload == nil && tag != 0 {
+				retired.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Stop()
+
+	p.SetTenantForward(0, func(items []IngressItem) int { return 2 })
+	p.IngressBatch([]IngressItem{
+		{Tenant: 0, Payload: []byte("a"), Tag: 101},
+		{Tenant: 0, Payload: []byte("b"), Tag: 102},
+		{Tenant: 0, Payload: []byte("c"), Tag: 103}, // rejected: tag stays live
+	})
+	if got := retired.Load(); got != 2 {
+		t.Fatalf("retired %d tags, want 2", got)
+	}
+}
+
+// TestDrainTenantSettlesBacklog: DrainTenant returns once the tenant's
+// queued work has fully passed through, even while another tenant keeps
+// a standing backlog.
+func TestDrainTenantSettlesBacklog(t *testing.T) {
+	block := make(chan struct{})
+	p, err := New(Config{
+		Tenants: 2,
+		Workers: 2,
+		Handler: func(tenant int, b []byte) ([]byte, error) {
+			if tenant == 1 {
+				<-block // tenant 1 wedged; must not stall tenant 0's drain
+			}
+			return b, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Stop()
+	defer close(block)
+
+	for i := 0; i < 100; i++ {
+		if !p.Ingress(0, []byte{byte(i)}) {
+			t.Fatal("ingress rejected")
+		}
+	}
+	p.Ingress(1, []byte("wedge"))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.DrainTenant(ctx, 0); err != nil {
+		t.Fatalf("DrainTenant: %v", err)
+	}
+	c := p.TenantStats(0)
+	if c.Processed != c.Ingressed || c.Ingressed != 100 {
+		t.Fatalf("tenant 0 not settled after drain: %+v", c)
+	}
+	dev, _ := p.TenantBacklog(0)
+	if dev != 0 {
+		t.Fatalf("device backlog %d after drain", dev)
+	}
+
+	// The wedged tenant's drain must respect the deadline instead.
+	short, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	if err := p.DrainTenant(short, 1); err != context.DeadlineExceeded {
+		t.Fatalf("wedged tenant drain = %v, want deadline exceeded", err)
+	}
+}
+
+// TestDrainTenantValidation: bad tenant and unstarted plane error out.
+func TestDrainTenantValidation(t *testing.T) {
+	p, err := New(Config{Tenants: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DrainTenant(context.Background(), 0); err != ErrNotStarted {
+		t.Fatalf("unstarted drain = %v, want ErrNotStarted", err)
+	}
+	p.Start()
+	defer p.Stop()
+	if err := p.DrainTenant(context.Background(), 5); err == nil {
+		t.Fatal("out-of-range tenant drained")
+	}
+	if err := p.SetTenantForward(-1, nil); err == nil {
+		t.Fatal("out-of-range forward installed")
+	}
+}

@@ -330,11 +330,21 @@ func TestGovernorDebugSnapshot(t *testing.T) {
 		t.Errorf("active flags = %v/%v, want true/false",
 			snap.Workers[0].Active, snap.Workers[1].Active)
 	}
-	// The halted worker accrues park residency.
-	time.Sleep(5 * time.Millisecond)
-	snap = p.DebugSnapshot()
-	if snap.Workers[1].ParkSeconds <= 0 {
-		t.Errorf("halted worker ParkSeconds = %g, want > 0", snap.Workers[1].ParkSeconds)
+	// The halted worker accrues park residency. The shrink target is
+	// published before the surplus worker reaches its halt gate (or its
+	// notifier park), so poll: residency starts counting only once the
+	// worker actually blocks somewhere.
+	parkDeadline := time.Now().Add(5 * time.Second)
+	for {
+		snap = p.DebugSnapshot()
+		if snap.Workers[1].ParkSeconds > 0 {
+			break
+		}
+		if time.Now().After(parkDeadline) {
+			t.Errorf("halted worker ParkSeconds = %g, want > 0", snap.Workers[1].ParkSeconds)
+			break
+		}
+		time.Sleep(time.Millisecond)
 	}
 	// Shared pool: bank sections live on worker 0 only.
 	if len(snap.Workers[0].Banks) == 0 || len(snap.Workers[1].Banks) != 0 {

@@ -5,6 +5,7 @@
 package benchmeta
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -32,6 +33,44 @@ func Collect() Host {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 	}
+}
+
+// CanParallel reports whether procs schedulable cores can run need
+// goroutines genuinely in parallel. When it is false, any speedup ratio
+// between those goroutines measures OS time-slicing, not the code under
+// test, and the matching guard assertions must be skipped.
+func CanParallel(procs, need int) bool { return procs >= need }
+
+// ScalingNote is the single source of truth for the single-core escape
+// hatch shared by every bench (ringbench, planebench, edgebench,
+// fedbench): it returns "" when procs cores can schedule need goroutines
+// on distinct cores, and otherwise the standard report annotation —
+// "GOMAXPROCS=N: ...; <consequence>" — that the guards treat as "skip
+// the parallel-scaling assertions for this baseline". The consequence
+// clause names what the ratio degrades into on this host (e.g. "ratios
+// reflect time-slicing, not ring fan-in"), so a reader of the BENCH
+// report knows which numbers not to trust.
+//
+// Emitting the note and skipping the check must never disagree: a bench
+// that writes ScalingNote(procs, need, ...) into its report must gate
+// the matching assertion on the same (procs, need) pair — directly or
+// via a recorded baseline's non-empty note.
+func ScalingNote(procs, need int, consequence string) string {
+	if CanParallel(procs, need) {
+		return ""
+	}
+	return fmt.Sprintf(
+		"GOMAXPROCS=%d: host cannot schedule the %d goroutines this comparison needs on distinct cores; %s",
+		procs, need, consequence)
+}
+
+// FDNote is the companion annotation for descriptor-bound grids: the
+// report caveat recorded when RLIMIT_NOFILE capped a connection grid
+// below what was asked for.
+func FDNote(limit uint64, capped, perConn int) string {
+	return fmt.Sprintf(
+		"RLIMIT_NOFILE=%d: subscriber grid capped at %d (%d fds per in-process connection)",
+		limit, capped, perConn)
 }
 
 // WriteFileAtomic writes data to path via a temp file in the same

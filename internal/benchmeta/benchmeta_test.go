@@ -1,0 +1,56 @@
+package benchmeta
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScalingNote pins the shared single-core escape hatch: the note is
+// empty exactly when the host has the cores for the comparison, and a
+// non-empty note names the core count, the requirement, and the
+// consequence so BENCH report readers know which ratios to distrust.
+func TestScalingNote(t *testing.T) {
+	cases := []struct {
+		procs, need int
+		want        bool // note expected
+	}{
+		{1, 2, true}, {1, 5, true}, {4, 5, true},
+		{2, 2, false}, {5, 5, false}, {64, 5, false},
+	}
+	for _, c := range cases {
+		note := ScalingNote(c.procs, c.need, "ratios reflect time-slicing")
+		if (note != "") != c.want {
+			t.Errorf("ScalingNote(%d, %d) = %q, want note=%v", c.procs, c.need, note, c.want)
+		}
+		if CanParallel(c.procs, c.need) != (note == "") {
+			t.Errorf("CanParallel(%d, %d) disagrees with ScalingNote emission", c.procs, c.need)
+		}
+		if note == "" {
+			continue
+		}
+		for _, frag := range []string{"GOMAXPROCS=", "ratios reflect time-slicing"} {
+			if !strings.Contains(note, frag) {
+				t.Errorf("ScalingNote(%d, %d) = %q missing %q", c.procs, c.need, note, frag)
+			}
+		}
+	}
+}
+
+// TestScalingNoteConsequenceVerbatim: the consequence clause is carried
+// through untouched — each bench owns its own wording.
+func TestScalingNoteConsequenceVerbatim(t *testing.T) {
+	const c = "steal-on vs steal-off reflects time-slicing, not cross-bank stealing"
+	note := ScalingNote(1, 2, c)
+	if !strings.HasSuffix(note, c) {
+		t.Errorf("consequence not carried verbatim: %q", note)
+	}
+}
+
+func TestFDNote(t *testing.T) {
+	note := FDNote(1024, 256, 2)
+	for _, frag := range []string{"RLIMIT_NOFILE=1024", "capped at 256", "2 fds"} {
+		if !strings.Contains(note, frag) {
+			t.Errorf("FDNote missing %q: %q", frag, note)
+		}
+	}
+}

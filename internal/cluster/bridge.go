@@ -1,0 +1,328 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperplane/dataplane"
+	"hyperplane/internal/cluster/frame"
+)
+
+// PeerSpec names a remote node: its cluster-wide id and dial address.
+type PeerSpec struct {
+	ID   string
+	Addr string
+}
+
+// Dial backoff bounds: the first retry after a connection loss waits
+// dialBackoffMin, doubling per failure up to dialBackoffMax.
+const (
+	dialBackoffMin = 100 * time.Millisecond
+	dialBackoffMax = 5 * time.Second
+)
+
+// outFrame is one encoded frame queued for the writer, with its item
+// count so drop accounting charges the right number of items.
+type outFrame struct {
+	bytes []byte
+	items int
+}
+
+// peer is one remote node as seen from here: the staging encoder that
+// coalesces forwarded items into batch frames (the remote-doorbell
+// analogue of the edge's per-tenant stagers — same-tenant items share a
+// run header, and one frame decodes into one IngressBatch on the
+// owner), the bounded outbox a dedicated writer goroutine drains into a
+// persistent TCP connection, and the health state that decides when the
+// remote is declared dead.
+type peer struct {
+	id   string
+	addr string
+	n    *Node
+
+	mu       sync.Mutex
+	enc      frame.Encoder
+	staged   int       // items in the open (unsealed) batch
+	stagedAt time.Time // when the open batch got its first item
+	outbox   []outFrame
+
+	kick chan struct{} // size-1 writer nudge
+
+	up       atomic.Bool
+	everUp   atomic.Bool
+	lastPong atomic.Int64 // UnixNano of the last pong (or successful dial)
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+func newPeer(n *Node, spec PeerSpec) *peer {
+	return &peer{
+		id:   spec.ID,
+		addr: spec.Addr,
+		n:    n,
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// send stages one item for this peer. The payload is copied into the
+// staging encoder before returning, so the caller may recycle its
+// buffer immediately. A full batch is sealed into the outbox and the
+// writer kicked; acceptance means "queued for forwarding" — delivery is
+// at-least-once (the outbox retries across reconnects, a bounded
+// overflow drops under the configured policy and is counted in
+// hyperplane_cluster_forward_dropped_total).
+func (pr *peer) send(tenant uint32, msgID uint64, payload []byte) bool {
+	pr.mu.Lock()
+	if pr.staged == 0 {
+		pr.enc.Reset()
+		pr.stagedAt = time.Now()
+	}
+	pr.enc.Add(tenant, msgID, payload)
+	pr.staged++
+	full := pr.staged >= pr.n.flushBatch
+	if full {
+		pr.flushLocked()
+	}
+	pr.mu.Unlock()
+	if full {
+		pr.wake()
+	}
+	return true
+}
+
+// flushLocked seals the open batch into the outbox.
+func (pr *peer) flushLocked() {
+	if pr.staged == 0 {
+		return
+	}
+	f := pr.enc.Finish()
+	pr.enqueueLocked(outFrame{bytes: append([]byte(nil), f...), items: pr.staged})
+	pr.staged = 0
+	pr.enc.Reset()
+}
+
+// enqueueLocked appends a frame to the bounded outbox, applying the
+// forward-buffer drop policy on overflow. Control frames (items == 0)
+// always make room by evicting the oldest batch — an ownership marker
+// must not be the thing a full buffer drops.
+func (pr *peer) enqueueLocked(f outFrame) {
+	for len(pr.outbox) >= pr.n.forwardBuffer {
+		if pr.n.forwardPolicy == dataplane.DropNewest && f.items > 0 {
+			pr.n.cm.ForwardDropped.Add(int64(f.items))
+			return
+		}
+		victim := pr.outbox[0]
+		copy(pr.outbox, pr.outbox[1:])
+		pr.outbox = pr.outbox[:len(pr.outbox)-1]
+		pr.n.cm.ForwardDropped.Add(int64(victim.items))
+	}
+	pr.outbox = append(pr.outbox, f)
+}
+
+// flush seals any partial batch and kicks the writer (FlushInterval
+// staleness, handoff tails, connection re-establishment).
+func (pr *peer) flush() {
+	pr.mu.Lock()
+	pr.flushLocked()
+	pending := len(pr.outbox) > 0
+	pr.mu.Unlock()
+	if pending {
+		pr.wake()
+	}
+}
+
+// control enqueues a pre-encoded control frame behind any staged items,
+// preserving order (a handoff marker must trail the forwarded tail).
+func (pr *peer) control(f []byte) {
+	pr.mu.Lock()
+	pr.flushLocked()
+	pr.enqueueLocked(outFrame{bytes: f})
+	pr.mu.Unlock()
+	pr.wake()
+}
+
+func (pr *peer) wake() {
+	select {
+	case pr.kick <- struct{}{}:
+	default:
+	}
+}
+
+// outboxLen reports queued frames (telemetry gauge).
+func (pr *peer) outboxLen() int {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	return len(pr.outbox)
+}
+
+// shutdown stops the peer goroutine; graceful seals the partial batch
+// first so a final writeOutbox attempt can push it out.
+func (pr *peer) shutdown(graceful bool) {
+	if graceful {
+		pr.flush()
+	}
+	pr.stopOnce.Do(func() { close(pr.stop) })
+}
+
+// run is the peer's connection lifecycle: dial with capped backoff,
+// hello, serve until the connection dies, declare the peer down when it
+// stays unreachable past DeadAfter, repeat until shutdown.
+func (pr *peer) run() {
+	defer close(pr.done)
+	backoff := dialBackoffMin
+	downSince := time.Now()
+	declaredDown := false
+	for {
+		select {
+		case <-pr.stop:
+			return
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", pr.addr, pr.n.healthTimeout)
+		if err == nil {
+			conn.SetWriteDeadline(time.Now().Add(pr.n.healthTimeout))
+			if _, werr := conn.Write(frame.AppendHello(nil, pr.n.cfg.ID)); werr != nil {
+				conn.Close()
+				err = werr
+			} else {
+				conn.SetWriteDeadline(time.Time{})
+			}
+		}
+		if err != nil {
+			if !declaredDown && time.Since(downSince) >= pr.n.deadAfter {
+				declaredDown = true
+				pr.n.peerDown(pr.id)
+			}
+			select {
+			case <-pr.stop:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > dialBackoffMax {
+				backoff = dialBackoffMax
+			}
+			continue
+		}
+		if pr.everUp.Load() {
+			pr.n.cm.Reconnects.Add(1)
+		}
+		pr.everUp.Store(true)
+		backoff = dialBackoffMin
+		declaredDown = false
+		pr.lastPong.Store(time.Now().UnixNano())
+		pr.up.Store(true)
+		pr.n.peerUp(pr.id)
+		pr.flush() // anything staged while disconnected goes out now
+		pr.serveConn(conn)
+		pr.up.Store(false)
+		conn.Close()
+		downSince = time.Now()
+	}
+}
+
+// serveConn drives one established connection: drain the outbox on
+// kicks, seal stale partial batches on the flush tick, probe liveness
+// with pings, and bail on any read/write error (framing is untrusted
+// after a failure — the reconnect path starts clean).
+func (pr *peer) serveConn(conn net.Conn) {
+	readErr := make(chan struct{}, 1)
+	go pr.readLoop(conn, readErr)
+	ping := time.NewTicker(pr.n.healthInterval)
+	defer ping.Stop()
+	flushT := time.NewTicker(pr.n.flushInterval)
+	defer flushT.Stop()
+	var nonce uint64
+	for {
+		select {
+		case <-pr.stop:
+			pr.writeOutbox(conn) // best-effort final drain
+			return
+		case <-readErr:
+			return
+		case <-ping.C:
+			if time.Since(time.Unix(0, pr.lastPong.Load())) > pr.n.deadAfter {
+				pr.n.cm.ProbeFailures.Add(1)
+				return
+			}
+			nonce++
+			conn.SetWriteDeadline(time.Now().Add(pr.n.healthTimeout))
+			if _, err := conn.Write(frame.AppendPing(nil, frame.TypePing, nonce)); err != nil {
+				return
+			}
+		case <-flushT.C:
+			pr.mu.Lock()
+			if pr.staged > 0 && time.Since(pr.stagedAt) >= pr.n.flushInterval {
+				pr.flushLocked()
+			}
+			pr.mu.Unlock()
+			if err := pr.writeOutbox(conn); err != nil {
+				return
+			}
+		case <-pr.kick:
+			if err := pr.writeOutbox(conn); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// writeOutbox drains queued frames onto the connection. A failed write
+// puts the frame back at the head so the reconnect retries it
+// (at-least-once; the owner's dedup window absorbs the duplicates a
+// retried frame can produce).
+func (pr *peer) writeOutbox(conn net.Conn) error {
+	for {
+		pr.mu.Lock()
+		if len(pr.outbox) == 0 {
+			pr.mu.Unlock()
+			return nil
+		}
+		f := pr.outbox[0]
+		copy(pr.outbox, pr.outbox[1:])
+		pr.outbox = pr.outbox[:len(pr.outbox)-1]
+		pr.mu.Unlock()
+
+		conn.SetWriteDeadline(time.Now().Add(pr.n.healthTimeout))
+		if _, err := conn.Write(f.bytes); err != nil {
+			pr.mu.Lock()
+			pr.outbox = append(pr.outbox, outFrame{})
+			copy(pr.outbox[1:], pr.outbox)
+			pr.outbox[0] = f
+			pr.mu.Unlock()
+			return err
+		}
+		if f.items > 0 {
+			pr.n.cm.ForwardBatches.Add(1)
+		}
+		pr.n.cm.ForwardBytes.Add(int64(len(f.bytes)))
+	}
+}
+
+// readLoop consumes the response side of the outbound connection —
+// pongs refresh the liveness clock; anything else is tolerated and
+// ignored. Any error closes the loop and signals serveConn.
+func (pr *peer) readLoop(conn net.Conn, errc chan<- struct{}) {
+	r := frame.NewReader(conn, pr.n.maxPayload)
+	for {
+		h, payload, err := r.Next()
+		if err != nil {
+			select {
+			case errc <- struct{}{}:
+			default:
+			}
+			return
+		}
+		if h.Type == frame.TypePong {
+			if _, err := frame.ParsePing(payload); err == nil {
+				pr.lastPong.Store(time.Now().UnixNano())
+			}
+		}
+	}
+}

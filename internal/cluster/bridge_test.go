@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"hyperplane/dataplane"
+	"hyperplane/internal/cluster/frame"
+)
+
+// newLoneNode builds a started node with no peers and fast timings.
+func newLoneNode(t *testing.T, id string, mut func(*Config)) (*Node, *dataplane.Plane) {
+	t.Helper()
+	p, err := dataplane.New(dataplane.Config{Tenants: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	cfg := Config{
+		ID:             id,
+		Plane:          p,
+		FlushBatch:     1,
+		FlushInterval:  time.Millisecond,
+		HealthInterval: 20 * time.Millisecond,
+		HealthTimeout:  300 * time.Millisecond,
+		DeadAfter:      400 * time.Millisecond,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		n.Stop()
+		p.Stop()
+	})
+	return n, p
+}
+
+// TestOutboxDropOldest: with an unreachable peer and a tiny forward
+// buffer, overflow evicts the oldest frames and charges ForwardDropped.
+func TestOutboxDropOldest(t *testing.T) {
+	n, _ := newLoneNode(t, "a", func(c *Config) {
+		c.ForwardBuffer = 2
+		c.ForwardPolicy = dataplane.DropOldest
+	})
+	// Unroutable address: the dialer stays in backoff, nothing drains.
+	if err := n.AddPeer(PeerSpec{ID: "ghost", Addr: "127.0.0.1:1"}); err != nil {
+		t.Fatal(err)
+	}
+	pr := n.peers["ghost"]
+	for i := uint64(1); i <= 10; i++ {
+		pr.send(0, i, []byte("x"))
+	}
+	if got := pr.outboxLen(); got != 2 {
+		t.Fatalf("outbox holds %d frames, want the 2-frame bound", got)
+	}
+	if d := n.Metrics().ForwardDropped.Load(); d != 8 {
+		t.Fatalf("ForwardDropped = %d, want 8", d)
+	}
+	// DropOldest keeps the newest frames: the survivors are 9 and 10.
+	pr.mu.Lock()
+	first := pr.outbox[0].bytes
+	pr.mu.Unlock()
+	h, err := frame.ParseHeader(first, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := frame.IterBatch(first[frame.HeaderSize : frame.HeaderSize+h.Length])
+	_, id, _, ok := it.Next()
+	if !ok || id != 9 {
+		t.Fatalf("oldest surviving frame carries msg %d, want 9", id)
+	}
+}
+
+// TestOutboxDropNewest: the opposite policy refuses new frames instead.
+func TestOutboxDropNewest(t *testing.T) {
+	n, _ := newLoneNode(t, "a", func(c *Config) {
+		c.ForwardBuffer = 2
+		c.ForwardPolicy = dataplane.DropNewest
+	})
+	if err := n.AddPeer(PeerSpec{ID: "ghost", Addr: "127.0.0.1:1"}); err != nil {
+		t.Fatal(err)
+	}
+	pr := n.peers["ghost"]
+	for i := uint64(1); i <= 10; i++ {
+		pr.send(0, i, []byte("x"))
+	}
+	if d := n.Metrics().ForwardDropped.Load(); d != 8 {
+		t.Fatalf("ForwardDropped = %d, want 8", d)
+	}
+	pr.mu.Lock()
+	first := pr.outbox[0].bytes
+	pr.mu.Unlock()
+	h, _ := frame.ParseHeader(first, 0)
+	it := frame.IterBatch(first[frame.HeaderSize : frame.HeaderSize+h.Length])
+	_, id, _, ok := it.Next()
+	if !ok || id != 1 {
+		t.Fatalf("oldest frame carries msg %d, want 1 (DropNewest keeps the head)", id)
+	}
+	// A control frame always makes room, even under DropNewest.
+	pr.control(frame.AppendHandoff(nil, 3, 0))
+	pr.mu.Lock()
+	last := pr.outbox[len(pr.outbox)-1].bytes
+	pr.mu.Unlock()
+	if h, _ := frame.ParseHeader(last, 0); h.Type != frame.TypeHandoff {
+		t.Fatalf("control frame not queued under DropNewest (tail is %v)", h.Type)
+	}
+}
+
+// TestBridgeReconnect: a flaky remote that accepts and immediately
+// drops connections drives the dialer through its reconnect path.
+func TestBridgeReconnect(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close() // drop immediately: the peer's read loop errors out
+		}
+	}()
+	n, _ := newLoneNode(t, "a", nil)
+	if err := n.AddPeer(PeerSpec{ID: "flaky", Addr: ln.Addr().String()}); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 15*time.Second, "reconnect attempts", func() bool {
+		return n.Metrics().Reconnects.Load() >= 2
+	})
+}
+
+// TestInboundRejectsGarbage: a connection speaking garbage is counted
+// and dropped; the node survives and keeps serving valid peers.
+func TestInboundRejectsGarbage(t *testing.T) {
+	n, _ := newLoneNode(t, "a", nil)
+	conn, err := net.Dial("tcp", n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 10*time.Second, "frame error count", func() bool {
+		return n.Metrics().FrameErrors.Load() >= 1
+	})
+	// The listener is still alive for well-formed peers.
+	conn2, err := net.Dial("tcp", n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write(frame.AppendHello(nil, "b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn2.Write(frame.AppendPing(nil, frame.TypePing, 77)); err != nil {
+		t.Fatal(err)
+	}
+	r := frame.NewReader(conn2, 0)
+	conn2.SetReadDeadline(time.Now().Add(10 * time.Second))
+	h, payload, err := r.Next()
+	if err != nil {
+		t.Fatalf("pong read: %v", err)
+	}
+	if h.Type != frame.TypePong {
+		t.Fatalf("got %v, want pong", h.Type)
+	}
+	if nonce, _ := frame.ParsePing(payload); nonce != 77 {
+		t.Fatalf("pong nonce = %d, want 77", nonce)
+	}
+}
+
+// TestInboundBatchFeedsPlane: a raw peer connection delivering a batch
+// frame lands items in the plane, and the payload copy keeps them
+// intact after the reader's buffer is reused by a second frame.
+func TestInboundBatchFeedsPlane(t *testing.T) {
+	n, p := newLoneNode(t, "a", nil)
+	conn, err := net.Dial("tcp", n.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(frame.AppendHello(nil, "b")); err != nil {
+		t.Fatal(err)
+	}
+	var e frame.Encoder
+	e.Reset()
+	e.Add(1, 500, []byte("first-frame-payload"))
+	if _, err := conn.Write(e.Finish()); err != nil {
+		t.Fatal(err)
+	}
+	e.Reset()
+	e.Add(2, 501, []byte("XXXXX-overwrite-XXX"))
+	if _, err := conn.Write(e.Finish()); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 10*time.Second, "batch admission", func() bool {
+		return n.Metrics().ReceivedItems.Load() == 2
+	})
+	got, ok := p.EgressWait(1)
+	if !ok || string(got) != "first-frame-payload" {
+		t.Fatalf("tenant 1 payload = %q, %v", got, ok)
+	}
+	got, ok = p.EgressWait(2)
+	if !ok || string(got) != "XXXXX-overwrite-XXX" {
+		t.Fatalf("tenant 2 payload = %q, %v", got, ok)
+	}
+}

@@ -1,0 +1,803 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperplane/dataplane"
+	"hyperplane/internal/cluster/frame"
+	"hyperplane/internal/dedup"
+	"hyperplane/internal/telemetry"
+)
+
+// Config parameterizes a federation node.
+type Config struct {
+	// ID is this node's cluster-wide identity (required, unique).
+	ID string
+	// ListenAddr is the bridge listener address (default "127.0.0.1:0";
+	// read the bound address back with Addr).
+	ListenAddr string
+	// Peers are the other nodes to dial. Peers may also be added after
+	// Start with AddPeer (useful when addresses are only known once
+	// every listener is up).
+	Peers []PeerSpec
+	// VNodes is the consistent-hash replication factor (default
+	// DefaultVNodes).
+	VNodes int
+	// Plane is the local data plane this node fronts (required). The
+	// node does not own the plane's lifecycle — callers start and stop
+	// it — but it does install per-tenant forwards during handoff.
+	Plane *dataplane.Plane
+
+	// FlushBatch seals a staged forward batch at this many items
+	// (default 64, matching the edge's stagers); FlushInterval bounds
+	// how long a partial batch waits (default 200µs).
+	FlushBatch    int
+	FlushInterval time.Duration
+
+	// ForwardBuffer bounds each peer's outbox in frames (default 256);
+	// ForwardPolicy picks the overflow policy — DropOldest (default) or
+	// DropNewest, the plane's existing drop policies applied to the
+	// forward path.
+	ForwardBuffer int
+	ForwardPolicy dataplane.DeliveryPolicy
+
+	// HealthInterval is the ping cadence (default 250ms); HealthTimeout
+	// bounds dials and writes (default 1s); DeadAfter is how long a
+	// peer stays unreachable (no pong, no connection) before it is
+	// declared dead and its tenants re-home (default 2s).
+	HealthInterval time.Duration
+	HealthTimeout  time.Duration
+	DeadAfter      time.Duration
+
+	// DedupWindow is the per-tenant duplicate-suppression depth for
+	// message ids (default 4096; windows allocate lazily per tenant).
+	DedupWindow int
+	// MaxPayload bounds a received frame's payload (default
+	// frame.DefaultMaxPayload).
+	MaxPayload int
+
+	// Telemetry, when set, gets the node's ClusterMetrics attached as a
+	// hyperplane_cluster_* collector.
+	Telemetry *telemetry.T
+	// Logf receives bridge lifecycle messages (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// dedupShards stripes the per-tenant dedup windows' locks.
+const dedupShards = 64
+
+// Node federates a local dataplane with its peers: a consistent-hash
+// ring maps every tenant to an owning node, Ingress routes to the local
+// plane or a peer bridge accordingly, the listener feeds forwarded
+// batches into the local plane's batched ingress with per-tenant
+// duplicate suppression, and peer death re-homes the dead node's
+// tenants onto the survivors — each node recomputes the same ownership
+// from its own probes, no coordinator.
+type Node struct {
+	cfg   Config
+	plane *dataplane.Plane
+	cm    *telemetry.ClusterMetrics
+	logf  func(string, ...any)
+
+	flushBatch    int
+	flushInterval time.Duration
+	forwardBuffer int
+	forwardPolicy dataplane.DeliveryPolicy
+
+	healthInterval time.Duration
+	healthTimeout  time.Duration
+	deadAfter      time.Duration
+
+	dedupWindow int
+	maxPayload  int
+
+	mu        sync.RWMutex
+	ring      *Ring
+	overrides map[int]string // handoff reroutes, consulted before the ring
+	fwdTo     map[int]string // tenants whose plane forward targets a peer
+	peers     map[string]*peer
+
+	dmu     [dedupShards]sync.Mutex
+	windows []*dedup.Window
+
+	ln      net.Listener
+	connMu  sync.Mutex
+	conns   map[net.Conn]struct{}
+	wg      sync.WaitGroup
+	started atomic.Bool
+	stopped atomic.Bool
+}
+
+// NewNode validates cfg and builds a node. The ring starts with this
+// node plus every configured peer (static membership, optimistic);
+// death removes members, reconnection adds them back.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("cluster: Config.ID required")
+	}
+	if len(cfg.ID) > 256 {
+		return nil, fmt.Errorf("cluster: Config.ID longer than 256 bytes")
+	}
+	if cfg.Plane == nil {
+		return nil, fmt.Errorf("cluster: Config.Plane required")
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.FlushBatch <= 0 {
+		cfg.FlushBatch = 64
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 200 * time.Microsecond
+	}
+	if cfg.ForwardBuffer <= 0 {
+		cfg.ForwardBuffer = 256
+	}
+	if cfg.ForwardPolicy != dataplane.DropNewest {
+		cfg.ForwardPolicy = dataplane.DropOldest
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 250 * time.Millisecond
+	}
+	if cfg.HealthTimeout <= 0 {
+		cfg.HealthTimeout = time.Second
+	}
+	if cfg.DeadAfter <= 0 {
+		cfg.DeadAfter = 2 * time.Second
+	}
+	if cfg.DedupWindow <= 0 {
+		cfg.DedupWindow = 4096
+	}
+	if cfg.MaxPayload <= 0 {
+		cfg.MaxPayload = frame.DefaultMaxPayload
+	}
+	n := &Node{
+		cfg:            cfg,
+		plane:          cfg.Plane,
+		cm:             &telemetry.ClusterMetrics{},
+		logf:           cfg.Logf,
+		flushBatch:     cfg.FlushBatch,
+		flushInterval:  cfg.FlushInterval,
+		forwardBuffer:  cfg.ForwardBuffer,
+		forwardPolicy:  cfg.ForwardPolicy,
+		healthInterval: cfg.HealthInterval,
+		healthTimeout:  cfg.HealthTimeout,
+		deadAfter:      cfg.DeadAfter,
+		dedupWindow:    cfg.DedupWindow,
+		maxPayload:     cfg.MaxPayload,
+		ring:           NewRing(cfg.VNodes),
+		overrides:      make(map[int]string),
+		fwdTo:          make(map[int]string),
+		peers:          make(map[string]*peer),
+		windows:        make([]*dedup.Window, cfg.Plane.Tenants()),
+		conns:          make(map[net.Conn]struct{}),
+	}
+	if n.logf == nil {
+		n.logf = func(string, ...any) {}
+	}
+	n.ring.Add(cfg.ID)
+	for _, spec := range cfg.Peers {
+		if spec.ID == "" || spec.ID == cfg.ID {
+			return nil, fmt.Errorf("cluster: bad peer id %q", spec.ID)
+		}
+		if _, dup := n.peers[spec.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", spec.ID)
+		}
+		n.peers[spec.ID] = newPeer(n, spec)
+		n.ring.Add(spec.ID)
+	}
+	n.cm.PeerGauges = n.writePeerGauges
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.AttachCollector(n.cm.WriteProm)
+	}
+	return n, nil
+}
+
+// Start binds the bridge listener and starts the peer dialers.
+func (n *Node) Start() error {
+	if !n.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("cluster: node already started")
+	}
+	ln, err := net.Listen("tcp", n.cfg.ListenAddr)
+	if err != nil {
+		n.started.Store(false)
+		return err
+	}
+	n.ln = ln
+	n.wg.Add(1)
+	go n.acceptLoop()
+	n.mu.RLock()
+	for _, pr := range n.peers {
+		go pr.run()
+	}
+	n.mu.RUnlock()
+	return nil
+}
+
+// Addr returns the bound bridge address (valid after Start).
+func (n *Node) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+// Plane returns the local data plane.
+func (n *Node) Plane() *dataplane.Plane { return n.plane }
+
+// Metrics returns the node's federation counters.
+func (n *Node) Metrics() *telemetry.ClusterMetrics { return n.cm }
+
+// ID returns the node's cluster identity.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// AddPeer registers and starts dialing a peer discovered after Start.
+func (n *Node) AddPeer(spec PeerSpec) error {
+	if spec.ID == "" || spec.ID == n.cfg.ID {
+		return fmt.Errorf("cluster: bad peer id %q", spec.ID)
+	}
+	n.mu.Lock()
+	if _, dup := n.peers[spec.ID]; dup {
+		n.mu.Unlock()
+		return fmt.Errorf("cluster: duplicate peer id %q", spec.ID)
+	}
+	pr := newPeer(n, spec)
+	n.peers[spec.ID] = pr
+	n.ring.Add(spec.ID)
+	n.mu.Unlock()
+	if n.started.Load() && !n.stopped.Load() {
+		go pr.run()
+	}
+	return nil
+}
+
+// Members returns the current ring membership (sorted).
+func (n *Node) Members() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.ring.Members()
+}
+
+// Owner returns the node id owning tenant right now: a handoff override
+// if one is in force, the consistent-hash ring otherwise.
+func (n *Node) Owner(tenant int) string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if o, ok := n.overrides[tenant]; ok {
+		return o
+	}
+	return n.ring.Owner(tenant)
+}
+
+// Local reports whether tenant is currently served by this node's own
+// plane. Together with Ingress it satisfies the edge's Router
+// interface, letting an HTTP front route-or-forward at admission.
+func (n *Node) Local(tenant int) bool { return n.Owner(tenant) == n.cfg.ID }
+
+// Ingress routes one item: admitted into the local plane when this node
+// owns the tenant (with msgID-based duplicate suppression; 0 means
+// anonymous), staged onto the owner's bridge otherwise. A payload
+// handed to a remote owner is copied before Ingress returns.
+func (n *Node) Ingress(tenant int, msgID uint64, payload []byte) bool {
+	if n.stopped.Load() {
+		return false
+	}
+	owner := n.Owner(tenant)
+	if owner == "" || owner == n.cfg.ID {
+		return n.admit(tenant, msgID, payload)
+	}
+	n.mu.RLock()
+	pr := n.peers[owner]
+	n.mu.RUnlock()
+	if pr == nil {
+		// Owner unknown to us (misconfiguration); serve locally rather
+		// than black-hole the tenant.
+		return n.admit(tenant, msgID, payload)
+	}
+	if !pr.send(uint32(tenant), msgID, payload) {
+		return false
+	}
+	n.cm.Forwarded.Add(1)
+	return true
+}
+
+// admit pushes one item into the local plane under the tenant's dedup
+// shard lock, remembering the message id only on acceptance so a
+// backpressured retry is not wrongly suppressed. Ownership is
+// re-checked under the lock: a concurrent handoff flips the override
+// while holding this shard, so an admit that raced the flip either
+// completed before the window snapshot was taken or re-routes to the
+// new owner here — no id can slip between the snapshot and the flip.
+func (n *Node) admit(tenant int, msgID uint64, payload []byte) bool {
+	if tenant < 0 || tenant >= len(n.windows) {
+		return false
+	}
+	if msgID == 0 {
+		return n.plane.Ingress(tenant, payload)
+	}
+	sh := &n.dmu[tenant%dedupShards]
+	sh.Lock()
+	if owner := n.Owner(tenant); owner != "" && owner != n.cfg.ID {
+		n.mu.RLock()
+		pr := n.peers[owner]
+		n.mu.RUnlock()
+		if pr != nil {
+			sh.Unlock()
+			if !pr.send(uint32(tenant), msgID, payload) {
+				return false
+			}
+			n.cm.Forwarded.Add(1)
+			return true
+		}
+	}
+	w := n.windows[tenant]
+	if w == nil {
+		w = dedup.NewWindow(n.dedupWindow)
+		n.windows[tenant] = w
+	}
+	if w.Seen(msgID) {
+		sh.Unlock()
+		n.cm.RecvDeduped.Add(1)
+		return true
+	}
+	ok := n.plane.Ingress(tenant, payload)
+	if ok {
+		w.Remember(msgID, 0)
+	}
+	sh.Unlock()
+	return ok
+}
+
+// admitRun feeds one same-tenant run from a received batch into the
+// plane's batched ingress, suppressing duplicate ids under the shard
+// lock. bodies must be owned by the caller (they outlive this call
+// inside the plane's rings). IngressBatch accepts a run as a prefix, so
+// only the accepted prefix's ids are remembered.
+//
+// Ownership is re-checked under the shard lock before admission: a
+// stale sender (one that has not yet processed a handoff marker or a
+// membership change) may ship a tenant this node no longer owns, and
+// those items must re-forward to the current owner WITH their message
+// ids — relaying them anonymously through the plane-level forward would
+// strip the ids and defeat the owner's window, double-delivering any id
+// that also reached the owner directly. Frame order makes the bounce
+// converge: the handoff marker precedes any re-forwarded frame in the
+// peer's FIFO outbox, so the receiving owner admits rather than
+// bouncing back.
+func (n *Node) admitRun(tenant int, ids []uint64, bodies [][]byte, scratch []dataplane.IngressItem) []dataplane.IngressItem {
+	if len(ids) == 0 {
+		return scratch
+	}
+	if tenant < 0 || tenant >= len(n.windows) {
+		n.cm.RecvRejected.Add(int64(len(ids)))
+		return scratch
+	}
+	scratch = scratch[:0]
+	sh := &n.dmu[tenant%dedupShards]
+	sh.Lock()
+	if owner := n.Owner(tenant); owner != "" && owner != n.cfg.ID {
+		n.mu.RLock()
+		pr := n.peers[owner]
+		n.mu.RUnlock()
+		if pr != nil {
+			sh.Unlock()
+			fwd := 0
+			for i := range ids {
+				if pr.send(uint32(tenant), ids[i], bodies[i]) {
+					fwd++
+				}
+			}
+			n.cm.Forwarded.Add(int64(fwd))
+			if fwd < len(ids) {
+				n.cm.RecvRejected.Add(int64(len(ids) - fwd))
+			}
+			return scratch
+		}
+	}
+	w := n.windows[tenant]
+	if w == nil {
+		w = dedup.NewWindow(n.dedupWindow)
+		n.windows[tenant] = w
+	}
+	// Duplicates are suppressed against the window AND within the run
+	// itself: ids are only remembered after the batch is accepted, so
+	// two copies in one frame would otherwise both pass the Seen check.
+	var inRun map[uint64]struct{}
+	if len(ids) > 128 {
+		inRun = make(map[uint64]struct{}, len(ids))
+	}
+	kept := make([]uint64, 0, len(ids))
+	for i := range ids {
+		id := ids[i]
+		if id != 0 {
+			if w.Seen(id) {
+				n.cm.RecvDeduped.Add(1)
+				continue
+			}
+			if inRun != nil {
+				if _, dup := inRun[id]; dup {
+					n.cm.RecvDeduped.Add(1)
+					continue
+				}
+				inRun[id] = struct{}{}
+			} else if containsID(kept, id) {
+				n.cm.RecvDeduped.Add(1)
+				continue
+			}
+		}
+		scratch = append(scratch, dataplane.IngressItem{Tenant: tenant, Payload: bodies[i]})
+		kept = append(kept, id)
+	}
+	accepted := 0
+	if len(scratch) > 0 {
+		accepted = n.plane.IngressBatch(scratch)
+		for i := 0; i < accepted && i < len(kept); i++ {
+			if kept[i] != 0 {
+				w.Remember(kept[i], 0)
+			}
+		}
+	}
+	sh.Unlock()
+	n.cm.ReceivedItems.Add(int64(accepted))
+	if rejected := len(scratch) - accepted; rejected > 0 {
+		n.cm.RecvRejected.Add(int64(rejected))
+	}
+	return scratch
+}
+
+// containsID is the small-run duplicate scan (runs are sender batches,
+// a few dozen items; the map path above covers hand-crafted big runs).
+func containsID(ids []uint64, id uint64) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Handoff gracefully transfers a tenant to peer `to`: ship the
+// tenant's dedup-window state, reroute new arrivals (node-level
+// override plus a plane-level forward for raw producers), drain the
+// locally queued backlog through the plane's per-tenant drain, flush
+// the forwarded tail, then send the ownership marker. State snapshot
+// and override flip happen under the tenant's dedup shard lock, so no
+// admission can land between them; the state frame precedes every
+// forwarded duplicate in the outbox, so the new owner's window is
+// primed before traffic arrives. Until membership changes, other nodes
+// keep sending to this node; those bridge arrivals re-forward to the
+// new owner with their message ids intact (admitRun's ownership
+// re-check), while the plane-level forward installed here relays only
+// raw local producers — anonymous items that never had an id.
+func (n *Node) Handoff(ctx context.Context, tenant int, to string) error {
+	if to == n.cfg.ID {
+		return fmt.Errorf("cluster: handoff of tenant %d to self", tenant)
+	}
+	if tenant < 0 || tenant >= len(n.windows) {
+		return fmt.Errorf("cluster: tenant %d out of range", tenant)
+	}
+	n.mu.RLock()
+	pr := n.peers[to]
+	n.mu.RUnlock()
+	if pr == nil {
+		return fmt.Errorf("cluster: handoff to unknown peer %q", to)
+	}
+	sh := &n.dmu[tenant%dedupShards]
+	sh.Lock()
+	if w := n.windows[tenant]; w != nil && w.Len() > 0 {
+		pr.control(frame.AppendState(nil, uint32(tenant), w.AppendIDs(nil)))
+	}
+	n.mu.Lock()
+	n.overrides[tenant] = to
+	n.fwdTo[tenant] = to
+	n.mu.Unlock()
+	sh.Unlock()
+
+	var tail atomic.Int64
+	err := n.plane.SetTenantForward(tenant, func(items []dataplane.IngressItem) int {
+		c := 0
+		for _, it := range items {
+			if pr.send(uint32(tenant), 0, it.Payload) {
+				c++
+			}
+		}
+		tail.Add(int64(c))
+		return c
+	})
+	if err != nil {
+		n.mu.Lock()
+		delete(n.overrides, tenant)
+		delete(n.fwdTo, tenant)
+		n.mu.Unlock()
+		return err
+	}
+	if err := n.plane.DrainTenant(ctx, tenant); err != nil {
+		return fmt.Errorf("cluster: handoff drain of tenant %d: %w", tenant, err)
+	}
+	pr.control(frame.AppendHandoff(nil, uint32(tenant), uint64(tail.Load())))
+	n.cm.Handoffs.Add(1)
+	n.cm.HandoffItems.Add(tail.Load())
+	n.logf("cluster: tenant %d handed off to %s (%d tail items)", tenant, to, tail.Load())
+	return nil
+}
+
+// primeWindow seeds a tenant's dedup window with ids shipped ahead of
+// a handoff (oldest first, so relative eviction order is preserved).
+func (n *Node) primeWindow(tenant int, ids []uint64) {
+	if tenant < 0 || tenant >= len(n.windows) {
+		return
+	}
+	sh := &n.dmu[tenant%dedupShards]
+	sh.Lock()
+	w := n.windows[tenant]
+	if w == nil {
+		w = dedup.NewWindow(n.dedupWindow)
+		n.windows[tenant] = w
+	}
+	for _, id := range ids {
+		if id != 0 {
+			w.Remember(id, 0)
+		}
+	}
+	sh.Unlock()
+}
+
+// acceptHandoff records an ownership transfer received from a peer.
+func (n *Node) acceptHandoff(tenant int, from string) {
+	n.mu.Lock()
+	n.overrides[tenant] = n.cfg.ID
+	if _, had := n.fwdTo[tenant]; had {
+		delete(n.fwdTo, tenant)
+		n.plane.SetTenantForward(tenant, nil)
+	}
+	n.mu.Unlock()
+	n.cm.HandoffsInbound.Add(1)
+	n.logf("cluster: accepted ownership of tenant %d from %s", tenant, from)
+}
+
+// peerUp re-admits a peer to the ring after a successful dial.
+func (n *Node) peerUp(id string) {
+	n.mu.Lock()
+	if !n.ring.Has(id) {
+		n.ring.Add(id)
+		n.cm.PeerUps.Add(1)
+		n.logf("cluster: peer %s up, ring=%v", id, n.ring.Members())
+	}
+	n.mu.Unlock()
+}
+
+// peerDown removes a dead peer from the ring. Its tenants re-home to
+// the survivors purely by recomputation — every node's prober reaches
+// the same verdict and removes the same member, so the cluster
+// converges on identical ownership without coordination. Handoff
+// overrides and plane forwards pointing at the dead node are cleared so
+// its former tenants fall back to the ring.
+func (n *Node) peerDown(id string) {
+	n.mu.Lock()
+	if !n.ring.Has(id) {
+		n.mu.Unlock()
+		return
+	}
+	rehomed := 0
+	for t := 0; t < n.plane.Tenants(); t++ {
+		if n.ring.Owner(t) == id {
+			rehomed++
+		}
+	}
+	n.ring.Remove(id)
+	for t, o := range n.overrides {
+		if o == id {
+			delete(n.overrides, t)
+		}
+	}
+	for t, o := range n.fwdTo {
+		if o == id {
+			delete(n.fwdTo, t)
+			n.plane.SetTenantForward(t, nil)
+		}
+	}
+	members := n.ring.Members()
+	n.mu.Unlock()
+	n.cm.PeerDowns.Add(1)
+	n.cm.Rehomed.Add(int64(rehomed))
+	n.logf("cluster: peer %s down, %d tenants re-home, ring=%v", id, rehomed, members)
+}
+
+// acceptLoop owns the bridge listener.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.connMu.Lock()
+		if n.stopped.Load() {
+			n.connMu.Unlock()
+			conn.Close()
+			return
+		}
+		n.conns[conn] = struct{}{}
+		n.connMu.Unlock()
+		n.wg.Add(1)
+		go n.serveInbound(conn)
+	}
+}
+
+// serveInbound decodes one peer's frame stream: batches feed the local
+// plane run by run, pings are answered in place, a handoff marker
+// transfers ownership. Frame-level corruption drops the connection —
+// the sender's outbox and the dedup window make the retry safe.
+func (n *Node) serveInbound(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		n.connMu.Lock()
+		delete(n.conns, conn)
+		n.connMu.Unlock()
+		conn.Close()
+	}()
+	r := frame.NewReader(conn, n.maxPayload)
+	remote := "?"
+	var scratch []dataplane.IngressItem
+	var ids []uint64
+	var bodies [][]byte
+	for {
+		h, payload, err := r.Next()
+		if err != nil {
+			if err != io.EOF && isFrameErr(err) {
+				n.cm.FrameErrors.Add(1)
+				n.logf("cluster: dropping connection from %s: %v", remote, err)
+			}
+			return
+		}
+		switch h.Type {
+		case frame.TypeHello:
+			if id, err := frame.ParseHello(payload); err == nil {
+				remote = id
+			}
+		case frame.TypePing:
+			nonce, perr := frame.ParsePing(payload)
+			if perr != nil {
+				n.cm.FrameErrors.Add(1)
+				return
+			}
+			conn.SetWriteDeadline(time.Now().Add(n.healthTimeout))
+			if _, werr := conn.Write(frame.AppendPing(nil, frame.TypePong, nonce)); werr != nil {
+				return
+			}
+		case frame.TypeBatch:
+			n.cm.ReceivedBatches.Add(1)
+			n.cm.ReceivedBytes.Add(int64(len(payload)))
+			// One copy owns every item in the frame: the plane keeps
+			// payload views into it, the reader's buffer is reused.
+			owned := append([]byte(nil), payload...)
+			it := frame.IterBatch(owned)
+			runTenant := -1
+			ids, bodies = ids[:0], bodies[:0]
+			for {
+				t, id, body, ok := it.Next()
+				if !ok {
+					break
+				}
+				if int(t) != runTenant {
+					scratch = n.admitRun(runTenant, ids, bodies, scratch)
+					ids, bodies = ids[:0], bodies[:0]
+					runTenant = int(t)
+				}
+				ids = append(ids, id)
+				bodies = append(bodies, body)
+			}
+			scratch = n.admitRun(runTenant, ids, bodies, scratch)
+			if it.Err() != nil {
+				n.cm.FrameErrors.Add(1)
+				return
+			}
+		case frame.TypeHandoff:
+			tenant, _, herr := frame.ParseHandoff(payload)
+			if herr != nil {
+				n.cm.FrameErrors.Add(1)
+				return
+			}
+			n.acceptHandoff(int(tenant), remote)
+		case frame.TypeState:
+			tenant, stateIDs, serr := frame.ParseState(payload)
+			if serr != nil {
+				n.cm.FrameErrors.Add(1)
+				return
+			}
+			n.primeWindow(int(tenant), stateIDs)
+		}
+	}
+}
+
+// isFrameErr reports whether err came from frame validation (as opposed
+// to an ordinary connection teardown).
+func isFrameErr(err error) bool {
+	switch err {
+	case frame.ErrMagic, frame.ErrVersion, frame.ErrTooLarge,
+		frame.ErrCRC, frame.ErrCorrupt, frame.ErrTruncated:
+		return true
+	}
+	return false
+}
+
+// writePeerGauges emits the live per-peer series for WriteProm.
+func (n *Node) writePeerGauges(w io.Writer) {
+	n.mu.RLock()
+	prs := make([]*peer, 0, len(n.peers))
+	for _, pr := range n.peers {
+		prs = append(prs, pr)
+	}
+	n.mu.RUnlock()
+	fmt.Fprintf(w, "# HELP hyperplane_cluster_peer_up Peer connection state (1 = connected).\n")
+	fmt.Fprintf(w, "# TYPE hyperplane_cluster_peer_up gauge\n")
+	for _, pr := range prs {
+		up := 0
+		if pr.up.Load() {
+			up = 1
+		}
+		fmt.Fprintf(w, "hyperplane_cluster_peer_up{peer=%q} %d\n", pr.id, up)
+	}
+	fmt.Fprintf(w, "# HELP hyperplane_cluster_outbox_frames Frames queued for a peer.\n")
+	fmt.Fprintf(w, "# TYPE hyperplane_cluster_outbox_frames gauge\n")
+	for _, pr := range prs {
+		fmt.Fprintf(w, "hyperplane_cluster_outbox_frames{peer=%q} %d\n", pr.id, pr.outboxLen())
+	}
+}
+
+// Stop shuts the node down gracefully: peers flush and drain their
+// outboxes best-effort, the listener and inbound connections close, and
+// every goroutine is joined. The plane is left running (the caller owns
+// it).
+func (n *Node) Stop() { n.shutdown(true) }
+
+// Kill is the chaos-path shutdown: connections and the listener drop on
+// the floor with no flush — exactly what a crashed process looks like
+// to the survivors.
+func (n *Node) Kill() { n.shutdown(false) }
+
+func (n *Node) shutdown(graceful bool) {
+	if !n.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	n.mu.RLock()
+	prs := make([]*peer, 0, len(n.peers))
+	for _, pr := range n.peers {
+		prs = append(prs, pr)
+	}
+	n.mu.RUnlock()
+	for _, pr := range prs {
+		pr.shutdown(graceful)
+	}
+	if n.started.Load() {
+		if !graceful {
+			// Abrupt: sever inbound connections before (not after) the
+			// peers notice, like a process death would.
+			n.connMu.Lock()
+			for c := range n.conns {
+				c.Close()
+			}
+			n.connMu.Unlock()
+		}
+		n.ln.Close()
+	}
+	for _, pr := range prs {
+		<-pr.done
+	}
+	if n.started.Load() {
+		if graceful {
+			n.connMu.Lock()
+			for c := range n.conns {
+				c.Close()
+			}
+			n.connMu.Unlock()
+		}
+		n.wg.Wait()
+	}
+}

@@ -1,0 +1,420 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hyperplane/dataplane"
+)
+
+// testNode bundles a node with its plane and a delivery log keyed by
+// the message id each test encodes into its payloads.
+type testNode struct {
+	node  *Node
+	plane *dataplane.Plane
+
+	mu  sync.Mutex
+	got map[uint64]int // msgID (from payload) -> delivery count
+}
+
+func (tn *testNode) deliveries(id uint64) int {
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	return tn.got[id]
+}
+
+func (tn *testNode) totalDeliveries() int {
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	n := 0
+	for _, c := range tn.got {
+		n += c
+	}
+	return n
+}
+
+// payloadFor encodes a message id as the payload so delivery logs can
+// attribute every delivery.
+func payloadFor(id uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], id)
+	return b[:]
+}
+
+// newTestCluster builds size nodes with aggressive timings, starts them
+// and fully meshes them. Every node's ring agrees on membership from
+// the start.
+func newTestCluster(t *testing.T, size, tenants int) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, size)
+	for i := range nodes {
+		tn := &testNode{got: make(map[uint64]int)}
+		p, err := dataplane.New(dataplane.Config{
+			Tenants: tenants,
+			// Deep rings: the chaos drills assert loss-free delivery, so
+			// backpressure must not silently shed bridge-received items
+			// (which, unlike local Ingress, are not retried).
+			RingCapacity: 1 << 14,
+			OnDeliver: func(tenant int, payload []byte, tag uint64) {
+				if payload == nil || len(payload) < 8 {
+					return
+				}
+				id := binary.LittleEndian.Uint64(payload)
+				tn.mu.Lock()
+				tn.got[id]++
+				tn.mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Start()
+		n, err := NewNode(Config{
+			ID:             fmt.Sprintf("node-%d", i),
+			Plane:          p,
+			FlushBatch:     8,
+			FlushInterval:  time.Millisecond,
+			ForwardBuffer:  1 << 14, // see RingCapacity above
+			HealthInterval: 20 * time.Millisecond,
+			HealthTimeout:  500 * time.Millisecond,
+			DeadAfter:      400 * time.Millisecond,
+			DedupWindow:    1 << 13,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		tn.node, tn.plane = n, p
+		nodes[i] = tn
+		t.Cleanup(func() {
+			n.Stop()
+			p.Stop()
+		})
+	}
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a != b {
+				if err := a.node.AddPeer(PeerSpec{ID: b.node.ID(), Addr: b.node.Addr()}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return nodes
+}
+
+// byID finds the test node with the given cluster id.
+func byID(nodes []*testNode, id string) *testNode {
+	for _, tn := range nodes {
+		if tn.node.ID() == id {
+			return tn
+		}
+	}
+	return nil
+}
+
+// tenantOwnedBy picks a tenant the given node owns (by every ring).
+func tenantOwnedBy(t *testing.T, nodes []*testNode, id string, tenants int) int {
+	t.Helper()
+	for tenant := 0; tenant < tenants; tenant++ {
+		if nodes[0].node.Owner(tenant) == id {
+			return tenant
+		}
+	}
+	t.Fatalf("no tenant owned by %s", id)
+	return -1
+}
+
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestClusterRoutesLocalAndRemote: an item for a locally owned tenant
+// is delivered by the local plane; an item for a remotely owned tenant
+// crosses the bridge and is delivered by the owner.
+func TestClusterRoutesLocalAndRemote(t *testing.T) {
+	const tenants = 64
+	nodes := newTestCluster(t, 2, tenants)
+	a := nodes[0]
+	local := tenantOwnedBy(t, nodes, a.node.ID(), tenants)
+	remote := tenantOwnedBy(t, nodes, nodes[1].node.ID(), tenants)
+	owner := byID(nodes, nodes[1].node.ID())
+
+	if !a.node.Ingress(local, 1, payloadFor(1)) {
+		t.Fatal("local ingress rejected")
+	}
+	if !a.node.Ingress(remote, 2, payloadFor(2)) {
+		t.Fatal("remote ingress rejected")
+	}
+	waitUntil(t, 10*time.Second, "local delivery", func() bool { return a.deliveries(1) == 1 })
+	waitUntil(t, 10*time.Second, "forwarded delivery", func() bool { return owner.deliveries(2) == 1 })
+	if got := a.deliveries(2); got != 0 {
+		t.Fatalf("forwarded item also delivered at the entry node (%d times)", got)
+	}
+	if f := a.node.Metrics().Forwarded.Load(); f != 1 {
+		t.Fatalf("Forwarded = %d, want 1", f)
+	}
+	if r := owner.node.Metrics().ReceivedItems.Load(); r != 1 {
+		t.Fatalf("ReceivedItems = %d, want 1", r)
+	}
+}
+
+// TestClusterBulkForwarding pushes a burst through the bridge and
+// checks batching actually coalesces (frames < items).
+func TestClusterBulkForwarding(t *testing.T) {
+	const tenants = 64
+	nodes := newTestCluster(t, 2, tenants)
+	a, b := nodes[0], nodes[1]
+	remote := tenantOwnedBy(t, nodes, b.node.ID(), tenants)
+
+	const burst = 500
+	for i := uint64(1); i <= burst; i++ {
+		if !a.node.Ingress(remote, i, payloadFor(i)) {
+			t.Fatalf("ingress %d rejected", i)
+		}
+	}
+	waitUntil(t, 20*time.Second, "burst delivery", func() bool { return b.totalDeliveries() == burst })
+	for i := uint64(1); i <= burst; i++ {
+		if b.deliveries(i) != 1 {
+			t.Fatalf("msg %d delivered %d times", i, b.deliveries(i))
+		}
+	}
+	m := a.node.Metrics()
+	if fb := m.ForwardBatches.Load(); fb == 0 || fb >= burst {
+		t.Fatalf("ForwardBatches = %d, want coalescing (0 < frames < %d)", fb, burst)
+	}
+}
+
+// TestClusterDedup: duplicates of a message id — whether retried into
+// the same entry node or the owner directly — deliver exactly once.
+func TestClusterDedup(t *testing.T) {
+	const tenants = 64
+	nodes := newTestCluster(t, 2, tenants)
+	a, b := nodes[0], nodes[1]
+	remote := tenantOwnedBy(t, nodes, b.node.ID(), tenants)
+	local := tenantOwnedBy(t, nodes, a.node.ID(), tenants)
+
+	// Remote tenant: send the same id three times through the bridge
+	// and once directly at the owner.
+	for i := 0; i < 3; i++ {
+		if !a.node.Ingress(remote, 42, payloadFor(42)) {
+			t.Fatal("ingress rejected")
+		}
+	}
+	if !b.node.Ingress(remote, 42, payloadFor(42)) {
+		t.Fatal("owner ingress rejected")
+	}
+	// Local tenant: duplicate suppression without the bridge.
+	for i := 0; i < 3; i++ {
+		if !a.node.Ingress(local, 7, payloadFor(7)) {
+			t.Fatal("local ingress rejected")
+		}
+	}
+	waitUntil(t, 10*time.Second, "dedup settle", func() bool {
+		return b.deliveries(42) >= 1 && a.deliveries(7) >= 1
+	})
+	// Give late duplicates a chance to (wrongly) arrive.
+	time.Sleep(50 * time.Millisecond)
+	if got := b.deliveries(42); got != 1 {
+		t.Fatalf("remote msg delivered %d times, want 1", got)
+	}
+	if got := a.deliveries(7); got != 1 {
+		t.Fatalf("local msg delivered %d times, want 1", got)
+	}
+	if d := a.node.Metrics().RecvDeduped.Load(); d != 2 {
+		t.Fatalf("entry-node dedup count = %d, want 2", d)
+	}
+	if d := b.node.Metrics().RecvDeduped.Load(); d < 2 {
+		t.Fatalf("owner dedup count = %d, want >= 2", d)
+	}
+}
+
+// TestClusterHandoff: a graceful handoff drains the old owner, moves
+// ownership, and keeps traffic flowing — relayed by the old owner until
+// membership changes, delivered by the new one.
+func TestClusterHandoff(t *testing.T) {
+	const tenants = 64
+	nodes := newTestCluster(t, 2, tenants)
+	a, b := nodes[0], nodes[1]
+	tenant := tenantOwnedBy(t, nodes, a.node.ID(), tenants)
+
+	// Seed some local traffic, then hand the tenant to b.
+	for i := uint64(1); i <= 50; i++ {
+		if !a.node.Ingress(tenant, i, payloadFor(i)) {
+			t.Fatalf("pre-handoff ingress %d rejected", i)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := a.node.Handoff(ctx, tenant, b.node.ID()); err != nil {
+		t.Fatalf("handoff: %v", err)
+	}
+	if got := a.node.Owner(tenant); got != b.node.ID() {
+		t.Fatalf("old owner still routes tenant to %q", got)
+	}
+	waitUntil(t, 10*time.Second, "ownership transfer", func() bool {
+		return b.node.Owner(tenant) == b.node.ID()
+	})
+	// Pre-handoff backlog was drained locally at a.
+	if got := a.totalDeliveries(); got != 50 {
+		t.Fatalf("old owner delivered %d of the pre-handoff backlog, want 50", got)
+	}
+	// New arrivals at either node land at b.
+	if !a.node.Ingress(tenant, 100, payloadFor(100)) {
+		t.Fatal("post-handoff ingress via old owner rejected")
+	}
+	if !b.node.Ingress(tenant, 101, payloadFor(101)) {
+		t.Fatal("post-handoff ingress via new owner rejected")
+	}
+	waitUntil(t, 10*time.Second, "post-handoff delivery", func() bool {
+		return b.deliveries(100) == 1 && b.deliveries(101) == 1
+	})
+	if a.deliveries(100) != 0 {
+		t.Fatal("post-handoff item delivered at the old owner")
+	}
+	if h := a.node.Metrics().Handoffs.Load(); h != 1 {
+		t.Fatalf("Handoffs = %d, want 1", h)
+	}
+	if h := b.node.Metrics().HandoffsInbound.Load(); h != 1 {
+		t.Fatalf("HandoffsInbound = %d, want 1", h)
+	}
+}
+
+// TestClusterPeerDeathRehoming: killing a node re-homes its tenants
+// onto the survivors (each survivor recomputes the same ring), and
+// traffic to those tenants keeps flowing.
+func TestClusterPeerDeathRehoming(t *testing.T) {
+	const tenants = 96
+	nodes := newTestCluster(t, 3, tenants)
+	victim := nodes[2]
+	doomed := tenantOwnedBy(t, nodes, victim.node.ID(), tenants)
+
+	victim.node.Kill()
+	victim.plane.Stop()
+
+	survivors := nodes[:2]
+	waitUntil(t, 15*time.Second, "membership convergence", func() bool {
+		for _, tn := range survivors {
+			if len(tn.node.Members()) != 2 {
+				return false
+			}
+		}
+		return true
+	})
+	newOwner := survivors[0].node.Owner(doomed)
+	if newOwner == victim.node.ID() || newOwner == "" {
+		t.Fatalf("tenant %d still owned by dead node", doomed)
+	}
+	if got := survivors[1].node.Owner(doomed); got != newOwner {
+		t.Fatalf("survivors disagree on the new owner: %q vs %q", newOwner, got)
+	}
+	// Traffic to the re-homed tenant flows via either survivor.
+	if !survivors[0].node.Ingress(doomed, 1000, payloadFor(1000)) {
+		t.Fatal("post-death ingress rejected")
+	}
+	if !survivors[1].node.Ingress(doomed, 1001, payloadFor(1001)) {
+		t.Fatal("post-death ingress rejected")
+	}
+	ownerTN := byID(nodes, newOwner)
+	waitUntil(t, 15*time.Second, "re-homed delivery", func() bool {
+		return ownerTN.deliveries(1000) == 1 && ownerTN.deliveries(1001) == 1
+	})
+	for _, tn := range survivors {
+		m := tn.node.Metrics()
+		if m.PeerDowns.Load() < 1 {
+			t.Fatalf("%s recorded no peer death", tn.node.ID())
+		}
+		if m.Rehomed.Load() < 1 {
+			t.Fatalf("%s recorded no re-homed tenants", tn.node.ID())
+		}
+	}
+}
+
+// TestClusterWriteProm: the cluster collector emits the
+// hyperplane_cluster_* series including live per-peer gauges.
+func TestClusterWriteProm(t *testing.T) {
+	const tenants = 16
+	nodes := newTestCluster(t, 2, tenants)
+	var buf strings.Builder
+	nodes[0].node.Metrics().WriteProm(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"hyperplane_cluster_forwarded_total",
+		"hyperplane_cluster_handoffs_total",
+		"hyperplane_cluster_peer_up{peer=\"node-1\"}",
+		"hyperplane_cluster_outbox_frames{peer=\"node-1\"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteProm output missing %q", want)
+		}
+	}
+}
+
+// TestStaleSenderReforwardsWithIDs pins the receive-side ownership
+// re-check: a handoff marker travels only to the NEW owner, so a third
+// node keeps sending the tenant to the OLD owner. The old owner must
+// re-forward those frames to the new owner with their message ids
+// intact — relaying them anonymously through the plane forward would
+// bypass the new owner's dedup window and double-deliver any id that
+// also reached the new owner directly.
+func TestStaleSenderReforwardsWithIDs(t *testing.T) {
+	const tenants = 16
+	nodes := newTestCluster(t, 3, tenants)
+	a := byID(nodes, nodes[0].node.ID())
+	b := byID(nodes, nodes[1].node.ID())
+	c := byID(nodes, nodes[2].node.ID())
+	tenant := tenantOwnedBy(t, nodes, a.node.ID(), tenants)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := a.node.Handoff(ctx, tenant, b.node.ID()); err != nil {
+		t.Fatalf("handoff: %v", err)
+	}
+	// c never saw the handoff marker: it still maps the tenant to a.
+	if got := c.node.Owner(tenant); got != a.node.ID() {
+		t.Fatalf("precondition: c's owner for tenant %d is %q, want stale %q", tenant, got, a.node.ID())
+	}
+	// The same id enters through the stale node AND the new owner. The
+	// stale copy hops c -> a -> b; the direct copy lands at b first or
+	// last — either way b's window must collapse them to one delivery.
+	for id := uint64(9000); id < 9050; id++ {
+		if !c.node.Ingress(tenant, id, payloadFor(id)) {
+			t.Fatalf("stale-entry ingress of %d refused", id)
+		}
+		if !b.node.Ingress(tenant, id, payloadFor(id)) {
+			t.Fatalf("owner-entry ingress of %d refused", id)
+		}
+	}
+	waitUntil(t, 20*time.Second, "all ids delivered at the new owner", func() bool {
+		for id := uint64(9000); id < 9050; id++ {
+			if b.deliveries(id) < 1 {
+				return false
+			}
+		}
+		return true
+	})
+	time.Sleep(50 * time.Millisecond) // let the relayed copies land
+	for id := uint64(9000); id < 9050; id++ {
+		if n := a.deliveries(id) + b.deliveries(id) + c.deliveries(id); n != 1 {
+			t.Fatalf("id %d delivered %d times, want exactly 1", id, n)
+		}
+	}
+	if a.totalDeliveries() != 0 {
+		// Nothing in this test targets a tenant a owns post-handoff.
+		t.Fatalf("old owner delivered %d items for a tenant it handed off", a.totalDeliveries())
+	}
+}

@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+const ringTenants = 100_000
+
+// ownerAt probes the ring at a raw 64-bit position (bypassing the
+// tenant hash) so the wraparound/collision table can pin exact
+// boundaries.
+func ownerAt(r *Ring, pos uint64) string {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= pos })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+func ownerCounts(r *Ring, tenants int) map[string]int {
+	c := make(map[string]int)
+	for t := 0; t < tenants; t++ {
+		c[r.Owner(t)]++
+	}
+	return c
+}
+
+// TestRingBalance is the load-imbalance property: for every cluster size
+// the federation targets (3-16 nodes), the most-loaded node carries at
+// most 15% more than its fair share of 100k tenants.
+func TestRingBalance(t *testing.T) {
+	for n := 3; n <= 16; n++ {
+		r := NewRing(0)
+		for i := 0; i < n; i++ {
+			r.Add(fmt.Sprintf("node-%d", i))
+		}
+		counts := ownerCounts(r, ringTenants)
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d nodes own tenants", n, len(counts))
+		}
+		mean := float64(ringTenants) / float64(n)
+		for node, c := range counts {
+			imb := float64(c)/mean - 1
+			if imb > 0.15 {
+				t.Errorf("n=%d: %s owns %d tenants, %.1f%% over the fair share %f",
+					n, node, c, imb*100, mean)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovement is the consistency property: one node joining
+// (or leaving) an n-node ring moves only the tenants it gains (loses) —
+// roughly 1/(n+1) of them — and every unmoved tenant keeps its exact
+// owner. Full remapping (a mod-N table) would move (n-1)/n of them.
+func TestRingMinimalMovement(t *testing.T) {
+	for _, n := range []int{3, 4, 8, 15} {
+		r := NewRing(0)
+		for i := 0; i < n; i++ {
+			r.Add(fmt.Sprintf("node-%d", i))
+		}
+		before := make([]string, ringTenants)
+		for tn := 0; tn < ringTenants; tn++ {
+			before[tn] = r.Owner(tn)
+		}
+
+		// Join: the only allowed change is old-owner -> new node.
+		r.Add("joiner")
+		moved := 0
+		for tn := 0; tn < ringTenants; tn++ {
+			after := r.Owner(tn)
+			if after == before[tn] {
+				continue
+			}
+			if after != "joiner" {
+				t.Fatalf("n=%d: tenant %d moved %s -> %s, not to the joiner",
+					n, tn, before[tn], after)
+			}
+			moved++
+		}
+		fair := float64(ringTenants) / float64(n+1)
+		if f := float64(moved); f < 0.5*fair || f > 1.5*fair {
+			t.Errorf("n=%d: join moved %d tenants, want ~%.0f (1/(n+1) of %d)",
+				n, moved, fair, ringTenants)
+		}
+
+		// Leave (symmetric): removing the joiner restores the exact
+		// pre-join ownership — only its tenants move, each back to its
+		// previous owner.
+		r.Remove("joiner")
+		for tn := 0; tn < ringTenants; tn++ {
+			if got := r.Owner(tn); got != before[tn] {
+				t.Fatalf("n=%d: tenant %d not restored after leave: %s != %s",
+					n, tn, got, before[tn])
+			}
+		}
+	}
+}
+
+// TestRingDeterminism: two rings built from the same member set in
+// different insertion orders agree on every owner — the property that
+// lets each node compute ownership locally.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing(0)
+	b := NewRing(0)
+	names := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for _, n := range names {
+		a.Add(n)
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		b.Add(names[i])
+	}
+	for tn := 0; tn < 10_000; tn++ {
+		if a.Owner(tn) != b.Owner(tn) {
+			t.Fatalf("tenant %d: insertion order changed owner %s vs %s",
+				tn, a.Owner(tn), b.Owner(tn))
+		}
+	}
+}
+
+// TestRingEdgeCases is the wraparound/collision table: hand-built rings
+// exercising the search boundaries and the collision tie-break.
+func TestRingEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		points []ringPoint
+		tenant uint64 // raw ring position (bypasses tenantHash)
+		want   string
+	}{
+		{"exact-hit", []ringPoint{{100, "a"}, {200, "b"}}, 100, "a"},
+		{"between", []ringPoint{{100, "a"}, {200, "b"}}, 150, "b"},
+		{"wraparound", []ringPoint{{100, "a"}, {200, "b"}}, 201, "a"},
+		{"wraparound-max", []ringPoint{{100, "a"}, {200, "b"}}, ^uint64(0), "a"},
+		{"zero", []ringPoint{{100, "a"}, {200, "b"}}, 0, "a"},
+		{"single-point", []ringPoint{{0, "solo"}}, 12345, "solo"},
+		// Colliding hashes from different nodes: the tie-break sorts by
+		// node id, so the lexically smaller node sits first and owns the
+		// exact-hit key.
+		{"collision", []ringPoint{{100, "a"}, {100, "b"}, {200, "c"}}, 100, "a"},
+		{"collision-after", []ringPoint{{100, "a"}, {100, "b"}, {200, "c"}}, 101, "c"},
+		{"collision-wrap", []ringPoint{{100, "a"}, {100, "b"}}, 300, "a"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := &Ring{vnodes: 1, members: map[string]struct{}{}, points: c.points}
+			for _, p := range c.points {
+				r.members[p.node] = struct{}{}
+			}
+			// Probe via a raw position: find the owner the same way
+			// Owner does, but without the tenant mix, by searching for a
+			// tenant whose hash is irrelevant — so call the internal
+			// search directly through a shim.
+			if got := ownerAt(r, c.tenant); got != c.want {
+				t.Errorf("%s: ownerAt(%d) = %q, want %q", c.name, c.tenant, got, c.want)
+			}
+		})
+	}
+
+	t.Run("empty-ring", func(t *testing.T) {
+		if got := NewRing(0).Owner(7); got != "" {
+			t.Errorf("empty ring owner = %q, want \"\"", got)
+		}
+	})
+	t.Run("add-remove-idempotent", func(t *testing.T) {
+		r := NewRing(4)
+		r.Add("x")
+		r.Add("x")
+		if len(r.points) != 4 {
+			t.Errorf("duplicate Add doubled the points: %d", len(r.points))
+		}
+		r.Remove("y") // absent: no-op
+		r.Remove("x")
+		if r.Size() != 0 || len(r.points) != 0 {
+			t.Errorf("remove left residue: %v", r)
+		}
+	})
+}
+
+// TestRingCollisionDeterminism forces a real vnode-hash collision by
+// construction and checks both orders sort identically.
+func TestRingCollisionDeterminism(t *testing.T) {
+	mk := func(order []ringPoint) *Ring {
+		r := &Ring{vnodes: 1, members: map[string]struct{}{}}
+		r.points = append(r.points, order...)
+		// Re-sort with the production comparator.
+		for _, p := range order {
+			r.members[p.node] = struct{}{}
+		}
+		sortPoints(r)
+		return r
+	}
+	a := mk([]ringPoint{{50, "b"}, {50, "a"}, {10, "c"}})
+	b := mk([]ringPoint{{10, "c"}, {50, "a"}, {50, "b"}})
+	for pos := uint64(0); pos < 100; pos += 5 {
+		if ownerAt(a, pos) != ownerAt(b, pos) {
+			t.Fatalf("position %d: collision order changed owner", pos)
+		}
+	}
+}

@@ -53,6 +53,23 @@ func (w *Window) Lookup(id uint64) (uint64, bool) {
 	return v, ok
 }
 
+// AppendIDs appends every remembered id to dst, oldest first — the
+// serialization the cluster's tenant handoff ships to the new owner so
+// duplicate suppression survives the ownership change.
+func (w *Window) AppendIDs(dst []uint64) []uint64 {
+	if w.n == 0 {
+		return dst
+	}
+	start := w.pos - w.n
+	if start < 0 {
+		start += len(w.order)
+	}
+	for i := 0; i < w.n; i++ {
+		dst = append(dst, w.order[(start+i)%len(w.order)])
+	}
+	return dst
+}
+
 // Remember inserts id with the given value, evicting the oldest
 // remembered id once the window is full. Re-remembering an id already in
 // the window updates its value but not its eviction order.

@@ -92,6 +92,7 @@ type Server struct {
 	mux     *http.ServeMux
 
 	bodyPool sync.Pool
+	router   atomic.Pointer[Router]
 
 	draining    atomic.Bool
 	abortFlush  atomic.Bool
@@ -179,6 +180,36 @@ func (s *Server) Start() {
 // Plane exposes the embedded data plane (stats, DLQ drains, WAL sync).
 func (s *Server) Plane() *dataplane.Plane { return s.plane }
 
+// Router lets a federation layer claim ingest routing: tenants owned
+// elsewhere are forwarded toward their owner instead of being staged
+// into the local plane. cluster.Node satisfies this interface.
+type Router interface {
+	// Local reports whether the tenant is currently served by the local
+	// plane. Anonymous traffic for local tenants takes the normal
+	// staged batch path; identified traffic goes through Ingress even
+	// when local, so the key lands in the cluster dedup window.
+	Local(tenant int) bool
+	// Ingress routes one message toward the tenant's owner — over the
+	// bridge when remote, through the cluster's window-checked local
+	// admission when this node is the owner. The payload is borrowed
+	// only for the duration of the call — implementations must copy
+	// before returning. msgID carries the request's idempotency key
+	// (0 = anonymous) so the owner can deduplicate retries that arrive
+	// through a different entry node.
+	Ingress(tenant int, msgID uint64, payload []byte) bool
+}
+
+// SetRouter installs (or, with nil, removes) the federation router.
+// Safe to call while the edge is serving; requests racing the swap take
+// whichever path they observed.
+func (s *Server) SetRouter(r Router) {
+	if r == nil {
+		s.router.Store(nil)
+		return
+	}
+	s.router.Store(&r)
+}
+
 // Handler returns the edge's HTTP mux.
 func (s *Server) Handler() http.Handler { return s.mux }
 
@@ -204,6 +235,7 @@ type Stats struct {
 	RateLimited     int64
 	Deduped         int64
 	Rejected        int64
+	Forwarded       int64
 	Flushes         int64
 	FlushedItems    int64
 	SlabOverflow    int64
@@ -221,6 +253,7 @@ func (s *Server) Stats() Stats {
 		RateLimited:     s.em.RateLimited.Load(),
 		Deduped:         s.em.Deduped.Load(),
 		Rejected:        s.em.Rejected.Load(),
+		Forwarded:       s.em.Forwarded.Load(),
 		Flushes:         s.em.Flushes.Load(),
 		FlushedItems:    s.em.FlushedItems.Load(),
 		SlabOverflow:    s.em.SlabOverflow.Load(),

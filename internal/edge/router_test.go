@@ -1,0 +1,159 @@
+package edge
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// fakeRouter serves the tenants in local; everything else is captured
+// by Ingress (after copying, honoring the borrow contract) unless
+// reject is set.
+type fakeRouter struct {
+	mu     sync.Mutex
+	local  map[int]bool
+	reject bool
+	fwd    []fwdRec
+}
+
+type fwdRec struct {
+	tenant  int
+	msgID   uint64
+	payload string
+}
+
+func (f *fakeRouter) Local(tenant int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.local[tenant]
+}
+
+func (f *fakeRouter) Ingress(tenant int, msgID uint64, payload []byte) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.reject {
+		return false
+	}
+	f.fwd = append(f.fwd, fwdRec{tenant, msgID, string(payload)})
+	return true
+}
+
+func (f *fakeRouter) forwards() []fwdRec {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]fwdRec(nil), f.fwd...)
+}
+
+// TestRouterForwardsRemoteTenant: with a router installed, ingest for a
+// remote-owned tenant bypasses the local plane and reaches the router
+// with the payload and hashed idempotency key; local tenants still take
+// the staged path into the plane.
+func TestRouterForwardsRemoteTenant(t *testing.T) {
+	delivered := make(chan string, 16)
+	cfg := Config{FlushBatch: 1}
+	cfg.Plane.Tenants = 2
+	cfg.Plane.Handler = func(_ int, p []byte) ([]byte, error) {
+		delivered <- string(p)
+		return nil, nil
+	}
+	s, hs := newTestServer(t, cfg)
+	rt := &fakeRouter{local: map[int]bool{0: true}}
+	s.SetRouter(rt)
+
+	// Tenant 1 is remote: the router sees it, the plane does not.
+	resp, ar := postIngest(t, hs.URL+"/v1/ingest?tenant=1", "remote-payload",
+		map[string]string{"Idempotency-Key": "key-1"})
+	if resp.StatusCode != http.StatusAccepted || ar.Seq != 1 {
+		t.Fatalf("forwarded ingest: status %d seq %d", resp.StatusCode, ar.Seq)
+	}
+	fwds := rt.forwards()
+	if len(fwds) != 1 {
+		t.Fatalf("router saw %d forwards, want 1", len(fwds))
+	}
+	if fwds[0].tenant != 1 || fwds[0].payload != "remote-payload" {
+		t.Fatalf("forward = %+v", fwds[0])
+	}
+	if want := IdemKey("key-1"); fwds[0].msgID != want {
+		t.Fatalf("forwarded msgID = %d, want hashed key %d", fwds[0].msgID, want)
+	}
+
+	// Replaying the key answers from the edge's window without a second
+	// forward — the duplicate never re-enters the cluster.
+	resp, ar = postIngest(t, hs.URL+"/v1/ingest?tenant=1", "remote-payload",
+		map[string]string{"Idempotency-Key": "key-1"})
+	if resp.StatusCode != http.StatusAccepted || !ar.Duplicate || ar.Seq != 1 {
+		t.Fatalf("replay: status %d resp %+v", resp.StatusCode, ar)
+	}
+	if n := len(rt.forwards()); n != 1 {
+		t.Fatalf("replay forwarded again: %d forwards", n)
+	}
+
+	// Tenant 0 is local and anonymous: the plane handler fires via the
+	// staged path, the router stays at 1.
+	resp, _ = postIngest(t, hs.URL+"/v1/ingest?tenant=0", "local-payload", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("local ingest: status %d", resp.StatusCode)
+	}
+	if got := <-delivered; got != "local-payload" {
+		t.Fatalf("plane delivered %q", got)
+	}
+	if n := len(rt.forwards()); n != 1 {
+		t.Fatalf("local anonymous ingest leaked to the router: %d forwards", n)
+	}
+
+	// Tenant 0 local WITH a key: routed through the cluster admission
+	// path (the router) so the key lands in the owner's dedup window —
+	// that is what catches a replay entering at a different node. It is
+	// not a remote forward, so Forwarded stays put.
+	resp, ar = postIngest(t, hs.URL+"/v1/ingest?tenant=0", "keyed-local",
+		map[string]string{"Idempotency-Key": "key-2"})
+	if resp.StatusCode != http.StatusAccepted || ar.Duplicate {
+		t.Fatalf("local keyed ingest: status %d resp %+v", resp.StatusCode, ar)
+	}
+	fwds = rt.forwards()
+	if len(fwds) != 2 || fwds[1].tenant != 0 || fwds[1].msgID != IdemKey("key-2") {
+		t.Fatalf("local keyed ingest did not route via the cluster: %+v", fwds)
+	}
+	if st := s.Stats(); st.Forwarded != 1 || st.Deduped != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestRouterRejectionIs503: a router that cannot place the message
+// (owner's bridge full, cluster stopping) surfaces as 503 so the client
+// retries, and the idempotency key is NOT burned — the retry forwards.
+func TestRouterRejectionIs503(t *testing.T) {
+	cfg := Config{FlushBatch: 1}
+	cfg.Plane.Tenants = 2
+	cfg.Plane.Handler = func(int, []byte) ([]byte, error) { return nil, nil }
+	s, hs := newTestServer(t, cfg)
+	rt := &fakeRouter{local: map[int]bool{}, reject: true}
+	s.SetRouter(rt)
+
+	resp, _ := postIngest(t, hs.URL+"/v1/ingest?tenant=1", "x",
+		map[string]string{"Idempotency-Key": "k"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("rejected forward: status %d, want 503", resp.StatusCode)
+	}
+	rt.mu.Lock()
+	rt.reject = false
+	rt.mu.Unlock()
+	resp, ar := postIngest(t, hs.URL+"/v1/ingest?tenant=1", "x",
+		map[string]string{"Idempotency-Key": "k"})
+	if resp.StatusCode != http.StatusAccepted || ar.Duplicate {
+		t.Fatalf("retry after rejection: status %d resp %+v", resp.StatusCode, ar)
+	}
+	if n := len(rt.forwards()); n != 1 {
+		t.Fatalf("retry did not forward: %d records", n)
+	}
+
+	// Clearing the router restores local-only routing.
+	s.SetRouter(nil)
+	resp, _ = postIngest(t, hs.URL+"/v1/ingest?tenant=1", "y", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-clear ingest: status %d", resp.StatusCode)
+	}
+	if n := len(rt.forwards()); n != 1 {
+		t.Fatalf("cleared router still invoked: %d records", n)
+	}
+}

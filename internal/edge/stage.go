@@ -126,6 +126,18 @@ func (s *Server) Submit(tenant int, payload []byte, idemKey uint64) (uint64, Sub
 		s.em.RateLimited.Add(1)
 		return 0, SubmitRateLimited
 	}
+	if rp := s.router.Load(); rp != nil {
+		// Remote tenants always route through the federation layer. So
+		// do identified requests for LOCAL tenants: the cluster admission
+		// path records the key in the owner's dedup window atomically
+		// with plane ingress, which is what suppresses a retry of the
+		// same key arriving through a different entry node — the staged
+		// batch path below admits anonymously and cannot. Anonymous
+		// local traffic keeps the zero-alloc batched path.
+		if r := *rp; idemKey != 0 || !r.Local(tenant) {
+			return s.submitForward(r, tenant, payload, idemKey)
+		}
+	}
 	st := &s.stagers[tenant]
 	st.mu.Lock()
 	if idemKey != 0 {
@@ -157,6 +169,47 @@ func (s *Server) Submit(tenant int, payload []byte, idemKey uint64) (uint64, Sub
 	}
 	st.mu.Unlock()
 	s.em.Accepted.Add(1)
+	return seq, SubmitAccepted
+}
+
+// submitForward routes one payload through the federation router: to
+// the owner's bridge when the tenant lives elsewhere, or through the
+// cluster's local admission path (dedup window + plane ingress under
+// one lock) when this node owns it but the request carries an
+// idempotency key. It bypasses the slab/stager batch path — the bridge
+// does its own coalescing and copies the payload into its frame
+// encoder; local admission copies into the plane ring — but keeps the
+// tenant's edge idempotency window and accept sequence under the
+// stager lock, so a replayed key gets the same seq whether the tenant
+// was local or remote when it first arrived. The key rides as the
+// message id, so the owner's window suppresses retries that entered
+// the cluster through ANY edge, including this one.
+func (s *Server) submitForward(r Router, tenant int, payload []byte, idemKey uint64) (uint64, SubmitStatus) {
+	st := &s.stagers[tenant]
+	st.mu.Lock()
+	if idemKey != 0 {
+		if seq, ok := st.idem.Lookup(idemKey); ok {
+			st.mu.Unlock()
+			s.em.Deduped.Add(1)
+			return seq, SubmitDuplicate
+		}
+	}
+	remote := !r.Local(tenant)
+	if !r.Ingress(tenant, idemKey, payload) {
+		st.mu.Unlock()
+		s.em.Rejected.Add(1)
+		return 0, SubmitRejected
+	}
+	st.seq++
+	seq := st.seq
+	if idemKey != 0 {
+		st.idem.Remember(idemKey, seq)
+	}
+	st.mu.Unlock()
+	s.em.Accepted.Add(1)
+	if remote {
+		s.em.Forwarded.Add(1)
+	}
 	return seq, SubmitAccepted
 }
 

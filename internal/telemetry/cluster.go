@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// ClusterMetrics is the federation layer's counter set: per-node bridge
+// traffic, peer liveness, handoff and re-homing activity. Like
+// EdgeMetrics, every field is a plain atomic bumped lock-free on the
+// bridge hot paths, and the export plane reads them through WriteProm
+// (registered via T.AttachCollector) as hyperplane_cluster_* series.
+// Per-peer gauges (state, outbox occupancy) are supplied live by the
+// PeerGauges callback, since peer membership changes at runtime.
+type ClusterMetrics struct {
+	// Forward path (this node -> peers).
+	Forwarded      atomic.Int64 // items handed to a peer bridge for delivery
+	ForwardBatches atomic.Int64 // batch frames written to peers
+	ForwardDropped atomic.Int64 // items dropped by a full forward buffer's policy
+	ForwardBytes   atomic.Int64 // frame bytes written to peers
+
+	// Receive path (peers -> this node).
+	ReceivedBatches atomic.Int64 // batch frames accepted from peers
+	ReceivedItems   atomic.Int64 // items fed into SharedIngress from peers
+	ReceivedBytes   atomic.Int64 // frame payload bytes received
+	RecvDeduped     atomic.Int64 // duplicate msg ids suppressed by the window
+	RecvRejected    atomic.Int64 // received items refused by the local plane
+	FrameErrors     atomic.Int64 // corrupt/oversized frames (connection dropped)
+
+	// Membership and failure handling.
+	Reconnects    atomic.Int64 // bridge dials after a connection loss
+	ProbeFailures atomic.Int64 // health probes that timed out
+	PeerDowns     atomic.Int64 // peers declared dead
+	PeerUps       atomic.Int64 // peers (re-)admitted to the ring
+	Rehomed       atomic.Int64 // tenants re-homed off dead nodes (as computed here)
+
+	// Graceful handoff.
+	Handoffs        atomic.Int64 // tenant handoffs completed by this node
+	HandoffItems    atomic.Int64 // tail items forwarded during handoffs
+	HandoffsInbound atomic.Int64 // ownership transfers accepted from peers
+
+	// PeerGauges, when set, emits the live per-peer gauge series
+	// (hyperplane_cluster_peer_up{peer=...},
+	// hyperplane_cluster_outbox_frames{peer=...}); the node installs it.
+	PeerGauges func(w io.Writer) `json:"-"`
+}
+
+// WriteProm emits the cluster series in Prometheus text format.
+// Register with T.AttachCollector.
+func (c *ClusterMetrics) WriteProm(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP hyperplane_cluster_%s %s\n", name, help)
+		fmt.Fprintf(w, "# TYPE hyperplane_cluster_%s counter\n", name)
+		fmt.Fprintf(w, "hyperplane_cluster_%s %d\n", name, v)
+	}
+	counter("forwarded_total", "Items handed to a peer bridge for delivery.", c.Forwarded.Load())
+	counter("forward_batches_total", "Batch frames written to peers.", c.ForwardBatches.Load())
+	counter("forward_dropped_total", "Items dropped by a full forward buffer's policy.", c.ForwardDropped.Load())
+	counter("forward_bytes_total", "Frame bytes written to peers.", c.ForwardBytes.Load())
+	counter("received_batches_total", "Batch frames accepted from peers.", c.ReceivedBatches.Load())
+	counter("received_items_total", "Items fed into shared ingress from peers.", c.ReceivedItems.Load())
+	counter("received_bytes_total", "Frame payload bytes received from peers.", c.ReceivedBytes.Load())
+	counter("recv_deduped_total", "Duplicate message ids suppressed on receive.", c.RecvDeduped.Load())
+	counter("recv_rejected_total", "Received items refused by the local plane.", c.RecvRejected.Load())
+	counter("frame_errors_total", "Corrupt or oversized frames (connection dropped).", c.FrameErrors.Load())
+	counter("reconnects_total", "Bridge dials after a connection loss.", c.Reconnects.Load())
+	counter("probe_failures_total", "Peer health probes that timed out.", c.ProbeFailures.Load())
+	counter("peer_downs_total", "Peers declared dead by the health prober.", c.PeerDowns.Load())
+	counter("peer_ups_total", "Peers (re-)admitted to the ring.", c.PeerUps.Load())
+	counter("rehomed_tenants_total", "Tenants re-homed off dead nodes.", c.Rehomed.Load())
+	counter("handoffs_total", "Tenant handoffs completed by this node.", c.Handoffs.Load())
+	counter("handoff_items_total", "Tail items forwarded during handoffs.", c.HandoffItems.Load())
+	counter("handoffs_inbound_total", "Ownership transfers accepted from peers.", c.HandoffsInbound.Load())
+	if c.PeerGauges != nil {
+		c.PeerGauges(w)
+	}
+}

@@ -19,6 +19,7 @@ type EdgeMetrics struct {
 	RateLimited atomic.Int64 // requests refused by the token bucket (429)
 	Deduped     atomic.Int64 // idempotency-key replays answered from the window
 	Rejected    atomic.Int64 // requests refused by the plane (backpressure/stop)
+	Forwarded   atomic.Int64 // requests routed to a remote owner by the Router
 
 	// Batch-flush amortization: FlushedItems/Flushes is the realized
 	// ingest batch size (the doorbell amortization factor).
@@ -51,6 +52,7 @@ func (e *EdgeMetrics) WriteProm(w io.Writer) {
 	counter("rate_limited_total", "Ingest requests refused by the token bucket.", e.RateLimited.Load())
 	counter("deduped_total", "Idempotency-key replays answered from the dedup window.", e.Deduped.Load())
 	counter("rejected_total", "Ingest requests refused by the plane.", e.Rejected.Load())
+	counter("forwarded_total", "Ingest requests routed to a remote owner.", e.Forwarded.Load())
 	counter("flushes_total", "Staging-batch flushes into SharedIngress.", e.Flushes.Load())
 	counter("flushed_items_total", "Items flushed into SharedIngress.", e.FlushedItems.Load())
 	counter("slab_overflow_total", "Payloads staged outside the slab pool.", e.SlabOverflow.Load())
