@@ -32,6 +32,7 @@ import (
 
 	"hyperplane/dataplane"
 	"hyperplane/internal/cluster"
+	"hyperplane/internal/cluster/frame"
 	"hyperplane/internal/edge"
 	"hyperplane/internal/telemetry"
 )
@@ -152,12 +153,20 @@ func main() {
 
 	var node *cluster.Node
 	if *nodeID != "" {
+		// The bridge frame cap must fit one max-size ingest body plus
+		// its batch headers; below the protocol default, just use the
+		// default. Every node derives this from the same -max-payload
+		// flag, so the cluster agrees on one cap.
+		clusterMax := cfg.MaxPayload + frame.BatchRunOverhead + frame.BatchItemOverhead
+		if clusterMax < frame.DefaultMaxPayload {
+			clusterMax = frame.DefaultMaxPayload
+		}
 		node, err = cluster.NewNode(cluster.Config{
 			ID:         *nodeID,
 			ListenAddr: *clusterListen,
 			Peers:      peers,
 			Plane:      s.Plane(),
-			MaxPayload: cfg.MaxPayload,
+			MaxPayload: clusterMax,
 			Telemetry:  cfg.Telemetry,
 			Logf:       log.Printf,
 		})

@@ -50,10 +50,12 @@ type peer struct {
 
 	kick chan struct{} // size-1 writer nudge
 
-	up       atomic.Bool
-	everUp   atomic.Bool
-	lastPong atomic.Int64 // UnixNano of the last pong (or successful dial)
+	up           atomic.Bool
+	everUp       atomic.Bool
+	lastPong     atomic.Int64 // UnixNano of the last pong (liveness proof)
+	declaredDown atomic.Bool  // this node has removed the peer from its ring
 
+	running  atomic.Bool // run() launched (set under the node's mu)
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
@@ -72,25 +74,45 @@ func newPeer(n *Node, spec PeerSpec) *peer {
 
 // send stages one item for this peer. The payload is copied into the
 // staging encoder before returning, so the caller may recycle its
-// buffer immediately. A full batch is sealed into the outbox and the
-// writer kicked; acceptance means "queued for forwarding" — delivery is
-// at-least-once (the outbox retries across reconnects, a bounded
-// overflow drops under the configured policy and is counted in
-// hyperplane_cluster_forward_dropped_total).
+// buffer immediately. A batch is sealed into the outbox (and the
+// writer kicked) when it reaches FlushBatch items OR when adding the
+// item would push the frame past the receiver's payload cap — both
+// sides run the same MaxPayload config, and an oversized frame is not
+// a soft error on the wire: the receiver tears the connection down. A
+// single payload too large to fit any frame is rejected here and
+// counted in hyperplane_cluster_forward_dropped_total.
+//
+// Acceptance means "queued for forwarding", not delivered: the outbox
+// retries frames whose socket write failed, but there is no
+// application-level ack, so a frame the kernel accepted and the
+// receiver then discarded (crash, or a stream poisoned by an earlier
+// corrupt frame) is lost without retry — see writeOutbox. Bounded
+// overflow drops under the configured policy, counted in
+// hyperplane_cluster_forward_dropped_total.
 func (pr *peer) send(tenant uint32, msgID uint64, payload []byte) bool {
+	need := frame.BatchRunOverhead + frame.BatchItemOverhead + len(payload)
+	if need > pr.n.maxPayload {
+		pr.n.cm.ForwardDropped.Add(1)
+		return false
+	}
 	pr.mu.Lock()
+	sealed := false
+	if pr.staged > 0 && pr.enc.Len()-frame.HeaderSize+need > pr.n.maxPayload {
+		pr.flushLocked()
+		sealed = true
+	}
 	if pr.staged == 0 {
 		pr.enc.Reset()
 		pr.stagedAt = time.Now()
 	}
 	pr.enc.Add(tenant, msgID, payload)
 	pr.staged++
-	full := pr.staged >= pr.n.flushBatch
-	if full {
+	if pr.staged >= pr.n.flushBatch {
 		pr.flushLocked()
+		sealed = true
 	}
 	pr.mu.Unlock()
-	if full {
+	if sealed {
 		pr.wake()
 	}
 	return true
@@ -170,20 +192,58 @@ func (pr *peer) shutdown(graceful bool) {
 	pr.stopOnce.Do(func() { close(pr.stop) })
 }
 
+// start launches the connection goroutine exactly once. Callers hold
+// the node's mu, so the start decision serializes with the shutdown
+// snapshot: every peer shutdown() sees with running set is joinable,
+// and no peer can begin running after the snapshot was taken.
+func (pr *peer) start() {
+	if pr.running.CompareAndSwap(false, true) {
+		go pr.run()
+	}
+}
+
+// alive records a liveness proof — an actual pong from the remote —
+// and re-admits the peer to the ring if this node had declared it
+// dead. A successful dial is deliberately NOT proof: a hung process
+// can keep accepting TCP connections forever.
+func (pr *peer) alive() {
+	pr.lastPong.Store(time.Now().UnixNano())
+	if pr.declaredDown.CompareAndSwap(true, false) {
+		pr.n.peerUp(pr.id)
+	}
+}
+
+// checkDead declares the peer dead once the pong clock is stale past
+// DeadAfter — regardless of whether dials succeed.
+func (pr *peer) checkDead() {
+	if pr.declaredDown.Load() {
+		return
+	}
+	if time.Since(time.Unix(0, pr.lastPong.Load())) >= pr.n.deadAfter {
+		if pr.declaredDown.CompareAndSwap(false, true) {
+			pr.n.peerDown(pr.id)
+		}
+	}
+}
+
 // run is the peer's connection lifecycle: dial with capped backoff,
-// hello, serve until the connection dies, declare the peer down when it
-// stays unreachable past DeadAfter, repeat until shutdown.
+// hello, serve until the connection dies, repeat until shutdown.
+// Liveness is judged by pongs alone: lastPong refreshes only when the
+// remote answers a ping (readLoop → alive), and the peer is declared
+// dead whenever now−lastPong exceeds DeadAfter, whether the failure
+// mode is refused dials or a hung-but-listening process. The ring
+// re-admits the peer on the next pong, not on a mere successful dial.
 func (pr *peer) run() {
 	defer close(pr.done)
 	backoff := dialBackoffMin
-	downSince := time.Now()
-	declaredDown := false
+	pr.lastPong.Store(time.Now().UnixNano()) // grace window from start
 	for {
 		select {
 		case <-pr.stop:
 			return
 		default:
 		}
+		pr.checkDead()
 		conn, err := net.DialTimeout("tcp", pr.addr, pr.n.healthTimeout)
 		if err == nil {
 			conn.SetWriteDeadline(time.Now().Add(pr.n.healthTimeout))
@@ -195,10 +255,6 @@ func (pr *peer) run() {
 			}
 		}
 		if err != nil {
-			if !declaredDown && time.Since(downSince) >= pr.n.deadAfter {
-				declaredDown = true
-				pr.n.peerDown(pr.id)
-			}
 			select {
 			case <-pr.stop:
 				return
@@ -215,15 +271,11 @@ func (pr *peer) run() {
 		}
 		pr.everUp.Store(true)
 		backoff = dialBackoffMin
-		declaredDown = false
-		pr.lastPong.Store(time.Now().UnixNano())
 		pr.up.Store(true)
-		pr.n.peerUp(pr.id)
 		pr.flush() // anything staged while disconnected goes out now
 		pr.serveConn(conn)
 		pr.up.Store(false)
 		conn.Close()
-		downSince = time.Now()
 	}
 }
 
@@ -248,8 +300,13 @@ func (pr *peer) serveConn(conn net.Conn) {
 			return
 		case <-ping.C:
 			if time.Since(time.Unix(0, pr.lastPong.Load())) > pr.n.deadAfter {
+				// The remote accepts our writes but never answers:
+				// declare it dead, but KEEP the connection and keep
+				// pinging — the next pong is what re-admits it, so the
+				// probe stream must not stop (a truly wedged socket
+				// ends via the write deadline below instead).
 				pr.n.cm.ProbeFailures.Add(1)
-				return
+				pr.checkDead()
 			}
 			nonce++
 			conn.SetWriteDeadline(time.Now().Add(pr.n.healthTimeout))
@@ -274,9 +331,16 @@ func (pr *peer) serveConn(conn net.Conn) {
 }
 
 // writeOutbox drains queued frames onto the connection. A failed write
-// puts the frame back at the head so the reconnect retries it
-// (at-least-once; the owner's dedup window absorbs the duplicates a
-// retried frame can produce).
+// puts the frame back at the head so the reconnect retries it; a frame
+// the socket accepted is treated as delivered and popped. That makes
+// the forward hop at-least-once across write *errors* but at-most-once
+// past a successful write: with no application-level ack, a frame the
+// receiver discards after the write (receiver crash, or a connection
+// torn down by an earlier corrupt/oversized frame) is lost without
+// retry and without a ForwardDropped count. The owner's dedup window
+// absorbs the duplicates retries can produce; end-to-end delivery
+// confirmation belongs to the layer above (the edge acks only what the
+// owner admitted).
 func (pr *peer) writeOutbox(conn net.Conn) error {
 	for {
 		pr.mu.Lock()
@@ -321,7 +385,7 @@ func (pr *peer) readLoop(conn net.Conn, errc chan<- struct{}) {
 		}
 		if h.Type == frame.TypePong {
 			if _, err := frame.ParsePing(payload); err == nil {
-				pr.lastPong.Store(time.Now().UnixNano())
+				pr.alive()
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -111,6 +112,204 @@ func TestOutboxDropNewest(t *testing.T) {
 	pr.mu.Unlock()
 	if h, _ := frame.ParseHeader(last, 0); h.Type != frame.TypeHandoff {
 		t.Fatalf("control frame not queued under DropNewest (tail is %v)", h.Type)
+	}
+}
+
+// TestSendSealsAtFrameCap: staging seals by byte size before the frame
+// would exceed the receiver's payload cap, not only at FlushBatch
+// items — an oversized frame is fatal to the receiving connection, so
+// one must never be built.
+func TestSendSealsAtFrameCap(t *testing.T) {
+	const maxPayload = 4096
+	n, _ := newLoneNode(t, "a", func(c *Config) {
+		c.FlushBatch = 64 // item-count seal must NOT be what bounds frames here
+		c.MaxPayload = maxPayload
+		c.DedupWindow = 64
+		c.FlushInterval = time.Hour // no tick-driven seals during the test
+	})
+	if err := n.AddPeer(PeerSpec{ID: "ghost", Addr: "127.0.0.1:1"}); err != nil {
+		t.Fatal(err)
+	}
+	pr := n.peers["ghost"]
+	const items = 40
+	payload := make([]byte, 512)
+	for i := uint64(1); i <= items; i++ {
+		if !pr.send(uint32(i%4), i, payload) {
+			t.Fatalf("send %d rejected", i)
+		}
+	}
+	pr.flush()
+	pr.mu.Lock()
+	frames := make([][]byte, len(pr.outbox))
+	counts := 0
+	for i, f := range pr.outbox {
+		frames[i] = append([]byte(nil), f.bytes...)
+		counts += f.items
+	}
+	pr.mu.Unlock()
+	if counts != items {
+		t.Fatalf("outbox accounts for %d items, want %d", counts, items)
+	}
+	got := 0
+	for _, fb := range frames {
+		h, err := frame.ParseHeader(fb, maxPayload)
+		if err != nil {
+			t.Fatalf("a staged frame violates the receiver's cap: %v", err)
+		}
+		it := frame.IterBatch(fb[frame.HeaderSize : frame.HeaderSize+h.Length])
+		for {
+			if _, _, _, ok := it.Next(); !ok {
+				break
+			}
+			got++
+		}
+		if it.Err() != nil {
+			t.Fatal(it.Err())
+		}
+	}
+	if got != items {
+		t.Fatalf("decoded %d items across sealed frames, want %d", got, items)
+	}
+	if d := n.Metrics().ForwardDropped.Load(); d != 0 {
+		t.Fatalf("ForwardDropped = %d, want 0", d)
+	}
+}
+
+// TestSendRejectsOversizePayload: a single payload that cannot fit any
+// frame is refused at send and counted as dropped, instead of being
+// framed and killing the receiving connection.
+func TestSendRejectsOversizePayload(t *testing.T) {
+	n, _ := newLoneNode(t, "a", func(c *Config) {
+		c.MaxPayload = 2048
+		c.DedupWindow = 64
+	})
+	if err := n.AddPeer(PeerSpec{ID: "ghost", Addr: "127.0.0.1:1"}); err != nil {
+		t.Fatal(err)
+	}
+	pr := n.peers["ghost"]
+	if pr.send(1, 7, make([]byte, 2048)) {
+		t.Fatal("oversize payload accepted")
+	}
+	if d := n.Metrics().ForwardDropped.Load(); d != 1 {
+		t.Fatalf("ForwardDropped = %d, want 1", d)
+	}
+	// Right at the boundary it still fits.
+	if !pr.send(1, 8, make([]byte, 2048-frame.BatchRunOverhead-frame.BatchItemOverhead)) {
+		t.Fatal("boundary payload rejected")
+	}
+}
+
+// TestForwardingSurvivesByteHeavyBatches: end-to-end pin for the frame
+// cap — two real nodes with a small shared MaxPayload and a FlushBatch
+// whose worst case is far above it. Every forwarded item must arrive:
+// before byte-based sealing, one staged batch exceeded the receiver's
+// cap, tore the connection down, and silently lost the frame.
+func TestForwardingSurvivesByteHeavyBatches(t *testing.T) {
+	const (
+		tenants    = 16
+		maxPayload = 4096
+		items      = 60
+	)
+	mut := func(c *Config) {
+		c.FlushBatch = 64
+		c.MaxPayload = maxPayload
+		c.DedupWindow = 256
+	}
+	a, _ := newLoneNode(t, "a", mut)
+	b, _ := newLoneNode(t, "b", mut)
+	if err := a.AddPeer(PeerSpec{ID: "b", Addr: b.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPeer(PeerSpec{ID: "a", Addr: a.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	remote := -1
+	for tn := 0; tn < 8; tn++ { // newLoneNode planes have 8 tenants
+		if a.Owner(tn) == "b" {
+			remote = tn
+			break
+		}
+	}
+	if remote == -1 {
+		t.Fatal("no tenant owned by b")
+	}
+	payload := make([]byte, 512)
+	for i := uint64(1); i <= items; i++ {
+		if !a.Ingress(remote, i, payload) {
+			t.Fatalf("ingress %d rejected", i)
+		}
+	}
+	waitUntil(t, 15*time.Second, "byte-heavy batches delivered", func() bool {
+		return b.Metrics().ReceivedItems.Load() == items
+	})
+	if fe := b.Metrics().FrameErrors.Load(); fe != 0 {
+		t.Fatalf("receiver counted %d frame errors, want 0", fe)
+	}
+	if d := a.Metrics().ForwardDropped.Load(); d != 0 {
+		t.Fatalf("sender dropped %d items, want 0", d)
+	}
+}
+
+// TestHungPeerDeclaredDead: a remote that accepts TCP connections but
+// never answers pings must still be declared dead (its tenants re-home)
+// — and must be re-admitted once it starts answering. Liveness is the
+// pong clock, not dial success.
+func TestHungPeerDeclaredDead(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var answer atomic.Bool
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				r := frame.NewReader(c, 0)
+				for {
+					h, payload, err := r.Next()
+					if err != nil {
+						return
+					}
+					if h.Type == frame.TypePing && answer.Load() {
+						nonce, perr := frame.ParsePing(payload)
+						if perr != nil {
+							return
+						}
+						if _, werr := c.Write(frame.AppendPing(nil, frame.TypePong, nonce)); werr != nil {
+							return
+						}
+					}
+				}
+			}(c)
+		}
+	}()
+	n, _ := newLoneNode(t, "a", nil)
+	if err := n.AddPeer(PeerSpec{ID: "hung", Addr: ln.Addr().String()}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(n.Members()); got != 2 {
+		t.Fatalf("optimistic membership = %d members, want 2", got)
+	}
+	// The hung phase: connections succeed, pings vanish. The old
+	// dial-success liveness never fired here.
+	waitUntil(t, 15*time.Second, "hung peer declared dead", func() bool {
+		return len(n.Members()) == 1
+	})
+	if pd := n.Metrics().PeerDowns.Load(); pd < 1 {
+		t.Fatalf("PeerDowns = %d, want >= 1", pd)
+	}
+	// Recovery: the moment it answers a ping, the pong re-admits it.
+	answer.Store(true)
+	waitUntil(t, 15*time.Second, "recovered peer re-admitted", func() bool {
+		return len(n.Members()) == 2
+	})
+	if pu := n.Metrics().PeerUps.Load(); pu < 1 {
+		t.Fatalf("PeerUps = %d, want >= 1", pu)
 	}
 }
 

@@ -48,6 +48,15 @@ const (
 	// forward batch, small enough that a corrupt length field cannot
 	// balloon memory.
 	DefaultMaxPayload = 1 << 20
+	// BatchRunOverhead and BatchItemOverhead are the batch payload's
+	// per-run (tenant + count) and per-item (msgID + len) header sizes.
+	// A sender staging items must seal its open batch before
+	// Encoder.Len() - HeaderSize plus the next item's worst-case cost
+	// (BatchRunOverhead + BatchItemOverhead + payload bytes) would
+	// exceed the receiver's payload cap — an oversized frame is not a
+	// soft error, it tears the receiving connection down.
+	BatchRunOverhead  = 8
+	BatchItemOverhead = 12
 )
 
 // Type identifies a frame's meaning.

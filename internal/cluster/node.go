@@ -157,6 +157,17 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.MaxPayload <= 0 {
 		cfg.MaxPayload = frame.DefaultMaxPayload
 	}
+	// Every frame this node can emit must fit its peers' frame cap
+	// (the whole cluster runs one MaxPayload config): senders seal
+	// batches by byte size, so the only fixed-size frame that could
+	// overflow is the handoff State frame carrying a full dedup window.
+	if min := frame.BatchRunOverhead + frame.BatchItemOverhead + 1; cfg.MaxPayload < min {
+		return nil, fmt.Errorf("cluster: MaxPayload %d cannot carry a single item (need >= %d)", cfg.MaxPayload, min)
+	}
+	if stateBytes := 4 + 8*cfg.DedupWindow; stateBytes > cfg.MaxPayload {
+		return nil, fmt.Errorf("cluster: DedupWindow %d needs a %d-byte state frame, above MaxPayload %d",
+			cfg.DedupWindow, stateBytes, cfg.MaxPayload)
+	}
 	n := &Node{
 		cfg:            cfg,
 		plane:          cfg.Plane,
@@ -212,11 +223,15 @@ func (n *Node) Start() error {
 	n.ln = ln
 	n.wg.Add(1)
 	go n.acceptLoop()
-	n.mu.RLock()
-	for _, pr := range n.peers {
-		go pr.run()
+	// Exclusive lock: peer starts must serialize with the shutdown
+	// snapshot so Stop joins exactly the set of running peers.
+	n.mu.Lock()
+	if !n.stopped.Load() {
+		for _, pr := range n.peers {
+			pr.start()
+		}
 	}
-	n.mu.RUnlock()
+	n.mu.Unlock()
 	return nil
 }
 
@@ -238,21 +253,29 @@ func (n *Node) Metrics() *telemetry.ClusterMetrics { return n.cm }
 func (n *Node) ID() string { return n.cfg.ID }
 
 // AddPeer registers and starts dialing a peer discovered after Start.
+// Insertion, the stop check, and the goroutine launch all happen under
+// n.mu so AddPeer cannot race shutdown into a peer that runs unjoined:
+// either the peer is inserted (and started) before the shutdown
+// snapshot — which then stops and joins it — or AddPeer observes
+// stopped and refuses.
 func (n *Node) AddPeer(spec PeerSpec) error {
 	if spec.ID == "" || spec.ID == n.cfg.ID {
 		return fmt.Errorf("cluster: bad peer id %q", spec.ID)
 	}
 	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped.Load() {
+		return fmt.Errorf("cluster: node stopped")
+	}
 	if _, dup := n.peers[spec.ID]; dup {
-		n.mu.Unlock()
 		return fmt.Errorf("cluster: duplicate peer id %q", spec.ID)
 	}
 	pr := newPeer(n, spec)
 	n.peers[spec.ID] = pr
 	n.ring.Add(spec.ID)
-	n.mu.Unlock()
-	if n.started.Load() && !n.stopped.Load() {
-		go pr.run()
+	n.clearOverridesLocked()
+	if n.started.Load() {
+		pr.start()
 	}
 	return nil
 }
@@ -475,6 +498,11 @@ func containsID(ids []uint64, id uint64) bool {
 // new owner with their message ids intact (admitRun's ownership
 // re-check), while the plane-level forward installed here relays only
 // raw local producers — anonymous items that never had an id.
+//
+// An override lives only as long as the ring it was minted against:
+// any membership change invalidates all overrides cluster-wide
+// (clearOverridesLocked), and a handoff that races such a change
+// aborts instead of leaving a stale forward behind.
 func (n *Node) Handoff(ctx context.Context, tenant int, to string) error {
 	if to == n.cfg.ID {
 		return fmt.Errorf("cluster: handoff of tenant %d to self", tenant)
@@ -517,8 +545,30 @@ func (n *Node) Handoff(ctx context.Context, tenant int, to string) error {
 		n.mu.Unlock()
 		return err
 	}
+	// A ring membership change invalidates overrides wholesale
+	// (clearOverridesLocked); if one raced the forward installation
+	// above, the fwdTo entry is already gone and the forward we just
+	// installed would leak. Re-check and abort — ownership has fallen
+	// back to the ring, which every node computes identically.
+	n.mu.RLock()
+	_, still := n.fwdTo[tenant]
+	n.mu.RUnlock()
+	if !still {
+		n.plane.SetTenantForward(tenant, nil)
+		return fmt.Errorf("cluster: handoff of tenant %d to %s aborted by a membership change", tenant, to)
+	}
 	if err := n.plane.DrainTenant(ctx, tenant); err != nil {
 		return fmt.Errorf("cluster: handoff drain of tenant %d: %w", tenant, err)
+	}
+	// Same race window across the drain: do not send the ownership
+	// marker if a membership change voided the handoff mid-flight —
+	// the marker would install a fresh override on the target against
+	// a ring that no longer backs it.
+	n.mu.RLock()
+	_, still = n.fwdTo[tenant]
+	n.mu.RUnlock()
+	if !still {
+		return fmt.Errorf("cluster: handoff of tenant %d to %s aborted by a membership change", tenant, to)
 	}
 	pr.control(frame.AppendHandoff(nil, uint32(tenant), uint64(tail.Load())))
 	n.cm.Handoffs.Add(1)
@@ -561,11 +611,34 @@ func (n *Node) acceptHandoff(tenant int, from string) {
 	n.logf("cluster: accepted ownership of tenant %d from %s", tenant, from)
 }
 
-// peerUp re-admits a peer to the ring after a successful dial.
+// clearOverridesLocked invalidates every handoff override (and the
+// plane-level forwards riding them) on a ring membership change. An
+// override is a point-in-time patch against a specific ring: nodes that
+// never saw the handoff route purely by ring, so once a member joins or
+// leaves, keeping the override would split a tenant between the
+// override target and the new ring owner, with divergent dedup windows.
+// Dropping them falls everything back to ring ownership, which all
+// nodes compute identically; in-flight traffic bounces converge through
+// admitRun's ownership re-check, and identified duplicates die in the
+// owner's window. Caller holds n.mu.
+func (n *Node) clearOverridesLocked() {
+	if len(n.overrides) == 0 && len(n.fwdTo) == 0 {
+		return
+	}
+	n.logf("cluster: membership change invalidates %d handoff override(s)", len(n.overrides))
+	clear(n.overrides)
+	for t := range n.fwdTo {
+		delete(n.fwdTo, t)
+		n.plane.SetTenantForward(t, nil)
+	}
+}
+
+// peerUp re-admits a peer to the ring once a pong proves it alive.
 func (n *Node) peerUp(id string) {
 	n.mu.Lock()
 	if !n.ring.Has(id) {
 		n.ring.Add(id)
+		n.clearOverridesLocked()
 		n.cm.PeerUps.Add(1)
 		n.logf("cluster: peer %s up, ring=%v", id, n.ring.Members())
 	}
@@ -575,9 +648,10 @@ func (n *Node) peerUp(id string) {
 // peerDown removes a dead peer from the ring. Its tenants re-home to
 // the survivors purely by recomputation — every node's prober reaches
 // the same verdict and removes the same member, so the cluster
-// converges on identical ownership without coordination. Handoff
-// overrides and plane forwards pointing at the dead node are cleared so
-// its former tenants fall back to the ring.
+// converges on identical ownership without coordination. All handoff
+// overrides and their plane forwards are invalidated (not just those
+// naming the dead node — the membership change may move any tenant's
+// ring owner), so affected tenants fall back to the ring.
 func (n *Node) peerDown(id string) {
 	n.mu.Lock()
 	if !n.ring.Has(id) {
@@ -591,17 +665,7 @@ func (n *Node) peerDown(id string) {
 		}
 	}
 	n.ring.Remove(id)
-	for t, o := range n.overrides {
-		if o == id {
-			delete(n.overrides, t)
-		}
-	}
-	for t, o := range n.fwdTo {
-		if o == id {
-			delete(n.fwdTo, t)
-			n.plane.SetTenantForward(t, nil)
-		}
-	}
+	n.clearOverridesLocked()
 	members := n.ring.Members()
 	n.mu.Unlock()
 	n.cm.PeerDowns.Add(1)
@@ -766,12 +830,16 @@ func (n *Node) shutdown(graceful bool) {
 	if !n.stopped.CompareAndSwap(false, true) {
 		return
 	}
-	n.mu.RLock()
+	// Exclusive snapshot: peer starts happen under n.mu after a stopped
+	// re-check, so once this lock is released no further peer can begin
+	// running and every running peer is in prs — the join below cannot
+	// miss one (AddPeer racing Stop) or wait on one that never started.
+	n.mu.Lock()
 	prs := make([]*peer, 0, len(n.peers))
 	for _, pr := range n.peers {
 		prs = append(prs, pr)
 	}
-	n.mu.RUnlock()
+	n.mu.Unlock()
 	for _, pr := range prs {
 		pr.shutdown(graceful)
 	}
@@ -788,7 +856,9 @@ func (n *Node) shutdown(graceful bool) {
 		n.ln.Close()
 	}
 	for _, pr := range prs {
-		<-pr.done
+		if pr.running.Load() {
+			<-pr.done
+		}
 	}
 	if n.started.Load() {
 		if graceful {

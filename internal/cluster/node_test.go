@@ -418,3 +418,85 @@ func TestStaleSenderReforwardsWithIDs(t *testing.T) {
 		t.Fatalf("old owner delivered %d items for a tenant it handed off", a.totalDeliveries())
 	}
 }
+
+// TestMembershipChangeClearsOverrides: a handoff override is only valid
+// against the ring it was minted on. When membership changes (here: a
+// new peer joins), every node must fall back to pure ring ownership —
+// keeping the override would split the tenant between the override
+// target and the new ring owner, because nodes that never saw the
+// handoff route purely by ring.
+func TestMembershipChangeClearsOverrides(t *testing.T) {
+	const tenants = 32
+	nodes := newTestCluster(t, 2, tenants)
+	a, b := nodes[0], nodes[1]
+	tenant := tenantOwnedBy(t, nodes, a.node.ID(), tenants)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := a.node.Handoff(ctx, tenant, b.node.ID()); err != nil {
+		t.Fatalf("handoff: %v", err)
+	}
+	if got := a.node.Owner(tenant); got != b.node.ID() {
+		t.Fatalf("post-handoff owner at a = %q, want %q", got, b.node.ID())
+	}
+	waitUntil(t, 10*time.Second, "handoff marker accepted", func() bool {
+		return b.node.Metrics().HandoffsInbound.Load() == 1
+	})
+
+	// Membership change: both nodes learn of a new member (it does not
+	// need to be reachable — joining the ring is what matters here).
+	for _, tn := range nodes {
+		if err := tn.node.AddPeer(PeerSpec{ID: "joiner", Addr: "127.0.0.1:1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tn := range nodes {
+		tn.node.mu.RLock()
+		no, nf := len(tn.node.overrides), len(tn.node.fwdTo)
+		tn.node.mu.RUnlock()
+		if no != 0 || nf != 0 {
+			t.Fatalf("%s kept %d override(s) and %d forward(s) across a membership change",
+				tn.node.ID(), no, nf)
+		}
+	}
+	// Both nodes now agree on pure ring ownership for every tenant — no
+	// split between an override holder and a ring router.
+	for tn := 0; tn < tenants; tn++ {
+		if ao, bo := a.node.Owner(tn), b.node.Owner(tn); ao != bo {
+			t.Fatalf("tenant %d ownership split after membership change: %q vs %q", tn, ao, bo)
+		}
+	}
+}
+
+// TestStopWithoutStart: stopping a node whose peers never ran must not
+// hang (shutdown joins only peers that actually started), and AddPeer
+// after Stop must refuse instead of leaking an unjoinable goroutine.
+func TestStopWithoutStart(t *testing.T) {
+	p, err := dataplane.New(dataplane.Config{Tenants: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	defer p.Stop()
+	n, err := NewNode(Config{
+		ID:    "a",
+		Plane: p,
+		Peers: []PeerSpec{{ID: "b", Addr: "127.0.0.1:1"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		n.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop hung joining a peer that never started")
+	}
+	if err := n.AddPeer(PeerSpec{ID: "c", Addr: "127.0.0.1:1"}); err == nil {
+		t.Fatal("AddPeer after Stop succeeded")
+	}
+}
